@@ -1,0 +1,333 @@
+//! Shared on-chip bus with a contention model.
+//!
+//! All tiles reach the shared memory through a single bus (Figure 3.a). The
+//! paper observes that task-recreation migrations move more data and thus see
+//! *increasing contention* as task size grows — the reason the recreation
+//! curve in Figure 2 has a larger slope. This module models the bus as a
+//! bandwidth-limited resource: each simulation step the platform offers the
+//! bus an amount of traffic (cache refills, queue transfers, migration
+//! copies) and the bus reports how long the transfers take once contention is
+//! accounted for.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::ArchError;
+use crate::units::{Bytes, Seconds};
+
+/// Configuration of the shared bus.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BusConfig {
+    /// Bus clock frequency in MHz (the paper's interconnect runs at the core
+    /// reference frequency class).
+    pub clock_mhz: f64,
+    /// Bytes transferred per bus cycle (a 32-bit bus moves 4 bytes).
+    pub bytes_per_cycle: f64,
+    /// Arbitration overhead per transaction, in bus cycles.
+    pub arbitration_cycles: f64,
+    /// Transaction (burst) size in bytes used to compute arbitration counts.
+    pub burst_bytes: u64,
+}
+
+impl BusConfig {
+    /// Default bus: 32-bit @ 250 MHz with an 8-cycle arbitration overhead per
+    /// 32-byte burst — representative of the AMBA-style interconnects used in
+    /// the FPGA platform.
+    pub fn paper_default() -> Self {
+        BusConfig {
+            clock_mhz: 250.0,
+            bytes_per_cycle: 4.0,
+            arbitration_cycles: 8.0,
+            burst_bytes: 32,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] for non-positive clock, width or
+    /// burst size, or negative arbitration overhead.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.clock_mhz <= 0.0 {
+            return Err(ArchError::InvalidConfig("bus clock must be > 0".into()));
+        }
+        if self.bytes_per_cycle <= 0.0 {
+            return Err(ArchError::InvalidConfig(
+                "bus width (bytes per cycle) must be > 0".into(),
+            ));
+        }
+        if self.arbitration_cycles < 0.0 {
+            return Err(ArchError::InvalidConfig(
+                "arbitration overhead cannot be negative".into(),
+            ));
+        }
+        if self.burst_bytes == 0 {
+            return Err(ArchError::InvalidConfig("burst size must be > 0".into()));
+        }
+        Ok(())
+    }
+
+    /// Peak bandwidth in bytes per second, ignoring arbitration.
+    pub fn peak_bandwidth(&self) -> f64 {
+        self.clock_mhz * 1e6 * self.bytes_per_cycle
+    }
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig::paper_default()
+    }
+}
+
+/// Outcome of offering a set of transfers to the bus for one interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct BusWindow {
+    /// Bytes the bus actually moved during the interval.
+    pub bytes_served: Bytes,
+    /// Bytes that did not fit in the interval and remain queued.
+    pub bytes_deferred: Bytes,
+    /// Fraction of the interval the bus was busy (0–1).
+    pub utilization: f64,
+    /// Average slowdown factor experienced by the transfers (≥ 1).
+    pub contention_factor: f64,
+}
+
+/// The shared on-chip bus.
+///
+/// ```
+/// use tbp_arch::bus::{Bus, BusConfig};
+/// use tbp_arch::units::{Bytes, Seconds};
+///
+/// # fn main() -> Result<(), tbp_arch::ArchError> {
+/// let mut bus = Bus::new(BusConfig::paper_default())?;
+/// bus.offer(Bytes::from_kib(64));
+/// let window = bus.serve(Seconds::from_millis(1.0));
+/// assert!(window.bytes_served.as_u64() > 0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Bus {
+    config: BusConfig,
+    pending: Bytes,
+    total_served: Bytes,
+    busy_time: Seconds,
+}
+
+impl Bus {
+    /// Creates a bus with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] when the configuration is invalid.
+    pub fn new(config: BusConfig) -> Result<Self, ArchError> {
+        config.validate()?;
+        Ok(Bus {
+            config,
+            pending: Bytes::ZERO,
+            total_served: Bytes::ZERO,
+            busy_time: Seconds::ZERO,
+        })
+    }
+
+    /// The bus configuration.
+    pub fn config(&self) -> &BusConfig {
+        &self.config
+    }
+
+    /// Bytes currently queued but not yet transferred.
+    pub fn pending(&self) -> Bytes {
+        self.pending
+    }
+
+    /// Cumulative bytes transferred since construction.
+    pub fn total_served(&self) -> Bytes {
+        self.total_served
+    }
+
+    /// Cumulative time the bus spent busy.
+    pub fn busy_time(&self) -> Seconds {
+        self.busy_time
+    }
+
+    /// Queues `bytes` of traffic for transfer.
+    pub fn offer(&mut self, bytes: Bytes) {
+        self.pending = self.pending.saturating_add(bytes);
+    }
+
+    /// Effective bandwidth in bytes/second once per-burst arbitration is
+    /// accounted for.
+    pub fn effective_bandwidth(&self) -> f64 {
+        let data_cycles_per_burst = self.config.burst_bytes as f64 / self.config.bytes_per_cycle;
+        let cycles_per_burst = data_cycles_per_burst + self.config.arbitration_cycles;
+        let bursts_per_second = self.config.clock_mhz * 1e6 / cycles_per_burst;
+        bursts_per_second * self.config.burst_bytes as f64
+    }
+
+    /// Serves queued traffic for an interval of `dt` and returns what
+    /// happened. Traffic that does not fit stays queued for the next window
+    /// (this is how growing migrations become slower per byte, reproducing
+    /// the super-linear recreation curve of Figure 2).
+    pub fn serve(&mut self, dt: Seconds) -> BusWindow {
+        if dt.is_zero() {
+            return BusWindow {
+                bytes_served: Bytes::ZERO,
+                bytes_deferred: self.pending,
+                utilization: 0.0,
+                contention_factor: 1.0,
+            };
+        }
+        let capacity_bytes = self.effective_bandwidth() * dt.as_secs();
+        let requested = self.pending.as_u64() as f64;
+        let served = requested.min(capacity_bytes);
+        let deferred = requested - served;
+        let utilization = if capacity_bytes > 0.0 {
+            (served / capacity_bytes).clamp(0.0, 1.0)
+        } else {
+            0.0
+        };
+        // Contention: when demand exceeds capacity, every transfer is slowed
+        // down proportionally to the overload.
+        let contention_factor = if capacity_bytes > 0.0 && requested > capacity_bytes {
+            requested / capacity_bytes
+        } else {
+            1.0
+        };
+        let served_bytes = Bytes::new(served as u64);
+        self.pending = Bytes::new(deferred as u64);
+        self.total_served = self.total_served.saturating_add(served_bytes);
+        self.busy_time += dt * utilization;
+        BusWindow {
+            bytes_served: served_bytes,
+            bytes_deferred: Bytes::new(deferred as u64),
+            utilization,
+            contention_factor,
+        }
+    }
+
+    /// Time needed to move `bytes` through an otherwise idle bus.
+    pub fn transfer_time(&self, bytes: Bytes) -> Seconds {
+        Seconds::new(bytes.as_u64() as f64 / self.effective_bandwidth())
+    }
+
+    /// Clears any queued traffic (used when resetting the platform between
+    /// experiments).
+    pub fn reset(&mut self) {
+        self.pending = Bytes::ZERO;
+        self.total_served = Bytes::ZERO;
+        self.busy_time = Seconds::ZERO;
+    }
+}
+
+impl fmt::Display for Bus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "bus @ {:.0} MHz ({} pending, {} served)",
+            self.config.clock_mhz, self.pending, self.total_served
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation() {
+        assert!(BusConfig::paper_default().validate().is_ok());
+        assert!(BusConfig::default().validate().is_ok());
+        let bad = BusConfig {
+            clock_mhz: 0.0,
+            ..BusConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = BusConfig {
+            bytes_per_cycle: 0.0,
+            ..BusConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = BusConfig {
+            arbitration_cycles: -1.0,
+            ..BusConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = BusConfig {
+            burst_bytes: 0,
+            ..BusConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+        assert!(Bus::new(bad).is_err());
+    }
+
+    #[test]
+    fn effective_bandwidth_below_peak() {
+        let bus = Bus::new(BusConfig::paper_default()).unwrap();
+        let peak = bus.config().peak_bandwidth();
+        let effective = bus.effective_bandwidth();
+        assert!(effective < peak);
+        assert!(effective > peak * 0.3);
+    }
+
+    #[test]
+    fn serve_moves_traffic_and_tracks_utilization() {
+        let mut bus = Bus::new(BusConfig::paper_default()).unwrap();
+        bus.offer(Bytes::from_kib(64));
+        let window = bus.serve(Seconds::from_millis(1.0));
+        // 64 kB easily fits in 1 ms at ~500 MB/s.
+        assert_eq!(window.bytes_served, Bytes::from_kib(64));
+        assert_eq!(window.bytes_deferred, Bytes::ZERO);
+        assert!(window.utilization > 0.0 && window.utilization < 1.0);
+        assert_eq!(window.contention_factor, 1.0);
+        assert_eq!(bus.pending(), Bytes::ZERO);
+        assert_eq!(bus.total_served(), Bytes::from_kib(64));
+        assert!(bus.busy_time().as_secs() > 0.0);
+    }
+
+    #[test]
+    fn overload_defers_traffic_and_raises_contention() {
+        let mut bus = Bus::new(BusConfig::paper_default()).unwrap();
+        bus.offer(Bytes::from_mib(10));
+        let window = bus.serve(Seconds::from_millis(1.0));
+        assert!(window.bytes_deferred.as_u64() > 0);
+        assert!(window.contention_factor > 1.0);
+        assert!((window.utilization - 1.0).abs() < 1e-9);
+        assert!(bus.pending().as_u64() > 0);
+        // Serving again continues the backlog.
+        let window2 = bus.serve(Seconds::from_millis(1.0));
+        assert!(window2.bytes_served.as_u64() > 0);
+    }
+
+    #[test]
+    fn zero_interval_serves_nothing() {
+        let mut bus = Bus::new(BusConfig::paper_default()).unwrap();
+        bus.offer(Bytes::from_kib(4));
+        let window = bus.serve(Seconds::ZERO);
+        assert_eq!(window.bytes_served, Bytes::ZERO);
+        assert_eq!(window.bytes_deferred, Bytes::from_kib(4));
+        assert_eq!(window.contention_factor, 1.0);
+    }
+
+    #[test]
+    fn transfer_time_is_linear_in_size() {
+        let bus = Bus::new(BusConfig::paper_default()).unwrap();
+        let t64 = bus.transfer_time(Bytes::from_kib(64)).as_secs();
+        let t128 = bus.transfer_time(Bytes::from_kib(128)).as_secs();
+        assert!((t128 - 2.0 * t64).abs() < 1e-12);
+        assert!(t64 > 0.0);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut bus = Bus::new(BusConfig::paper_default()).unwrap();
+        bus.offer(Bytes::from_kib(64));
+        bus.serve(Seconds::from_millis(1.0));
+        bus.offer(Bytes::from_kib(64));
+        bus.reset();
+        assert_eq!(bus.pending(), Bytes::ZERO);
+        assert_eq!(bus.total_served(), Bytes::ZERO);
+        assert_eq!(bus.busy_time(), Seconds::ZERO);
+        assert!(bus.to_string().contains("MHz"));
+    }
+}

@@ -1,0 +1,309 @@
+//! Instruction and data cache models.
+//!
+//! The emulated tiles carry an 8 kB two-way data cache and an 8 kB
+//! direct-mapped instruction cache (Table 1). For the purposes of the thermal
+//! study the caches matter as *power sources co-located with their core on the
+//! floorplan*; this module models their activity (which follows the core's
+//! utilisation) and a simple hit/miss accounting used to derive bus traffic.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::core::CoreId;
+use crate::error::ArchError;
+use crate::freq::OperatingPoint;
+use crate::power::{ComponentKind, PowerModel};
+use crate::units::{Bytes, Celsius, Watts};
+
+/// Kind of cache within a tile.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CacheKind {
+    /// Instruction cache (8 kB, direct mapped).
+    Instruction,
+    /// Data cache (8 kB, 2-way set associative).
+    Data,
+}
+
+impl CacheKind {
+    /// The Table 1 power component corresponding to this cache kind.
+    pub fn component(self) -> ComponentKind {
+        match self {
+            CacheKind::Instruction => ComponentKind::ICache,
+            CacheKind::Data => ComponentKind::DCache,
+        }
+    }
+
+    /// Default capacity of the cache (both are 8 kB in the paper).
+    pub fn default_capacity(self) -> Bytes {
+        Bytes::from_kib(8)
+    }
+}
+
+impl fmt::Display for CacheKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CacheKind::Instruction => write!(f, "I-cache"),
+            CacheKind::Data => write!(f, "D-cache"),
+        }
+    }
+}
+
+/// Geometry and behaviour parameters of a cache.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Which cache this is.
+    pub kind: CacheKind,
+    /// Total capacity.
+    pub capacity: Bytes,
+    /// Cache line size in bytes.
+    pub line_size: Bytes,
+    /// Associativity (1 = direct mapped).
+    pub associativity: usize,
+    /// Steady-state miss ratio used to derive refill traffic on the bus.
+    pub miss_ratio: f64,
+}
+
+impl CacheConfig {
+    /// The paper's 8 kB direct-mapped instruction cache.
+    pub fn paper_icache() -> Self {
+        CacheConfig {
+            kind: CacheKind::Instruction,
+            capacity: Bytes::from_kib(8),
+            line_size: Bytes::new(32),
+            associativity: 1,
+            miss_ratio: 0.02,
+        }
+    }
+
+    /// The paper's 8 kB 2-way data cache.
+    pub fn paper_dcache() -> Self {
+        CacheConfig {
+            kind: CacheKind::Data,
+            capacity: Bytes::from_kib(8),
+            line_size: Bytes::new(32),
+            associativity: 2,
+            miss_ratio: 0.05,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] for zero sizes, zero
+    /// associativity, or a miss ratio outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), ArchError> {
+        if self.capacity == Bytes::ZERO {
+            return Err(ArchError::InvalidConfig("cache capacity must be > 0".into()));
+        }
+        if self.line_size == Bytes::ZERO {
+            return Err(ArchError::InvalidConfig("cache line size must be > 0".into()));
+        }
+        if self.associativity == 0 {
+            return Err(ArchError::InvalidConfig(
+                "cache associativity must be >= 1".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.miss_ratio) {
+            return Err(ArchError::InvalidConfig(format!(
+                "cache miss ratio {} must be in [0, 1]",
+                self.miss_ratio
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of cache lines.
+    pub fn num_lines(&self) -> u64 {
+        self.capacity.as_u64() / self.line_size.as_u64().max(1)
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> u64 {
+        self.num_lines() / self.associativity.max(1) as u64
+    }
+}
+
+/// Run-time cache state attached to a core.
+///
+/// Activity tracks the owning core's utilisation: a cache serving a busy core
+/// toggles proportionally more of its arrays. Misses generate refill traffic
+/// that the platform routes over the shared bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Cache {
+    owner: CoreId,
+    config: CacheConfig,
+    accesses: u64,
+    misses: u64,
+}
+
+impl Cache {
+    /// Creates a cache owned by `owner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] when the configuration is invalid.
+    pub fn new(owner: CoreId, config: CacheConfig) -> Result<Self, ArchError> {
+        config.validate()?;
+        Ok(Cache {
+            owner,
+            config,
+            accesses: 0,
+            misses: 0,
+        })
+    }
+
+    /// The core this cache belongs to.
+    pub fn owner(&self) -> CoreId {
+        self.owner
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Total accesses recorded so far.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Total misses recorded so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Observed miss ratio (falls back to the configured ratio before any
+    /// access has been recorded).
+    pub fn observed_miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            self.config.miss_ratio
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+
+    /// Records `accesses` cache accesses, using the configured miss ratio to
+    /// derive misses, and returns the refill traffic generated on the bus.
+    pub fn record_accesses(&mut self, accesses: u64) -> Bytes {
+        let misses = (accesses as f64 * self.config.miss_ratio).round() as u64;
+        self.accesses = self.accesses.saturating_add(accesses);
+        self.misses = self.misses.saturating_add(misses);
+        Bytes::new(misses.saturating_mul(self.config.line_size.as_u64()))
+    }
+
+    /// Estimated accesses produced by a core executing `task_cycles` cycles.
+    ///
+    /// Instruction caches are probed roughly every cycle; data caches on a
+    /// load/store-heavy streaming workload are probed about every third
+    /// cycle.
+    pub fn accesses_for_cycles(&self, task_cycles: f64) -> u64 {
+        let per_cycle = match self.config.kind {
+            CacheKind::Instruction => 1.0,
+            CacheKind::Data => 0.35,
+        };
+        (task_cycles * per_cycle).max(0.0) as u64
+    }
+
+    /// Instantaneous power of the cache given the owning core's operating
+    /// point and utilisation.
+    pub fn power(
+        &self,
+        model: &PowerModel,
+        point: OperatingPoint,
+        core_utilization: f64,
+        temperature: Celsius,
+    ) -> Watts {
+        model
+            .component_power(
+                self.config.kind.component(),
+                point,
+                core_utilization.clamp(0.0, 1.0),
+                temperature,
+            )
+            .expect("clamped utilization is always valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::freq::{Frequency, Voltage};
+
+    #[test]
+    fn paper_configs_are_valid_and_sized() {
+        let i = CacheConfig::paper_icache();
+        let d = CacheConfig::paper_dcache();
+        assert!(i.validate().is_ok());
+        assert!(d.validate().is_ok());
+        assert_eq!(i.capacity, Bytes::from_kib(8));
+        assert_eq!(d.associativity, 2);
+        assert_eq!(i.associativity, 1);
+        assert_eq!(i.num_lines(), 256);
+        assert_eq!(i.num_sets(), 256);
+        assert_eq!(d.num_sets(), 128);
+        assert_eq!(CacheKind::Instruction.default_capacity(), Bytes::from_kib(8));
+        assert_eq!(CacheKind::Data.component(), ComponentKind::DCache);
+        assert_eq!(CacheKind::Instruction.component(), ComponentKind::ICache);
+        assert_eq!(CacheKind::Data.to_string(), "D-cache");
+        assert_eq!(CacheKind::Instruction.to_string(), "I-cache");
+    }
+
+    #[test]
+    fn invalid_configs_are_rejected() {
+        let mut c = CacheConfig::paper_dcache();
+        c.capacity = Bytes::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = CacheConfig::paper_dcache();
+        c.line_size = Bytes::ZERO;
+        assert!(c.validate().is_err());
+        let mut c = CacheConfig::paper_dcache();
+        c.associativity = 0;
+        assert!(c.validate().is_err());
+        let mut c = CacheConfig::paper_dcache();
+        c.miss_ratio = 1.5;
+        assert!(c.validate().is_err());
+        assert!(Cache::new(CoreId(0), c).is_err());
+    }
+
+    #[test]
+    fn record_accesses_accumulates_and_reports_traffic() {
+        let mut cache = Cache::new(CoreId(0), CacheConfig::paper_dcache()).unwrap();
+        assert_eq!(cache.owner(), CoreId(0));
+        let traffic = cache.record_accesses(1000);
+        // 5 % of 1000 = 50 misses * 32 B lines = 1600 B.
+        assert_eq!(traffic, Bytes::new(1600));
+        assert_eq!(cache.accesses(), 1000);
+        assert_eq!(cache.misses(), 50);
+        assert!((cache.observed_miss_ratio() - 0.05).abs() < 1e-9);
+        let fresh = Cache::new(CoreId(0), CacheConfig::paper_icache()).unwrap();
+        assert!((fresh.observed_miss_ratio() - 0.02).abs() < 1e-9);
+    }
+
+    #[test]
+    fn access_estimation_differs_by_kind() {
+        let icache = Cache::new(CoreId(0), CacheConfig::paper_icache()).unwrap();
+        let dcache = Cache::new(CoreId(0), CacheConfig::paper_dcache()).unwrap();
+        let cycles = 1_000_000.0;
+        assert!(icache.accesses_for_cycles(cycles) > dcache.accesses_for_cycles(cycles));
+        assert_eq!(icache.accesses_for_cycles(-5.0), 0);
+    }
+
+    #[test]
+    fn cache_power_follows_core_activity() {
+        let model = PowerModel::new();
+        let cache = Cache::new(CoreId(0), CacheConfig::paper_dcache()).unwrap();
+        let point = OperatingPoint::new(Frequency::from_mhz(500.0), Voltage::new(1.2));
+        let t = Celsius::new(60.0);
+        let busy = cache.power(&model, point, 1.0, t).as_watts();
+        let idle = cache.power(&model, point, 0.0, t).as_watts();
+        assert!(busy > idle);
+        // At full activity and the reference point the cache hits its Table 1
+        // maximum power.
+        assert!((busy - 0.043).abs() < 1e-9);
+        // Out-of-range utilisation is clamped, not an error.
+        let clamped = cache.power(&model, point, 2.0, t).as_watts();
+        assert!((clamped - busy).abs() < 1e-12);
+        assert_eq!(cache.config().kind, CacheKind::Data);
+    }
+}

@@ -1,0 +1,312 @@
+//! Per-core processor state.
+//!
+//! A [`Core`] tracks the dynamic state the rest of the simulator needs from a
+//! processor: its DVFS operating point, its current utilisation (the share of
+//! cycles spent executing tasks rather than idling), and whether it is halted
+//! by a Stop&Go style policy.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::ArchError;
+use crate::freq::{DvfsScale, Frequency, OperatingPoint};
+use crate::power::{CoreClass, PowerModel};
+use crate::units::{Celsius, Watts};
+
+/// Identifier of a processor core on the platform.
+///
+/// Cores are numbered densely from zero, matching the "Core 1 … Core 3"
+/// naming of Table 2 (the paper counts from one; this crate counts from
+/// zero).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct CoreId(pub usize);
+
+impl CoreId {
+    /// Index of the core as a `usize`, for indexing vectors of per-core data.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for CoreId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "core{}", self.0)
+    }
+}
+
+impl From<usize> for CoreId {
+    fn from(value: usize) -> Self {
+        CoreId(value)
+    }
+}
+
+/// Execution state of a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoreState {
+    /// The core is clocked and executing (or idling at) its operating point.
+    Running,
+    /// The core is clock-gated by a thermal policy (Stop&Go). It burns only
+    /// leakage power and makes no task progress.
+    Halted,
+}
+
+/// A single 32-bit RISC processor tile of the MPSoC.
+///
+/// ```
+/// use tbp_arch::core::{Core, CoreId};
+/// use tbp_arch::freq::{DvfsScale, Frequency};
+/// use tbp_arch::power::CoreClass;
+///
+/// # fn main() -> Result<(), tbp_arch::ArchError> {
+/// let mut core = Core::new(CoreId(0), CoreClass::Risc32Streaming, DvfsScale::paper_default());
+/// core.set_frequency(Frequency::from_mhz(533.0))?;
+/// core.set_utilization(0.65)?;
+/// assert!(core.is_running());
+/// assert_eq!(core.frequency(), Frequency::from_mhz(533.0));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Core {
+    id: CoreId,
+    class: CoreClass,
+    scale: DvfsScale,
+    point: OperatingPoint,
+    utilization: f64,
+    state: CoreState,
+}
+
+impl Core {
+    /// Creates a core of the given class, initially running at the maximum
+    /// operating point with zero utilisation.
+    pub fn new(id: CoreId, class: CoreClass, scale: DvfsScale) -> Self {
+        let point = scale.max_point();
+        Core {
+            id,
+            class,
+            scale,
+            point,
+            utilization: 0.0,
+            state: CoreState::Running,
+        }
+    }
+
+    /// The core's identifier.
+    pub fn id(&self) -> CoreId {
+        self.id
+    }
+
+    /// The core's processor class (Table 1 configuration).
+    pub fn class(&self) -> CoreClass {
+        self.class
+    }
+
+    /// The DVFS scale available to this core.
+    pub fn scale(&self) -> &DvfsScale {
+        &self.scale
+    }
+
+    /// Current operating point.
+    pub fn operating_point(&self) -> OperatingPoint {
+        self.point
+    }
+
+    /// Current clock frequency (zero when halted).
+    pub fn frequency(&self) -> Frequency {
+        match self.state {
+            CoreState::Running => self.point.frequency,
+            CoreState::Halted => Frequency::ZERO,
+        }
+    }
+
+    /// The frequency the core will resume at when un-halted.
+    pub fn configured_frequency(&self) -> Frequency {
+        self.point.frequency
+    }
+
+    /// Current utilisation in `[0, 1]` — the fraction of cycles spent on task
+    /// work at the current frequency.
+    pub fn utilization(&self) -> f64 {
+        match self.state {
+            CoreState::Running => self.utilization,
+            CoreState::Halted => 0.0,
+        }
+    }
+
+    /// Current execution state.
+    pub fn state(&self) -> CoreState {
+        self.state
+    }
+
+    /// Returns `true` when the core is running (not halted).
+    pub fn is_running(&self) -> bool {
+        self.state == CoreState::Running
+    }
+
+    /// Sets the DVFS level of the core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnsupportedFrequency`] when `frequency` is not a
+    /// level of the core's DVFS scale.
+    pub fn set_frequency(&mut self, frequency: Frequency) -> Result<(), ArchError> {
+        self.point = self.scale.point_for(frequency)?;
+        Ok(())
+    }
+
+    /// Sets the utilisation of the core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidUtilization`] when `utilization` is outside
+    /// `[0, 1]`.
+    pub fn set_utilization(&mut self, utilization: f64) -> Result<(), ArchError> {
+        if !(0.0..=1.0).contains(&utilization) {
+            return Err(ArchError::InvalidUtilization(utilization));
+        }
+        self.utilization = utilization;
+        Ok(())
+    }
+
+    /// Halts the core (clock gating). The core keeps leaking but burns no
+    /// dynamic power and executes no cycles.
+    pub fn halt(&mut self) {
+        self.state = CoreState::Halted;
+    }
+
+    /// Resumes a halted core at its previously configured operating point.
+    pub fn resume(&mut self) {
+        self.state = CoreState::Running;
+    }
+
+    /// Number of task cycles the core executes in `dt_secs` seconds at its
+    /// current frequency and utilisation.
+    pub fn task_cycles_in(&self, dt_secs: f64) -> f64 {
+        self.frequency().cycles_in(dt_secs) * self.utilization()
+    }
+
+    /// Instantaneous power of the processor (excluding caches and memories)
+    /// at the given die temperature.
+    pub fn power(&self, model: &PowerModel, temperature: Celsius) -> Watts {
+        let point = match self.state {
+            CoreState::Running => self.point,
+            // A halted core burns only leakage: model it as a zero-frequency
+            // point at the configured voltage.
+            CoreState::Halted => OperatingPoint::new(Frequency::ZERO, self.point.voltage),
+        };
+        model
+            .core_power(self.class, point, self.utilization(), temperature)
+            .expect("utilization is validated on set")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn make_core() -> Core {
+        Core::new(
+            CoreId(1),
+            CoreClass::Risc32Streaming,
+            DvfsScale::paper_default(),
+        )
+    }
+
+    #[test]
+    fn core_id_display_and_index() {
+        assert_eq!(CoreId(2).to_string(), "core2");
+        assert_eq!(CoreId(3).index(), 3);
+        assert_eq!(CoreId::from(5), CoreId(5));
+    }
+
+    #[test]
+    fn new_core_runs_at_max_frequency() {
+        let core = make_core();
+        assert_eq!(core.id(), CoreId(1));
+        assert_eq!(core.class(), CoreClass::Risc32Streaming);
+        assert_eq!(core.frequency(), Frequency::from_mhz(533.0));
+        assert_eq!(core.utilization(), 0.0);
+        assert!(core.is_running());
+        assert_eq!(core.state(), CoreState::Running);
+        assert_eq!(core.scale().len(), 4);
+    }
+
+    #[test]
+    fn set_frequency_validates_levels() {
+        let mut core = make_core();
+        assert!(core.set_frequency(Frequency::from_mhz(266.0)).is_ok());
+        assert_eq!(core.frequency(), Frequency::from_mhz(266.0));
+        assert!(core.set_frequency(Frequency::from_mhz(300.0)).is_err());
+        // Frequency unchanged after a failed set.
+        assert_eq!(core.frequency(), Frequency::from_mhz(266.0));
+    }
+
+    #[test]
+    fn set_utilization_validates_range() {
+        let mut core = make_core();
+        assert!(core.set_utilization(0.7).is_ok());
+        assert_eq!(core.utilization(), 0.7);
+        assert!(core.set_utilization(1.01).is_err());
+        assert!(core.set_utilization(-0.01).is_err());
+        assert_eq!(core.utilization(), 0.7);
+    }
+
+    #[test]
+    fn halt_and_resume() {
+        let mut core = make_core();
+        core.set_utilization(0.5).unwrap();
+        core.halt();
+        assert!(!core.is_running());
+        assert_eq!(core.frequency(), Frequency::ZERO);
+        assert_eq!(core.utilization(), 0.0);
+        assert_eq!(core.configured_frequency(), Frequency::from_mhz(533.0));
+        core.resume();
+        assert!(core.is_running());
+        assert_eq!(core.frequency(), Frequency::from_mhz(533.0));
+        assert_eq!(core.utilization(), 0.5);
+    }
+
+    #[test]
+    fn task_cycles_scale_with_utilization_and_frequency() {
+        let mut core = make_core();
+        core.set_frequency(Frequency::from_mhz(266.0)).unwrap();
+        core.set_utilization(0.5).unwrap();
+        let cycles = core.task_cycles_in(0.01);
+        assert!((cycles - 266e6 * 0.01 * 0.5).abs() < 1.0);
+        core.halt();
+        assert_eq!(core.task_cycles_in(0.01), 0.0);
+    }
+
+    #[test]
+    fn halted_core_burns_only_leakage() {
+        let model = PowerModel::new();
+        let mut core = make_core();
+        core.set_utilization(1.0).unwrap();
+        let t = Celsius::new(60.0);
+        let running = core.power(&model, t);
+        core.halt();
+        let halted = core.power(&model, t);
+        assert!(halted.as_watts() < running.as_watts());
+        assert!(halted.as_watts() > 0.0);
+        let leak_only = model.leakage_power(
+            CoreClass::Risc32Streaming.max_power(),
+            core.operating_point().voltage,
+            t,
+        );
+        assert!((halted.as_watts() - leak_only.as_watts()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn arm11_class_core_uses_lower_power() {
+        let model = PowerModel::new();
+        let scale = DvfsScale::paper_default();
+        let mut streaming = Core::new(CoreId(0), CoreClass::Risc32Streaming, scale.clone());
+        let mut arm = Core::new(CoreId(1), CoreClass::Risc32Arm11, scale);
+        streaming.set_utilization(1.0).unwrap();
+        arm.set_utilization(1.0).unwrap();
+        let t = Celsius::new(60.0);
+        assert!(arm.power(&model, t).as_watts() < streaming.power(&model, t).as_watts());
+    }
+}

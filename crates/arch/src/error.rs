@@ -1,0 +1,73 @@
+//! Error type for architecture-model operations.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::core::CoreId;
+
+/// Errors produced while constructing or driving the architecture model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// A core identifier referenced a core that does not exist on the platform.
+    UnknownCore(CoreId),
+    /// A floorplan block name was referenced but not present in the floorplan.
+    UnknownBlock(String),
+    /// A utilisation value was outside the `[0, 1]` range.
+    InvalidUtilization(f64),
+    /// A frequency was requested that is not part of the platform's DVFS scale.
+    UnsupportedFrequency(u64),
+    /// A platform was configured with no cores.
+    EmptyPlatform,
+    /// A floorplan was built with overlapping or degenerate blocks.
+    InvalidFloorplan(String),
+    /// A configuration parameter was invalid (negative power, zero area, ...).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::UnknownCore(id) => write!(f, "unknown core {id}"),
+            ArchError::UnknownBlock(name) => write!(f, "unknown floorplan block `{name}`"),
+            ArchError::InvalidUtilization(u) => {
+                write!(f, "utilization {u} is outside the [0, 1] range")
+            }
+            ArchError::UnsupportedFrequency(hz) => {
+                write!(f, "frequency {hz} Hz is not an available DVFS level")
+            }
+            ArchError::EmptyPlatform => write!(f, "platform must contain at least one core"),
+            ArchError::InvalidFloorplan(msg) => write!(f, "invalid floorplan: {msg}"),
+            ArchError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = ArchError::UnknownCore(CoreId(7));
+        assert!(err.to_string().contains('7'));
+        let err = ArchError::InvalidUtilization(1.5);
+        assert!(err.to_string().contains("1.5"));
+        let err = ArchError::UnsupportedFrequency(123);
+        assert!(err.to_string().contains("123"));
+        let err = ArchError::UnknownBlock("core9".into());
+        assert!(err.to_string().contains("core9"));
+        let err = ArchError::InvalidFloorplan("overlap".into());
+        assert!(err.to_string().contains("overlap"));
+        let err = ArchError::InvalidConfig("bad".into());
+        assert!(err.to_string().contains("bad"));
+        assert!(!ArchError::EmptyPlatform.to_string().is_empty());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

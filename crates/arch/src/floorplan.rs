@@ -1,0 +1,484 @@
+//! Floorplan description (Figure 5 of the paper).
+//!
+//! The thermal model needs to know where each power source sits on the die:
+//! two blocks that are adjacent exchange heat laterally, and a block's area
+//! determines its thermal capacitance. The paper's emulated MPSoC floorplan
+//! places the three processor tiles in a row, each with its I-cache and
+//! D-cache next to it, with the shared memory at one end — which is exactly
+//! why core 2 and core 3 reach different temperatures at the same frequency
+//! (core 3 sits next to the cooler shared-memory block and spreads heat
+//! better).
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::core::CoreId;
+use crate::error::ArchError;
+
+/// What a floorplan block contains, used to route per-component power to it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BlockKind {
+    /// A processor core (with the owning core id).
+    Core(CoreId),
+    /// The instruction cache of a core.
+    ICache(CoreId),
+    /// The data cache of a core.
+    DCache(CoreId),
+    /// The private memory of a core.
+    PrivateMemory(CoreId),
+    /// The single shared memory.
+    SharedMemory,
+    /// Interconnect / peripheral area (semaphores, interrupt controller).
+    Interconnect,
+}
+
+impl BlockKind {
+    /// The core this block belongs to, if any.
+    pub fn owner(&self) -> Option<CoreId> {
+        match self {
+            BlockKind::Core(id)
+            | BlockKind::ICache(id)
+            | BlockKind::DCache(id)
+            | BlockKind::PrivateMemory(id) => Some(*id),
+            BlockKind::SharedMemory | BlockKind::Interconnect => None,
+        }
+    }
+
+    /// Returns `true` when the block is a processor core.
+    pub fn is_core(&self) -> bool {
+        matches!(self, BlockKind::Core(_))
+    }
+}
+
+impl fmt::Display for BlockKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BlockKind::Core(id) => write!(f, "{id}"),
+            BlockKind::ICache(id) => write!(f, "{id}.icache"),
+            BlockKind::DCache(id) => write!(f, "{id}.dcache"),
+            BlockKind::PrivateMemory(id) => write!(f, "{id}.mem"),
+            BlockKind::SharedMemory => write!(f, "shared_mem"),
+            BlockKind::Interconnect => write!(f, "interconnect"),
+        }
+    }
+}
+
+/// An axis-aligned rectangle on the die, in millimetres.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    /// X coordinate of the lower-left corner (mm).
+    pub x: f64,
+    /// Y coordinate of the lower-left corner (mm).
+    pub y: f64,
+    /// Width (mm).
+    pub width: f64,
+    /// Height (mm).
+    pub height: f64,
+}
+
+impl Rect {
+    /// Creates a rectangle.
+    pub fn new(x: f64, y: f64, width: f64, height: f64) -> Self {
+        Rect {
+            x,
+            y,
+            width,
+            height,
+        }
+    }
+
+    /// Area in mm².
+    pub fn area_mm2(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Area in m².
+    pub fn area_m2(&self) -> f64 {
+        self.area_mm2() * 1e-6
+    }
+
+    /// Centre point (mm).
+    pub fn center(&self) -> (f64, f64) {
+        (self.x + self.width / 2.0, self.y + self.height / 2.0)
+    }
+
+    /// Returns `true` when this rectangle overlaps `other` with non-zero
+    /// area.
+    pub fn overlaps(&self, other: &Rect) -> bool {
+        let x_overlap = self.x < other.x + other.width && other.x < self.x + self.width;
+        let y_overlap = self.y < other.y + other.height && other.y < self.y + self.height;
+        x_overlap && y_overlap
+    }
+
+    /// Length (mm) of the boundary shared with `other` (zero when the
+    /// rectangles do not touch).
+    pub fn shared_edge_length(&self, other: &Rect) -> f64 {
+        const EPS: f64 = 1e-9;
+        // Vertical adjacency (share a horizontal edge).
+        let x_lo = self.x.max(other.x);
+        let x_hi = (self.x + self.width).min(other.x + other.width);
+        let x_span = (x_hi - x_lo).max(0.0);
+        let touch_y = ((self.y + self.height) - other.y).abs() < EPS
+            || ((other.y + other.height) - self.y).abs() < EPS;
+        // Horizontal adjacency (share a vertical edge).
+        let y_lo = self.y.max(other.y);
+        let y_hi = (self.y + self.height).min(other.y + other.height);
+        let y_span = (y_hi - y_lo).max(0.0);
+        let touch_x = ((self.x + self.width) - other.x).abs() < EPS
+            || ((other.x + other.width) - self.x).abs() < EPS;
+        let mut shared: f64 = 0.0;
+        if touch_y && x_span > EPS {
+            shared = shared.max(x_span);
+        }
+        if touch_x && y_span > EPS {
+            shared = shared.max(y_span);
+        }
+        shared
+    }
+
+    /// Euclidean distance between block centres (mm).
+    pub fn center_distance(&self, other: &Rect) -> f64 {
+        let (ax, ay) = self.center();
+        let (bx, by) = other.center();
+        ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+    }
+}
+
+/// A named block of the floorplan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// Unique name of the block (e.g. `core0`, `core1.dcache`).
+    pub name: String,
+    /// What the block contains.
+    pub kind: BlockKind,
+    /// Position and size on the die.
+    pub rect: Rect,
+}
+
+impl Block {
+    /// Creates a block named after its kind.
+    pub fn new(kind: BlockKind, rect: Rect) -> Self {
+        Block {
+            name: kind.to_string(),
+            kind,
+            rect,
+        }
+    }
+}
+
+/// A complete floorplan: a set of non-overlapping blocks.
+///
+/// ```
+/// use tbp_arch::floorplan::Floorplan;
+/// let plan = Floorplan::paper_3core();
+/// assert_eq!(plan.core_blocks().count(), 3);
+/// assert!(plan.total_area_mm2() > 0.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Floorplan {
+    blocks: Vec<Block>,
+    by_name: BTreeMap<String, usize>,
+}
+
+impl Floorplan {
+    /// Builds a floorplan from blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidFloorplan`] when blocks overlap, have
+    /// non-positive dimensions, or share a name.
+    pub fn new(blocks: Vec<Block>) -> Result<Self, ArchError> {
+        if blocks.is_empty() {
+            return Err(ArchError::InvalidFloorplan("no blocks".into()));
+        }
+        for block in &blocks {
+            if block.rect.width <= 0.0 || block.rect.height <= 0.0 {
+                return Err(ArchError::InvalidFloorplan(format!(
+                    "block `{}` has non-positive dimensions",
+                    block.name
+                )));
+            }
+        }
+        for (i, a) in blocks.iter().enumerate() {
+            for b in blocks.iter().skip(i + 1) {
+                if a.rect.overlaps(&b.rect) {
+                    return Err(ArchError::InvalidFloorplan(format!(
+                        "blocks `{}` and `{}` overlap",
+                        a.name, b.name
+                    )));
+                }
+            }
+        }
+        let mut by_name = BTreeMap::new();
+        for (i, block) in blocks.iter().enumerate() {
+            if by_name.insert(block.name.clone(), i).is_some() {
+                return Err(ArchError::InvalidFloorplan(format!(
+                    "duplicate block name `{}`",
+                    block.name
+                )));
+            }
+        }
+        Ok(Floorplan { blocks, by_name })
+    }
+
+    /// The 3-core floorplan of Figure 5: three processor tiles in a row, each
+    /// tile stacking core + caches + private memory, and the shared memory
+    /// plus interconnect at the right-hand end, adjacent to the last tile.
+    pub fn paper_3core() -> Self {
+        Floorplan::homogeneous_tiles(3).expect("3-core paper floorplan is valid")
+    }
+
+    /// A generic `n`-tile floorplan with the same tile geometry as the paper's
+    /// 3-core arrangement (used for the scalability ablation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidFloorplan`] when `n` is zero.
+    pub fn homogeneous_tiles(n: usize) -> Result<Self, ArchError> {
+        if n == 0 {
+            return Err(ArchError::InvalidFloorplan(
+                "floorplan needs at least one tile".into(),
+            ));
+        }
+        // Tile geometry (mm). A tile is 3 mm wide and 4 mm tall:
+        //   +-----------------+  y=4
+        //   |   private mem   |       (3.0 x 1.0)
+        //   +--------+--------+  y=3
+        //   | icache | dcache |       (1.5 x 1.0 each)
+        //   +--------+--------+  y=2
+        //   |      core       |       (3.0 x 2.0)
+        //   +-----------------+  y=0
+        const TILE_W: f64 = 3.0;
+        let mut blocks = Vec::new();
+        for i in 0..n {
+            let x0 = i as f64 * TILE_W;
+            let id = CoreId(i);
+            blocks.push(Block::new(BlockKind::Core(id), Rect::new(x0, 0.0, 3.0, 2.0)));
+            blocks.push(Block::new(
+                BlockKind::ICache(id),
+                Rect::new(x0, 2.0, 1.5, 1.0),
+            ));
+            blocks.push(Block::new(
+                BlockKind::DCache(id),
+                Rect::new(x0 + 1.5, 2.0, 1.5, 1.0),
+            ));
+            blocks.push(Block::new(
+                BlockKind::PrivateMemory(id),
+                Rect::new(x0, 3.0, 3.0, 1.0),
+            ));
+        }
+        // Shared memory and interconnect column at the right end.
+        let x_end = n as f64 * TILE_W;
+        blocks.push(Block::new(
+            BlockKind::SharedMemory,
+            Rect::new(x_end, 0.0, 2.0, 2.0),
+        ));
+        blocks.push(Block::new(
+            BlockKind::Interconnect,
+            Rect::new(x_end, 2.0, 2.0, 2.0),
+        ));
+        Floorplan::new(blocks)
+    }
+
+    /// All blocks in insertion order.
+    pub fn blocks(&self) -> &[Block] {
+        &self.blocks
+    }
+
+    /// Number of blocks.
+    pub fn len(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// Returns `true` when the floorplan has no blocks (never true after
+    /// construction).
+    pub fn is_empty(&self) -> bool {
+        self.blocks.is_empty()
+    }
+
+    /// Index of the block with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownBlock`] when no block has that name.
+    pub fn index_of(&self, name: &str) -> Result<usize, ArchError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| ArchError::UnknownBlock(name.to_string()))
+    }
+
+    /// The block with the given name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownBlock`] when no block has that name.
+    pub fn block(&self, name: &str) -> Result<&Block, ArchError> {
+        Ok(&self.blocks[self.index_of(name)?])
+    }
+
+    /// Index of the processor block of `core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnknownCore`] when the floorplan has no such core.
+    pub fn core_block_index(&self, core: CoreId) -> Result<usize, ArchError> {
+        self.blocks
+            .iter()
+            .position(|b| b.kind == BlockKind::Core(core))
+            .ok_or(ArchError::UnknownCore(core))
+    }
+
+    /// Iterator over the processor blocks, in core-id order.
+    pub fn core_blocks(&self) -> impl Iterator<Item = &Block> {
+        let mut cores: Vec<&Block> = self.blocks.iter().filter(|b| b.kind.is_core()).collect();
+        cores.sort_by_key(|b| match b.kind {
+            BlockKind::Core(id) => id,
+            _ => unreachable!("filtered to cores"),
+        });
+        cores.into_iter()
+    }
+
+    /// Identifiers of all cores present on the floorplan, ascending.
+    pub fn core_ids(&self) -> Vec<CoreId> {
+        self.core_blocks()
+            .map(|b| match b.kind {
+                BlockKind::Core(id) => id,
+                _ => unreachable!("core_blocks yields cores"),
+            })
+            .collect()
+    }
+
+    /// Total die area in mm².
+    pub fn total_area_mm2(&self) -> f64 {
+        self.blocks.iter().map(|b| b.rect.area_mm2()).sum()
+    }
+
+    /// Pairs of adjacent blocks together with the length (mm) of their shared
+    /// edge. Used by the thermal model to build lateral conductances.
+    pub fn adjacencies(&self) -> Vec<(usize, usize, f64)> {
+        let mut result = Vec::new();
+        for i in 0..self.blocks.len() {
+            for j in (i + 1)..self.blocks.len() {
+                let shared = self.blocks[i].rect.shared_edge_length(&self.blocks[j].rect);
+                if shared > 0.0 {
+                    result.push((i, j, shared));
+                }
+            }
+        }
+        result
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rect_geometry() {
+        let a = Rect::new(0.0, 0.0, 2.0, 3.0);
+        assert_eq!(a.area_mm2(), 6.0);
+        assert!((a.area_m2() - 6e-6).abs() < 1e-15);
+        assert_eq!(a.center(), (1.0, 1.5));
+        let b = Rect::new(2.0, 0.0, 2.0, 3.0);
+        assert!(!a.overlaps(&b));
+        assert_eq!(a.shared_edge_length(&b), 3.0);
+        let c = Rect::new(1.0, 1.0, 2.0, 2.0);
+        assert!(a.overlaps(&c));
+        let far = Rect::new(10.0, 10.0, 1.0, 1.0);
+        assert_eq!(a.shared_edge_length(&far), 0.0);
+        assert!(a.center_distance(&far) > 10.0);
+        // Vertical adjacency.
+        let top = Rect::new(0.0, 3.0, 2.0, 1.0);
+        assert_eq!(a.shared_edge_length(&top), 2.0);
+    }
+
+    #[test]
+    fn block_kind_owner_and_display() {
+        assert_eq!(BlockKind::Core(CoreId(1)).owner(), Some(CoreId(1)));
+        assert_eq!(BlockKind::DCache(CoreId(2)).owner(), Some(CoreId(2)));
+        assert_eq!(BlockKind::SharedMemory.owner(), None);
+        assert!(BlockKind::Core(CoreId(0)).is_core());
+        assert!(!BlockKind::Interconnect.is_core());
+        assert_eq!(BlockKind::Core(CoreId(0)).to_string(), "core0");
+        assert_eq!(BlockKind::ICache(CoreId(1)).to_string(), "core1.icache");
+        assert_eq!(BlockKind::DCache(CoreId(1)).to_string(), "core1.dcache");
+        assert_eq!(BlockKind::PrivateMemory(CoreId(1)).to_string(), "core1.mem");
+        assert_eq!(BlockKind::SharedMemory.to_string(), "shared_mem");
+        assert_eq!(BlockKind::Interconnect.to_string(), "interconnect");
+    }
+
+    #[test]
+    fn paper_floorplan_structure() {
+        let plan = Floorplan::paper_3core();
+        // 3 tiles * 4 blocks + shared mem + interconnect = 14 blocks.
+        assert_eq!(plan.len(), 14);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.core_blocks().count(), 3);
+        assert_eq!(plan.core_ids(), vec![CoreId(0), CoreId(1), CoreId(2)]);
+        assert!(plan.total_area_mm2() > 30.0);
+        assert!(plan.block("core0").is_ok());
+        assert!(plan.block("shared_mem").is_ok());
+        assert!(plan.block("bogus").is_err());
+        assert!(plan.core_block_index(CoreId(2)).is_ok());
+        assert!(plan.core_block_index(CoreId(9)).is_err());
+    }
+
+    #[test]
+    fn adjacencies_connect_neighbouring_tiles() {
+        let plan = Floorplan::paper_3core();
+        let adj = plan.adjacencies();
+        assert!(!adj.is_empty());
+        // core0 and core1 tiles are side by side: their core blocks share an edge.
+        let i0 = plan.index_of("core0").unwrap();
+        let i1 = plan.index_of("core1").unwrap();
+        assert!(adj
+            .iter()
+            .any(|&(a, b, len)| ((a == i0 && b == i1) || (a == i1 && b == i0)) && len > 0.0));
+        // core0 and core2 are NOT adjacent (core1 sits between them).
+        let i2 = plan.index_of("core2").unwrap();
+        assert!(!adj
+            .iter()
+            .any(|&(a, b, _)| (a == i0 && b == i2) || (a == i2 && b == i0)));
+        // The shared memory touches the last tile, not the first.
+        let ishared = plan.index_of("shared_mem").unwrap();
+        assert!(adj
+            .iter()
+            .any(|&(a, b, _)| (a == i2 && b == ishared) || (a == ishared && b == i2)));
+    }
+
+    #[test]
+    fn invalid_floorplans_rejected() {
+        assert!(Floorplan::new(vec![]).is_err());
+        assert!(Floorplan::homogeneous_tiles(0).is_err());
+        let overlapping = vec![
+            Block::new(BlockKind::Core(CoreId(0)), Rect::new(0.0, 0.0, 2.0, 2.0)),
+            Block::new(BlockKind::Core(CoreId(1)), Rect::new(1.0, 1.0, 2.0, 2.0)),
+        ];
+        assert!(Floorplan::new(overlapping).is_err());
+        let degenerate = vec![Block::new(
+            BlockKind::Core(CoreId(0)),
+            Rect::new(0.0, 0.0, 0.0, 2.0),
+        )];
+        assert!(Floorplan::new(degenerate).is_err());
+        let duplicate = vec![
+            Block::new(BlockKind::Core(CoreId(0)), Rect::new(0.0, 0.0, 1.0, 1.0)),
+            Block {
+                name: "core0".into(),
+                kind: BlockKind::Core(CoreId(1)),
+                rect: Rect::new(5.0, 5.0, 1.0, 1.0),
+            },
+        ];
+        assert!(Floorplan::new(duplicate).is_err());
+    }
+
+    #[test]
+    fn scalable_floorplans() {
+        for n in 1..=8 {
+            let plan = Floorplan::homogeneous_tiles(n).unwrap();
+            assert_eq!(plan.core_blocks().count(), n);
+            assert_eq!(plan.len(), 4 * n + 2);
+        }
+    }
+}

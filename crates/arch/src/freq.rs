@@ -1,0 +1,410 @@
+//! Frequencies, voltages and discrete DVFS operating points.
+//!
+//! Each processor in the paper's platform can independently scale its
+//! frequency and voltage (Section 3). Table 2 of the paper maps the SDR tasks
+//! onto cores running at 533 MHz and 266 MHz; the power figures of Table 1 are
+//! given at 500 MHz. This module models the discrete operating-point scale a
+//! core can choose from and the corresponding supply voltages.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::ArchError;
+
+/// A clock frequency, stored in hertz.
+///
+/// ```
+/// use tbp_arch::freq::Frequency;
+/// let f = Frequency::from_mhz(533.0);
+/// assert_eq!(f.as_mhz(), 533.0);
+/// assert!(f > Frequency::from_mhz(266.0));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Frequency(u64);
+
+impl Frequency {
+    /// Zero frequency (halted core).
+    pub const ZERO: Frequency = Frequency(0);
+
+    /// Creates a frequency from hertz.
+    pub fn from_hz(hz: u64) -> Self {
+        Frequency(hz)
+    }
+
+    /// Creates a frequency from megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Frequency((mhz * 1e6).round() as u64)
+    }
+
+    /// Value in hertz.
+    pub fn as_hz(self) -> u64 {
+        self.0
+    }
+
+    /// Value in megahertz.
+    pub fn as_mhz(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Value in gigahertz.
+    pub fn as_ghz(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// Ratio of this frequency to another (used for load scaling).
+    ///
+    /// Returns 0 when `other` is zero.
+    pub fn ratio_to(self, other: Frequency) -> f64 {
+        if other.0 == 0 {
+            0.0
+        } else {
+            self.0 as f64 / other.0 as f64
+        }
+    }
+
+    /// Number of cycles elapsed in `seconds` at this frequency.
+    pub fn cycles_in(self, seconds: f64) -> f64 {
+        self.0 as f64 * seconds
+    }
+
+    /// Time needed to execute `cycles` cycles at this frequency, in seconds.
+    ///
+    /// Returns `f64::INFINITY` for a halted (zero-frequency) core.
+    pub fn time_for_cycles(self, cycles: f64) -> f64 {
+        if self.0 == 0 {
+            f64::INFINITY
+        } else {
+            cycles / self.0 as f64
+        }
+    }
+}
+
+impl fmt::Display for Frequency {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} MHz", self.as_mhz())
+    }
+}
+
+/// A supply voltage in volts.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Voltage(f64);
+
+impl Voltage {
+    /// Creates a voltage from volts.
+    pub fn new(volts: f64) -> Self {
+        Voltage(volts)
+    }
+
+    /// Value in volts.
+    pub fn as_volts(self) -> f64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Voltage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} V", self.0)
+    }
+}
+
+/// A (frequency, voltage) pair a core can run at.
+///
+/// The dynamic power of a CMOS circuit scales as `f · V²`; the operating
+/// point carries both values so the power model can apply the scaling without
+/// guessing the voltage associated with a frequency.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Clock frequency of the point.
+    pub frequency: Frequency,
+    /// Supply voltage of the point.
+    pub voltage: Voltage,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    pub fn new(frequency: Frequency, voltage: Voltage) -> Self {
+        OperatingPoint { frequency, voltage }
+    }
+
+    /// Dynamic-power scaling factor of this point relative to a reference
+    /// point: `(f/f_ref) · (V/V_ref)²`.
+    pub fn dynamic_scale(&self, reference: &OperatingPoint) -> f64 {
+        if reference.frequency.as_hz() == 0 || reference.voltage.as_volts() == 0.0 {
+            return 0.0;
+        }
+        let f_ratio = self.frequency.ratio_to(reference.frequency);
+        let v_ratio = self.voltage.as_volts() / reference.voltage.as_volts();
+        f_ratio * v_ratio * v_ratio
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} @ {}", self.frequency, self.voltage)
+    }
+}
+
+/// An ordered, discrete set of operating points (a DVFS scale).
+///
+/// The scale is kept sorted by ascending frequency. The governor in `tbp-os`
+/// picks the smallest level whose frequency covers the core's full-speed
+/// -equivalent (FSE) load.
+///
+/// ```
+/// use tbp_arch::freq::{DvfsScale, Frequency};
+/// let scale = DvfsScale::paper_default();
+/// // Table 2 uses 533 MHz and 266 MHz levels.
+/// assert!(scale.contains(Frequency::from_mhz(533.0)));
+/// assert!(scale.contains(Frequency::from_mhz(266.0)));
+/// let level = scale.level_for_load(0.45).unwrap();
+/// assert!(level.frequency.as_mhz() >= 0.45 * scale.max_frequency().as_mhz());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DvfsScale {
+    points: Vec<OperatingPoint>,
+}
+
+impl DvfsScale {
+    /// Builds a scale from a list of operating points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidConfig`] when `points` is empty or contains
+    /// a zero-frequency level (halting is modelled separately from DVFS).
+    pub fn new(mut points: Vec<OperatingPoint>) -> Result<Self, ArchError> {
+        if points.is_empty() {
+            return Err(ArchError::InvalidConfig(
+                "DVFS scale needs at least one operating point".into(),
+            ));
+        }
+        if points.iter().any(|p| p.frequency.as_hz() == 0) {
+            return Err(ArchError::InvalidConfig(
+                "DVFS scale must not contain a 0 Hz level".into(),
+            ));
+        }
+        points.sort_by_key(|p| p.frequency);
+        points.dedup_by_key(|p| p.frequency);
+        Ok(DvfsScale { points })
+    }
+
+    /// The DVFS scale used throughout the paper's experiments: multiples of
+    /// 133 MHz, topping out at 533 MHz, with a linear voltage ramp from 0.8 V
+    /// to 1.2 V (representative 90 nm values).
+    pub fn paper_default() -> Self {
+        let levels_mhz = [133.0, 266.0, 400.0, 533.0];
+        let v_min = 0.8;
+        let v_max = 1.2;
+        let f_max = *levels_mhz.last().expect("non-empty") as f64;
+        let points = levels_mhz
+            .iter()
+            .map(|&mhz| {
+                let v = v_min + (v_max - v_min) * (mhz / f_max);
+                OperatingPoint::new(Frequency::from_mhz(mhz), Voltage::new(v))
+            })
+            .collect();
+        DvfsScale::new(points).expect("paper scale is valid")
+    }
+
+    /// All operating points in ascending frequency order.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// Number of levels in the scale.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the scale has no levels (never true after
+    /// construction, provided for completeness).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Highest frequency of the scale.
+    pub fn max_frequency(&self) -> Frequency {
+        self.points.last().expect("scale is never empty").frequency
+    }
+
+    /// Lowest frequency of the scale.
+    pub fn min_frequency(&self) -> Frequency {
+        self.points.first().expect("scale is never empty").frequency
+    }
+
+    /// Highest operating point of the scale.
+    pub fn max_point(&self) -> OperatingPoint {
+        *self.points.last().expect("scale is never empty")
+    }
+
+    /// Returns `true` when `frequency` is one of the scale's levels.
+    pub fn contains(&self, frequency: Frequency) -> bool {
+        self.points.iter().any(|p| p.frequency == frequency)
+    }
+
+    /// Returns the operating point for an exact frequency level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::UnsupportedFrequency`] when the frequency is not a
+    /// level of this scale.
+    pub fn point_for(&self, frequency: Frequency) -> Result<OperatingPoint, ArchError> {
+        self.points
+            .iter()
+            .copied()
+            .find(|p| p.frequency == frequency)
+            .ok_or(ArchError::UnsupportedFrequency(frequency.as_hz()))
+    }
+
+    /// Smallest operating point whose frequency covers `load` (a fraction of
+    /// the maximum frequency, i.e. a full-speed-equivalent utilisation).
+    ///
+    /// Loads above 1.0 saturate at the maximum level. Returns `None` only for
+    /// negative loads.
+    pub fn level_for_load(&self, load: f64) -> Option<OperatingPoint> {
+        if load < 0.0 {
+            return None;
+        }
+        let required_hz = load.min(1.0) * self.max_frequency().as_hz() as f64;
+        self.points
+            .iter()
+            .copied()
+            .find(|p| p.frequency.as_hz() as f64 + 1e-9 >= required_hz)
+            .or_else(|| self.points.last().copied())
+    }
+
+    /// The level immediately above `frequency`, if any.
+    pub fn next_above(&self, frequency: Frequency) -> Option<OperatingPoint> {
+        self.points
+            .iter()
+            .copied()
+            .find(|p| p.frequency > frequency)
+    }
+
+    /// The level immediately below `frequency`, if any.
+    pub fn next_below(&self, frequency: Frequency) -> Option<OperatingPoint> {
+        self.points
+            .iter()
+            .rev()
+            .copied()
+            .find(|p| p.frequency < frequency)
+    }
+}
+
+impl Default for DvfsScale {
+    fn default() -> Self {
+        DvfsScale::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frequency_conversions() {
+        let f = Frequency::from_mhz(533.0);
+        assert_eq!(f.as_hz(), 533_000_000);
+        assert!((f.as_mhz() - 533.0).abs() < 1e-9);
+        assert!((f.as_ghz() - 0.533).abs() < 1e-9);
+        assert_eq!(format!("{f}"), "533 MHz");
+    }
+
+    #[test]
+    fn frequency_cycles_and_time() {
+        let f = Frequency::from_mhz(100.0);
+        assert!((f.cycles_in(0.001) - 100_000.0).abs() < 1e-6);
+        assert!((f.time_for_cycles(100_000.0) - 0.001).abs() < 1e-12);
+        assert!(Frequency::ZERO.time_for_cycles(1.0).is_infinite());
+        assert_eq!(Frequency::from_mhz(266.0).ratio_to(Frequency::ZERO), 0.0);
+        assert!((Frequency::from_mhz(266.0).ratio_to(Frequency::from_mhz(533.0)) - 0.499).abs() < 1e-3);
+    }
+
+    #[test]
+    fn operating_point_dynamic_scale() {
+        let high = OperatingPoint::new(Frequency::from_mhz(500.0), Voltage::new(1.2));
+        let half = OperatingPoint::new(Frequency::from_mhz(250.0), Voltage::new(1.2));
+        assert!((half.dynamic_scale(&high) - 0.5).abs() < 1e-9);
+        let lower_v = OperatingPoint::new(Frequency::from_mhz(500.0), Voltage::new(0.6));
+        assert!((lower_v.dynamic_scale(&high) - 0.25).abs() < 1e-9);
+        let zero_ref = OperatingPoint::new(Frequency::ZERO, Voltage::new(0.0));
+        assert_eq!(high.dynamic_scale(&zero_ref), 0.0);
+        assert!(format!("{high}").contains("MHz"));
+    }
+
+    #[test]
+    fn scale_construction_rejects_bad_input() {
+        assert!(DvfsScale::new(vec![]).is_err());
+        let zero = OperatingPoint::new(Frequency::ZERO, Voltage::new(1.0));
+        assert!(DvfsScale::new(vec![zero]).is_err());
+    }
+
+    #[test]
+    fn scale_sorts_and_dedups() {
+        let p1 = OperatingPoint::new(Frequency::from_mhz(400.0), Voltage::new(1.1));
+        let p2 = OperatingPoint::new(Frequency::from_mhz(133.0), Voltage::new(0.9));
+        let p3 = OperatingPoint::new(Frequency::from_mhz(400.0), Voltage::new(1.1));
+        let scale = DvfsScale::new(vec![p1, p2, p3]).unwrap();
+        assert_eq!(scale.len(), 2);
+        assert_eq!(scale.min_frequency(), Frequency::from_mhz(133.0));
+        assert_eq!(scale.max_frequency(), Frequency::from_mhz(400.0));
+        assert!(!scale.is_empty());
+    }
+
+    #[test]
+    fn paper_default_levels() {
+        let scale = DvfsScale::paper_default();
+        assert_eq!(scale.len(), 4);
+        assert!(scale.contains(Frequency::from_mhz(533.0)));
+        assert!(scale.contains(Frequency::from_mhz(266.0)));
+        assert_eq!(scale.max_point().frequency, Frequency::from_mhz(533.0));
+        assert_eq!(DvfsScale::default(), scale);
+    }
+
+    #[test]
+    fn level_for_load_picks_smallest_sufficient_level() {
+        let scale = DvfsScale::paper_default();
+        // 0.2 load -> 133 MHz covers 133/533 = 0.2495, enough.
+        assert_eq!(
+            scale.level_for_load(0.2).unwrap().frequency,
+            Frequency::from_mhz(133.0)
+        );
+        // 0.45 load requires >= 239.85 MHz -> 266 MHz.
+        assert_eq!(
+            scale.level_for_load(0.45).unwrap().frequency,
+            Frequency::from_mhz(266.0)
+        );
+        // 0.9 -> 533 MHz.
+        assert_eq!(
+            scale.level_for_load(0.9).unwrap().frequency,
+            Frequency::from_mhz(533.0)
+        );
+        // Saturation above 1.0.
+        assert_eq!(
+            scale.level_for_load(1.7).unwrap().frequency,
+            Frequency::from_mhz(533.0)
+        );
+        assert!(scale.level_for_load(-0.1).is_none());
+    }
+
+    #[test]
+    fn neighbours_and_lookup() {
+        let scale = DvfsScale::paper_default();
+        assert_eq!(
+            scale.next_above(Frequency::from_mhz(266.0)).unwrap().frequency,
+            Frequency::from_mhz(400.0)
+        );
+        assert_eq!(
+            scale.next_below(Frequency::from_mhz(266.0)).unwrap().frequency,
+            Frequency::from_mhz(133.0)
+        );
+        assert!(scale.next_above(Frequency::from_mhz(533.0)).is_none());
+        assert!(scale.next_below(Frequency::from_mhz(133.0)).is_none());
+        assert!(scale.point_for(Frequency::from_mhz(400.0)).is_ok());
+        assert_eq!(
+            scale.point_for(Frequency::from_mhz(999.0)),
+            Err(ArchError::UnsupportedFrequency(999_000_000))
+        );
+    }
+}

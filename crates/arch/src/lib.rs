@@ -1,0 +1,69 @@
+//! # tbp-arch — MPSoC architecture model
+//!
+//! This crate models the hardware platform targeted by the DATE 2008 paper
+//! *"Thermal Balancing Policy for Streaming Computing on Multiprocessor
+//! Architectures"* (Mulas et al.): a homogeneous, non-cache-coherent MPSoC
+//! made of 32-bit RISC tiles. Each tile contains a processor, a private
+//! memory, an instruction cache and a data cache; all tiles share a single
+//! non-cacheable memory reachable through an on-chip bus (Figure 3.a of the
+//! paper).
+//!
+//! The crate provides:
+//!
+//! * [`freq`] — operating points (frequency/voltage pairs) and discrete DVFS
+//!   scales such as the 533/266 MHz levels used in the paper's Table 2.
+//! * [`power`] — the 0.09 µm component power model of Table 1 with
+//!   frequency/voltage-dependent dynamic power and temperature-dependent
+//!   leakage.
+//! * [`core`] — per-core state (operating point, utilisation, halt state).
+//! * [`cache`] / [`memory`] — cache and memory components contributing power.
+//! * [`bus`] — the shared on-chip bus with a simple contention model used to
+//!   account for migration traffic through the shared memory.
+//! * [`floorplan`] — rectangular block placement (Figure 5) consumed by the
+//!   thermal model.
+//! * [`platform`] — [`platform::MpsocPlatform`], the assembled machine and the
+//!   per-block power snapshots it produces every simulation step.
+//!
+//! # Example
+//!
+//! ```
+//! use tbp_arch::platform::{MpsocPlatform, PlatformConfig};
+//! use tbp_arch::power::CoreClass;
+//!
+//! # fn main() -> Result<(), tbp_arch::ArchError> {
+//! // The paper's 3-core streaming MPSoC.
+//! let config = PlatformConfig::paper_default();
+//! let mut platform = MpsocPlatform::new(config)?;
+//! assert_eq!(platform.num_cores(), 3);
+//! assert_eq!(platform.core(tbp_arch::core::CoreId(0))?.class(), CoreClass::Risc32Streaming);
+//!
+//! // Run one millisecond at 40 % utilisation on every core and inspect power.
+//! for id in platform.core_ids() {
+//!     platform.core_mut(id)?.set_utilization(0.4)?;
+//! }
+//! let snapshot = platform.power_snapshot(45.0);
+//! assert!(snapshot.total() > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod bus;
+pub mod cache;
+pub mod core;
+pub mod error;
+pub mod floorplan;
+pub mod freq;
+pub mod memory;
+pub mod platform;
+pub mod power;
+pub mod units;
+
+pub use crate::core::CoreId;
+pub use error::ArchError;
+pub use floorplan::Floorplan;
+pub use freq::{Frequency, OperatingPoint, Voltage};
+pub use platform::MpsocPlatform;
+pub use power::{CoreClass, PowerModel};

@@ -1,0 +1,460 @@
+//! Small physical-quantity newtypes shared across the workspace.
+//!
+//! The simulator deals with times, data sizes, powers and temperatures coming
+//! from different subsystems. Using explicit newtypes for the quantities that
+//! are easy to confuse (seconds vs. milliseconds, bytes vs. kilobytes) keeps
+//! interfaces self-documenting and prevents unit bugs.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// A duration expressed in seconds, stored as `f64`.
+///
+/// The simulation advances in steps much smaller than a second (the paper's
+/// thermal sensors refresh every 10 ms), so a floating-point representation is
+/// both convenient and precise enough.
+///
+/// ```
+/// use tbp_arch::units::Seconds;
+/// let step = Seconds::from_millis(10.0);
+/// assert_eq!(step.as_secs(), 0.01);
+/// assert_eq!((step + step).as_millis(), 20.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Seconds(f64);
+
+impl Seconds {
+    /// Zero duration.
+    pub const ZERO: Seconds = Seconds(0.0);
+
+    /// Creates a duration from seconds.
+    pub fn new(secs: f64) -> Self {
+        Seconds(secs)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Seconds(ms / 1_000.0)
+    }
+
+    /// Creates a duration from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Seconds(us / 1_000_000.0)
+    }
+
+    /// Value in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Value in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1_000.0
+    }
+
+    /// Value in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1_000_000.0
+    }
+
+    /// Returns `true` when the duration is zero or negative.
+    pub fn is_zero(self) -> bool {
+        self.0 <= 0.0
+    }
+
+    /// Saturating subtraction that never goes below zero.
+    pub fn saturating_sub(self, rhs: Seconds) -> Seconds {
+        Seconds((self.0 - rhs.0).max(0.0))
+    }
+
+    /// Smaller of two durations.
+    pub fn min(self, other: Seconds) -> Seconds {
+        if self.0 <= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Larger of two durations.
+    pub fn max(self, other: Seconds) -> Seconds {
+        if self.0 >= other.0 {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl fmt::Display for Seconds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1.0 {
+            write!(f, "{:.3} s", self.0)
+        } else {
+            write!(f, "{:.3} ms", self.0 * 1e3)
+        }
+    }
+}
+
+impl Add for Seconds {
+    type Output = Seconds;
+    fn add(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Seconds {
+    fn add_assign(&mut self, rhs: Seconds) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Seconds {
+    type Output = Seconds;
+    fn sub(self, rhs: Seconds) -> Seconds {
+        Seconds(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for Seconds {
+    fn sub_assign(&mut self, rhs: Seconds) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<f64> for Seconds {
+    type Output = Seconds;
+    fn mul(self, rhs: f64) -> Seconds {
+        Seconds(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for Seconds {
+    type Output = Seconds;
+    fn div(self, rhs: f64) -> Seconds {
+        Seconds(self.0 / rhs)
+    }
+}
+
+impl Div<Seconds> for Seconds {
+    type Output = f64;
+    fn div(self, rhs: Seconds) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl Sum for Seconds {
+    fn sum<I: Iterator<Item = Seconds>>(iter: I) -> Seconds {
+        Seconds(iter.map(|s| s.0).sum())
+    }
+}
+
+/// A data size in bytes.
+///
+/// Migration traffic in the paper is reported in kilobytes (64 kB per migrated
+/// task context); the cost models in [`tbp-os`](https://docs.rs) consume this
+/// type.
+///
+/// ```
+/// use tbp_arch::units::Bytes;
+/// let context = Bytes::from_kib(64);
+/// assert_eq!(context.as_u64(), 65_536);
+/// assert_eq!(context.as_kib(), 64.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct Bytes(u64);
+
+impl Bytes {
+    /// Zero bytes.
+    pub const ZERO: Bytes = Bytes(0);
+
+    /// Creates a size from a raw byte count.
+    pub const fn new(bytes: u64) -> Self {
+        Bytes(bytes)
+    }
+
+    /// Creates a size from kibibytes (1024 bytes).
+    pub fn from_kib(kib: u64) -> Self {
+        Bytes(kib * 1024)
+    }
+
+    /// Creates a size from mebibytes.
+    pub fn from_mib(mib: u64) -> Self {
+        Bytes(mib * 1024 * 1024)
+    }
+
+    /// Raw byte count.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Size in kibibytes as a float.
+    pub fn as_kib(self) -> f64 {
+        self.0 as f64 / 1024.0
+    }
+
+    /// Size in mebibytes as a float.
+    pub fn as_mib(self) -> f64 {
+        self.0 as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1024 * 1024 {
+            write!(f, "{:.1} MiB", self.as_mib())
+        } else if self.0 >= 1024 {
+            write!(f, "{:.1} KiB", self.as_kib())
+        } else {
+            write!(f, "{} B", self.0)
+        }
+    }
+}
+
+impl Add for Bytes {
+    type Output = Bytes;
+    fn add(self, rhs: Bytes) -> Bytes {
+        Bytes(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Bytes {
+    fn add_assign(&mut self, rhs: Bytes) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sum for Bytes {
+    fn sum<I: Iterator<Item = Bytes>>(iter: I) -> Bytes {
+        Bytes(iter.map(|b| b.0).sum())
+    }
+}
+
+/// Power in watts.
+///
+/// ```
+/// use tbp_arch::units::Watts;
+/// let cache = Watts::from_milli(43.0); // D-cache max power from Table 1
+/// assert!((cache.as_watts() - 0.043).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Watts(f64);
+
+impl Watts {
+    /// Zero power.
+    pub const ZERO: Watts = Watts(0.0);
+
+    /// Creates a power value in watts.
+    pub fn new(watts: f64) -> Self {
+        Watts(watts)
+    }
+
+    /// Creates a power value from milliwatts.
+    pub fn from_milli(mw: f64) -> Self {
+        Watts(mw / 1_000.0)
+    }
+
+    /// Value in watts.
+    pub fn as_watts(self) -> f64 {
+        self.0
+    }
+
+    /// Value in milliwatts.
+    pub fn as_milliwatts(self) -> f64 {
+        self.0 * 1_000.0
+    }
+}
+
+impl fmt::Display for Watts {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1.0 {
+            write!(f, "{:.1} mW", self.0 * 1e3)
+        } else {
+            write!(f, "{:.3} W", self.0)
+        }
+    }
+}
+
+impl Add for Watts {
+    type Output = Watts;
+    fn add(self, rhs: Watts) -> Watts {
+        Watts(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for Watts {
+    fn add_assign(&mut self, rhs: Watts) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for Watts {
+    type Output = Watts;
+    fn sub(self, rhs: Watts) -> Watts {
+        Watts(self.0 - rhs.0)
+    }
+}
+
+impl Mul<f64> for Watts {
+    type Output = Watts;
+    fn mul(self, rhs: f64) -> Watts {
+        Watts(self.0 * rhs)
+    }
+}
+
+impl Sum for Watts {
+    fn sum<I: Iterator<Item = Watts>>(iter: I) -> Watts {
+        Watts(iter.map(|w| w.0).sum())
+    }
+}
+
+/// Temperature in degrees Celsius.
+///
+/// All thermal quantities in the paper (thresholds, gradients, panic limits)
+/// are expressed in °C, so the simulator uses Celsius throughout and converts
+/// to Kelvin only inside the RC solver where absolute values matter.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, Serialize, Deserialize)]
+pub struct Celsius(f64);
+
+impl Celsius {
+    /// Creates a temperature from degrees Celsius.
+    pub fn new(deg: f64) -> Self {
+        Celsius(deg)
+    }
+
+    /// The typical ambient temperature used by HotSpot-style models (45 °C).
+    pub fn ambient() -> Self {
+        Celsius(45.0)
+    }
+
+    /// Value in degrees Celsius.
+    pub fn as_celsius(self) -> f64 {
+        self.0
+    }
+
+    /// Value in Kelvin.
+    pub fn as_kelvin(self) -> f64 {
+        self.0 + 273.15
+    }
+
+    /// Creates a temperature from Kelvin.
+    pub fn from_kelvin(k: f64) -> Self {
+        Celsius(k - 273.15)
+    }
+}
+
+impl fmt::Display for Celsius {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} °C", self.0)
+    }
+}
+
+impl Add<f64> for Celsius {
+    type Output = Celsius;
+    fn add(self, rhs: f64) -> Celsius {
+        Celsius(self.0 + rhs)
+    }
+}
+
+impl Sub for Celsius {
+    type Output = f64;
+    fn sub(self, rhs: Celsius) -> f64 {
+        self.0 - rhs.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_conversions_round_trip() {
+        let s = Seconds::from_millis(10.0);
+        assert!((s.as_secs() - 0.01).abs() < 1e-12);
+        assert!((s.as_millis() - 10.0).abs() < 1e-12);
+        assert!((Seconds::from_micros(500.0).as_millis() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seconds_arithmetic() {
+        let a = Seconds::new(1.5);
+        let b = Seconds::new(0.5);
+        assert_eq!((a + b).as_secs(), 2.0);
+        assert_eq!((a - b).as_secs(), 1.0);
+        assert_eq!((a * 2.0).as_secs(), 3.0);
+        assert_eq!((a / 3.0).as_secs(), 0.5);
+        assert_eq!(a / b, 3.0);
+        assert_eq!(b.saturating_sub(a), Seconds::ZERO);
+        assert_eq!(a.min(b), b);
+        assert_eq!(a.max(b), a);
+        let mut c = a;
+        c += b;
+        assert_eq!(c.as_secs(), 2.0);
+        c -= b;
+        assert_eq!(c.as_secs(), 1.5);
+        let total: Seconds = [a, b].into_iter().sum();
+        assert_eq!(total.as_secs(), 2.0);
+    }
+
+    #[test]
+    fn seconds_zero_detection() {
+        assert!(Seconds::ZERO.is_zero());
+        assert!(Seconds::new(-1.0).is_zero());
+        assert!(!Seconds::new(0.1).is_zero());
+    }
+
+    #[test]
+    fn bytes_conversions() {
+        assert_eq!(Bytes::from_kib(64).as_u64(), 65_536);
+        assert_eq!(Bytes::from_mib(1).as_u64(), 1_048_576);
+        assert!((Bytes::from_kib(64).as_kib() - 64.0).abs() < 1e-12);
+        assert!((Bytes::from_mib(2).as_mib() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bytes_arithmetic_and_display() {
+        let a = Bytes::from_kib(64);
+        let b = Bytes::new(512);
+        assert_eq!((a + b).as_u64(), 66_048);
+        let total: Bytes = [a, b].into_iter().sum();
+        assert_eq!(total.as_u64(), 66_048);
+        assert_eq!(Bytes::new(u64::MAX).saturating_add(a), Bytes::new(u64::MAX));
+        assert_eq!(format!("{}", Bytes::new(100)), "100 B");
+        assert_eq!(format!("{}", Bytes::from_kib(64)), "64.0 KiB");
+        assert_eq!(format!("{}", Bytes::from_mib(3)), "3.0 MiB");
+    }
+
+    #[test]
+    fn watts_conversions_and_display() {
+        let p = Watts::from_milli(43.0);
+        assert!((p.as_watts() - 0.043).abs() < 1e-12);
+        assert!((p.as_milliwatts() - 43.0).abs() < 1e-9);
+        assert_eq!(format!("{}", Watts::new(0.5)), "500.0 mW");
+        assert_eq!(format!("{}", Watts::new(1.25)), "1.250 W");
+        let total: Watts = [Watts::new(0.5), Watts::new(0.25)].into_iter().sum();
+        assert!((total.as_watts() - 0.75).abs() < 1e-12);
+        assert!(((Watts::new(1.0) - Watts::new(0.4)).as_watts() - 0.6).abs() < 1e-12);
+        assert!(((Watts::new(2.0) * 0.5).as_watts() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn celsius_kelvin_round_trip() {
+        let t = Celsius::new(45.0);
+        assert!((t.as_kelvin() - 318.15).abs() < 1e-9);
+        let back = Celsius::from_kelvin(t.as_kelvin());
+        assert!((back.as_celsius() - 45.0).abs() < 1e-9);
+        assert!((Celsius::ambient().as_celsius() - 45.0).abs() < 1e-12);
+        assert!(((t + 3.0).as_celsius() - 48.0).abs() < 1e-12);
+        assert!((Celsius::new(50.0) - Celsius::new(45.0) - 5.0).abs() < 1e-12);
+        assert!(format!("{t}").contains("°C"));
+    }
+}

@@ -1,0 +1,110 @@
+//! Property-based tests of the architecture model's core data structures.
+
+use proptest::prelude::*;
+
+use tbp_arch::core::CoreId;
+use tbp_arch::floorplan::Floorplan;
+use tbp_arch::freq::{DvfsScale, Frequency};
+use tbp_arch::platform::{MpsocPlatform, PlatformConfig};
+use tbp_arch::power::{CoreClass, PowerModel};
+use tbp_arch::units::{Bytes, Celsius, Seconds};
+
+proptest! {
+    /// The DVFS scale always returns a level that covers the requested load
+    /// (up to saturation at the maximum frequency).
+    #[test]
+    fn dvfs_levels_cover_the_load(load in 0.0f64..1.5) {
+        let scale = DvfsScale::paper_default();
+        let point = scale.level_for_load(load).unwrap();
+        let covered = point.frequency.as_hz() as f64 / scale.max_frequency().as_hz() as f64;
+        prop_assert!(covered + 1e-9 >= load.min(1.0) || point.frequency == scale.max_frequency());
+        prop_assert!(scale.contains(point.frequency));
+    }
+
+    /// Dynamic power is monotone in utilisation and in the operating point,
+    /// and total power never drops below leakage.
+    #[test]
+    fn power_model_is_monotone(util_a in 0.0f64..=1.0, util_b in 0.0f64..=1.0, t in 30.0f64..110.0) {
+        let model = PowerModel::new();
+        let scale = DvfsScale::paper_default();
+        let point = scale.max_point();
+        let lo = util_a.min(util_b);
+        let hi = util_a.max(util_b);
+        let p_lo = model.core_power(CoreClass::Risc32Streaming, point, lo, Celsius::new(t)).unwrap();
+        let p_hi = model.core_power(CoreClass::Risc32Streaming, point, hi, Celsius::new(t)).unwrap();
+        prop_assert!(p_hi.as_watts() + 1e-12 >= p_lo.as_watts());
+        let leak = model.leakage_power(CoreClass::Risc32Streaming.max_power(), point.voltage, Celsius::new(t));
+        prop_assert!(p_lo.as_watts() + 1e-12 >= leak.as_watts());
+    }
+
+    /// Any homogeneous floorplan is well formed: blocks never overlap, every
+    /// adjacency has a positive shared edge, and each core block exists.
+    #[test]
+    fn floorplans_are_well_formed(n in 1usize..10) {
+        let plan = Floorplan::homogeneous_tiles(n).unwrap();
+        prop_assert_eq!(plan.core_ids().len(), n);
+        for (a, b, shared) in plan.adjacencies() {
+            prop_assert!(shared > 0.0);
+            prop_assert!(a != b);
+            prop_assert!(!plan.blocks()[a].rect.overlaps(&plan.blocks()[b].rect));
+        }
+        for id in plan.core_ids() {
+            prop_assert!(plan.core_block_index(id).is_ok());
+        }
+        prop_assert!(plan.total_area_mm2() > 0.0);
+    }
+
+    /// The platform's power snapshot is finite, positive in total, and grows
+    /// (or stays equal) when any core's utilisation grows.
+    #[test]
+    fn platform_power_snapshot_is_sane(utils in proptest::collection::vec(0.0f64..=1.0, 3)) {
+        let mut platform = MpsocPlatform::new(PlatformConfig::paper_default()).unwrap();
+        for (i, &u) in utils.iter().enumerate() {
+            platform.core_mut(CoreId(i)).unwrap().set_utilization(u).unwrap();
+        }
+        let snapshot = platform.power_snapshot(60.0);
+        prop_assert!(snapshot.total().is_finite());
+        prop_assert!(snapshot.total() > 0.0);
+        for w in snapshot.per_block() {
+            prop_assert!(w.as_watts() >= 0.0);
+        }
+        // Raising core 0 to full utilisation cannot decrease total power.
+        platform.core_mut(CoreId(0)).unwrap().set_utilization(1.0).unwrap();
+        let raised = platform.power_snapshot(60.0);
+        prop_assert!(raised.total() + 1e-12 >= snapshot.total());
+    }
+
+    /// The bus conserves bytes: served + deferred equals what was offered,
+    /// and repeated service eventually drains any finite backlog.
+    #[test]
+    fn bus_conserves_traffic(kib in 1u64..4096) {
+        use tbp_arch::bus::{Bus, BusConfig};
+        let mut bus = Bus::new(BusConfig::paper_default()).unwrap();
+        let offered = Bytes::from_kib(kib);
+        bus.offer(offered);
+        let window = bus.serve(Seconds::from_millis(1.0));
+        prop_assert_eq!(
+            window.bytes_served.as_u64() + window.bytes_deferred.as_u64(),
+            offered.as_u64()
+        );
+        let mut remaining = window.bytes_deferred;
+        for _ in 0..10_000 {
+            if remaining == Bytes::ZERO {
+                break;
+            }
+            remaining = bus.serve(Seconds::from_millis(1.0)).bytes_deferred;
+        }
+        prop_assert_eq!(remaining, Bytes::ZERO);
+        prop_assert_eq!(bus.total_served(), offered);
+    }
+
+    /// Frequency arithmetic round-trips: time for N cycles at frequency f,
+    /// multiplied back, recovers N.
+    #[test]
+    fn frequency_cycle_round_trip(mhz in 1.0f64..2000.0, cycles in 1.0f64..1e9) {
+        let f = Frequency::from_mhz(mhz);
+        let time = f.time_for_cycles(cycles);
+        let back = f.cycles_in(time);
+        prop_assert!((back - cycles).abs() / cycles < 1e-9);
+    }
+}

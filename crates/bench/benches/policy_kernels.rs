@@ -1,0 +1,80 @@
+//! Criterion benchmarks of the policy decision kernels.
+//!
+//! The paper stresses that its balancing algorithm is *lightweight*: the
+//! decision runs on every 10 ms sensor refresh, so it must cost far less than
+//! the sensor period. These benches measure a single `decide` invocation of
+//! each policy on a representative snapshot.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tbp_arch::core::CoreId;
+use tbp_arch::freq::{DvfsScale, Frequency};
+use tbp_arch::units::{Bytes, Celsius, Seconds};
+use tbp_core::policy::{
+    build_input, CoreSnapshot, EnergyBalancingPolicy, Policy, PolicyInput, StopGoPolicy,
+    TaskSnapshot, ThermalBalancingConfig, ThermalBalancingPolicy,
+};
+use tbp_os::task::TaskId;
+
+/// Builds a snapshot with `num_cores` cores carrying `tasks_per_core` tasks
+/// each, with an imbalanced temperature profile so the policies have work to
+/// do.
+fn snapshot(num_cores: usize, tasks_per_core: usize) -> PolicyInput {
+    let mut cores = Vec::new();
+    let mut next_task = 0;
+    for i in 0..num_cores {
+        let tasks: Vec<TaskSnapshot> = (0..tasks_per_core)
+            .map(|j| {
+                let id = TaskId(next_task + j);
+                TaskSnapshot {
+                    id,
+                    fse_load: 0.08 + 0.03 * (j as f64),
+                    context_size: Bytes::from_kib(64 + 32 * j as u64),
+                    migratable: true,
+                    migrating: false,
+                }
+            })
+            .collect();
+        next_task += tasks_per_core;
+        let fse_load = tasks.iter().map(|t| t.fse_load).sum();
+        cores.push(CoreSnapshot {
+            id: CoreId(i),
+            temperature: Celsius::new(58.0 + 3.0 * i as f64),
+            frequency: Frequency::from_mhz(if i % 2 == 0 { 533.0 } else { 266.0 }),
+            running: true,
+            fse_load,
+            tasks,
+        });
+    }
+    build_input(Seconds::new(1.0), cores, 0)
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("policy_decide");
+    for &(cores, tasks) in &[(3usize, 2usize), (4, 4), (8, 8)] {
+        let input = snapshot(cores, tasks);
+        group.bench_function(format!("thermal_balancing/{cores}c_{tasks}t"), |b| {
+            let mut policy = ThermalBalancingPolicy::new(
+                DvfsScale::paper_default(),
+                ThermalBalancingConfig::paper_default().with_threshold(1.0),
+            );
+            b.iter(|| {
+                policy.reset();
+                black_box(policy.decide(black_box(&input)))
+            });
+        });
+        group.bench_function(format!("stop_and_go/{cores}c_{tasks}t"), |b| {
+            let mut policy = StopGoPolicy::new(1.0);
+            b.iter(|| black_box(policy.decide(black_box(&input))));
+        });
+        group.bench_function(format!("energy_balancing/{cores}c_{tasks}t"), |b| {
+            let mut policy = EnergyBalancingPolicy::new();
+            b.iter(|| black_box(policy.decide(black_box(&input))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

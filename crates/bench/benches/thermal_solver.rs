@@ -1,0 +1,63 @@
+//! Criterion benchmarks of the RC thermal model.
+//!
+//! Measures the cost of one 10 ms thermal step (the sensor period of the
+//! emulation platform) for both integration schemes and both packages, and
+//! the steady-state solver used for calibration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use tbp_arch::floorplan::Floorplan;
+use tbp_arch::units::{Seconds, Watts};
+use tbp_thermal::package::Package;
+use tbp_thermal::solver::SolverKind;
+use tbp_thermal::ThermalModel;
+
+fn power_vector(floorplan: &Floorplan) -> Vec<Watts> {
+    floorplan
+        .blocks()
+        .iter()
+        .enumerate()
+        .map(|(i, _)| Watts::new(0.02 + 0.03 * (i % 5) as f64))
+        .collect()
+}
+
+fn bench_thermal_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal_step_10ms");
+    for cores in [3usize, 8] {
+        let floorplan = Floorplan::homogeneous_tiles(cores).expect("valid floorplan");
+        let power = power_vector(&floorplan);
+        for (label, solver) in [
+            ("euler", SolverKind::ForwardEuler),
+            ("rk4", SolverKind::RungeKutta4),
+        ] {
+            for (pkg_label, package) in [
+                ("mobile", Package::mobile_embedded()),
+                ("hiperf", Package::high_performance()),
+            ] {
+                let mut model =
+                    ThermalModel::with_solver(&floorplan, package, solver).expect("model builds");
+                group.bench_function(format!("{cores}tiles/{pkg_label}/{label}"), |b| {
+                    b.iter(|| {
+                        model
+                            .step(black_box(&power), Seconds::from_millis(10.0))
+                            .expect("step succeeds")
+                    });
+                });
+            }
+        }
+    }
+    group.finish();
+}
+
+fn bench_steady_state(c: &mut Criterion) {
+    let floorplan = Floorplan::paper_3core();
+    let power = power_vector(&floorplan);
+    let model = ThermalModel::new(&floorplan, Package::mobile_embedded()).expect("model builds");
+    c.bench_function("thermal_steady_state_3core", |b| {
+        b.iter(|| black_box(model.steady_state(black_box(&power)).expect("steady state")));
+    });
+}
+
+criterion_group!(benches, bench_thermal_step, bench_steady_state);
+criterion_main!(benches);

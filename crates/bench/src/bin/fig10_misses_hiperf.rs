@@ -1,0 +1,22 @@
+//! Figure 10: frame deadline misses vs. threshold for the three policies on
+//! the high-performance package.
+//!
+//! Expected shape (paper): Stop&Go trades its good temperature deviation for
+//! a large number of missed frames; the thermal balancing policy keeps misses
+//! near zero.
+
+use tbp_core::experiments::run_threshold_sweep;
+use tbp_thermal::package::PackageKind;
+
+fn main() {
+    let duration = tbp_bench::measured_duration();
+    let points = tbp_bench::timed("fig10", || {
+        run_threshold_sweep(PackageKind::HighPerformance, duration).expect("sweep runs")
+    });
+    let rows = tbp_bench::sweep_table(&points, |p| p.summary.qos.deadline_misses as f64);
+    tbp_bench::print_table(
+        "Figure 10 — deadline misses vs threshold (high-performance package)",
+        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &rows,
+    );
+}

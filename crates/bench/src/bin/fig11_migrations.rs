@@ -1,0 +1,41 @@
+//! Figure 11: migrations per second performed by the thermal balancing
+//! policy, for both packages, as a function of the threshold.
+//!
+//! Expected shape (paper): the migration rate decreases as the threshold
+//! grows and is higher for the high-performance package; at roughly three
+//! migrations per second and 64 kB per migration the overhead is about
+//! 192 kB/s of shared-memory traffic, i.e. negligible.
+
+use tbp_core::experiments::run_migration_rate_sweep;
+
+fn main() {
+    let duration = tbp_bench::measured_duration();
+    let points = tbp_bench::timed("fig11", || {
+        run_migration_rate_sweep(duration).expect("sweep runs")
+    });
+    let half = points.len() / 2;
+    let rows: Vec<Vec<String>> = (0..half)
+        .map(|i| {
+            let mobile = &points[i].summary;
+            let hiperf = &points[half + i].summary;
+            vec![
+                format!("{:.0}", points[i].threshold),
+                format!("{:.2}", mobile.migrations_per_second()),
+                format!("{:.0}", mobile.migrated_kib_per_second()),
+                format!("{:.2}", hiperf.migrations_per_second()),
+                format!("{:.0}", hiperf.migrated_kib_per_second()),
+            ]
+        })
+        .collect();
+    tbp_bench::print_table(
+        "Figure 11 — migrations per second vs threshold (thermal balancing policy)",
+        &[
+            "threshold [°C]",
+            "mobile [1/s]",
+            "mobile [KiB/s]",
+            "high-perf [1/s]",
+            "high-perf [KiB/s]",
+        ],
+        &rows,
+    );
+}

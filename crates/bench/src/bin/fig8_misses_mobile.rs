@@ -1,0 +1,29 @@
+//! Figure 8: frame deadline misses vs. threshold for the three policies on
+//! the mobile embedded package.
+//!
+//! Expected shape (paper): the thermal balancing policy misses few frames (and
+//! only at the smallest threshold), Stop&Go misses many because halted cores
+//! starve the pipeline, energy balancing misses none (it never perturbs the
+//! schedule).
+
+use tbp_core::experiments::run_threshold_sweep;
+use tbp_thermal::package::PackageKind;
+
+fn main() {
+    let duration = tbp_bench::measured_duration();
+    let points = tbp_bench::timed("fig8", || {
+        run_threshold_sweep(PackageKind::MobileEmbedded, duration).expect("sweep runs")
+    });
+    let rows = tbp_bench::sweep_table(&points, |p| p.summary.qos.deadline_misses as f64);
+    tbp_bench::print_table(
+        "Figure 8 — deadline misses vs threshold (mobile embedded package)",
+        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &rows,
+    );
+    let rows = tbp_bench::sweep_table(&points, |p| p.summary.qos.miss_rate() * 100.0);
+    tbp_bench::print_table(
+        "Deadline miss rate [%]",
+        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &rows,
+    );
+}

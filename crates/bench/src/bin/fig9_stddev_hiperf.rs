@@ -1,0 +1,23 @@
+//! Figure 9: temperature standard deviation vs. threshold for the three
+//! policies on the high-performance package (6× faster thermal dynamics).
+//!
+//! Expected shape (paper): energy balancing performs very poorly; the
+//! modified Stop&Go achieves a lower deviation than the thermal balancing
+//! policy (it pins the hot core harder) but at the price of many more
+//! deadline misses (Figure 10).
+
+use tbp_core::experiments::run_threshold_sweep;
+use tbp_thermal::package::PackageKind;
+
+fn main() {
+    let duration = tbp_bench::measured_duration();
+    let points = tbp_bench::timed("fig9", || {
+        run_threshold_sweep(PackageKind::HighPerformance, duration).expect("sweep runs")
+    });
+    let rows = tbp_bench::sweep_table(&points, |p| p.summary.mean_spatial_std_dev());
+    tbp_bench::print_table(
+        "Figure 9 — temperature σ [°C] vs threshold (high-performance package)",
+        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &rows,
+    );
+}

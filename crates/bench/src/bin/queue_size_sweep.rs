@@ -1,0 +1,58 @@
+//! Narrative experiment N3: minimum queue size sustaining thermal balancing.
+//!
+//! The paper observes that the average queue level does not change because of
+//! migration and that a queue size of 11 frames was sufficient to sustain the
+//! policy without QoS impact. This sweep varies the inter-task queue capacity
+//! under the most aggressive configuration (1 °C threshold, high-performance
+//! package) and reports misses and the minimum queue level reached.
+
+use tbp_arch::units::Seconds;
+use tbp_core::sim::builder::Workload;
+use tbp_core::sim::{SimulationBuilder, SimulationConfig};
+use tbp_streaming::pipeline::PipelineConfig;
+use tbp_streaming::sdr::SdrBenchmark;
+use tbp_thermal::package::Package;
+
+fn main() {
+    let duration = tbp_bench::measured_duration();
+    let mut rows = Vec::new();
+    for queue_capacity in [1usize, 2, 3, 4, 6, 8, 11, 16, 24] {
+        let sdr = SdrBenchmark::paper_default().with_pipeline_config(PipelineConfig {
+            queue_capacity,
+            prefill: queue_capacity / 2,
+            ..PipelineConfig::paper_default()
+        });
+        let mut sim = SimulationBuilder::new()
+            .with_package(Package::high_performance())
+            .with_workload(Workload::Sdr(sdr))
+            .with_threshold(1.0)
+            .with_config(SimulationConfig {
+                warmup: Seconds::new(3.0),
+                metrics_threshold: 1.0,
+                ..SimulationConfig::paper_default()
+            })
+            .build()
+            .expect("simulation builds");
+        sim.run_for(Seconds::new(3.0) + duration).expect("simulation runs");
+        let summary = sim.summary();
+        let mean_level = sim.pipeline().map(|p| p.mean_queue_level()).unwrap_or(0.0);
+        rows.push(vec![
+            format!("{queue_capacity}"),
+            format!("{}", summary.qos.deadline_misses),
+            format!("{}", summary.qos.min_queue_level),
+            format!("{mean_level:.1}"),
+            format!("{}", summary.migration.migrations),
+        ]);
+    }
+    tbp_bench::print_table(
+        "Queue capacity sweep (thermal balancing, 1 °C threshold, high-performance package)",
+        &[
+            "queue size [frames]",
+            "deadline misses",
+            "min queue level",
+            "mean queue level",
+            "migrations",
+        ],
+        &rows,
+    );
+}

@@ -1,0 +1,285 @@
+//! Runs every experiment of the paper's evaluation section in sequence and
+//! prints the regenerated tables/figures. `EXPERIMENTS.md` records the output
+//! of this binary next to the paper's reported values.
+//!
+//! Run with `TBP_DURATION=<seconds>` to shorten or lengthen the measured
+//! window (default 20 s of simulated time per configuration).
+
+use tbp_arch::core::CoreId;
+use tbp_arch::freq::{Frequency, OperatingPoint, Voltage};
+use tbp_arch::power::{ComponentKind, CoreClass, PowerModel};
+use tbp_arch::units::{Bytes, Celsius, Seconds};
+use tbp_core::experiments::{
+    build_sdr_simulation, run_migration_rate_sweep, run_threshold_sweep, ExperimentConfig,
+    PolicyKind,
+};
+use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
+use tbp_streaming::pipeline::PipelineConfig;
+use tbp_streaming::sdr::SdrBenchmark;
+use tbp_thermal::package::PackageKind;
+
+fn main() {
+    let duration = tbp_bench::measured_duration();
+    table1_power();
+    table2_mapping();
+    fig2_migration_cost();
+    let mobile = tbp_bench::timed("mobile sweep", || {
+        run_threshold_sweep(PackageKind::MobileEmbedded, duration).expect("mobile sweep")
+    });
+    let hiperf = tbp_bench::timed("high-performance sweep", || {
+        run_threshold_sweep(PackageKind::HighPerformance, duration).expect("hi-perf sweep")
+    });
+    print_sweep_figures(&mobile, "mobile embedded", 7, 8);
+    print_sweep_figures(&hiperf, "high-performance", 9, 10);
+    fig11_migrations(duration);
+    warmup_and_transient();
+    queue_size_sweep(duration);
+}
+
+fn table1_power() {
+    let model = PowerModel::new();
+    let reference = OperatingPoint::new(Frequency::from_mhz(500.0), Voltage::new(1.2));
+    let t = Celsius::new(60.0);
+    let rows = vec![
+        (
+            "RISC32-streaming (Conf1)".to_string(),
+            model
+                .core_power(CoreClass::Risc32Streaming, reference, 1.0, t)
+                .expect("valid utilization"),
+        ),
+        (
+            "RISC32-ARM11 (Conf2)".to_string(),
+            model
+                .core_power(CoreClass::Risc32Arm11, reference, 1.0, t)
+                .expect("valid utilization"),
+        ),
+        (
+            "DCache 8kB/2way".to_string(),
+            model
+                .component_power(ComponentKind::DCache, reference, 1.0, t)
+                .expect("valid utilization"),
+        ),
+        (
+            "ICache 8kB/DM".to_string(),
+            model
+                .component_power(ComponentKind::ICache, reference, 1.0, t)
+                .expect("valid utilization"),
+        ),
+        (
+            "Memory 32kB".to_string(),
+            model
+                .component_power(ComponentKind::Memory32k, reference, 1.0, t)
+                .expect("valid utilization"),
+        ),
+    ];
+    let rows: Vec<Vec<String>> = rows
+        .into_iter()
+        .map(|(name, power)| vec![name, format!("{power}")])
+        .collect();
+    tbp_bench::print_table(
+        "Table 1 — component power at 500 MHz (0.09 µm)",
+        &["component", "max power"],
+        &rows,
+    );
+}
+
+fn table2_mapping() {
+    let sdr = SdrBenchmark::paper_default();
+    let rows: Vec<Vec<String>> = sdr
+        .mapping()
+        .iter()
+        .map(|entry| {
+            vec![
+                format!("Core {} ({:.0} MHz)", entry.core.index() + 1, entry.core_frequency_mhz),
+                entry.name.clone(),
+                format!("{:.1}", entry.load_percent),
+                format!("{:.3}", entry.fse_load()),
+            ]
+        })
+        .collect();
+    tbp_bench::print_table(
+        "Table 2 — SDR application mapping",
+        &["core / freq.", "task", "load [%]", "FSE load"],
+        &rows,
+    );
+}
+
+fn fig2_migration_cost() {
+    let model = MigrationCostModel::paper_default();
+    let sizes_kib = [64u64, 128, 192, 256, 384, 512, 768, 1024];
+    let rows: Vec<Vec<String>> = sizes_kib
+        .iter()
+        .map(|&kib| {
+            let size = Bytes::from_kib(kib);
+            let repl = model.cycles(MigrationStrategy::TaskReplication, size);
+            let recr = model.cycles(MigrationStrategy::TaskRecreation, size);
+            vec![
+                format!("{kib}"),
+                format!("{:.0}", repl / 1e3),
+                format!("{:.0}", recr / 1e3),
+                format!("{:.2}", recr / repl),
+            ]
+        })
+        .collect();
+    tbp_bench::print_table(
+        "Figure 2 — migration cost vs task size (kcycles)",
+        &["task size [KiB]", "replication", "re-creation", "ratio"],
+        &rows,
+    );
+}
+
+fn print_sweep_figures(
+    points: &[tbp_core::experiments::SweepPoint],
+    package: &str,
+    sigma_fig: u32,
+    miss_fig: u32,
+) {
+    let sigma_rows = tbp_bench::sweep_table(points, |p| p.summary.mean_spatial_std_dev());
+    tbp_bench::print_table(
+        &format!("Figure {sigma_fig} — temperature σ [°C] vs threshold ({package} package)"),
+        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &sigma_rows,
+    );
+    let miss_rows = tbp_bench::sweep_table(points, |p| p.summary.qos.deadline_misses as f64);
+    tbp_bench::print_table(
+        &format!("Figure {miss_fig} — deadline misses vs threshold ({package} package)"),
+        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &miss_rows,
+    );
+}
+
+fn fig11_migrations(duration: Seconds) {
+    let points = tbp_bench::timed("fig11", || {
+        run_migration_rate_sweep(duration).expect("fig11 sweep")
+    });
+    // First half is mobile, second half high-performance (see experiments.rs).
+    let half = points.len() / 2;
+    let rows: Vec<Vec<String>> = (0..half)
+        .map(|i| {
+            vec![
+                format!("{:.0}", points[i].threshold),
+                format!("{:.2}", points[i].summary.migrations_per_second()),
+                format!("{:.2}", points[half + i].summary.migrations_per_second()),
+                format!("{:.0}", points[half + i].summary.migrated_kib_per_second()),
+            ]
+        })
+        .collect();
+    tbp_bench::print_table(
+        "Figure 11 — migrations per second vs threshold",
+        &[
+            "threshold [°C]",
+            "mobile [1/s]",
+            "high-perf [1/s]",
+            "high-perf [KiB/s]",
+        ],
+        &rows,
+    );
+}
+
+fn warmup_and_transient() {
+    // N1: warm-up gradient.
+    let warm_cfg = ExperimentConfig {
+        package: PackageKind::MobileEmbedded,
+        policy: PolicyKind::DvfsOnly,
+        threshold: 3.0,
+        warmup: Seconds::new(0.0),
+        duration: Seconds::new(12.5),
+    };
+    let mut sim = build_sdr_simulation(&warm_cfg).expect("warm-up sim builds");
+    sim.run_for(Seconds::new(12.5)).expect("warm-up runs");
+    let temps = sim.core_temperatures();
+    let spread = temps.iter().map(|c| c.as_celsius()).fold(f64::MIN, f64::max)
+        - temps.iter().map(|c| c.as_celsius()).fold(f64::MAX, f64::min);
+    println!("\n== Narrative N1 — DVFS-only warm-up (12.5 s, mobile package) ==");
+    println!(
+        "core temperatures: {:.1} / {:.1} / {:.1} °C, gradient {spread:.1} °C (paper: ~10 °C)",
+        temps[0].as_celsius(),
+        temps[1].as_celsius(),
+        temps[2].as_celsius()
+    );
+
+    // N2: balancing transient after enabling the policy at 3 °C.
+    let cfg = ExperimentConfig {
+        package: PackageKind::MobileEmbedded,
+        policy: PolicyKind::ThermalBalancing,
+        threshold: 3.0,
+        warmup: Seconds::new(12.5),
+        duration: Seconds::new(10.0),
+    };
+    let mut sim = build_sdr_simulation(&cfg).expect("transient sim builds");
+    sim.run_for(Seconds::new(12.5)).expect("warm-up runs");
+    let spread_before = spread_of(&sim.core_temperatures());
+    // Find how long it takes for the spread to fall inside 2*threshold.
+    let mut balanced_after = None;
+    let mut above_time = 0.0;
+    let step = 0.1;
+    let mut t = 0.0;
+    while t < 10.0 {
+        sim.run_for(Seconds::new(step)).expect("transient runs");
+        t += step;
+        let temps = sim.core_temperatures();
+        let mean = temps.iter().map(|c| c.as_celsius()).sum::<f64>() / temps.len() as f64;
+        let max = temps.iter().map(|c| c.as_celsius()).fold(f64::MIN, f64::max);
+        if max > mean + 3.0 {
+            above_time += step;
+        }
+        if balanced_after.is_none() && spread_of(&temps) <= 2.0 * 3.0 {
+            balanced_after = Some(t);
+        }
+    }
+    println!("\n== Narrative N2 — balancing transient (threshold 3 °C, mobile package) ==");
+    println!(
+        "spread before enabling the policy: {spread_before:.1} °C; balanced (spread ≤ 6 °C) after {} s (paper: < 1 s); time above upper threshold {above_time:.1} s (paper: < 0.4 s)",
+        balanced_after
+            .map(|t| format!("{t:.1}"))
+            .unwrap_or_else(|| "more than 10".into()),
+    );
+    let summary = sim.summary();
+    println!(
+        "migrations during the transient: {} ({} KiB)",
+        summary.migration.migrations,
+        summary.migration.bytes.as_kib()
+    );
+}
+
+fn spread_of(temps: &[Celsius]) -> f64 {
+    temps.iter().map(|c| c.as_celsius()).fold(f64::MIN, f64::max)
+        - temps.iter().map(|c| c.as_celsius()).fold(f64::MAX, f64::min)
+}
+
+fn queue_size_sweep(duration: Seconds) {
+    println!("\n== Narrative N3 — minimum queue size sustaining thermal balancing ==");
+    let mut rows = Vec::new();
+    for queue_capacity in [1usize, 2, 3, 5, 8, 11, 16] {
+        let sdr = SdrBenchmark::paper_default().with_pipeline_config(PipelineConfig {
+            queue_capacity,
+            prefill: queue_capacity / 2,
+            ..PipelineConfig::paper_default()
+        });
+        let mut sim = tbp_core::sim::SimulationBuilder::new()
+            .with_package(tbp_thermal::package::Package::high_performance())
+            .with_workload(tbp_core::sim::builder::Workload::Sdr(sdr))
+            .with_threshold(1.0)
+            .with_config(tbp_core::sim::SimulationConfig {
+                warmup: Seconds::new(3.0),
+                metrics_threshold: 1.0,
+                ..tbp_core::sim::SimulationConfig::paper_default()
+            })
+            .build()
+            .expect("queue sweep sim builds");
+        sim.run_for(Seconds::new(3.0) + duration).expect("queue sweep runs");
+        let summary = sim.summary();
+        rows.push(vec![
+            format!("{queue_capacity}"),
+            format!("{}", summary.qos.deadline_misses),
+            format!("{}", summary.qos.min_queue_level),
+            format!("{}", summary.migration.migrations),
+        ]);
+    }
+    tbp_bench::print_table(
+        "queue capacity sweep (thermal balancing, 1 °C threshold, high-performance package)",
+        &["queue size [frames]", "deadline misses", "min queue level", "migrations"],
+        &rows,
+    );
+    let _ = CoreId(0);
+}

@@ -1,0 +1,63 @@
+//! Table 2: the SDR task set, its initial (energy-balanced) mapping onto the
+//! three cores and the frequency the DVFS governor actually picks for that
+//! mapping.
+
+use tbp_arch::core::CoreId;
+use tbp_arch::freq::DvfsScale;
+use tbp_os::governor::DvfsGovernor;
+use tbp_streaming::sdr::SdrBenchmark;
+
+fn main() {
+    let sdr = SdrBenchmark::paper_default();
+    let rows: Vec<Vec<String>> = sdr
+        .mapping()
+        .iter()
+        .map(|entry| {
+            vec![
+                format!(
+                    "Core {} ({:.0} MHz)",
+                    entry.core.index() + 1,
+                    entry.core_frequency_mhz
+                ),
+                entry.name.clone(),
+                format!("{:.1}", entry.load_percent),
+                format!("{:.3}", entry.fse_load()),
+            ]
+        })
+        .collect();
+    tbp_bench::print_table(
+        "Table 2 — SDR application mapping",
+        &["core / freq.", "task", "load [%]", "FSE load"],
+        &rows,
+    );
+
+    // Per-core totals plus the frequency the governor would select.
+    let governor = DvfsGovernor::new(DvfsScale::paper_default());
+    let rows: Vec<Vec<String>> = (0..3)
+        .map(|core| {
+            let fse: f64 = sdr
+                .mapping()
+                .iter()
+                .filter(|e| e.core == CoreId(core))
+                .map(|e| e.fse_load())
+                .sum();
+            let util: f64 = sdr
+                .mapping()
+                .iter()
+                .filter(|e| e.core == CoreId(core))
+                .map(|e| e.load_percent)
+                .sum();
+            vec![
+                format!("Core {}", core + 1),
+                format!("{util:.1}"),
+                format!("{fse:.3}"),
+                format!("{}", governor.frequency_for(fse)),
+            ]
+        })
+        .collect();
+    tbp_bench::print_table(
+        "Per-core totals and governor frequency selection",
+        &["core", "Table 2 load [%]", "total FSE", "governor frequency"],
+        &rows,
+    );
+}

@@ -1,0 +1,61 @@
+//! Narrative experiment N1: the DVFS-only warm-up phase.
+//!
+//! The paper reports that after an initial execution phase of 12.5 s the
+//! temperatures stabilise but are **not** balanced: about 10 °C separate the
+//! hottest core (core 1) from the coolest (core 3), and cores 2 and 3 differ
+//! despite running at the same frequency because of their floorplan position.
+
+use tbp_arch::units::Seconds;
+use tbp_core::experiments::{build_sdr_simulation, ExperimentConfig, PolicyKind};
+use tbp_thermal::package::PackageKind;
+
+fn main() {
+    let config = ExperimentConfig {
+        package: PackageKind::MobileEmbedded,
+        policy: PolicyKind::DvfsOnly,
+        threshold: 3.0,
+        warmup: Seconds::new(0.0),
+        duration: Seconds::new(12.5),
+    };
+    let mut sim = build_sdr_simulation(&config).expect("simulation builds");
+    let mut rows = Vec::new();
+    let checkpoints = [1.0, 2.5, 5.0, 7.5, 10.0, 12.5];
+    let mut last = 0.0;
+    for &t in &checkpoints {
+        sim.run_for(Seconds::new(t - last)).expect("simulation runs");
+        last = t;
+        let temps = sim.core_temperatures();
+        let spread = temps
+            .iter()
+            .map(|c| c.as_celsius())
+            .fold(f64::MIN, f64::max)
+            - temps
+                .iter()
+                .map(|c| c.as_celsius())
+                .fold(f64::MAX, f64::min);
+        rows.push(vec![
+            format!("{t:.1}"),
+            format!("{:.2}", temps[0].as_celsius()),
+            format!("{:.2}", temps[1].as_celsius()),
+            format!("{:.2}", temps[2].as_celsius()),
+            format!("{spread:.2}"),
+        ]);
+    }
+    tbp_bench::print_table(
+        "Warm-up (DVFS only, mobile package): core temperatures over time",
+        &["time [s]", "core0 [°C]", "core1 [°C]", "core2 [°C]", "spread [°C]"],
+        &rows,
+    );
+    let temps = sim.core_temperatures();
+    println!(
+        "\nFinal gradient between hottest and coolest core: {:.2} °C (paper: ~10 °C)",
+        temps
+            .iter()
+            .map(|c| c.as_celsius())
+            .fold(f64::MIN, f64::max)
+            - temps
+                .iter()
+                .map(|c| c.as_celsius())
+                .fold(f64::MAX, f64::min)
+    );
+}

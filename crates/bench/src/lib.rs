@@ -1,0 +1,99 @@
+//! # tbp-bench — experiment harness for the DATE 2008 reproduction
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` at the workspace root for the experiment index), and the
+//! Criterion benches in `benches/` time the simulation and policy kernels.
+//!
+//! The binaries print plain-text tables with the same rows/series the paper
+//! reports; `reproduce_all` runs every experiment in sequence and is what
+//! `EXPERIMENTS.md` is generated from.
+
+#![deny(missing_docs)]
+
+use std::time::Instant;
+
+use tbp_arch::units::Seconds;
+use tbp_core::experiments::SweepPoint;
+
+/// Measured duration used by the figure experiments (seconds of simulated
+/// time after the warm-up). Override with the `TBP_DURATION` environment
+/// variable (e.g. `TBP_DURATION=5` for a quick pass).
+pub fn measured_duration() -> Seconds {
+    let secs = std::env::var("TBP_DURATION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(20.0);
+    Seconds::new(secs.max(1.0))
+}
+
+/// Prints a table header followed by aligned rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats sweep points as a threshold-indexed table of one metric per
+/// policy, mirroring the layout of Figures 7–10.
+pub fn sweep_table(points: &[SweepPoint], metric: impl Fn(&SweepPoint) -> f64) -> Vec<Vec<String>> {
+    use std::collections::BTreeMap;
+    let mut thresholds: Vec<f64> = points.iter().map(|p| p.threshold).collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    thresholds.dedup();
+    let mut policies: Vec<&'static str> = Vec::new();
+    for p in points {
+        if !policies.contains(&p.policy.label()) {
+            policies.push(p.policy.label());
+        }
+    }
+    let mut by_key: BTreeMap<(String, String), f64> = BTreeMap::new();
+    for p in points {
+        by_key.insert(
+            (p.policy.label().to_string(), format!("{:.1}", p.threshold)),
+            metric(p),
+        );
+    }
+    thresholds
+        .iter()
+        .map(|t| {
+            let mut row = vec![format!("{t:.0}")];
+            for policy in &policies {
+                let v = by_key
+                    .get(&(policy.to_string(), format!("{t:.1}")))
+                    .copied()
+                    .unwrap_or(f64::NAN);
+                row.push(format!("{v:.3}"));
+            }
+            row
+        })
+        .collect()
+}
+
+/// Runs a closure, printing how long it took in wall-clock time.
+pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
+    let start = Instant::now();
+    let result = f();
+    eprintln!("[{label}] completed in {:.2} s", start.elapsed().as_secs_f64());
+    result
+}

@@ -1,0 +1,106 @@
+//! Error type for the co-simulation engine.
+
+use std::error::Error;
+use std::fmt;
+
+use tbp_arch::ArchError;
+use tbp_os::OsError;
+use tbp_streaming::StreamError;
+use tbp_thermal::ThermalError;
+
+/// Errors produced while configuring or running the co-simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The architecture model reported an error.
+    Arch(ArchError),
+    /// The thermal model reported an error.
+    Thermal(ThermalError),
+    /// The OS model reported an error.
+    Os(OsError),
+    /// The streaming layer reported an error.
+    Stream(StreamError),
+    /// The simulation configuration is invalid.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Arch(e) => write!(f, "architecture error: {e}"),
+            SimError::Thermal(e) => write!(f, "thermal error: {e}"),
+            SimError::Os(e) => write!(f, "OS error: {e}"),
+            SimError::Stream(e) => write!(f, "streaming error: {e}"),
+            SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SimError::Arch(e) => Some(e),
+            SimError::Thermal(e) => Some(e),
+            SimError::Os(e) => Some(e),
+            SimError::Stream(e) => Some(e),
+            SimError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<ArchError> for SimError {
+    fn from(value: ArchError) -> Self {
+        SimError::Arch(value)
+    }
+}
+
+impl From<ThermalError> for SimError {
+    fn from(value: ThermalError) -> Self {
+        SimError::Thermal(value)
+    }
+}
+
+impl From<OsError> for SimError {
+    fn from(value: OsError) -> Self {
+        SimError::Os(value)
+    }
+}
+
+impl From<StreamError> for SimError {
+    fn from(value: StreamError) -> Self {
+        SimError::Stream(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbp_arch::core::CoreId;
+    use tbp_os::task::TaskId;
+    use tbp_streaming::graph::StageId;
+
+    #[test]
+    fn conversions_and_display() {
+        let a: SimError = ArchError::UnknownCore(CoreId(1)).into();
+        let t: SimError = ThermalError::UnknownNode(2).into();
+        let o: SimError = OsError::UnknownTask(TaskId(3)).into();
+        let s: SimError = StreamError::UnknownStage(StageId(4)).into();
+        let c = SimError::InvalidConfig("broken".into());
+        for (err, needle) in [
+            (&a, "core1"),
+            (&t, "2"),
+            (&o, "task3"),
+            (&s, "stage4"),
+            (&c, "broken"),
+        ] {
+            assert!(err.to_string().contains(needle));
+        }
+        assert!(Error::source(&a).is_some());
+        assert!(Error::source(&c).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,262 @@
+//! Canned experiment configurations reproducing the paper's evaluation.
+//!
+//! Every table and figure of Section 5 maps to a function here; the
+//! `tbp-bench` crate's binaries call these functions and print the resulting
+//! rows, and the integration tests assert the qualitative shapes (orderings,
+//! trends, crossovers) the paper reports.
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::units::Seconds;
+use tbp_thermal::package::{Package, PackageKind};
+
+use crate::error::SimError;
+use crate::metrics::SimulationSummary;
+use crate::policy::{
+    DvfsOnlyPolicy, EnergyBalancingPolicy, Policy, StopGoPolicy, ThermalBalancingConfig,
+    ThermalBalancingPolicy,
+};
+use crate::sim::builder::{SimulationBuilder, Workload};
+use crate::sim::{Simulation, SimulationConfig};
+
+/// Threshold values (°C) swept in Figures 7–11.
+pub const THRESHOLD_SWEEP: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+
+/// The policies compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// The paper's migration-based thermal balancing policy.
+    ThermalBalancing,
+    /// The modified Stop&Go baseline.
+    StopGo,
+    /// The energy-balancing (DVFS-only, static mapping) baseline.
+    EnergyBalancing,
+    /// No policy at all (DVFS only, used for the warm-up characterisation).
+    DvfsOnly,
+}
+
+impl PolicyKind {
+    /// All three policies compared in Figures 7–10.
+    pub const COMPARED: [PolicyKind; 3] = [
+        PolicyKind::ThermalBalancing,
+        PolicyKind::StopGo,
+        PolicyKind::EnergyBalancing,
+    ];
+
+    /// Human-readable name, matching [`Policy::name`].
+    pub fn label(self) -> &'static str {
+        match self {
+            PolicyKind::ThermalBalancing => "thermal-balancing",
+            PolicyKind::StopGo => "stop-and-go",
+            PolicyKind::EnergyBalancing => "energy-balancing",
+            PolicyKind::DvfsOnly => "dvfs-only",
+        }
+    }
+
+    /// Instantiates the policy for the paper's DVFS scale and the given
+    /// threshold.
+    pub fn instantiate(self, threshold: f64) -> Box<dyn Policy> {
+        match self {
+            PolicyKind::ThermalBalancing => Box::new(ThermalBalancingPolicy::new(
+                tbp_arch::freq::DvfsScale::paper_default(),
+                ThermalBalancingConfig::paper_default().with_threshold(threshold),
+            )),
+            PolicyKind::StopGo => Box::new(StopGoPolicy::new(threshold)),
+            PolicyKind::EnergyBalancing => Box::new(EnergyBalancingPolicy::new()),
+            PolicyKind::DvfsOnly => Box::new(DvfsOnlyPolicy::new()),
+        }
+    }
+}
+
+/// Configuration of one SDR experiment run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentConfig {
+    /// Which thermal package to use.
+    pub package: PackageKind,
+    /// Which policy to run.
+    pub policy: PolicyKind,
+    /// The threshold (°C) of the policy and of the metric band.
+    pub threshold: f64,
+    /// Warm-up (unmeasured) time before the policy is enabled.
+    pub warmup: Seconds,
+    /// Measured time after the warm-up.
+    pub duration: Seconds,
+}
+
+impl ExperimentConfig {
+    /// The default experiment: mobile package, thermal balancing at 3 °C,
+    /// 8 s warm-up, 20 s of measurement.
+    pub fn paper_default() -> Self {
+        ExperimentConfig {
+            package: PackageKind::MobileEmbedded,
+            policy: PolicyKind::ThermalBalancing,
+            threshold: 3.0,
+            warmup: Seconds::new(8.0),
+            duration: Seconds::new(20.0),
+        }
+    }
+
+    /// The package object for this configuration.
+    pub fn package(&self) -> Package {
+        match self.package {
+            PackageKind::HighPerformance => Package::high_performance(),
+            _ => Package::mobile_embedded(),
+        }
+    }
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig::paper_default()
+    }
+}
+
+/// Builds the simulation for an experiment configuration without running it.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the simulation cannot be assembled.
+pub fn build_sdr_simulation(config: &ExperimentConfig) -> Result<Simulation, SimError> {
+    SimulationBuilder::new()
+        .with_package(config.package())
+        .with_workload(Workload::sdr())
+        .with_policy_box(config.policy.instantiate(config.threshold))
+        .with_threshold(config.threshold)
+        .with_config(SimulationConfig {
+            warmup: config.warmup,
+            metrics_threshold: config.threshold,
+            ..SimulationConfig::paper_default()
+        })
+        .build()
+}
+
+/// Runs one SDR experiment to completion and returns its summary.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when the simulation cannot be assembled or stepped.
+pub fn run_sdr_experiment(config: &ExperimentConfig) -> Result<SimulationSummary, SimError> {
+    let mut sim = build_sdr_simulation(config)?;
+    sim.run_for(config.warmup + config.duration)?;
+    Ok(sim.summary())
+}
+
+/// One point of a threshold sweep: a policy evaluated at one threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// The policy evaluated.
+    pub policy: PolicyKind,
+    /// The threshold (°C).
+    pub threshold: f64,
+    /// The run's summary.
+    pub summary: SimulationSummary,
+}
+
+/// Runs the full policy × threshold sweep of Figures 7–10 for one package.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when any run fails.
+pub fn run_threshold_sweep(
+    package: PackageKind,
+    duration: Seconds,
+) -> Result<Vec<SweepPoint>, SimError> {
+    let mut points = Vec::new();
+    for policy in PolicyKind::COMPARED {
+        for &threshold in &THRESHOLD_SWEEP {
+            let config = ExperimentConfig {
+                package,
+                policy,
+                threshold,
+                duration,
+                ..ExperimentConfig::paper_default()
+            };
+            let summary = run_sdr_experiment(&config)?;
+            points.push(SweepPoint {
+                policy,
+                threshold,
+                summary,
+            });
+        }
+    }
+    Ok(points)
+}
+
+/// Runs the Figure 11 sweep: migrations per second of the thermal balancing
+/// policy for both packages.
+///
+/// # Errors
+///
+/// Returns [`SimError`] when any run fails.
+pub fn run_migration_rate_sweep(duration: Seconds) -> Result<Vec<SweepPoint>, SimError> {
+    let mut points = Vec::new();
+    for package in [PackageKind::MobileEmbedded, PackageKind::HighPerformance] {
+        for &threshold in &THRESHOLD_SWEEP {
+            let config = ExperimentConfig {
+                package,
+                policy: PolicyKind::ThermalBalancing,
+                threshold,
+                duration,
+                ..ExperimentConfig::paper_default()
+            };
+            let summary = run_sdr_experiment(&config)?;
+            points.push(SweepPoint {
+                policy: PolicyKind::ThermalBalancing,
+                threshold,
+                summary,
+            });
+        }
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_kinds_instantiate_with_matching_names() {
+        for kind in [
+            PolicyKind::ThermalBalancing,
+            PolicyKind::StopGo,
+            PolicyKind::EnergyBalancing,
+            PolicyKind::DvfsOnly,
+        ] {
+            let policy = kind.instantiate(2.0);
+            assert_eq!(policy.name(), kind.label());
+        }
+        assert_eq!(PolicyKind::COMPARED.len(), 3);
+        assert_eq!(THRESHOLD_SWEEP.len(), 4);
+    }
+
+    #[test]
+    fn experiment_config_defaults() {
+        let config = ExperimentConfig::paper_default();
+        assert_eq!(config.package, PackageKind::MobileEmbedded);
+        assert_eq!(config.policy, PolicyKind::ThermalBalancing);
+        assert_eq!(config.package().kind(), PackageKind::MobileEmbedded);
+        let hp = ExperimentConfig {
+            package: PackageKind::HighPerformance,
+            ..ExperimentConfig::default()
+        };
+        assert_eq!(hp.package().kind(), PackageKind::HighPerformance);
+    }
+
+    #[test]
+    fn short_experiment_runs_end_to_end() {
+        // A deliberately short run to keep unit-test time low; the full-length
+        // sweeps run in the integration tests and benches.
+        let config = ExperimentConfig {
+            package: PackageKind::HighPerformance,
+            policy: PolicyKind::ThermalBalancing,
+            threshold: 2.0,
+            warmup: Seconds::new(2.0),
+            duration: Seconds::new(4.0),
+        };
+        let summary = run_sdr_experiment(&config).unwrap();
+        assert_eq!(summary.policy, "thermal-balancing");
+        assert!(summary.total_time.as_secs() > 5.99);
+        assert!(summary.measured_time.as_secs() > 3.0);
+        assert!(summary.qos.frames_delivered > 0);
+    }
+}

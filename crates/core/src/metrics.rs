@@ -1,0 +1,457 @@
+//! Metrics collected by the co-simulation.
+//!
+//! The paper evaluates three groups of metrics (Section 5):
+//!
+//! 1. spatial and temporal variance of the processor temperatures;
+//! 2. average quantity of migrated data and number of migrated tasks;
+//! 3. QoS degradation as the percentage of missed frames.
+//!
+//! [`MetricsCollector`] accumulates all three while the simulation runs and
+//! produces a [`SimulationSummary`] at the end.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use tbp_arch::units::{Bytes, Celsius, Seconds};
+
+/// Online mean/variance accumulator (Welford's algorithm).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, value: f64) {
+        self.count += 1;
+        let delta = value - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (value - self.mean);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance (0 when fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / self.count as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample (0 when empty).
+    pub fn min(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample (0 when empty).
+    pub fn max(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+}
+
+/// Aggregated thermal metrics.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ThermalMetrics {
+    /// Statistics of the *spatial* standard deviation across cores (one
+    /// sample per sensor refresh).
+    pub spatial_std_dev: RunningStats,
+    /// Statistics of the spatial spread (hottest minus coolest core).
+    pub spread: RunningStats,
+    /// Per-core temperature statistics over time (temporal variance).
+    pub per_core: Vec<RunningStats>,
+    /// Highest temperature ever observed on any core.
+    pub peak_temperature: f64,
+    /// Time any core spent above `mean + threshold` (the paper reports the
+    /// hottest core staying above the upper threshold for under 400 ms while
+    /// balancing).
+    pub time_above_upper_threshold: Seconds,
+    /// Time any core spent below `mean − threshold`.
+    pub time_below_lower_threshold: Seconds,
+}
+
+/// Aggregated migration metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MigrationMetrics {
+    /// Completed migrations.
+    pub migrations: u64,
+    /// Bytes transferred through the shared memory for migrations.
+    pub bytes: Bytes,
+    /// Total time tasks spent frozen by migrations.
+    pub frozen_time: Seconds,
+    /// Core halts issued (Stop&Go).
+    pub halts: u64,
+    /// Core resumes issued (Stop&Go).
+    pub resumes: u64,
+}
+
+/// Aggregated QoS metrics (copied from the pipeline runtime at the end of a
+/// run).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QosMetrics {
+    /// Frames delivered on time.
+    pub frames_delivered: u64,
+    /// Deadline misses.
+    pub deadline_misses: u64,
+    /// Minimum queue level observed across all queues.
+    pub min_queue_level: usize,
+}
+
+impl QosMetrics {
+    /// Fraction of deadlines missed.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.frames_delivered + self.deadline_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / total as f64
+        }
+    }
+}
+
+/// Collector fed by the simulation loop.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsCollector {
+    threshold: f64,
+    warmup: Seconds,
+    thermal: ThermalMetrics,
+    migration: MigrationMetrics,
+    qos: QosMetrics,
+    measured_time: Seconds,
+}
+
+impl MetricsCollector {
+    /// Creates a collector for `num_cores` cores.
+    ///
+    /// `threshold` is the policy threshold used for the above/below-band
+    /// timers; `warmup` is the initial period excluded from the statistics
+    /// (the paper lets the system stabilise for 12.5 s before enabling and
+    /// measuring the policy).
+    pub fn new(num_cores: usize, threshold: f64, warmup: Seconds) -> Self {
+        MetricsCollector {
+            threshold,
+            warmup,
+            thermal: ThermalMetrics {
+                per_core: vec![RunningStats::new(); num_cores],
+                ..ThermalMetrics::default()
+            },
+            migration: MigrationMetrics::default(),
+            qos: QosMetrics::default(),
+            measured_time: Seconds::ZERO,
+        }
+    }
+
+    /// The warm-up period excluded from measurements.
+    pub fn warmup(&self) -> Seconds {
+        self.warmup
+    }
+
+    /// Records a sensor sample of the core temperatures taken at `time`,
+    /// covering `dt` of simulated time.
+    pub fn record_temperatures(&mut self, time: Seconds, dt: Seconds, temps: &[Celsius]) {
+        for t in temps {
+            self.thermal.peak_temperature = self.thermal.peak_temperature.max(t.as_celsius());
+        }
+        if time.as_secs() < self.warmup.as_secs() || temps.is_empty() {
+            return;
+        }
+        self.measured_time += dt;
+        let n = temps.len() as f64;
+        let mean = temps.iter().map(|t| t.as_celsius()).sum::<f64>() / n;
+        let variance = temps
+            .iter()
+            .map(|t| (t.as_celsius() - mean).powi(2))
+            .sum::<f64>()
+            / n;
+        self.thermal.spatial_std_dev.push(variance.sqrt());
+        let max = temps.iter().map(|t| t.as_celsius()).fold(f64::MIN, f64::max);
+        let min = temps.iter().map(|t| t.as_celsius()).fold(f64::MAX, f64::min);
+        self.thermal.spread.push(max - min);
+        for (stats, t) in self.thermal.per_core.iter_mut().zip(temps) {
+            stats.push(t.as_celsius());
+        }
+        if max > mean + self.threshold {
+            self.thermal.time_above_upper_threshold += dt;
+        }
+        if min < mean - self.threshold {
+            self.thermal.time_below_lower_threshold += dt;
+        }
+    }
+
+    /// Records completed migrations.
+    pub fn record_migrations(&mut self, count: u64, bytes: Bytes, frozen: Seconds) {
+        self.migration.migrations += count;
+        self.migration.bytes = self.migration.bytes.saturating_add(bytes);
+        self.migration.frozen_time += frozen;
+    }
+
+    /// Records a core halt (Stop&Go).
+    pub fn record_halt(&mut self) {
+        self.migration.halts += 1;
+    }
+
+    /// Records a core resume (Stop&Go).
+    pub fn record_resume(&mut self) {
+        self.migration.resumes += 1;
+    }
+
+    /// Overwrites the QoS metrics (taken from the pipeline at the end of the
+    /// run).
+    pub fn set_qos(&mut self, qos: QosMetrics) {
+        self.qos = qos;
+    }
+
+    /// Produces the final summary for a run lasting `total_time` under the
+    /// named policy.
+    pub fn summary(&self, policy: &str, total_time: Seconds) -> SimulationSummary {
+        SimulationSummary {
+            policy: policy.to_string(),
+            total_time,
+            measured_time: self.measured_time,
+            thermal: self.thermal.clone(),
+            migration: self.migration,
+            qos: self.qos,
+        }
+    }
+}
+
+/// Summary of one simulation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulationSummary {
+    /// Name of the policy that ran.
+    pub policy: String,
+    /// Total simulated time.
+    pub total_time: Seconds,
+    /// Simulated time covered by the measurements (after warm-up).
+    pub measured_time: Seconds,
+    /// Thermal metrics.
+    pub thermal: ThermalMetrics,
+    /// Migration metrics.
+    pub migration: MigrationMetrics,
+    /// QoS metrics.
+    pub qos: QosMetrics,
+}
+
+impl SimulationSummary {
+    /// Time-averaged spatial standard deviation of the core temperatures —
+    /// the Y axis of Figures 7 and 9.
+    pub fn mean_spatial_std_dev(&self) -> f64 {
+        self.thermal.spatial_std_dev.mean()
+    }
+
+    /// Mean spatial spread (hottest minus coolest core).
+    pub fn mean_spread(&self) -> f64 {
+        self.thermal.spread.mean()
+    }
+
+    /// Mean temporal standard deviation of the individual cores.
+    pub fn mean_temporal_std_dev(&self) -> f64 {
+        if self.thermal.per_core.is_empty() {
+            return 0.0;
+        }
+        self.thermal
+            .per_core
+            .iter()
+            .map(|s| s.std_dev())
+            .sum::<f64>()
+            / self.thermal.per_core.len() as f64
+    }
+
+    /// Migrations per second of measured time — the Y axis of Figure 11.
+    pub fn migrations_per_second(&self) -> f64 {
+        if self.measured_time.is_zero() {
+            0.0
+        } else {
+            self.migration.migrations as f64 / self.measured_time.as_secs()
+        }
+    }
+
+    /// Migrated kilobytes per second of measured time.
+    pub fn migrated_kib_per_second(&self) -> f64 {
+        if self.measured_time.is_zero() {
+            0.0
+        } else {
+            self.migration.bytes.as_kib() / self.measured_time.as_secs()
+        }
+    }
+}
+
+impl fmt::Display for SimulationSummary {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "policy: {}", self.policy)?;
+        writeln!(
+            f,
+            "  simulated {:.1} s (measured {:.1} s)",
+            self.total_time.as_secs(),
+            self.measured_time.as_secs()
+        )?;
+        writeln!(
+            f,
+            "  temperature: σ_spatial = {:.3} °C, spread = {:.2} °C, peak = {:.1} °C",
+            self.mean_spatial_std_dev(),
+            self.mean_spread(),
+            self.thermal.peak_temperature
+        )?;
+        writeln!(
+            f,
+            "  migrations: {} ({:.2}/s, {:.0} KiB total), halts: {}",
+            self.migration.migrations,
+            self.migrations_per_second(),
+            self.migration.bytes.as_kib(),
+            self.migration.halts
+        )?;
+        write!(
+            f,
+            "  QoS: {} frames delivered, {} deadline misses ({:.2} % miss rate)",
+            self.qos.frames_delivered,
+            self.qos.deadline_misses,
+            self.qos.miss_rate() * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        assert_eq!(s.count(), 0);
+        assert_eq!(s.mean(), 0.0);
+        assert_eq!(s.variance(), 0.0);
+        assert_eq!(s.min(), 0.0);
+        assert_eq!(s.max(), 0.0);
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(v);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 4.0).abs() < 1e-12);
+        assert!((s.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+        assert_eq!(RunningStats::default().count(), 0);
+    }
+
+    #[test]
+    fn collector_ignores_warmup_and_tracks_band_violations() {
+        let mut c = MetricsCollector::new(3, 3.0, Seconds::new(1.0));
+        assert_eq!(c.warmup(), Seconds::new(1.0));
+        let dt = Seconds::from_millis(10.0);
+        // During warm-up only the peak is tracked.
+        c.record_temperatures(
+            Seconds::new(0.5),
+            dt,
+            &[Celsius::new(80.0), Celsius::new(50.0), Celsius::new(50.0)],
+        );
+        let warm = c.summary("x", Seconds::new(0.5));
+        assert_eq!(warm.thermal.spatial_std_dev.count(), 0);
+        assert_eq!(warm.thermal.peak_temperature, 80.0);
+        // After warm-up samples count; 70/60/50 has a spread of 20 and the
+        // hot core sits above mean+3.
+        c.record_temperatures(
+            Seconds::new(2.0),
+            dt,
+            &[Celsius::new(70.0), Celsius::new(60.0), Celsius::new(50.0)],
+        );
+        let s = c.summary("x", Seconds::new(2.0));
+        assert_eq!(s.thermal.spatial_std_dev.count(), 1);
+        assert!((s.mean_spread() - 20.0).abs() < 1e-9);
+        assert!(s.thermal.time_above_upper_threshold.as_millis() > 9.0);
+        assert!(s.thermal.time_below_lower_threshold.as_millis() > 9.0);
+        assert!((s.mean_spatial_std_dev() - (200.0f64 / 3.0).sqrt()).abs() < 1e-9);
+        // Empty sample vectors are ignored.
+        c.record_temperatures(Seconds::new(3.0), dt, &[]);
+    }
+
+    #[test]
+    fn migration_and_qos_accounting() {
+        let mut c = MetricsCollector::new(3, 3.0, Seconds::ZERO);
+        c.record_migrations(2, Bytes::from_kib(128), Seconds::from_millis(3.0));
+        c.record_migrations(1, Bytes::from_kib(64), Seconds::from_millis(1.0));
+        c.record_halt();
+        c.record_halt();
+        c.record_resume();
+        c.set_qos(QosMetrics {
+            frames_delivered: 380,
+            deadline_misses: 20,
+            min_queue_level: 2,
+        });
+        // Simulate 10 s of measured time through temperature samples.
+        for i in 0..1000 {
+            c.record_temperatures(
+                Seconds::new(i as f64 * 0.01),
+                Seconds::from_millis(10.0),
+                &[Celsius::new(60.0), Celsius::new(61.0), Celsius::new(62.0)],
+            );
+        }
+        let s = c.summary("test-policy", Seconds::new(10.0));
+        assert_eq!(s.policy, "test-policy");
+        assert_eq!(s.migration.migrations, 3);
+        assert_eq!(s.migration.bytes, Bytes::from_kib(192));
+        assert_eq!(s.migration.halts, 2);
+        assert_eq!(s.migration.resumes, 1);
+        assert!((s.migrations_per_second() - 0.3).abs() < 0.01);
+        assert!((s.migrated_kib_per_second() - 19.2).abs() < 0.5);
+        assert_eq!(s.qos.deadline_misses, 20);
+        assert!((s.qos.miss_rate() - 0.05).abs() < 1e-9);
+        assert!(s.mean_temporal_std_dev() >= 0.0);
+        let text = s.to_string();
+        assert!(text.contains("test-policy"));
+        assert!(text.contains("deadline misses"));
+    }
+
+    #[test]
+    fn zero_measured_time_rates_are_zero() {
+        let c = MetricsCollector::new(2, 3.0, Seconds::new(100.0));
+        let s = c.summary("idle", Seconds::new(1.0));
+        assert_eq!(s.migrations_per_second(), 0.0);
+        assert_eq!(s.migrated_kib_per_second(), 0.0);
+        assert_eq!(s.mean_temporal_std_dev(), 0.0);
+        assert_eq!(QosMetrics::default().miss_rate(), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! The energy-balancing baseline policy.
+//!
+//! The paper's first baseline "maps the tasks of the SDR application such
+//! that their energy consumption is balanced among the cores", with
+//! frequencies and voltages adjusted dynamically by the DVFS algorithm
+//! (Section 5.2). Energy balance is established once by the mapping; at run
+//! time the policy performs **no migrations** — which is precisely why, as
+//! Figure 1 illustrates, it leaves a thermal gradient behind.
+//!
+//! The implementation offers an optional one-shot rebalancing step (greedy
+//! longest-processing-time assignment of the task loads) so synthetic
+//! workloads that start from an arbitrary mapping can be brought into the
+//! energy-balanced state the baseline assumes.
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::core::CoreId;
+
+use super::{Policy, PolicyAction, PolicyInput};
+
+/// The energy-balancing (DVFS-only) baseline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBalancingPolicy {
+    rebalance_on_first_decision: bool,
+    rebalanced: bool,
+}
+
+impl EnergyBalancingPolicy {
+    /// Creates the baseline. The initial mapping is assumed to be already
+    /// energy balanced (as in the paper's Table 2 configuration).
+    pub fn new() -> Self {
+        EnergyBalancingPolicy {
+            rebalance_on_first_decision: false,
+            rebalanced: false,
+        }
+    }
+
+    /// Makes the policy issue a single round of migrations on its first
+    /// invocation that greedily balances the FSE load across cores. Useful
+    /// for synthetic workloads that do not start balanced.
+    pub fn with_initial_rebalance(mut self) -> Self {
+        self.rebalance_on_first_decision = true;
+        self
+    }
+
+    /// Greedy longest-processing-time balancing of the tasks over the cores.
+    fn rebalance(input: &PolicyInput) -> Vec<PolicyAction> {
+        let num_cores = input.cores.len();
+        if num_cores == 0 {
+            return Vec::new();
+        }
+        // Collect every task with its current core.
+        let mut tasks: Vec<(usize, super::TaskSnapshot)> = Vec::new();
+        for core in &input.cores {
+            for task in &core.tasks {
+                tasks.push((core.id.index(), task.clone()));
+            }
+        }
+        tasks.sort_by(|a, b| {
+            b.1.fse_load
+                .partial_cmp(&a.1.fse_load)
+                .expect("loads are finite")
+        });
+        let mut load = vec![0.0f64; num_cores];
+        let mut actions = Vec::new();
+        for (current_core, task) in tasks {
+            let (target, _) = load
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+                .expect("at least one core");
+            load[target] += task.fse_load;
+            if target != current_core && task.migratable && !task.migrating {
+                actions.push(PolicyAction::Migrate {
+                    task: task.id,
+                    to: CoreId(target),
+                });
+            }
+        }
+        actions
+    }
+}
+
+impl Default for EnergyBalancingPolicy {
+    fn default() -> Self {
+        EnergyBalancingPolicy::new()
+    }
+}
+
+impl Policy for EnergyBalancingPolicy {
+    fn name(&self) -> &str {
+        "energy-balancing"
+    }
+
+    fn decide(&mut self, input: &PolicyInput) -> Vec<PolicyAction> {
+        if self.rebalance_on_first_decision && !self.rebalanced {
+            self.rebalanced = true;
+            return Self::rebalance(input);
+        }
+        Vec::new()
+    }
+
+    fn reset(&mut self) {
+        self.rebalanced = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::build_input;
+    use crate::policy::test_support::{core, input_from};
+    use tbp_arch::units::Seconds;
+
+    #[test]
+    fn default_policy_never_migrates() {
+        let mut p = EnergyBalancingPolicy::new();
+        assert_eq!(p.name(), "energy-balancing");
+        let input = input_from(&[(75.0, 533.0, 0.9), (50.0, 133.0, 0.0), (50.0, 133.0, 0.0)]);
+        assert!(p.decide(&input).is_empty());
+        assert!(p.decide(&input).is_empty());
+        assert_eq!(EnergyBalancingPolicy::default(), EnergyBalancingPolicy::new());
+    }
+
+    #[test]
+    fn initial_rebalance_spreads_the_load_once() {
+        let mut p = EnergyBalancingPolicy::new().with_initial_rebalance();
+        // All load piled onto core 0.
+        let mut c0 = core(0, 70.0, 533.0, 0.0, true);
+        c0.tasks = vec![
+            super::super::TaskSnapshot {
+                id: tbp_os::task::TaskId(0),
+                fse_load: 0.4,
+                context_size: tbp_arch::units::Bytes::from_kib(64),
+                migratable: true,
+                migrating: false,
+            },
+            super::super::TaskSnapshot {
+                id: tbp_os::task::TaskId(1),
+                fse_load: 0.3,
+                context_size: tbp_arch::units::Bytes::from_kib(64),
+                migratable: true,
+                migrating: false,
+            },
+            super::super::TaskSnapshot {
+                id: tbp_os::task::TaskId(2),
+                fse_load: 0.3,
+                context_size: tbp_arch::units::Bytes::from_kib(64),
+                migratable: true,
+                migrating: false,
+            },
+        ];
+        c0.fse_load = 1.0;
+        let c1 = core(1, 50.0, 133.0, 0.0, true);
+        let c2 = core(2, 50.0, 133.0, 0.0, true);
+        let input = build_input(Seconds::ZERO, vec![c0, c1, c2], 0);
+        let actions = p.decide(&input);
+        // Two of the three tasks must move away from core 0.
+        assert_eq!(actions.len(), 2);
+        for action in &actions {
+            match action {
+                PolicyAction::Migrate { to, .. } => assert_ne!(to.index(), 0),
+                other => panic!("unexpected action {other}"),
+            }
+        }
+        // Only once.
+        assert!(p.decide(&input).is_empty());
+        p.reset();
+        assert_eq!(p.decide(&input).len(), 2);
+    }
+
+    #[test]
+    fn rebalance_on_empty_input_is_a_noop() {
+        let mut p = EnergyBalancingPolicy::new().with_initial_rebalance();
+        let input = build_input(Seconds::ZERO, Vec::new(), 0);
+        assert!(p.decide(&input).is_empty());
+    }
+}

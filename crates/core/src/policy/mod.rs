@@ -1,0 +1,305 @@
+//! Run-time thermal/power management policies.
+//!
+//! A [`Policy`] is invoked periodically (every thermal-sensor refresh by
+//! default) with a [`PolicyInput`] snapshot of the system — per-core
+//! temperatures, frequencies, task placements — and answers with a list of
+//! [`PolicyAction`]s: migrate a task, halt a core, resume a core. The
+//! simulation engine applies the actions through the OS middleware and the
+//! platform.
+//!
+//! Three policies from the paper's evaluation are provided:
+//!
+//! * [`ThermalBalancingPolicy`] — the paper's contribution (Section 3.1);
+//! * [`StopGoPolicy`] — the thermal-runaway baseline, modified as in
+//!   Section 5.2 to use the balancing thresholds;
+//! * [`EnergyBalancingPolicy`] — the statically energy-balanced mapping with
+//!   DVFS only;
+//!
+//! plus [`DvfsOnlyPolicy`], an explicit "no policy" used to measure the
+//! unbalanced warm-up behaviour.
+
+pub mod energy_balance;
+pub mod stop_go;
+pub mod thermal_balance;
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use tbp_arch::core::CoreId;
+use tbp_arch::freq::Frequency;
+use tbp_arch::units::{Bytes, Celsius, Seconds};
+use tbp_os::task::TaskId;
+
+pub use energy_balance::EnergyBalancingPolicy;
+pub use stop_go::StopGoPolicy;
+pub use thermal_balance::{ThermalBalancingConfig, ThermalBalancingPolicy};
+
+/// Snapshot of one task handed to a policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSnapshot {
+    /// Task identifier.
+    pub id: TaskId,
+    /// Full-speed-equivalent load of the task.
+    pub fse_load: f64,
+    /// Data volume a migration of this task would transfer.
+    pub context_size: Bytes,
+    /// Whether the middleware may migrate the task at all.
+    pub migratable: bool,
+    /// Whether a migration of this task is already in flight.
+    pub migrating: bool,
+}
+
+/// Snapshot of one core handed to a policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CoreSnapshot {
+    /// Core identifier.
+    pub id: CoreId,
+    /// Last sampled temperature of the core.
+    pub temperature: Celsius,
+    /// Current frequency selected by the DVFS governor (the configured
+    /// frequency for halted cores).
+    pub frequency: Frequency,
+    /// `false` when the core is currently halted (clock-gated).
+    pub running: bool,
+    /// Sum of the FSE loads of the tasks assigned to the core.
+    pub fse_load: f64,
+    /// Tasks assigned to the core.
+    pub tasks: Vec<TaskSnapshot>,
+}
+
+/// The system state a policy decides on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyInput {
+    /// Simulated time of the snapshot.
+    pub time: Seconds,
+    /// Per-core snapshots, indexed by core id.
+    pub cores: Vec<CoreSnapshot>,
+    /// Mean of the core temperatures (the policy's `T_mean`).
+    pub mean_temperature: Celsius,
+    /// Mean of the core frequencies (the policy's `f_mean`).
+    pub mean_frequency: Frequency,
+    /// Number of migrations currently pending or transferring.
+    pub migrations_in_flight: usize,
+}
+
+impl PolicyInput {
+    /// Temperature of a core by id, if present.
+    pub fn temperature_of(&self, core: CoreId) -> Option<Celsius> {
+        self.cores.get(core.index()).map(|c| c.temperature)
+    }
+
+    /// The hottest core of the snapshot.
+    pub fn hottest_core(&self) -> Option<&CoreSnapshot> {
+        self.cores.iter().max_by(|a, b| {
+            a.temperature
+                .as_celsius()
+                .partial_cmp(&b.temperature.as_celsius())
+                .expect("temperatures are finite")
+        })
+    }
+
+    /// The coolest core of the snapshot.
+    pub fn coolest_core(&self) -> Option<&CoreSnapshot> {
+        self.cores.iter().min_by(|a, b| {
+            a.temperature
+                .as_celsius()
+                .partial_cmp(&b.temperature.as_celsius())
+                .expect("temperatures are finite")
+        })
+    }
+
+    /// Spatial spread: hottest minus coolest core temperature.
+    pub fn temperature_spread(&self) -> f64 {
+        match (self.hottest_core(), self.coolest_core()) {
+            (Some(h), Some(c)) => h.temperature - c.temperature,
+            _ => 0.0,
+        }
+    }
+}
+
+/// An action a policy asks the runtime to perform.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PolicyAction {
+    /// Migrate `task` to core `to` (the source is wherever the task runs).
+    Migrate {
+        /// The task to move.
+        task: TaskId,
+        /// Destination core.
+        to: CoreId,
+    },
+    /// Clock-gate a core (Stop&Go).
+    HaltCore(CoreId),
+    /// Resume a halted core.
+    ResumeCore(CoreId),
+}
+
+impl fmt::Display for PolicyAction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PolicyAction::Migrate { task, to } => write!(f, "migrate {task} to {to}"),
+            PolicyAction::HaltCore(core) => write!(f, "halt {core}"),
+            PolicyAction::ResumeCore(core) => write!(f, "resume {core}"),
+        }
+    }
+}
+
+/// A run-time thermal/power management policy.
+///
+/// Policies are invoked at every thermal-sensor refresh (10 ms in the paper's
+/// platform). They must be cheap: the whole point of the paper's proposal is
+/// a *lightweight* balancing algorithm.
+pub trait Policy: Send {
+    /// Human-readable policy name (used in reports and plots).
+    fn name(&self) -> &str;
+
+    /// Decides what to do given the current system snapshot.
+    fn decide(&mut self, input: &PolicyInput) -> Vec<PolicyAction>;
+
+    /// Clears any internal state (cooldown timers, hysteresis) so the policy
+    /// can be reused for another run.
+    fn reset(&mut self) {}
+}
+
+/// The "no policy" baseline: DVFS only, never migrates, halts nothing.
+///
+/// Used to measure the unbalanced temperature profile the paper reports after
+/// the initial 12.5 s execution phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct DvfsOnlyPolicy;
+
+impl DvfsOnlyPolicy {
+    /// Creates the no-op policy.
+    pub fn new() -> Self {
+        DvfsOnlyPolicy
+    }
+}
+
+impl Policy for DvfsOnlyPolicy {
+    fn name(&self) -> &str {
+        "dvfs-only"
+    }
+
+    fn decide(&mut self, _input: &PolicyInput) -> Vec<PolicyAction> {
+        Vec::new()
+    }
+}
+
+/// Builds a [`PolicyInput`] from raw per-core data (helper shared by the
+/// simulation engine and by unit tests of the policies).
+pub fn build_input(
+    time: Seconds,
+    cores: Vec<CoreSnapshot>,
+    migrations_in_flight: usize,
+) -> PolicyInput {
+    let n = cores.len().max(1) as f64;
+    let mean_t = cores.iter().map(|c| c.temperature.as_celsius()).sum::<f64>() / n;
+    let mean_f = cores.iter().map(|c| c.frequency.as_hz()).sum::<u64>() / cores.len().max(1) as u64;
+    PolicyInput {
+        time,
+        cores,
+        mean_temperature: Celsius::new(mean_t),
+        mean_frequency: Frequency::from_hz(mean_f),
+        migrations_in_flight,
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    //! Helpers for building policy inputs in unit tests.
+
+    use super::*;
+
+    /// Builds a core snapshot with a single synthetic task carrying the whole
+    /// load.
+    pub fn core(
+        id: usize,
+        temperature: f64,
+        frequency_mhz: f64,
+        fse_load: f64,
+        running: bool,
+    ) -> CoreSnapshot {
+        let tasks = if fse_load > 0.0 {
+            vec![TaskSnapshot {
+                id: TaskId(id),
+                fse_load,
+                context_size: Bytes::from_kib(64),
+                migratable: true,
+                migrating: false,
+            }]
+        } else {
+            Vec::new()
+        };
+        CoreSnapshot {
+            id: CoreId(id),
+            temperature: Celsius::new(temperature),
+            frequency: Frequency::from_mhz(frequency_mhz),
+            running,
+            fse_load,
+            tasks,
+        }
+    }
+
+    /// Builds an input from `(temperature, frequency, load)` triples.
+    pub fn input_from(cores: &[(f64, f64, f64)]) -> PolicyInput {
+        let snapshots = cores
+            .iter()
+            .enumerate()
+            .map(|(i, &(t, f, l))| core(i, t, f, l, true))
+            .collect();
+        build_input(Seconds::new(1.0), snapshots, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn input_statistics() {
+        let input = input_from(&[(70.0, 533.0, 0.65), (62.0, 266.0, 0.33), (60.0, 266.0, 0.40)]);
+        assert!((input.mean_temperature.as_celsius() - 64.0).abs() < 1e-9);
+        assert!((input.mean_frequency.as_mhz() - 355.0).abs() < 1.0);
+        assert_eq!(input.hottest_core().unwrap().id, CoreId(0));
+        assert_eq!(input.coolest_core().unwrap().id, CoreId(2));
+        assert!((input.temperature_spread() - 10.0).abs() < 1e-9);
+        assert_eq!(
+            input.temperature_of(CoreId(1)).unwrap(),
+            Celsius::new(62.0)
+        );
+        assert!(input.temperature_of(CoreId(9)).is_none());
+        assert_eq!(input.migrations_in_flight, 0);
+    }
+
+    #[test]
+    fn dvfs_only_policy_never_acts() {
+        let mut policy = DvfsOnlyPolicy::new();
+        assert_eq!(policy.name(), "dvfs-only");
+        let input = input_from(&[(90.0, 533.0, 0.9), (45.0, 133.0, 0.0)]);
+        assert!(policy.decide(&input).is_empty());
+        policy.reset();
+        assert_eq!(DvfsOnlyPolicy::default(), policy);
+    }
+
+    #[test]
+    fn action_display() {
+        let a = PolicyAction::Migrate {
+            task: TaskId(2),
+            to: CoreId(1),
+        };
+        assert!(a.to_string().contains("task2"));
+        assert!(a.to_string().contains("core1"));
+        assert!(PolicyAction::HaltCore(CoreId(0)).to_string().contains("halt"));
+        assert!(PolicyAction::ResumeCore(CoreId(0))
+            .to_string()
+            .contains("resume"));
+    }
+
+    #[test]
+    fn empty_input_is_handled() {
+        let input = build_input(Seconds::ZERO, Vec::new(), 0);
+        assert!(input.hottest_core().is_none());
+        assert!(input.coolest_core().is_none());
+        assert_eq!(input.temperature_spread(), 0.0);
+    }
+}

@@ -1,0 +1,149 @@
+//! The modified Stop&Go baseline policy.
+//!
+//! Stop&Go prevents thermal runaway by shutting a core down when it reaches a
+//! panic temperature. For a fair comparison the paper modifies it to use the
+//! balancing policy's **upper threshold as the panic threshold** and its
+//! **lower threshold to decide when to switch the core back on** (Section
+//! 5.2), both measured against the current mean temperature. The policy
+//! controls temperature without migrations, which is exactly why it trades
+//! deadline misses for thermal control: a halted core's tasks simply stall.
+
+use serde::{Deserialize, Serialize};
+
+use super::{Policy, PolicyAction, PolicyInput};
+
+/// The modified Stop&Go policy.
+///
+/// ```
+/// use tbp_core::policy::{StopGoPolicy, Policy};
+/// let policy = StopGoPolicy::new(3.0);
+/// assert_eq!(policy.name(), "stop-and-go");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StopGoPolicy {
+    threshold: f64,
+    halts_issued: u64,
+    resumes_issued: u64,
+}
+
+impl StopGoPolicy {
+    /// Creates the policy with the given threshold (°C around the mean
+    /// temperature): a core halts when it exceeds `mean + threshold` and
+    /// resumes when it drops below `mean - threshold`.
+    pub fn new(threshold: f64) -> Self {
+        StopGoPolicy {
+            threshold,
+            halts_issued: 0,
+            resumes_issued: 0,
+        }
+    }
+
+    /// The configured threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Number of halt commands issued so far.
+    pub fn halts_issued(&self) -> u64 {
+        self.halts_issued
+    }
+
+    /// Number of resume commands issued so far.
+    pub fn resumes_issued(&self) -> u64 {
+        self.resumes_issued
+    }
+}
+
+impl Policy for StopGoPolicy {
+    fn name(&self) -> &str {
+        "stop-and-go"
+    }
+
+    fn decide(&mut self, input: &PolicyInput) -> Vec<PolicyAction> {
+        let mean = input.mean_temperature.as_celsius();
+        let mut actions = Vec::new();
+        for core in &input.cores {
+            let t = core.temperature.as_celsius();
+            if core.running && t >= mean + self.threshold {
+                actions.push(PolicyAction::HaltCore(core.id));
+                self.halts_issued += 1;
+            } else if !core.running && t <= mean - self.threshold {
+                actions.push(PolicyAction::ResumeCore(core.id));
+                self.resumes_issued += 1;
+            }
+        }
+        actions
+    }
+
+    fn reset(&mut self) {
+        self.halts_issued = 0;
+        self.resumes_issued = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::build_input;
+    use crate::policy::test_support::core;
+    use tbp_arch::core::CoreId;
+    use tbp_arch::units::Seconds;
+
+    #[test]
+    fn halts_hot_cores_and_resumes_cold_ones() {
+        let mut p = StopGoPolicy::new(3.0);
+        assert_eq!(p.threshold(), 3.0);
+        // Mean is 64 °C: core 0 (70°) must halt, the halted core 2 (58°)
+        // must resume, core 1 stays untouched.
+        let cores = vec![
+            core(0, 70.0, 533.0, 0.6, true),
+            core(1, 64.0, 266.0, 0.3, true),
+            core(2, 58.0, 266.0, 0.3, false),
+        ];
+        let input = build_input(Seconds::new(1.0), cores, 0);
+        let actions = p.decide(&input);
+        assert_eq!(actions.len(), 2);
+        assert!(actions.contains(&PolicyAction::HaltCore(CoreId(0))));
+        assert!(actions.contains(&PolicyAction::ResumeCore(CoreId(2))));
+        assert_eq!(p.halts_issued(), 1);
+        assert_eq!(p.resumes_issued(), 1);
+        p.reset();
+        assert_eq!(p.halts_issued(), 0);
+    }
+
+    #[test]
+    fn no_action_inside_the_band() {
+        let mut p = StopGoPolicy::new(3.0);
+        let cores = vec![
+            core(0, 65.0, 533.0, 0.6, true),
+            core(1, 64.0, 266.0, 0.3, true),
+            core(2, 63.0, 266.0, 0.3, true),
+        ];
+        let input = build_input(Seconds::new(1.0), cores, 0);
+        assert!(p.decide(&input).is_empty());
+    }
+
+    #[test]
+    fn halted_core_stays_halted_until_lower_threshold() {
+        let mut p = StopGoPolicy::new(2.0);
+        // The halted core 0 has cooled to just above mean - threshold: it must
+        // stay halted.
+        let cores = vec![
+            core(0, 63.5, 533.0, 0.6, false),
+            core(1, 64.0, 266.0, 0.3, true),
+            core(2, 65.0, 266.0, 0.3, true),
+        ];
+        let input = build_input(Seconds::new(1.0), cores, 0);
+        assert!(p.decide(&input).is_empty());
+        // Once it drops below the lower threshold it resumes.
+        let cores = vec![
+            core(0, 61.0, 533.0, 0.6, false),
+            core(1, 64.0, 266.0, 0.3, true),
+            core(2, 65.0, 266.0, 0.3, true),
+        ];
+        let input = build_input(Seconds::new(1.0), cores, 0);
+        assert_eq!(input.mean_temperature.as_celsius(), 190.0 / 3.0);
+        let actions = p.decide(&input);
+        assert_eq!(actions, vec![PolicyAction::ResumeCore(CoreId(0))]);
+    }
+}

@@ -1,0 +1,495 @@
+//! The paper's migration-based thermal balancing policy (Section 3.1).
+//!
+//! The policy keeps every core's temperature inside a band of `± threshold`
+//! degrees around the current mean temperature. When a core leaves the band a
+//! migration is triggered between exactly two processors: tasks move from the
+//! warm side to the cold side. Candidate destination cores must satisfy three
+//! conditions:
+//!
+//! 1. source and destination sit on opposite sides of the mean temperature:
+//!    `(T_src − T_mean)·(T_dst − T_mean) < 0`;
+//! 2. source and destination sit on opposite sides of the mean frequency:
+//!    `(f_src − f_mean)·(f_dst − f_mean) < 0` (evaluated non-strictly so the
+//!    steady back-and-forth balancing of Figure 1 remains possible once the
+//!    loads have equalised);
+//! 3. the migration must not increase power:
+//!    `(f_src² + f_dst²)_before ≥ (f_src² + f_dst²)_after`, with the
+//!    post-migration frequencies predicted from the DVFS governor.
+//!
+//! The destination and task are chosen by minimising the cost function of
+//! Eq. 1 — data moved divided by the squared distance of the destination from
+//! the mean temperature — and the search is pruned to the few highest-load
+//! tasks, exactly as the paper suggests.
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::freq::{DvfsScale, Frequency};
+use tbp_arch::units::Seconds;
+
+use super::{CoreSnapshot, Policy, PolicyAction, PolicyInput};
+
+/// Tunable parameters of the thermal balancing policy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalBalancingConfig {
+    /// Half-width of the allowed temperature band around the mean (°C). The
+    /// paper sweeps 1–4 °C.
+    pub threshold: f64,
+    /// How many of the highest-load tasks on the source are considered for
+    /// migration (the paper's pruning of the exhaustive search).
+    pub max_candidate_tasks: usize,
+    /// Minimum time between two migrations issued by the policy, bounding the
+    /// migration overhead.
+    pub min_migration_interval: Seconds,
+    /// Evaluate condition 1 (opposite sides of the mean temperature).
+    pub use_temperature_condition: bool,
+    /// Evaluate condition 2 (opposite sides of the mean frequency).
+    pub use_frequency_condition: bool,
+    /// Evaluate condition 3 (power must not increase).
+    pub use_power_condition: bool,
+}
+
+impl ThermalBalancingConfig {
+    /// The configuration used in the paper's headline experiment: a ±3 °C
+    /// band, the three candidate conditions enabled, search pruned to the
+    /// three heaviest tasks.
+    pub fn paper_default() -> Self {
+        ThermalBalancingConfig {
+            threshold: 3.0,
+            max_candidate_tasks: 3,
+            min_migration_interval: Seconds::from_millis(100.0),
+            use_temperature_condition: true,
+            use_frequency_condition: true,
+            use_power_condition: true,
+        }
+    }
+
+    /// Same configuration with a different threshold (the X axis of
+    /// Figures 7–11).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self
+    }
+}
+
+impl Default for ThermalBalancingConfig {
+    fn default() -> Self {
+        ThermalBalancingConfig::paper_default()
+    }
+}
+
+/// The migration-based thermal balancing policy.
+///
+/// ```
+/// use tbp_core::policy::{ThermalBalancingPolicy, ThermalBalancingConfig, Policy};
+/// use tbp_arch::freq::DvfsScale;
+///
+/// let mut policy = ThermalBalancingPolicy::new(
+///     DvfsScale::paper_default(),
+///     ThermalBalancingConfig::paper_default().with_threshold(2.0),
+/// );
+/// assert_eq!(policy.name(), "thermal-balancing");
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalBalancingPolicy {
+    scale: DvfsScale,
+    config: ThermalBalancingConfig,
+    last_migration_at: Option<Seconds>,
+    migrations_issued: u64,
+}
+
+impl ThermalBalancingPolicy {
+    /// Creates the policy for a platform using the given DVFS scale.
+    pub fn new(scale: DvfsScale, config: ThermalBalancingConfig) -> Self {
+        ThermalBalancingPolicy {
+            scale,
+            config,
+            last_migration_at: None,
+            migrations_issued: 0,
+        }
+    }
+
+    /// The policy configuration.
+    pub fn config(&self) -> &ThermalBalancingConfig {
+        &self.config
+    }
+
+    /// Number of migrations issued by this policy instance.
+    pub fn migrations_issued(&self) -> u64 {
+        self.migrations_issued
+    }
+
+    /// Frequency the governor would select for the given FSE load.
+    fn frequency_for_load(&self, fse_load: f64) -> Frequency {
+        self.scale
+            .level_for_load((fse_load.max(0.0) + 0.02).min(1.0))
+            .map(|p| p.frequency)
+            .unwrap_or_else(|| self.scale.min_frequency())
+    }
+
+    fn in_cooldown(&self, now: Seconds) -> bool {
+        match self.last_migration_at {
+            Some(at) => {
+                now.saturating_sub(at).as_secs() < self.config.min_migration_interval.as_secs()
+            }
+            None => false,
+        }
+    }
+
+    /// Checks the three candidate conditions for moving a task of load
+    /// `task_load` from `src` to `dst`.
+    fn pair_is_candidate(
+        &self,
+        src: &CoreSnapshot,
+        dst: &CoreSnapshot,
+        task_load: f64,
+        mean_t: f64,
+        mean_f: f64,
+    ) -> bool {
+        if !dst.running {
+            return false;
+        }
+        // Condition 1: opposite sides of the mean temperature.
+        if self.config.use_temperature_condition {
+            let product = (src.temperature.as_celsius() - mean_t)
+                * (dst.temperature.as_celsius() - mean_t);
+            if product >= 0.0 {
+                return false;
+            }
+        }
+        // Condition 2: opposite sides of the mean frequency (non-strict).
+        if self.config.use_frequency_condition {
+            let product = (src.frequency.as_hz() as f64 - mean_f)
+                * (dst.frequency.as_hz() as f64 - mean_f);
+            if product > 0.0 {
+                return false;
+            }
+        }
+        // Condition 3: the post-migration frequencies must not dissipate more
+        // power than the pre-migration ones (f² is used as the power proxy,
+        // as in the paper).
+        if self.config.use_power_condition {
+            let f_src_before = src.frequency.as_mhz();
+            let f_dst_before = dst.frequency.as_mhz();
+            let f_src_after = self.frequency_for_load(src.fse_load - task_load).as_mhz();
+            let f_dst_after = self.frequency_for_load(dst.fse_load + task_load).as_mhz();
+            let before = f_src_before.powi(2) + f_dst_before.powi(2);
+            let after = f_src_after.powi(2) + f_dst_after.powi(2);
+            if before + 1e-9 < after {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl Policy for ThermalBalancingPolicy {
+    fn name(&self) -> &str {
+        "thermal-balancing"
+    }
+
+    fn decide(&mut self, input: &PolicyInput) -> Vec<PolicyAction> {
+        // Keep migration overhead bounded: one decision at a time, spaced by
+        // the configured interval, and never while a transfer is in flight.
+        if input.migrations_in_flight > 0 || self.in_cooldown(input.time) {
+            return Vec::new();
+        }
+        let mean_t = input.mean_temperature.as_celsius();
+        let mean_f = input.mean_frequency.as_hz() as f64;
+
+        // Find the running core with the largest band violation.
+        let trigger = input
+            .cores
+            .iter()
+            .filter(|c| c.running)
+            .map(|c| (c, (c.temperature.as_celsius() - mean_t).abs()))
+            .filter(|(_, dev)| *dev >= self.config.threshold)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite temperatures"));
+        let Some((trigger_core, _)) = trigger else {
+            return Vec::new();
+        };
+
+        // The source of the migration is always the warm side: either the
+        // trigger itself (upper-threshold crossing) or, for a cold trigger,
+        // every core above the mean is a potential source.
+        let trigger_is_hot = trigger_core.temperature.as_celsius() >= mean_t;
+        let sources: Vec<&CoreSnapshot> = if trigger_is_hot {
+            vec![trigger_core]
+        } else {
+            input
+                .cores
+                .iter()
+                .filter(|c| c.running && c.temperature.as_celsius() > mean_t)
+                .collect()
+        };
+        let destinations: Vec<&CoreSnapshot> = if trigger_is_hot {
+            input
+                .cores
+                .iter()
+                .filter(|c| c.running && c.temperature.as_celsius() < mean_t)
+                .collect()
+        } else {
+            vec![trigger_core]
+        };
+
+        let mut best: Option<(f64, PolicyAction)> = None;
+        for src in &sources {
+            // Prune the search to the highest-load migratable tasks.
+            let mut candidates: Vec<_> = src
+                .tasks
+                .iter()
+                .filter(|t| t.migratable && !t.migrating && t.fse_load > 0.0)
+                .collect();
+            candidates.sort_by(|a, b| {
+                b.fse_load
+                    .partial_cmp(&a.fse_load)
+                    .expect("loads are finite")
+            });
+            candidates.truncate(self.config.max_candidate_tasks);
+
+            for dst in &destinations {
+                if src.id == dst.id {
+                    continue;
+                }
+                let t_dst_distance = dst.temperature.as_celsius() - mean_t;
+                // Eq. 1 denominator: a destination exactly at the mean would
+                // be revisited immediately; guard against division by ~0.
+                let denominator = t_dst_distance.powi(2).max(1e-6);
+                for task in &candidates {
+                    if !self.pair_is_candidate(src, dst, task.fse_load, mean_t, mean_f) {
+                        continue;
+                    }
+                    let cost = task.context_size.as_u64() as f64 / denominator;
+                    let action = PolicyAction::Migrate {
+                        task: task.id,
+                        to: dst.id,
+                    };
+                    if best.as_ref().map(|(c, _)| cost < *c).unwrap_or(true) {
+                        best = Some((cost, action));
+                    }
+                }
+            }
+        }
+
+        match best {
+            Some((_, action)) => {
+                self.last_migration_at = Some(input.time);
+                self.migrations_issued += 1;
+                vec![action]
+            }
+            None => Vec::new(),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.last_migration_at = None;
+        self.migrations_issued = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::test_support::*;
+    use crate::policy::build_input;
+    use tbp_arch::core::CoreId;
+    use tbp_arch::units::Bytes;
+    use tbp_os::task::TaskId;
+
+    fn policy(threshold: f64) -> ThermalBalancingPolicy {
+        ThermalBalancingPolicy::new(
+            DvfsScale::paper_default(),
+            ThermalBalancingConfig::paper_default().with_threshold(threshold),
+        )
+    }
+
+    #[test]
+    fn no_action_inside_the_band() {
+        let mut p = policy(3.0);
+        // Spread of 2 °C around the mean: nobody crosses a 3 °C threshold.
+        let input = input_from(&[(61.0, 400.0, 0.5), (60.0, 266.0, 0.3), (59.0, 266.0, 0.3)]);
+        assert!(p.decide(&input).is_empty());
+        assert_eq!(p.migrations_issued(), 0);
+    }
+
+    #[test]
+    fn hot_core_triggers_migration_to_cold_core() {
+        let mut p = policy(3.0);
+        // Core 0 is 6 °C above the mean, runs fast and carries the load;
+        // core 2 is cold and slow.
+        let input = input_from(&[(70.0, 533.0, 0.65), (63.0, 266.0, 0.33), (59.0, 266.0, 0.40)]);
+        let actions = p.decide(&input);
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            PolicyAction::Migrate { task, to } => {
+                assert_eq!(task, TaskId(0), "the heaviest task on the hot core moves");
+                assert_ne!(to, CoreId(0));
+                // The destination must be below the mean (64 °C).
+                assert!(input.temperature_of(to).unwrap().as_celsius() < 64.0);
+            }
+            other => panic!("expected a migration, got {other}"),
+        }
+        assert_eq!(p.migrations_issued(), 1);
+    }
+
+    #[test]
+    fn cold_core_triggers_pull_from_warm_core() {
+        let mut p = policy(3.0);
+        // Core 2 is 6 °C below the mean; cores 0 and 1 are warm.
+        let input = input_from(&[(67.0, 533.0, 0.6), (66.0, 400.0, 0.5), (58.0, 133.0, 0.05)]);
+        let actions = p.decide(&input);
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            PolicyAction::Migrate { to, .. } => assert_eq!(to, CoreId(2)),
+            other => panic!("expected a migration, got {other}"),
+        }
+    }
+
+    #[test]
+    fn respects_in_flight_migrations_and_cooldown() {
+        let mut p = policy(3.0);
+        let hot = input_from(&[(72.0, 533.0, 0.65), (60.0, 266.0, 0.3), (58.0, 266.0, 0.3)]);
+        // In-flight migration blocks new decisions.
+        let mut blocked = hot.clone();
+        blocked.migrations_in_flight = 1;
+        assert!(p.decide(&blocked).is_empty());
+        // First real decision goes through...
+        assert_eq!(p.decide(&hot).len(), 1);
+        // ...but an immediate re-trigger is suppressed by the cooldown.
+        assert!(p.decide(&hot).is_empty());
+        // After the interval elapses the policy can act again.
+        let mut later = hot.clone();
+        later.time = Seconds::new(hot.time.as_secs() + 1.0);
+        assert_eq!(p.decide(&later).len(), 1);
+        p.reset();
+        assert_eq!(p.migrations_issued(), 0);
+    }
+
+    #[test]
+    fn larger_threshold_tolerates_larger_gradients() {
+        let mut tight = policy(1.0);
+        let mut loose = policy(4.0);
+        let input = input_from(&[(66.0, 533.0, 0.6), (63.0, 266.0, 0.3), (62.0, 266.0, 0.3)]);
+        // Spread is 4 °C, max deviation from mean ~2.33 °C.
+        assert_eq!(tight.decide(&input).len(), 1);
+        assert!(loose.decide(&input).is_empty());
+    }
+
+    #[test]
+    fn power_condition_vetoes_expensive_moves() {
+        // Moving the 0.4-load task does not lower the source's DVFS level
+        // (0.3 still needs 266 MHz) but pushes the destination from 266 MHz
+        // to 400 MHz, so the total f² grows: condition 3 must reject it.
+        let cores = [(70.0, 266.0, 0.4), (60.0, 266.0, 0.3)];
+        let mut with_power = policy(3.0);
+        let input = input_from(&cores);
+        assert!(with_power.decide(&input).is_empty());
+
+        let mut without_power = ThermalBalancingPolicy::new(
+            DvfsScale::paper_default(),
+            ThermalBalancingConfig {
+                use_power_condition: false,
+                use_frequency_condition: false,
+                ..ThermalBalancingConfig::paper_default()
+            },
+        );
+        assert_eq!(without_power.decide(&input).len(), 1);
+    }
+
+    #[test]
+    fn frequency_condition_requires_opposite_sides_of_the_mean() {
+        // Both cores run at the same frequency as the mean of a third slower
+        // core: src and dst are both above f_mean, so condition 2 rejects the
+        // pair when evaluated strictly on opposite sides.
+        let cores = [(70.0, 533.0, 0.6), (60.0, 533.0, 0.2), (58.0, 133.0, 0.0)];
+        let mut p = policy(3.0);
+        let input = input_from(&cores);
+        let actions = p.decide(&input);
+        // The only acceptable destination is core 2 (below mean frequency).
+        match actions[0] {
+            PolicyAction::Migrate { to, .. } => assert_eq!(to, CoreId(2)),
+            other => panic!("unexpected action {other}"),
+        }
+    }
+
+    #[test]
+    fn cost_function_prefers_the_coldest_destination() {
+        // Two possible destinations with identical task data volume: Eq. 1
+        // favours the one farther below the mean.
+        let mut p = ThermalBalancingPolicy::new(
+            DvfsScale::paper_default(),
+            ThermalBalancingConfig {
+                use_frequency_condition: false,
+                use_power_condition: false,
+                ..ThermalBalancingConfig::paper_default()
+            },
+        );
+        let input = input_from(&[(74.0, 533.0, 0.5), (63.0, 266.0, 0.1), (55.0, 266.0, 0.1)]);
+        let actions = p.decide(&input);
+        match actions[0] {
+            PolicyAction::Migrate { to, .. } => assert_eq!(to, CoreId(2)),
+            other => panic!("unexpected action {other}"),
+        }
+    }
+
+    #[test]
+    fn pruning_limits_candidate_tasks() {
+        // Build a source core with many tasks; only the heaviest should be
+        // considered, and the chosen one must be among the top loads. The
+        // frequency/power conditions are disabled so the test isolates the
+        // pruning behaviour.
+        let mut src = core(0, 72.0, 533.0, 0.0, true);
+        src.tasks = (0..6)
+            .map(|i| super::super::TaskSnapshot {
+                id: TaskId(i),
+                fse_load: 0.05 + 0.05 * i as f64,
+                context_size: Bytes::from_kib(64),
+                migratable: true,
+                migrating: false,
+            })
+            .collect();
+        src.fse_load = src.tasks.iter().map(|t| t.fse_load).sum();
+        let dst = core(1, 58.0, 133.0, 0.05, true);
+        let input = build_input(Seconds::new(1.0), vec![src, dst], 0);
+        let mut p = ThermalBalancingPolicy::new(
+            DvfsScale::paper_default(),
+            ThermalBalancingConfig {
+                use_frequency_condition: false,
+                use_power_condition: false,
+                ..ThermalBalancingConfig::paper_default()
+            },
+        );
+        let actions = p.decide(&input);
+        match actions[0] {
+            PolicyAction::Migrate { task, .. } => {
+                // Top three loads are tasks 5, 4, 3.
+                assert!(task.index() >= 3, "picked {task} outside the pruned set");
+            }
+            other => panic!("unexpected action {other}"),
+        }
+    }
+
+    #[test]
+    fn non_migratable_and_in_flight_tasks_are_skipped() {
+        let mut src = core(0, 72.0, 533.0, 0.6, true);
+        src.tasks[0].migratable = false;
+        let dst = core(1, 58.0, 133.0, 0.0, true);
+        let input = build_input(Seconds::new(1.0), vec![src.clone(), dst.clone()], 0);
+        let mut p = policy(3.0);
+        assert!(p.decide(&input).is_empty());
+
+        src.tasks[0].migratable = true;
+        src.tasks[0].migrating = true;
+        let input = build_input(Seconds::new(1.0), vec![src, dst], 0);
+        assert!(p.decide(&input).is_empty());
+    }
+
+    #[test]
+    fn halted_cores_are_not_destinations() {
+        let src = core(0, 72.0, 533.0, 0.6, true);
+        let halted = core(1, 50.0, 266.0, 0.0, false);
+        let input = build_input(Seconds::new(1.0), vec![src, halted], 0);
+        let mut p = policy(3.0);
+        assert!(p.decide(&input).is_empty());
+        assert_eq!(p.config().max_candidate_tasks, 3);
+    }
+}

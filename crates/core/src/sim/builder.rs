@@ -1,0 +1,272 @@
+//! Builder wiring the platform, thermal model, OS, workload and policy into a
+//! runnable [`Simulation`].
+
+use tbp_arch::freq::DvfsScale;
+use tbp_arch::platform::{MpsocPlatform, PlatformConfig};
+use tbp_os::migration::MigrationStrategy;
+use tbp_os::mpos::Mpos;
+use tbp_streaming::pipeline::PipelineRuntime;
+use tbp_streaming::sdr::SdrBenchmark;
+use tbp_streaming::workload::{SyntheticWorkload, WorkloadSpec};
+use tbp_thermal::package::Package;
+use tbp_thermal::solver::SolverKind;
+use tbp_thermal::{SensorBank, ThermalModel};
+
+use crate::error::SimError;
+use crate::policy::{Policy, ThermalBalancingConfig, ThermalBalancingPolicy};
+use crate::sim::{Simulation, SimulationConfig};
+
+/// The application the simulation runs.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Workload {
+    /// The paper's Software Defined Radio benchmark (with its pipeline and
+    /// frame deadlines).
+    Sdr(SdrBenchmark),
+    /// A synthetic task set without a pipeline (no QoS accounting).
+    Synthetic(WorkloadSpec),
+    /// No tasks at all (idle platform; useful for calibration).
+    Idle,
+}
+
+impl Workload {
+    /// The paper's SDR benchmark with default parameters.
+    pub fn sdr() -> Self {
+        Workload::Sdr(SdrBenchmark::paper_default())
+    }
+}
+
+/// Builder for [`Simulation`].
+///
+/// ```
+/// use tbp_core::sim::{SimulationBuilder, builder::Workload};
+/// use tbp_thermal::package::Package;
+///
+/// # fn main() -> Result<(), tbp_core::SimError> {
+/// let mut sim = SimulationBuilder::new()
+///     .with_package(Package::mobile_embedded())
+///     .with_workload(Workload::sdr())
+///     .with_threshold(3.0)
+///     .build()?;
+/// sim.run_for(tbp_arch::units::Seconds::new(1.0))?;
+/// # Ok(())
+/// # }
+/// ```
+pub struct SimulationBuilder {
+    platform_config: PlatformConfig,
+    package: Package,
+    solver: SolverKind,
+    policy: Option<Box<dyn Policy>>,
+    threshold: f64,
+    config: SimulationConfig,
+    workload: Workload,
+    migration_strategy: MigrationStrategy,
+    dvfs_enabled: bool,
+}
+
+impl SimulationBuilder {
+    /// Creates a builder with the paper's defaults: the 3-core platform, the
+    /// mobile embedded package, the SDR workload and the thermal balancing
+    /// policy at a 3 °C threshold.
+    pub fn new() -> Self {
+        SimulationBuilder {
+            platform_config: PlatformConfig::paper_default(),
+            package: Package::mobile_embedded(),
+            solver: SolverKind::ForwardEuler,
+            policy: None,
+            threshold: 3.0,
+            config: SimulationConfig::paper_default(),
+            workload: Workload::sdr(),
+            migration_strategy: MigrationStrategy::TaskReplication,
+            dvfs_enabled: true,
+        }
+    }
+
+    /// Overrides the platform configuration.
+    pub fn with_platform(mut self, config: PlatformConfig) -> Self {
+        self.platform_config = config;
+        self
+    }
+
+    /// Overrides the thermal package.
+    pub fn with_package(mut self, package: Package) -> Self {
+        self.package = package;
+        self
+    }
+
+    /// Overrides the thermal solver.
+    pub fn with_solver(mut self, solver: SolverKind) -> Self {
+        self.solver = solver;
+        self
+    }
+
+    /// Uses an explicit policy object.
+    pub fn with_policy_box(mut self, policy: Box<dyn Policy>) -> Self {
+        self.policy = Some(policy);
+        self
+    }
+
+    /// Uses the thermal balancing policy with the given threshold (also sets
+    /// the metric band to the same value).
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = threshold;
+        self.config.metrics_threshold = threshold;
+        self
+    }
+
+    /// Overrides the timing configuration.
+    pub fn with_config(mut self, config: SimulationConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the workload.
+    pub fn with_workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Overrides the migration back-end strategy.
+    pub fn with_migration_strategy(mut self, strategy: MigrationStrategy) -> Self {
+        self.migration_strategy = strategy;
+        self
+    }
+
+    /// Enables or disables the DVFS governor (enabled by default).
+    pub fn with_dvfs(mut self, enabled: bool) -> Self {
+        self.dvfs_enabled = enabled;
+        self
+    }
+
+    /// Builds the simulation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] when any layer rejects its configuration.
+    pub fn build(self) -> Result<Simulation, SimError> {
+        self.config.validate()?;
+        let platform = MpsocPlatform::new(self.platform_config.clone())?;
+        let thermal = ThermalModel::with_solver(platform.floorplan(), self.package, self.solver)?;
+        let sensors = SensorBank::paper_default(platform.num_cores());
+        let scale: DvfsScale = self.platform_config.dvfs.clone();
+        let mut os = Mpos::new(platform.num_cores(), scale.clone())
+            .with_strategy(self.migration_strategy)
+            .with_dvfs(self.dvfs_enabled);
+
+        let pipeline = match &self.workload {
+            Workload::Sdr(sdr) => {
+                let descriptors = sdr.tasks();
+                let placement = sdr.initial_placement();
+                let mut ids = Vec::with_capacity(descriptors.len());
+                for (descriptor, core) in descriptors.into_iter().zip(placement) {
+                    ids.push(os.spawn(descriptor, core)?);
+                }
+                let graph = sdr.build_graph(&ids)?;
+                Some(PipelineRuntime::new(graph, *sdr.pipeline_config())?)
+            }
+            Workload::Synthetic(spec) => {
+                let workload = SyntheticWorkload::generate(spec)?;
+                for (descriptor, core) in workload.tasks.into_iter().zip(workload.placement) {
+                    os.spawn(descriptor, core)?;
+                }
+                None
+            }
+            Workload::Idle => None,
+        };
+
+        let policy = self.policy.unwrap_or_else(|| {
+            Box::new(ThermalBalancingPolicy::new(
+                scale,
+                ThermalBalancingConfig::paper_default().with_threshold(self.threshold),
+            ))
+        });
+
+        Ok(Simulation::from_parts(
+            platform,
+            thermal,
+            sensors,
+            os,
+            pipeline,
+            policy,
+            self.config,
+        ))
+    }
+}
+
+impl Default for SimulationBuilder {
+    fn default() -> Self {
+        SimulationBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbp_arch::units::Seconds;
+
+    #[test]
+    fn default_builder_builds_the_sdr_setup() {
+        let sim = SimulationBuilder::default().build().unwrap();
+        assert_eq!(sim.platform().num_cores(), 3);
+        assert!(sim.pipeline().is_some());
+        assert_eq!(sim.os().tasks().len(), 6);
+        assert_eq!(sim.policy_name(), "thermal-balancing");
+    }
+
+    #[test]
+    fn synthetic_workload_has_no_pipeline() {
+        let sim = SimulationBuilder::new()
+            .with_workload(Workload::Synthetic(WorkloadSpec::default_mixed()))
+            .build()
+            .unwrap();
+        assert!(sim.pipeline().is_none());
+        assert_eq!(sim.os().tasks().len(), 8);
+    }
+
+    #[test]
+    fn idle_workload_builds_and_runs() {
+        let mut sim = SimulationBuilder::new()
+            .with_workload(Workload::Idle)
+            .with_package(Package::high_performance())
+            .build()
+            .unwrap();
+        sim.run_for(Seconds::new(1.0)).unwrap();
+        assert!(sim.os().tasks().is_empty());
+        // Idle platform stays near ambient.
+        let temps = sim.core_temperatures();
+        assert!(temps[0].as_celsius() < 55.0);
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_at_build_time() {
+        let result = SimulationBuilder::new()
+            .with_config(SimulationConfig {
+                time_step: Seconds::ZERO,
+                ..SimulationConfig::paper_default()
+            })
+            .build();
+        assert!(result.is_err());
+        let result = SimulationBuilder::new()
+            .with_platform(PlatformConfig::paper_default().with_cores(0))
+            .build();
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn builder_options_are_applied() {
+        let sim = SimulationBuilder::new()
+            .with_platform(PlatformConfig::paper_default().with_cores(4))
+            .with_solver(SolverKind::RungeKutta4)
+            .with_migration_strategy(MigrationStrategy::TaskRecreation)
+            .with_dvfs(false)
+            .with_threshold(2.0)
+            .build()
+            .unwrap();
+        assert_eq!(sim.platform().num_cores(), 4);
+        assert_eq!(sim.thermal().solver_kind(), SolverKind::RungeKutta4);
+        assert_eq!(
+            sim.os().migration().strategy(),
+            MigrationStrategy::TaskRecreation
+        );
+        assert_eq!(sim.config().metrics_threshold, 2.0);
+    }
+}

@@ -1,0 +1,473 @@
+//! The co-simulation engine.
+//!
+//! [`Simulation`] closes the loop the paper's emulation platform implements
+//! in hardware (Figure 4): the OS layer drives core frequencies and
+//! utilisations, the platform converts them into per-block power, the thermal
+//! model integrates temperatures, the sensors publish them every 10 ms, and
+//! the policy reads the sensors and issues migrations or core halts, which
+//! feed back into the OS layer.
+
+pub mod builder;
+
+pub use builder::SimulationBuilder;
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::core::CoreId;
+use tbp_arch::platform::MpsocPlatform;
+use tbp_arch::units::{Celsius, Seconds};
+use tbp_os::mpos::Mpos;
+use tbp_os::OsError;
+use tbp_streaming::pipeline::PipelineRuntime;
+use tbp_thermal::{SensorBank, ThermalModel};
+
+use crate::error::SimError;
+use crate::metrics::{MetricsCollector, QosMetrics, SimulationSummary};
+use crate::policy::{
+    build_input, CoreSnapshot, Policy, PolicyAction, PolicyInput, TaskSnapshot,
+};
+use crate::trace::{TraceRecorder, TraceSample};
+
+/// Timing and measurement parameters of a simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimulationConfig {
+    /// Co-simulation time step. Must not exceed the sensor period.
+    pub time_step: Seconds,
+    /// Interval between two policy invocations (the paper's platform refreshes
+    /// sensors every 10 ms and the policy runs on each refresh).
+    pub policy_period: Seconds,
+    /// Initial phase during which the policy is not invoked and metrics are
+    /// not recorded (the paper lets DVFS stabilise the system for 12.5 s
+    /// before enabling thermal balancing).
+    pub warmup: Seconds,
+    /// Threshold (°C) used by the metrics collector for the time-above/below
+    /// band accounting; usually equal to the policy threshold.
+    pub metrics_threshold: f64,
+    /// Interval between two trace samples; `None` disables tracing.
+    pub trace_interval: Option<Seconds>,
+}
+
+impl SimulationConfig {
+    /// Default configuration: 5 ms steps, 10 ms policy period, 8 s warm-up,
+    /// 3 °C metric band, 100 ms trace samples.
+    pub fn paper_default() -> Self {
+        SimulationConfig {
+            time_step: Seconds::from_millis(5.0),
+            policy_period: Seconds::from_millis(10.0),
+            warmup: Seconds::new(8.0),
+            metrics_threshold: 3.0,
+            trace_interval: Some(Seconds::from_millis(100.0)),
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for non-positive periods or a time
+    /// step larger than the policy period.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.time_step.is_zero() {
+            return Err(SimError::InvalidConfig("time step must be positive".into()));
+        }
+        if self.policy_period.is_zero() {
+            return Err(SimError::InvalidConfig(
+                "policy period must be positive".into(),
+            ));
+        }
+        if self.time_step.as_secs() > self.policy_period.as_secs() + 1e-12 {
+            return Err(SimError::InvalidConfig(
+                "time step must not exceed the policy period".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SimulationConfig {
+    fn default() -> Self {
+        SimulationConfig::paper_default()
+    }
+}
+
+/// The assembled co-simulation.
+///
+/// Build one with [`SimulationBuilder`]; see the
+/// [crate-level documentation](crate) for an end-to-end example.
+pub struct Simulation {
+    platform: MpsocPlatform,
+    thermal: ThermalModel,
+    sensors: SensorBank,
+    os: Mpos,
+    pipeline: Option<PipelineRuntime>,
+    policy: Box<dyn Policy>,
+    config: SimulationConfig,
+    metrics: MetricsCollector,
+    trace: TraceRecorder,
+    elapsed: Seconds,
+    since_policy: Seconds,
+    policy_enabled: bool,
+    actions_applied: u64,
+}
+
+impl Simulation {
+    /// Assembles a simulation from explicitly constructed parts.
+    ///
+    /// [`SimulationBuilder`] is the convenient way to get a simulation; this
+    /// constructor is the escape hatch for callers that need full control
+    /// over the platform, OS population or pipeline (see the
+    /// `custom_pipeline` example).
+    pub fn from_parts(
+        platform: MpsocPlatform,
+        thermal: ThermalModel,
+        sensors: SensorBank,
+        os: Mpos,
+        pipeline: Option<PipelineRuntime>,
+        policy: Box<dyn Policy>,
+        config: SimulationConfig,
+    ) -> Self {
+        let num_cores = platform.num_cores();
+        let metrics = MetricsCollector::new(num_cores, config.metrics_threshold, config.warmup);
+        let trace = match config.trace_interval {
+            Some(interval) => TraceRecorder::new(interval, 200_000),
+            None => TraceRecorder::disabled(),
+        };
+        Simulation {
+            platform,
+            thermal,
+            sensors,
+            os,
+            pipeline,
+            policy,
+            config,
+            metrics,
+            trace,
+            elapsed: Seconds::ZERO,
+            since_policy: Seconds::ZERO,
+            policy_enabled: true,
+            actions_applied: 0,
+        }
+    }
+
+    /// The simulated platform (read-only).
+    pub fn platform(&self) -> &MpsocPlatform {
+        &self.platform
+    }
+
+    /// The thermal model (read-only).
+    pub fn thermal(&self) -> &ThermalModel {
+        &self.thermal
+    }
+
+    /// The OS layer (read-only).
+    pub fn os(&self) -> &Mpos {
+        &self.os
+    }
+
+    /// The streaming pipeline, when the workload has one.
+    pub fn pipeline(&self) -> Option<&PipelineRuntime> {
+        self.pipeline.as_ref()
+    }
+
+    /// The active policy's name.
+    pub fn policy_name(&self) -> String {
+        self.policy.name().to_string()
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimulationConfig {
+        &self.config
+    }
+
+    /// Simulated time elapsed so far.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// The recorded trace.
+    pub fn trace(&self) -> &TraceRecorder {
+        &self.trace
+    }
+
+    /// Number of policy actions applied so far.
+    pub fn actions_applied(&self) -> u64 {
+        self.actions_applied
+    }
+
+    /// Enables or disables policy invocation (the warm-up phase disables it
+    /// implicitly; this switch allows experiments that never enable it).
+    pub fn set_policy_enabled(&mut self, enabled: bool) {
+        self.policy_enabled = enabled;
+    }
+
+    /// Latest sensor readings (core temperatures).
+    pub fn core_temperatures(&self) -> Vec<Celsius> {
+        self.sensors.readings().to_vec()
+    }
+
+    /// Advances the simulation by one time step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration mismatches between the layers as [`SimError`];
+    /// a correctly built simulation does not fail.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let dt = self.config.time_step;
+
+        // 1. OS: frequencies, utilisations, checkpoints, migrations.
+        let report = self.os.step(&mut self.platform, dt)?;
+
+        // 2. Streaming: convert executed cycles into frames and deadlines.
+        if let Some(pipeline) = &mut self.pipeline {
+            pipeline.step(dt, &report.executed_cycles);
+        }
+
+        // 3. Platform: cache traffic and bus contention.
+        self.platform.step(dt);
+
+        // 4. Thermal: inject per-block power at the current temperatures.
+        let block_temps = self.thermal.block_temperatures();
+        let power = self.platform.power_snapshot_at(&block_temps);
+        self.thermal.step(power.per_block(), dt)?;
+
+        // 5. Sensors.
+        if self.sensors.tick(dt) {
+            self.sensors.sample(&self.thermal)?;
+            self.metrics.record_temperatures(
+                self.elapsed,
+                self.sensors.period(),
+                self.sensors.readings(),
+            );
+        }
+
+        // 6. Migration accounting.
+        for done in &report.completed_migrations {
+            self.metrics
+                .record_migrations(1, done.bytes, done.freeze_time);
+        }
+
+        // 7. Policy.
+        self.since_policy += dt;
+        if self.policy_enabled
+            && self.elapsed.as_secs() >= self.config.warmup.as_secs()
+            && self.since_policy.as_secs() + 1e-12 >= self.config.policy_period.as_secs()
+        {
+            self.since_policy = Seconds::ZERO;
+            let input = self.build_policy_input()?;
+            let actions = self.policy.decide(&input);
+            for action in actions {
+                self.apply_action(action)?;
+            }
+        }
+
+        // 8. Trace.
+        if self.trace.tick(dt) {
+            let sample = TraceSample {
+                time: self.elapsed,
+                core_temperatures: self.sensors.readings().to_vec(),
+                core_frequencies_mhz: self
+                    .platform
+                    .cores()
+                    .iter()
+                    .map(|c| c.frequency().as_mhz())
+                    .collect(),
+                migrations: self.os.migration().totals().migrations,
+                deadline_misses: self
+                    .pipeline
+                    .as_ref()
+                    .map(|p| p.qos().deadline_misses)
+                    .unwrap_or(0),
+            };
+            self.trace.record(sample);
+        }
+
+        self.elapsed += dt;
+        Ok(())
+    }
+
+    /// Runs the simulation for `duration` of simulated time.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first error returned by [`step`](Self::step).
+    pub fn run_for(&mut self, duration: Seconds) -> Result<(), SimError> {
+        let steps = (duration.as_secs() / self.config.time_step.as_secs()).ceil() as u64;
+        for _ in 0..steps {
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Produces the summary of everything measured so far.
+    pub fn summary(&mut self) -> SimulationSummary {
+        let qos = self
+            .pipeline
+            .as_ref()
+            .map(|p| QosMetrics {
+                frames_delivered: p.qos().frames_delivered,
+                deadline_misses: p.qos().deadline_misses,
+                min_queue_level: p.min_queue_level(),
+            })
+            .unwrap_or_default();
+        self.metrics.set_qos(qos);
+        self.metrics.summary(self.policy.name(), self.elapsed)
+    }
+
+    fn build_policy_input(&self) -> Result<PolicyInput, SimError> {
+        let mut cores = Vec::with_capacity(self.platform.num_cores());
+        for id in self.platform.core_ids() {
+            let core = self.platform.core(id)?;
+            let temperature = self
+                .sensors
+                .reading(id)
+                .unwrap_or_else(Celsius::ambient);
+            let task_ids = self.os.tasks_on(id)?;
+            let tasks: Vec<TaskSnapshot> = task_ids
+                .iter()
+                .map(|&task_id| -> Result<TaskSnapshot, OsError> {
+                    let task = self.os.task(task_id)?;
+                    Ok(TaskSnapshot {
+                        id: task_id,
+                        fse_load: task.fse_load(),
+                        context_size: task.descriptor().context_size,
+                        migratable: task.descriptor().migratable,
+                        migrating: self.os.is_migrating(task_id),
+                    })
+                })
+                .collect::<Result<_, _>>()?;
+            cores.push(CoreSnapshot {
+                id,
+                temperature,
+                frequency: core.configured_frequency(),
+                running: core.is_running(),
+                fse_load: self.os.fse_load(id),
+                tasks,
+            });
+        }
+        let in_flight = self.os.migration().in_flight().len();
+        Ok(build_input(self.elapsed, cores, in_flight))
+    }
+
+    fn apply_action(&mut self, action: PolicyAction) -> Result<(), SimError> {
+        match action {
+            PolicyAction::Migrate { task, to } => {
+                match self.os.request_migration(task, to) {
+                    Ok(()) => self.actions_applied += 1,
+                    // Races between the policy's snapshot and the middleware
+                    // state are benign: drop the request.
+                    Err(OsError::AlreadyMigrating(_)) | Err(OsError::SameCoreMigration(_)) => {}
+                    Err(other) => return Err(other.into()),
+                }
+            }
+            PolicyAction::HaltCore(core) => {
+                self.halt_core(core)?;
+            }
+            PolicyAction::ResumeCore(core) => {
+                self.resume_core(core)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn halt_core(&mut self, core: CoreId) -> Result<(), SimError> {
+        let c = self.platform.core_mut(core)?;
+        if c.is_running() {
+            c.halt();
+            self.metrics.record_halt();
+            self.actions_applied += 1;
+        }
+        Ok(())
+    }
+
+    fn resume_core(&mut self, core: CoreId) -> Result<(), SimError> {
+        let c = self.platform.core_mut(core)?;
+        if !c.is_running() {
+            c.resume();
+            self.metrics.record_resume();
+            self.actions_applied += 1;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("policy", &self.policy.name())
+            .field("elapsed", &self.elapsed)
+            .field("cores", &self.platform.num_cores())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::DvfsOnlyPolicy;
+    use crate::sim::builder::{SimulationBuilder, Workload};
+    use tbp_thermal::package::Package;
+
+    fn sdr_simulation(policy: Box<dyn Policy>) -> Simulation {
+        SimulationBuilder::new()
+            .with_package(Package::high_performance())
+            .with_workload(Workload::sdr())
+            .with_policy_box(policy)
+            .with_config(SimulationConfig {
+                warmup: Seconds::new(1.0),
+                ..SimulationConfig::paper_default()
+            })
+            .build()
+            .expect("SDR simulation builds")
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(SimulationConfig::paper_default().validate().is_ok());
+        assert!(SimulationConfig::default().validate().is_ok());
+        let bad = SimulationConfig {
+            time_step: Seconds::ZERO,
+            ..SimulationConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimulationConfig {
+            policy_period: Seconds::ZERO,
+            ..SimulationConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = SimulationConfig {
+            time_step: Seconds::from_millis(50.0),
+            ..SimulationConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn dvfs_only_run_produces_gradient_and_no_misses() {
+        let mut sim = sdr_simulation(Box::new(DvfsOnlyPolicy::new()));
+        assert_eq!(sim.policy_name(), "dvfs-only");
+        sim.run_for(Seconds::new(5.0)).unwrap();
+        assert!(sim.elapsed().as_secs() > 4.99);
+        let temps = sim.core_temperatures();
+        assert_eq!(temps.len(), 3);
+        // Core 0 carries the heaviest load at the highest frequency: hottest.
+        assert!(temps[0].as_celsius() > temps[2].as_celsius());
+        let summary = sim.summary();
+        assert_eq!(summary.qos.deadline_misses, 0);
+        assert_eq!(summary.migration.migrations, 0);
+        assert!(summary.mean_spatial_std_dev() > 0.5);
+        assert!(!sim.trace().samples().is_empty());
+        assert!(format!("{sim:?}").contains("dvfs-only"));
+    }
+
+    #[test]
+    fn policy_can_be_disabled() {
+        let mut sim = sdr_simulation(Box::new(crate::policy::ThermalBalancingPolicy::new(
+            tbp_arch::freq::DvfsScale::paper_default(),
+            crate::policy::ThermalBalancingConfig::paper_default(),
+        )));
+        sim.set_policy_enabled(false);
+        sim.run_for(Seconds::new(4.0)).unwrap();
+        assert_eq!(sim.summary().migration.migrations, 0);
+        assert_eq!(sim.actions_applied(), 0);
+    }
+}

@@ -1,0 +1,171 @@
+//! Time-series recording of simulation state.
+//!
+//! The emulation platform of the paper streams per-component statistics to a
+//! host PC; the equivalent here is a [`TraceRecorder`] that samples the
+//! simulation state at a configurable interval and keeps the series in memory
+//! so experiments can plot temperature transients (e.g. the warm-up gradient
+//! or the balancing transient of Section 5).
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::units::{Celsius, Seconds};
+
+/// One sampled point of the simulation state.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Simulated time of the sample.
+    pub time: Seconds,
+    /// Core temperatures, indexed by core id.
+    pub core_temperatures: Vec<Celsius>,
+    /// Core frequencies in MHz, indexed by core id.
+    pub core_frequencies_mhz: Vec<f64>,
+    /// Cumulative completed migrations at the time of the sample.
+    pub migrations: u64,
+    /// Cumulative deadline misses at the time of the sample.
+    pub deadline_misses: u64,
+}
+
+/// Records [`TraceSample`]s at a fixed interval, bounded in length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceRecorder {
+    interval: Seconds,
+    max_samples: usize,
+    since_last: Seconds,
+    samples: Vec<TraceSample>,
+    dropped: u64,
+}
+
+impl TraceRecorder {
+    /// Creates a recorder sampling every `interval`, keeping at most
+    /// `max_samples` samples (older samples are retained; once the buffer is
+    /// full new samples are dropped and counted).
+    pub fn new(interval: Seconds, max_samples: usize) -> Self {
+        TraceRecorder {
+            interval,
+            max_samples,
+            since_last: interval, // record the very first offered sample
+            samples: Vec::new(),
+            dropped: 0,
+        }
+    }
+
+    /// A disabled recorder that never stores anything.
+    pub fn disabled() -> Self {
+        TraceRecorder::new(Seconds::new(f64::INFINITY), 0)
+    }
+
+    /// The sampling interval.
+    pub fn interval(&self) -> Seconds {
+        self.interval
+    }
+
+    /// The recorded samples.
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Number of samples dropped because the buffer was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Returns `true` when `dt` more simulated time means a sample is due.
+    pub fn tick(&mut self, dt: Seconds) -> bool {
+        if !self.interval.as_secs().is_finite() {
+            return false;
+        }
+        self.since_last += dt;
+        self.since_last.as_secs() + 1e-12 >= self.interval.as_secs()
+    }
+
+    /// Stores a sample (call when [`tick`](Self::tick) returned `true`).
+    pub fn record(&mut self, sample: TraceSample) {
+        self.since_last = Seconds::ZERO;
+        if self.samples.len() >= self.max_samples {
+            self.dropped += 1;
+            return;
+        }
+        self.samples.push(sample);
+    }
+
+    /// Clears the recorded samples.
+    pub fn reset(&mut self) {
+        self.samples.clear();
+        self.dropped = 0;
+        self.since_last = self.interval;
+    }
+
+    /// The temperature series of one core as `(time, °C)` pairs.
+    pub fn core_series(&self, core: usize) -> Vec<(f64, f64)> {
+        self.samples
+            .iter()
+            .filter_map(|s| {
+                s.core_temperatures
+                    .get(core)
+                    .map(|t| (s.time.as_secs(), t.as_celsius()))
+            })
+            .collect()
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        TraceRecorder::new(Seconds::from_millis(100.0), 100_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, temp: f64) -> TraceSample {
+        TraceSample {
+            time: Seconds::new(t),
+            core_temperatures: vec![Celsius::new(temp), Celsius::new(temp - 5.0)],
+            core_frequencies_mhz: vec![533.0, 266.0],
+            migrations: 0,
+            deadline_misses: 0,
+        }
+    }
+
+    #[test]
+    fn records_at_interval() {
+        let mut rec = TraceRecorder::new(Seconds::from_millis(100.0), 10);
+        assert_eq!(rec.interval(), Seconds::from_millis(100.0));
+        // The first tick is always due.
+        assert!(rec.tick(Seconds::from_millis(10.0)));
+        rec.record(sample(0.0, 50.0));
+        assert!(!rec.tick(Seconds::from_millis(50.0)));
+        assert!(rec.tick(Seconds::from_millis(60.0)));
+        rec.record(sample(0.11, 51.0));
+        assert_eq!(rec.samples().len(), 2);
+        assert_eq!(rec.dropped(), 0);
+        let series = rec.core_series(0);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[1].1, 51.0);
+        assert!(rec.core_series(5).is_empty());
+    }
+
+    #[test]
+    fn bounded_capacity_drops_excess() {
+        let mut rec = TraceRecorder::new(Seconds::from_millis(10.0), 2);
+        for i in 0..5 {
+            rec.tick(Seconds::from_millis(10.0));
+            rec.record(sample(i as f64, 40.0 + i as f64));
+        }
+        assert_eq!(rec.samples().len(), 2);
+        assert_eq!(rec.dropped(), 3);
+        rec.reset();
+        assert!(rec.samples().is_empty());
+        assert_eq!(rec.dropped(), 0);
+    }
+
+    #[test]
+    fn disabled_recorder_stores_nothing() {
+        let mut rec = TraceRecorder::disabled();
+        assert!(!rec.tick(Seconds::new(1e6)));
+        rec.record(sample(0.0, 50.0));
+        assert!(rec.samples().is_empty());
+        assert_eq!(TraceRecorder::default().samples().len(), 0);
+    }
+}

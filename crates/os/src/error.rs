@@ -1,0 +1,84 @@
+//! Error type for the OS model.
+
+use std::error::Error;
+use std::fmt;
+
+use tbp_arch::core::CoreId;
+use tbp_arch::ArchError;
+
+use crate::task::TaskId;
+
+/// Errors produced by the OS and migration middleware model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OsError {
+    /// A task identifier referenced a task that does not exist.
+    UnknownTask(TaskId),
+    /// A core identifier referenced a core that does not exist.
+    UnknownCore(CoreId),
+    /// A task descriptor carried an invalid parameter (load outside `[0, 1]`,
+    /// zero context size, ...).
+    InvalidTask(String),
+    /// A migration was requested for a task that is already migrating.
+    AlreadyMigrating(TaskId),
+    /// A migration was requested with identical source and destination.
+    SameCoreMigration(TaskId),
+    /// The underlying architecture model reported an error.
+    Arch(ArchError),
+}
+
+impl fmt::Display for OsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OsError::UnknownTask(id) => write!(f, "unknown task {id}"),
+            OsError::UnknownCore(id) => write!(f, "unknown core {id}"),
+            OsError::InvalidTask(msg) => write!(f, "invalid task: {msg}"),
+            OsError::AlreadyMigrating(id) => write!(f, "task {id} is already migrating"),
+            OsError::SameCoreMigration(id) => {
+                write!(f, "task {id} cannot migrate to the core it already runs on")
+            }
+            OsError::Arch(e) => write!(f, "architecture error: {e}"),
+        }
+    }
+}
+
+impl Error for OsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            OsError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for OsError {
+    fn from(value: ArchError) -> Self {
+        OsError::Arch(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(OsError::UnknownTask(TaskId(3)).to_string().contains('3'));
+        assert!(OsError::UnknownCore(CoreId(1)).to_string().contains("core1"));
+        assert!(OsError::InvalidTask("bad load".into())
+            .to_string()
+            .contains("bad load"));
+        assert!(OsError::AlreadyMigrating(TaskId(2)).to_string().contains('2'));
+        assert!(OsError::SameCoreMigration(TaskId(2))
+            .to_string()
+            .contains("same") || OsError::SameCoreMigration(TaskId(2)).to_string().contains("already runs"));
+        let wrapped: OsError = ArchError::EmptyPlatform.into();
+        assert!(Error::source(&wrapped).is_some());
+        assert!(Error::source(&OsError::UnknownTask(TaskId(0))).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<OsError>();
+    }
+}

@@ -1,0 +1,53 @@
+//! # tbp-os — multiprocessor OS and task-migration middleware model
+//!
+//! The paper's platform runs one uClinux instance per core plus a layered
+//! middleware providing message passing and task migration (Section 3.2).
+//! This crate models the pieces of that software stack that matter for the
+//! thermal-balancing study:
+//!
+//! * [`task`] — tasks characterised by their full-speed-equivalent (FSE)
+//!   load, context size and checkpoint period;
+//! * [`scheduler`] — per-core run queues and the utilisation each core sees
+//!   at its current frequency;
+//! * [`governor`] — the DVFS policy the balancing algorithm sits on top of
+//!   (each core picks the lowest frequency that covers its load);
+//! * [`migration`] — the migration middleware: master/slave daemons,
+//!   checkpoint-based hand-off, the task-replication and task-recreation
+//!   back-ends, and the cycle-cost model of Figure 2;
+//! * [`mpos`] — [`mpos::Mpos`], the assembled OS layer that the
+//!   co-simulation engine drives.
+//!
+//! # Example
+//!
+//! ```
+//! use tbp_os::mpos::Mpos;
+//! use tbp_os::task::TaskDescriptor;
+//! use tbp_arch::core::CoreId;
+//! use tbp_arch::freq::DvfsScale;
+//! use tbp_arch::units::Bytes;
+//!
+//! # fn main() -> Result<(), tbp_os::OsError> {
+//! let mut os = Mpos::new(3, DvfsScale::paper_default());
+//! let task = os.spawn(TaskDescriptor::new("bpf1", 0.367, Bytes::from_kib(64)), CoreId(0))?;
+//! assert_eq!(os.core_of(task)?, CoreId(0));
+//! // The governor picks 266 MHz for a 36.7 % FSE load.
+//! let plan = os.frequency_plan()?;
+//! assert_eq!(plan[0].as_mhz(), 266.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod error;
+pub mod governor;
+pub mod migration;
+pub mod mpos;
+pub mod scheduler;
+pub mod stats;
+pub mod task;
+
+pub use error::OsError;
+pub use mpos::Mpos;
+pub use task::{TaskDescriptor, TaskId};

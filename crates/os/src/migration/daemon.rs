@@ -1,0 +1,269 @@
+//! Master and slave migration daemons.
+//!
+//! In the paper's middleware a **master daemon** runs on one core and
+//! dispatches tasks, while a **slave daemon** on every core periodically
+//! writes per-task execution statistics (processor utilisation, memory
+//! occupation) into a shared data structure that the master reads to assist
+//! migration decisions (Section 3.2). This module models that message flow:
+//! the daemons exchange [`DaemonMessage`]s through an in-memory mailbox that
+//! stands in for the dedicated shared-memory area of the real platform.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use tbp_arch::core::CoreId;
+use tbp_arch::units::Seconds;
+
+use crate::stats::TaskStats;
+use crate::task::TaskId;
+
+/// Messages exchanged between the master daemon and the slave daemons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DaemonMessage {
+    /// A slave publishes fresh statistics for the tasks it hosts.
+    StatsReport {
+        /// Reporting core.
+        core: CoreId,
+        /// Statistics of the tasks hosted on that core.
+        stats: Vec<TaskStats>,
+    },
+    /// The master orders a migration.
+    MigrateCommand {
+        /// Task to move.
+        task: TaskId,
+        /// Source core.
+        from: CoreId,
+        /// Destination core.
+        to: CoreId,
+    },
+    /// A slave acknowledges that a migration completed.
+    MigrateAck {
+        /// The migrated task.
+        task: TaskId,
+        /// The core the task now runs on.
+        now_on: CoreId,
+    },
+}
+
+/// The per-core slave daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SlaveDaemon {
+    core: CoreId,
+    report_period: Seconds,
+    since_last_report: Seconds,
+    reports_sent: u64,
+}
+
+impl SlaveDaemon {
+    /// Creates a slave daemon for `core` reporting statistics every
+    /// `report_period`.
+    pub fn new(core: CoreId, report_period: Seconds) -> Self {
+        SlaveDaemon {
+            core,
+            report_period,
+            since_last_report: Seconds::ZERO,
+            reports_sent: 0,
+        }
+    }
+
+    /// The core this daemon runs on.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Number of statistics reports published so far.
+    pub fn reports_sent(&self) -> u64 {
+        self.reports_sent
+    }
+
+    /// Advances the daemon's clock; when the report period elapses the given
+    /// statistics are published to the mailbox.
+    pub fn tick(&mut self, dt: Seconds, stats: Vec<TaskStats>, mailbox: &mut DaemonMailbox) {
+        self.since_last_report += dt;
+        if self.since_last_report.as_secs() + 1e-12 >= self.report_period.as_secs() {
+            self.since_last_report = Seconds::ZERO;
+            self.reports_sent += 1;
+            mailbox.push(DaemonMessage::StatsReport {
+                core: self.core,
+                stats,
+            });
+        }
+    }
+
+    /// Acknowledges a completed migration to the master.
+    pub fn acknowledge(&self, task: TaskId, mailbox: &mut DaemonMailbox) {
+        mailbox.push(DaemonMessage::MigrateAck {
+            task,
+            now_on: self.core,
+        });
+    }
+}
+
+/// The system-wide master daemon.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MasterDaemon {
+    /// Latest statistics received from each core, indexed by core id.
+    stats: Vec<Vec<TaskStats>>,
+    commands_issued: u64,
+    acks_received: u64,
+}
+
+impl MasterDaemon {
+    /// Creates a master daemon aware of `num_cores` cores.
+    pub fn new(num_cores: usize) -> Self {
+        MasterDaemon {
+            stats: vec![Vec::new(); num_cores],
+            commands_issued: 0,
+            acks_received: 0,
+        }
+    }
+
+    /// Latest statistics snapshot for a core (empty before the first report).
+    pub fn stats_for(&self, core: CoreId) -> &[TaskStats] {
+        self.stats
+            .get(core.index())
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// Number of migration commands issued.
+    pub fn commands_issued(&self) -> u64 {
+        self.commands_issued
+    }
+
+    /// Number of migration acknowledgements received.
+    pub fn acks_received(&self) -> u64 {
+        self.acks_received
+    }
+
+    /// Issues a migration command into the mailbox.
+    pub fn command_migration(
+        &mut self,
+        task: TaskId,
+        from: CoreId,
+        to: CoreId,
+        mailbox: &mut DaemonMailbox,
+    ) {
+        self.commands_issued += 1;
+        mailbox.push(DaemonMessage::MigrateCommand { task, from, to });
+    }
+
+    /// Drains the mailbox, absorbing statistics reports and acknowledgements,
+    /// and returns the migration commands found (so the middleware can hand
+    /// them to the [`MigrationManager`](super::MigrationManager)).
+    pub fn process_mailbox(&mut self, mailbox: &mut DaemonMailbox) -> Vec<DaemonMessage> {
+        let mut commands = Vec::new();
+        while let Some(message) = mailbox.pop() {
+            match message {
+                DaemonMessage::StatsReport { core, stats } => {
+                    if let Some(slot) = self.stats.get_mut(core.index()) {
+                        *slot = stats;
+                    }
+                }
+                DaemonMessage::MigrateAck { .. } => {
+                    self.acks_received += 1;
+                }
+                cmd @ DaemonMessage::MigrateCommand { .. } => commands.push(cmd),
+            }
+        }
+        commands
+    }
+}
+
+/// The shared-memory mailbox the daemons communicate through.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DaemonMailbox {
+    messages: VecDeque<DaemonMessage>,
+}
+
+impl DaemonMailbox {
+    /// Creates an empty mailbox.
+    pub fn new() -> Self {
+        DaemonMailbox::default()
+    }
+
+    /// Number of messages waiting.
+    pub fn len(&self) -> usize {
+        self.messages.len()
+    }
+
+    /// Returns `true` when no message is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.messages.is_empty()
+    }
+
+    /// Appends a message.
+    pub fn push(&mut self, message: DaemonMessage) {
+        self.messages.push_back(message);
+    }
+
+    /// Removes and returns the oldest message.
+    pub fn pop(&mut self) -> Option<DaemonMessage> {
+        self.messages.pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbp_arch::units::Bytes;
+
+    fn stats(task: usize) -> TaskStats {
+        TaskStats {
+            task: TaskId(task),
+            utilization: 0.4,
+            memory: Bytes::from_kib(64),
+            migrations: 0,
+        }
+    }
+
+    #[test]
+    fn slave_reports_on_schedule() {
+        let mut mailbox = DaemonMailbox::new();
+        let mut slave = SlaveDaemon::new(CoreId(1), Seconds::from_millis(100.0));
+        assert_eq!(slave.core(), CoreId(1));
+        slave.tick(Seconds::from_millis(40.0), vec![stats(0)], &mut mailbox);
+        assert!(mailbox.is_empty());
+        slave.tick(Seconds::from_millis(60.0), vec![stats(0)], &mut mailbox);
+        assert_eq!(mailbox.len(), 1);
+        assert_eq!(slave.reports_sent(), 1);
+        // The period restarts after a report.
+        slave.tick(Seconds::from_millis(40.0), vec![stats(0)], &mut mailbox);
+        assert_eq!(mailbox.len(), 1);
+    }
+
+    #[test]
+    fn master_absorbs_reports_and_returns_commands() {
+        let mut mailbox = DaemonMailbox::new();
+        let mut master = MasterDaemon::new(3);
+        assert!(master.stats_for(CoreId(0)).is_empty());
+        assert!(master.stats_for(CoreId(9)).is_empty());
+
+        mailbox.push(DaemonMessage::StatsReport {
+            core: CoreId(2),
+            stats: vec![stats(4), stats(5)],
+        });
+        master.command_migration(TaskId(4), CoreId(2), CoreId(0), &mut mailbox);
+        let commands = master.process_mailbox(&mut mailbox);
+        assert_eq!(commands.len(), 1);
+        assert!(matches!(
+            commands[0],
+            DaemonMessage::MigrateCommand { task: TaskId(4), from: CoreId(2), to: CoreId(0) }
+        ));
+        assert_eq!(master.stats_for(CoreId(2)).len(), 2);
+        assert_eq!(master.commands_issued(), 1);
+        assert!(mailbox.is_empty());
+    }
+
+    #[test]
+    fn ack_round_trip() {
+        let mut mailbox = DaemonMailbox::new();
+        let mut master = MasterDaemon::new(2);
+        let slave = SlaveDaemon::new(CoreId(1), Seconds::from_millis(100.0));
+        slave.acknowledge(TaskId(7), &mut mailbox);
+        let commands = master.process_mailbox(&mut mailbox);
+        assert!(commands.is_empty());
+        assert_eq!(master.acks_received(), 1);
+        assert_eq!(MasterDaemon::default().acks_received(), 0);
+    }
+}

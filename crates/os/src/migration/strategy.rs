@@ -1,0 +1,120 @@
+//! Migration back-end strategies.
+//!
+//! The paper implements two mechanisms that differ in how the destination
+//! core obtains the task's memory image (Section 3.2):
+//!
+//! * **task recreation** kills the process on the source and re-creates it
+//!   (fork/exec) on the destination. It needs an OS with dynamic loading and
+//!   position-independent code — which the MicroBlaze cores of the paper's
+//!   platform do not support — and it is slower, but it wastes no memory.
+//! * **task replication** keeps a frozen replica of every migratable task in
+//!   every core's private memory, so only the live context has to move. It is
+//!   faster but reserves memory for each replica on every core.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use tbp_arch::units::Bytes;
+
+/// How a task's memory image reaches the destination core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum MigrationStrategy {
+    /// A replica of the task exists on every core; only the context moves.
+    /// This is the strategy the paper actually deploys (the MicroBlaze
+    /// toolchain lacks position-independent code).
+    #[default]
+    TaskReplication,
+    /// The task is killed on the source and re-created on the destination
+    /// (requires dynamic loading support in the OS).
+    TaskRecreation,
+}
+
+impl MigrationStrategy {
+    /// Memory reserved in **each** core's private memory for one migratable
+    /// task of the given size.
+    ///
+    /// Replication pre-allocates the task's address space everywhere; with
+    /// recreation only the core currently hosting the task pays for it, so
+    /// the per-other-core reservation is zero.
+    pub fn replica_memory_per_core(self, task_size: Bytes) -> Bytes {
+        match self {
+            MigrationStrategy::TaskReplication => task_size,
+            MigrationStrategy::TaskRecreation => Bytes::ZERO,
+        }
+    }
+
+    /// Total memory reserved across an `n`-core platform for one migratable
+    /// task of the given size (including the core that runs it).
+    pub fn total_memory(self, task_size: Bytes, num_cores: usize) -> Bytes {
+        match self {
+            MigrationStrategy::TaskReplication => {
+                Bytes::new(task_size.as_u64().saturating_mul(num_cores as u64))
+            }
+            MigrationStrategy::TaskRecreation => task_size,
+        }
+    }
+
+    /// Returns `true` when the strategy requires OS support for dynamic
+    /// loading (and position-independent code on MMU-less processors).
+    pub fn requires_dynamic_loading(self) -> bool {
+        matches!(self, MigrationStrategy::TaskRecreation)
+    }
+}
+
+impl fmt::Display for MigrationStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MigrationStrategy::TaskReplication => write!(f, "task replication"),
+            MigrationStrategy::TaskRecreation => write!(f, "task re-creation"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_replication_like_the_paper() {
+        assert_eq!(MigrationStrategy::default(), MigrationStrategy::TaskReplication);
+    }
+
+    #[test]
+    fn replication_wastes_memory_on_every_core() {
+        let size = Bytes::from_kib(64);
+        assert_eq!(
+            MigrationStrategy::TaskReplication.replica_memory_per_core(size),
+            size
+        );
+        assert_eq!(
+            MigrationStrategy::TaskRecreation.replica_memory_per_core(size),
+            Bytes::ZERO
+        );
+        assert_eq!(
+            MigrationStrategy::TaskReplication.total_memory(size, 3),
+            Bytes::from_kib(192)
+        );
+        assert_eq!(
+            MigrationStrategy::TaskRecreation.total_memory(size, 3),
+            size
+        );
+    }
+
+    #[test]
+    fn recreation_needs_dynamic_loading() {
+        assert!(MigrationStrategy::TaskRecreation.requires_dynamic_loading());
+        assert!(!MigrationStrategy::TaskReplication.requires_dynamic_loading());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(
+            MigrationStrategy::TaskReplication.to_string(),
+            "task replication"
+        );
+        assert_eq!(
+            MigrationStrategy::TaskRecreation.to_string(),
+            "task re-creation"
+        );
+    }
+}

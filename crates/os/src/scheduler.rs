@@ -1,0 +1,197 @@
+//! Per-core run queues and load accounting.
+//!
+//! Each core runs its own OS instance with its own scheduler. For the
+//! thermal study the relevant quantity is the **utilisation** a core sees:
+//! the sum of the FSE loads of its runnable tasks, rescaled by the ratio
+//! between the core's maximum and current frequency. A core whose rescaled
+//! utilisation exceeds 1 is overloaded — its tasks cannot keep up, which the
+//! streaming layer turns into frame deadline misses.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use tbp_arch::core::CoreId;
+use tbp_arch::freq::Frequency;
+
+use crate::task::TaskId;
+
+/// The run queue of one core.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoreScheduler {
+    core: CoreId,
+    tasks: Vec<TaskId>,
+}
+
+impl CoreScheduler {
+    /// Creates an empty scheduler for `core`.
+    pub fn new(core: CoreId) -> Self {
+        CoreScheduler {
+            core,
+            tasks: Vec::new(),
+        }
+    }
+
+    /// The core this scheduler belongs to.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// Tasks currently assigned to this core, in admission order.
+    pub fn tasks(&self) -> &[TaskId] {
+        &self.tasks
+    }
+
+    /// Number of tasks on this core.
+    pub fn len(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Returns `true` when no task is assigned to this core.
+    pub fn is_empty(&self) -> bool {
+        self.tasks.is_empty()
+    }
+
+    /// Returns `true` when the given task is assigned to this core.
+    pub fn contains(&self, task: TaskId) -> bool {
+        self.tasks.contains(&task)
+    }
+
+    /// Admits a task to this core's run queue (no-op if already present).
+    pub fn admit(&mut self, task: TaskId) {
+        if !self.contains(task) {
+            self.tasks.push(task);
+        }
+    }
+
+    /// Removes a task from this core's run queue. Returns `true` when the
+    /// task was present.
+    pub fn evict(&mut self, task: TaskId) -> bool {
+        let before = self.tasks.len();
+        self.tasks.retain(|&t| t != task);
+        self.tasks.len() != before
+    }
+}
+
+impl fmt::Display for CoreScheduler {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} run queue ({} tasks)", self.core, self.tasks.len())
+    }
+}
+
+/// Load figures of one core derived from its run queue.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CoreLoad {
+    /// Sum of FSE loads of the runnable tasks on the core.
+    pub fse_load: f64,
+    /// Utilisation at the core's current frequency (`fse · f_max / f`),
+    /// clamped to `[0, 1]`.
+    pub utilization: f64,
+    /// Raw (unclamped) utilisation demand; values above 1 mean the core is
+    /// overloaded at its current frequency.
+    pub demand: f64,
+}
+
+impl CoreLoad {
+    /// Computes the load figures for a given FSE sum, current frequency and
+    /// maximum frequency.
+    pub fn from_fse(fse_load: f64, current: Frequency, max: Frequency) -> Self {
+        let demand = if current == Frequency::ZERO {
+            if fse_load > 0.0 {
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            fse_load * max.as_hz() as f64 / current.as_hz() as f64
+        };
+        CoreLoad {
+            fse_load,
+            utilization: demand.clamp(0.0, 1.0),
+            demand,
+        }
+    }
+
+    /// Returns `true` when the core cannot serve its tasks at the current
+    /// frequency.
+    pub fn is_overloaded(&self) -> bool {
+        self.demand > 1.0 + 1e-9
+    }
+
+    /// The fraction of the demanded work the core actually delivers
+    /// (1 when not overloaded, `1/demand` when overloaded, 0 when halted with
+    /// pending load).
+    pub fn service_ratio(&self) -> f64 {
+        if self.demand <= 1.0 {
+            1.0
+        } else if self.demand.is_infinite() {
+            0.0
+        } else {
+            1.0 / self.demand
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_queue_admission_and_eviction() {
+        let mut sched = CoreScheduler::new(CoreId(1));
+        assert_eq!(sched.core(), CoreId(1));
+        assert!(sched.is_empty());
+        sched.admit(TaskId(0));
+        sched.admit(TaskId(1));
+        sched.admit(TaskId(0)); // duplicate ignored
+        assert_eq!(sched.len(), 2);
+        assert!(sched.contains(TaskId(0)));
+        assert!(!sched.contains(TaskId(5)));
+        assert_eq!(sched.tasks(), &[TaskId(0), TaskId(1)]);
+        assert!(sched.evict(TaskId(0)));
+        assert!(!sched.evict(TaskId(0)));
+        assert_eq!(sched.len(), 1);
+        assert!(sched.to_string().contains("core1"));
+        assert_eq!(CoreScheduler::default().core(), CoreId(0));
+    }
+
+    #[test]
+    fn load_at_full_speed_equals_fse() {
+        let max = Frequency::from_mhz(533.0);
+        let load = CoreLoad::from_fse(0.65, max, max);
+        assert!((load.utilization - 0.65).abs() < 1e-12);
+        assert!((load.demand - 0.65).abs() < 1e-12);
+        assert!(!load.is_overloaded());
+        assert_eq!(load.service_ratio(), 1.0);
+    }
+
+    #[test]
+    fn load_scales_up_at_lower_frequency() {
+        let max = Frequency::from_mhz(533.0);
+        let half = Frequency::from_mhz(266.0);
+        // Table 2: BPF2 + Σ = 33.5 % FSE runs at 67.1 % utilisation at 266 MHz.
+        let load = CoreLoad::from_fse(0.335, half, max);
+        assert!((load.utilization - 0.671).abs() < 0.01);
+        assert!(!load.is_overloaded());
+        // Too much FSE load for the frequency -> overloaded.
+        let over = CoreLoad::from_fse(0.6, half, max);
+        assert!(over.is_overloaded());
+        assert!(over.utilization <= 1.0);
+        assert!(over.service_ratio() < 1.0);
+        assert!((over.service_ratio() - 1.0 / over.demand).abs() < 1e-12);
+    }
+
+    #[test]
+    fn halted_core_has_zero_service() {
+        let max = Frequency::from_mhz(533.0);
+        let load = CoreLoad::from_fse(0.3, Frequency::ZERO, max);
+        assert!(load.demand.is_infinite());
+        assert!(load.is_overloaded());
+        assert_eq!(load.service_ratio(), 0.0);
+        assert_eq!(load.utilization, 1.0);
+        // Idle halted core is fine.
+        let idle = CoreLoad::from_fse(0.0, Frequency::ZERO, max);
+        assert_eq!(idle.demand, 0.0);
+        assert_eq!(idle.service_ratio(), 1.0);
+        assert_eq!(CoreLoad::default().fse_load, 0.0);
+    }
+}

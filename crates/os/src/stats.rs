@@ -1,0 +1,53 @@
+//! Per-task execution statistics shared between the daemons.
+//!
+//! "To assist migration decision, each slave daemon writes in a shared data
+//! structure the statistics related to local task execution (e.g. processor
+//! utilization and memory occupation of each task), which are periodically
+//! read by the master daemon" (Section 3.2). The thermal-balancing policy
+//! consumes these statistics when selecting which tasks to move.
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::units::Bytes;
+
+use crate::task::TaskId;
+
+/// Statistics of one task, as published by a slave daemon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskStats {
+    /// The task the statistics describe.
+    pub task: TaskId,
+    /// Processor utilisation attributed to the task on its current core, in
+    /// `[0, 1]`.
+    pub utilization: f64,
+    /// Memory occupation of the task (its migratable context size).
+    pub memory: Bytes,
+    /// Migrations the task has undergone so far.
+    pub migrations: u64,
+}
+
+impl TaskStats {
+    /// Creates a statistics record.
+    pub fn new(task: TaskId, utilization: f64, memory: Bytes, migrations: u64) -> Self {
+        TaskStats {
+            task,
+            utilization,
+            memory,
+            migrations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_fields() {
+        let s = TaskStats::new(TaskId(2), 0.61, Bytes::from_kib(64), 3);
+        assert_eq!(s.task, TaskId(2));
+        assert!((s.utilization - 0.61).abs() < 1e-12);
+        assert_eq!(s.memory, Bytes::from_kib(64));
+        assert_eq!(s.migrations, 3);
+    }
+}

@@ -1,0 +1,317 @@
+//! Task descriptors and run-time task state.
+//!
+//! Section 3 of the paper characterises tasks by their **full-speed
+//! equivalent (FSE) load** — the fraction of a core's cycles the task needs
+//! when the core runs at its maximum frequency — and by the amount of data
+//! that has to cross the shared memory when the task migrates (its context
+//! size; the paper's middleware always transfers at least 64 kB, the minimum
+//! allocation of the OS). Migration is only possible at user-defined
+//! checkpoints, so a task also carries a checkpoint period.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use tbp_arch::core::CoreId;
+use tbp_arch::units::{Bytes, Seconds};
+
+use crate::error::OsError;
+
+/// Identifier of a task.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TaskId(pub usize);
+
+impl TaskId {
+    /// Index of the task as a `usize`.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for TaskId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "task{}", self.0)
+    }
+}
+
+/// Static description of a task, as known to the master daemon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDescriptor {
+    /// Human-readable name (e.g. `BPF1`, `DEMOD`).
+    pub name: String,
+    /// Full-speed-equivalent load in `[0, 1]`.
+    pub fse_load: f64,
+    /// Amount of data transferred through the shared memory when the task
+    /// migrates (address-space/context size). The paper's platform never
+    /// moves less than 64 kB.
+    pub context_size: Bytes,
+    /// Interval between two migration checkpoints of the task.
+    pub checkpoint_period: Seconds,
+    /// Whether the middleware is allowed to migrate this task at all.
+    pub migratable: bool,
+}
+
+impl TaskDescriptor {
+    /// Creates a migratable task with the default 50 ms checkpoint period.
+    pub fn new(name: &str, fse_load: f64, context_size: Bytes) -> Self {
+        TaskDescriptor {
+            name: name.to_string(),
+            fse_load,
+            context_size,
+            checkpoint_period: Seconds::from_millis(50.0),
+            migratable: true,
+        }
+    }
+
+    /// Overrides the checkpoint period.
+    pub fn with_checkpoint_period(mut self, period: Seconds) -> Self {
+        self.checkpoint_period = period;
+        self
+    }
+
+    /// Marks the task as pinned (not migratable).
+    pub fn pinned(mut self) -> Self {
+        self.migratable = false;
+        self
+    }
+
+    /// Validates the descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::InvalidTask`] when the FSE load is outside
+    /// `[0, 1]`, the context size is zero, or the checkpoint period is not
+    /// positive.
+    pub fn validate(&self) -> Result<(), OsError> {
+        if !(0.0..=1.0).contains(&self.fse_load) || !self.fse_load.is_finite() {
+            return Err(OsError::InvalidTask(format!(
+                "FSE load {} of `{}` must be in [0, 1]",
+                self.fse_load, self.name
+            )));
+        }
+        if self.context_size == Bytes::ZERO {
+            return Err(OsError::InvalidTask(format!(
+                "context size of `{}` must be > 0",
+                self.name
+            )));
+        }
+        if self.checkpoint_period.is_zero() {
+            return Err(OsError::InvalidTask(format!(
+                "checkpoint period of `{}` must be > 0",
+                self.name
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// Execution state of a task instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TaskState {
+    /// The task is runnable on its current core.
+    Running,
+    /// The task hit a checkpoint with a pending migration request and is
+    /// frozen while its context is transferred.
+    Migrating,
+    /// The task is a passive replica waiting on a core it is not currently
+    /// running on (task-replication strategy).
+    Suspended,
+}
+
+/// Run-time bookkeeping for a task.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Task {
+    id: TaskId,
+    descriptor: TaskDescriptor,
+    core: CoreId,
+    state: TaskState,
+    time_since_checkpoint: Seconds,
+    migrations: u64,
+}
+
+impl Task {
+    /// Creates a running task mapped to `core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::InvalidTask`] when the descriptor is invalid.
+    pub fn new(id: TaskId, descriptor: TaskDescriptor, core: CoreId) -> Result<Self, OsError> {
+        descriptor.validate()?;
+        Ok(Task {
+            id,
+            descriptor,
+            core,
+            state: TaskState::Running,
+            time_since_checkpoint: Seconds::ZERO,
+            migrations: 0,
+        })
+    }
+
+    /// The task identifier.
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// The task's static descriptor.
+    pub fn descriptor(&self) -> &TaskDescriptor {
+        &self.descriptor
+    }
+
+    /// The task's name.
+    pub fn name(&self) -> &str {
+        &self.descriptor.name
+    }
+
+    /// The task's FSE load.
+    pub fn fse_load(&self) -> f64 {
+        self.descriptor.fse_load
+    }
+
+    /// The core the task currently runs on (or is migrating away from).
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The task's current state.
+    pub fn state(&self) -> TaskState {
+        self.state
+    }
+
+    /// Returns `true` when the task contributes load to its core (i.e. is not
+    /// frozen by a migration).
+    pub fn is_running(&self) -> bool {
+        self.state == TaskState::Running
+    }
+
+    /// Number of completed migrations of this task.
+    pub fn migrations(&self) -> u64 {
+        self.migrations
+    }
+
+    /// Time elapsed since the last checkpoint.
+    pub fn time_since_checkpoint(&self) -> Seconds {
+        self.time_since_checkpoint
+    }
+
+    /// Advances the task's checkpoint clock and returns `true` when the task
+    /// crosses a checkpoint during this interval (only running tasks make
+    /// progress towards checkpoints).
+    pub fn advance(&mut self, dt: Seconds) -> bool {
+        if self.state != TaskState::Running {
+            return false;
+        }
+        self.time_since_checkpoint += dt;
+        if self.time_since_checkpoint.as_secs() + 1e-12
+            >= self.descriptor.checkpoint_period.as_secs()
+        {
+            self.time_since_checkpoint = Seconds::ZERO;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Freezes the task for migration (called by the middleware when the
+    /// task reaches a checkpoint with a pending migration request).
+    pub(crate) fn begin_migration(&mut self) {
+        self.state = TaskState::Migrating;
+    }
+
+    /// Completes a migration: the task resumes on `destination`.
+    pub(crate) fn finish_migration(&mut self, destination: CoreId) {
+        self.core = destination;
+        self.state = TaskState::Running;
+        self.migrations += 1;
+        self.time_since_checkpoint = Seconds::ZERO;
+    }
+
+    /// Re-pins the task to a core without going through the migration
+    /// machinery (initial placement or test setup).
+    pub(crate) fn place_on(&mut self, core: CoreId) {
+        self.core = core;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn descriptor() -> TaskDescriptor {
+        TaskDescriptor::new("bpf1", 0.367, Bytes::from_kib(64))
+    }
+
+    #[test]
+    fn task_id_display() {
+        assert_eq!(TaskId(4).to_string(), "task4");
+        assert_eq!(TaskId(4).index(), 4);
+    }
+
+    #[test]
+    fn descriptor_builders_and_validation() {
+        let d = descriptor();
+        assert!(d.validate().is_ok());
+        assert!(d.migratable);
+        assert_eq!(d.checkpoint_period, Seconds::from_millis(50.0));
+        let pinned = descriptor().pinned();
+        assert!(!pinned.migratable);
+        let custom = descriptor().with_checkpoint_period(Seconds::from_millis(10.0));
+        assert_eq!(custom.checkpoint_period, Seconds::from_millis(10.0));
+
+        let bad_load = TaskDescriptor::new("x", 1.5, Bytes::from_kib(64));
+        assert!(bad_load.validate().is_err());
+        let bad_load = TaskDescriptor::new("x", -0.1, Bytes::from_kib(64));
+        assert!(bad_load.validate().is_err());
+        let bad_ctx = TaskDescriptor::new("x", 0.5, Bytes::ZERO);
+        assert!(bad_ctx.validate().is_err());
+        let bad_cp = descriptor().with_checkpoint_period(Seconds::ZERO);
+        assert!(bad_cp.validate().is_err());
+        assert!(Task::new(TaskId(0), bad_cp, CoreId(0)).is_err());
+    }
+
+    #[test]
+    fn new_task_is_running_on_its_core() {
+        let task = Task::new(TaskId(1), descriptor(), CoreId(2)).unwrap();
+        assert_eq!(task.id(), TaskId(1));
+        assert_eq!(task.core(), CoreId(2));
+        assert_eq!(task.state(), TaskState::Running);
+        assert!(task.is_running());
+        assert_eq!(task.migrations(), 0);
+        assert_eq!(task.name(), "bpf1");
+        assert!((task.fse_load() - 0.367).abs() < 1e-12);
+        assert_eq!(task.descriptor().context_size, Bytes::from_kib(64));
+        assert_eq!(task.time_since_checkpoint(), Seconds::ZERO);
+    }
+
+    #[test]
+    fn advance_reports_checkpoints() {
+        let mut task = Task::new(TaskId(0), descriptor(), CoreId(0)).unwrap();
+        assert!(!task.advance(Seconds::from_millis(20.0)));
+        assert!(!task.advance(Seconds::from_millis(20.0)));
+        assert!(task.advance(Seconds::from_millis(10.0)));
+        // Counter resets after a checkpoint.
+        assert!(!task.advance(Seconds::from_millis(20.0)));
+        assert!(task.advance(Seconds::from_millis(30.0)));
+    }
+
+    #[test]
+    fn frozen_task_makes_no_checkpoint_progress() {
+        let mut task = Task::new(TaskId(0), descriptor(), CoreId(0)).unwrap();
+        task.begin_migration();
+        assert_eq!(task.state(), TaskState::Migrating);
+        assert!(!task.is_running());
+        assert!(!task.advance(Seconds::new(1.0)));
+        task.finish_migration(CoreId(1));
+        assert_eq!(task.core(), CoreId(1));
+        assert_eq!(task.state(), TaskState::Running);
+        assert_eq!(task.migrations(), 1);
+    }
+
+    #[test]
+    fn place_on_changes_core_without_counting_migration() {
+        let mut task = Task::new(TaskId(0), descriptor(), CoreId(0)).unwrap();
+        task.place_on(CoreId(2));
+        assert_eq!(task.core(), CoreId(2));
+        assert_eq!(task.migrations(), 0);
+    }
+}

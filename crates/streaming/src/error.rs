@@ -1,0 +1,72 @@
+//! Error type for the streaming framework.
+
+use std::error::Error;
+use std::fmt;
+
+use tbp_os::OsError;
+
+use crate::graph::StageId;
+
+/// Errors produced by the streaming pipeline framework.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamError {
+    /// A stage identifier referenced a stage that does not exist.
+    UnknownStage(StageId),
+    /// The pipeline graph is malformed (cycle, missing source/sink, ...).
+    InvalidGraph(String),
+    /// A configuration value is invalid (zero frame period, zero queue size,
+    /// ...).
+    InvalidConfig(String),
+    /// The underlying OS layer reported an error.
+    Os(OsError),
+}
+
+impl fmt::Display for StreamError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StreamError::UnknownStage(id) => write!(f, "unknown pipeline stage {id}"),
+            StreamError::InvalidGraph(msg) => write!(f, "invalid pipeline graph: {msg}"),
+            StreamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            StreamError::Os(e) => write!(f, "OS error: {e}"),
+        }
+    }
+}
+
+impl Error for StreamError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StreamError::Os(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<OsError> for StreamError {
+    fn from(value: OsError) -> Self {
+        StreamError::Os(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbp_os::task::TaskId;
+
+    #[test]
+    fn display_and_source() {
+        assert!(StreamError::UnknownStage(StageId(2)).to_string().contains('2'));
+        assert!(StreamError::InvalidGraph("cycle".into())
+            .to_string()
+            .contains("cycle"));
+        assert!(StreamError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        let wrapped: StreamError = OsError::UnknownTask(TaskId(1)).into();
+        assert!(Error::source(&wrapped).is_some());
+        assert!(Error::source(&StreamError::InvalidGraph("x".into())).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<StreamError>();
+    }
+}

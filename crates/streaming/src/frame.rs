@@ -1,0 +1,55 @@
+//! Frames flowing through the pipeline.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use tbp_arch::units::Seconds;
+
+/// Identifier of a frame, assigned sequentially by the source.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct FrameId(pub u64);
+
+impl fmt::Display for FrameId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "frame{}", self.0)
+    }
+}
+
+/// A unit of streaming work: one block of samples moving through the
+/// pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Frame {
+    /// Sequential identifier.
+    pub id: FrameId,
+    /// Simulated time at which the source produced the frame.
+    pub produced_at: Seconds,
+}
+
+impl Frame {
+    /// Creates a frame.
+    pub fn new(id: FrameId, produced_at: Seconds) -> Self {
+        Frame { id, produced_at }
+    }
+
+    /// Age of the frame at time `now`.
+    pub fn age_at(&self, now: Seconds) -> Seconds {
+        now.saturating_sub(self.produced_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_identity_and_age() {
+        let f = Frame::new(FrameId(3), Seconds::from_millis(20.0));
+        assert_eq!(f.id, FrameId(3));
+        assert_eq!(f.id.to_string(), "frame3");
+        assert!((f.age_at(Seconds::from_millis(50.0)).as_millis() - 30.0).abs() < 1e-9);
+        // Age never goes negative.
+        assert_eq!(f.age_at(Seconds::from_millis(10.0)), Seconds::ZERO);
+    }
+}

@@ -1,0 +1,330 @@
+//! Pipeline graphs: stages connected by queues.
+//!
+//! A streaming application is a directed acyclic graph of stages. Each stage
+//! is backed by an OS task (so it runs on whichever core that task currently
+//! occupies) and needs a fixed number of processor cycles per frame. Edges
+//! become bounded message queues at run time.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::fmt;
+
+use tbp_os::task::TaskId;
+
+use crate::error::StreamError;
+
+/// Identifier of a pipeline stage.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct StageId(pub usize);
+
+impl StageId {
+    /// Index of the stage as a `usize`.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for StageId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stage{}", self.0)
+    }
+}
+
+/// Static description of a pipeline stage.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageDescriptor {
+    /// Human-readable name (e.g. `LPF`, `DEMOD`).
+    pub name: String,
+    /// The OS task executing this stage.
+    pub task: TaskId,
+    /// Processor cycles (at the maximum frequency) needed to process one
+    /// frame.
+    pub cycles_per_frame: f64,
+}
+
+impl StageDescriptor {
+    /// Creates a stage descriptor.
+    pub fn new(name: &str, task: TaskId, cycles_per_frame: f64) -> Self {
+        StageDescriptor {
+            name: name.to_string(),
+            task,
+            cycles_per_frame,
+        }
+    }
+}
+
+/// A directed acyclic graph of pipeline stages.
+///
+/// ```
+/// use tbp_streaming::graph::{PipelineGraph, StageDescriptor};
+/// use tbp_os::task::TaskId;
+///
+/// # fn main() -> Result<(), tbp_streaming::StreamError> {
+/// let mut graph = PipelineGraph::new();
+/// let a = graph.add_stage(StageDescriptor::new("producer", TaskId(0), 1_000.0))?;
+/// let b = graph.add_stage(StageDescriptor::new("consumer", TaskId(1), 2_000.0))?;
+/// graph.connect(a, b)?;
+/// graph.validate()?;
+/// assert_eq!(graph.sources(), vec![a]);
+/// assert_eq!(graph.sinks(), vec![b]);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PipelineGraph {
+    stages: Vec<StageDescriptor>,
+    edges: Vec<(StageId, StageId)>,
+}
+
+impl PipelineGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        PipelineGraph::default()
+    }
+
+    /// Number of stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Returns `true` when the graph has no stages.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// All stage descriptors, indexed by stage id.
+    pub fn stages(&self) -> &[StageDescriptor] {
+        &self.stages
+    }
+
+    /// All edges (producer, consumer).
+    pub fn edges(&self) -> &[(StageId, StageId)] {
+        &self.edges
+    }
+
+    /// The descriptor of a stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownStage`] for an out-of-range id.
+    pub fn stage(&self, id: StageId) -> Result<&StageDescriptor, StreamError> {
+        self.stages.get(id.index()).ok_or(StreamError::UnknownStage(id))
+    }
+
+    /// Adds a stage and returns its identifier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a non-positive
+    /// cycles-per-frame figure.
+    pub fn add_stage(&mut self, descriptor: StageDescriptor) -> Result<StageId, StreamError> {
+        if !(descriptor.cycles_per_frame.is_finite() && descriptor.cycles_per_frame > 0.0) {
+            return Err(StreamError::InvalidConfig(format!(
+                "cycles per frame of `{}` must be positive",
+                descriptor.name
+            )));
+        }
+        self.stages.push(descriptor);
+        Ok(StageId(self.stages.len() - 1))
+    }
+
+    /// Connects `from` to `to` with a queue.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownStage`] for out-of-range ids and
+    /// [`StreamError::InvalidGraph`] for self-loops or duplicate edges.
+    pub fn connect(&mut self, from: StageId, to: StageId) -> Result<(), StreamError> {
+        if from.index() >= self.stages.len() {
+            return Err(StreamError::UnknownStage(from));
+        }
+        if to.index() >= self.stages.len() {
+            return Err(StreamError::UnknownStage(to));
+        }
+        if from == to {
+            return Err(StreamError::InvalidGraph("self-loop".into()));
+        }
+        if self.edges.contains(&(from, to)) {
+            return Err(StreamError::InvalidGraph(format!(
+                "duplicate edge {from} -> {to}"
+            )));
+        }
+        self.edges.push((from, to));
+        Ok(())
+    }
+
+    /// Stages with no incoming edge (fed by the external input).
+    pub fn sources(&self) -> Vec<StageId> {
+        (0..self.stages.len())
+            .map(StageId)
+            .filter(|&s| !self.edges.iter().any(|&(_, to)| to == s))
+            .collect()
+    }
+
+    /// Stages with no outgoing edge (feeding the external consumer).
+    pub fn sinks(&self) -> Vec<StageId> {
+        (0..self.stages.len())
+            .map(StageId)
+            .filter(|&s| !self.edges.iter().any(|&(from, _)| from == s))
+            .collect()
+    }
+
+    /// Stages feeding directly into `stage`.
+    pub fn predecessors(&self, stage: StageId) -> Vec<StageId> {
+        self.edges
+            .iter()
+            .filter(|&&(_, to)| to == stage)
+            .map(|&(from, _)| from)
+            .collect()
+    }
+
+    /// Stages fed directly by `stage`.
+    pub fn successors(&self, stage: StageId) -> Vec<StageId> {
+        self.edges
+            .iter()
+            .filter(|&&(from, _)| from == stage)
+            .map(|&(_, to)| to)
+            .collect()
+    }
+
+    /// A topological ordering of the stages.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidGraph`] when the graph contains a cycle.
+    pub fn topological_order(&self) -> Result<Vec<StageId>, StreamError> {
+        let n = self.stages.len();
+        let mut in_degree = vec![0usize; n];
+        for &(_, to) in &self.edges {
+            in_degree[to.index()] += 1;
+        }
+        let mut queue: VecDeque<StageId> = (0..n)
+            .map(StageId)
+            .filter(|s| in_degree[s.index()] == 0)
+            .collect();
+        let mut order = Vec::with_capacity(n);
+        while let Some(stage) = queue.pop_front() {
+            order.push(stage);
+            for succ in self.successors(stage) {
+                in_degree[succ.index()] -= 1;
+                if in_degree[succ.index()] == 0 {
+                    queue.push_back(succ);
+                }
+            }
+        }
+        if order.len() != n {
+            return Err(StreamError::InvalidGraph(
+                "pipeline graph contains a cycle".into(),
+            ));
+        }
+        Ok(order)
+    }
+
+    /// Validates the graph: non-empty, acyclic, with at least one source and
+    /// one sink.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidGraph`] when any condition is violated.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.stages.is_empty() {
+            return Err(StreamError::InvalidGraph("no stages".into()));
+        }
+        self.topological_order()?;
+        if self.sources().is_empty() {
+            return Err(StreamError::InvalidGraph("no source stage".into()));
+        }
+        if self.sinks().is_empty() {
+            return Err(StreamError::InvalidGraph("no sink stage".into()));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chain() -> (PipelineGraph, StageId, StageId, StageId) {
+        let mut g = PipelineGraph::new();
+        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1e3)).unwrap();
+        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1e3)).unwrap();
+        let c = g.add_stage(StageDescriptor::new("c", TaskId(2), 1e3)).unwrap();
+        g.connect(a, b).unwrap();
+        g.connect(b, c).unwrap();
+        (g, a, b, c)
+    }
+
+    #[test]
+    fn stage_bookkeeping() {
+        let (g, a, b, c) = chain();
+        assert_eq!(g.len(), 3);
+        assert!(!g.is_empty());
+        assert!(PipelineGraph::new().is_empty());
+        assert_eq!(g.stage(a).unwrap().name, "a");
+        assert!(g.stage(StageId(9)).is_err());
+        assert_eq!(g.stages().len(), 3);
+        assert_eq!(g.edges().len(), 2);
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![c]);
+        assert_eq!(g.predecessors(b), vec![a]);
+        assert_eq!(g.successors(b), vec![c]);
+        assert_eq!(StageId(2).to_string(), "stage2");
+        assert_eq!(StageId(2).index(), 2);
+    }
+
+    #[test]
+    fn invalid_stages_and_edges_rejected() {
+        let mut g = PipelineGraph::new();
+        assert!(g
+            .add_stage(StageDescriptor::new("bad", TaskId(0), 0.0))
+            .is_err());
+        assert!(g
+            .add_stage(StageDescriptor::new("bad", TaskId(0), f64::NAN))
+            .is_err());
+        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1.0)).unwrap();
+        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1.0)).unwrap();
+        assert!(g.connect(a, StageId(9)).is_err());
+        assert!(g.connect(StageId(9), b).is_err());
+        assert!(g.connect(a, a).is_err());
+        g.connect(a, b).unwrap();
+        assert!(g.connect(a, b).is_err());
+    }
+
+    #[test]
+    fn topological_order_and_cycle_detection() {
+        let (g, a, b, c) = chain();
+        assert_eq!(g.topological_order().unwrap(), vec![a, b, c]);
+        assert!(g.validate().is_ok());
+
+        let mut cyclic = g.clone();
+        cyclic.connect(c, a).unwrap();
+        assert!(cyclic.topological_order().is_err());
+        assert!(cyclic.validate().is_err());
+
+        assert!(PipelineGraph::new().validate().is_err());
+    }
+
+    #[test]
+    fn fork_join_topology() {
+        // a -> {b, c} -> d, like DEMOD feeding the parallel BPF bank.
+        let mut g = PipelineGraph::new();
+        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1.0)).unwrap();
+        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1.0)).unwrap();
+        let c = g.add_stage(StageDescriptor::new("c", TaskId(2), 1.0)).unwrap();
+        let d = g.add_stage(StageDescriptor::new("d", TaskId(3), 1.0)).unwrap();
+        g.connect(a, b).unwrap();
+        g.connect(a, c).unwrap();
+        g.connect(b, d).unwrap();
+        g.connect(c, d).unwrap();
+        assert!(g.validate().is_ok());
+        assert_eq!(g.sources(), vec![a]);
+        assert_eq!(g.sinks(), vec![d]);
+        assert_eq!(g.predecessors(d).len(), 2);
+        let order = g.topological_order().unwrap();
+        assert_eq!(order[0], a);
+        assert_eq!(order[3], d);
+    }
+}

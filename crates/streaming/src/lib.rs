@@ -1,0 +1,52 @@
+//! # tbp-streaming — streaming pipeline framework and SDR benchmark
+//!
+//! The paper evaluates its thermal balancing policy with a Software Defined
+//! FM Radio (SDR) application: a software pipeline of tasks connected by
+//! message queues, where the digitalised PCM radio signal flows through a
+//! low-pass filter, an FM demodulator, a bank of parallel band-pass filters
+//! and a final consumer that mixes the equalised bands (Figure 6). Quality of
+//! service is measured in **frame deadline misses**: the consumer must deliver
+//! one audio frame per frame period, and "if the queue of the last stage gets
+//! empty a deadline miss occurs" (Section 5).
+//!
+//! This crate provides:
+//!
+//! * [`graph`] — pipeline graphs of stages connected by bounded queues;
+//! * [`queue`] — the bounded frame queues with occupancy statistics (used to
+//!   find the minimum queue size that sustains migration, 11 frames in the
+//!   paper);
+//! * [`pipeline`] — [`pipeline::PipelineRuntime`], which converts the cycles
+//!   each task executed (reported by [`tbp-os`](tbp_os)) into processed
+//!   frames and tracks deadline misses;
+//! * [`sdr`] — the SDR benchmark: the Table 2 task set and mapping, plus real
+//!   DSP kernels (FIR low-pass, FM discriminator, band-pass biquads, weighted
+//!   mixer) and an FM signal generator so the examples process actual audio;
+//! * [`workload`] — synthetic task-set generation for stress tests.
+//!
+//! # Example
+//!
+//! ```
+//! use tbp_streaming::sdr::SdrBenchmark;
+//!
+//! let sdr = SdrBenchmark::paper_default();
+//! // Six tasks: LPF, DEMOD, BPF1..3, SUM.
+//! assert_eq!(sdr.tasks().len(), 6);
+//! // Table 2 maps them onto three cores.
+//! assert_eq!(sdr.mapping().iter().map(|m| m.core.index()).max(), Some(2));
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod error;
+pub mod frame;
+pub mod graph;
+pub mod pipeline;
+pub mod queue;
+pub mod sdr;
+pub mod workload;
+
+pub use error::StreamError;
+pub use graph::{PipelineGraph, StageId};
+pub use pipeline::PipelineRuntime;
+pub use sdr::SdrBenchmark;

@@ -1,0 +1,567 @@
+//! Pipeline runtime: frames, credits and deadline accounting.
+//!
+//! [`PipelineRuntime`] is the streaming half of the co-simulation loop. Every
+//! step it receives the number of cycles each OS task actually executed
+//! (computed by [`tbp-os`](tbp_os) from the core's frequency, utilisation and
+//! any migration freezes) and converts them into processed frames:
+//!
+//! * the external producer deposits one new frame into every source stage's
+//!   input queue each frame period;
+//! * a stage consumes one frame from each of its input queues, spends
+//!   `cycles_per_frame` of its credit, and emits one frame into each output
+//!   queue;
+//! * the external real-time consumer pops one frame from every sink stage's
+//!   output queue each frame period — **a deadline miss is recorded whenever
+//!   that queue is empty**, exactly the QoS metric of the paper.
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::units::Seconds;
+
+use crate::error::StreamError;
+use crate::frame::{Frame, FrameId};
+use crate::graph::{PipelineGraph, StageId};
+use crate::queue::FrameQueue;
+
+/// Configuration of a pipeline runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PipelineConfig {
+    /// Interval between two frames at the input and the output.
+    pub frame_period: Seconds,
+    /// Capacity of every inter-stage queue (and of the external input/output
+    /// queues).
+    pub queue_capacity: usize,
+    /// Number of frames pre-filled into every queue before real-time
+    /// consumption starts (start-up buffering).
+    pub prefill: usize,
+}
+
+impl PipelineConfig {
+    /// The configuration used throughout the paper-style experiments: 25 ms
+    /// frame period (40 frames/s audio blocks), 11-frame queues (the minimum
+    /// the paper found sustainable), half-filled at start-up.
+    pub fn paper_default() -> Self {
+        PipelineConfig {
+            frame_period: Seconds::from_millis(25.0),
+            queue_capacity: 11,
+            prefill: 5,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a non-positive frame period
+    /// or a zero queue capacity, or a prefill exceeding the capacity.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.frame_period.is_zero() {
+            return Err(StreamError::InvalidConfig(
+                "frame period must be positive".into(),
+            ));
+        }
+        if self.queue_capacity == 0 {
+            return Err(StreamError::InvalidConfig(
+                "queue capacity must be at least 1".into(),
+            ));
+        }
+        if self.prefill > self.queue_capacity {
+            return Err(StreamError::InvalidConfig(format!(
+                "prefill {} exceeds queue capacity {}",
+                self.prefill, self.queue_capacity
+            )));
+        }
+        Ok(())
+    }
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig::paper_default()
+    }
+}
+
+/// QoS statistics accumulated by the runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QosReport {
+    /// Frames successfully delivered to the external consumer.
+    pub frames_delivered: u64,
+    /// Deadlines at which the consumer found the final queue empty.
+    pub deadline_misses: u64,
+    /// Frames injected by the external producer.
+    pub frames_produced: u64,
+    /// Frames dropped at the input because a source queue was full.
+    pub input_drops: u64,
+}
+
+impl QosReport {
+    /// Fraction of consumer deadlines that were missed.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.frames_delivered + self.deadline_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.deadline_misses as f64 / total as f64
+        }
+    }
+}
+
+/// The running state of a pipeline mapped onto the OS.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PipelineRuntime {
+    graph: PipelineGraph,
+    config: PipelineConfig,
+    order: Vec<StageId>,
+    /// One queue per graph edge, in the same order as `graph.edges()`.
+    edge_queues: Vec<FrameQueue>,
+    /// External input queue of every source stage (parallel to `sources`).
+    sources: Vec<StageId>,
+    input_queues: Vec<FrameQueue>,
+    /// External output queue of every sink stage (parallel to `sinks`).
+    sinks: Vec<StageId>,
+    output_queues: Vec<FrameQueue>,
+    /// Unspent cycle credit per stage.
+    credits: Vec<f64>,
+    elapsed: Seconds,
+    next_period_boundary: Seconds,
+    next_frame_id: u64,
+    qos: QosReport,
+}
+
+impl PipelineRuntime {
+    /// Instantiates a runtime for `graph` with the given configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidGraph`] when the graph fails
+    /// [`PipelineGraph::validate`] and [`StreamError::InvalidConfig`] when the
+    /// configuration is invalid.
+    pub fn new(graph: PipelineGraph, config: PipelineConfig) -> Result<Self, StreamError> {
+        graph.validate()?;
+        config.validate()?;
+        let order = graph.topological_order()?;
+        let sources = graph.sources();
+        let sinks = graph.sinks();
+        let mut edge_queues = Vec::with_capacity(graph.edges().len());
+        for _ in graph.edges() {
+            let mut q = FrameQueue::new(config.queue_capacity)?;
+            q.prefill(config.prefill);
+            edge_queues.push(q);
+        }
+        let mut input_queues = Vec::with_capacity(sources.len());
+        for _ in &sources {
+            let mut q = FrameQueue::new(config.queue_capacity)?;
+            q.prefill(config.prefill);
+            input_queues.push(q);
+        }
+        let mut output_queues = Vec::with_capacity(sinks.len());
+        for _ in &sinks {
+            let mut q = FrameQueue::new(config.queue_capacity)?;
+            q.prefill(config.prefill);
+            output_queues.push(q);
+        }
+        let credits = vec![0.0; graph.len()];
+        Ok(PipelineRuntime {
+            graph,
+            config,
+            order,
+            edge_queues,
+            sources,
+            input_queues,
+            sinks,
+            output_queues,
+            credits,
+            elapsed: Seconds::ZERO,
+            next_period_boundary: config.frame_period,
+            next_frame_id: 0,
+            qos: QosReport::default(),
+        })
+    }
+
+    /// The pipeline graph.
+    pub fn graph(&self) -> &PipelineGraph {
+        &self.graph
+    }
+
+    /// The runtime configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// QoS statistics accumulated so far.
+    pub fn qos(&self) -> &QosReport {
+        &self.qos
+    }
+
+    /// Simulated time processed so far.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Current occupancy of the queue on the edge with the given index (in
+    /// [`PipelineGraph::edges`] order).
+    pub fn edge_queue_level(&self, edge_index: usize) -> Option<usize> {
+        self.edge_queues.get(edge_index).map(|q| q.len())
+    }
+
+    /// Minimum occupancy ever observed across all queues — the paper's
+    /// "minimum queue size to sustain migration" figure is derived from this.
+    pub fn min_queue_level(&self) -> usize {
+        self.all_queues().map(|q| q.stats().min_level).min().unwrap_or(0)
+    }
+
+    /// Mean occupancy across all queues right now.
+    pub fn mean_queue_level(&self) -> f64 {
+        let (sum, count) = self
+            .all_queues()
+            .fold((0usize, 0usize), |(s, c), q| (s + q.len(), c + 1));
+        if count == 0 {
+            0.0
+        } else {
+            sum as f64 / count as f64
+        }
+    }
+
+    fn all_queues(&self) -> impl Iterator<Item = &FrameQueue> {
+        self.edge_queues
+            .iter()
+            .chain(self.input_queues.iter())
+            .chain(self.output_queues.iter())
+    }
+
+    /// Advances the pipeline by `dt`. `executed_cycles` maps each OS task id
+    /// to the cycles it executed during the interval (the
+    /// [`MposStepReport::executed_cycles`](tbp_os::mpos::MposStepReport)
+    /// vector can be passed directly).
+    pub fn step(&mut self, dt: Seconds, executed_cycles: &[f64]) {
+        // 1. Credit stages with the cycles their backing task executed.
+        for (i, stage) in self.graph.stages().iter().enumerate() {
+            let cycles = executed_cycles.get(stage.task.index()).copied().unwrap_or(0.0);
+            self.credits[i] += cycles;
+            // Cap unused credit at two frames' worth: a stage cannot catch up
+            // arbitrarily fast after being starved of input.
+            let cap = 2.0 * stage.cycles_per_frame;
+            if self.credits[i] > cap {
+                self.credits[i] = cap;
+            }
+        }
+
+        // 2. Let every stage process as many frames as credit and queues allow.
+        self.process_stages();
+
+        // 3. Handle frame-period boundaries that fall inside this step.
+        self.elapsed += dt;
+        while self.next_period_boundary.as_secs() <= self.elapsed.as_secs() + 1e-12 {
+            self.on_period_boundary();
+            self.next_period_boundary += self.config.frame_period;
+            // Processing right after injecting input keeps single-step
+            // latency low when credits are plentiful.
+            self.process_stages();
+        }
+    }
+
+    fn process_stages(&mut self) {
+        let order = self.order.clone();
+        for stage_id in order {
+            loop {
+                if !self.try_process_one_frame(stage_id) {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Attempts to process a single frame on `stage`. Returns `true` on
+    /// success.
+    fn try_process_one_frame(&mut self, stage: StageId) -> bool {
+        let idx = stage.index();
+        let cycles_needed = self.graph.stages()[idx].cycles_per_frame;
+        if self.credits[idx] + 1e-9 < cycles_needed {
+            return false;
+        }
+        // Gather input queue indices: either edges or the external input.
+        let input_edges: Vec<usize> = self
+            .graph
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, &(_, to))| to == stage)
+            .map(|(i, _)| i)
+            .collect();
+        let external_input = self.sources.iter().position(|&s| s == stage);
+        // Check availability of one frame on every input.
+        for &e in &input_edges {
+            if self.edge_queues[e].is_empty() {
+                return false;
+            }
+        }
+        if let Some(src_idx) = external_input {
+            if self.input_queues[src_idx].is_empty() {
+                return false;
+            }
+        }
+        // Check space on every output.
+        let output_edges: Vec<usize> = self
+            .graph
+            .edges()
+            .iter()
+            .enumerate()
+            .filter(|(_, &(from, _))| from == stage)
+            .map(|(i, _)| i)
+            .collect();
+        let external_output = self.sinks.iter().position(|&s| s == stage);
+        for &e in &output_edges {
+            if self.edge_queues[e].is_full() {
+                return false;
+            }
+        }
+        if let Some(sink_idx) = external_output {
+            if self.output_queues[sink_idx].is_full() {
+                return false;
+            }
+        }
+        // Consume inputs.
+        let mut forwarded: Option<Frame> = None;
+        for &e in &input_edges {
+            forwarded = self.edge_queues[e].pop();
+        }
+        if let Some(src_idx) = external_input {
+            forwarded = self.input_queues[src_idx].pop();
+        }
+        let out_frame = forwarded.unwrap_or(Frame::new(FrameId(self.next_frame_id), self.elapsed));
+        // Produce outputs.
+        for &e in &output_edges {
+            self.edge_queues[e].push(out_frame);
+        }
+        if let Some(sink_idx) = external_output {
+            self.output_queues[sink_idx].push(out_frame);
+        }
+        self.credits[idx] -= cycles_needed;
+        true
+    }
+
+    fn on_period_boundary(&mut self) {
+        // External producer deposits a new frame into every source queue.
+        for q in &mut self.input_queues {
+            let frame = Frame::new(FrameId(self.next_frame_id), self.elapsed);
+            self.next_frame_id += 1;
+            self.qos.frames_produced += 1;
+            if !q.push(frame) {
+                self.qos.input_drops += 1;
+            }
+        }
+        // External real-time consumer pops from every sink queue.
+        for q in &mut self.output_queues {
+            if q.pop().is_some() {
+                self.qos.frames_delivered += 1;
+            } else {
+                self.qos.deadline_misses += 1;
+            }
+        }
+    }
+
+    /// Resets queues, credits, clocks and QoS counters (the graph and
+    /// configuration are kept).
+    pub fn reset(&mut self) {
+        for q in self
+            .edge_queues
+            .iter_mut()
+            .chain(self.input_queues.iter_mut())
+            .chain(self.output_queues.iter_mut())
+        {
+            q.reset();
+            q.prefill(self.config.prefill);
+        }
+        self.credits.iter_mut().for_each(|c| *c = 0.0);
+        self.elapsed = Seconds::ZERO;
+        self.next_period_boundary = self.config.frame_period;
+        self.next_frame_id = 0;
+        self.qos = QosReport::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::StageDescriptor;
+    use tbp_os::task::TaskId;
+
+    /// A 3-stage chain where each stage needs 1e6 cycles per frame and is
+    /// backed by tasks 0..2.
+    fn chain_runtime(config: PipelineConfig) -> PipelineRuntime {
+        let mut g = PipelineGraph::new();
+        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1e6)).unwrap();
+        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1e6)).unwrap();
+        let c = g.add_stage(StageDescriptor::new("c", TaskId(2), 1e6)).unwrap();
+        g.connect(a, b).unwrap();
+        g.connect(b, c).unwrap();
+        PipelineRuntime::new(g, config).unwrap()
+    }
+
+    /// Cycle budget that lets every stage process exactly one frame per
+    /// 25 ms period when fed every 5 ms (1e6 cycles / 5 steps).
+    fn per_step_cycles() -> Vec<f64> {
+        vec![2e5, 2e5, 2e5]
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(PipelineConfig::paper_default().validate().is_ok());
+        assert!(PipelineConfig::default().validate().is_ok());
+        let bad = PipelineConfig {
+            frame_period: Seconds::ZERO,
+            ..PipelineConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = PipelineConfig {
+            queue_capacity: 0,
+            ..PipelineConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+        let bad = PipelineConfig {
+            prefill: 99,
+            ..PipelineConfig::paper_default()
+        };
+        assert!(bad.validate().is_err());
+        // Runtime constructor surfaces the same errors.
+        let mut g = PipelineGraph::new();
+        g.add_stage(StageDescriptor::new("a", TaskId(0), 1.0)).unwrap();
+        assert!(PipelineRuntime::new(g, bad).is_err());
+        assert!(PipelineRuntime::new(PipelineGraph::new(), PipelineConfig::paper_default()).is_err());
+    }
+
+    #[test]
+    fn sufficient_cycles_mean_no_deadline_misses() {
+        let mut rt = chain_runtime(PipelineConfig::paper_default());
+        let cycles = per_step_cycles();
+        // Run 10 simulated seconds in 5 ms steps.
+        for _ in 0..2_000 {
+            rt.step(Seconds::from_millis(5.0), &cycles);
+        }
+        let qos = rt.qos();
+        assert!(qos.frames_delivered > 300);
+        assert_eq!(qos.deadline_misses, 0, "well-provisioned pipeline must not miss");
+        assert_eq!(qos.miss_rate(), 0.0);
+        assert!(qos.frames_produced >= qos.frames_delivered);
+        assert!(rt.elapsed().as_secs() > 9.9);
+        assert!(rt.mean_queue_level() > 0.0);
+        assert!(rt.edge_queue_level(0).is_some());
+        assert!(rt.edge_queue_level(9).is_none());
+    }
+
+    #[test]
+    fn starved_pipeline_misses_deadlines() {
+        let mut rt = chain_runtime(PipelineConfig::paper_default());
+        // Stage b gets no cycles at all: the sink queue drains its prefill and
+        // then every deadline is missed.
+        let cycles = vec![2e5, 0.0, 2e5];
+        for _ in 0..2_000 {
+            rt.step(Seconds::from_millis(5.0), &cycles);
+        }
+        assert!(rt.qos().deadline_misses > 100);
+        assert!(rt.qos().miss_rate() > 0.5);
+    }
+
+    #[test]
+    fn short_stall_is_absorbed_by_queues() {
+        let mut rt = chain_runtime(PipelineConfig::paper_default());
+        let cycles = per_step_cycles();
+        let stalled = vec![2e5, 0.0, 2e5];
+        // 2 s of normal operation.
+        for _ in 0..400 {
+            rt.step(Seconds::from_millis(5.0), &cycles);
+        }
+        // 50 ms stall of the middle stage (shorter than the buffered frames).
+        for _ in 0..10 {
+            rt.step(Seconds::from_millis(5.0), &stalled);
+        }
+        // Recovery.
+        for _ in 0..400 {
+            rt.step(Seconds::from_millis(5.0), &cycles);
+        }
+        assert_eq!(
+            rt.qos().deadline_misses,
+            0,
+            "a 50 ms stall must be hidden by 5 prefilled frames"
+        );
+        // The stall is visible in the minimum queue level.
+        assert!(rt.min_queue_level() < PipelineConfig::paper_default().prefill);
+    }
+
+    #[test]
+    fn long_stall_causes_misses_proportional_to_its_length() {
+        let mut rt = chain_runtime(PipelineConfig::paper_default());
+        let cycles = per_step_cycles();
+        let stalled = vec![2e5, 0.0, 2e5];
+        for _ in 0..400 {
+            rt.step(Seconds::from_millis(5.0), &cycles);
+        }
+        // A 500 ms stall exceeds the buffering (5 frames * 25 ms = 125 ms).
+        for _ in 0..100 {
+            rt.step(Seconds::from_millis(5.0), &stalled);
+        }
+        let misses_after_stall = rt.qos().deadline_misses;
+        assert!(
+            misses_after_stall >= 10 && misses_after_stall <= 20,
+            "500 ms stall with 125 ms of buffering should miss ~15 deadlines, got {misses_after_stall}"
+        );
+        // Recovery stops the bleeding.
+        for _ in 0..400 {
+            rt.step(Seconds::from_millis(5.0), &cycles);
+        }
+        let total = rt.qos().deadline_misses;
+        assert!(total - misses_after_stall <= 6);
+    }
+
+    #[test]
+    fn fork_join_requires_all_branches() {
+        // a -> {b, c} -> d; if branch c is starved, d cannot assemble output.
+        let mut g = PipelineGraph::new();
+        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1e6)).unwrap();
+        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1e6)).unwrap();
+        let c = g.add_stage(StageDescriptor::new("c", TaskId(2), 1e6)).unwrap();
+        let d = g.add_stage(StageDescriptor::new("d", TaskId(3), 1e6)).unwrap();
+        g.connect(a, b).unwrap();
+        g.connect(a, c).unwrap();
+        g.connect(b, d).unwrap();
+        g.connect(c, d).unwrap();
+        let mut rt = PipelineRuntime::new(g, PipelineConfig::paper_default()).unwrap();
+        let healthy = vec![2e5; 4];
+        for _ in 0..1_000 {
+            rt.step(Seconds::from_millis(5.0), &healthy);
+        }
+        assert_eq!(rt.qos().deadline_misses, 0);
+        let c_starved = vec![2e5, 2e5, 0.0, 2e5];
+        for _ in 0..1_000 {
+            rt.step(Seconds::from_millis(5.0), &c_starved);
+        }
+        assert!(rt.qos().deadline_misses > 50);
+    }
+
+    #[test]
+    fn reset_restores_initial_state() {
+        let mut rt = chain_runtime(PipelineConfig::paper_default());
+        for _ in 0..200 {
+            rt.step(Seconds::from_millis(5.0), &[0.0, 0.0, 0.0]);
+        }
+        assert!(rt.qos().deadline_misses > 0);
+        rt.reset();
+        assert_eq!(rt.qos().deadline_misses, 0);
+        assert_eq!(rt.qos().frames_delivered, 0);
+        assert_eq!(rt.elapsed(), Seconds::ZERO);
+        assert!(rt.mean_queue_level() > 0.0);
+    }
+
+    #[test]
+    fn missing_task_cycles_default_to_zero() {
+        let mut rt = chain_runtime(PipelineConfig::paper_default());
+        // Passing a shorter executed-cycles vector starves the unmapped tasks
+        // instead of panicking.
+        for _ in 0..600 {
+            rt.step(Seconds::from_millis(5.0), &[2e5]);
+        }
+        assert!(rt.qos().deadline_misses > 0);
+        assert_eq!(rt.config().queue_capacity, 11);
+        assert_eq!(rt.graph().len(), 3);
+    }
+}

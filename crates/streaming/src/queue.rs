@@ -1,0 +1,230 @@
+//! Bounded inter-task frame queues.
+//!
+//! "Communication among tasks is done using message queues, each task reads
+//! data from its input queue and sends the results to the output queue"
+//! (Section 5.1). The queue depth is the knob that decides whether the
+//! pipeline can ride out a migration freeze: the paper reports that a queue
+//! size of 11 frames was the minimum that sustained thermal balancing without
+//! QoS loss.
+
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+use crate::error::StreamError;
+use crate::frame::Frame;
+
+/// Occupancy statistics of a queue, tracked over its lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct QueueStats {
+    /// Total frames pushed.
+    pub pushed: u64,
+    /// Total frames popped.
+    pub popped: u64,
+    /// Pushes rejected because the queue was full.
+    pub overflows: u64,
+    /// Pops attempted while the queue was empty.
+    pub underflows: u64,
+    /// Minimum occupancy observed after the first push.
+    pub min_level: usize,
+    /// Maximum occupancy observed.
+    pub max_level: usize,
+}
+
+/// A bounded FIFO of frames.
+///
+/// ```
+/// use tbp_streaming::queue::FrameQueue;
+/// use tbp_streaming::frame::{Frame, FrameId};
+/// use tbp_arch::units::Seconds;
+///
+/// # fn main() -> Result<(), tbp_streaming::StreamError> {
+/// let mut q = FrameQueue::new(4)?;
+/// q.push(Frame::new(FrameId(0), Seconds::ZERO));
+/// assert_eq!(q.len(), 1);
+/// assert!(q.pop().is_some());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrameQueue {
+    capacity: usize,
+    frames: VecDeque<Frame>,
+    stats: QueueStats,
+    seen_first_push: bool,
+}
+
+impl FrameQueue {
+    /// Creates a queue holding at most `capacity` frames.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a zero capacity.
+    pub fn new(capacity: usize) -> Result<Self, StreamError> {
+        if capacity == 0 {
+            return Err(StreamError::InvalidConfig(
+                "queue capacity must be at least 1".into(),
+            ));
+        }
+        Ok(FrameQueue {
+            capacity,
+            frames: VecDeque::with_capacity(capacity),
+            stats: QueueStats::default(),
+            seen_first_push: false,
+        })
+    }
+
+    /// Maximum number of frames the queue can hold.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current number of queued frames.
+    pub fn len(&self) -> usize {
+        self.frames.len()
+    }
+
+    /// Returns `true` when the queue holds no frames.
+    pub fn is_empty(&self) -> bool {
+        self.frames.is_empty()
+    }
+
+    /// Returns `true` when the queue is at capacity.
+    pub fn is_full(&self) -> bool {
+        self.frames.len() >= self.capacity
+    }
+
+    /// Lifetime statistics of the queue.
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
+    }
+
+    /// Pushes a frame. Returns `false` (and counts an overflow) when the
+    /// queue is full.
+    pub fn push(&mut self, frame: Frame) -> bool {
+        if self.is_full() {
+            self.stats.overflows += 1;
+            return false;
+        }
+        self.frames.push_back(frame);
+        self.stats.pushed += 1;
+        self.seen_first_push = true;
+        self.stats.max_level = self.stats.max_level.max(self.frames.len());
+        true
+    }
+
+    /// Pops the oldest frame. Counts an underflow when the queue is empty.
+    pub fn pop(&mut self) -> Option<Frame> {
+        match self.frames.pop_front() {
+            Some(frame) => {
+                self.stats.popped += 1;
+                if self.seen_first_push {
+                    self.stats.min_level = self.stats.min_level.min(self.frames.len());
+                }
+                Some(frame)
+            }
+            None => {
+                self.stats.underflows += 1;
+                None
+            }
+        }
+    }
+
+    /// Peeks at the oldest frame without removing it.
+    pub fn front(&self) -> Option<&Frame> {
+        self.frames.front()
+    }
+
+    /// Pre-fills the queue with `count` frames (clamped to capacity), as the
+    /// start-up phase of a streaming application would before real-time
+    /// consumption begins.
+    pub fn prefill(&mut self, count: usize) {
+        use crate::frame::FrameId;
+        use tbp_arch::units::Seconds;
+        for i in 0..count.min(self.capacity - self.frames.len()) {
+            self.push(Frame::new(FrameId(u64::MAX - i as u64), Seconds::ZERO));
+        }
+        // Pre-fill establishes the baseline occupancy for min-level tracking.
+        self.stats.min_level = self.frames.len();
+    }
+
+    /// Empties the queue and resets its statistics.
+    pub fn reset(&mut self) {
+        self.frames.clear();
+        self.stats = QueueStats::default();
+        self.seen_first_push = false;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::FrameId;
+    use tbp_arch::units::Seconds;
+
+    fn frame(i: u64) -> Frame {
+        Frame::new(FrameId(i), Seconds::ZERO)
+    }
+
+    #[test]
+    fn zero_capacity_rejected() {
+        assert!(FrameQueue::new(0).is_err());
+    }
+
+    #[test]
+    fn push_pop_fifo_order() {
+        let mut q = FrameQueue::new(3).unwrap();
+        assert!(q.is_empty());
+        assert!(!q.is_full());
+        assert_eq!(q.capacity(), 3);
+        assert!(q.push(frame(1)));
+        assert!(q.push(frame(2)));
+        assert_eq!(q.front().unwrap().id, FrameId(1));
+        assert_eq!(q.pop().unwrap().id, FrameId(1));
+        assert_eq!(q.pop().unwrap().id, FrameId(2));
+        assert!(q.pop().is_none());
+        assert_eq!(q.stats().pushed, 2);
+        assert_eq!(q.stats().popped, 2);
+        assert_eq!(q.stats().underflows, 1);
+    }
+
+    #[test]
+    fn overflow_is_counted_and_rejected() {
+        let mut q = FrameQueue::new(2).unwrap();
+        assert!(q.push(frame(1)));
+        assert!(q.push(frame(2)));
+        assert!(q.is_full());
+        assert!(!q.push(frame(3)));
+        assert_eq!(q.stats().overflows, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn level_tracking() {
+        let mut q = FrameQueue::new(8).unwrap();
+        q.prefill(4);
+        assert_eq!(q.len(), 4);
+        assert_eq!(q.stats().min_level, 4);
+        q.pop();
+        q.pop();
+        assert_eq!(q.stats().min_level, 2);
+        q.push(frame(1));
+        q.push(frame(2));
+        q.push(frame(3));
+        assert_eq!(q.stats().max_level, 5);
+        // Prefill never exceeds capacity.
+        let mut small = FrameQueue::new(2).unwrap();
+        small.prefill(10);
+        assert_eq!(small.len(), 2);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut q = FrameQueue::new(4).unwrap();
+        q.push(frame(1));
+        q.pop();
+        q.reset();
+        assert!(q.is_empty());
+        assert_eq!(q.stats().pushed, 0);
+        assert_eq!(q.stats().underflows, 0);
+    }
+}

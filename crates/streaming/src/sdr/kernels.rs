@@ -1,0 +1,327 @@
+//! DSP kernels of the SDR pipeline.
+//!
+//! The co-simulation drives the pipeline with abstract loads, but the crate
+//! also ships working signal-processing kernels so the examples can run the
+//! radio end-to-end on generated samples: a windowed-sinc FIR low-pass filter
+//! (LPF), a quadrature FM discriminator (DEMOD), biquad band-pass filters
+//! (BPF) and the weighted-sum consumer (Σ).
+
+use std::f64::consts::PI;
+
+/// A finite-impulse-response filter applied by direct convolution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FirFilter {
+    taps: Vec<f64>,
+    state: Vec<f64>,
+}
+
+impl FirFilter {
+    /// Designs a low-pass filter with the given normalised cutoff
+    /// (`cutoff` = f_c / f_s, in `(0, 0.5)`) and number of taps, using a
+    /// Hamming-windowed sinc.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `taps` is zero or `cutoff` is outside `(0, 0.5)`.
+    pub fn low_pass(cutoff: f64, taps: usize) -> Self {
+        assert!(taps > 0, "FIR filter needs at least one tap");
+        assert!(
+            cutoff > 0.0 && cutoff < 0.5,
+            "normalised cutoff must be in (0, 0.5)"
+        );
+        let m = (taps - 1) as f64;
+        let mut coeffs = Vec::with_capacity(taps);
+        for n in 0..taps {
+            let x = n as f64 - m / 2.0;
+            let sinc = if x.abs() < 1e-12 {
+                2.0 * cutoff
+            } else {
+                (2.0 * PI * cutoff * x).sin() / (PI * x)
+            };
+            let window = 0.54 - 0.46 * (2.0 * PI * n as f64 / m.max(1.0)).cos();
+            coeffs.push(sinc * window);
+        }
+        // Normalise to unit DC gain.
+        let sum: f64 = coeffs.iter().sum();
+        if sum.abs() > 1e-12 {
+            for c in &mut coeffs {
+                *c /= sum;
+            }
+        }
+        FirFilter {
+            state: vec![0.0; coeffs.len()],
+            taps: coeffs,
+        }
+    }
+
+    /// The filter coefficients.
+    pub fn taps(&self) -> &[f64] {
+        &self.taps
+    }
+
+    /// Filters one sample.
+    pub fn process_sample(&mut self, sample: f64) -> f64 {
+        self.state.rotate_right(1);
+        self.state[0] = sample;
+        self.taps.iter().zip(&self.state).map(|(t, s)| t * s).sum()
+    }
+
+    /// Filters a block of samples into a new vector.
+    pub fn process_block(&mut self, samples: &[f64]) -> Vec<f64> {
+        samples.iter().map(|&s| self.process_sample(s)).collect()
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.state.iter_mut().for_each(|s| *s = 0.0);
+    }
+}
+
+/// Quadrature FM discriminator: recovers the instantaneous frequency of an
+/// I/Q stream, which is the demodulated audio for an FM signal.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FmDemodulator {
+    prev_i: f64,
+    prev_q: f64,
+}
+
+impl FmDemodulator {
+    /// Creates a demodulator with zeroed history.
+    pub fn new() -> Self {
+        FmDemodulator::default()
+    }
+
+    /// Demodulates one I/Q sample pair, returning the instantaneous phase
+    /// increment (proportional to the modulating signal).
+    pub fn process_sample(&mut self, i: f64, q: f64) -> f64 {
+        // d/dt arg(z) approximated by arg(z[n] * conj(z[n-1])).
+        let re = i * self.prev_i + q * self.prev_q;
+        let im = q * self.prev_i - i * self.prev_q;
+        self.prev_i = i;
+        self.prev_q = q;
+        im.atan2(re)
+    }
+
+    /// Demodulates a block of I/Q pairs.
+    pub fn process_block(&mut self, iq: &[(f64, f64)]) -> Vec<f64> {
+        iq.iter().map(|&(i, q)| self.process_sample(i, q)).collect()
+    }
+}
+
+/// A biquad band-pass filter (constant-skirt-gain RBJ design).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandPassFilter {
+    b0: f64,
+    b1: f64,
+    b2: f64,
+    a1: f64,
+    a2: f64,
+    x1: f64,
+    x2: f64,
+    y1: f64,
+    y2: f64,
+}
+
+impl BandPassFilter {
+    /// Designs a band-pass biquad centred at the normalised frequency
+    /// `center` (= f_0 / f_s) with the given quality factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center` is outside `(0, 0.5)` or `q` is not positive.
+    pub fn new(center: f64, q: f64) -> Self {
+        assert!(center > 0.0 && center < 0.5, "centre must be in (0, 0.5)");
+        assert!(q > 0.0, "Q must be positive");
+        let w0 = 2.0 * PI * center;
+        let alpha = w0.sin() / (2.0 * q);
+        let a0 = 1.0 + alpha;
+        BandPassFilter {
+            b0: alpha / a0,
+            b1: 0.0,
+            b2: -alpha / a0,
+            a1: -2.0 * w0.cos() / a0,
+            a2: (1.0 - alpha) / a0,
+            x1: 0.0,
+            x2: 0.0,
+            y1: 0.0,
+            y2: 0.0,
+        }
+    }
+
+    /// Filters one sample.
+    pub fn process_sample(&mut self, x: f64) -> f64 {
+        let y = self.b0 * x + self.b1 * self.x1 + self.b2 * self.x2
+            - self.a1 * self.y1
+            - self.a2 * self.y2;
+        self.x2 = self.x1;
+        self.x1 = x;
+        self.y2 = self.y1;
+        self.y1 = y;
+        y
+    }
+
+    /// Filters a block of samples.
+    pub fn process_block(&mut self, samples: &[f64]) -> Vec<f64> {
+        samples.iter().map(|&s| self.process_sample(s)).collect()
+    }
+
+    /// Clears the filter state.
+    pub fn reset(&mut self) {
+        self.x1 = 0.0;
+        self.x2 = 0.0;
+        self.y1 = 0.0;
+        self.y2 = 0.0;
+    }
+}
+
+/// The Σ consumer: mixes the equalised bands with per-band gains.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedMixer {
+    gains: Vec<f64>,
+}
+
+impl WeightedMixer {
+    /// Creates a mixer with one gain per band.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gains` is empty.
+    pub fn new(gains: Vec<f64>) -> Self {
+        assert!(!gains.is_empty(), "mixer needs at least one band");
+        WeightedMixer { gains }
+    }
+
+    /// The per-band gains.
+    pub fn gains(&self) -> &[f64] {
+        &self.gains
+    }
+
+    /// Mixes aligned blocks (one block per band) into a single output block.
+    /// Bands shorter than the longest block contribute zeros beyond their
+    /// end; extra bands beyond the configured gains are ignored.
+    pub fn mix(&self, bands: &[Vec<f64>]) -> Vec<f64> {
+        let len = bands.iter().map(|b| b.len()).max().unwrap_or(0);
+        let mut out = vec![0.0; len];
+        for (band, gain) in bands.iter().zip(&self.gains) {
+            for (o, &s) in out.iter_mut().zip(band) {
+                *o += gain * s;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tone(freq: f64, sample_rate: f64, n: usize) -> Vec<f64> {
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / sample_rate).sin())
+            .collect()
+    }
+
+    fn rms(samples: &[f64]) -> f64 {
+        (samples.iter().map(|s| s * s).sum::<f64>() / samples.len() as f64).sqrt()
+    }
+
+    #[test]
+    fn low_pass_keeps_low_and_attenuates_high_frequencies() {
+        let sample_rate = 48_000.0;
+        let mut lpf = FirFilter::low_pass(0.1, 63); // cutoff at 4.8 kHz
+        let low = tone(1_000.0, sample_rate, 4_000);
+        let low_out = lpf.process_block(&low);
+        lpf.reset();
+        let high = tone(15_000.0, sample_rate, 4_000);
+        let high_out = lpf.process_block(&high);
+        // Skip the transient when measuring.
+        let low_gain = rms(&low_out[500..]) / rms(&low[500..]);
+        let high_gain = rms(&high_out[500..]) / rms(&high[500..]);
+        assert!(low_gain > 0.9, "passband gain was {low_gain}");
+        assert!(high_gain < 0.1, "stopband gain was {high_gain}");
+        assert_eq!(lpf.taps().len(), 63);
+    }
+
+    #[test]
+    #[should_panic(expected = "cutoff")]
+    fn low_pass_rejects_bad_cutoff() {
+        let _ = FirFilter::low_pass(0.7, 31);
+    }
+
+    #[test]
+    fn fm_demodulator_recovers_constant_frequency() {
+        // An I/Q tone at a constant frequency offset demodulates to a
+        // constant value proportional to that offset.
+        let sample_rate = 48_000.0;
+        let offset = 3_000.0;
+        let mut demod = FmDemodulator::new();
+        let iq: Vec<(f64, f64)> = (0..2_000)
+            .map(|n| {
+                let phase = 2.0 * PI * offset * n as f64 / sample_rate;
+                (phase.cos(), phase.sin())
+            })
+            .collect();
+        let out = demod.process_block(&iq);
+        let expected = 2.0 * PI * offset / sample_rate;
+        for &v in &out[10..] {
+            assert!((v - expected).abs() < 1e-6, "got {v}, expected {expected}");
+        }
+    }
+
+    #[test]
+    fn fm_demodulator_tracks_modulation_sign() {
+        let sample_rate = 48_000.0;
+        let mut demod = FmDemodulator::new();
+        // Negative frequency offset -> negative output.
+        let iq: Vec<(f64, f64)> = (0..500)
+            .map(|n| {
+                let phase = -2.0 * PI * 2_000.0 * n as f64 / sample_rate;
+                (phase.cos(), phase.sin())
+            })
+            .collect();
+        let out = demod.process_block(&iq);
+        assert!(out[100] < 0.0);
+    }
+
+    #[test]
+    fn band_pass_selects_its_band() {
+        let sample_rate = 48_000.0;
+        let mut bpf = BandPassFilter::new(2_000.0 / sample_rate, 1.0);
+        let in_band = tone(2_000.0, sample_rate, 4_000);
+        let in_band_out = bpf.process_block(&in_band);
+        bpf.reset();
+        let out_of_band = tone(12_000.0, sample_rate, 4_000);
+        let out_of_band_out = bpf.process_block(&out_of_band);
+        let g_in = rms(&in_band_out[1000..]) / rms(&in_band[1000..]);
+        let g_out = rms(&out_of_band_out[1000..]) / rms(&out_of_band[1000..]);
+        assert!(g_in > 0.7, "in-band gain {g_in}");
+        assert!(g_out < 0.3, "out-of-band gain {g_out}");
+        assert!(g_in > 3.0 * g_out);
+    }
+
+    #[test]
+    #[should_panic(expected = "Q must be positive")]
+    fn band_pass_rejects_bad_q() {
+        let _ = BandPassFilter::new(0.1, 0.0);
+    }
+
+    #[test]
+    fn mixer_applies_gains() {
+        let mixer = WeightedMixer::new(vec![1.0, 0.5, 0.25]);
+        assert_eq!(mixer.gains().len(), 3);
+        let bands = vec![vec![1.0, 1.0], vec![2.0, 2.0], vec![4.0, 4.0]];
+        let out = mixer.mix(&bands);
+        assert_eq!(out, vec![3.0, 3.0]);
+        // Ragged bands are padded with silence.
+        let ragged = vec![vec![1.0, 1.0, 1.0], vec![2.0]];
+        let out = mixer.mix(&ragged);
+        assert_eq!(out, vec![2.0, 1.0, 1.0]);
+        assert!(mixer.mix(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one band")]
+    fn mixer_rejects_empty_gains() {
+        let _ = WeightedMixer::new(vec![]);
+    }
+}

@@ -1,0 +1,343 @@
+//! The Software Defined FM Radio benchmark (Figure 6 / Table 2).
+//!
+//! The application digests PCM samples of a radio signal: a low-pass filter
+//! (LPF) cuts frequencies beyond the radio bandwidth, a demodulator (DEMOD)
+//! shifts the signal to baseband, a bank of parallel band-pass filters
+//! (BPF1..BPF3) equalises the audio, and a consumer (Σ) mixes the bands with
+//! different gains into the final output.
+//!
+//! [`SdrBenchmark`] packages the task set, the Table 2 loads, the paper's
+//! initial energy-balanced mapping onto three cores and the pipeline graph.
+//! The [`kernels`] and [`signal`] sub-modules provide real DSP code so the
+//! examples can process an actual FM signal rather than synthetic load only.
+
+pub mod kernels;
+pub mod signal;
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::core::CoreId;
+use tbp_arch::units::{Bytes, Seconds};
+use tbp_os::task::TaskDescriptor;
+
+use crate::error::StreamError;
+use crate::graph::{PipelineGraph, StageDescriptor};
+use crate::pipeline::PipelineConfig;
+
+/// Maximum frequency of the paper's DVFS scale, used to convert Table 2
+/// utilisations into full-speed-equivalent loads.
+const F_MAX_MHZ: f64 = 533.0;
+
+/// One row of Table 2: a task, the core it is initially mapped to, the
+/// frequency of that core and the utilisation ("Load [%]") the paper lists.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SdrMappingEntry {
+    /// Task name (`LPF`, `DEMOD`, `BPF1`, `BPF2`, `BPF3`, `SUM`).
+    pub name: String,
+    /// Core the task is initially mapped to.
+    pub core: CoreId,
+    /// Frequency (MHz) of that core in the energy-balanced configuration.
+    pub core_frequency_mhz: f64,
+    /// Utilisation of the task at that frequency, as listed in Table 2 (%).
+    pub load_percent: f64,
+}
+
+impl SdrMappingEntry {
+    /// The task's full-speed-equivalent load (fraction of a 533 MHz core).
+    pub fn fse_load(&self) -> f64 {
+        self.load_percent / 100.0 * self.core_frequency_mhz / F_MAX_MHZ
+    }
+}
+
+/// The SDR benchmark: tasks, mapping and pipeline graph.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SdrBenchmark {
+    mapping: Vec<SdrMappingEntry>,
+    context_size: Bytes,
+    checkpoint_period: Seconds,
+    pipeline: PipelineConfig,
+}
+
+impl SdrBenchmark {
+    /// The benchmark exactly as configured in Table 2 of the paper:
+    ///
+    /// | core / freq.        | task  | load  |
+    /// |---------------------|-------|-------|
+    /// | Core 1 (533 MHz)    | BPF1  | 36.7 %|
+    /// |                     | DEMOD | 28.3 %|
+    /// | Core 2 (266 MHz)    | BPF2  | 60.9 %|
+    /// |                     | Σ     |  6.2 %|
+    /// | Core 3 (266 MHz)    | BPF3  | 60.9 %|
+    /// |                     | LPF   | 18.8 %|
+    ///
+    /// with 64 kB migratable contexts (the OS minimum allocation), 50 ms
+    /// checkpoints and the default 25 ms / 11-frame pipeline configuration.
+    pub fn paper_default() -> Self {
+        let mapping = vec![
+            SdrMappingEntry {
+                name: "BPF1".into(),
+                core: CoreId(0),
+                core_frequency_mhz: 533.0,
+                load_percent: 36.7,
+            },
+            SdrMappingEntry {
+                name: "DEMOD".into(),
+                core: CoreId(0),
+                core_frequency_mhz: 533.0,
+                load_percent: 28.3,
+            },
+            SdrMappingEntry {
+                name: "BPF2".into(),
+                core: CoreId(1),
+                core_frequency_mhz: 266.0,
+                load_percent: 60.9,
+            },
+            SdrMappingEntry {
+                name: "SUM".into(),
+                core: CoreId(1),
+                core_frequency_mhz: 266.0,
+                load_percent: 6.2,
+            },
+            SdrMappingEntry {
+                name: "BPF3".into(),
+                core: CoreId(2),
+                core_frequency_mhz: 266.0,
+                load_percent: 60.9,
+            },
+            SdrMappingEntry {
+                name: "LPF".into(),
+                core: CoreId(2),
+                core_frequency_mhz: 266.0,
+                load_percent: 18.8,
+            },
+        ];
+        SdrBenchmark {
+            mapping,
+            context_size: Bytes::from_kib(64),
+            checkpoint_period: Seconds::from_millis(50.0),
+            pipeline: PipelineConfig::paper_default(),
+        }
+    }
+
+    /// Overrides the pipeline configuration (frame period, queue sizes).
+    pub fn with_pipeline_config(mut self, config: PipelineConfig) -> Self {
+        self.pipeline = config;
+        self
+    }
+
+    /// Overrides the migratable context size of every task.
+    pub fn with_context_size(mut self, size: Bytes) -> Self {
+        self.context_size = size;
+        self
+    }
+
+    /// Overrides the checkpoint period of every task.
+    pub fn with_checkpoint_period(mut self, period: Seconds) -> Self {
+        self.checkpoint_period = period;
+        self
+    }
+
+    /// The Table 2 mapping.
+    pub fn mapping(&self) -> &[SdrMappingEntry] {
+        &self.mapping
+    }
+
+    /// The pipeline configuration.
+    pub fn pipeline_config(&self) -> &PipelineConfig {
+        &self.pipeline
+    }
+
+    /// OS task descriptors for every SDR task, in [`mapping`](Self::mapping)
+    /// order (so the task spawned from entry *i* implements stage *i*).
+    pub fn tasks(&self) -> Vec<TaskDescriptor> {
+        self.mapping
+            .iter()
+            .map(|entry| {
+                TaskDescriptor::new(&entry.name, entry.fse_load(), self.context_size)
+                    .with_checkpoint_period(self.checkpoint_period)
+            })
+            .collect()
+    }
+
+    /// Cores the tasks are initially mapped to, in the same order as
+    /// [`tasks`](Self::tasks).
+    pub fn initial_placement(&self) -> Vec<CoreId> {
+        self.mapping.iter().map(|entry| entry.core).collect()
+    }
+
+    /// Total full-speed-equivalent load of the application.
+    pub fn total_fse_load(&self) -> f64 {
+        self.mapping.iter().map(|e| e.fse_load()).sum()
+    }
+
+    /// Builds the Figure 6 pipeline graph. `task_ids[i]` must be the OS task
+    /// spawned from the *i*-th entry of [`tasks`](Self::tasks).
+    ///
+    /// The graph is `LPF → DEMOD → {BPF1, BPF2, BPF3} → Σ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when fewer than six task ids are
+    /// provided.
+    pub fn build_graph(
+        &self,
+        task_ids: &[tbp_os::task::TaskId],
+    ) -> Result<PipelineGraph, StreamError> {
+        if task_ids.len() < self.mapping.len() {
+            return Err(StreamError::InvalidConfig(format!(
+                "need {} task ids, got {}",
+                self.mapping.len(),
+                task_ids.len()
+            )));
+        }
+        // Cycles per frame derived from the FSE load: a task with load L
+        // consumes L * f_max cycles per second, i.e. L * f_max * period per
+        // frame.
+        let period = self.pipeline.frame_period.as_secs();
+        let cpf = |idx: usize| self.mapping[idx].fse_load() * F_MAX_MHZ * 1e6 * period;
+
+        let mut graph = PipelineGraph::new();
+        // Mapping order: 0 BPF1, 1 DEMOD, 2 BPF2, 3 SUM, 4 BPF3, 5 LPF.
+        let bpf1 = graph.add_stage(StageDescriptor::new("BPF1", task_ids[0], cpf(0)))?;
+        let demod = graph.add_stage(StageDescriptor::new("DEMOD", task_ids[1], cpf(1)))?;
+        let bpf2 = graph.add_stage(StageDescriptor::new("BPF2", task_ids[2], cpf(2)))?;
+        let sum = graph.add_stage(StageDescriptor::new("SUM", task_ids[3], cpf(3)))?;
+        let bpf3 = graph.add_stage(StageDescriptor::new("BPF3", task_ids[4], cpf(4)))?;
+        let lpf = graph.add_stage(StageDescriptor::new("LPF", task_ids[5], cpf(5)))?;
+
+        graph.connect(lpf, demod)?;
+        graph.connect(demod, bpf1)?;
+        graph.connect(demod, bpf2)?;
+        graph.connect(demod, bpf3)?;
+        graph.connect(bpf1, sum)?;
+        graph.connect(bpf2, sum)?;
+        graph.connect(bpf3, sum)?;
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+impl Default for SdrBenchmark {
+    fn default() -> Self {
+        SdrBenchmark::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbp_os::task::TaskId;
+
+    #[test]
+    fn table2_mapping_is_reproduced() {
+        let sdr = SdrBenchmark::paper_default();
+        assert_eq!(sdr.mapping().len(), 6);
+        let bpf1 = &sdr.mapping()[0];
+        assert_eq!(bpf1.name, "BPF1");
+        assert_eq!(bpf1.core, CoreId(0));
+        assert!((bpf1.load_percent - 36.7).abs() < 1e-9);
+        assert!((bpf1.core_frequency_mhz - 533.0).abs() < 1e-9);
+        // Core 1's tasks sum to 65 % utilisation at 533 MHz.
+        let core0_util: f64 = sdr
+            .mapping()
+            .iter()
+            .filter(|e| e.core == CoreId(0))
+            .map(|e| e.load_percent)
+            .sum();
+        assert!((core0_util - 65.0).abs() < 1e-9);
+        // Cores 2 and 3 both carry 67.1 % at 266 MHz.
+        for core in [CoreId(1), CoreId(2)] {
+            let util: f64 = sdr
+                .mapping()
+                .iter()
+                .filter(|e| e.core == core)
+                .map(|e| e.load_percent)
+                .sum();
+            assert!(util > 65.0 && util < 80.0);
+        }
+        assert_eq!(SdrBenchmark::default(), sdr);
+    }
+
+    #[test]
+    fn fse_loads_are_frequency_scaled() {
+        let sdr = SdrBenchmark::paper_default();
+        // BPF1 runs at the maximum frequency: FSE = 36.7 %.
+        assert!((sdr.mapping()[0].fse_load() - 0.367).abs() < 1e-9);
+        // BPF2 runs at 266 MHz: FSE = 60.9 % * 266/533 ≈ 30.4 %.
+        assert!((sdr.mapping()[2].fse_load() - 0.304).abs() < 0.01);
+        // Total FSE fits on 3 cores with DVFS (< 3.0) but not on one core.
+        let total = sdr.total_fse_load();
+        assert!(total > 1.0 && total < 1.6);
+    }
+
+    #[test]
+    fn tasks_and_placement_are_consistent() {
+        let sdr = SdrBenchmark::paper_default();
+        let tasks = sdr.tasks();
+        let placement = sdr.initial_placement();
+        assert_eq!(tasks.len(), 6);
+        assert_eq!(placement.len(), 6);
+        for (task, entry) in tasks.iter().zip(sdr.mapping()) {
+            assert_eq!(task.name, entry.name);
+            assert!((task.fse_load - entry.fse_load()).abs() < 1e-12);
+            assert_eq!(task.context_size, Bytes::from_kib(64));
+            assert!(task.migratable);
+        }
+        let custom = SdrBenchmark::paper_default()
+            .with_context_size(Bytes::from_kib(128))
+            .with_checkpoint_period(Seconds::from_millis(20.0));
+        assert_eq!(custom.tasks()[0].context_size, Bytes::from_kib(128));
+        assert_eq!(
+            custom.tasks()[0].checkpoint_period,
+            Seconds::from_millis(20.0)
+        );
+    }
+
+    #[test]
+    fn graph_matches_figure6_topology() {
+        let sdr = SdrBenchmark::paper_default();
+        let ids: Vec<TaskId> = (0..6).map(TaskId).collect();
+        let graph = sdr.build_graph(&ids).unwrap();
+        assert_eq!(graph.len(), 6);
+        // LPF is the only source, SUM the only sink.
+        let sources = graph.sources();
+        let sinks = graph.sinks();
+        assert_eq!(sources.len(), 1);
+        assert_eq!(sinks.len(), 1);
+        assert_eq!(graph.stage(sources[0]).unwrap().name, "LPF");
+        assert_eq!(graph.stage(sinks[0]).unwrap().name, "SUM");
+        // The SUM stage joins the three BPF branches.
+        assert_eq!(graph.predecessors(sinks[0]).len(), 3);
+        // Cycles per frame follow the FSE loads (BPF2 ≈ BPF3 > DEMOD > SUM).
+        let cpf = |name: &str| {
+            graph
+                .stages()
+                .iter()
+                .find(|s| s.name == name)
+                .unwrap()
+                .cycles_per_frame
+        };
+        assert!(cpf("BPF1") > cpf("DEMOD"));
+        assert!(cpf("DEMOD") > cpf("SUM"));
+        assert!((cpf("BPF2") - cpf("BPF3")).abs() < 1e-6);
+        // Too few task ids is an error.
+        assert!(sdr.build_graph(&ids[..3]).is_err());
+    }
+
+    #[test]
+    fn pipeline_config_override() {
+        let cfg = PipelineConfig {
+            frame_period: Seconds::from_millis(40.0),
+            queue_capacity: 5,
+            prefill: 2,
+        };
+        let sdr = SdrBenchmark::paper_default().with_pipeline_config(cfg);
+        assert_eq!(sdr.pipeline_config().queue_capacity, 5);
+        let ids: Vec<TaskId> = (0..6).map(TaskId).collect();
+        let graph = sdr.build_graph(&ids).unwrap();
+        // Longer frame period -> proportionally more cycles per frame.
+        let default_graph = SdrBenchmark::paper_default().build_graph(&ids).unwrap();
+        let ratio = graph.stages()[0].cycles_per_frame / default_graph.stages()[0].cycles_per_frame;
+        assert!((ratio - 40.0 / 25.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,276 @@
+//! Synthetic workload generation.
+//!
+//! Beyond the SDR benchmark, the policy benches need configurable task sets:
+//! many small tasks, a few heavy ones, unbalanced initial mappings. The
+//! generator is deterministic (seeded with a SplitMix64 PRNG) so every
+//! experiment is reproducible without an external `rand` dependency in the
+//! library itself.
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::core::CoreId;
+use tbp_arch::units::{Bytes, Seconds};
+use tbp_os::task::TaskDescriptor;
+
+use crate::error::StreamError;
+
+/// A deterministic SplitMix64 pseudo-random number generator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform value in `[lo, hi)`.
+    pub fn range(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.next_f64()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            0
+        } else {
+            (self.next_u64() % n as u64) as usize
+        }
+    }
+}
+
+/// Parameters of a synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadSpec {
+    /// Number of tasks to generate.
+    pub num_tasks: usize,
+    /// Number of cores to scatter them over.
+    pub num_cores: usize,
+    /// Total full-speed-equivalent load of the task set (split unevenly).
+    pub total_fse_load: f64,
+    /// Smallest context size generated.
+    pub min_context: Bytes,
+    /// Largest context size generated.
+    pub max_context: Bytes,
+    /// PRNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A moderately loaded 8-task / 3-core workload.
+    pub fn default_mixed() -> Self {
+        WorkloadSpec {
+            num_tasks: 8,
+            num_cores: 3,
+            total_fse_load: 1.4,
+            min_context: Bytes::from_kib(64),
+            max_context: Bytes::from_kib(512),
+            seed: 0xC0FFEE,
+        }
+    }
+
+    /// Validates the specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for zero tasks/cores, a
+    /// non-positive load, or inverted context bounds.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.num_tasks == 0 {
+            return Err(StreamError::InvalidConfig("need at least one task".into()));
+        }
+        if self.num_cores == 0 {
+            return Err(StreamError::InvalidConfig("need at least one core".into()));
+        }
+        if !(self.total_fse_load.is_finite() && self.total_fse_load > 0.0) {
+            return Err(StreamError::InvalidConfig(
+                "total FSE load must be positive".into(),
+            ));
+        }
+        if self.min_context > self.max_context || self.min_context == Bytes::ZERO {
+            return Err(StreamError::InvalidConfig(
+                "context size bounds are invalid".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// A generated synthetic workload: tasks plus an initial placement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticWorkload {
+    /// Generated task descriptors.
+    pub tasks: Vec<TaskDescriptor>,
+    /// Initial core of each task (greedy least-loaded placement).
+    pub placement: Vec<CoreId>,
+}
+
+impl SyntheticWorkload {
+    /// Generates a workload from a specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when the specification is
+    /// invalid.
+    pub fn generate(spec: &WorkloadSpec) -> Result<Self, StreamError> {
+        spec.validate()?;
+        let mut rng = SplitMix64::new(spec.seed);
+        // Split the total load into random positive shares.
+        let mut shares: Vec<f64> = (0..spec.num_tasks).map(|_| rng.range(0.2, 1.0)).collect();
+        let sum: f64 = shares.iter().sum();
+        for s in &mut shares {
+            *s = (*s / sum * spec.total_fse_load).min(1.0);
+        }
+        let mut tasks = Vec::with_capacity(spec.num_tasks);
+        for (i, &load) in shares.iter().enumerate() {
+            let span = spec.max_context.as_u64() - spec.min_context.as_u64();
+            let context =
+                Bytes::new(spec.min_context.as_u64() + (rng.next_u64() % (span + 1)));
+            let checkpoint = Seconds::from_millis(rng.range(20.0, 80.0));
+            tasks.push(
+                TaskDescriptor::new(&format!("synthetic{i}"), load, context)
+                    .with_checkpoint_period(checkpoint),
+            );
+        }
+        // Greedy least-loaded placement (a reasonable energy-balanced start).
+        let mut core_loads = vec![0.0f64; spec.num_cores];
+        let mut placement = Vec::with_capacity(spec.num_tasks);
+        let mut order: Vec<usize> = (0..spec.num_tasks).collect();
+        order.sort_by(|&a, &b| {
+            tasks[b]
+                .fse_load
+                .partial_cmp(&tasks[a].fse_load)
+                .expect("loads are finite")
+        });
+        let mut assigned = vec![CoreId(0); spec.num_tasks];
+        for &i in &order {
+            let (core, _) = core_loads
+                .iter()
+                .enumerate()
+                .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+                .expect("at least one core");
+            core_loads[core] += tasks[i].fse_load;
+            assigned[i] = CoreId(core);
+        }
+        placement.extend(assigned);
+        Ok(SyntheticWorkload { tasks, placement })
+    }
+
+    /// Total FSE load of the generated tasks.
+    pub fn total_fse_load(&self) -> f64 {
+        self.tasks.iter().map(|t| t.fse_load).sum()
+    }
+
+    /// FSE load initially mapped to each core.
+    pub fn per_core_load(&self, num_cores: usize) -> Vec<f64> {
+        let mut loads = vec![0.0; num_cores];
+        for (task, core) in self.tasks.iter().zip(&self.placement) {
+            if core.index() < num_cores {
+                loads[core.index()] += task.fse_load;
+            }
+        }
+        loads
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn splitmix_is_deterministic_and_uniformish() {
+        let mut a = SplitMix64::new(42);
+        let mut b = SplitMix64::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut rng = SplitMix64::new(7);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v = rng.next_f64();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02);
+        assert!(rng.range(2.0, 3.0) >= 2.0);
+        assert!(rng.below(10) < 10);
+        assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn spec_validation() {
+        assert!(WorkloadSpec::default_mixed().validate().is_ok());
+        let mut bad = WorkloadSpec::default_mixed();
+        bad.num_tasks = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = WorkloadSpec::default_mixed();
+        bad.num_cores = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = WorkloadSpec::default_mixed();
+        bad.total_fse_load = 0.0;
+        assert!(bad.validate().is_err());
+        let mut bad = WorkloadSpec::default_mixed();
+        bad.min_context = Bytes::from_mib(4);
+        assert!(bad.validate().is_err());
+        assert!(SyntheticWorkload::generate(&bad).is_err());
+    }
+
+    #[test]
+    fn generation_respects_spec() {
+        let spec = WorkloadSpec::default_mixed();
+        let workload = SyntheticWorkload::generate(&spec).unwrap();
+        assert_eq!(workload.tasks.len(), 8);
+        assert_eq!(workload.placement.len(), 8);
+        assert!((workload.total_fse_load() - 1.4).abs() < 1e-6);
+        for task in &workload.tasks {
+            assert!(task.validate().is_ok());
+            assert!(task.context_size >= spec.min_context);
+            assert!(task.context_size <= spec.max_context);
+        }
+        for core in &workload.placement {
+            assert!(core.index() < 3);
+        }
+        // Deterministic for the same seed.
+        let again = SyntheticWorkload::generate(&spec).unwrap();
+        assert_eq!(workload, again);
+        // Different seed, different workload.
+        let other = SyntheticWorkload::generate(&WorkloadSpec {
+            seed: 1,
+            ..spec
+        })
+        .unwrap();
+        assert_ne!(workload, other);
+    }
+
+    #[test]
+    fn placement_is_roughly_balanced() {
+        let spec = WorkloadSpec {
+            num_tasks: 30,
+            num_cores: 3,
+            total_fse_load: 2.0,
+            ..WorkloadSpec::default_mixed()
+        };
+        let workload = SyntheticWorkload::generate(&spec).unwrap();
+        let loads = workload.per_core_load(3);
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max - min < 0.3, "greedy placement should be balanced: {loads:?}");
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests of the streaming framework's data structures.
+
+use proptest::prelude::*;
+
+use tbp_arch::units::Seconds;
+use tbp_os::task::TaskId;
+use tbp_streaming::frame::{Frame, FrameId};
+use tbp_streaming::graph::{PipelineGraph, StageDescriptor};
+use tbp_streaming::pipeline::{PipelineConfig, PipelineRuntime};
+use tbp_streaming::queue::FrameQueue;
+use tbp_streaming::sdr::kernels::{FirFilter, WeightedMixer};
+use tbp_streaming::workload::{SplitMix64, SyntheticWorkload, WorkloadSpec};
+
+proptest! {
+    /// Queues never exceed their capacity, never report negative occupancy,
+    /// and account every push as either stored or overflowed.
+    #[test]
+    fn queue_accounting_is_exact(capacity in 1usize..64, ops in proptest::collection::vec(any::<bool>(), 1..200)) {
+        let mut queue = FrameQueue::new(capacity).unwrap();
+        let mut pushes = 0u64;
+        let mut pops = 0u64;
+        for (i, op) in ops.iter().enumerate() {
+            if *op {
+                queue.push(Frame::new(FrameId(i as u64), Seconds::ZERO));
+                pushes += 1;
+            } else {
+                if queue.pop().is_some() {
+                    pops += 1;
+                }
+            }
+            prop_assert!(queue.len() <= capacity);
+        }
+        let stats = queue.stats();
+        prop_assert_eq!(stats.pushed + stats.overflows, pushes);
+        prop_assert_eq!(stats.popped, pops);
+        prop_assert_eq!(queue.len() as u64, stats.pushed - stats.popped);
+    }
+
+    /// Any linear chain of stages is a valid graph whose topological order
+    /// preserves the chain order.
+    #[test]
+    fn chains_are_valid_pipelines(len in 2usize..12) {
+        let mut graph = PipelineGraph::new();
+        let ids: Vec<_> = (0..len)
+            .map(|i| {
+                graph
+                    .add_stage(StageDescriptor::new(&format!("s{i}"), TaskId(i), 1e5))
+                    .unwrap()
+            })
+            .collect();
+        for pair in ids.windows(2) {
+            graph.connect(pair[0], pair[1]).unwrap();
+        }
+        prop_assert!(graph.validate().is_ok());
+        let order = graph.topological_order().unwrap();
+        prop_assert_eq!(order, ids);
+    }
+
+    /// A pipeline fed exactly its required cycle budget never misses a
+    /// deadline, for any queue capacity and any start-up buffering of at
+    /// least one frame (with zero pre-buffering the very first deadline can
+    /// legitimately fall inside the pipeline's fill latency).
+    #[test]
+    fn provisioned_pipelines_never_miss(capacity in 2usize..16, prefill_frac in 0.2f64..=1.0) {
+        let mut graph = PipelineGraph::new();
+        let a = graph.add_stage(StageDescriptor::new("a", TaskId(0), 1e6)).unwrap();
+        let b = graph.add_stage(StageDescriptor::new("b", TaskId(1), 1e6)).unwrap();
+        graph.connect(a, b).unwrap();
+        let prefill = ((capacity as f64 * prefill_frac) as usize).clamp(1, capacity);
+        let config = PipelineConfig {
+            frame_period: Seconds::from_millis(25.0),
+            queue_capacity: capacity,
+            prefill,
+        };
+        let mut runtime = PipelineRuntime::new(graph, config).unwrap();
+        // 5 ms steps, 2e5 cycles per step = 1e6 cycles per 25 ms period.
+        for _ in 0..2_000 {
+            runtime.step(Seconds::from_millis(5.0), &[2e5, 2e5]);
+        }
+        prop_assert_eq!(runtime.qos().deadline_misses, 0);
+        prop_assert!(runtime.qos().frames_delivered > 0);
+    }
+
+    /// Synthetic workloads always respect their specification.
+    #[test]
+    fn synthetic_workloads_respect_their_spec(seed in any::<u64>(), tasks in 1usize..20, cores in 1usize..8) {
+        let spec = WorkloadSpec {
+            num_tasks: tasks,
+            num_cores: cores,
+            total_fse_load: 0.4 * cores as f64,
+            seed,
+            ..WorkloadSpec::default_mixed()
+        };
+        let workload = SyntheticWorkload::generate(&spec).unwrap();
+        prop_assert_eq!(workload.tasks.len(), tasks);
+        for (task, core) in workload.tasks.iter().zip(&workload.placement) {
+            prop_assert!(task.validate().is_ok());
+            prop_assert!(core.index() < cores);
+        }
+        let total = workload.total_fse_load();
+        prop_assert!(total <= 0.4 * cores as f64 + 1e-6);
+    }
+
+    /// The deterministic PRNG stays inside [0, 1) and is reproducible.
+    #[test]
+    fn splitmix_is_reproducible(seed in any::<u64>()) {
+        let mut a = SplitMix64::new(seed);
+        let mut b = SplitMix64::new(seed);
+        for _ in 0..32 {
+            let va = a.next_f64();
+            prop_assert!((0.0..1.0).contains(&va));
+            prop_assert_eq!(va, b.next_f64());
+        }
+    }
+
+    /// DSP sanity: a FIR low-pass has unit DC gain and the mixer is linear in
+    /// its inputs.
+    #[test]
+    fn fir_dc_gain_and_mixer_linearity(gain in 0.1f64..4.0, level in 0.1f64..2.0) {
+        let mut fir = FirFilter::low_pass(0.2, 31);
+        let dc: Vec<f64> = vec![level; 400];
+        let out = fir.process_block(&dc);
+        let settled = out.last().copied().unwrap();
+        prop_assert!((settled - level).abs() < 1e-6 * level.max(1.0) + 1e-9);
+
+        let mixer = WeightedMixer::new(vec![gain]);
+        let mixed = mixer.mix(&[vec![level, 2.0 * level]]);
+        prop_assert!((mixed[0] - gain * level).abs() < 1e-12);
+        prop_assert!((mixed[1] - gain * 2.0 * level).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the thermal model.
+
+use std::error::Error;
+use std::fmt;
+
+use tbp_arch::ArchError;
+
+/// Errors produced while building or stepping the thermal model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ThermalError {
+    /// The power vector handed to the model does not match its node count.
+    PowerLengthMismatch {
+        /// Number of power entries expected (one per floorplan block).
+        expected: usize,
+        /// Number of entries received.
+        actual: usize,
+    },
+    /// A node index was out of range.
+    UnknownNode(usize),
+    /// A network was built with an invalid parameter (non-positive
+    /// capacitance or conductance).
+    InvalidParameter(String),
+    /// The underlying architecture description was invalid.
+    Arch(ArchError),
+    /// The solver was asked to integrate over a non-positive time step.
+    InvalidTimeStep(f64),
+}
+
+impl fmt::Display for ThermalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ThermalError::PowerLengthMismatch { expected, actual } => write!(
+                f,
+                "power vector has {actual} entries but the model has {expected} blocks"
+            ),
+            ThermalError::UnknownNode(i) => write!(f, "unknown thermal node {i}"),
+            ThermalError::InvalidParameter(msg) => write!(f, "invalid thermal parameter: {msg}"),
+            ThermalError::Arch(e) => write!(f, "architecture error: {e}"),
+            ThermalError::InvalidTimeStep(dt) => {
+                write!(f, "time step {dt} s must be positive and finite")
+            }
+        }
+    }
+}
+
+impl Error for ThermalError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ThermalError::Arch(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for ThermalError {
+    fn from(value: ArchError) -> Self {
+        ThermalError::Arch(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbp_arch::core::CoreId;
+
+    #[test]
+    fn display_and_source() {
+        let err = ThermalError::PowerLengthMismatch {
+            expected: 14,
+            actual: 3,
+        };
+        assert!(err.to_string().contains("14"));
+        assert!(err.to_string().contains('3'));
+        assert!(ThermalError::UnknownNode(5).to_string().contains('5'));
+        assert!(ThermalError::InvalidParameter("bad".into())
+            .to_string()
+            .contains("bad"));
+        assert!(ThermalError::InvalidTimeStep(-1.0).to_string().contains("-1"));
+        let wrapped: ThermalError = ArchError::UnknownCore(CoreId(1)).into();
+        assert!(wrapped.to_string().contains("core1"));
+        assert!(Error::source(&wrapped).is_some());
+        assert!(Error::source(&ThermalError::UnknownNode(0)).is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ThermalError>();
+    }
+}

@@ -1,0 +1,63 @@
+//! # tbp-thermal — HotSpot-style lumped-RC thermal model
+//!
+//! The paper evaluates its policy on a thermal emulation framework whose
+//! temperatures are computed by a software library "based on the HotSpot
+//! thermal analysis tool" (Section 4). This crate reimplements that layer as
+//! an equivalent lumped resistance–capacitance (RC) network:
+//!
+//! * every floorplan block of the die becomes a thermal node with a
+//!   capacitance proportional to its silicon volume;
+//! * adjacent blocks exchange heat through lateral conductances derived from
+//!   their shared edge length;
+//! * each block connects vertically to a heat **spreader** node, the spreader
+//!   to a **sink** node, and the sink to the fixed-temperature **ambient**.
+//!
+//! Two [`package::Package`] parameterisations reproduce the paper's two
+//! targets: a **mobile embedded** package where a 10 °C swing takes a few
+//! seconds, and a **high-performance** package whose thermal capacitances are
+//! six times smaller, so temperature changes are 6× faster (Section 5).
+//!
+//! Temperatures are advanced by [`solver::Solver`] (forward Euler with
+//! stability-bounded sub-steps, or classic RK4), and sampled every 10 ms by a
+//! [`sensor::SensorBank`] exactly like the emulation platform updates its
+//! shared-memory thermal registers.
+//!
+//! # Example
+//!
+//! ```
+//! use tbp_arch::floorplan::Floorplan;
+//! use tbp_arch::units::{Seconds, Watts};
+//! use tbp_thermal::{package::Package, model::ThermalModel};
+//!
+//! # fn main() -> Result<(), tbp_thermal::ThermalError> {
+//! let floorplan = Floorplan::paper_3core();
+//! let mut model = ThermalModel::new(&floorplan, Package::mobile_embedded())?;
+//!
+//! // Heat core 0 with 0.4 W for one second of simulated time.
+//! let mut power = vec![Watts::ZERO; floorplan.len()];
+//! power[floorplan.index_of("core0")?] = Watts::new(0.4);
+//! for _ in 0..100 {
+//!     model.step(&power, Seconds::from_millis(10.0))?;
+//! }
+//! let hot = model.block_temperature(floorplan.index_of("core0")?);
+//! let cold = model.block_temperature(floorplan.index_of("core2")?);
+//! assert!(hot > cold);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod error;
+pub mod model;
+pub mod package;
+pub mod rc;
+pub mod sensor;
+pub mod solver;
+
+pub use error::ThermalError;
+pub use model::ThermalModel;
+pub use package::Package;
+pub use sensor::SensorBank;
+pub use solver::SolverKind;

@@ -1,0 +1,465 @@
+//! Floorplan-level thermal model.
+//!
+//! [`ThermalModel`] turns a [`Floorplan`] plus a [`Package`] into an RC
+//! network with one node per floorplan block, a spreader node and a sink
+//! node, and exposes the operations the co-simulation loop needs: inject the
+//! per-block power snapshot, advance time, read block and core temperatures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ThermalError;
+use crate::package::Package;
+use crate::rc::RcNetwork;
+use crate::solver::{Solver, SolverKind};
+use tbp_arch::core::CoreId;
+use tbp_arch::floorplan::Floorplan;
+use tbp_arch::units::{Celsius, Seconds, Watts};
+
+/// Thermal model of a die described by a floorplan, mounted in a package.
+///
+/// See the [crate-level documentation](crate) for an end-to-end example.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThermalModel {
+    package: Package,
+    network: RcNetwork,
+    solver: Solver,
+    /// Indices of the RC nodes corresponding to floorplan blocks (same order
+    /// as the floorplan).
+    block_nodes: Vec<usize>,
+    /// RC node index of each core's processor block, indexed by core id.
+    core_nodes: Vec<usize>,
+    spreader_node: usize,
+    sink_node: usize,
+    elapsed: Seconds,
+}
+
+impl ThermalModel {
+    /// Builds the thermal model for `floorplan` mounted in `package`, using
+    /// the default forward-Euler solver.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when the package parameters
+    /// are invalid.
+    pub fn new(floorplan: &Floorplan, package: Package) -> Result<Self, ThermalError> {
+        ThermalModel::with_solver(floorplan, package, SolverKind::ForwardEuler)
+    }
+
+    /// Builds the thermal model with an explicit integration scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when the package parameters
+    /// are invalid.
+    pub fn with_solver(
+        floorplan: &Floorplan,
+        package: Package,
+        solver: SolverKind,
+    ) -> Result<Self, ThermalError> {
+        package.validate()?;
+        let mut network = RcNetwork::new(package.ambient);
+
+        // One node per floorplan block. Blocks do not connect directly to
+        // ambient: all heat leaves through the spreader/sink stack.
+        let mut block_nodes = Vec::with_capacity(floorplan.len());
+        for block in floorplan.blocks() {
+            let c = package.block_capacitance(block.rect.area_m2());
+            let node = network.add_node(&block.name, c, 0.0)?;
+            block_nodes.push(node);
+        }
+
+        // Lateral couplings between adjacent blocks.
+        for (a, b, shared_mm) in floorplan.adjacencies() {
+            let dist_m = floorplan.blocks()[a]
+                .rect
+                .center_distance(&floorplan.blocks()[b].rect)
+                * 1e-3;
+            let g = package.lateral_conductance(shared_mm * 1e-3, dist_m);
+            if g > 0.0 {
+                network.add_edge(block_nodes[a], block_nodes[b], g)?;
+            }
+        }
+
+        // Spreader and sink nodes.
+        let spreader_node = network.add_node("spreader", package.spreader_capacitance, 0.0)?;
+        let sink_node = network.add_node(
+            "sink",
+            package.sink_capacitance,
+            package.sink_to_ambient_conductance(),
+        )?;
+        network.add_edge(spreader_node, sink_node, package.spreader_to_sink_conductance())?;
+
+        // Vertical couplings block -> spreader.
+        for (i, block) in floorplan.blocks().iter().enumerate() {
+            let g = package.block_vertical_conductance(block.rect.area_m2());
+            network.add_edge(block_nodes[i], spreader_node, g)?;
+        }
+
+        // Core-id -> node lookup.
+        let core_ids = floorplan.core_ids();
+        let mut core_nodes = vec![usize::MAX; core_ids.len()];
+        for id in core_ids {
+            let block_idx = floorplan.core_block_index(id)?;
+            core_nodes[id.index()] = block_nodes[block_idx];
+        }
+
+        Ok(ThermalModel {
+            package,
+            network,
+            solver: Solver::new(solver),
+            block_nodes,
+            core_nodes,
+            spreader_node,
+            sink_node,
+            elapsed: Seconds::ZERO,
+        })
+    }
+
+    /// The package the die is mounted in.
+    pub fn package(&self) -> &Package {
+        &self.package
+    }
+
+    /// The integration scheme in use.
+    pub fn solver_kind(&self) -> SolverKind {
+        self.solver.kind()
+    }
+
+    /// Number of floorplan blocks tracked by the model.
+    pub fn num_blocks(&self) -> usize {
+        self.block_nodes.len()
+    }
+
+    /// Number of cores tracked by the model.
+    pub fn num_cores(&self) -> usize {
+        self.core_nodes.len()
+    }
+
+    /// Simulated time integrated so far.
+    pub fn elapsed(&self) -> Seconds {
+        self.elapsed
+    }
+
+    /// Direct access to the underlying RC network (read-only).
+    pub fn network(&self) -> &RcNetwork {
+        &self.network
+    }
+
+    /// Injects the per-block power vector and advances the model by `dt`.
+    ///
+    /// `power` must have one entry per floorplan block, in floorplan order —
+    /// exactly the layout produced by
+    /// [`MpsocPlatform::power_snapshot_at`](tbp_arch::platform::MpsocPlatform::power_snapshot_at).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] when the vector length
+    /// does not match the number of blocks, and
+    /// [`ThermalError::InvalidTimeStep`] for a non-positive `dt`.
+    pub fn step(&mut self, power: &[Watts], dt: Seconds) -> Result<(), ThermalError> {
+        if power.len() != self.block_nodes.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_nodes.len(),
+                actual: power.len(),
+            });
+        }
+        for (node, p) in self.block_nodes.iter().zip(power) {
+            self.network.set_power(*node, p.as_watts())?;
+        }
+        self.solver.advance(&mut self.network, dt)?;
+        self.elapsed += dt;
+        Ok(())
+    }
+
+    /// Temperature of the floorplan block with the given index.
+    pub fn block_temperature(&self, block_index: usize) -> Celsius {
+        let node = self
+            .block_nodes
+            .get(block_index)
+            .copied()
+            .unwrap_or(usize::MAX);
+        self.network.temperature(node)
+    }
+
+    /// Temperatures of every floorplan block, in floorplan order.
+    pub fn block_temperatures(&self) -> Vec<Celsius> {
+        self.block_nodes
+            .iter()
+            .map(|&n| self.network.temperature(n))
+            .collect()
+    }
+
+    /// Temperature of a core's processor block.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for a core the model does not
+    /// know about.
+    pub fn core_temperature(&self, core: CoreId) -> Result<Celsius, ThermalError> {
+        self.core_nodes
+            .get(core.index())
+            .copied()
+            .filter(|&n| n != usize::MAX)
+            .map(|n| self.network.temperature(n))
+            .ok_or(ThermalError::UnknownNode(core.index()))
+    }
+
+    /// Temperatures of every core, indexed by core id.
+    pub fn core_temperatures(&self) -> Vec<Celsius> {
+        self.core_nodes
+            .iter()
+            .map(|&n| self.network.temperature(n))
+            .collect()
+    }
+
+    /// Temperature of the heat spreader.
+    pub fn spreader_temperature(&self) -> Celsius {
+        self.network.temperature(self.spreader_node)
+    }
+
+    /// Temperature of the heat sink.
+    pub fn sink_temperature(&self) -> Celsius {
+        self.network.temperature(self.sink_node)
+    }
+
+    /// Steady-state block temperatures for a given power vector, without
+    /// modifying the transient state. Useful for calibration and warm-start.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] when the vector length
+    /// does not match the number of blocks.
+    pub fn steady_state(&self, power: &[Watts]) -> Result<Vec<Celsius>, ThermalError> {
+        if power.len() != self.block_nodes.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_nodes.len(),
+                actual: power.len(),
+            });
+        }
+        let mut scratch = self.network.clone();
+        for (node, p) in self.block_nodes.iter().zip(power) {
+            scratch.set_power(*node, p.as_watts())?;
+        }
+        let all = scratch.steady_state();
+        Ok(self.block_nodes.iter().map(|&n| all[n]).collect())
+    }
+
+    /// Sets every node (blocks, spreader, sink) to the given temperature.
+    /// Used to warm-start experiments from a known state.
+    pub fn set_uniform_temperature(&mut self, temperature: Celsius) {
+        for i in 0..self.network.len() {
+            self.network
+                .set_temperature(i, temperature)
+                .expect("index within range");
+        }
+    }
+
+    /// Resets the model to ambient temperature and zero elapsed time.
+    pub fn reset(&mut self) {
+        self.network.reset();
+        self.elapsed = Seconds::ZERO;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbp_arch::floorplan::Floorplan;
+
+    fn model(package: Package) -> (ThermalModel, Floorplan) {
+        let floorplan = Floorplan::paper_3core();
+        let model = ThermalModel::new(&floorplan, package).unwrap();
+        (model, floorplan)
+    }
+
+    fn core_power_vector(floorplan: &Floorplan, per_core: &[f64]) -> Vec<Watts> {
+        let mut power = vec![Watts::ZERO; floorplan.len()];
+        for (i, &p) in per_core.iter().enumerate() {
+            let idx = floorplan.core_block_index(CoreId(i)).unwrap();
+            power[idx] = Watts::new(p);
+        }
+        power
+    }
+
+    #[test]
+    fn model_structure_matches_floorplan() {
+        let (model, floorplan) = model(Package::mobile_embedded());
+        assert_eq!(model.num_blocks(), floorplan.len());
+        assert_eq!(model.num_cores(), 3);
+        assert_eq!(model.solver_kind(), SolverKind::ForwardEuler);
+        assert_eq!(model.elapsed(), Seconds::ZERO);
+        assert_eq!(model.package().kind(), crate::package::PackageKind::MobileEmbedded);
+        // network = blocks + spreader + sink
+        assert_eq!(model.network().len(), floorplan.len() + 2);
+        assert_eq!(model.block_temperatures().len(), floorplan.len());
+        assert_eq!(model.core_temperatures().len(), 3);
+        assert!(model.core_temperature(CoreId(2)).is_ok());
+        assert!(model.core_temperature(CoreId(5)).is_err());
+    }
+
+    #[test]
+    fn invalid_package_rejected() {
+        let floorplan = Floorplan::paper_3core();
+        let mut bad = Package::mobile_embedded();
+        bad.spreader_capacitance = 0.0;
+        assert!(ThermalModel::new(&floorplan, bad).is_err());
+    }
+
+    #[test]
+    fn power_vector_length_is_checked() {
+        let (mut model, _) = model(Package::mobile_embedded());
+        let err = model.step(&[Watts::new(1.0)], Seconds::from_millis(10.0));
+        assert!(matches!(
+            err,
+            Err(ThermalError::PowerLengthMismatch { expected: 14, actual: 1 })
+        ));
+        assert!(model.steady_state(&[Watts::ZERO]).is_err());
+    }
+
+    #[test]
+    fn heated_core_gets_hotter_than_idle_cores() {
+        let (mut model, floorplan) = model(Package::mobile_embedded());
+        let power = core_power_vector(&floorplan, &[0.4, 0.05, 0.05]);
+        for _ in 0..3_000 {
+            model.step(&power, Seconds::from_millis(10.0)).unwrap();
+        }
+        let t0 = model.core_temperature(CoreId(0)).unwrap().as_celsius();
+        let t1 = model.core_temperature(CoreId(1)).unwrap().as_celsius();
+        let t2 = model.core_temperature(CoreId(2)).unwrap().as_celsius();
+        assert!(t0 > t1);
+        assert!(t1 >= t2 - 0.5);
+        assert!(t0 > model.package().ambient.as_celsius());
+        assert!(model.spreader_temperature().as_celsius() > model.package().ambient.as_celsius());
+        assert!(model.sink_temperature().as_celsius() > model.package().ambient.as_celsius());
+        assert!(model.elapsed().as_secs() > 29.0);
+    }
+
+    #[test]
+    fn equal_power_on_outer_cores_gives_position_dependent_temperatures() {
+        // Core 1 (middle) is surrounded by hot neighbours; cores 0 and 2 sit
+        // at the edges but core 2 is next to the (cool) shared memory column,
+        // matching the paper's observation that cores 2 and 3 differ despite
+        // equal frequency.
+        let (mut model, floorplan) = model(Package::mobile_embedded());
+        let power = core_power_vector(&floorplan, &[0.2, 0.2, 0.2]);
+        for _ in 0..5_000 {
+            model.step(&power, Seconds::from_millis(10.0)).unwrap();
+        }
+        let t0 = model.core_temperature(CoreId(0)).unwrap().as_celsius();
+        let t1 = model.core_temperature(CoreId(1)).unwrap().as_celsius();
+        let t2 = model.core_temperature(CoreId(2)).unwrap().as_celsius();
+        // Middle core is hottest; the core adjacent to the uncore column is
+        // the coolest.
+        assert!(t1 > t0 || t1 > t2);
+        assert!((t0 - t2).abs() > 1e-3, "floorplan position should matter");
+    }
+
+    #[test]
+    fn steady_state_matches_long_transient() {
+        let (mut model, floorplan) = model(Package::mobile_embedded());
+        let power = core_power_vector(&floorplan, &[0.3, 0.1, 0.1]);
+        let ss = model.steady_state(&power).unwrap();
+        for _ in 0..20_000 {
+            model.step(&power, Seconds::from_millis(20.0)).unwrap();
+        }
+        for (i, expected) in ss.iter().enumerate() {
+            let actual = model.block_temperature(i).as_celsius();
+            assert!(
+                (actual - expected.as_celsius()).abs() < 0.3,
+                "block {i}: transient {actual} vs steady {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn high_performance_package_reacts_faster() {
+        let floorplan = Floorplan::paper_3core();
+        let mut mobile = ThermalModel::new(&floorplan, Package::mobile_embedded()).unwrap();
+        let mut fast = ThermalModel::new(&floorplan, Package::high_performance()).unwrap();
+        let power = core_power_vector(&floorplan, &[0.4, 0.1, 0.1]);
+        // Advance both by half a second: the high-performance package should
+        // already be close to steady state while the mobile one is not.
+        for _ in 0..50 {
+            mobile.step(&power, Seconds::from_millis(10.0)).unwrap();
+            fast.step(&power, Seconds::from_millis(10.0)).unwrap();
+        }
+        let rise_mobile =
+            mobile.core_temperature(CoreId(0)).unwrap().as_celsius() - 45.0;
+        let rise_fast = fast.core_temperature(CoreId(0)).unwrap().as_celsius() - 45.0;
+        assert!(
+            rise_fast > rise_mobile * 1.5,
+            "high-performance package should heat up much faster ({rise_fast} vs {rise_mobile})"
+        );
+        // Same steady state for both packages.
+        let ss_mobile = mobile.steady_state(&power).unwrap();
+        let ss_fast = fast.steady_state(&power).unwrap();
+        for (a, b) in ss_mobile.iter().zip(&ss_fast) {
+            assert!((a.as_celsius() - b.as_celsius()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn rk4_solver_gives_similar_results() {
+        let floorplan = Floorplan::paper_3core();
+        let mut euler = ThermalModel::new(&floorplan, Package::mobile_embedded()).unwrap();
+        let mut rk4 = ThermalModel::with_solver(
+            &floorplan,
+            Package::mobile_embedded(),
+            SolverKind::RungeKutta4,
+        )
+        .unwrap();
+        assert_eq!(rk4.solver_kind(), SolverKind::RungeKutta4);
+        let power = core_power_vector(&floorplan, &[0.35, 0.12, 0.12]);
+        for _ in 0..500 {
+            euler.step(&power, Seconds::from_millis(10.0)).unwrap();
+            rk4.step(&power, Seconds::from_millis(10.0)).unwrap();
+        }
+        for i in 0..floorplan.len() {
+            let d = (euler.block_temperature(i).as_celsius()
+                - rk4.block_temperature(i).as_celsius())
+            .abs();
+            assert!(d < 0.2, "block {i} differs by {d} between solvers");
+        }
+    }
+
+    #[test]
+    fn uniform_start_and_reset() {
+        let (mut model, floorplan) = model(Package::mobile_embedded());
+        model.set_uniform_temperature(Celsius::new(60.0));
+        assert!((model.core_temperature(CoreId(1)).unwrap().as_celsius() - 60.0).abs() < 1e-9);
+        let power = core_power_vector(&floorplan, &[0.3, 0.1, 0.1]);
+        model.step(&power, Seconds::from_millis(10.0)).unwrap();
+        model.reset();
+        assert_eq!(model.elapsed(), Seconds::ZERO);
+        assert!((model.core_temperature(CoreId(0)).unwrap().as_celsius() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mobile_package_timescale_is_seconds() {
+        // The paper says ~10 degrees of rise takes a few seconds on the
+        // mobile package. Check that after 1 s of a strong step the core has
+        // moved noticeably but is still far from its steady state, and that
+        // by ~15 s it is close to steady state.
+        let (mut model, floorplan) = model(Package::mobile_embedded());
+        let power = core_power_vector(&floorplan, &[0.45, 0.15, 0.15]);
+        let ss = model.steady_state(&power).unwrap();
+        let core0_block = floorplan.core_block_index(CoreId(0)).unwrap();
+        let ss_rise = ss[core0_block].as_celsius() - 45.0;
+        assert!(ss_rise > 8.0, "steady-state rise should be significant, got {ss_rise}");
+
+        for _ in 0..100 {
+            model.step(&power, Seconds::from_millis(10.0)).unwrap();
+        }
+        let rise_1s = model.core_temperature(CoreId(0)).unwrap().as_celsius() - 45.0;
+        assert!(rise_1s < 0.8 * ss_rise, "1 s should not reach steady state");
+
+        for _ in 0..1_400 {
+            model.step(&power, Seconds::from_millis(10.0)).unwrap();
+        }
+        let rise_15s = model.core_temperature(CoreId(0)).unwrap().as_celsius() - 45.0;
+        assert!(
+            rise_15s > 0.7 * ss_rise,
+            "15 s should be close to steady state ({rise_15s} vs {ss_rise})"
+        );
+    }
+}

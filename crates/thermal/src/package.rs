@@ -1,0 +1,280 @@
+//! Thermal package parameterisations.
+//!
+//! Section 4 of the paper compares two packaging solutions:
+//!
+//! * a **mobile embedded** package derived from real-life streaming SoCs
+//!   (i.MX31-class devices), where a temperature rise of about 10 °C takes a
+//!   few seconds;
+//! * a **high-performance** package modelling "highly variant" SoCs where
+//!   significant temperature changes happen in less than a second — the paper
+//!   states its temperature variations are **6× faster** than the mobile
+//!   model.
+//!
+//! The same steady-state behaviour is kept for both (resistances are
+//! unchanged); only the thermal capacitances shrink, which is exactly how a
+//! thinner die/package with less thermal mass behaves.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::ThermalError;
+use tbp_arch::units::Celsius;
+
+/// Speed-up factor of the high-performance package relative to the mobile
+/// one, as stated in Section 5 of the paper.
+pub const HIGH_PERFORMANCE_SPEEDUP: f64 = 6.0;
+
+/// Which of the paper's two packages a [`Package`] describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PackageKind {
+    /// Mobile embedded streaming SoC package (slow thermal dynamics).
+    MobileEmbedded,
+    /// High-performance SoC package (6× faster thermal dynamics).
+    HighPerformance,
+    /// A custom parameterisation.
+    Custom,
+}
+
+impl fmt::Display for PackageKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PackageKind::MobileEmbedded => write!(f, "mobile embedded"),
+            PackageKind::HighPerformance => write!(f, "high performance"),
+            PackageKind::Custom => write!(f, "custom"),
+        }
+    }
+}
+
+/// Physical parameters of the die + package thermal stack.
+///
+/// The defaults are calibrated so the paper's 3-core SDR workload reproduces
+/// the reported behaviour: roughly a 10 °C spread between the hottest and
+/// coolest core after the DVFS-only warm-up, with the mobile package needing
+/// seconds to move by 10 °C.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Package {
+    kind: PackageKind,
+    /// Ambient temperature the sink convects into.
+    pub ambient: Celsius,
+    /// Die thickness in metres.
+    pub die_thickness_m: f64,
+    /// Silicon volumetric heat capacity, J/(m³·K).
+    pub silicon_volumetric_heat: f64,
+    /// Silicon in-plane thermal conductivity, W/(m·K).
+    pub silicon_conductivity: f64,
+    /// Specific vertical resistance from a die block to the spreader,
+    /// K·m²/W (divide by block area to get the block's vertical resistance).
+    pub vertical_resistance_specific: f64,
+    /// Heat-spreader capacitance, J/K.
+    pub spreader_capacitance: f64,
+    /// Spreader-to-sink resistance, K/W.
+    pub spreader_to_sink_resistance: f64,
+    /// Heat-sink (or case) capacitance, J/K.
+    pub sink_capacitance: f64,
+    /// Sink-to-ambient (convection) resistance, K/W.
+    pub sink_to_ambient_resistance: f64,
+    /// Multiplier applied to all die-block capacitances. Values below one
+    /// make the die respond faster; the high-performance package divides all
+    /// capacitances by [`HIGH_PERFORMANCE_SPEEDUP`].
+    pub capacitance_scale: f64,
+}
+
+impl Package {
+    /// The mobile embedded streaming-SoC package (default in the paper's
+    /// first experiment set).
+    pub fn mobile_embedded() -> Self {
+        Package {
+            kind: PackageKind::MobileEmbedded,
+            ambient: Celsius::ambient(),
+            die_thickness_m: 0.35e-3,
+            silicon_volumetric_heat: 1.75e6,
+            silicon_conductivity: 35.0,
+            vertical_resistance_specific: 7.0e-4,
+            spreader_capacitance: 0.35,
+            spreader_to_sink_resistance: 2.0,
+            sink_capacitance: 0.3,
+            sink_to_ambient_resistance: 8.0,
+            capacitance_scale: 3.0,
+        }
+    }
+
+    /// The high-performance package: identical steady state, thermal
+    /// capacitances divided by [`HIGH_PERFORMANCE_SPEEDUP`] so temperature
+    /// variations are six times faster (Section 5 of the paper).
+    pub fn high_performance() -> Self {
+        let mobile = Package::mobile_embedded();
+        Package {
+            kind: PackageKind::HighPerformance,
+            spreader_capacitance: mobile.spreader_capacitance / HIGH_PERFORMANCE_SPEEDUP,
+            sink_capacitance: mobile.sink_capacitance / HIGH_PERFORMANCE_SPEEDUP,
+            capacitance_scale: mobile.capacitance_scale / HIGH_PERFORMANCE_SPEEDUP,
+            ..mobile
+        }
+    }
+
+    /// Which package this is.
+    pub fn kind(&self) -> PackageKind {
+        self.kind
+    }
+
+    /// Marks the package as a custom parameterisation (builder helper used
+    /// after tweaking fields).
+    pub fn into_custom(mut self) -> Self {
+        self.kind = PackageKind::Custom;
+        self
+    }
+
+    /// Validates the physical parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when any capacitance,
+    /// resistance, conductivity or geometric parameter is not positive and
+    /// finite.
+    pub fn validate(&self) -> Result<(), ThermalError> {
+        let checks = [
+            ("die thickness", self.die_thickness_m),
+            ("silicon volumetric heat", self.silicon_volumetric_heat),
+            ("silicon conductivity", self.silicon_conductivity),
+            (
+                "vertical specific resistance",
+                self.vertical_resistance_specific,
+            ),
+            ("spreader capacitance", self.spreader_capacitance),
+            ("spreader-to-sink resistance", self.spreader_to_sink_resistance),
+            ("sink capacitance", self.sink_capacitance),
+            ("sink-to-ambient resistance", self.sink_to_ambient_resistance),
+            ("capacitance scale", self.capacitance_scale),
+        ];
+        for (name, value) in checks {
+            if !(value.is_finite() && value > 0.0) {
+                return Err(ThermalError::InvalidParameter(format!(
+                    "{name} must be positive and finite (got {value})"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Thermal capacitance (J/K) of a die block of the given area (m²),
+    /// including the package's capacitance scaling.
+    pub fn block_capacitance(&self, area_m2: f64) -> f64 {
+        self.silicon_volumetric_heat * self.die_thickness_m * area_m2 * self.capacitance_scale
+    }
+
+    /// Vertical conductance (W/K) from a die block of the given area (m²) to
+    /// the spreader.
+    pub fn block_vertical_conductance(&self, area_m2: f64) -> f64 {
+        area_m2 / self.vertical_resistance_specific
+    }
+
+    /// Lateral conductance (W/K) between two adjacent die blocks sharing an
+    /// edge of `shared_edge_m` metres whose centres are `distance_m` apart.
+    pub fn lateral_conductance(&self, shared_edge_m: f64, distance_m: f64) -> f64 {
+        if distance_m <= 0.0 {
+            return 0.0;
+        }
+        self.silicon_conductivity * self.die_thickness_m * shared_edge_m / distance_m
+    }
+
+    /// Conductance (W/K) from the spreader to the sink.
+    pub fn spreader_to_sink_conductance(&self) -> f64 {
+        1.0 / self.spreader_to_sink_resistance
+    }
+
+    /// Conductance (W/K) from the sink to ambient.
+    pub fn sink_to_ambient_conductance(&self) -> f64 {
+        1.0 / self.sink_to_ambient_resistance
+    }
+}
+
+impl Default for Package {
+    fn default() -> Self {
+        Package::mobile_embedded()
+    }
+}
+
+impl fmt::Display for Package {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} package (ambient {})", self.kind, self.ambient)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packages_validate() {
+        assert!(Package::mobile_embedded().validate().is_ok());
+        assert!(Package::high_performance().validate().is_ok());
+        assert!(Package::default().validate().is_ok());
+        assert_eq!(Package::default().kind(), PackageKind::MobileEmbedded);
+        assert_eq!(
+            Package::high_performance().kind(),
+            PackageKind::HighPerformance
+        );
+        assert_eq!(
+            Package::mobile_embedded().into_custom().kind(),
+            PackageKind::Custom
+        );
+    }
+
+    #[test]
+    fn invalid_parameters_detected() {
+        let mut p = Package::mobile_embedded();
+        p.sink_capacitance = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = Package::mobile_embedded();
+        p.die_thickness_m = -1.0;
+        assert!(p.validate().is_err());
+        let mut p = Package::mobile_embedded();
+        p.capacitance_scale = f64::NAN;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn high_performance_is_six_times_faster() {
+        let mobile = Package::mobile_embedded();
+        let fast = Package::high_performance();
+        let area = 6e-6;
+        let ratio = mobile.block_capacitance(area) / fast.block_capacitance(area);
+        assert!((ratio - HIGH_PERFORMANCE_SPEEDUP).abs() < 1e-9);
+        assert!(
+            (mobile.spreader_capacitance / fast.spreader_capacitance - HIGH_PERFORMANCE_SPEEDUP)
+                .abs()
+                < 1e-9
+        );
+        assert!(
+            (mobile.sink_capacitance / fast.sink_capacitance - HIGH_PERFORMANCE_SPEEDUP).abs()
+                < 1e-9
+        );
+        // Same steady state: resistances unchanged.
+        assert_eq!(
+            mobile.vertical_resistance_specific,
+            fast.vertical_resistance_specific
+        );
+        assert_eq!(
+            mobile.sink_to_ambient_resistance,
+            fast.sink_to_ambient_resistance
+        );
+    }
+
+    #[test]
+    fn conductances_scale_with_geometry() {
+        let p = Package::mobile_embedded();
+        assert!(p.block_vertical_conductance(6e-6) > p.block_vertical_conductance(1.5e-6));
+        assert!(p.lateral_conductance(2e-3, 3e-3) > p.lateral_conductance(1e-3, 3e-3));
+        assert_eq!(p.lateral_conductance(2e-3, 0.0), 0.0);
+        assert!(p.spreader_to_sink_conductance() > 0.0);
+        assert!(p.sink_to_ambient_conductance() > 0.0);
+        assert!(p.block_capacitance(6e-6) > 0.0);
+    }
+
+    #[test]
+    fn display_mentions_kind() {
+        assert!(Package::mobile_embedded().to_string().contains("mobile"));
+        assert!(Package::high_performance().to_string().contains("high"));
+        assert!(format!("{}", PackageKind::Custom).contains("custom"));
+    }
+}

@@ -1,0 +1,482 @@
+//! Generic lumped resistance–capacitance thermal network.
+//!
+//! The network is a graph of thermal nodes. Each node has a heat capacitance
+//! and optionally a conductance to the fixed-temperature ambient; pairs of
+//! nodes are coupled by conductances. Power (heat) is injected into nodes and
+//! the temperature state evolves according to
+//!
+//! ```text
+//! C_i · dT_i/dt = P_i + Σ_j G_ij (T_j − T_i) + G_amb,i (T_amb − T_i)
+//! ```
+//!
+//! which is exactly the equation HotSpot integrates for its block-level mode.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ThermalError;
+use tbp_arch::units::Celsius;
+
+/// A single thermal node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcNode {
+    /// Human-readable name (floorplan block name, `spreader`, `sink`, ...).
+    pub name: String,
+    /// Heat capacitance in J/K.
+    pub capacitance: f64,
+    /// Conductance to the ambient in W/K (zero when not connected).
+    pub ambient_conductance: f64,
+}
+
+/// A conductive coupling between two nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RcEdge {
+    /// First node index.
+    pub a: usize,
+    /// Second node index.
+    pub b: usize,
+    /// Conductance in W/K.
+    pub conductance: f64,
+}
+
+/// A lumped RC thermal network with its current temperature state.
+///
+/// ```
+/// use tbp_thermal::rc::RcNetwork;
+/// use tbp_arch::units::Celsius;
+///
+/// # fn main() -> Result<(), tbp_thermal::ThermalError> {
+/// let mut net = RcNetwork::new(Celsius::new(45.0));
+/// let hot = net.add_node("hot", 0.5, 0.05)?;
+/// let cold = net.add_node("cold", 0.5, 0.05)?;
+/// net.add_edge(hot, cold, 0.02)?;
+/// net.set_power(hot, 1.0)?;
+/// for _ in 0..10_000 {
+///     net.euler_step(0.01);
+/// }
+/// assert!(net.temperature(hot).as_celsius() > net.temperature(cold).as_celsius());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RcNetwork {
+    nodes: Vec<RcNode>,
+    edges: Vec<RcEdge>,
+    temperatures: Vec<f64>,
+    power: Vec<f64>,
+    ambient: Celsius,
+}
+
+impl RcNetwork {
+    /// Creates an empty network at the given ambient temperature. New nodes
+    /// start at ambient.
+    pub fn new(ambient: Celsius) -> Self {
+        RcNetwork {
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            temperatures: Vec::new(),
+            power: Vec::new(),
+            ambient,
+        }
+    }
+
+    /// Ambient temperature of the network.
+    pub fn ambient(&self) -> Celsius {
+        self.ambient
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Nodes of the network.
+    pub fn nodes(&self) -> &[RcNode] {
+        &self.nodes
+    }
+
+    /// Edges of the network.
+    pub fn edges(&self) -> &[RcEdge] {
+        &self.edges
+    }
+
+    /// Adds a node and returns its index.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] for a non-positive or
+    /// non-finite capacitance, or a negative ambient conductance.
+    pub fn add_node(
+        &mut self,
+        name: &str,
+        capacitance: f64,
+        ambient_conductance: f64,
+    ) -> Result<usize, ThermalError> {
+        if !(capacitance.is_finite() && capacitance > 0.0) {
+            return Err(ThermalError::InvalidParameter(format!(
+                "capacitance of `{name}` must be positive (got {capacitance})"
+            )));
+        }
+        if !(ambient_conductance.is_finite() && ambient_conductance >= 0.0) {
+            return Err(ThermalError::InvalidParameter(format!(
+                "ambient conductance of `{name}` must be non-negative (got {ambient_conductance})"
+            )));
+        }
+        self.nodes.push(RcNode {
+            name: name.to_string(),
+            capacitance,
+            ambient_conductance,
+        });
+        self.temperatures.push(self.ambient.as_celsius());
+        self.power.push(0.0);
+        Ok(self.nodes.len() - 1)
+    }
+
+    /// Adds a conductive edge between two nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for an out-of-range index and
+    /// [`ThermalError::InvalidParameter`] for a non-positive conductance or a
+    /// self-loop.
+    pub fn add_edge(&mut self, a: usize, b: usize, conductance: f64) -> Result<(), ThermalError> {
+        if a >= self.nodes.len() {
+            return Err(ThermalError::UnknownNode(a));
+        }
+        if b >= self.nodes.len() {
+            return Err(ThermalError::UnknownNode(b));
+        }
+        if a == b {
+            return Err(ThermalError::InvalidParameter(
+                "self-coupled thermal node".into(),
+            ));
+        }
+        if !(conductance.is_finite() && conductance > 0.0) {
+            return Err(ThermalError::InvalidParameter(format!(
+                "edge conductance must be positive (got {conductance})"
+            )));
+        }
+        self.edges.push(RcEdge { a, b, conductance });
+        Ok(())
+    }
+
+    /// Sets the power injected into a node (W).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for an out-of-range index.
+    pub fn set_power(&mut self, node: usize, watts: f64) -> Result<(), ThermalError> {
+        if node >= self.nodes.len() {
+            return Err(ThermalError::UnknownNode(node));
+        }
+        self.power[node] = watts;
+        Ok(())
+    }
+
+    /// Currently injected power at a node (W). Returns 0 for out-of-range
+    /// indices.
+    pub fn power(&self, node: usize) -> f64 {
+        self.power.get(node).copied().unwrap_or(0.0)
+    }
+
+    /// Current temperature of a node. Out-of-range indices return the
+    /// ambient temperature.
+    pub fn temperature(&self, node: usize) -> Celsius {
+        self.temperatures
+            .get(node)
+            .copied()
+            .map(Celsius::new)
+            .unwrap_or(self.ambient)
+    }
+
+    /// All node temperatures in index order.
+    pub fn temperatures(&self) -> Vec<Celsius> {
+        self.temperatures.iter().copied().map(Celsius::new).collect()
+    }
+
+    /// Overwrites a node's temperature (used to set initial conditions).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for an out-of-range index.
+    pub fn set_temperature(&mut self, node: usize, value: Celsius) -> Result<(), ThermalError> {
+        if node >= self.nodes.len() {
+            return Err(ThermalError::UnknownNode(node));
+        }
+        self.temperatures[node] = value.as_celsius();
+        Ok(())
+    }
+
+    /// Resets every node to the ambient temperature and clears injected power.
+    pub fn reset(&mut self) {
+        for t in &mut self.temperatures {
+            *t = self.ambient.as_celsius();
+        }
+        for p in &mut self.power {
+            *p = 0.0;
+        }
+    }
+
+    /// Time derivative of each node temperature for the current state, K/s.
+    pub fn derivative(&self, temperatures: &[f64]) -> Vec<f64> {
+        let mut flow = vec![0.0; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            flow[i] = self.power[i]
+                + node.ambient_conductance * (self.ambient.as_celsius() - temperatures[i]);
+        }
+        for edge in &self.edges {
+            let q = edge.conductance * (temperatures[edge.b] - temperatures[edge.a]);
+            flow[edge.a] += q;
+            flow[edge.b] -= q;
+        }
+        for (i, node) in self.nodes.iter().enumerate() {
+            flow[i] /= node.capacitance;
+        }
+        flow
+    }
+
+    /// Largest explicit-Euler step (seconds) that keeps the integration
+    /// stable: `min_i C_i / ΣG_i`.
+    pub fn max_stable_step(&self) -> f64 {
+        let mut total_conductance = vec![0.0; self.nodes.len()];
+        for (i, node) in self.nodes.iter().enumerate() {
+            total_conductance[i] += node.ambient_conductance;
+        }
+        for edge in &self.edges {
+            total_conductance[edge.a] += edge.conductance;
+            total_conductance[edge.b] += edge.conductance;
+        }
+        self.nodes
+            .iter()
+            .zip(&total_conductance)
+            .map(|(node, &g)| {
+                if g > 0.0 {
+                    node.capacitance / g
+                } else {
+                    f64::INFINITY
+                }
+            })
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Performs one explicit (forward) Euler step of `dt` seconds.
+    ///
+    /// Callers are responsible for keeping `dt` below
+    /// [`max_stable_step`](Self::max_stable_step); the higher-level
+    /// [`solver`](crate::solver) module handles sub-stepping automatically.
+    pub fn euler_step(&mut self, dt: f64) {
+        let derivative = self.derivative(&self.temperatures);
+        for (t, d) in self.temperatures.iter_mut().zip(derivative) {
+            *t += dt * d;
+        }
+    }
+
+    /// Performs one classic Runge–Kutta (RK4) step of `dt` seconds.
+    pub fn rk4_step(&mut self, dt: f64) {
+        let t0 = self.temperatures.clone();
+        let k1 = self.derivative(&t0);
+        let t1: Vec<f64> = t0.iter().zip(&k1).map(|(t, k)| t + 0.5 * dt * k).collect();
+        let k2 = self.derivative(&t1);
+        let t2: Vec<f64> = t0.iter().zip(&k2).map(|(t, k)| t + 0.5 * dt * k).collect();
+        let k3 = self.derivative(&t2);
+        let t3: Vec<f64> = t0.iter().zip(&k3).map(|(t, k)| t + dt * k).collect();
+        let k4 = self.derivative(&t3);
+        for i in 0..self.temperatures.len() {
+            self.temperatures[i] =
+                t0[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+        }
+    }
+
+    /// Computes the steady-state temperatures for the currently injected
+    /// power by iterating a damped Gauss–Seidel relaxation of the static heat
+    /// balance. The dynamic state is not modified.
+    pub fn steady_state(&self) -> Vec<Celsius> {
+        let n = self.nodes.len();
+        let mut t: Vec<f64> = self.temperatures.clone();
+        // Pre-index neighbours for the relaxation.
+        let mut neighbours: Vec<Vec<(usize, f64)>> = vec![Vec::new(); n];
+        for edge in &self.edges {
+            neighbours[edge.a].push((edge.b, edge.conductance));
+            neighbours[edge.b].push((edge.a, edge.conductance));
+        }
+        for _ in 0..20_000 {
+            let mut max_delta: f64 = 0.0;
+            for i in 0..n {
+                let mut g_sum = self.nodes[i].ambient_conductance;
+                let mut rhs =
+                    self.power[i] + self.nodes[i].ambient_conductance * self.ambient.as_celsius();
+                for &(j, g) in &neighbours[i] {
+                    g_sum += g;
+                    rhs += g * t[j];
+                }
+                if g_sum > 0.0 {
+                    let new_t = rhs / g_sum;
+                    max_delta = max_delta.max((new_t - t[i]).abs());
+                    t[i] = new_t;
+                }
+            }
+            if max_delta < 1e-9 {
+                break;
+            }
+        }
+        t.into_iter().map(Celsius::new).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_node_network() -> (RcNetwork, usize, usize) {
+        let mut net = RcNetwork::new(Celsius::new(45.0));
+        let a = net.add_node("a", 1.0, 0.1).unwrap();
+        let b = net.add_node("b", 1.0, 0.1).unwrap();
+        net.add_edge(a, b, 0.05).unwrap();
+        (net, a, b)
+    }
+
+    #[test]
+    fn construction_and_validation() {
+        let mut net = RcNetwork::new(Celsius::new(45.0));
+        assert!(net.is_empty());
+        assert_eq!(net.ambient().as_celsius(), 45.0);
+        let a = net.add_node("a", 1.0, 0.0).unwrap();
+        assert_eq!(net.len(), 1);
+        assert!(!net.is_empty());
+        assert_eq!(net.nodes()[a].name, "a");
+        assert!(net.add_node("bad", 0.0, 0.1).is_err());
+        assert!(net.add_node("bad", f64::NAN, 0.1).is_err());
+        assert!(net.add_node("bad", 1.0, -0.1).is_err());
+        let b = net.add_node("b", 1.0, 0.0).unwrap();
+        assert!(net.add_edge(a, b, 0.1).is_ok());
+        assert!(net.add_edge(a, a, 0.1).is_err());
+        assert!(net.add_edge(a, 99, 0.1).is_err());
+        assert!(net.add_edge(99, b, 0.1).is_err());
+        assert!(net.add_edge(a, b, 0.0).is_err());
+        assert_eq!(net.edges().len(), 1);
+        assert!(net.set_power(99, 1.0).is_err());
+        assert!(net.set_temperature(99, Celsius::new(50.0)).is_err());
+        assert_eq!(net.power(99), 0.0);
+        assert_eq!(net.temperature(99).as_celsius(), 45.0);
+    }
+
+    #[test]
+    fn nodes_start_at_ambient_and_stay_without_power() {
+        let (mut net, a, b) = two_node_network();
+        assert_eq!(net.temperature(a).as_celsius(), 45.0);
+        for _ in 0..1000 {
+            net.euler_step(0.1);
+        }
+        assert!((net.temperature(a).as_celsius() - 45.0).abs() < 1e-9);
+        assert!((net.temperature(b).as_celsius() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heated_node_rises_and_settles_at_analytic_steady_state() {
+        let (mut net, a, b) = two_node_network();
+        net.set_power(a, 1.0).unwrap();
+        assert_eq!(net.power(a), 1.0);
+        let dt = 0.5 * net.max_stable_step();
+        for _ in 0..200_000 {
+            net.euler_step(dt);
+        }
+        let ta = net.temperature(a).as_celsius();
+        let tb = net.temperature(b).as_celsius();
+        assert!(ta > tb);
+        assert!(tb > 45.0);
+        // Analytic solution of the 2-node divider:
+        //   node a: G_amb=0.1, edge 0.05 to b, b has G_amb=0.1.
+        // Solve: 1 = 0.1(Ta-45) + 0.05(Ta-Tb); 0 = 0.1(Tb-45) - 0.05(Ta-Tb)
+        // => Tb-45 = (Ta-45)/3; 1 = 0.1 x + 0.05*2x/3 where x = Ta-45
+        let x = 1.0 / (0.1 + 0.1 / 3.0);
+        assert!((ta - (45.0 + x)).abs() < 1e-3);
+        assert!((tb - (45.0 + x / 3.0)).abs() < 1e-3);
+        // steady_state() agrees with the integrated result.
+        let ss = net.steady_state();
+        assert!((ss[a].as_celsius() - ta).abs() < 1e-3);
+        assert!((ss[b].as_celsius() - tb).abs() < 1e-3);
+    }
+
+    #[test]
+    fn rk4_matches_euler_with_small_steps() {
+        let (mut euler_net, a, _) = two_node_network();
+        let (mut rk4_net, _, _) = two_node_network();
+        euler_net.set_power(a, 0.5).unwrap();
+        rk4_net.set_power(a, 0.5).unwrap();
+        let dt = 0.2 * euler_net.max_stable_step();
+        for _ in 0..5_000 {
+            euler_net.euler_step(dt);
+            rk4_net.rk4_step(dt);
+        }
+        for i in 0..euler_net.len() {
+            assert!(
+                (euler_net.temperature(i).as_celsius() - rk4_net.temperature(i).as_celsius())
+                    .abs()
+                    < 0.05
+            );
+        }
+    }
+
+    #[test]
+    fn max_stable_step_is_finite_for_grounded_networks() {
+        let (net, _, _) = two_node_network();
+        let dt = net.max_stable_step();
+        assert!(dt.is_finite());
+        assert!(dt > 0.0);
+        // A network with a floating node reports an infinite limit for it but
+        // the minimum over grounded nodes still applies.
+        let mut floating = RcNetwork::new(Celsius::new(45.0));
+        floating.add_node("float", 1.0, 0.0).unwrap();
+        assert!(floating.max_stable_step().is_infinite());
+    }
+
+    #[test]
+    fn energy_conservation_between_coupled_nodes() {
+        // With no ambient connection, total heat is conserved: the mean
+        // temperature rises linearly with injected energy.
+        let mut net = RcNetwork::new(Celsius::new(45.0));
+        let a = net.add_node("a", 2.0, 0.0).unwrap();
+        let b = net.add_node("b", 2.0, 0.0).unwrap();
+        net.add_edge(a, b, 0.05).unwrap();
+        net.set_power(a, 1.0).unwrap();
+        let dt = 0.25 * (2.0 / 0.05f64);
+        let steps = 100;
+        for _ in 0..steps {
+            net.euler_step(dt);
+        }
+        let injected = 1.0 * dt * steps as f64; // joules
+        let stored = 2.0 * (net.temperature(a).as_celsius() - 45.0)
+            + 2.0 * (net.temperature(b).as_celsius() - 45.0);
+        assert!((stored - injected).abs() / injected < 1e-9);
+    }
+
+    #[test]
+    fn set_temperature_and_reset() {
+        let (mut net, a, b) = two_node_network();
+        net.set_temperature(a, Celsius::new(80.0)).unwrap();
+        assert_eq!(net.temperature(a).as_celsius(), 80.0);
+        net.set_power(b, 2.0).unwrap();
+        net.reset();
+        assert_eq!(net.temperature(a).as_celsius(), 45.0);
+        assert_eq!(net.power(b), 0.0);
+        assert_eq!(net.temperatures().len(), 2);
+    }
+
+    #[test]
+    fn cooling_decays_towards_ambient() {
+        let (mut net, a, _) = two_node_network();
+        net.set_temperature(a, Celsius::new(90.0)).unwrap();
+        let t_start = net.temperature(a).as_celsius();
+        let dt = 0.5 * net.max_stable_step();
+        for _ in 0..2_000 {
+            net.euler_step(dt);
+        }
+        let t_end = net.temperature(a).as_celsius();
+        assert!(t_end < t_start);
+        assert!(t_end >= 45.0 - 1e-6);
+    }
+}

@@ -1,0 +1,210 @@
+//! Periodic temperature sensors.
+//!
+//! The emulation platform of the paper updates shared-memory locations with
+//! the processor temperatures **every 10 ms** so the MPOS can read them
+//! (Section 4). [`SensorBank`] reproduces that behaviour: it holds the last
+//! sampled value for every core and refreshes it only when the sampling
+//! period has elapsed, optionally quantising the reading like a real thermal
+//! diode interface would.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::ThermalError;
+use crate::model::ThermalModel;
+use tbp_arch::core::CoreId;
+use tbp_arch::units::{Celsius, Seconds};
+
+/// Default sampling period of the paper's platform (10 ms).
+pub const DEFAULT_SAMPLING_PERIOD_MS: f64 = 10.0;
+
+/// A bank of per-core temperature sensors sampled at a fixed period.
+///
+/// ```
+/// use tbp_thermal::sensor::SensorBank;
+/// use tbp_arch::units::Seconds;
+///
+/// let mut sensors = SensorBank::new(3, Seconds::from_millis(10.0), 0.0);
+/// assert_eq!(sensors.num_sensors(), 3);
+/// assert!(!sensors.tick(Seconds::from_millis(4.0)));
+/// assert!(sensors.tick(Seconds::from_millis(6.0))); // 10 ms elapsed -> sample
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SensorBank {
+    period: Seconds,
+    quantization: f64,
+    since_last_sample: Seconds,
+    readings: Vec<Celsius>,
+    samples_taken: u64,
+}
+
+impl SensorBank {
+    /// Creates a bank of `num_cores` sensors with the given sampling period
+    /// and quantisation step (°C; 0 disables quantisation). Readings start at
+    /// the ambient temperature.
+    pub fn new(num_cores: usize, period: Seconds, quantization: f64) -> Self {
+        SensorBank {
+            period,
+            quantization: quantization.max(0.0),
+            since_last_sample: Seconds::ZERO,
+            readings: vec![Celsius::ambient(); num_cores],
+            samples_taken: 0,
+        }
+    }
+
+    /// Bank matching the paper's platform: 10 ms period, 0.1 °C resolution.
+    pub fn paper_default(num_cores: usize) -> Self {
+        SensorBank::new(
+            num_cores,
+            Seconds::from_millis(DEFAULT_SAMPLING_PERIOD_MS),
+            0.1,
+        )
+    }
+
+    /// Number of sensors in the bank.
+    pub fn num_sensors(&self) -> usize {
+        self.readings.len()
+    }
+
+    /// Sampling period.
+    pub fn period(&self) -> Seconds {
+        self.period
+    }
+
+    /// Number of samples taken since construction.
+    pub fn samples_taken(&self) -> u64 {
+        self.samples_taken
+    }
+
+    /// Advances the sensor clock by `dt` and returns `true` when a new sample
+    /// is due (the caller should then call [`sample`](Self::sample)).
+    pub fn tick(&mut self, dt: Seconds) -> bool {
+        self.since_last_sample += dt;
+        self.since_last_sample.as_secs() + 1e-12 >= self.period.as_secs()
+    }
+
+    /// Samples the thermal model, refreshing every core reading.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] when the model tracks fewer
+    /// cores than the bank has sensors.
+    pub fn sample(&mut self, model: &ThermalModel) -> Result<&[Celsius], ThermalError> {
+        for i in 0..self.readings.len() {
+            let raw = model.core_temperature(CoreId(i))?;
+            self.readings[i] = self.quantize(raw);
+        }
+        self.since_last_sample = Seconds::ZERO;
+        self.samples_taken += 1;
+        Ok(&self.readings)
+    }
+
+    /// The last sampled reading of a core (ambient before the first sample).
+    pub fn reading(&self, core: CoreId) -> Option<Celsius> {
+        self.readings.get(core.index()).copied()
+    }
+
+    /// All last-sampled readings, indexed by core id.
+    pub fn readings(&self) -> &[Celsius] {
+        &self.readings
+    }
+
+    /// Mean of the last-sampled readings (the policy's `T_mean`).
+    pub fn mean(&self) -> Celsius {
+        if self.readings.is_empty() {
+            return Celsius::ambient();
+        }
+        let sum: f64 = self.readings.iter().map(|t| t.as_celsius()).sum();
+        Celsius::new(sum / self.readings.len() as f64)
+    }
+
+    fn quantize(&self, value: Celsius) -> Celsius {
+        if self.quantization <= 0.0 {
+            value
+        } else {
+            let steps = (value.as_celsius() / self.quantization).round();
+            Celsius::new(steps * self.quantization)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::package::Package;
+    use tbp_arch::floorplan::Floorplan;
+    use tbp_arch::units::Watts;
+
+    fn heated_model() -> ThermalModel {
+        let floorplan = Floorplan::paper_3core();
+        let mut model = ThermalModel::new(&floorplan, Package::high_performance()).unwrap();
+        let mut power = vec![Watts::ZERO; floorplan.len()];
+        power[floorplan.core_block_index(CoreId(0)).unwrap()] = Watts::new(0.5);
+        for _ in 0..500 {
+            model.step(&power, Seconds::from_millis(10.0)).unwrap();
+        }
+        model
+    }
+
+    #[test]
+    fn construction_and_defaults() {
+        let bank = SensorBank::paper_default(3);
+        assert_eq!(bank.num_sensors(), 3);
+        assert!((bank.period().as_millis() - 10.0).abs() < 1e-12);
+        assert_eq!(bank.samples_taken(), 0);
+        assert_eq!(bank.reading(CoreId(0)), Some(Celsius::ambient()));
+        assert_eq!(bank.reading(CoreId(9)), None);
+        assert_eq!(bank.readings().len(), 3);
+        assert!((bank.mean().as_celsius() - 45.0).abs() < 1e-9);
+        // Empty bank mean falls back to ambient.
+        let empty = SensorBank::new(0, Seconds::from_millis(10.0), 0.0);
+        assert!((empty.mean().as_celsius() - 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tick_respects_period() {
+        let mut bank = SensorBank::new(3, Seconds::from_millis(10.0), 0.0);
+        assert!(!bank.tick(Seconds::from_millis(3.0)));
+        assert!(!bank.tick(Seconds::from_millis(3.0)));
+        assert!(bank.tick(Seconds::from_millis(4.0)));
+        // Exact multiple also triggers.
+        let mut bank = SensorBank::new(1, Seconds::from_millis(10.0), 0.0);
+        assert!(bank.tick(Seconds::from_millis(10.0)));
+    }
+
+    #[test]
+    fn sample_reads_model_temperatures() {
+        let model = heated_model();
+        let mut bank = SensorBank::new(3, Seconds::from_millis(10.0), 0.0);
+        bank.tick(Seconds::from_millis(10.0));
+        let readings = bank.sample(&model).unwrap().to_vec();
+        assert_eq!(readings.len(), 3);
+        assert!(readings[0].as_celsius() > readings[2].as_celsius());
+        assert_eq!(bank.samples_taken(), 1);
+        assert!(bank.mean().as_celsius() > 45.0);
+        // Sampling resets the tick accumulator.
+        assert!(!bank.tick(Seconds::from_millis(3.0)));
+    }
+
+    #[test]
+    fn sample_fails_when_bank_larger_than_model() {
+        let model = heated_model();
+        let mut bank = SensorBank::new(5, Seconds::from_millis(10.0), 0.0);
+        assert!(bank.sample(&model).is_err());
+    }
+
+    #[test]
+    fn quantization_rounds_readings() {
+        let model = heated_model();
+        let mut fine = SensorBank::new(3, Seconds::from_millis(10.0), 0.0);
+        let mut coarse = SensorBank::new(3, Seconds::from_millis(10.0), 0.5);
+        fine.sample(&model).unwrap();
+        coarse.sample(&model).unwrap();
+        let raw = fine.reading(CoreId(0)).unwrap().as_celsius();
+        let quantized = coarse.reading(CoreId(0)).unwrap().as_celsius();
+        assert!((quantized % 0.5).abs() < 1e-9 || ((quantized % 0.5) - 0.5).abs() < 1e-9);
+        assert!((raw - quantized).abs() <= 0.25 + 1e-9);
+        // Negative quantization behaves like disabled quantization.
+        let bank = SensorBank::new(1, Seconds::from_millis(10.0), -1.0);
+        assert_eq!(bank.quantization, 0.0);
+    }
+}

@@ -1,0 +1,206 @@
+//! Time integration of the RC network.
+//!
+//! The co-simulation advances in steps of a millisecond or more, while the
+//! explicit stability limit of the die-level RC network can be much smaller.
+//! [`Solver`] hides the sub-stepping: callers ask for an arbitrary `dt` and
+//! the solver splits it into stable sub-steps of the selected integration
+//! scheme.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::ThermalError;
+use crate::rc::RcNetwork;
+use tbp_arch::units::Seconds;
+
+/// Integration scheme used to advance the network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum SolverKind {
+    /// Forward Euler with stability-bounded sub-steps (HotSpot's default
+    /// transient mode uses a comparable explicit scheme). Fast and accurate
+    /// enough for the millisecond-scale steps of the co-simulation.
+    #[default]
+    ForwardEuler,
+    /// Classic fourth-order Runge–Kutta; more work per step, used as the
+    /// reference in the solver-ablation benchmark.
+    RungeKutta4,
+}
+
+impl fmt::Display for SolverKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SolverKind::ForwardEuler => write!(f, "forward Euler"),
+            SolverKind::RungeKutta4 => write!(f, "RK4"),
+        }
+    }
+}
+
+/// A configured integrator for [`RcNetwork`]s.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Solver {
+    kind: SolverKind,
+    /// Safety factor applied to the stability limit when choosing sub-steps.
+    safety_factor: f64,
+    /// Hard cap on the number of sub-steps per call, to bound the cost of a
+    /// single `advance` invocation.
+    max_substeps: usize,
+}
+
+impl Solver {
+    /// Creates a solver of the given kind with default sub-stepping
+    /// parameters (safety factor 0.25, at most 20 000 sub-steps per call).
+    pub fn new(kind: SolverKind) -> Self {
+        Solver {
+            kind,
+            safety_factor: 0.25,
+            max_substeps: 20_000,
+        }
+    }
+
+    /// The integration scheme.
+    pub fn kind(&self) -> SolverKind {
+        self.kind
+    }
+
+    /// Overrides the stability safety factor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when the factor is not in
+    /// `(0, 1]`.
+    pub fn with_safety_factor(mut self, factor: f64) -> Result<Self, ThermalError> {
+        if !(factor > 0.0 && factor <= 1.0) {
+            return Err(ThermalError::InvalidParameter(format!(
+                "safety factor {factor} must be in (0, 1]"
+            )));
+        }
+        self.safety_factor = factor;
+        Ok(self)
+    }
+
+    /// Advances the network by `dt`, splitting into stable sub-steps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidTimeStep`] when `dt` is not positive
+    /// and finite.
+    pub fn advance(&self, network: &mut RcNetwork, dt: Seconds) -> Result<(), ThermalError> {
+        let dt_secs = dt.as_secs();
+        if !(dt_secs.is_finite() && dt_secs > 0.0) {
+            return Err(ThermalError::InvalidTimeStep(dt_secs));
+        }
+        let stable = network.max_stable_step();
+        // RK4 tolerates larger steps than explicit Euler; allow 2x.
+        let scheme_factor = match self.kind {
+            SolverKind::ForwardEuler => 1.0,
+            SolverKind::RungeKutta4 => 2.0,
+        };
+        let max_sub = if stable.is_finite() {
+            (stable * self.safety_factor * scheme_factor).max(1e-9)
+        } else {
+            dt_secs
+        };
+        let substeps = ((dt_secs / max_sub).ceil() as usize).clamp(1, self.max_substeps);
+        let sub_dt = dt_secs / substeps as f64;
+        for _ in 0..substeps {
+            match self.kind {
+                SolverKind::ForwardEuler => network.euler_step(sub_dt),
+                SolverKind::RungeKutta4 => network.rk4_step(sub_dt),
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Solver::new(SolverKind::ForwardEuler)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbp_arch::units::Celsius;
+
+    fn heated_network() -> RcNetwork {
+        let mut net = RcNetwork::new(Celsius::new(45.0));
+        let a = net.add_node("a", 0.01, 0.02).unwrap();
+        let b = net.add_node("b", 0.01, 0.02).unwrap();
+        net.add_edge(a, b, 0.01).unwrap();
+        net.set_power(a, 0.5).unwrap();
+        net
+    }
+
+    #[test]
+    fn solver_kinds_display() {
+        assert_eq!(SolverKind::ForwardEuler.to_string(), "forward Euler");
+        assert_eq!(SolverKind::RungeKutta4.to_string(), "RK4");
+        assert_eq!(SolverKind::default(), SolverKind::ForwardEuler);
+        assert_eq!(Solver::default().kind(), SolverKind::ForwardEuler);
+    }
+
+    #[test]
+    fn advance_rejects_bad_steps() {
+        let solver = Solver::default();
+        let mut net = heated_network();
+        assert!(solver.advance(&mut net, Seconds::ZERO).is_err());
+        assert!(solver.advance(&mut net, Seconds::new(-0.1)).is_err());
+        assert!(solver
+            .advance(&mut net, Seconds::new(f64::INFINITY))
+            .is_err());
+        assert!(solver.advance(&mut net, Seconds::from_millis(10.0)).is_ok());
+    }
+
+    #[test]
+    fn safety_factor_validation() {
+        assert!(Solver::default().with_safety_factor(0.3).is_ok());
+        assert!(Solver::default().with_safety_factor(1.0).is_ok());
+        assert!(Solver::default().with_safety_factor(0.0).is_err());
+        assert!(Solver::default().with_safety_factor(1.5).is_err());
+    }
+
+    #[test]
+    fn large_steps_remain_stable() {
+        // The stability limit here is C/G = 0.01/0.03 = 0.33 s; ask for a
+        // 10 s advance and verify the solution does not blow up.
+        let solver = Solver::new(SolverKind::ForwardEuler);
+        let mut net = heated_network();
+        solver.advance(&mut net, Seconds::new(10.0)).unwrap();
+        let t = net.temperature(0).as_celsius();
+        assert!(t.is_finite());
+        assert!(t > 45.0);
+        assert!(t < 200.0);
+    }
+
+    #[test]
+    fn euler_and_rk4_converge_to_the_same_solution() {
+        let euler = Solver::new(SolverKind::ForwardEuler);
+        let rk4 = Solver::new(SolverKind::RungeKutta4);
+        let mut net_a = heated_network();
+        let mut net_b = heated_network();
+        for _ in 0..200 {
+            euler.advance(&mut net_a, Seconds::from_millis(50.0)).unwrap();
+            rk4.advance(&mut net_b, Seconds::from_millis(50.0)).unwrap();
+        }
+        for i in 0..net_a.len() {
+            let d = (net_a.temperature(i).as_celsius() - net_b.temperature(i).as_celsius()).abs();
+            assert!(d < 0.1, "node {i} differs by {d}");
+        }
+    }
+
+    #[test]
+    fn repeated_small_steps_match_single_large_step() {
+        let solver = Solver::new(SolverKind::ForwardEuler);
+        let mut fine = heated_network();
+        let mut coarse = heated_network();
+        for _ in 0..100 {
+            solver.advance(&mut fine, Seconds::from_millis(10.0)).unwrap();
+        }
+        solver.advance(&mut coarse, Seconds::new(1.0)).unwrap();
+        for i in 0..fine.len() {
+            let d = (fine.temperature(i).as_celsius() - coarse.temperature(i).as_celsius()).abs();
+            assert!(d < 0.5, "node {i} differs by {d}");
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Build a custom streaming application and platform, beyond the paper's SDR.
+//!
+//! Shows how a downstream user targets their own workload: a 4-stage video
+//! analytics pipeline on a 4-core platform, with its own queue sizing and a
+//! tighter balancing threshold, using the lower-power ARM11-class cores
+//! (Conf2 of Table 1).
+//!
+//! ```sh
+//! cargo run --release --example custom_pipeline
+//! ```
+
+use tbp_arch::core::CoreId;
+use tbp_arch::platform::PlatformConfig;
+use tbp_arch::units::{Bytes, Seconds};
+use tbp_core::policy::{ThermalBalancingConfig, ThermalBalancingPolicy};
+use tbp_core::sim::{Simulation, SimulationConfig};
+use tbp_core::SimError;
+use tbp_os::mpos::Mpos;
+use tbp_os::task::TaskDescriptor;
+use tbp_streaming::graph::{PipelineGraph, StageDescriptor};
+use tbp_streaming::pipeline::{PipelineConfig, PipelineRuntime};
+use tbp_thermal::package::Package;
+use tbp_thermal::{SensorBank, ThermalModel};
+
+fn main() -> Result<(), SimError> {
+    // 1. A 4-core platform built from the lower-power ARM11-class cores.
+    let platform_config = PlatformConfig::paper_arm11().with_cores(4);
+    let platform = tbp_arch::platform::MpsocPlatform::new(platform_config.clone())?;
+    let thermal = ThermalModel::new(platform.floorplan(), Package::high_performance())?;
+    let sensors = SensorBank::paper_default(platform.num_cores());
+
+    // 2. The OS layer with a video-analytics task set: capture → detect →
+    //    track → encode, plus a background telemetry task pinned to core 3.
+    let mut os = Mpos::new(platform.num_cores(), platform_config.dvfs.clone());
+    let capture = os.spawn(
+        TaskDescriptor::new("capture", 0.18, Bytes::from_kib(128)),
+        CoreId(0),
+    )?;
+    let detect = os.spawn(
+        TaskDescriptor::new("detect", 0.55, Bytes::from_kib(256)),
+        CoreId(1),
+    )?;
+    let track = os.spawn(
+        TaskDescriptor::new("track", 0.35, Bytes::from_kib(128)),
+        CoreId(2),
+    )?;
+    let encode = os.spawn(
+        TaskDescriptor::new("encode", 0.30, Bytes::from_kib(192)),
+        CoreId(3),
+    )?;
+    let _telemetry = os.spawn(
+        TaskDescriptor::new("telemetry", 0.05, Bytes::from_kib(64)).pinned(),
+        CoreId(3),
+    )?;
+
+    // 3. The pipeline graph: 30 frames/s, deep queues for the heavy detector.
+    let frame_period = Seconds::from_millis(33.0);
+    let cycles = |fse: f64| fse * 533e6 * frame_period.as_secs();
+    let mut graph = PipelineGraph::new();
+    let s_capture = graph.add_stage(StageDescriptor::new("capture", capture, cycles(0.18)))?;
+    let s_detect = graph.add_stage(StageDescriptor::new("detect", detect, cycles(0.55)))?;
+    let s_track = graph.add_stage(StageDescriptor::new("track", track, cycles(0.35)))?;
+    let s_encode = graph.add_stage(StageDescriptor::new("encode", encode, cycles(0.30)))?;
+    graph.connect(s_capture, s_detect)?;
+    graph.connect(s_detect, s_track)?;
+    graph.connect(s_track, s_encode)?;
+    let pipeline = PipelineRuntime::new(
+        graph,
+        PipelineConfig {
+            frame_period,
+            queue_capacity: 8,
+            prefill: 4,
+        },
+    )?;
+
+    // 4. The policy: a tight ±1.5 °C band.
+    let policy = ThermalBalancingPolicy::new(
+        platform_config.dvfs.clone(),
+        ThermalBalancingConfig::paper_default().with_threshold(1.5),
+    );
+
+    // 5. Assemble and run.
+    let mut sim = Simulation::from_parts(
+        platform,
+        thermal,
+        sensors,
+        os,
+        Some(pipeline),
+        Box::new(policy),
+        SimulationConfig {
+            warmup: Seconds::new(4.0),
+            metrics_threshold: 1.5,
+            ..SimulationConfig::paper_default()
+        },
+    );
+    sim.run_for(Seconds::new(20.0))?;
+
+    let summary = sim.summary();
+    println!("{summary}");
+    println!("\nfinal placement of the migratable stages:");
+    for task in sim.os().tasks() {
+        println!(
+            "  {:<10} -> core {} ({} migrations)",
+            task.name(),
+            task.core().index(),
+            task.migrations()
+        );
+    }
+    Ok(())
+}

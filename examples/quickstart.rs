@@ -1,0 +1,48 @@
+//! Quickstart: run the paper's headline experiment in a few lines.
+//!
+//! Builds the 3-core streaming MPSoC, maps the Software Defined Radio
+//! benchmark onto it (Table 2), lets DVFS warm the chip up, enables the
+//! thermal balancing policy with a ±3 °C band and prints what happened.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use tbp_arch::units::Seconds;
+use tbp_core::sim::builder::Workload;
+use tbp_core::sim::{SimulationBuilder, SimulationConfig};
+use tbp_core::SimError;
+use tbp_thermal::package::Package;
+
+fn main() -> Result<(), SimError> {
+    // The defaults reproduce the paper's setup: 3 cores, Table 1 power
+    // figures, mobile-embedded package, SDR workload, thermal balancing at
+    // ±3 °C on top of the per-core DVFS governor.
+    let mut sim = SimulationBuilder::new()
+        .with_package(Package::mobile_embedded())
+        .with_workload(Workload::sdr())
+        .with_threshold(3.0)
+        .with_config(SimulationConfig {
+            warmup: Seconds::new(8.0),
+            ..SimulationConfig::paper_default()
+        })
+        .build()?;
+
+    println!("simulating 8 s of warm-up + 20 s with thermal balancing enabled ...");
+    sim.run_for(Seconds::new(28.0))?;
+
+    let temps = sim.core_temperatures();
+    println!("\nfinal core temperatures:");
+    for (i, t) in temps.iter().enumerate() {
+        println!("  core {i}: {t}");
+    }
+
+    let summary = sim.summary();
+    println!("\n{summary}");
+    println!(
+        "\nmigration traffic: {:.0} KiB/s ({} migrations over the measured window)",
+        summary.migrated_kib_per_second(),
+        summary.migration.migrations
+    );
+    Ok(())
+}

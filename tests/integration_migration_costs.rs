@@ -1,0 +1,143 @@
+//! Migration-cost behaviour across the whole stack (Figure 2 plus the
+//! middleware): replication vs recreation cost curves, end-to-end freeze
+//! times and the memory price of replication.
+
+use proptest::prelude::*;
+
+use tbp_arch::core::CoreId;
+use tbp_arch::freq::DvfsScale;
+use tbp_arch::platform::{MpsocPlatform, PlatformConfig};
+use tbp_arch::units::{Bytes, Seconds};
+use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
+use tbp_os::mpos::Mpos;
+use tbp_os::task::TaskDescriptor;
+
+/// Figure 2: recreation is offset above replication and its slope grows with
+/// the task size; both curves are monotone.
+#[test]
+fn fig2_cost_curve_shape() {
+    let model = MigrationCostModel::paper_default();
+    let mut previous_repl = 0.0;
+    let mut previous_recr = 0.0;
+    for kib in (64..=1024).step_by(64) {
+        let size = Bytes::from_kib(kib);
+        let repl = model.cycles(MigrationStrategy::TaskReplication, size);
+        let recr = model.cycles(MigrationStrategy::TaskRecreation, size);
+        assert!(repl > previous_repl);
+        assert!(recr > previous_recr);
+        assert!(recr > repl, "recreation must sit above replication at {kib} KiB");
+        previous_repl = repl;
+        previous_recr = recr;
+    }
+    // The gap grows with size (larger slope for recreation).
+    let gap_small = model.cycles(MigrationStrategy::TaskRecreation, Bytes::from_kib(64))
+        - model.cycles(MigrationStrategy::TaskReplication, Bytes::from_kib(64));
+    let gap_large = model.cycles(MigrationStrategy::TaskRecreation, Bytes::from_kib(1024))
+        - model.cycles(MigrationStrategy::TaskReplication, Bytes::from_kib(1024));
+    assert!(gap_large > gap_small);
+}
+
+fn migrate_once(strategy: MigrationStrategy, context: Bytes) -> (u64, Seconds, Bytes) {
+    let mut platform = MpsocPlatform::new(PlatformConfig::paper_default()).unwrap();
+    let mut os = Mpos::new(3, DvfsScale::paper_default()).with_strategy(strategy);
+    let task = os
+        .spawn(TaskDescriptor::new("worker", 0.4, context), CoreId(0))
+        .unwrap();
+    os.spawn(TaskDescriptor::new("background", 0.2, Bytes::from_kib(64)), CoreId(2))
+        .unwrap();
+    os.request_migration(task, CoreId(2)).unwrap();
+    for _ in 0..400 {
+        let report = os.step(&mut platform, Seconds::from_millis(5.0)).unwrap();
+        if !report.completed_migrations.is_empty() {
+            break;
+        }
+    }
+    assert_eq!(os.core_of(task).unwrap(), CoreId(2), "migration must complete");
+    let totals = os.migration().totals();
+    (totals.migrations, totals.frozen_time, totals.bytes)
+}
+
+/// End-to-end through the OS + platform: a recreation freezes the task for
+/// longer and moves more bytes than a replication of the same context.
+#[test]
+fn recreation_freezes_longer_than_replication_end_to_end() {
+    let context = Bytes::from_kib(256);
+    let (repl_count, repl_frozen, repl_bytes) =
+        migrate_once(MigrationStrategy::TaskReplication, context);
+    let (recr_count, recr_frozen, recr_bytes) =
+        migrate_once(MigrationStrategy::TaskRecreation, context);
+    assert_eq!(repl_count, 1);
+    assert_eq!(recr_count, 1);
+    assert!(recr_frozen.as_secs() > repl_frozen.as_secs());
+    assert!(recr_bytes > repl_bytes);
+    // Replication of 256 kB freezes the task for far less than a frame
+    // period (25 ms) — the reason the paper can call migration lightweight.
+    assert!(repl_frozen.as_millis() < 25.0);
+}
+
+/// The paper's platform deploys replication because the MicroBlaze toolchain
+/// lacks PIC; the price is one replica of each migratable task in every
+/// core's private memory.
+#[test]
+fn replication_memory_overhead_scales_with_core_count() {
+    let task = Bytes::from_kib(64);
+    for cores in [2usize, 3, 4, 8] {
+        let total = MigrationStrategy::TaskReplication.total_memory(task, cores);
+        assert_eq!(total.as_u64(), task.as_u64() * cores as u64);
+        assert_eq!(
+            MigrationStrategy::TaskRecreation.total_memory(task, cores),
+            task
+        );
+    }
+}
+
+proptest! {
+    /// Property: migration cycle costs are monotone in the context size for
+    /// both strategies, recreation always costs at least as much as
+    /// replication, and every transfer moves at least the 64 kB minimum.
+    #[test]
+    fn migration_cost_invariants(size_a in 1u64..4096, size_b in 1u64..4096) {
+        let model = MigrationCostModel::paper_default();
+        let small = Bytes::from_kib(size_a.min(size_b));
+        let large = Bytes::from_kib(size_a.max(size_b));
+        for strategy in [MigrationStrategy::TaskReplication, MigrationStrategy::TaskRecreation] {
+            prop_assert!(model.cycles(strategy, small) <= model.cycles(strategy, large));
+            prop_assert!(model.cycles(strategy, small) > 0.0);
+            prop_assert!(model.transferred_bytes(strategy, small) >= Bytes::from_kib(64));
+        }
+        prop_assert!(
+            model.cycles(MigrationStrategy::TaskRecreation, large)
+                >= model.cycles(MigrationStrategy::TaskReplication, large)
+        );
+    }
+
+    /// Property: the end-to-end OS-level placement after an arbitrary chain of
+    /// valid migration requests is always consistent (each task is in exactly
+    /// one run queue, and it is the queue of the core it reports).
+    #[test]
+    fn run_queues_stay_consistent(destinations in proptest::collection::vec(0usize..3, 1..12)) {
+        let mut platform = MpsocPlatform::new(PlatformConfig::paper_default()).unwrap();
+        let mut os = Mpos::new(3, DvfsScale::paper_default());
+        let task = os
+            .spawn(TaskDescriptor::new("hopper", 0.3, Bytes::from_kib(64)), CoreId(0))
+            .unwrap();
+        for &dst in &destinations {
+            // Invalid requests (same core / already migrating) are allowed to
+            // fail; the state must stay consistent regardless.
+            let _ = os.request_migration(task, CoreId(dst));
+            for _ in 0..40 {
+                os.step(&mut platform, Seconds::from_millis(5.0)).unwrap();
+            }
+        }
+        let core = os.core_of(task).unwrap();
+        let mut appearances = 0;
+        for c in 0..3 {
+            let on_core = os.tasks_on(CoreId(c)).unwrap().contains(&task);
+            if on_core {
+                appearances += 1;
+                prop_assert_eq!(CoreId(c), core);
+            }
+        }
+        prop_assert_eq!(appearances, 1);
+    }
+}
