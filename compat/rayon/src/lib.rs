@@ -1,0 +1,141 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small slice of the parallel-iterator API this workspace
+//! uses — `vec.into_par_iter().map(f).collect()` — on top of
+//! `std::thread::scope`. Items are split into contiguous chunks, one per
+//! worker thread, and results are reassembled in input order, so a parallel
+//! map is observably identical to its sequential counterpart.
+
+use std::num::NonZeroUsize;
+
+pub mod prelude {
+    //! The traits needed to call `.into_par_iter()`.
+    pub use crate::IntoParallelIterator;
+}
+
+/// Number of worker threads a parallel operation will use.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion into a parallel iterator (the entry point of the API).
+pub trait IntoParallelIterator {
+    /// The element type.
+    type Item: Send;
+    /// Converts `self` into a parallel iterator.
+    fn into_par_iter(self) -> ParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+
+    fn into_par_iter(self) -> ParIter<T> {
+        ParIter { items: self }
+    }
+}
+
+/// A pending parallel iteration over owned items.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    /// Maps every item through `f`, to be executed in parallel on `collect`.
+    pub fn map<R, F>(self, f: F) -> ParMap<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+        }
+    }
+
+    /// Collects the items without a map (identity pipeline).
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+}
+
+/// A parallel map pipeline; `collect` executes it.
+pub struct ParMap<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> ParMap<T, F> {
+    /// Executes the map on scoped worker threads and collects the results in
+    /// input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let ParMap { items, f } = self;
+        let n = items.len();
+        if n == 0 {
+            return std::iter::empty().collect();
+        }
+        let threads = current_num_threads().min(n).max(1);
+        if threads == 1 {
+            return items.into_iter().map(f).collect();
+        }
+        let chunk_size = n.div_ceil(threads);
+        let mut chunks: Vec<Vec<T>> = Vec::new();
+        let mut items = items;
+        while !items.is_empty() {
+            let take = chunk_size.min(items.len());
+            let rest = items.split_off(take);
+            chunks.push(items);
+            items = rest;
+        }
+        let f = &f;
+        let mut results: Vec<Vec<R>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| scope.spawn(move || chunk.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map worker panicked"))
+                .collect()
+        });
+        results.drain(..).flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x * 2).collect();
+        let actual: Vec<u64> = input.into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(actual, expected);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u64> = Vec::<u64>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(empty.is_empty());
+        let one: Vec<u64> = vec![41u64].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(one, vec![42]);
+    }
+
+    #[test]
+    fn borrows_environment() {
+        let offset = 10u64;
+        let out: Vec<u64> = (0u64..100)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x + offset)
+            .collect();
+        assert_eq!(out[99], 109);
+    }
+}

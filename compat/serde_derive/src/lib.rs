@@ -1,0 +1,409 @@
+//! Derive macros for the offline `serde` stand-in.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` for
+//! non-generic structs and enums by parsing the raw token stream (the real
+//! `syn`/`quote` crates are unavailable offline). Only the shapes this
+//! workspace uses are supported:
+//!
+//! * structs with named fields → maps keyed by field name;
+//! * tuple structs: arity 1 is transparent (newtype), arity ≥ 2 a sequence;
+//! * unit structs → unit;
+//! * enums with unit, newtype, tuple and struct variants → externally tagged
+//!   (`"Variant"` or `{ "Variant": payload }`), matching serde's default.
+//!
+//! Field/variant attributes (`#[serde(...)]`) and generics are not supported
+//! and produce a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Shape of a struct's or variant's fields.
+enum Fields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+/// Parsed derive input.
+enum Kind {
+    Struct(Fields),
+    Enum(Vec<(String, Fields)>),
+}
+
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+/// Derives the `Serialize` trait of the offline serde stand-in.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, true)
+}
+
+/// Derives the `Deserialize` trait of the offline serde stand-in.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, false)
+}
+
+fn expand(input: TokenStream, serialize: bool) -> TokenStream {
+    let parsed = match parse_input(input) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return format!("compile_error!({message:?});").parse().unwrap();
+        }
+    };
+    let code = if serialize {
+        gen_serialize(&parsed)
+    } else {
+        gen_deserialize(&parsed)
+    };
+    code.parse().unwrap()
+}
+
+fn parse_input(input: TokenStream) -> Result<Input, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&tokens, &mut i);
+    let item_kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stand-in derive: expected `struct` or `enum`".to_string()),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        _ => return Err("serde stand-in derive: expected type name".to_string()),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde stand-in derive does not support generic type `{name}`"
+        ));
+    }
+    match item_kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                kind: Kind::Struct(Fields::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )?)),
+            }),
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Ok(Input {
+                name,
+                kind: Kind::Struct(Fields::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))),
+            }),
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Ok(Input {
+                name,
+                kind: Kind::Struct(Fields::Unit),
+            }),
+            _ => Err(format!("serde stand-in derive: malformed struct `{name}`")),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Ok(Input {
+                name,
+                kind: Kind::Enum(parse_variants(&g.stream().into_iter().collect::<Vec<_>>())?),
+            }),
+            _ => Err(format!("serde stand-in derive: malformed enum `{name}`")),
+        },
+        other => Err(format!(
+            "serde stand-in derive: unsupported item kind `{other}`"
+        )),
+    }
+}
+
+/// Skips outer attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(tokens.get(*i), Some(TokenTree::Group(_))) {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(
+                    tokens.get(*i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Advances past a type (or any token run) until a comma at angle-bracket
+/// depth zero, consuming the comma.
+fn skip_to_top_level_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i64 = 0;
+    while let Some(token) = tokens.get(*i) {
+        if let TokenTree::Punct(p) = token {
+            match p.as_char() {
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                ',' if depth == 0 => {
+                    *i += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(tokens: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde stand-in derive: expected field name".to_string()),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            _ => {
+                return Err(format!(
+                    "serde stand-in derive: expected `:` after `{name}`"
+                ))
+            }
+        }
+        fields.push(name);
+        skip_to_top_level_comma(tokens, &mut i);
+    }
+    Ok(fields)
+}
+
+fn count_tuple_fields(tokens: &[TokenTree]) -> usize {
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        count += 1;
+        skip_to_top_level_comma(tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(tokens: &[TokenTree]) -> Result<Vec<(String, Fields)>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs_and_vis(tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            _ => return Err("serde stand-in derive: expected variant name".to_string()),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(parse_named_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                )?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_tuple_fields(
+                    &g.stream().into_iter().collect::<Vec<_>>(),
+                ))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        skip_to_top_level_comma(tokens, &mut i);
+        variants.push((name, fields));
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => "::serde::Value::Unit".to_string(),
+        Kind::Struct(Fields::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let mut code =
+                String::from("let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                code.push_str(&format!(
+                    "::serde::__private::push_field(&mut entries, {f:?}, ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            code.push_str("::serde::Value::Map(entries)");
+            code
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => arms.push_str(&format!(
+                        "{name}::{variant} => ::serde::Value::Str({variant:?}.to_string()),\n"
+                    )),
+                    Fields::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{variant}(__f0) => ::serde::Value::Map(vec![({variant:?}.to_string(), ::serde::Serialize::to_value(__f0))]),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{variant}({}) => ::serde::Value::Map(vec![({variant:?}.to_string(), ::serde::Value::Seq(vec![{}]))]),\n",
+                            binders.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(named) => {
+                        let binders = named.join(", ");
+                        let mut inner = String::from(
+                            "let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in named {
+                            inner.push_str(&format!(
+                                "::serde::__private::push_field(&mut entries, {f:?}, ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{variant} {{ {binders} }} => {{ {inner} ::serde::Value::Map(vec![({variant:?}.to_string(), ::serde::Value::Map(entries))]) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Fields::Unit) => format!(
+            "match __value {{\n\
+                 ::serde::Value::Unit => Ok({name}),\n\
+                 __other => Err(::serde::Error::custom(format!(\"{name}: expected unit, found {{}}\", __other.kind()))),\n\
+             }}"
+        ),
+        Kind::Struct(Fields::Tuple(1)) => format!(
+            "Ok({name}(::serde::Deserialize::from_value(__value)?))"
+        ),
+        Kind::Struct(Fields::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::__private::elem(__items, {i}, {name:?})?"))
+                .collect();
+            format!(
+                "let __items = ::serde::__private::expect_seq(__value, {name:?}, {n})?;\n\
+                 Ok({name}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::Struct(Fields::Named(fields)) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::__private::field(__entries, {f:?}, {name:?})?"))
+                .collect();
+            format!(
+                "let __entries = ::serde::__private::expect_map(__value, {name:?})?;\n\
+                 Ok({name} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut str_arms = String::new();
+            let mut map_arms = String::new();
+            for (variant, fields) in variants {
+                match fields {
+                    Fields::Unit => {
+                        str_arms.push_str(&format!("{variant:?} => Ok({name}::{variant}),\n"));
+                        map_arms.push_str(&format!("{variant:?} => Ok({name}::{variant}),\n"));
+                    }
+                    Fields::Tuple(1) => map_arms.push_str(&format!(
+                        "{variant:?} => Ok({name}::{variant}(::serde::Deserialize::from_value(__payload).map_err(|e| ::serde::Error::custom(format!(\"{name}::{variant}: {{e}}\")))?)),\n"
+                    )),
+                    Fields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::__private::elem(__items, {i}, \"{name}::{variant}\")?"
+                                )
+                            })
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "{variant:?} => {{\n\
+                                 let __items = ::serde::__private::expect_seq(__payload, \"{name}::{variant}\", {n})?;\n\
+                                 Ok({name}::{variant}({}))\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Fields::Named(named) => {
+                        let items: Vec<String> = named
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::__private::field(__entries, {f:?}, \"{name}::{variant}\")?"
+                                )
+                            })
+                            .collect();
+                        map_arms.push_str(&format!(
+                            "{variant:?} => {{\n\
+                                 let __entries = ::serde::__private::expect_map(__payload, \"{name}::{variant}\")?;\n\
+                                 Ok({name}::{variant} {{ {} }})\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {str_arms}\
+                         __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                     }},\n\
+                     ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+                         let (__tag, __payload) = &__m[0];\n\
+                         let _ = __payload;\n\
+                         match __tag.as_str() {{\n\
+                             {map_arms}\
+                             __other => Err(::serde::Error::custom(format!(\"unknown variant `{{__other}}` of {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     __other => Err(::serde::Error::custom(format!(\"{name}: expected variant, found {{}}\", __other.kind()))),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -94,10 +94,14 @@ impl CacheConfig {
     /// associativity, or a miss ratio outside `[0, 1]`.
     pub fn validate(&self) -> Result<(), ArchError> {
         if self.capacity == Bytes::ZERO {
-            return Err(ArchError::InvalidConfig("cache capacity must be > 0".into()));
+            return Err(ArchError::InvalidConfig(
+                "cache capacity must be > 0".into(),
+            ));
         }
         if self.line_size == Bytes::ZERO {
-            return Err(ArchError::InvalidConfig("cache line size must be > 0".into()));
+            return Err(ArchError::InvalidConfig(
+                "cache line size must be > 0".into(),
+            ));
         }
         if self.associativity == 0 {
             return Err(ArchError::InvalidConfig(
@@ -242,7 +246,10 @@ mod tests {
         assert_eq!(i.num_lines(), 256);
         assert_eq!(i.num_sets(), 256);
         assert_eq!(d.num_sets(), 128);
-        assert_eq!(CacheKind::Instruction.default_capacity(), Bytes::from_kib(8));
+        assert_eq!(
+            CacheKind::Instruction.default_capacity(),
+            Bytes::from_kib(8)
+        );
         assert_eq!(CacheKind::Data.component(), ComponentKind::DCache);
         assert_eq!(CacheKind::Instruction.component(), ComponentKind::ICache);
         assert_eq!(CacheKind::Data.to_string(), "D-cache");

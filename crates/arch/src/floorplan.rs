@@ -254,7 +254,10 @@ impl Floorplan {
         for i in 0..n {
             let x0 = i as f64 * TILE_W;
             let id = CoreId(i);
-            blocks.push(Block::new(BlockKind::Core(id), Rect::new(x0, 0.0, 3.0, 2.0)));
+            blocks.push(Block::new(
+                BlockKind::Core(id),
+                Rect::new(x0, 0.0, 3.0, 2.0),
+            ));
             blocks.push(Block::new(
                 BlockKind::ICache(id),
                 Rect::new(x0, 2.0, 1.5, 1.0),

@@ -196,7 +196,7 @@ impl DvfsScale {
         let levels_mhz = [133.0, 266.0, 400.0, 533.0];
         let v_min = 0.8;
         let v_max = 1.2;
-        let f_max = *levels_mhz.last().expect("non-empty") as f64;
+        let f_max = *levels_mhz.last().expect("non-empty");
         let points = levels_mhz
             .iter()
             .map(|&mhz| {
@@ -318,7 +318,9 @@ mod tests {
         assert!((f.time_for_cycles(100_000.0) - 0.001).abs() < 1e-12);
         assert!(Frequency::ZERO.time_for_cycles(1.0).is_infinite());
         assert_eq!(Frequency::from_mhz(266.0).ratio_to(Frequency::ZERO), 0.0);
-        assert!((Frequency::from_mhz(266.0).ratio_to(Frequency::from_mhz(533.0)) - 0.499).abs() < 1e-3);
+        assert!(
+            (Frequency::from_mhz(266.0).ratio_to(Frequency::from_mhz(533.0)) - 0.499).abs() < 1e-3
+        );
     }
 
     #[test]
@@ -392,11 +394,17 @@ mod tests {
     fn neighbours_and_lookup() {
         let scale = DvfsScale::paper_default();
         assert_eq!(
-            scale.next_above(Frequency::from_mhz(266.0)).unwrap().frequency,
+            scale
+                .next_above(Frequency::from_mhz(266.0))
+                .unwrap()
+                .frequency,
             Frequency::from_mhz(400.0)
         );
         assert_eq!(
-            scale.next_below(Frequency::from_mhz(266.0)).unwrap().frequency,
+            scale
+                .next_below(Frequency::from_mhz(266.0))
+                .unwrap()
+                .frequency,
             Frequency::from_mhz(133.0)
         );
         assert!(scale.next_above(Frequency::from_mhz(533.0)).is_none());

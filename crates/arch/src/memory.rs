@@ -66,7 +66,11 @@ impl PrivateMemory {
 
     /// Bytes still free.
     pub fn free(&self) -> Bytes {
-        Bytes::new(self.capacity.as_u64().saturating_sub(self.allocated.as_u64()))
+        Bytes::new(
+            self.capacity
+                .as_u64()
+                .saturating_sub(self.allocated.as_u64()),
+        )
     }
 
     /// Occupancy as a fraction of capacity.

@@ -355,7 +355,8 @@ impl MpsocPlatform {
             }
             BlockKind::SharedMemory => {
                 let point = self.reference_like_point();
-                self.shared_memory.power(model, point, bus_util, temperature)
+                self.shared_memory
+                    .power(model, point, bus_util, temperature)
             }
             BlockKind::Interconnect => {
                 let point = self.reference_like_point();
@@ -437,7 +438,10 @@ mod tests {
     #[test]
     fn arm11_variant_uses_conf2_cores() {
         let platform = MpsocPlatform::new(PlatformConfig::paper_arm11()).unwrap();
-        assert_eq!(platform.core(CoreId(0)).unwrap().class(), CoreClass::Risc32Arm11);
+        assert_eq!(
+            platform.core(CoreId(0)).unwrap().class(),
+            CoreClass::Risc32Arm11
+        );
         assert_eq!(PlatformConfig::default(), PlatformConfig::paper_default());
     }
 
@@ -463,8 +467,16 @@ mod tests {
     #[test]
     fn busy_core_burns_more_than_idle_core() {
         let mut platform = MpsocPlatform::new(PlatformConfig::paper_default()).unwrap();
-        platform.core_mut(CoreId(0)).unwrap().set_utilization(0.9).unwrap();
-        platform.core_mut(CoreId(1)).unwrap().set_utilization(0.1).unwrap();
+        platform
+            .core_mut(CoreId(0))
+            .unwrap()
+            .set_utilization(0.9)
+            .unwrap();
+        platform
+            .core_mut(CoreId(1))
+            .unwrap()
+            .set_utilization(0.1)
+            .unwrap();
         let snap = platform.power_snapshot(60.0);
         assert!(snap.block("core0").unwrap().as_watts() > snap.block("core1").unwrap().as_watts());
     }
@@ -475,22 +487,42 @@ mod tests {
         for id in platform.core_ids() {
             platform.core_mut(id).unwrap().set_utilization(0.8).unwrap();
         }
-        let fast = platform.power_snapshot(60.0).block("core0").unwrap().as_watts();
+        let fast = platform
+            .power_snapshot(60.0)
+            .block("core0")
+            .unwrap()
+            .as_watts();
         platform
             .core_mut(CoreId(0))
             .unwrap()
             .set_frequency(Frequency::from_mhz(266.0))
             .unwrap();
-        let slow = platform.power_snapshot(60.0).block("core0").unwrap().as_watts();
+        let slow = platform
+            .power_snapshot(60.0)
+            .block("core0")
+            .unwrap()
+            .as_watts();
         assert!(slow < fast);
     }
 
     #[test]
     fn leakage_couples_power_to_temperature() {
         let mut platform = MpsocPlatform::new(PlatformConfig::paper_default()).unwrap();
-        platform.core_mut(CoreId(0)).unwrap().set_utilization(0.5).unwrap();
-        let cool = platform.power_snapshot(45.0).block("core0").unwrap().as_watts();
-        let hot = platform.power_snapshot(95.0).block("core0").unwrap().as_watts();
+        platform
+            .core_mut(CoreId(0))
+            .unwrap()
+            .set_utilization(0.5)
+            .unwrap();
+        let cool = platform
+            .power_snapshot(45.0)
+            .block("core0")
+            .unwrap()
+            .as_watts();
+        let hot = platform
+            .power_snapshot(95.0)
+            .block("core0")
+            .unwrap()
+            .as_watts();
         assert!(hot > cool);
     }
 
@@ -522,7 +554,11 @@ mod tests {
     #[test]
     fn reset_restores_idle_running_state() {
         let mut platform = MpsocPlatform::new(PlatformConfig::paper_default()).unwrap();
-        platform.core_mut(CoreId(1)).unwrap().set_utilization(0.7).unwrap();
+        platform
+            .core_mut(CoreId(1))
+            .unwrap()
+            .set_utilization(0.7)
+            .unwrap();
         platform.core_mut(CoreId(1)).unwrap().halt();
         platform.offer_shared_traffic(Bytes::from_kib(64));
         platform.step(Seconds::from_millis(5.0));

@@ -207,12 +207,7 @@ impl PowerModel {
     /// with the supply voltage but not with frequency, and is burnt even by an
     /// idle component as long as it is powered (a halted core still leaks —
     /// the Stop&Go policy in the paper gates the clock, not the supply).
-    pub fn leakage_power(
-        &self,
-        max_power: Watts,
-        voltage: Voltage,
-        temperature: Celsius,
-    ) -> Watts {
+    pub fn leakage_power(&self, max_power: Watts, voltage: Voltage, temperature: Celsius) -> Watts {
         let base = max_power.as_watts() * self.leakage_fraction;
         let v_scale = if REFERENCE_VOLTAGE > 0.0 {
             voltage.as_volts() / REFERENCE_VOLTAGE
@@ -298,7 +293,10 @@ mod tests {
         assert_eq!(CoreClass::Risc32Arm11.max_power(), Watts::new(0.27));
         assert_eq!(ComponentKind::DCache.max_power(), Watts::from_milli(43.0));
         assert_eq!(ComponentKind::ICache.max_power(), Watts::from_milli(11.0));
-        assert_eq!(ComponentKind::Memory32k.max_power(), Watts::from_milli(15.0));
+        assert_eq!(
+            ComponentKind::Memory32k.max_power(),
+            Watts::from_milli(15.0)
+        );
         assert_eq!(
             ComponentKind::SharedMemory.max_power(),
             Watts::from_milli(15.0)
@@ -427,11 +425,7 @@ mod tests {
     #[test]
     fn zero_leakage_model_has_no_leakage() {
         let model = PowerModel::new().with_leakage_fraction(0.0).unwrap();
-        let leak = model.leakage_power(
-            Watts::new(0.5),
-            Voltage::new(1.2),
-            Celsius::new(100.0),
-        );
+        let leak = model.leakage_power(Watts::new(0.5), Voltage::new(1.2), Celsius::new(100.0));
         assert_eq!(leak, Watts::ZERO);
     }
 

@@ -32,11 +32,31 @@ fn bench_figure_points(c: &mut Criterion) {
     let mut group = c.benchmark_group("figure_point_2s");
     group.sample_size(10);
     let cases = [
-        ("fig7_mobile_balancing", PackageKind::MobileEmbedded, PolicyKind::ThermalBalancing),
-        ("fig7_mobile_stopgo", PackageKind::MobileEmbedded, PolicyKind::StopGo),
-        ("fig7_mobile_energy", PackageKind::MobileEmbedded, PolicyKind::EnergyBalancing),
-        ("fig9_hiperf_balancing", PackageKind::HighPerformance, PolicyKind::ThermalBalancing),
-        ("fig9_hiperf_stopgo", PackageKind::HighPerformance, PolicyKind::StopGo),
+        (
+            "fig7_mobile_balancing",
+            PackageKind::MobileEmbedded,
+            PolicyKind::ThermalBalancing,
+        ),
+        (
+            "fig7_mobile_stopgo",
+            PackageKind::MobileEmbedded,
+            PolicyKind::StopGo,
+        ),
+        (
+            "fig7_mobile_energy",
+            PackageKind::MobileEmbedded,
+            PolicyKind::EnergyBalancing,
+        ),
+        (
+            "fig9_hiperf_balancing",
+            PackageKind::HighPerformance,
+            PolicyKind::ThermalBalancing,
+        ),
+        (
+            "fig9_hiperf_stopgo",
+            PackageKind::HighPerformance,
+            PolicyKind::StopGo,
+        ),
     ];
     for (label, package, policy) in cases {
         group.bench_function(label, |b| {

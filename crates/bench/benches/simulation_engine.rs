@@ -72,5 +72,9 @@ fn bench_core_count_scaling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_one_simulated_second, bench_core_count_scaling);
+criterion_group!(
+    benches,
+    bench_one_simulated_second,
+    bench_core_count_scaling
+);
 criterion_main!(benches);

@@ -1,4 +1,5 @@
-//! Narrative experiment N2: the transient after enabling the policy.
+//! Narrative experiment N2: the transient after enabling the policy, built
+//! from a scenario spec.
 //!
 //! The paper reports that after the unbalanced warm-up, enabling the
 //! migration-based policy with a ±3 °C band balances the temperatures of all
@@ -6,24 +7,27 @@
 //! above the upper threshold for less than 400 ms.
 
 use tbp_arch::units::{Celsius, Seconds};
-use tbp_core::experiments::{build_sdr_simulation, ExperimentConfig, PolicyKind};
+use tbp_core::scenario::ScenarioSpec;
 use tbp_thermal::package::PackageKind;
 
 fn spread(temps: &[Celsius]) -> f64 {
-    temps.iter().map(|c| c.as_celsius()).fold(f64::MIN, f64::max)
-        - temps.iter().map(|c| c.as_celsius()).fold(f64::MAX, f64::min)
+    temps
+        .iter()
+        .map(|c| c.as_celsius())
+        .fold(f64::MIN, f64::max)
+        - temps
+            .iter()
+            .map(|c| c.as_celsius())
+            .fold(f64::MAX, f64::min)
 }
 
 fn main() {
     let threshold = 3.0;
-    let config = ExperimentConfig {
-        package: PackageKind::MobileEmbedded,
-        policy: PolicyKind::ThermalBalancing,
-        threshold,
-        warmup: Seconds::new(12.5),
-        duration: Seconds::new(10.0),
-    };
-    let mut sim = build_sdr_simulation(&config).expect("simulation builds");
+    let spec = ScenarioSpec::new("balance-transient")
+        .with_package(PackageKind::MobileEmbedded)
+        .with_policy("thermal-balancing", threshold)
+        .with_schedule(12.5, 10.0);
+    let mut sim = spec.build().expect("simulation builds");
     sim.run_for(Seconds::new(12.5)).expect("warm-up runs");
     let before = sim.core_temperatures();
     println!(
@@ -44,14 +48,17 @@ fn main() {
         t += step;
         let temps = sim.core_temperatures();
         let mean = temps.iter().map(|c| c.as_celsius()).sum::<f64>() / temps.len() as f64;
-        let max = temps.iter().map(|c| c.as_celsius()).fold(f64::MIN, f64::max);
+        let max = temps
+            .iter()
+            .map(|c| c.as_celsius())
+            .fold(f64::MIN, f64::max);
         if max > mean + threshold {
             above_time += step;
         }
         if balanced_at.is_none() && spread(&temps) <= 2.0 * threshold {
             balanced_at = Some(t);
         }
-        if (t * 20.0).round() as u64 % 10 == 0 {
+        if ((t * 20.0).round() as u64).is_multiple_of(10) {
             rows.push(vec![
                 format!("{t:.1}"),
                 format!("{:.2}", temps[0].as_celsius()),
@@ -63,7 +70,13 @@ fn main() {
     }
     tbp_bench::print_table(
         "Balancing transient (threshold 3 °C, mobile package)",
-        &["t after enable [s]", "core0 [°C]", "core1 [°C]", "core2 [°C]", "spread [°C]"],
+        &[
+            "t after enable [s]",
+            "core0 [°C]",
+            "core1 [°C]",
+            "core2 [°C]",
+            "spread [°C]",
+        ],
         &rows[..rows.len().min(12)],
     );
     let summary = sim.summary();

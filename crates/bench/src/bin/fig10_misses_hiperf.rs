@@ -1,22 +1,32 @@
 //! Figure 10: frame deadline misses vs. threshold for the three policies on
-//! the high-performance package.
+//! the high-performance package, via the Scenario API.
 //!
 //! Expected shape (paper): Stop&Go trades its good temperature deviation for
 //! a large number of missed frames; the thermal balancing policy keeps misses
 //! near zero.
 
-use tbp_core::experiments::run_threshold_sweep;
+use tbp_core::experiments::threshold_sweep_spec;
+use tbp_core::scenario::Runner;
 use tbp_thermal::package::PackageKind;
 
 fn main() {
-    let duration = tbp_bench::measured_duration();
-    let points = tbp_bench::timed("fig10", || {
-        run_threshold_sweep(PackageKind::HighPerformance, duration).expect("sweep runs")
+    let spec = threshold_sweep_spec(PackageKind::HighPerformance, tbp_bench::measured_duration());
+    let batch = tbp_bench::timed("fig10", || {
+        Runner::new().run_spec(&spec).expect("sweep runs")
     });
-    let rows = tbp_bench::sweep_table(&points, |p| p.summary.qos.deadline_misses as f64);
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    let reports = batch.group(&spec.name);
+    let mut header = vec!["threshold [°C]"];
+    header.extend(tbp_bench::policy_columns(&reports));
+    let rows = tbp_bench::pivot_threshold_policy(&reports, |r| {
+        r.summary()
+            .map_or(f64::NAN, |s| s.qos.deadline_misses as f64)
+    });
     tbp_bench::print_table(
         "Figure 10 — deadline misses vs threshold (high-performance package)",
-        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &header,
         &rows,
     );
 }

@@ -1,29 +1,46 @@
 //! Figure 11: migrations per second performed by the thermal balancing
-//! policy, for both packages, as a function of the threshold.
+//! policy, for both packages, as a function of the threshold, via the
+//! Scenario API.
 //!
 //! Expected shape (paper): the migration rate decreases as the threshold
 //! grows and is higher for the high-performance package; at roughly three
 //! migrations per second and 64 kB per migration the overhead is about
 //! 192 kB/s of shared-memory traffic, i.e. negligible.
 
-use tbp_core::experiments::run_migration_rate_sweep;
+use tbp_core::experiments::migration_rate_sweep_spec;
+use tbp_core::scenario::{RunReport, Runner};
+use tbp_thermal::package::PackageKind;
 
 fn main() {
-    let duration = tbp_bench::measured_duration();
-    let points = tbp_bench::timed("fig11", || {
-        run_migration_rate_sweep(duration).expect("sweep runs")
+    let spec = migration_rate_sweep_spec(tbp_bench::measured_duration());
+    let batch = tbp_bench::timed("fig11", || {
+        Runner::new().run_spec(&spec).expect("sweep runs")
     });
-    let half = points.len() / 2;
-    let rows: Vec<Vec<String>> = (0..half)
-        .map(|i| {
-            let mobile = &points[i].summary;
-            let hiperf = &points[half + i].summary;
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    let reports = batch.group(&spec.name);
+    let of_package = |package: PackageKind| -> Vec<&RunReport> {
+        reports
+            .iter()
+            .copied()
+            .filter(|r| r.package == Some(package))
+            .collect()
+    };
+    let mobile = of_package(PackageKind::MobileEmbedded);
+    let hiperf = of_package(PackageKind::HighPerformance);
+    let rows: Vec<Vec<String>> = mobile
+        .iter()
+        .zip(&hiperf)
+        .map(|(m, h)| {
+            let ms = m.summary().expect("simulation report");
+            let hs = h.summary().expect("simulation report");
             vec![
-                format!("{:.0}", points[i].threshold),
-                format!("{:.2}", mobile.migrations_per_second()),
-                format!("{:.0}", mobile.migrated_kib_per_second()),
-                format!("{:.2}", hiperf.migrations_per_second()),
-                format!("{:.0}", hiperf.migrated_kib_per_second()),
+                format!("{:.0}", m.threshold.unwrap_or(f64::NAN)),
+                format!("{:.2}", ms.migrations_per_second()),
+                format!("{:.0}", ms.migrated_kib_per_second()),
+                format!("{:.2}", hs.migrations_per_second()),
+                format!("{:.0}", hs.migrated_kib_per_second()),
             ]
         })
         .collect();

@@ -1,44 +1,25 @@
 //! Figure 2: migration cost (processor cycles) as a function of the task size
-//! for the task-replication and task-recreation back-ends.
+//! for the task-replication and task-recreation back-ends, via the Scenario
+//! API's analytic table support.
 //!
 //! Expected shape (paper): recreation sits above replication by a roughly
 //! constant offset (code reload from the file system) and has a larger slope
 //! that grows with the task size (bus contention).
 
 use tbp_arch::units::Bytes;
+use tbp_core::experiments::fig2_migration_cost_spec;
+use tbp_core::scenario::Runner;
 use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
 
 fn main() {
+    let batch = Runner::new()
+        .run_spec(&fig2_migration_cost_spec())
+        .expect("analytic scenario runs");
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    tbp_bench::print_table_report(batch.reports[0].table().expect("analytic outcome"));
     let model = MigrationCostModel::paper_default();
-    let sizes_kib = [64u64, 96, 128, 192, 256, 384, 512, 640, 768, 896, 1024];
-    let rows: Vec<Vec<String>> = sizes_kib
-        .iter()
-        .map(|&kib| {
-            let size = Bytes::from_kib(kib);
-            let repl = model.cycles(MigrationStrategy::TaskReplication, size);
-            let recr = model.cycles(MigrationStrategy::TaskRecreation, size);
-            let repl_slope = model.slope_at(MigrationStrategy::TaskReplication, size);
-            let recr_slope = model.slope_at(MigrationStrategy::TaskRecreation, size);
-            vec![
-                format!("{kib}"),
-                format!("{:.0}", repl / 1e3),
-                format!("{:.0}", recr / 1e3),
-                format!("{repl_slope:.2}"),
-                format!("{recr_slope:.2}"),
-            ]
-        })
-        .collect();
-    tbp_bench::print_table(
-        "Figure 2 — migration cost vs task size",
-        &[
-            "task size [KiB]",
-            "replication [kcycles]",
-            "re-creation [kcycles]",
-            "repl. slope [cyc/B]",
-            "recr. slope [cyc/B]",
-        ],
-        &rows,
-    );
     println!(
         "\nReplication of the 64 KiB minimum transfer costs {:.2} ms of CPU time at 500 MHz.",
         model.cycles(MigrationStrategy::TaskReplication, Bytes::from_kib(64)) / 500e6 * 1e3

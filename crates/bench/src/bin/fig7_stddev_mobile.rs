@@ -1,23 +1,32 @@
 //! Figure 7: temperature standard deviation vs. threshold for the three
-//! policies on the mobile embedded package.
+//! policies on the mobile embedded package, via the Scenario API.
 //!
 //! Expected shape (paper): the deviation grows with the threshold; the
 //! thermal balancing policy achieves the lowest deviation because it acts on
 //! both hot and cold cores, Stop&Go is intermediate, and energy balancing is
 //! flat (it never reacts to temperature).
 
-use tbp_core::experiments::run_threshold_sweep;
+use tbp_core::experiments::threshold_sweep_spec;
+use tbp_core::scenario::Runner;
 use tbp_thermal::package::PackageKind;
 
 fn main() {
-    let duration = tbp_bench::measured_duration();
-    let points = tbp_bench::timed("fig7", || {
-        run_threshold_sweep(PackageKind::MobileEmbedded, duration).expect("sweep runs")
+    let spec = threshold_sweep_spec(PackageKind::MobileEmbedded, tbp_bench::measured_duration());
+    let batch = tbp_bench::timed("fig7", || {
+        Runner::new().run_spec(&spec).expect("sweep runs")
     });
-    let rows = tbp_bench::sweep_table(&points, |p| p.summary.mean_spatial_std_dev());
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    let reports = batch.group(&spec.name);
+    let mut header = vec!["threshold [°C]"];
+    header.extend(tbp_bench::policy_columns(&reports));
+    let rows = tbp_bench::pivot_threshold_policy(&reports, |r| {
+        r.summary().map_or(f64::NAN, |s| s.mean_spatial_std_dev())
+    });
     tbp_bench::print_table(
         "Figure 7 — temperature σ [°C] vs threshold (mobile embedded package)",
-        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &header,
         &rows,
     );
 }

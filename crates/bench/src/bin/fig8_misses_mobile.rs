@@ -1,29 +1,37 @@
 //! Figure 8: frame deadline misses vs. threshold for the three policies on
-//! the mobile embedded package.
+//! the mobile embedded package, via the Scenario API.
 //!
 //! Expected shape (paper): the thermal balancing policy misses few frames (and
 //! only at the smallest threshold), Stop&Go misses many because halted cores
 //! starve the pipeline, energy balancing misses none (it never perturbs the
 //! schedule).
 
-use tbp_core::experiments::run_threshold_sweep;
+use tbp_core::experiments::threshold_sweep_spec;
+use tbp_core::scenario::Runner;
 use tbp_thermal::package::PackageKind;
 
 fn main() {
-    let duration = tbp_bench::measured_duration();
-    let points = tbp_bench::timed("fig8", || {
-        run_threshold_sweep(PackageKind::MobileEmbedded, duration).expect("sweep runs")
+    let spec = threshold_sweep_spec(PackageKind::MobileEmbedded, tbp_bench::measured_duration());
+    let batch = tbp_bench::timed("fig8", || {
+        Runner::new().run_spec(&spec).expect("sweep runs")
     });
-    let rows = tbp_bench::sweep_table(&points, |p| p.summary.qos.deadline_misses as f64);
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    let reports = batch.group(&spec.name);
+    let mut header = vec!["threshold [°C]"];
+    header.extend(tbp_bench::policy_columns(&reports));
+    let rows = tbp_bench::pivot_threshold_policy(&reports, |r| {
+        r.summary()
+            .map_or(f64::NAN, |s| s.qos.deadline_misses as f64)
+    });
     tbp_bench::print_table(
         "Figure 8 — deadline misses vs threshold (mobile embedded package)",
-        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &header,
         &rows,
     );
-    let rows = tbp_bench::sweep_table(&points, |p| p.summary.qos.miss_rate() * 100.0);
-    tbp_bench::print_table(
-        "Deadline miss rate [%]",
-        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
-        &rows,
-    );
+    let rows = tbp_bench::pivot_threshold_policy(&reports, |r| {
+        r.summary().map_or(f64::NAN, |s| s.qos.miss_rate() * 100.0)
+    });
+    tbp_bench::print_table("Deadline miss rate [%]", &header, &rows);
 }

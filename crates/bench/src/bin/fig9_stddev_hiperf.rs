@@ -1,23 +1,33 @@
 //! Figure 9: temperature standard deviation vs. threshold for the three
-//! policies on the high-performance package (6× faster thermal dynamics).
+//! policies on the high-performance package (6× faster thermal dynamics),
+//! via the Scenario API.
 //!
 //! Expected shape (paper): energy balancing performs very poorly; the
 //! modified Stop&Go achieves a lower deviation than the thermal balancing
 //! policy (it pins the hot core harder) but at the price of many more
 //! deadline misses (Figure 10).
 
-use tbp_core::experiments::run_threshold_sweep;
+use tbp_core::experiments::threshold_sweep_spec;
+use tbp_core::scenario::Runner;
 use tbp_thermal::package::PackageKind;
 
 fn main() {
-    let duration = tbp_bench::measured_duration();
-    let points = tbp_bench::timed("fig9", || {
-        run_threshold_sweep(PackageKind::HighPerformance, duration).expect("sweep runs")
+    let spec = threshold_sweep_spec(PackageKind::HighPerformance, tbp_bench::measured_duration());
+    let batch = tbp_bench::timed("fig9", || {
+        Runner::new().run_spec(&spec).expect("sweep runs")
     });
-    let rows = tbp_bench::sweep_table(&points, |p| p.summary.mean_spatial_std_dev());
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    let reports = batch.group(&spec.name);
+    let mut header = vec!["threshold [°C]"];
+    header.extend(tbp_bench::policy_columns(&reports));
+    let rows = tbp_bench::pivot_threshold_policy(&reports, |r| {
+        r.summary().map_or(f64::NAN, |s| s.mean_spatial_std_dev())
+    });
     tbp_bench::print_table(
         "Figure 9 — temperature σ [°C] vs threshold (high-performance package)",
-        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &header,
         &rows,
     );
 }

@@ -1,4 +1,5 @@
-//! Narrative experiment N3: minimum queue size sustaining thermal balancing.
+//! Narrative experiment N3: minimum queue size sustaining thermal balancing,
+//! via the Scenario API's queue-capacity sweep axis.
 //!
 //! The paper observes that the average queue level does not change because of
 //! migration and that a queue size of 11 frames was sufficient to sustain the
@@ -6,44 +7,31 @@
 //! under the most aggressive configuration (1 °C threshold, high-performance
 //! package) and reports misses and the minimum queue level reached.
 
-use tbp_arch::units::Seconds;
-use tbp_core::sim::builder::Workload;
-use tbp_core::sim::{SimulationBuilder, SimulationConfig};
-use tbp_streaming::pipeline::PipelineConfig;
-use tbp_streaming::sdr::SdrBenchmark;
-use tbp_thermal::package::Package;
+use tbp_core::experiments::queue_capacity_sweep_spec;
+use tbp_core::scenario::Runner;
 
 fn main() {
-    let duration = tbp_bench::measured_duration();
-    let mut rows = Vec::new();
-    for queue_capacity in [1usize, 2, 3, 4, 6, 8, 11, 16, 24] {
-        let sdr = SdrBenchmark::paper_default().with_pipeline_config(PipelineConfig {
-            queue_capacity,
-            prefill: queue_capacity / 2,
-            ..PipelineConfig::paper_default()
-        });
-        let mut sim = SimulationBuilder::new()
-            .with_package(Package::high_performance())
-            .with_workload(Workload::Sdr(sdr))
-            .with_threshold(1.0)
-            .with_config(SimulationConfig {
-                warmup: Seconds::new(3.0),
-                metrics_threshold: 1.0,
-                ..SimulationConfig::paper_default()
-            })
-            .build()
-            .expect("simulation builds");
-        sim.run_for(Seconds::new(3.0) + duration).expect("simulation runs");
-        let summary = sim.summary();
-        let mean_level = sim.pipeline().map(|p| p.mean_queue_level()).unwrap_or(0.0);
-        rows.push(vec![
-            format!("{queue_capacity}"),
-            format!("{}", summary.qos.deadline_misses),
-            format!("{}", summary.qos.min_queue_level),
-            format!("{mean_level:.1}"),
-            format!("{}", summary.migration.migrations),
-        ]);
+    let spec = queue_capacity_sweep_spec(tbp_bench::measured_duration());
+    let batch = tbp_bench::timed("queue sweep", || {
+        Runner::new().run_spec(&spec).expect("sweep runs")
+    });
+    if tbp_bench::emit_structured(&batch) {
+        return;
     }
+    let rows: Vec<Vec<String>> = batch
+        .reports
+        .iter()
+        .filter_map(|report| {
+            let summary = report.summary()?;
+            Some(vec![
+                format!("{}", report.queue_capacity.unwrap_or(0)),
+                format!("{}", summary.qos.deadline_misses),
+                format!("{}", summary.qos.min_queue_level),
+                format!("{:.1}", summary.qos.mean_queue_level),
+                format!("{}", summary.migration.migrations),
+            ])
+        })
+        .collect();
     tbp_bench::print_table(
         "Queue capacity sweep (thermal balancing, 1 °C threshold, high-performance package)",
         &[

@@ -1,174 +1,150 @@
-//! Runs every experiment of the paper's evaluation section in sequence and
-//! prints the regenerated tables/figures. `EXPERIMENTS.md` records the output
-//! of this binary next to the paper's reported values.
+//! Runs every experiment of the paper's evaluation from the declarative
+//! scenario files in `scenarios/` and prints the regenerated tables/figures.
 //!
-//! Run with `TBP_DURATION=<seconds>` to shorten or lengthen the measured
-//! window (default 20 s of simulated time per configuration).
+//! All tables and figures flow through `ScenarioSpec` + `Runner`: the TOML
+//! files expand into a batch of concrete runs that execute in parallel, and
+//! the printed tables are pivots of the returned reports. The two trace-based
+//! narratives (N1 warm-up, N2 transient) follow, built from the same specs.
+//!
+//! * `TBP_DURATION=<seconds>` shortens/lengthens the measured window.
+//! * `--json` / `--csv` (or `TBP_FORMAT`) emit the structured batch report.
+//! * `TBP_SCENARIOS=<dir>` points at an alternative scenario directory.
 
-use tbp_arch::core::CoreId;
-use tbp_arch::freq::{Frequency, OperatingPoint, Voltage};
-use tbp_arch::power::{ComponentKind, CoreClass, PowerModel};
-use tbp_arch::units::{Bytes, Celsius, Seconds};
-use tbp_core::experiments::{
-    build_sdr_simulation, run_migration_rate_sweep, run_threshold_sweep, ExperimentConfig,
-    PolicyKind,
-};
-use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
-use tbp_streaming::pipeline::PipelineConfig;
-use tbp_streaming::sdr::SdrBenchmark;
+use tbp_arch::units::{Celsius, Seconds};
+use tbp_core::experiments::{paper_scenarios, ExperimentConfig, PolicyKind};
+use tbp_core::scenario::{BatchReport, RunReport, Runner, ScenarioSpec};
 use tbp_thermal::package::PackageKind;
 
 fn main() {
     let duration = tbp_bench::measured_duration();
-    table1_power();
-    table2_mapping();
-    fig2_migration_cost();
-    let mobile = tbp_bench::timed("mobile sweep", || {
-        run_threshold_sweep(PackageKind::MobileEmbedded, duration).expect("mobile sweep")
+    let specs = load_specs(duration);
+    let batch = tbp_bench::timed("paper batch", || {
+        Runner::new().run(&specs).expect("paper scenarios run")
     });
-    let hiperf = tbp_bench::timed("high-performance sweep", || {
-        run_threshold_sweep(PackageKind::HighPerformance, duration).expect("hi-perf sweep")
-    });
-    print_sweep_figures(&mobile, "mobile embedded", 7, 8);
-    print_sweep_figures(&hiperf, "high-performance", 9, 10);
-    fig11_migrations(duration);
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    for spec in &specs {
+        print_group(spec, &batch);
+    }
     warmup_and_transient();
-    queue_size_sweep(duration);
 }
 
-fn table1_power() {
-    let model = PowerModel::new();
-    let reference = OperatingPoint::new(Frequency::from_mhz(500.0), Voltage::new(1.2));
-    let t = Celsius::new(60.0);
-    let rows = vec![
-        (
-            "RISC32-streaming (Conf1)".to_string(),
-            model
-                .core_power(CoreClass::Risc32Streaming, reference, 1.0, t)
-                .expect("valid utilization"),
-        ),
-        (
-            "RISC32-ARM11 (Conf2)".to_string(),
-            model
-                .core_power(CoreClass::Risc32Arm11, reference, 1.0, t)
-                .expect("valid utilization"),
-        ),
-        (
-            "DCache 8kB/2way".to_string(),
-            model
-                .component_power(ComponentKind::DCache, reference, 1.0, t)
-                .expect("valid utilization"),
-        ),
-        (
-            "ICache 8kB/DM".to_string(),
-            model
-                .component_power(ComponentKind::ICache, reference, 1.0, t)
-                .expect("valid utilization"),
-        ),
-        (
-            "Memory 32kB".to_string(),
-            model
-                .component_power(ComponentKind::Memory32k, reference, 1.0, t)
-                .expect("valid utilization"),
-        ),
-    ];
-    let rows: Vec<Vec<String>> = rows
-        .into_iter()
-        .map(|(name, power)| vec![name, format!("{power}")])
-        .collect();
-    tbp_bench::print_table(
-        "Table 1 — component power at 500 MHz (0.09 µm)",
-        &["component", "max power"],
-        &rows,
-    );
+/// Loads the scenario files, falling back to the built-in constructors when
+/// the directory is missing (e.g. when the binary runs outside the repo).
+fn load_specs(duration: Seconds) -> Vec<ScenarioSpec> {
+    let dir = tbp_bench::scenarios_dir();
+    match tbp_core::scenario::load_dir(&dir) {
+        Ok(specs) if !specs.is_empty() => specs
+            .into_iter()
+            .map(|spec| {
+                if spec.analysis.is_some() {
+                    spec
+                } else {
+                    tbp_bench::override_duration(spec, duration)
+                }
+            })
+            .collect(),
+        Ok(_) => {
+            eprintln!(
+                "note: no scenario files under {}; using built-in specs",
+                dir.display()
+            );
+            paper_scenarios(duration)
+        }
+        // A present-but-broken scenario file is an error, not a fallback:
+        // silently ignoring it would run something other than what the user
+        // pointed at.
+        Err(error) => {
+            if dir.is_dir() {
+                panic!("failed to load scenarios from {}: {error}", dir.display());
+            }
+            eprintln!(
+                "note: no scenario directory at {}; using built-in specs",
+                dir.display()
+            );
+            paper_scenarios(duration)
+        }
+    }
 }
 
-fn table2_mapping() {
-    let sdr = SdrBenchmark::paper_default();
-    let rows: Vec<Vec<String>> = sdr
-        .mapping()
-        .iter()
-        .map(|entry| {
-            vec![
-                format!("Core {} ({:.0} MHz)", entry.core.index() + 1, entry.core_frequency_mhz),
-                entry.name.clone(),
-                format!("{:.1}", entry.load_percent),
-                format!("{:.3}", entry.fse_load()),
-            ]
-        })
-        .collect();
-    tbp_bench::print_table(
-        "Table 2 — SDR application mapping",
-        &["core / freq.", "task", "load [%]", "FSE load"],
-        &rows,
-    );
+/// Renders the reports of one scenario with the pivot its figure uses.
+fn print_group(spec: &ScenarioSpec, batch: &BatchReport) {
+    let reports = batch.group(&spec.name);
+    if reports.is_empty() {
+        return;
+    }
+    if let Some(table) = reports[0].table() {
+        tbp_bench::print_table_report(table);
+        return;
+    }
+    match spec.name.as_str() {
+        "threshold-sweep-mobile" => print_sweep_figures(&reports, "mobile embedded", 7, 8),
+        "threshold-sweep-hiperf" => print_sweep_figures(&reports, "high-performance", 9, 10),
+        "migration-rate" => print_migration_rate(&reports),
+        "queue-capacity" => print_queue_capacity(&reports),
+        _ => tbp_bench::print_table(
+            &spec.name,
+            &tbp_bench::SUMMARY_HEADER,
+            &tbp_bench::summary_rows(&reports),
+        ),
+    }
 }
 
-fn fig2_migration_cost() {
-    let model = MigrationCostModel::paper_default();
-    let sizes_kib = [64u64, 128, 192, 256, 384, 512, 768, 1024];
-    let rows: Vec<Vec<String>> = sizes_kib
-        .iter()
-        .map(|&kib| {
-            let size = Bytes::from_kib(kib);
-            let repl = model.cycles(MigrationStrategy::TaskReplication, size);
-            let recr = model.cycles(MigrationStrategy::TaskRecreation, size);
-            vec![
-                format!("{kib}"),
-                format!("{:.0}", repl / 1e3),
-                format!("{:.0}", recr / 1e3),
-                format!("{:.2}", recr / repl),
-            ]
-        })
-        .collect();
-    tbp_bench::print_table(
-        "Figure 2 — migration cost vs task size (kcycles)",
-        &["task size [KiB]", "replication", "re-creation", "ratio"],
-        &rows,
-    );
-}
-
-fn print_sweep_figures(
-    points: &[tbp_core::experiments::SweepPoint],
-    package: &str,
-    sigma_fig: u32,
-    miss_fig: u32,
-) {
-    let sigma_rows = tbp_bench::sweep_table(points, |p| p.summary.mean_spatial_std_dev());
+fn print_sweep_figures(reports: &[&RunReport], package: &str, sigma_fig: u32, miss_fig: u32) {
+    let mut header = vec!["threshold [°C]"];
+    let policies = tbp_bench::policy_columns(reports);
+    header.extend(policies.iter().copied());
+    let sigma_rows = tbp_bench::pivot_threshold_policy(reports, |r| {
+        r.summary().map_or(f64::NAN, |s| s.mean_spatial_std_dev())
+    });
     tbp_bench::print_table(
         &format!("Figure {sigma_fig} — temperature σ [°C] vs threshold ({package} package)"),
-        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &header,
         &sigma_rows,
     );
-    let miss_rows = tbp_bench::sweep_table(points, |p| p.summary.qos.deadline_misses as f64);
+    let miss_rows = tbp_bench::pivot_threshold_policy(reports, |r| {
+        r.summary()
+            .map_or(f64::NAN, |s| s.qos.deadline_misses as f64)
+    });
     tbp_bench::print_table(
         &format!("Figure {miss_fig} — deadline misses vs threshold ({package} package)"),
-        &["threshold [°C]", "thermal-balancing", "stop-and-go", "energy-balancing"],
+        &header,
         &miss_rows,
     );
 }
 
-fn fig11_migrations(duration: Seconds) {
-    let points = tbp_bench::timed("fig11", || {
-        run_migration_rate_sweep(duration).expect("fig11 sweep")
-    });
-    // First half is mobile, second half high-performance (see experiments.rs).
-    let half = points.len() / 2;
-    let rows: Vec<Vec<String>> = (0..half)
-        .map(|i| {
+fn print_migration_rate(reports: &[&RunReport]) {
+    let of_package = |package: PackageKind| -> Vec<&RunReport> {
+        reports
+            .iter()
+            .copied()
+            .filter(|r| r.package == Some(package))
+            .collect()
+    };
+    let mobile = of_package(PackageKind::MobileEmbedded);
+    let hiperf = of_package(PackageKind::HighPerformance);
+    let rows: Vec<Vec<String>> = mobile
+        .iter()
+        .zip(&hiperf)
+        .map(|(m, h)| {
+            let ms = m.summary().expect("simulation report");
+            let hs = h.summary().expect("simulation report");
             vec![
-                format!("{:.0}", points[i].threshold),
-                format!("{:.2}", points[i].summary.migrations_per_second()),
-                format!("{:.2}", points[half + i].summary.migrations_per_second()),
-                format!("{:.0}", points[half + i].summary.migrated_kib_per_second()),
+                format!("{:.0}", m.threshold.unwrap_or(f64::NAN)),
+                format!("{:.2}", ms.migrations_per_second()),
+                format!("{:.0}", ms.migrated_kib_per_second()),
+                format!("{:.2}", hs.migrations_per_second()),
+                format!("{:.0}", hs.migrated_kib_per_second()),
             ]
         })
         .collect();
     tbp_bench::print_table(
-        "Figure 11 — migrations per second vs threshold",
+        "Figure 11 — migrations per second vs threshold (thermal balancing policy)",
         &[
             "threshold [°C]",
             "mobile [1/s]",
+            "mobile [KiB/s]",
             "high-perf [1/s]",
             "high-perf [KiB/s]",
         ],
@@ -176,40 +152,76 @@ fn fig11_migrations(duration: Seconds) {
     );
 }
 
+fn print_queue_capacity(reports: &[&RunReport]) {
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .filter_map(|r| {
+            let s = r.summary()?;
+            Some(vec![
+                format!("{}", r.queue_capacity.unwrap_or(0)),
+                format!("{}", s.qos.deadline_misses),
+                format!("{}", s.qos.min_queue_level),
+                format!("{:.1}", s.qos.mean_queue_level),
+                format!("{}", s.migration.migrations),
+            ])
+        })
+        .collect();
+    tbp_bench::print_table(
+        "Queue capacity sweep (thermal balancing, 1 °C threshold, high-performance package)",
+        &[
+            "queue size [frames]",
+            "deadline misses",
+            "min queue level",
+            "mean queue level",
+            "migrations",
+        ],
+        &rows,
+    );
+}
+
+fn spread_of(temps: &[Celsius]) -> f64 {
+    temps
+        .iter()
+        .map(|c| c.as_celsius())
+        .fold(f64::MIN, f64::max)
+        - temps
+            .iter()
+            .map(|c| c.as_celsius())
+            .fold(f64::MAX, f64::min)
+}
+
+/// The two trace-based narratives; they need intermediate temperatures, so
+/// they build their simulations from specs and step them directly.
 fn warmup_and_transient() {
     // N1: warm-up gradient.
-    let warm_cfg = ExperimentConfig {
-        package: PackageKind::MobileEmbedded,
-        policy: PolicyKind::DvfsOnly,
-        threshold: 3.0,
-        warmup: Seconds::new(0.0),
-        duration: Seconds::new(12.5),
-    };
-    let mut sim = build_sdr_simulation(&warm_cfg).expect("warm-up sim builds");
+    let mut sim = tbp_core::experiments::warmup_gradient_spec()
+        .build()
+        .expect("warm-up sim builds");
     sim.run_for(Seconds::new(12.5)).expect("warm-up runs");
     let temps = sim.core_temperatures();
-    let spread = temps.iter().map(|c| c.as_celsius()).fold(f64::MIN, f64::max)
-        - temps.iter().map(|c| c.as_celsius()).fold(f64::MAX, f64::min);
     println!("\n== Narrative N1 — DVFS-only warm-up (12.5 s, mobile package) ==");
     println!(
-        "core temperatures: {:.1} / {:.1} / {:.1} °C, gradient {spread:.1} °C (paper: ~10 °C)",
+        "core temperatures: {:.1} / {:.1} / {:.1} °C, gradient {:.1} °C (paper: ~10 °C)",
         temps[0].as_celsius(),
         temps[1].as_celsius(),
-        temps[2].as_celsius()
+        temps[2].as_celsius(),
+        spread_of(&temps)
     );
 
     // N2: balancing transient after enabling the policy at 3 °C.
-    let cfg = ExperimentConfig {
+    let config = ExperimentConfig {
         package: PackageKind::MobileEmbedded,
         policy: PolicyKind::ThermalBalancing,
         threshold: 3.0,
         warmup: Seconds::new(12.5),
         duration: Seconds::new(10.0),
     };
-    let mut sim = build_sdr_simulation(&cfg).expect("transient sim builds");
+    let mut sim = config
+        .to_spec("balance-transient")
+        .build()
+        .expect("transient sim builds");
     sim.run_for(Seconds::new(12.5)).expect("warm-up runs");
     let spread_before = spread_of(&sim.core_temperatures());
-    // Find how long it takes for the spread to fall inside 2*threshold.
     let mut balanced_after = None;
     let mut above_time = 0.0;
     let step = 0.1;
@@ -219,7 +231,10 @@ fn warmup_and_transient() {
         t += step;
         let temps = sim.core_temperatures();
         let mean = temps.iter().map(|c| c.as_celsius()).sum::<f64>() / temps.len() as f64;
-        let max = temps.iter().map(|c| c.as_celsius()).fold(f64::MIN, f64::max);
+        let max = temps
+            .iter()
+            .map(|c| c.as_celsius())
+            .fold(f64::MIN, f64::max);
         if max > mean + 3.0 {
             above_time += step;
         }
@@ -240,46 +255,4 @@ fn warmup_and_transient() {
         summary.migration.migrations,
         summary.migration.bytes.as_kib()
     );
-}
-
-fn spread_of(temps: &[Celsius]) -> f64 {
-    temps.iter().map(|c| c.as_celsius()).fold(f64::MIN, f64::max)
-        - temps.iter().map(|c| c.as_celsius()).fold(f64::MAX, f64::min)
-}
-
-fn queue_size_sweep(duration: Seconds) {
-    println!("\n== Narrative N3 — minimum queue size sustaining thermal balancing ==");
-    let mut rows = Vec::new();
-    for queue_capacity in [1usize, 2, 3, 5, 8, 11, 16] {
-        let sdr = SdrBenchmark::paper_default().with_pipeline_config(PipelineConfig {
-            queue_capacity,
-            prefill: queue_capacity / 2,
-            ..PipelineConfig::paper_default()
-        });
-        let mut sim = tbp_core::sim::SimulationBuilder::new()
-            .with_package(tbp_thermal::package::Package::high_performance())
-            .with_workload(tbp_core::sim::builder::Workload::Sdr(sdr))
-            .with_threshold(1.0)
-            .with_config(tbp_core::sim::SimulationConfig {
-                warmup: Seconds::new(3.0),
-                metrics_threshold: 1.0,
-                ..tbp_core::sim::SimulationConfig::paper_default()
-            })
-            .build()
-            .expect("queue sweep sim builds");
-        sim.run_for(Seconds::new(3.0) + duration).expect("queue sweep runs");
-        let summary = sim.summary();
-        rows.push(vec![
-            format!("{queue_capacity}"),
-            format!("{}", summary.qos.deadline_misses),
-            format!("{}", summary.qos.min_queue_level),
-            format!("{}", summary.migration.migrations),
-        ]);
-    }
-    tbp_bench::print_table(
-        "queue capacity sweep (thermal balancing, 1 °C threshold, high-performance package)",
-        &["queue size [frames]", "deadline misses", "min queue level", "migrations"],
-        &rows,
-    );
-    let _ = CoreId(0);
 }

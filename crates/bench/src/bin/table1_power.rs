@@ -1,51 +1,16 @@
-//! Table 1: maximum power of the emulated components at 500 MHz (0.09 µm),
-//! plus the derived dynamic/leakage split and DVFS scaling the simulator
-//! actually uses.
+//! Table 1: maximum power of the emulated components at 500 MHz (0.09 µm)
+//! and the scaled 266 MHz point, via the Scenario API's analytic table
+//! support.
 
-use tbp_arch::freq::{Frequency, OperatingPoint, Voltage};
-use tbp_arch::power::{ComponentKind, CoreClass, PowerModel};
-use tbp_arch::units::{Celsius, Watts};
+use tbp_core::experiments::table1_power_spec;
+use tbp_core::scenario::Runner;
 
 fn main() {
-    let model = PowerModel::new();
-    let reference = OperatingPoint::new(Frequency::from_mhz(500.0), Voltage::new(1.2));
-    let half = OperatingPoint::new(Frequency::from_mhz(266.0), Voltage::new(1.0));
-    let t = Celsius::new(60.0);
-
-    let components: Vec<(String, Watts, Watts)> = vec![
-        (
-            "RISC32-streaming (Conf1)".into(),
-            model.core_power(CoreClass::Risc32Streaming, reference, 1.0, t).expect("valid"),
-            model.core_power(CoreClass::Risc32Streaming, half, 1.0, t).expect("valid"),
-        ),
-        (
-            "RISC32-ARM11 (Conf2)".into(),
-            model.core_power(CoreClass::Risc32Arm11, reference, 1.0, t).expect("valid"),
-            model.core_power(CoreClass::Risc32Arm11, half, 1.0, t).expect("valid"),
-        ),
-        (
-            "DCache 8kB/2way".into(),
-            model.component_power(ComponentKind::DCache, reference, 1.0, t).expect("valid"),
-            model.component_power(ComponentKind::DCache, half, 1.0, t).expect("valid"),
-        ),
-        (
-            "ICache 8kB/DM".into(),
-            model.component_power(ComponentKind::ICache, reference, 1.0, t).expect("valid"),
-            model.component_power(ComponentKind::ICache, half, 1.0, t).expect("valid"),
-        ),
-        (
-            "Memory 32kB".into(),
-            model.component_power(ComponentKind::Memory32k, reference, 1.0, t).expect("valid"),
-            model.component_power(ComponentKind::Memory32k, half, 1.0, t).expect("valid"),
-        ),
-    ];
-    let rows: Vec<Vec<String>> = components
-        .into_iter()
-        .map(|(name, max, scaled)| vec![name, format!("{max}"), format!("{scaled}")])
-        .collect();
-    tbp_bench::print_table(
-        "Table 1 — component power in 0.09 µm CMOS",
-        &["component", "max power @500 MHz/1.2 V", "power @266 MHz/1.0 V"],
-        &rows,
-    );
+    let batch = Runner::new()
+        .run_spec(&table1_power_spec())
+        .expect("analytic scenario runs");
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    tbp_bench::print_table_report(batch.reports[0].table().expect("analytic outcome"));
 }

@@ -1,37 +1,25 @@
 //! Table 2: the SDR task set, its initial (energy-balanced) mapping onto the
 //! three cores and the frequency the DVFS governor actually picks for that
-//! mapping.
+//! mapping, via the Scenario API's analytic table support.
 
 use tbp_arch::core::CoreId;
 use tbp_arch::freq::DvfsScale;
+use tbp_core::experiments::table2_mapping_spec;
+use tbp_core::scenario::Runner;
 use tbp_os::governor::DvfsGovernor;
 use tbp_streaming::sdr::SdrBenchmark;
 
 fn main() {
-    let sdr = SdrBenchmark::paper_default();
-    let rows: Vec<Vec<String>> = sdr
-        .mapping()
-        .iter()
-        .map(|entry| {
-            vec![
-                format!(
-                    "Core {} ({:.0} MHz)",
-                    entry.core.index() + 1,
-                    entry.core_frequency_mhz
-                ),
-                entry.name.clone(),
-                format!("{:.1}", entry.load_percent),
-                format!("{:.3}", entry.fse_load()),
-            ]
-        })
-        .collect();
-    tbp_bench::print_table(
-        "Table 2 — SDR application mapping",
-        &["core / freq.", "task", "load [%]", "FSE load"],
-        &rows,
-    );
+    let batch = Runner::new()
+        .run_spec(&table2_mapping_spec())
+        .expect("analytic scenario runs");
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    tbp_bench::print_table_report(batch.reports[0].table().expect("analytic outcome"));
 
     // Per-core totals plus the frequency the governor would select.
+    let sdr = SdrBenchmark::paper_default();
     let governor = DvfsGovernor::new(DvfsScale::paper_default());
     let rows: Vec<Vec<String>> = (0..3)
         .map(|core| {
@@ -57,7 +45,12 @@ fn main() {
         .collect();
     tbp_bench::print_table(
         "Per-core totals and governor frequency selection",
-        &["core", "Table 2 load [%]", "total FSE", "governor frequency"],
+        &[
+            "core",
+            "Table 2 load [%]",
+            "total FSE",
+            "governor frequency",
+        ],
         &rows,
     );
 }

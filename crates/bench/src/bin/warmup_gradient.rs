@@ -1,4 +1,5 @@
-//! Narrative experiment N1: the DVFS-only warm-up phase.
+//! Narrative experiment N1: the DVFS-only warm-up phase, built from the
+//! `warmup-gradient` scenario spec.
 //!
 //! The paper reports that after an initial execution phase of 12.5 s the
 //! temperatures stabilise but are **not** balanced: about 10 °C separate the
@@ -6,23 +7,16 @@
 //! despite running at the same frequency because of their floorplan position.
 
 use tbp_arch::units::Seconds;
-use tbp_core::experiments::{build_sdr_simulation, ExperimentConfig, PolicyKind};
-use tbp_thermal::package::PackageKind;
+use tbp_core::experiments::warmup_gradient_spec;
 
 fn main() {
-    let config = ExperimentConfig {
-        package: PackageKind::MobileEmbedded,
-        policy: PolicyKind::DvfsOnly,
-        threshold: 3.0,
-        warmup: Seconds::new(0.0),
-        duration: Seconds::new(12.5),
-    };
-    let mut sim = build_sdr_simulation(&config).expect("simulation builds");
+    let mut sim = warmup_gradient_spec().build().expect("simulation builds");
     let mut rows = Vec::new();
     let checkpoints = [1.0, 2.5, 5.0, 7.5, 10.0, 12.5];
     let mut last = 0.0;
     for &t in &checkpoints {
-        sim.run_for(Seconds::new(t - last)).expect("simulation runs");
+        sim.run_for(Seconds::new(t - last))
+            .expect("simulation runs");
         last = t;
         let temps = sim.core_temperatures();
         let spread = temps
@@ -43,7 +37,13 @@ fn main() {
     }
     tbp_bench::print_table(
         "Warm-up (DVFS only, mobile package): core temperatures over time",
-        &["time [s]", "core0 [°C]", "core1 [°C]", "core2 [°C]", "spread [°C]"],
+        &[
+            "time [s]",
+            "core0 [°C]",
+            "core1 [°C]",
+            "core2 [°C]",
+            "spread [°C]",
+        ],
         &rows,
     );
     let temps = sim.core_temperatures();

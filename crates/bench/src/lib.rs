@@ -1,12 +1,15 @@
 //! # tbp-bench — experiment harness for the DATE 2008 reproduction
 //!
-//! Each binary in `src/bin/` regenerates one table or figure of the paper
-//! (see `DESIGN.md` at the workspace root for the experiment index), and the
-//! Criterion benches in `benches/` time the simulation and policy kernels.
+//! Each binary in `src/bin/` regenerates one table or figure of the paper by
+//! building a [`ScenarioSpec`](tbp_core::scenario::ScenarioSpec) (or loading
+//! one from the workspace's `scenarios/` directory), handing it to the
+//! parallel [`Runner`](tbp_core::scenario::Runner) and rendering the
+//! returned [`BatchReport`]. `reproduce_all` runs the whole evaluation from
+//! the TOML scenario files.
 //!
-//! The binaries print plain-text tables with the same rows/series the paper
-//! reports; `reproduce_all` runs every experiment in sequence and is what
-//! `EXPERIMENTS.md` is generated from.
+//! All binaries accept `--json` / `--csv` (or `TBP_FORMAT=json|csv`) to emit
+//! the structured reports instead of plain-text tables, and honour
+//! `TBP_DURATION=<seconds>` to shorten the measured window.
 
 #![deny(missing_docs)]
 
@@ -14,6 +17,7 @@ use std::time::Instant;
 
 use tbp_arch::units::Seconds;
 use tbp_core::experiments::SweepPoint;
+use tbp_core::scenario::{BatchReport, RunReport};
 
 /// Measured duration used by the figure experiments (seconds of simulated
 /// time after the warm-up). Override with the `TBP_DURATION` environment
@@ -24,6 +28,49 @@ pub fn measured_duration() -> Seconds {
         .and_then(|v| v.parse::<f64>().ok())
         .unwrap_or(20.0);
     Seconds::new(secs.max(1.0))
+}
+
+/// Output format of a bench binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReportFormat {
+    /// Human-readable tables (the default).
+    Table,
+    /// The batch's JSON report on stdout.
+    Json,
+    /// The batch's CSV report on stdout.
+    Csv,
+}
+
+/// The output format selected by `--json`/`--csv` or `TBP_FORMAT`.
+pub fn report_format() -> ReportFormat {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--json") {
+        return ReportFormat::Json;
+    }
+    if args.iter().any(|a| a == "--csv") {
+        return ReportFormat::Csv;
+    }
+    match std::env::var("TBP_FORMAT").as_deref() {
+        Ok("json") => ReportFormat::Json,
+        Ok("csv") => ReportFormat::Csv,
+        _ => ReportFormat::Table,
+    }
+}
+
+/// Emits the batch in the selected structured format, returning `true` when
+/// it did (callers then skip their table rendering).
+pub fn emit_structured(batch: &BatchReport) -> bool {
+    match report_format() {
+        ReportFormat::Json => {
+            println!("{}", batch.to_json());
+            true
+        }
+        ReportFormat::Csv => {
+            print!("{}", batch.to_csv());
+            true
+        }
+        ReportFormat::Table => false,
+    }
 }
 
 /// Prints a table header followed by aligned rows.
@@ -54,8 +101,84 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Prints an analytic table report.
+pub fn print_table_report(table: &tbp_core::scenario::TableReport) {
+    let header: Vec<&str> = table.header.iter().map(String::as_str).collect();
+    print_table(&table.title, &header, &table.rows);
+}
+
+/// The distinct policies of a report group, in first-appearance order.
+pub fn policy_columns<'a>(reports: &[&'a RunReport]) -> Vec<&'a str> {
+    let mut policies: Vec<&str> = Vec::new();
+    for report in reports {
+        if let Some(policy) = report.policy.as_deref() {
+            if !policies.contains(&policy) {
+                policies.push(policy);
+            }
+        }
+    }
+    policies
+}
+
+/// Pivots simulation reports into a threshold-indexed table with one metric
+/// column per policy — the layout of Figures 7–10.
+pub fn pivot_threshold_policy(
+    reports: &[&RunReport],
+    metric: impl Fn(&RunReport) -> f64,
+) -> Vec<Vec<String>> {
+    let mut thresholds: Vec<f64> = reports.iter().filter_map(|r| r.threshold).collect();
+    thresholds.sort_by(|a, b| a.partial_cmp(b).expect("thresholds are finite"));
+    thresholds.dedup();
+    let policies = policy_columns(reports);
+    thresholds
+        .iter()
+        .map(|&threshold| {
+            let mut row = vec![format!("{threshold:.0}")];
+            for policy in &policies {
+                let value = reports
+                    .iter()
+                    .find(|r| {
+                        r.policy.as_deref() == Some(*policy) && r.threshold == Some(threshold)
+                    })
+                    .map(|r| metric(r))
+                    .unwrap_or(f64::NAN);
+                row.push(format!("{value:.3}"));
+            }
+            row
+        })
+        .collect()
+}
+
+/// One summary row per simulation report (generic fallback rendering).
+pub fn summary_rows(reports: &[&RunReport]) -> Vec<Vec<String>> {
+    reports
+        .iter()
+        .filter_map(|report| {
+            let summary = report.summary()?;
+            Some(vec![
+                report.scenario.clone(),
+                format!("{:.3}", summary.mean_spatial_std_dev()),
+                format!("{:.2}", summary.mean_spread()),
+                format!("{}", summary.qos.deadline_misses),
+                format!("{:.2}", summary.migrations_per_second()),
+                format!("{:.0}", summary.migrated_kib_per_second()),
+            ])
+        })
+        .collect()
+}
+
+/// Header matching [`summary_rows`].
+pub const SUMMARY_HEADER: [&str; 6] = [
+    "scenario",
+    "σ [°C]",
+    "spread [°C]",
+    "misses",
+    "migrations/s",
+    "KiB/s",
+];
+
 /// Formats sweep points as a threshold-indexed table of one metric per
-/// policy, mirroring the layout of Figures 7–10.
+/// policy (legacy layout over [`SweepPoint`]s).
 pub fn sweep_table(points: &[SweepPoint], metric: impl Fn(&SweepPoint) -> f64) -> Vec<Vec<String>> {
     use std::collections::BTreeMap;
     let mut thresholds: Vec<f64> = points.iter().map(|p| p.threshold).collect();
@@ -94,6 +217,27 @@ pub fn sweep_table(points: &[SweepPoint], metric: impl Fn(&SweepPoint) -> f64) -
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = Instant::now();
     let result = f();
-    eprintln!("[{label}] completed in {:.2} s", start.elapsed().as_secs_f64());
+    eprintln!(
+        "[{label}] completed in {:.2} s",
+        start.elapsed().as_secs_f64()
+    );
     result
+}
+
+/// The workspace's `scenarios/` directory (override with `TBP_SCENARIOS`).
+pub fn scenarios_dir() -> std::path::PathBuf {
+    match std::env::var("TBP_SCENARIOS") {
+        Ok(dir) => std::path::PathBuf::from(dir),
+        Err(_) => std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios"),
+    }
+}
+
+/// Applies the `TBP_DURATION` override to a loaded scenario's measured
+/// duration.
+pub fn override_duration(
+    spec: tbp_core::scenario::ScenarioSpec,
+    duration: Seconds,
+) -> tbp_core::scenario::ScenarioSpec {
+    let warmup = spec.schedule().warmup.as_secs();
+    spec.with_schedule(warmup, duration.as_secs())
 }

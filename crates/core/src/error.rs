@@ -21,6 +21,15 @@ pub enum SimError {
     Stream(StreamError),
     /// The simulation configuration is invalid.
     InvalidConfig(String),
+    /// A scenario referenced a policy name the registry does not know.
+    UnknownPolicy {
+        /// The name that failed to resolve.
+        name: String,
+        /// The names the registry does know, for the error message.
+        known: Vec<String>,
+    },
+    /// A scenario specification could not be parsed or validated.
+    Spec(String),
 }
 
 impl fmt::Display for SimError {
@@ -31,6 +40,12 @@ impl fmt::Display for SimError {
             SimError::Os(e) => write!(f, "OS error: {e}"),
             SimError::Stream(e) => write!(f, "streaming error: {e}"),
             SimError::InvalidConfig(msg) => write!(f, "invalid simulation configuration: {msg}"),
+            SimError::UnknownPolicy { name, known } => write!(
+                f,
+                "unknown policy `{name}` (registered policies: {})",
+                known.join(", ")
+            ),
+            SimError::Spec(msg) => write!(f, "invalid scenario specification: {msg}"),
         }
     }
 }
@@ -42,7 +57,7 @@ impl Error for SimError {
             SimError::Thermal(e) => Some(e),
             SimError::Os(e) => Some(e),
             SimError::Stream(e) => Some(e),
-            SimError::InvalidConfig(_) => None,
+            SimError::InvalidConfig(_) | SimError::UnknownPolicy { .. } | SimError::Spec(_) => None,
         }
     }
 }

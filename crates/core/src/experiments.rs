@@ -1,9 +1,16 @@
-//! Canned experiment configurations reproducing the paper's evaluation.
+//! Thin scenario constructors reproducing the paper's evaluation.
 //!
-//! Every table and figure of Section 5 maps to a function here; the
-//! `tbp-bench` crate's binaries call these functions and print the resulting
-//! rows, and the integration tests assert the qualitative shapes (orderings,
-//! trends, crossovers) the paper reports.
+//! Every table and figure of Section 5 maps to a [`ScenarioSpec`] built
+//! here; the `tbp-bench` binaries hand those specs to a
+//! [`Runner`](crate::scenario::Runner) and print the resulting reports, and
+//! the integration tests assert the qualitative shapes (orderings, trends,
+//! crossovers) the paper reports. The same specs ship as TOML files under
+//! the workspace's `scenarios/` directory — `ScenarioSpec` serializes — so
+//! the whole evaluation can also be driven from data.
+//!
+//! The pre-scenario helpers ([`ExperimentConfig`], [`run_sdr_experiment`],
+//! [`run_threshold_sweep`], ...) are kept as compatibility wrappers; they are
+//! now implemented on top of the Scenario API.
 
 use serde::{Deserialize, Serialize};
 
@@ -12,15 +19,17 @@ use tbp_thermal::package::{Package, PackageKind};
 
 use crate::error::SimError;
 use crate::metrics::SimulationSummary;
-use crate::policy::{
-    DvfsOnlyPolicy, EnergyBalancingPolicy, Policy, StopGoPolicy, ThermalBalancingConfig,
-    ThermalBalancingPolicy,
+use crate::policy::Policy;
+use crate::scenario::{
+    package_label, AnalysisKind, PolicyRegistry, PolicySpec, Runner, ScenarioSpec, SweepSpec,
 };
-use crate::sim::builder::{SimulationBuilder, Workload};
-use crate::sim::{Simulation, SimulationConfig};
+use crate::sim::Simulation;
 
 /// Threshold values (°C) swept in Figures 7–11.
 pub const THRESHOLD_SWEEP: [f64; 4] = [1.0, 2.0, 3.0, 4.0];
+
+/// Queue capacities (frames) swept by the narrative N3 experiment.
+pub const QUEUE_CAPACITY_SWEEP: [usize; 9] = [1, 2, 3, 4, 6, 8, 11, 16, 24];
 
 /// The policies compared in the paper's evaluation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -43,7 +52,7 @@ impl PolicyKind {
         PolicyKind::EnergyBalancing,
     ];
 
-    /// Human-readable name, matching [`Policy::name`].
+    /// Human-readable name, matching [`Policy::name`] and the registry.
     pub fn label(self) -> &'static str {
         match self {
             PolicyKind::ThermalBalancing => "thermal-balancing",
@@ -53,22 +62,28 @@ impl PolicyKind {
         }
     }
 
-    /// Instantiates the policy for the paper's DVFS scale and the given
-    /// threshold.
-    pub fn instantiate(self, threshold: f64) -> Box<dyn Policy> {
-        match self {
-            PolicyKind::ThermalBalancing => Box::new(ThermalBalancingPolicy::new(
-                tbp_arch::freq::DvfsScale::paper_default(),
-                ThermalBalancingConfig::paper_default().with_threshold(threshold),
-            )),
-            PolicyKind::StopGo => Box::new(StopGoPolicy::new(threshold)),
-            PolicyKind::EnergyBalancing => Box::new(EnergyBalancingPolicy::new()),
-            PolicyKind::DvfsOnly => Box::new(DvfsOnlyPolicy::new()),
+    /// The kind whose [`label`](Self::label) is `label`, if any.
+    pub fn from_label(label: &str) -> Option<PolicyKind> {
+        match label {
+            "thermal-balancing" => Some(PolicyKind::ThermalBalancing),
+            "stop-and-go" => Some(PolicyKind::StopGo),
+            "energy-balancing" => Some(PolicyKind::EnergyBalancing),
+            "dvfs-only" => Some(PolicyKind::DvfsOnly),
+            _ => None,
         }
+    }
+
+    /// Instantiates the policy through the global [`PolicyRegistry`] at the
+    /// given threshold.
+    pub fn instantiate(self, threshold: f64) -> Box<dyn Policy> {
+        PolicyRegistry::global()
+            .instantiate(&PolicySpec::named(self.label()).with_threshold(threshold))
+            .expect("the built-in policies are always registered")
     }
 }
 
-/// Configuration of one SDR experiment run.
+/// Configuration of one SDR experiment run (compatibility wrapper around
+/// [`ScenarioSpec`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ExperimentConfig {
     /// Which thermal package to use.
@@ -103,6 +118,14 @@ impl ExperimentConfig {
             _ => Package::mobile_embedded(),
         }
     }
+
+    /// The equivalent scenario spec.
+    pub fn to_spec(&self, name: impl Into<String>) -> ScenarioSpec {
+        ScenarioSpec::new(name)
+            .with_package(self.package)
+            .with_policy(self.policy.label(), self.threshold)
+            .with_schedule(self.warmup.as_secs(), self.duration.as_secs())
+    }
 }
 
 impl Default for ExperimentConfig {
@@ -117,17 +140,7 @@ impl Default for ExperimentConfig {
 ///
 /// Returns [`SimError`] when the simulation cannot be assembled.
 pub fn build_sdr_simulation(config: &ExperimentConfig) -> Result<Simulation, SimError> {
-    SimulationBuilder::new()
-        .with_package(config.package())
-        .with_workload(Workload::sdr())
-        .with_policy_box(config.policy.instantiate(config.threshold))
-        .with_threshold(config.threshold)
-        .with_config(SimulationConfig {
-            warmup: config.warmup,
-            metrics_threshold: config.threshold,
-            ..SimulationConfig::paper_default()
-        })
-        .build()
+    config.to_spec("experiment").build()
 }
 
 /// Runs one SDR experiment to completion and returns its summary.
@@ -152,7 +165,130 @@ pub struct SweepPoint {
     pub summary: SimulationSummary,
 }
 
-/// Runs the full policy × threshold sweep of Figures 7–10 for one package.
+/// The Figures 7–10 scenario for one package: the three compared policies ×
+/// the four thresholds, as a single sweep-carrying spec.
+pub fn threshold_sweep_spec(package: PackageKind, duration: Seconds) -> ScenarioSpec {
+    let figures = match package {
+        PackageKind::HighPerformance => "figures 9+10",
+        _ => "figures 7+8",
+    };
+    ScenarioSpec::new(format!("threshold-sweep-{}", package_label(package)))
+        .with_description(format!(
+            "Policy comparison over the threshold sweep ({figures}): temperature deviation and deadline misses"
+        ))
+        .with_package(package)
+        .with_schedule(8.0, duration.as_secs())
+        .with_sweep(
+            SweepSpec::default()
+                .with_policies(PolicyKind::COMPARED.map(PolicyKind::label))
+                .with_thresholds(THRESHOLD_SWEEP),
+        )
+}
+
+/// The Figure 11 scenario: the thermal balancing policy across both
+/// packages and all thresholds.
+pub fn migration_rate_sweep_spec(duration: Seconds) -> ScenarioSpec {
+    ScenarioSpec::new("migration-rate")
+        .with_description(
+            "Figure 11: migrations per second of the thermal balancing policy vs threshold, both packages",
+        )
+        .with_policy(PolicyKind::ThermalBalancing.label(), 3.0)
+        .with_schedule(8.0, duration.as_secs())
+        .with_sweep(
+            SweepSpec::default()
+                .with_packages([PackageKind::MobileEmbedded, PackageKind::HighPerformance])
+                .with_thresholds(THRESHOLD_SWEEP),
+        )
+}
+
+/// The narrative N3 scenario: queue capacities under the most aggressive
+/// balancing configuration (1 °C, high-performance package).
+pub fn queue_capacity_sweep_spec(duration: Seconds) -> ScenarioSpec {
+    ScenarioSpec::new("queue-capacity")
+        .with_description(
+            "Narrative N3: minimum queue size sustaining thermal balancing without QoS impact",
+        )
+        .with_package(PackageKind::HighPerformance)
+        .with_policy(PolicyKind::ThermalBalancing.label(), 1.0)
+        .with_schedule(3.0, duration.as_secs())
+        .with_sweep(SweepSpec::default().with_queue_capacities(QUEUE_CAPACITY_SWEEP))
+}
+
+/// The Table 1 analytic scenario.
+pub fn table1_power_spec() -> ScenarioSpec {
+    ScenarioSpec::analysis("table1-power", AnalysisKind::Table1Power)
+        .with_description("Table 1: component power at the reference operating points")
+}
+
+/// The Table 2 analytic scenario.
+pub fn table2_mapping_spec() -> ScenarioSpec {
+    ScenarioSpec::analysis("table2-mapping", AnalysisKind::Table2Mapping)
+        .with_description("Table 2: the SDR task set and its initial mapping")
+}
+
+/// The Figure 2 analytic scenario.
+pub fn fig2_migration_cost_spec() -> ScenarioSpec {
+    ScenarioSpec::analysis("fig2-migration-cost", AnalysisKind::Fig2MigrationCost)
+        .with_description("Figure 2: migration cost vs task size for both back-ends")
+}
+
+/// The DVFS-only warm-up characterisation (narrative N1): no policy, no
+/// warm-up exclusion, 12.5 s.
+pub fn warmup_gradient_spec() -> ScenarioSpec {
+    ScenarioSpec::new("warmup-gradient")
+        .with_description(
+            "Narrative N1: unbalanced temperature gradient after the DVFS-only warm-up",
+        )
+        .with_policy(PolicyKind::DvfsOnly.label(), 3.0)
+        .with_schedule(0.0, 12.5)
+}
+
+/// Every scenario of the paper's evaluation, in presentation order.
+pub fn paper_scenarios(duration: Seconds) -> Vec<ScenarioSpec> {
+    vec![
+        table1_power_spec(),
+        table2_mapping_spec(),
+        fig2_migration_cost_spec(),
+        threshold_sweep_spec(PackageKind::MobileEmbedded, duration),
+        threshold_sweep_spec(PackageKind::HighPerformance, duration),
+        migration_rate_sweep_spec(duration),
+        queue_capacity_sweep_spec(duration),
+    ]
+}
+
+fn sweep_points(spec: &ScenarioSpec) -> Result<Vec<SweepPoint>, SimError> {
+    let batch = Runner::new().run_spec(spec)?;
+    batch
+        .reports
+        .into_iter()
+        .map(|report| {
+            let policy = report
+                .policy
+                .as_deref()
+                .and_then(PolicyKind::from_label)
+                .ok_or_else(|| {
+                    SimError::Spec(format!("report for `{}` names no policy", report.scenario))
+                })?;
+            let threshold = report
+                .threshold
+                .ok_or_else(|| SimError::Spec("sweep report without threshold".into()))?;
+            let summary = match report.outcome {
+                crate::scenario::RunOutcome::Simulation(summary) => *summary,
+                crate::scenario::RunOutcome::Table(_) => {
+                    return Err(SimError::Spec("sweep produced a table".into()))
+                }
+            };
+            Ok(SweepPoint {
+                policy,
+                threshold,
+                summary,
+            })
+        })
+        .collect()
+}
+
+/// Runs the full policy × threshold sweep of Figures 7–10 for one package
+/// (in parallel, through the Scenario API).
 ///
 /// # Errors
 ///
@@ -161,53 +297,17 @@ pub fn run_threshold_sweep(
     package: PackageKind,
     duration: Seconds,
 ) -> Result<Vec<SweepPoint>, SimError> {
-    let mut points = Vec::new();
-    for policy in PolicyKind::COMPARED {
-        for &threshold in &THRESHOLD_SWEEP {
-            let config = ExperimentConfig {
-                package,
-                policy,
-                threshold,
-                duration,
-                ..ExperimentConfig::paper_default()
-            };
-            let summary = run_sdr_experiment(&config)?;
-            points.push(SweepPoint {
-                policy,
-                threshold,
-                summary,
-            });
-        }
-    }
-    Ok(points)
+    sweep_points(&threshold_sweep_spec(package, duration))
 }
 
 /// Runs the Figure 11 sweep: migrations per second of the thermal balancing
-/// policy for both packages.
+/// policy for both packages (mobile first, as the figure plots them).
 ///
 /// # Errors
 ///
 /// Returns [`SimError`] when any run fails.
 pub fn run_migration_rate_sweep(duration: Seconds) -> Result<Vec<SweepPoint>, SimError> {
-    let mut points = Vec::new();
-    for package in [PackageKind::MobileEmbedded, PackageKind::HighPerformance] {
-        for &threshold in &THRESHOLD_SWEEP {
-            let config = ExperimentConfig {
-                package,
-                policy: PolicyKind::ThermalBalancing,
-                threshold,
-                duration,
-                ..ExperimentConfig::paper_default()
-            };
-            let summary = run_sdr_experiment(&config)?;
-            points.push(SweepPoint {
-                policy: PolicyKind::ThermalBalancing,
-                threshold,
-                summary,
-            });
-        }
-    }
-    Ok(points)
+    sweep_points(&migration_rate_sweep_spec(duration))
 }
 
 #[cfg(test)]
@@ -224,7 +324,9 @@ mod tests {
         ] {
             let policy = kind.instantiate(2.0);
             assert_eq!(policy.name(), kind.label());
+            assert_eq!(PolicyKind::from_label(kind.label()), Some(kind));
         }
+        assert_eq!(PolicyKind::from_label("nope"), None);
         assert_eq!(PolicyKind::COMPARED.len(), 3);
         assert_eq!(THRESHOLD_SWEEP.len(), 4);
     }
@@ -243,6 +345,22 @@ mod tests {
     }
 
     #[test]
+    fn experiment_config_converts_to_spec() {
+        let config = ExperimentConfig {
+            package: PackageKind::HighPerformance,
+            policy: PolicyKind::StopGo,
+            threshold: 2.0,
+            warmup: Seconds::new(1.0),
+            duration: Seconds::new(4.0),
+        };
+        let spec = config.to_spec("x");
+        assert_eq!(spec.package_kind(), PackageKind::HighPerformance);
+        assert_eq!(spec.policy_spec().name, "stop-and-go");
+        assert_eq!(spec.threshold(), 2.0);
+        assert_eq!(spec.total_duration(), Seconds::new(5.0));
+    }
+
+    #[test]
     fn short_experiment_runs_end_to_end() {
         // A deliberately short run to keep unit-test time low; the full-length
         // sweeps run in the integration tests and benches.
@@ -258,5 +376,25 @@ mod tests {
         assert!(summary.total_time.as_secs() > 5.99);
         assert!(summary.measured_time.as_secs() > 3.0);
         assert!(summary.qos.frames_delivered > 0);
+    }
+
+    #[test]
+    fn paper_scenarios_cover_the_evaluation() {
+        let specs = paper_scenarios(Seconds::new(20.0));
+        assert_eq!(specs.len(), 7);
+        let total_runs: usize = specs
+            .iter()
+            .map(|s| s.expand().len())
+            .collect::<Vec<_>>()
+            .iter()
+            .sum();
+        // 3 analytic tables + 2×(3 policies × 4 thresholds) + 2×4 + 9 queues.
+        assert_eq!(total_runs, 3 + 24 + 8 + 9);
+        // Every spec round-trips through TOML.
+        for spec in &specs {
+            let text = spec.to_toml_string();
+            let back = ScenarioSpec::from_toml_str(&text).expect("spec TOML parses");
+            assert_eq!(&back, spec);
+        }
     }
 }

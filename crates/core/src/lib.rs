@@ -14,8 +14,13 @@
 //!   ([`tbp-streaming`](tbp_streaming));
 //! * [`metrics`] / [`trace`] — the measurements the paper reports: spatial
 //!   and temporal temperature variance, migrated data, deadline misses;
-//! * [`experiments`] — canned configurations reproducing every table and
-//!   figure of the paper's evaluation.
+//! * [`scenario`] — the declarative Scenario API: serde-serializable
+//!   [`ScenarioSpec`](scenario::ScenarioSpec)s with sweep axes, a
+//!   [`PolicyRegistry`](scenario::PolicyRegistry) resolving policy names,
+//!   and a parallel batch [`Runner`](scenario::Runner) returning structured
+//!   reports with JSON/CSV emission;
+//! * [`experiments`] — thin spec constructors reproducing every table and
+//!   figure of the paper's evaluation through the Scenario API.
 //!
 //! # Quick start
 //!
@@ -52,12 +57,14 @@ pub mod error;
 pub mod experiments;
 pub mod metrics;
 pub mod policy;
+pub mod scenario;
 pub mod sim;
 pub mod trace;
 
 pub use error::SimError;
 pub use metrics::SimulationSummary;
 pub use policy::{Policy, PolicyAction};
+pub use scenario::{BatchReport, PolicyRegistry, RunReport, Runner, ScenarioSpec};
 pub use sim::{Simulation, SimulationBuilder};
 
 // Re-export the substrate crates so downstream users (and the examples) can

@@ -138,6 +138,9 @@ pub struct QosMetrics {
     pub deadline_misses: u64,
     /// Minimum queue level observed across all queues.
     pub min_queue_level: usize,
+    /// Time-averaged queue level across all queues (the paper observes this
+    /// does not change because of migration).
+    pub mean_queue_level: f64,
 }
 
 impl QosMetrics {
@@ -207,8 +210,14 @@ impl MetricsCollector {
             .sum::<f64>()
             / n;
         self.thermal.spatial_std_dev.push(variance.sqrt());
-        let max = temps.iter().map(|t| t.as_celsius()).fold(f64::MIN, f64::max);
-        let min = temps.iter().map(|t| t.as_celsius()).fold(f64::MAX, f64::min);
+        let max = temps
+            .iter()
+            .map(|t| t.as_celsius())
+            .fold(f64::MIN, f64::max);
+        let min = temps
+            .iter()
+            .map(|t| t.as_celsius())
+            .fold(f64::MAX, f64::min);
         self.thermal.spread.push(max - min);
         for (stats, t) in self.thermal.per_core.iter_mut().zip(temps) {
             stats.push(t.as_celsius());
@@ -420,6 +429,7 @@ mod tests {
             frames_delivered: 380,
             deadline_misses: 20,
             min_queue_level: 2,
+            mean_queue_level: 4.5,
         });
         // Simulate 10 s of measured time through temperature samples.
         for i in 0..1000 {

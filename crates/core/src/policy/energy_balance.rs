@@ -119,7 +119,10 @@ mod tests {
         let input = input_from(&[(75.0, 533.0, 0.9), (50.0, 133.0, 0.0), (50.0, 133.0, 0.0)]);
         assert!(p.decide(&input).is_empty());
         assert!(p.decide(&input).is_empty());
-        assert_eq!(EnergyBalancingPolicy::default(), EnergyBalancingPolicy::new());
+        assert_eq!(
+            EnergyBalancingPolicy::default(),
+            EnergyBalancingPolicy::new()
+        );
     }
 
     #[test]

@@ -84,8 +84,15 @@ pub struct PolicyInput {
 
 impl PolicyInput {
     /// Temperature of a core by id, if present.
+    ///
+    /// Snapshots are looked up by their [`CoreSnapshot::id`], not by vector
+    /// position, so the answer stays correct even when the snapshot vector is
+    /// not id-ordered (e.g. filtered or reordered by a custom policy).
     pub fn temperature_of(&self, core: CoreId) -> Option<Celsius> {
-        self.cores.get(core.index()).map(|c| c.temperature)
+        self.cores
+            .iter()
+            .find(|c| c.id == core)
+            .map(|c| c.temperature)
     }
 
     /// The hottest core of the snapshot.
@@ -192,13 +199,23 @@ pub fn build_input(
     migrations_in_flight: usize,
 ) -> PolicyInput {
     let n = cores.len().max(1) as f64;
-    let mean_t = cores.iter().map(|c| c.temperature.as_celsius()).sum::<f64>() / n;
-    let mean_f = cores.iter().map(|c| c.frequency.as_hz()).sum::<u64>() / cores.len().max(1) as u64;
+    let mean_t = cores
+        .iter()
+        .map(|c| c.temperature.as_celsius())
+        .sum::<f64>()
+        / n;
+    // Average in f64: summing u64 hertz and dividing truncates towards zero,
+    // which at the 10 ms policy period systematically under-reports `f_mean`.
+    let mean_f = cores
+        .iter()
+        .map(|c| c.frequency.as_hz() as f64)
+        .sum::<f64>()
+        / n;
     PolicyInput {
         time,
         cores,
         mean_temperature: Celsius::new(mean_t),
-        mean_frequency: Frequency::from_hz(mean_f),
+        mean_frequency: Frequency::from_hz(mean_f.round() as u64),
         migrations_in_flight,
     }
 }
@@ -257,18 +274,44 @@ mod tests {
 
     #[test]
     fn input_statistics() {
-        let input = input_from(&[(70.0, 533.0, 0.65), (62.0, 266.0, 0.33), (60.0, 266.0, 0.40)]);
+        let input = input_from(&[
+            (70.0, 533.0, 0.65),
+            (62.0, 266.0, 0.33),
+            (60.0, 266.0, 0.40),
+        ]);
         assert!((input.mean_temperature.as_celsius() - 64.0).abs() < 1e-9);
         assert!((input.mean_frequency.as_mhz() - 355.0).abs() < 1.0);
         assert_eq!(input.hottest_core().unwrap().id, CoreId(0));
         assert_eq!(input.coolest_core().unwrap().id, CoreId(2));
         assert!((input.temperature_spread() - 10.0).abs() < 1e-9);
-        assert_eq!(
-            input.temperature_of(CoreId(1)).unwrap(),
-            Celsius::new(62.0)
-        );
+        assert_eq!(input.temperature_of(CoreId(1)).unwrap(), Celsius::new(62.0));
         assert!(input.temperature_of(CoreId(9)).is_none());
         assert_eq!(input.migrations_in_flight, 0);
+    }
+
+    #[test]
+    fn temperature_lookup_uses_ids_not_positions() {
+        // Snapshots deliberately not ordered by core id: index-based lookup
+        // would return the wrong core's temperature.
+        let cores = vec![
+            core(2, 70.0, 533.0, 0.5, true),
+            core(0, 50.0, 266.0, 0.2, true),
+            core(1, 60.0, 266.0, 0.3, true),
+        ];
+        let input = build_input(Seconds::new(1.0), cores, 0);
+        assert_eq!(input.temperature_of(CoreId(0)).unwrap(), Celsius::new(50.0));
+        assert_eq!(input.temperature_of(CoreId(1)).unwrap(), Celsius::new(60.0));
+        assert_eq!(input.temperature_of(CoreId(2)).unwrap(), Celsius::new(70.0));
+        assert!(input.temperature_of(CoreId(3)).is_none());
+    }
+
+    #[test]
+    fn mean_frequency_does_not_truncate() {
+        // Three cores at 100/100/101 MHz: the integer mean truncates the sum
+        // (301/3 = 100 MHz exactly); the f64 mean rounds to the nearest hertz.
+        let input = input_from(&[(60.0, 100.0, 0.1), (60.0, 100.0, 0.1), (60.0, 101.0, 0.1)]);
+        let expected = (100.0e6 + 100.0e6 + 101.0e6) / 3.0;
+        assert!((input.mean_frequency.as_hz() as f64 - expected).abs() <= 1.0);
     }
 
     #[test]
@@ -278,7 +321,7 @@ mod tests {
         let input = input_from(&[(90.0, 533.0, 0.9), (45.0, 133.0, 0.0)]);
         assert!(policy.decide(&input).is_empty());
         policy.reset();
-        assert_eq!(DvfsOnlyPolicy::default(), policy);
+        assert_eq!(DvfsOnlyPolicy, policy);
     }
 
     #[test]
@@ -289,7 +332,9 @@ mod tests {
         };
         assert!(a.to_string().contains("task2"));
         assert!(a.to_string().contains("core1"));
-        assert!(PolicyAction::HaltCore(CoreId(0)).to_string().contains("halt"));
+        assert!(PolicyAction::HaltCore(CoreId(0))
+            .to_string()
+            .contains("halt"));
         assert!(PolicyAction::ResumeCore(CoreId(0))
             .to_string()
             .contains("resume"));

@@ -150,16 +150,16 @@ impl ThermalBalancingPolicy {
         }
         // Condition 1: opposite sides of the mean temperature.
         if self.config.use_temperature_condition {
-            let product = (src.temperature.as_celsius() - mean_t)
-                * (dst.temperature.as_celsius() - mean_t);
+            let product =
+                (src.temperature.as_celsius() - mean_t) * (dst.temperature.as_celsius() - mean_t);
             if product >= 0.0 {
                 return false;
             }
         }
         // Condition 2: opposite sides of the mean frequency (non-strict).
         if self.config.use_frequency_condition {
-            let product = (src.frequency.as_hz() as f64 - mean_f)
-                * (dst.frequency.as_hz() as f64 - mean_f);
+            let product =
+                (src.frequency.as_hz() as f64 - mean_f) * (dst.frequency.as_hz() as f64 - mean_f);
             if product > 0.0 {
                 return false;
             }
@@ -289,8 +289,8 @@ impl Policy for ThermalBalancingPolicy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::policy::test_support::*;
     use crate::policy::build_input;
+    use crate::policy::test_support::*;
     use tbp_arch::core::CoreId;
     use tbp_arch::units::Bytes;
     use tbp_os::task::TaskId;
@@ -316,7 +316,11 @@ mod tests {
         let mut p = policy(3.0);
         // Core 0 is 6 °C above the mean, runs fast and carries the load;
         // core 2 is cold and slow.
-        let input = input_from(&[(70.0, 533.0, 0.65), (63.0, 266.0, 0.33), (59.0, 266.0, 0.40)]);
+        let input = input_from(&[
+            (70.0, 533.0, 0.65),
+            (63.0, 266.0, 0.33),
+            (59.0, 266.0, 0.40),
+        ]);
         let actions = p.decide(&input);
         assert_eq!(actions.len(), 1);
         match actions[0] {

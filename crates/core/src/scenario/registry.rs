@@ -1,0 +1,195 @@
+//! Name → factory registry for run-time policies.
+//!
+//! Scenario specs reference policies by string name; a [`PolicyRegistry`]
+//! resolves those names to [`Policy`] instances. The four paper policies are
+//! pre-registered ([`PolicyRegistry::with_builtins`]); third-party policies
+//! register with [`PolicyRegistry::register`] without touching any core
+//! code:
+//!
+//! ```
+//! use tbp_core::policy::{DvfsOnlyPolicy, Policy};
+//! use tbp_core::scenario::{PolicyRegistry, PolicySpec};
+//!
+//! let mut registry = PolicyRegistry::with_builtins();
+//! registry.register("my-policy", |spec| {
+//!     let _band = spec.threshold_or_default();
+//!     Ok(Box::new(DvfsOnlyPolicy::new()))
+//! });
+//! let policy = registry
+//!     .instantiate(&PolicySpec::named("my-policy"))
+//!     .expect("registered");
+//! assert_eq!(policy.name(), "dvfs-only");
+//! ```
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use tbp_arch::freq::DvfsScale;
+
+use crate::error::SimError;
+use crate::policy::{
+    DvfsOnlyPolicy, EnergyBalancingPolicy, Policy, StopGoPolicy, ThermalBalancingConfig,
+    ThermalBalancingPolicy,
+};
+use crate::scenario::spec::PolicySpec;
+
+/// A function building a policy from its spec.
+pub type PolicyFactory =
+    Box<dyn Fn(&PolicySpec) -> Result<Box<dyn Policy>, SimError> + Send + Sync>;
+
+/// Registry mapping policy names to factories.
+pub struct PolicyRegistry {
+    factories: BTreeMap<String, PolicyFactory>,
+}
+
+impl PolicyRegistry {
+    /// An empty registry (no names resolve).
+    pub fn empty() -> Self {
+        PolicyRegistry {
+            factories: BTreeMap::new(),
+        }
+    }
+
+    /// A registry pre-populated with the paper's four policies:
+    /// `thermal-balancing`, `stop-and-go`, `energy-balancing`, `dvfs-only`.
+    pub fn with_builtins() -> Self {
+        let mut registry = PolicyRegistry::empty();
+        registry.register("thermal-balancing", |spec: &PolicySpec| {
+            Ok(Box::new(ThermalBalancingPolicy::new(
+                DvfsScale::paper_default(),
+                ThermalBalancingConfig::paper_default().with_threshold(spec.threshold_or_default()),
+            )) as Box<dyn Policy>)
+        });
+        registry.register("stop-and-go", |spec: &PolicySpec| {
+            Ok(Box::new(StopGoPolicy::new(spec.threshold_or_default())) as Box<dyn Policy>)
+        });
+        registry.register("energy-balancing", |_spec: &PolicySpec| {
+            Ok(Box::new(EnergyBalancingPolicy::new()) as Box<dyn Policy>)
+        });
+        registry.register("dvfs-only", |_spec: &PolicySpec| {
+            Ok(Box::new(DvfsOnlyPolicy::new()) as Box<dyn Policy>)
+        });
+        registry
+    }
+
+    /// The shared process-wide registry with the built-in policies.
+    ///
+    /// Custom policies cannot be added here; build your own registry with
+    /// [`with_builtins`](Self::with_builtins) + [`register`](Self::register)
+    /// and hand it to the runner or builder instead.
+    pub fn global() -> Arc<PolicyRegistry> {
+        static GLOBAL: OnceLock<Arc<PolicyRegistry>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Arc::new(PolicyRegistry::with_builtins()))
+            .clone()
+    }
+
+    /// Registers (or replaces) a factory under `name`.
+    pub fn register<F>(&mut self, name: impl Into<String>, factory: F)
+    where
+        F: Fn(&PolicySpec) -> Result<Box<dyn Policy>, SimError> + Send + Sync + 'static,
+    {
+        self.factories.insert(name.into(), Box::new(factory));
+    }
+
+    /// Whether `name` resolves.
+    pub fn contains(&self, name: &str) -> bool {
+        self.factories.contains_key(name)
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.factories.keys().cloned().collect()
+    }
+
+    /// Builds the policy a spec names.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::UnknownPolicy`] when the name is not registered,
+    /// or whatever error the factory reports.
+    pub fn instantiate(&self, spec: &PolicySpec) -> Result<Box<dyn Policy>, SimError> {
+        match self.factories.get(&spec.name) {
+            Some(factory) => factory(spec),
+            None => Err(SimError::UnknownPolicy {
+                name: spec.name.clone(),
+                known: self.names(),
+            }),
+        }
+    }
+}
+
+impl Default for PolicyRegistry {
+    fn default() -> Self {
+        PolicyRegistry::with_builtins()
+    }
+}
+
+impl fmt::Debug for PolicyRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PolicyRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_resolve_with_matching_names() {
+        let registry = PolicyRegistry::with_builtins();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "dvfs-only".to_string(),
+                "energy-balancing".to_string(),
+                "stop-and-go".to_string(),
+                "thermal-balancing".to_string(),
+            ]
+        );
+        for name in registry.names() {
+            let policy = registry
+                .instantiate(&PolicySpec::named(&name).with_threshold(2.0))
+                .expect("builtin instantiates");
+            assert_eq!(policy.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_names_error_and_list_known_policies() {
+        let registry = PolicyRegistry::with_builtins();
+        let err = match registry.instantiate(&PolicySpec::named("does-not-exist")) {
+            Ok(_) => panic!("unknown policy must not instantiate"),
+            Err(err) => err,
+        };
+        match &err {
+            SimError::UnknownPolicy { name, known } => {
+                assert_eq!(name, "does-not-exist");
+                assert_eq!(known.len(), 4);
+            }
+            other => panic!("expected UnknownPolicy, got {other:?}"),
+        }
+        assert!(err.to_string().contains("thermal-balancing"));
+    }
+
+    #[test]
+    fn third_party_registration() {
+        let mut registry = PolicyRegistry::with_builtins();
+        assert!(!registry.contains("custom"));
+        registry.register("custom", |_| Ok(Box::new(DvfsOnlyPolicy::new())));
+        assert!(registry.contains("custom"));
+        assert!(registry.instantiate(&PolicySpec::named("custom")).is_ok());
+        assert!(format!("{registry:?}").contains("custom"));
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = PolicyRegistry::global();
+        let b = PolicyRegistry::global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.contains("thermal-balancing"));
+    }
+}

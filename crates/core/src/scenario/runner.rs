@@ -1,0 +1,477 @@
+//! Batch execution of scenarios.
+//!
+//! A [`Runner`] expands the sweep axes of a batch of [`ScenarioSpec`]s into
+//! concrete runs, executes them — in parallel by default, one [`Simulation`]
+//! per worker — and returns a [`BatchReport`] of structured [`RunReport`]s
+//! with JSON and CSV emission. Report order follows expansion order
+//! regardless of execution order, so a parallel batch is byte-identical to a
+//! sequential one.
+
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::freq::{Frequency, OperatingPoint, Voltage};
+use tbp_arch::power::{ComponentKind, CoreClass, PowerModel};
+use tbp_arch::units::{Bytes, Celsius};
+use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
+use tbp_streaming::sdr::SdrBenchmark;
+use tbp_thermal::package::PackageKind;
+
+use crate::error::SimError;
+use crate::metrics::SimulationSummary;
+use crate::scenario::registry::PolicyRegistry;
+use crate::scenario::spec::{AnalysisKind, ScenarioSpec};
+use crate::sim::Simulation;
+use std::sync::Arc;
+
+/// Executes batches of scenarios and collects their reports.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    registry: Arc<PolicyRegistry>,
+    parallel: bool,
+}
+
+impl Runner {
+    /// A parallel runner using the global (built-in) policy registry.
+    pub fn new() -> Self {
+        Runner {
+            registry: PolicyRegistry::global(),
+            parallel: true,
+        }
+    }
+
+    /// A sequential runner (single-threaded; useful for debugging and for
+    /// verifying parallel determinism).
+    pub fn sequential() -> Self {
+        Runner {
+            registry: PolicyRegistry::global(),
+            parallel: false,
+        }
+    }
+
+    /// Resolves policies through `registry` instead of the global one.
+    pub fn with_registry(mut self, registry: PolicyRegistry) -> Self {
+        self.registry = Arc::new(registry);
+        self
+    }
+
+    /// Resolves policies through an already-shared registry.
+    pub fn with_registry_arc(mut self, registry: Arc<PolicyRegistry>) -> Self {
+        self.registry = registry;
+        self
+    }
+
+    /// Enables or disables parallel execution.
+    pub fn with_parallelism(mut self, parallel: bool) -> Self {
+        self.parallel = parallel;
+        self
+    }
+
+    /// Expands every spec and executes all resulting runs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error in expansion order; runs that already
+    /// completed are discarded.
+    pub fn run(&self, specs: &[ScenarioSpec]) -> Result<BatchReport, SimError> {
+        let cases: Vec<(String, ScenarioSpec)> = specs
+            .iter()
+            .flat_map(|spec| {
+                spec.expand()
+                    .into_iter()
+                    .map(|case| (spec.name.clone(), case))
+            })
+            .collect();
+        let results: Vec<Result<RunReport, SimError>> = if self.parallel {
+            cases
+                .into_par_iter()
+                .map(|(group, case)| self.run_case(group, &case))
+                .collect()
+        } else {
+            cases
+                .iter()
+                .map(|(group, case)| self.run_case(group.clone(), case))
+                .collect()
+        };
+        let mut reports = Vec::with_capacity(results.len());
+        for result in results {
+            reports.push(result?);
+        }
+        Ok(BatchReport { reports })
+    }
+
+    /// Runs a single spec (expanding its sweep) — convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_spec(&self, spec: &ScenarioSpec) -> Result<BatchReport, SimError> {
+        self.run(std::slice::from_ref(spec))
+    }
+
+    /// Executes one concrete (already expanded) scenario of the named group.
+    fn run_case(&self, group: String, case: &ScenarioSpec) -> Result<RunReport, SimError> {
+        if let Some(kind) = case.analysis {
+            return Ok(RunReport {
+                scenario: case.name.clone(),
+                group,
+                policy: None,
+                package: None,
+                threshold: None,
+                queue_capacity: None,
+                outcome: RunOutcome::Table(kind.compute()),
+            });
+        }
+        let mut sim: Simulation = case.build_with(&self.registry)?;
+        sim.run_for(case.total_duration())?;
+        Ok(RunReport {
+            scenario: case.name.clone(),
+            group,
+            policy: Some(case.policy_spec().name),
+            package: Some(case.package_kind()),
+            threshold: Some(case.threshold()),
+            queue_capacity: case.queue_capacity(),
+            outcome: RunOutcome::Simulation(Box::new(sim.summary())),
+        })
+    }
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Runner::new()
+    }
+}
+
+/// Structured result of one scenario run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Fully expanded scenario name (base name + swept coordinates).
+    pub scenario: String,
+    /// The base name of the spec this run expanded from (exactly; no name
+    /// parsing is involved, so base names may contain any characters).
+    pub group: String,
+    /// Policy that ran (`None` for analytic tables).
+    pub policy: Option<String>,
+    /// Thermal package (`None` for analytic tables).
+    pub package: Option<PackageKind>,
+    /// Policy threshold in °C (`None` for analytic tables).
+    pub threshold: Option<f64>,
+    /// SDR queue capacity override, when the scenario set one.
+    pub queue_capacity: Option<usize>,
+    /// What the run produced.
+    pub outcome: RunOutcome,
+}
+
+impl RunReport {
+    /// The simulation summary, when the run was a simulation.
+    pub fn summary(&self) -> Option<&SimulationSummary> {
+        match &self.outcome {
+            RunOutcome::Simulation(summary) => Some(summary),
+            RunOutcome::Table(_) => None,
+        }
+    }
+
+    /// The analytic table, when the run was one.
+    pub fn table(&self) -> Option<&TableReport> {
+        match &self.outcome {
+            RunOutcome::Table(table) => Some(table),
+            RunOutcome::Simulation(_) => None,
+        }
+    }
+}
+
+/// What one scenario run produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum RunOutcome {
+    /// A full co-simulation summary.
+    Simulation(Box<SimulationSummary>),
+    /// An analytic table.
+    Table(TableReport),
+}
+
+/// A printable table produced by an analytic scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TableReport {
+    /// Table title.
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Data rows.
+    pub rows: Vec<Vec<String>>,
+}
+
+/// The ordered reports of one batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchReport {
+    /// One report per expanded run, in expansion order.
+    pub reports: Vec<RunReport>,
+}
+
+impl BatchReport {
+    /// Number of reports.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Reports belonging to the scenario whose base name is `group`.
+    pub fn group(&self, group: &str) -> Vec<&RunReport> {
+        self.reports.iter().filter(|r| r.group == group).collect()
+    }
+
+    /// Pretty-printed JSON of every report.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("reports always serialize")
+    }
+
+    /// CSV of the simulation reports (analytic tables are skipped), one row
+    /// per run with the headline metrics of the paper's evaluation.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from(
+            "scenario,policy,package,threshold_c,queue_capacity,sigma_spatial_c,mean_spread_c,\
+             peak_c,frames_delivered,deadline_misses,miss_rate,migrations,migrations_per_s,\
+             migrated_kib_per_s,halts,measured_s\n",
+        );
+        for report in &self.reports {
+            let Some(summary) = report.summary() else {
+                continue;
+            };
+            let row = [
+                csv_field(&report.scenario),
+                csv_field(report.policy.as_deref().unwrap_or("")),
+                csv_field(&report.package.map_or(String::new(), |p| p.to_string())),
+                report.threshold.map_or(String::new(), |t| format!("{t}")),
+                report
+                    .queue_capacity
+                    .map_or(String::new(), |q| q.to_string()),
+                format!("{:.4}", summary.mean_spatial_std_dev()),
+                format!("{:.4}", summary.mean_spread()),
+                format!("{:.2}", summary.thermal.peak_temperature),
+                summary.qos.frames_delivered.to_string(),
+                summary.qos.deadline_misses.to_string(),
+                format!("{:.4}", summary.qos.miss_rate()),
+                summary.migration.migrations.to_string(),
+                format!("{:.3}", summary.migrations_per_second()),
+                format!("{:.1}", summary.migrated_kib_per_second()),
+                summary.migration.halts.to_string(),
+                format!("{:.2}", summary.measured_time.as_secs()),
+            ];
+            out.push_str(&row.join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+fn csv_field(raw: &str) -> String {
+    if raw.contains(',') || raw.contains('"') || raw.contains('\n') {
+        format!("\"{}\"", raw.replace('"', "\"\""))
+    } else {
+        raw.to_string()
+    }
+}
+
+impl AnalysisKind {
+    /// Computes the analytic table for this kind.
+    pub fn compute(&self) -> TableReport {
+        match self {
+            AnalysisKind::Table1Power => table1_power(),
+            AnalysisKind::Table2Mapping => table2_mapping(),
+            AnalysisKind::Fig2MigrationCost => fig2_migration_cost(),
+        }
+    }
+}
+
+/// Table 1: component power at the reference and half operating points.
+fn table1_power() -> TableReport {
+    let model = PowerModel::new();
+    let reference = OperatingPoint::new(Frequency::from_mhz(500.0), Voltage::new(1.2));
+    let half = OperatingPoint::new(Frequency::from_mhz(266.0), Voltage::new(1.0));
+    let t = Celsius::new(60.0);
+    let core_row = |name: &str, class: CoreClass| {
+        vec![
+            name.to_string(),
+            format!(
+                "{}",
+                model
+                    .core_power(class, reference, 1.0, t)
+                    .expect("full utilization is valid")
+            ),
+            format!(
+                "{}",
+                model
+                    .core_power(class, half, 1.0, t)
+                    .expect("full utilization is valid")
+            ),
+        ]
+    };
+    let component_row = |name: &str, kind: ComponentKind| {
+        vec![
+            name.to_string(),
+            format!(
+                "{}",
+                model
+                    .component_power(kind, reference, 1.0, t)
+                    .expect("full utilization is valid")
+            ),
+            format!(
+                "{}",
+                model
+                    .component_power(kind, half, 1.0, t)
+                    .expect("full utilization is valid")
+            ),
+        ]
+    };
+    TableReport {
+        title: "Table 1 — component power in 0.09 µm CMOS".to_string(),
+        header: vec![
+            "component".to_string(),
+            "max power @500 MHz/1.2 V".to_string(),
+            "power @266 MHz/1.0 V".to_string(),
+        ],
+        rows: vec![
+            core_row("RISC32-streaming (Conf1)", CoreClass::Risc32Streaming),
+            core_row("RISC32-ARM11 (Conf2)", CoreClass::Risc32Arm11),
+            component_row("DCache 8kB/2way", ComponentKind::DCache),
+            component_row("ICache 8kB/DM", ComponentKind::ICache),
+            component_row("Memory 32kB", ComponentKind::Memory32k),
+        ],
+    }
+}
+
+/// Table 2: the SDR task set and its initial energy-balanced mapping.
+fn table2_mapping() -> TableReport {
+    let sdr = SdrBenchmark::paper_default();
+    TableReport {
+        title: "Table 2 — SDR application mapping".to_string(),
+        header: vec![
+            "core / freq.".to_string(),
+            "task".to_string(),
+            "load [%]".to_string(),
+            "FSE load".to_string(),
+        ],
+        rows: sdr
+            .mapping()
+            .iter()
+            .map(|entry| {
+                vec![
+                    format!(
+                        "Core {} ({:.0} MHz)",
+                        entry.core.index() + 1,
+                        entry.core_frequency_mhz
+                    ),
+                    entry.name.clone(),
+                    format!("{:.1}", entry.load_percent),
+                    format!("{:.3}", entry.fse_load()),
+                ]
+            })
+            .collect(),
+    }
+}
+
+/// Figure 2: migration cost vs. task size for both migration back-ends.
+fn fig2_migration_cost() -> TableReport {
+    let model = MigrationCostModel::paper_default();
+    let sizes_kib = [64u64, 96, 128, 192, 256, 384, 512, 640, 768, 896, 1024];
+    TableReport {
+        title: "Figure 2 — migration cost vs task size".to_string(),
+        header: vec![
+            "task size [KiB]".to_string(),
+            "replication [kcycles]".to_string(),
+            "re-creation [kcycles]".to_string(),
+            "repl. slope [cyc/B]".to_string(),
+            "recr. slope [cyc/B]".to_string(),
+        ],
+        rows: sizes_kib
+            .iter()
+            .map(|&kib| {
+                let size = Bytes::from_kib(kib);
+                let repl = model.cycles(MigrationStrategy::TaskReplication, size);
+                let recr = model.cycles(MigrationStrategy::TaskRecreation, size);
+                vec![
+                    format!("{kib}"),
+                    format!("{:.0}", repl / 1e3),
+                    format!("{:.0}", recr / 1e3),
+                    format!(
+                        "{:.2}",
+                        model.slope_at(MigrationStrategy::TaskReplication, size)
+                    ),
+                    format!(
+                        "{:.2}",
+                        model.slope_at(MigrationStrategy::TaskRecreation, size)
+                    ),
+                ]
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::spec::SweepSpec;
+
+    fn quick_spec(name: &str) -> ScenarioSpec {
+        ScenarioSpec::new(name)
+            .with_package(PackageKind::HighPerformance)
+            .with_schedule(0.5, 1.0)
+    }
+
+    #[test]
+    fn analysis_scenarios_produce_tables() {
+        let batch = Runner::sequential()
+            .run(&[
+                ScenarioSpec::analysis("table1", AnalysisKind::Table1Power),
+                ScenarioSpec::analysis("table2", AnalysisKind::Table2Mapping),
+                ScenarioSpec::analysis("fig2", AnalysisKind::Fig2MigrationCost),
+            ])
+            .expect("analysis runs");
+        assert_eq!(batch.len(), 3);
+        assert_eq!(batch.reports[0].table().unwrap().rows.len(), 5);
+        assert_eq!(batch.reports[1].table().unwrap().header.len(), 4);
+        assert_eq!(batch.reports[2].table().unwrap().rows.len(), 11);
+        assert!(batch.reports.iter().all(|r| r.summary().is_none()));
+        // Tables are excluded from the CSV: only the header line remains.
+        assert_eq!(batch.to_csv().lines().count(), 1);
+    }
+
+    #[test]
+    fn simulation_reports_carry_the_expanded_coordinates() {
+        let spec = quick_spec("mini").with_sweep(
+            SweepSpec::default()
+                .with_policies(["dvfs-only", "energy-balancing"])
+                .with_thresholds([2.0]),
+        );
+        let batch = Runner::new().run_spec(&spec).expect("batch runs");
+        assert_eq!(batch.len(), 2);
+        let report = &batch.reports[0];
+        assert_eq!(report.scenario, "mini[dvfs-only/t2]");
+        assert_eq!(report.group, "mini");
+        assert_eq!(report.policy.as_deref(), Some("dvfs-only"));
+        assert_eq!(report.package, Some(PackageKind::HighPerformance));
+        assert_eq!(report.threshold, Some(2.0));
+        let summary = report.summary().expect("simulation outcome");
+        assert!(summary.qos.frames_delivered > 0);
+        assert_eq!(batch.group("mini").len(), 2);
+        // CSV: header + one row per simulation.
+        assert_eq!(batch.to_csv().lines().count(), 3);
+    }
+
+    #[test]
+    fn unknown_policy_fails_the_batch() {
+        let spec = quick_spec("bad").with_policy("not-a-policy", 1.0);
+        let err = Runner::new().run_spec(&spec).unwrap_err();
+        assert!(matches!(err, SimError::UnknownPolicy { .. }));
+    }
+
+    #[test]
+    fn csv_quotes_awkward_fields() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+    }
+}

@@ -1,0 +1,739 @@
+//! Declarative scenario specifications.
+//!
+//! A [`ScenarioSpec`] is a plain data value (serde-serializable, so TOML and
+//! JSON files round-trip) describing everything one simulation run needs:
+//! platform, thermal package, workload, policy and schedule. A spec may also
+//! carry a [`SweepSpec`] whose axes expand one spec into a grid of concrete
+//! runs ([`ScenarioSpec::expand`]).
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::platform::PlatformConfig;
+use tbp_arch::units::Seconds;
+use tbp_os::migration::MigrationStrategy;
+use tbp_streaming::pipeline::PipelineConfig;
+use tbp_streaming::sdr::SdrBenchmark;
+use tbp_streaming::workload::WorkloadSpec;
+use tbp_thermal::package::{Package, PackageKind};
+use tbp_thermal::solver::SolverKind;
+
+use crate::error::SimError;
+use crate::scenario::registry::PolicyRegistry;
+use crate::sim::builder::Workload;
+use crate::sim::{Simulation, SimulationBuilder, SimulationConfig};
+
+/// Default policy threshold (°C) when a spec does not name one.
+pub const DEFAULT_THRESHOLD: f64 = 3.0;
+
+/// A declarative description of one experiment (or, with a sweep, a grid of
+/// experiments).
+///
+/// All sections are optional and default to the paper's headline setup: the
+/// 3-core platform, mobile-embedded package, SDR workload and the thermal
+/// balancing policy at ±3 °C, simulated for 8 s of warm-up + 20 s measured.
+///
+/// ```
+/// use tbp_core::scenario::ScenarioSpec;
+///
+/// let spec: ScenarioSpec = toml::from_str(
+///     r#"
+///     name = "demo"
+///
+///     [policy]
+///     name = "thermal-balancing"
+///     threshold = 2.0
+///
+///     [schedule]
+///     warmup = 1.0
+///     duration = 2.0
+///
+///     [sweep]
+///     thresholds = [1.0, 2.0]
+///     policies = ["thermal-balancing", "stop-and-go"]
+///     "#,
+/// )
+/// .expect("valid TOML");
+/// assert_eq!(spec.expand().len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioSpec {
+    /// Name of the scenario (used in reports; sweep expansion suffixes it).
+    pub name: String,
+    /// Free-form description.
+    pub description: Option<String>,
+    /// When set, the scenario is an analytic table (no simulation runs).
+    pub analysis: Option<AnalysisKind>,
+    /// Platform overrides.
+    pub platform: Option<PlatformSpec>,
+    /// Thermal package selection.
+    pub package: Option<PackageKind>,
+    /// Workload selection.
+    pub workload: Option<WorkloadDecl>,
+    /// Policy selection (resolved through a [`PolicyRegistry`]).
+    pub policy: Option<PolicySpec>,
+    /// Timing of the run.
+    pub schedule: Option<ScheduleSpec>,
+    /// Sweep axes expanding this spec into a grid of concrete runs.
+    pub sweep: Option<SweepSpec>,
+}
+
+impl ScenarioSpec {
+    /// A spec with every section defaulted (the paper's headline setup).
+    pub fn new(name: impl Into<String>) -> Self {
+        ScenarioSpec {
+            name: name.into(),
+            description: None,
+            analysis: None,
+            platform: None,
+            package: None,
+            workload: None,
+            policy: None,
+            schedule: None,
+            sweep: None,
+        }
+    }
+
+    /// An analytic-table scenario (no simulation).
+    pub fn analysis(name: impl Into<String>, kind: AnalysisKind) -> Self {
+        let mut spec = ScenarioSpec::new(name);
+        spec.analysis = Some(kind);
+        spec
+    }
+
+    /// Sets the description.
+    pub fn with_description(mut self, description: impl Into<String>) -> Self {
+        self.description = Some(description.into());
+        self
+    }
+
+    /// Sets the thermal package.
+    pub fn with_package(mut self, package: PackageKind) -> Self {
+        self.package = Some(package);
+        self
+    }
+
+    /// Sets the policy by name and threshold.
+    pub fn with_policy(mut self, name: impl Into<String>, threshold: f64) -> Self {
+        self.policy = Some(PolicySpec::named(name).with_threshold(threshold));
+        self
+    }
+
+    /// Sets warm-up and measured duration (seconds).
+    pub fn with_schedule(mut self, warmup: f64, duration: f64) -> Self {
+        let mut schedule = self.schedule.unwrap_or_default();
+        schedule.warmup = Some(warmup);
+        schedule.duration = Some(duration);
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the workload declaration.
+    pub fn with_workload(mut self, workload: WorkloadDecl) -> Self {
+        self.workload = Some(workload);
+        self
+    }
+
+    /// Sets the sweep axes.
+    pub fn with_sweep(mut self, sweep: SweepSpec) -> Self {
+        self.sweep = Some(sweep);
+        self
+    }
+
+    /// The effective package kind ([`PackageKind::MobileEmbedded`] default).
+    pub fn package_kind(&self) -> PackageKind {
+        self.package.unwrap_or(PackageKind::MobileEmbedded)
+    }
+
+    /// The package object for the effective kind (`Custom` falls back to the
+    /// mobile parameterisation, matching the historical behaviour).
+    pub fn package_object(&self) -> Package {
+        match self.package_kind() {
+            PackageKind::HighPerformance => Package::high_performance(),
+            _ => Package::mobile_embedded(),
+        }
+    }
+
+    /// The effective policy spec (thermal balancing at ±3 °C by default).
+    pub fn policy_spec(&self) -> PolicySpec {
+        self.policy
+            .clone()
+            .unwrap_or_else(|| PolicySpec::named("thermal-balancing"))
+    }
+
+    /// The effective policy threshold.
+    pub fn threshold(&self) -> f64 {
+        self.policy_spec().threshold.unwrap_or(DEFAULT_THRESHOLD)
+    }
+
+    /// The effective schedule with all defaults applied.
+    pub fn schedule(&self) -> ResolvedSchedule {
+        self.schedule.clone().unwrap_or_default().resolve()
+    }
+
+    /// Warm-up plus measured duration.
+    pub fn total_duration(&self) -> Seconds {
+        let schedule = self.schedule();
+        schedule.warmup + schedule.duration
+    }
+
+    /// The queue capacity override of the workload, if any.
+    pub fn queue_capacity(&self) -> Option<usize> {
+        self.workload.as_ref().and_then(|w| w.queue_capacity)
+    }
+
+    /// Expands the sweep axes into concrete specs (one per grid point).
+    ///
+    /// Axis order (outermost to innermost): packages, policies, thresholds,
+    /// queue capacities. A spec without a sweep expands to itself. Expanded
+    /// specs carry no sweep and a name suffixed with the swept coordinates,
+    /// e.g. `fig7[stop-and-go/t2]`.
+    pub fn expand(&self) -> Vec<ScenarioSpec> {
+        let Some(sweep) = &self.sweep else {
+            return vec![self.clone()];
+        };
+        // An explicitly empty axis behaves like an absent one (matching
+        // `SweepSpec::cardinality`); expanding it to zero runs would silently
+        // drop the whole scenario.
+        let packages: Vec<Option<PackageKind>> = match &sweep.packages {
+            Some(values) if !values.is_empty() => values.iter().copied().map(Some).collect(),
+            _ => vec![None],
+        };
+        let policies: Vec<Option<String>> = match &sweep.policies {
+            Some(values) if !values.is_empty() => values.iter().cloned().map(Some).collect(),
+            _ => vec![None],
+        };
+        let thresholds: Vec<Option<f64>> = match &sweep.thresholds {
+            Some(values) if !values.is_empty() => values.iter().copied().map(Some).collect(),
+            _ => vec![None],
+        };
+        let queues: Vec<Option<usize>> = match &sweep.queue_capacities {
+            Some(values) if !values.is_empty() => values.iter().copied().map(Some).collect(),
+            _ => vec![None],
+        };
+        let mut cases = Vec::new();
+        for package in &packages {
+            for policy in &policies {
+                for threshold in &thresholds {
+                    for queue in &queues {
+                        let mut case = self.clone();
+                        case.sweep = None;
+                        let mut suffix: Vec<String> = Vec::new();
+                        if let Some(package) = package {
+                            case.package = Some(*package);
+                            suffix.push(package_label(*package).to_string());
+                        }
+                        let mut policy_spec = self.policy_spec();
+                        if let Some(policy) = policy {
+                            policy_spec.name = policy.clone();
+                            suffix.push(policy.clone());
+                        }
+                        if let Some(threshold) = threshold {
+                            policy_spec.threshold = Some(*threshold);
+                            suffix.push(format!("t{threshold}"));
+                        }
+                        case.policy = Some(policy_spec);
+                        if let Some(queue) = queue {
+                            let mut workload = case.workload.unwrap_or_default();
+                            workload.queue_capacity = Some(*queue);
+                            case.workload = Some(workload);
+                            suffix.push(format!("q{queue}"));
+                        }
+                        if !suffix.is_empty() {
+                            case.name = format!("{}[{}]", self.name, suffix.join("/"));
+                        }
+                        cases.push(case);
+                    }
+                }
+            }
+        }
+        cases
+    }
+
+    /// Builds the simulation for a concrete spec using the global (built-in)
+    /// policy registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for sweep-carrying or analysis specs, unknown
+    /// policies, or invalid configurations.
+    pub fn build(&self) -> Result<Simulation, SimError> {
+        self.build_with(&PolicyRegistry::global())
+    }
+
+    /// Builds the simulation for a concrete spec resolving the policy through
+    /// `registry`.
+    ///
+    /// # Errors
+    ///
+    /// See [`build`](Self::build).
+    pub fn build_with(&self, registry: &PolicyRegistry) -> Result<Simulation, SimError> {
+        if self.sweep.is_some() {
+            return Err(SimError::Spec(format!(
+                "scenario `{}` still carries a sweep; call expand() first",
+                self.name
+            )));
+        }
+        if self.analysis.is_some() {
+            return Err(SimError::Spec(format!(
+                "scenario `{}` is an analytic table and has no simulation",
+                self.name
+            )));
+        }
+        let threshold = self.threshold();
+        let schedule = self.schedule();
+        let platform = self.platform.clone().unwrap_or_default();
+        let policy = registry.instantiate(&self.policy_spec())?;
+        SimulationBuilder::new()
+            .with_platform(platform.to_config())
+            .with_package(self.package_object())
+            .with_solver(platform.solver.unwrap_or(SolverKind::ForwardEuler))
+            .with_migration_strategy(
+                platform
+                    .migration
+                    .unwrap_or(MigrationStrategy::TaskReplication),
+            )
+            .with_dvfs(platform.dvfs.unwrap_or(true))
+            .with_workload(self.workload.clone().unwrap_or_default().to_workload()?)
+            .with_policy_box(policy)
+            .with_threshold(threshold)
+            .with_config(SimulationConfig {
+                time_step: schedule.time_step,
+                policy_period: schedule.policy_period,
+                warmup: schedule.warmup,
+                metrics_threshold: threshold,
+                trace_interval: schedule.trace_interval,
+            })
+            .build()
+    }
+
+    /// Parses a spec from TOML text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on malformed TOML.
+    pub fn from_toml_str(text: &str) -> Result<Self, SimError> {
+        toml::from_str(text).map_err(|e| SimError::Spec(e.to_string()))
+    }
+
+    /// Renders the spec as a TOML document.
+    pub fn to_toml_string(&self) -> String {
+        toml::to_string(self).expect("scenario specs always serialize to a table")
+    }
+
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] on malformed JSON.
+    pub fn from_json_str(text: &str) -> Result<Self, SimError> {
+        serde_json::from_str(text).map_err(|e| SimError::Spec(e.to_string()))
+    }
+
+    /// Renders the spec as pretty-printed JSON.
+    pub fn to_json_string(&self) -> String {
+        serde_json::to_string_pretty(self).expect("scenario specs always serialize")
+    }
+}
+
+/// Short human label for a package kind (used in expanded scenario names).
+pub fn package_label(kind: PackageKind) -> &'static str {
+    match kind {
+        PackageKind::MobileEmbedded => "mobile",
+        PackageKind::HighPerformance => "hiperf",
+        PackageKind::Custom => "custom",
+    }
+}
+
+/// Platform overrides of a scenario.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlatformSpec {
+    /// Number of cores (default 3, the paper's platform).
+    pub cores: Option<usize>,
+    /// Use the lower-power ARM11-class core configuration (Conf2 of
+    /// Table 1) instead of the streaming configuration.
+    pub arm11: Option<bool>,
+    /// Enable the DVFS governor (default true).
+    pub dvfs: Option<bool>,
+    /// Migration back-end strategy (default task replication).
+    pub migration: Option<MigrationStrategy>,
+    /// Thermal solver (default forward Euler).
+    pub solver: Option<SolverKind>,
+}
+
+impl PlatformSpec {
+    /// The platform configuration this spec describes.
+    pub fn to_config(&self) -> PlatformConfig {
+        let base = if self.arm11.unwrap_or(false) {
+            PlatformConfig::paper_arm11()
+        } else {
+            PlatformConfig::paper_default()
+        };
+        match self.cores {
+            Some(cores) => base.with_cores(cores),
+            None => base,
+        }
+    }
+}
+
+/// Which application the scenario runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum WorkloadKind {
+    /// The paper's Software Defined Radio benchmark.
+    Sdr,
+    /// A synthetic task set without a pipeline.
+    Synthetic,
+    /// No tasks at all.
+    Idle,
+}
+
+/// Workload selection and its knobs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct WorkloadDecl {
+    /// Workload family (default [`WorkloadKind::Sdr`]).
+    pub kind: Option<WorkloadKind>,
+    /// Inter-stage queue capacity in frames (SDR only).
+    pub queue_capacity: Option<usize>,
+    /// Frames buffered before playback starts (SDR only; defaults to half
+    /// the queue capacity when a capacity is given).
+    pub prefill: Option<usize>,
+    /// Number of tasks (synthetic only).
+    pub num_tasks: Option<usize>,
+    /// Number of cores the synthetic placement targets (synthetic only).
+    pub num_cores: Option<usize>,
+    /// Total full-speed-equivalent load (synthetic only).
+    pub total_fse_load: Option<f64>,
+    /// PRNG seed (synthetic only).
+    pub seed: Option<u64>,
+}
+
+impl WorkloadDecl {
+    /// An SDR workload with a specific queue capacity.
+    pub fn sdr_with_queue(queue_capacity: usize) -> Self {
+        WorkloadDecl {
+            queue_capacity: Some(queue_capacity),
+            ..WorkloadDecl::default()
+        }
+    }
+
+    /// Converts the declaration into the builder's workload value.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] for inconsistent knobs (e.g. synthetic
+    /// parameters on an SDR workload are ignored, but a prefill larger than
+    /// the queue capacity is rejected by the pipeline at build time).
+    pub fn to_workload(&self) -> Result<Workload, SimError> {
+        match self.kind.unwrap_or(WorkloadKind::Sdr) {
+            WorkloadKind::Sdr => {
+                let mut sdr = SdrBenchmark::paper_default();
+                if let Some(capacity) = self.queue_capacity {
+                    let config = PipelineConfig {
+                        queue_capacity: capacity,
+                        prefill: self.prefill.unwrap_or(capacity / 2),
+                        ..*sdr.pipeline_config()
+                    };
+                    sdr = sdr.with_pipeline_config(config);
+                } else if let Some(prefill) = self.prefill {
+                    let config = PipelineConfig {
+                        prefill,
+                        ..*sdr.pipeline_config()
+                    };
+                    sdr = sdr.with_pipeline_config(config);
+                }
+                Ok(Workload::Sdr(sdr))
+            }
+            WorkloadKind::Synthetic => {
+                let mut spec = WorkloadSpec::default_mixed();
+                if let Some(num_tasks) = self.num_tasks {
+                    spec.num_tasks = num_tasks;
+                }
+                if let Some(num_cores) = self.num_cores {
+                    spec.num_cores = num_cores;
+                }
+                if let Some(total) = self.total_fse_load {
+                    spec.total_fse_load = total;
+                }
+                if let Some(seed) = self.seed {
+                    spec.seed = seed;
+                }
+                Ok(Workload::Synthetic(spec))
+            }
+            WorkloadKind::Idle => Ok(Workload::Idle),
+        }
+    }
+}
+
+/// Policy selection: a registry name plus its threshold.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicySpec {
+    /// Registry name of the policy (e.g. `"thermal-balancing"`).
+    pub name: String,
+    /// Balancing threshold in °C (policies that take one; default ±3 °C).
+    pub threshold: Option<f64>,
+}
+
+impl PolicySpec {
+    /// A policy spec with the default threshold.
+    pub fn named(name: impl Into<String>) -> Self {
+        PolicySpec {
+            name: name.into(),
+            threshold: None,
+        }
+    }
+
+    /// Sets the threshold.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// The threshold, defaulted to ±3 °C.
+    pub fn threshold_or_default(&self) -> f64 {
+        self.threshold.unwrap_or(DEFAULT_THRESHOLD)
+    }
+}
+
+/// Timing of a scenario, in seconds (milliseconds where noted).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ScheduleSpec {
+    /// Warm-up (policy disabled, unmeasured). Default 8 s.
+    pub warmup: Option<f64>,
+    /// Measured duration after warm-up. Default 20 s.
+    pub duration: Option<f64>,
+    /// Co-simulation step in milliseconds. Default 5 ms.
+    pub time_step_ms: Option<f64>,
+    /// Policy invocation period in milliseconds. Default 10 ms.
+    pub policy_period_ms: Option<f64>,
+    /// Trace sampling period in milliseconds; 0 disables tracing.
+    /// Default 100 ms.
+    pub trace_interval_ms: Option<f64>,
+}
+
+impl ScheduleSpec {
+    /// Applies defaults, producing concrete timing values.
+    pub fn resolve(&self) -> ResolvedSchedule {
+        ResolvedSchedule {
+            warmup: Seconds::new(self.warmup.unwrap_or(8.0)),
+            duration: Seconds::new(self.duration.unwrap_or(20.0)),
+            time_step: Seconds::from_millis(self.time_step_ms.unwrap_or(5.0)),
+            policy_period: Seconds::from_millis(self.policy_period_ms.unwrap_or(10.0)),
+            trace_interval: match self.trace_interval_ms {
+                Some(ms) if ms <= 0.0 => None,
+                Some(ms) => Some(Seconds::from_millis(ms)),
+                None => Some(Seconds::from_millis(100.0)),
+            },
+        }
+    }
+}
+
+/// A [`ScheduleSpec`] with all defaults applied.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolvedSchedule {
+    /// Warm-up time.
+    pub warmup: Seconds,
+    /// Measured duration.
+    pub duration: Seconds,
+    /// Co-simulation step.
+    pub time_step: Seconds,
+    /// Policy period.
+    pub policy_period: Seconds,
+    /// Trace interval (`None` disables tracing).
+    pub trace_interval: Option<Seconds>,
+}
+
+/// Sweep axes: the cartesian product of all present axes expands a spec into
+/// a grid of concrete runs.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct SweepSpec {
+    /// Thermal packages to sweep.
+    pub packages: Option<Vec<PackageKind>>,
+    /// Policy registry names to sweep.
+    pub policies: Option<Vec<String>>,
+    /// Policy thresholds (°C) to sweep.
+    pub thresholds: Option<Vec<f64>>,
+    /// SDR queue capacities to sweep.
+    pub queue_capacities: Option<Vec<usize>>,
+}
+
+impl SweepSpec {
+    /// Number of grid points the sweep expands to.
+    pub fn cardinality(&self) -> usize {
+        let len = |n: Option<usize>| n.filter(|&n| n > 0).unwrap_or(1);
+        len(self.packages.as_ref().map(Vec::len))
+            * len(self.policies.as_ref().map(Vec::len))
+            * len(self.thresholds.as_ref().map(Vec::len))
+            * len(self.queue_capacities.as_ref().map(Vec::len))
+    }
+
+    /// Sets the threshold axis.
+    pub fn with_thresholds(mut self, thresholds: impl Into<Vec<f64>>) -> Self {
+        self.thresholds = Some(thresholds.into());
+        self
+    }
+
+    /// Sets the policy axis.
+    pub fn with_policies<I, S>(mut self, policies: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.policies = Some(policies.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Sets the package axis.
+    pub fn with_packages(mut self, packages: impl Into<Vec<PackageKind>>) -> Self {
+        self.packages = Some(packages.into());
+        self
+    }
+
+    /// Sets the queue-capacity axis.
+    pub fn with_queue_capacities(mut self, capacities: impl Into<Vec<usize>>) -> Self {
+        self.queue_capacities = Some(capacities.into());
+        self
+    }
+}
+
+/// Analytic tables of the paper that need no simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AnalysisKind {
+    /// Table 1: component power at the reference operating points.
+    Table1Power,
+    /// Table 2: the SDR task set and its initial mapping.
+    Table2Mapping,
+    /// Figure 2: migration cost vs. task size for both back-ends.
+    Fig2MigrationCost,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let spec = ScenarioSpec::new("default");
+        assert_eq!(spec.package_kind(), PackageKind::MobileEmbedded);
+        assert_eq!(spec.policy_spec().name, "thermal-balancing");
+        assert_eq!(spec.threshold(), DEFAULT_THRESHOLD);
+        let schedule = spec.schedule();
+        assert_eq!(schedule.warmup, Seconds::new(8.0));
+        assert_eq!(schedule.duration, Seconds::new(20.0));
+        assert_eq!(schedule.time_step, Seconds::from_millis(5.0));
+        assert_eq!(spec.total_duration(), Seconds::new(28.0));
+    }
+
+    #[test]
+    fn sweep_expansion_covers_the_grid_in_order() {
+        let spec = ScenarioSpec::new("grid").with_sweep(
+            SweepSpec::default()
+                .with_packages([PackageKind::MobileEmbedded, PackageKind::HighPerformance])
+                .with_policies(["thermal-balancing", "stop-and-go"])
+                .with_thresholds([1.0, 2.0, 3.0]),
+        );
+        let cases = spec.expand();
+        assert_eq!(cases.len(), 12);
+        assert_eq!(spec.sweep.as_ref().unwrap().cardinality(), 12);
+        // Outermost axis first: the first half is all mobile.
+        assert!(cases[..6]
+            .iter()
+            .all(|c| c.package_kind() == PackageKind::MobileEmbedded));
+        // Policies before thresholds.
+        assert_eq!(cases[0].policy_spec().name, "thermal-balancing");
+        assert_eq!(cases[3].policy_spec().name, "stop-and-go");
+        assert_eq!(cases[0].threshold(), 1.0);
+        assert_eq!(cases[1].threshold(), 2.0);
+        // Expanded specs are concrete and uniquely named.
+        let mut names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        assert!(cases.iter().all(|c| c.sweep.is_none()));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        assert_eq!(cases[0].name, "grid[mobile/thermal-balancing/t1]");
+    }
+
+    #[test]
+    fn empty_sweep_axes_behave_like_absent_ones() {
+        let spec = ScenarioSpec::new("empty-axis").with_sweep(
+            SweepSpec::default()
+                .with_thresholds(Vec::new())
+                .with_policies(["thermal-balancing", "stop-and-go"]),
+        );
+        // The empty thresholds axis must not wipe out the grid, and the two
+        // cardinality APIs must agree.
+        assert_eq!(spec.expand().len(), 2);
+        assert_eq!(spec.sweep.as_ref().unwrap().cardinality(), 2);
+        let all_empty = ScenarioSpec::new("all-empty")
+            .with_sweep(SweepSpec::default().with_queue_capacities(Vec::new()));
+        assert_eq!(all_empty.expand().len(), 1);
+        assert_eq!(all_empty.sweep.as_ref().unwrap().cardinality(), 1);
+    }
+
+    #[test]
+    fn specs_without_sweep_expand_to_themselves() {
+        let spec = ScenarioSpec::new("solo").with_policy("stop-and-go", 2.0);
+        let cases = spec.expand();
+        assert_eq!(cases, vec![spec]);
+    }
+
+    #[test]
+    fn sweep_carrying_specs_do_not_build() {
+        let spec =
+            ScenarioSpec::new("x").with_sweep(SweepSpec::default().with_thresholds([1.0, 2.0]));
+        assert!(matches!(spec.build(), Err(SimError::Spec(_))));
+        let table = ScenarioSpec::analysis("t", AnalysisKind::Table1Power);
+        assert!(matches!(table.build(), Err(SimError::Spec(_))));
+    }
+
+    #[test]
+    fn concrete_specs_build_simulations() {
+        let spec = ScenarioSpec::new("buildable")
+            .with_package(PackageKind::HighPerformance)
+            .with_policy("dvfs-only", 2.0)
+            .with_workload(WorkloadDecl::sdr_with_queue(11))
+            .with_schedule(0.5, 1.0);
+        let sim = spec.build().expect("spec builds");
+        assert_eq!(sim.platform().num_cores(), 3);
+        assert_eq!(sim.policy_name(), "dvfs-only");
+        assert_eq!(sim.config().metrics_threshold, 2.0);
+    }
+
+    #[test]
+    fn workload_decl_variants() {
+        let sdr = WorkloadDecl::default().to_workload().unwrap();
+        assert!(matches!(sdr, Workload::Sdr(_)));
+        let synthetic = WorkloadDecl {
+            kind: Some(WorkloadKind::Synthetic),
+            num_tasks: Some(5),
+            num_cores: Some(2),
+            ..WorkloadDecl::default()
+        }
+        .to_workload()
+        .unwrap();
+        match synthetic {
+            Workload::Synthetic(spec) => {
+                assert_eq!(spec.num_tasks, 5);
+                assert_eq!(spec.num_cores, 2);
+            }
+            other => panic!("expected synthetic, got {other:?}"),
+        }
+        assert!(matches!(
+            WorkloadDecl {
+                kind: Some(WorkloadKind::Idle),
+                ..WorkloadDecl::default()
+            }
+            .to_workload()
+            .unwrap(),
+            Workload::Idle
+        ));
+    }
+
+    #[test]
+    fn trace_interval_zero_disables_tracing() {
+        let schedule = ScheduleSpec {
+            trace_interval_ms: Some(0.0),
+            ..ScheduleSpec::default()
+        }
+        .resolve();
+        assert_eq!(schedule.trace_interval, None);
+    }
+}

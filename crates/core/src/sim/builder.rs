@@ -12,8 +12,12 @@ use tbp_thermal::package::Package;
 use tbp_thermal::solver::SolverKind;
 use tbp_thermal::{SensorBank, ThermalModel};
 
+use std::sync::Arc;
+
 use crate::error::SimError;
-use crate::policy::{Policy, ThermalBalancingConfig, ThermalBalancingPolicy};
+use crate::policy::Policy;
+use crate::scenario::registry::PolicyRegistry;
+use crate::scenario::spec::PolicySpec;
 use crate::sim::{Simulation, SimulationConfig};
 
 /// The application the simulation runs.
@@ -55,12 +59,23 @@ pub struct SimulationBuilder {
     platform_config: PlatformConfig,
     package: Package,
     solver: SolverKind,
-    policy: Option<Box<dyn Policy>>,
+    policy: PolicyChoice,
+    registry: Option<Arc<PolicyRegistry>>,
     threshold: f64,
     config: SimulationConfig,
     workload: Workload,
     migration_strategy: MigrationStrategy,
     dvfs_enabled: bool,
+}
+
+/// How the builder obtains its policy.
+enum PolicyChoice {
+    /// The default thermal balancing policy at the builder's threshold.
+    Default,
+    /// An explicit policy object.
+    Boxed(Box<dyn Policy>),
+    /// A name resolved through the policy registry at build time.
+    Named(PolicySpec),
 }
 
 impl SimulationBuilder {
@@ -72,7 +87,8 @@ impl SimulationBuilder {
             platform_config: PlatformConfig::paper_default(),
             package: Package::mobile_embedded(),
             solver: SolverKind::ForwardEuler,
-            policy: None,
+            policy: PolicyChoice::Default,
+            registry: None,
             threshold: 3.0,
             config: SimulationConfig::paper_default(),
             workload: Workload::sdr(),
@@ -101,7 +117,26 @@ impl SimulationBuilder {
 
     /// Uses an explicit policy object.
     pub fn with_policy_box(mut self, policy: Box<dyn Policy>) -> Self {
-        self.policy = Some(policy);
+        self.policy = PolicyChoice::Boxed(policy);
+        self
+    }
+
+    /// Uses a policy resolved by name through the policy registry at build
+    /// time (the spec's threshold defaults to the builder's threshold).
+    pub fn with_policy_spec(mut self, spec: PolicySpec) -> Self {
+        self.policy = PolicyChoice::Named(spec);
+        self
+    }
+
+    /// Uses a registry-resolved policy by bare name.
+    pub fn with_policy_name(self, name: impl Into<String>) -> Self {
+        self.with_policy_spec(PolicySpec::named(name))
+    }
+
+    /// Resolves named policies through `registry` instead of the global
+    /// (built-ins only) registry.
+    pub fn with_registry(mut self, registry: Arc<PolicyRegistry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -148,7 +183,7 @@ impl SimulationBuilder {
         let thermal = ThermalModel::with_solver(platform.floorplan(), self.package, self.solver)?;
         let sensors = SensorBank::paper_default(platform.num_cores());
         let scale: DvfsScale = self.platform_config.dvfs.clone();
-        let mut os = Mpos::new(platform.num_cores(), scale.clone())
+        let mut os = Mpos::new(platform.num_cores(), scale)
             .with_strategy(self.migration_strategy)
             .with_dvfs(self.dvfs_enabled);
 
@@ -173,12 +208,19 @@ impl SimulationBuilder {
             Workload::Idle => None,
         };
 
-        let policy = self.policy.unwrap_or_else(|| {
-            Box::new(ThermalBalancingPolicy::new(
-                scale,
-                ThermalBalancingConfig::paper_default().with_threshold(self.threshold),
-            ))
-        });
+        let registry = self.registry.unwrap_or_else(PolicyRegistry::global);
+        let policy = match self.policy {
+            PolicyChoice::Boxed(policy) => policy,
+            PolicyChoice::Named(mut spec) => {
+                if spec.threshold.is_none() {
+                    spec.threshold = Some(self.threshold);
+                }
+                registry.instantiate(&spec)?
+            }
+            PolicyChoice::Default => registry.instantiate(
+                &PolicySpec::named("thermal-balancing").with_threshold(self.threshold),
+            )?,
+        };
 
         Ok(Simulation::from_parts(
             platform,

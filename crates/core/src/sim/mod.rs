@@ -23,9 +23,7 @@ use tbp_thermal::{SensorBank, ThermalModel};
 
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, QosMetrics, SimulationSummary};
-use crate::policy::{
-    build_input, CoreSnapshot, Policy, PolicyAction, PolicyInput, TaskSnapshot,
-};
+use crate::policy::{build_input, CoreSnapshot, Policy, PolicyAction, PolicyInput, TaskSnapshot};
 use crate::trace::{TraceRecorder, TraceSample};
 
 /// Timing and measurement parameters of a simulation.
@@ -307,6 +305,7 @@ impl Simulation {
                 frames_delivered: p.qos().frames_delivered,
                 deadline_misses: p.qos().deadline_misses,
                 min_queue_level: p.min_queue_level(),
+                mean_queue_level: p.mean_queue_level(),
             })
             .unwrap_or_default();
         self.metrics.set_qos(qos);
@@ -317,10 +316,7 @@ impl Simulation {
         let mut cores = Vec::with_capacity(self.platform.num_cores());
         for id in self.platform.core_ids() {
             let core = self.platform.core(id)?;
-            let temperature = self
-                .sensors
-                .reading(id)
-                .unwrap_or_else(Celsius::ambient);
+            let temperature = self.sensors.reading(id).unwrap_or_else(Celsius::ambient);
             let task_ids = self.os.tasks_on(id)?;
             let tasks: Vec<TaskSnapshot> = task_ids
                 .iter()

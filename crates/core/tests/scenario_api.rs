@@ -1,0 +1,159 @@
+//! Integration tests of the declarative Scenario API: serde round-trips
+//! (TOML and JSON), sweep-axis expansion, registry resolution errors, and
+//! the determinism of the parallel batch runner.
+
+use tbp_core::experiments::{paper_scenarios, THRESHOLD_SWEEP};
+use tbp_core::policy::DvfsOnlyPolicy;
+use tbp_core::scenario::{load_dir, PolicyRegistry, Runner, ScenarioSpec, SweepSpec, WorkloadDecl};
+use tbp_core::SimError;
+
+use tbp_arch::units::Seconds;
+use tbp_thermal::package::PackageKind;
+
+fn full_spec() -> ScenarioSpec {
+    ScenarioSpec::new("round-trip")
+        .with_description("every section populated")
+        .with_package(PackageKind::HighPerformance)
+        .with_policy("stop-and-go", 2.5)
+        .with_workload(WorkloadDecl::sdr_with_queue(11))
+        .with_schedule(1.5, 3.0)
+        .with_sweep(
+            SweepSpec::default()
+                .with_policies(["thermal-balancing", "stop-and-go"])
+                .with_thresholds([1.0, 2.0])
+                .with_packages([PackageKind::MobileEmbedded, PackageKind::HighPerformance])
+                .with_queue_capacities([4, 11]),
+        )
+}
+
+#[test]
+fn toml_round_trip_preserves_every_field() {
+    let spec = full_spec();
+    let text = spec.to_toml_string();
+    let back = ScenarioSpec::from_toml_str(&text).expect("serialized spec parses");
+    assert_eq!(back, spec);
+    // And a second serialization is textually stable.
+    assert_eq!(back.to_toml_string(), text);
+}
+
+#[test]
+fn json_round_trip_preserves_every_field() {
+    let spec = full_spec();
+    let text = spec.to_json_string();
+    let back = ScenarioSpec::from_json_str(&text).expect("serialized spec parses");
+    assert_eq!(back, spec);
+}
+
+#[test]
+fn shipped_scenario_files_parse_and_round_trip() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let specs = load_dir(&dir).expect("scenarios/ directory loads");
+    assert_eq!(specs.len(), 7, "the paper ships as seven scenario files");
+    for spec in &specs {
+        let text = spec.to_toml_string();
+        let back = ScenarioSpec::from_toml_str(&text)
+            .unwrap_or_else(|e| panic!("round-trip of `{}` failed: {e}", spec.name));
+        assert_eq!(
+            &back, spec,
+            "round-trip of `{}` changed the spec",
+            spec.name
+        );
+    }
+    // The shipped files and the built-in constructors describe the same runs.
+    let built_in = paper_scenarios(Seconds::new(20.0));
+    let shipped_names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+    let built_in_names: Vec<&str> = built_in.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(shipped_names, built_in_names);
+}
+
+#[test]
+fn sweep_expansion_counts_multiply_across_axes() {
+    let spec = full_spec();
+    // 2 packages × 2 policies × 2 thresholds × 2 queues.
+    assert_eq!(spec.expand().len(), 16);
+    let sweep = spec.sweep.clone().unwrap();
+    assert_eq!(sweep.cardinality(), 16);
+
+    let figures = paper_scenarios(Seconds::new(20.0));
+    let threshold_sweeps: Vec<_> = figures
+        .iter()
+        .filter(|s| s.name.starts_with("threshold-sweep"))
+        .collect();
+    assert_eq!(threshold_sweeps.len(), 2);
+    for spec in threshold_sweeps {
+        assert_eq!(spec.expand().len(), 3 * THRESHOLD_SWEEP.len());
+    }
+}
+
+#[test]
+fn unknown_policy_is_a_structured_error() {
+    let spec = ScenarioSpec::new("bad").with_policy("does-not-exist", 1.0);
+    match Runner::new().run_spec(&spec) {
+        Err(SimError::UnknownPolicy { name, known }) => {
+            assert_eq!(name, "does-not-exist");
+            assert!(known.contains(&"thermal-balancing".to_string()));
+        }
+        Err(other) => panic!("expected UnknownPolicy, got {other:?}"),
+        Ok(_) => panic!("unknown policy must not run"),
+    }
+}
+
+#[test]
+fn third_party_policies_run_through_a_custom_registry() {
+    let mut registry = PolicyRegistry::with_builtins();
+    registry.register("noop", |_| Ok(Box::new(DvfsOnlyPolicy::new())));
+    let spec = ScenarioSpec::new("custom")
+        .with_package(PackageKind::HighPerformance)
+        .with_policy("noop", 2.0)
+        .with_schedule(0.5, 1.0);
+    let batch = Runner::new()
+        .with_registry(registry)
+        .run_spec(&spec)
+        .expect("custom policy runs");
+    let summary = batch.reports[0].summary().expect("simulation outcome");
+    assert_eq!(summary.policy, "dvfs-only");
+    assert_eq!(summary.migration.migrations, 0);
+}
+
+#[test]
+fn parallel_and_sequential_batches_are_byte_identical() {
+    // A threshold × policy × package grid, kept short: 2 × 2 × 2 = 8 runs.
+    let spec = ScenarioSpec::new("determinism")
+        .with_schedule(0.5, 1.0)
+        .with_sweep(
+            SweepSpec::default()
+                .with_packages([PackageKind::MobileEmbedded, PackageKind::HighPerformance])
+                .with_policies(["thermal-balancing", "stop-and-go"])
+                .with_thresholds([1.0, 3.0]),
+        );
+    let parallel = Runner::new().run_spec(&spec).expect("parallel batch runs");
+    let sequential = Runner::sequential()
+        .run_spec(&spec)
+        .expect("sequential batch runs");
+    assert_eq!(parallel.len(), 8);
+    assert_eq!(parallel, sequential);
+    assert_eq!(parallel.to_json(), sequential.to_json());
+    assert_eq!(parallel.to_csv(), sequential.to_csv());
+    // Reports come back in expansion order, not completion order.
+    assert_eq!(
+        parallel.reports[0].scenario,
+        "determinism[mobile/thermal-balancing/t1]"
+    );
+    assert_eq!(
+        parallel.reports[7].scenario,
+        "determinism[hiperf/stop-and-go/t3]"
+    );
+}
+
+#[test]
+fn batch_reports_round_trip_through_json() {
+    let spec = ScenarioSpec::new("report-serde")
+        .with_package(PackageKind::HighPerformance)
+        .with_policy("dvfs-only", 2.0)
+        .with_schedule(0.5, 1.0);
+    let batch = Runner::new().run_spec(&spec).expect("batch runs");
+    let json = batch.to_json();
+    let back: tbp_core::scenario::BatchReport =
+        serde_json::from_str(&json).expect("batch JSON parses");
+    assert_eq!(back, batch);
+}

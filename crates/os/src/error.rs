@@ -63,14 +63,23 @@ mod tests {
     #[test]
     fn display_is_informative() {
         assert!(OsError::UnknownTask(TaskId(3)).to_string().contains('3'));
-        assert!(OsError::UnknownCore(CoreId(1)).to_string().contains("core1"));
+        assert!(OsError::UnknownCore(CoreId(1))
+            .to_string()
+            .contains("core1"));
         assert!(OsError::InvalidTask("bad load".into())
             .to_string()
             .contains("bad load"));
-        assert!(OsError::AlreadyMigrating(TaskId(2)).to_string().contains('2'));
-        assert!(OsError::SameCoreMigration(TaskId(2))
+        assert!(OsError::AlreadyMigrating(TaskId(2))
             .to_string()
-            .contains("same") || OsError::SameCoreMigration(TaskId(2)).to_string().contains("already runs"));
+            .contains('2'));
+        assert!(
+            OsError::SameCoreMigration(TaskId(2))
+                .to_string()
+                .contains("same")
+                || OsError::SameCoreMigration(TaskId(2))
+                    .to_string()
+                    .contains("already runs")
+        );
         let wrapped: OsError = ArchError::EmptyPlatform.into();
         assert!(Error::source(&wrapped).is_some());
         assert!(Error::source(&OsError::UnknownTask(TaskId(0))).is_none());

@@ -248,7 +248,11 @@ mod tests {
         assert_eq!(commands.len(), 1);
         assert!(matches!(
             commands[0],
-            DaemonMessage::MigrateCommand { task: TaskId(4), from: CoreId(2), to: CoreId(0) }
+            DaemonMessage::MigrateCommand {
+                task: TaskId(4),
+                from: CoreId(2),
+                to: CoreId(0)
+            }
         ));
         assert_eq!(master.stats_for(CoreId(2)).len(), 2);
         assert_eq!(master.commands_issued(), 1);

@@ -194,7 +194,9 @@ impl MigrationManager {
             .in_flight
             .iter_mut()
             .find(|m| m.task == task && matches!(m.phase, MigrationPhase::WaitingForCheckpoint))?;
-        let bytes = self.cost_model.transferred_bytes(self.strategy, context_size);
+        let bytes = self
+            .cost_model
+            .transferred_bytes(self.strategy, context_size);
         let cycles = self.cost_model.cycles(self.strategy, context_size);
         let cpu_time = source_frequency.time_for_cycles(cycles);
         let cpu_time = if cpu_time.is_finite() {
@@ -272,9 +274,7 @@ mod tests {
     fn request_validation() {
         let mut mgr = MigrationManager::default();
         assert_eq!(mgr.strategy(), MigrationStrategy::TaskReplication);
-        assert!(mgr
-            .request(TaskId(0), CoreId(0), CoreId(0))
-            .is_err());
+        assert!(mgr.request(TaskId(0), CoreId(0), CoreId(0)).is_err());
         assert!(mgr.request(TaskId(0), CoreId(0), CoreId(1)).is_ok());
         assert!(matches!(
             mgr.request(TaskId(0), CoreId(0), CoreId(2)),
@@ -316,11 +316,21 @@ mod tests {
 
         // Checkpoint on an unrelated task does nothing.
         assert!(mgr
-            .on_checkpoint(TaskId(9), Bytes::from_kib(64), Frequency::from_mhz(533.0), 2e-9)
+            .on_checkpoint(
+                TaskId(9),
+                Bytes::from_kib(64),
+                Frequency::from_mhz(533.0),
+                2e-9
+            )
             .is_none());
 
         let bytes = mgr
-            .on_checkpoint(TaskId(3), Bytes::from_kib(64), Frequency::from_mhz(533.0), 2e-9)
+            .on_checkpoint(
+                TaskId(3),
+                Bytes::from_kib(64),
+                Frequency::from_mhz(533.0),
+                2e-9,
+            )
             .unwrap();
         assert!(bytes >= Bytes::from_kib(64));
         mgr.record_transfer(bytes);
@@ -370,6 +380,10 @@ mod tests {
         assert!(mgr.in_flight().is_empty());
         assert_eq!(mgr.totals().migrations, 0);
         assert_eq!(mgr.totals().bytes, Bytes::ZERO);
-        assert!(mgr.cost_model().cycles(MigrationStrategy::TaskReplication, Bytes::from_kib(64)) > 0.0);
+        assert!(
+            mgr.cost_model()
+                .cycles(MigrationStrategy::TaskReplication, Bytes::from_kib(64))
+                > 0.0
+        );
     }
 }

@@ -76,7 +76,10 @@ mod tests {
 
     #[test]
     fn default_is_replication_like_the_paper() {
-        assert_eq!(MigrationStrategy::default(), MigrationStrategy::TaskReplication);
+        assert_eq!(
+            MigrationStrategy::default(),
+            MigrationStrategy::TaskReplication
+        );
     }
 
     #[test]

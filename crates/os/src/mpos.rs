@@ -61,7 +61,9 @@ impl Mpos {
             scale,
             dvfs_enabled: true,
             tasks: Vec::new(),
-            schedulers: (0..num_cores).map(|i| CoreScheduler::new(CoreId(i))).collect(),
+            schedulers: (0..num_cores)
+                .map(|i| CoreScheduler::new(CoreId(i)))
+                .collect(),
             migration: MigrationManager::new(MigrationStrategy::TaskReplication),
             master: MasterDaemon::new(num_cores),
             slaves: (0..num_cores)
@@ -232,7 +234,9 @@ impl Mpos {
 
     /// FSE loads of every core, indexed by core id.
     pub fn fse_loads(&self) -> Vec<f64> {
-        (0..self.num_cores()).map(|i| self.fse_load(CoreId(i))).collect()
+        (0..self.num_cores())
+            .map(|i| self.fse_load(CoreId(i)))
+            .collect()
     }
 
     /// The frequency the governor would select for every core right now.
@@ -321,7 +325,9 @@ impl Mpos {
                 .sum();
             let frequency = platform.core(core_id)?.frequency();
             let load = CoreLoad::from_fse(running_fse, frequency, f_max);
-            platform.core_mut(core_id)?.set_utilization(load.utilization)?;
+            platform
+                .core_mut(core_id)?
+                .set_utilization(load.utilization)?;
             core_loads.push(load);
         }
 
@@ -398,13 +404,22 @@ mod tests {
     fn os_with_tasks() -> (Mpos, TaskId, TaskId, TaskId) {
         let mut os = Mpos::new(3, DvfsScale::paper_default());
         let a = os
-            .spawn(TaskDescriptor::new("bpf1", 0.367, Bytes::from_kib(64)), CoreId(0))
+            .spawn(
+                TaskDescriptor::new("bpf1", 0.367, Bytes::from_kib(64)),
+                CoreId(0),
+            )
             .unwrap();
         let b = os
-            .spawn(TaskDescriptor::new("demod", 0.283, Bytes::from_kib(64)), CoreId(0))
+            .spawn(
+                TaskDescriptor::new("demod", 0.283, Bytes::from_kib(64)),
+                CoreId(0),
+            )
             .unwrap();
         let c = os
-            .spawn(TaskDescriptor::new("bpf2", 0.304, Bytes::from_kib(64)), CoreId(1))
+            .spawn(
+                TaskDescriptor::new("bpf2", 0.304, Bytes::from_kib(64)),
+                CoreId(1),
+            )
             .unwrap();
         (os, a, b, c)
     }
@@ -430,7 +445,10 @@ mod tests {
 
         // Spawning on an unknown core fails.
         assert!(os
-            .spawn(TaskDescriptor::new("x", 0.1, Bytes::from_kib(64)), CoreId(9))
+            .spawn(
+                TaskDescriptor::new("x", 0.1, Bytes::from_kib(64)),
+                CoreId(9)
+            )
             .is_err());
     }
 

@@ -54,11 +54,15 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        assert!(StreamError::UnknownStage(StageId(2)).to_string().contains('2'));
+        assert!(StreamError::UnknownStage(StageId(2))
+            .to_string()
+            .contains('2'));
         assert!(StreamError::InvalidGraph("cycle".into())
             .to_string()
             .contains("cycle"));
-        assert!(StreamError::InvalidConfig("bad".into()).to_string().contains("bad"));
+        assert!(StreamError::InvalidConfig("bad".into())
+            .to_string()
+            .contains("bad"));
         let wrapped: StreamError = OsError::UnknownTask(TaskId(1)).into();
         assert!(Error::source(&wrapped).is_some());
         assert!(Error::source(&StreamError::InvalidGraph("x".into())).is_none());

@@ -110,7 +110,9 @@ impl PipelineGraph {
     ///
     /// Returns [`StreamError::UnknownStage`] for an out-of-range id.
     pub fn stage(&self, id: StageId) -> Result<&StageDescriptor, StreamError> {
-        self.stages.get(id.index()).ok_or(StreamError::UnknownStage(id))
+        self.stages
+            .get(id.index())
+            .ok_or(StreamError::UnknownStage(id))
     }
 
     /// Adds a stage and returns its identifier.
@@ -249,9 +251,15 @@ mod tests {
 
     fn chain() -> (PipelineGraph, StageId, StageId, StageId) {
         let mut g = PipelineGraph::new();
-        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1e3)).unwrap();
-        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1e3)).unwrap();
-        let c = g.add_stage(StageDescriptor::new("c", TaskId(2), 1e3)).unwrap();
+        let a = g
+            .add_stage(StageDescriptor::new("a", TaskId(0), 1e3))
+            .unwrap();
+        let b = g
+            .add_stage(StageDescriptor::new("b", TaskId(1), 1e3))
+            .unwrap();
+        let c = g
+            .add_stage(StageDescriptor::new("c", TaskId(2), 1e3))
+            .unwrap();
         g.connect(a, b).unwrap();
         g.connect(b, c).unwrap();
         (g, a, b, c)
@@ -284,8 +292,12 @@ mod tests {
         assert!(g
             .add_stage(StageDescriptor::new("bad", TaskId(0), f64::NAN))
             .is_err());
-        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1.0)).unwrap();
-        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1.0)).unwrap();
+        let a = g
+            .add_stage(StageDescriptor::new("a", TaskId(0), 1.0))
+            .unwrap();
+        let b = g
+            .add_stage(StageDescriptor::new("b", TaskId(1), 1.0))
+            .unwrap();
         assert!(g.connect(a, StageId(9)).is_err());
         assert!(g.connect(StageId(9), b).is_err());
         assert!(g.connect(a, a).is_err());
@@ -311,10 +323,18 @@ mod tests {
     fn fork_join_topology() {
         // a -> {b, c} -> d, like DEMOD feeding the parallel BPF bank.
         let mut g = PipelineGraph::new();
-        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1.0)).unwrap();
-        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1.0)).unwrap();
-        let c = g.add_stage(StageDescriptor::new("c", TaskId(2), 1.0)).unwrap();
-        let d = g.add_stage(StageDescriptor::new("d", TaskId(3), 1.0)).unwrap();
+        let a = g
+            .add_stage(StageDescriptor::new("a", TaskId(0), 1.0))
+            .unwrap();
+        let b = g
+            .add_stage(StageDescriptor::new("b", TaskId(1), 1.0))
+            .unwrap();
+        let c = g
+            .add_stage(StageDescriptor::new("c", TaskId(2), 1.0))
+            .unwrap();
+        let d = g
+            .add_stage(StageDescriptor::new("d", TaskId(3), 1.0))
+            .unwrap();
         g.connect(a, b).unwrap();
         g.connect(a, c).unwrap();
         g.connect(b, d).unwrap();

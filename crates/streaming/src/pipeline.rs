@@ -207,7 +207,10 @@ impl PipelineRuntime {
     /// Minimum occupancy ever observed across all queues — the paper's
     /// "minimum queue size to sustain migration" figure is derived from this.
     pub fn min_queue_level(&self) -> usize {
-        self.all_queues().map(|q| q.stats().min_level).min().unwrap_or(0)
+        self.all_queues()
+            .map(|q| q.stats().min_level)
+            .min()
+            .unwrap_or(0)
     }
 
     /// Mean occupancy across all queues right now.
@@ -236,7 +239,10 @@ impl PipelineRuntime {
     pub fn step(&mut self, dt: Seconds, executed_cycles: &[f64]) {
         // 1. Credit stages with the cycles their backing task executed.
         for (i, stage) in self.graph.stages().iter().enumerate() {
-            let cycles = executed_cycles.get(stage.task.index()).copied().unwrap_or(0.0);
+            let cycles = executed_cycles
+                .get(stage.task.index())
+                .copied()
+                .unwrap_or(0.0);
             self.credits[i] += cycles;
             // Cap unused credit at two frames' worth: a stage cannot catch up
             // arbitrarily fast after being starved of input.
@@ -390,9 +396,15 @@ mod tests {
     /// backed by tasks 0..2.
     fn chain_runtime(config: PipelineConfig) -> PipelineRuntime {
         let mut g = PipelineGraph::new();
-        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1e6)).unwrap();
-        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1e6)).unwrap();
-        let c = g.add_stage(StageDescriptor::new("c", TaskId(2), 1e6)).unwrap();
+        let a = g
+            .add_stage(StageDescriptor::new("a", TaskId(0), 1e6))
+            .unwrap();
+        let b = g
+            .add_stage(StageDescriptor::new("b", TaskId(1), 1e6))
+            .unwrap();
+        let c = g
+            .add_stage(StageDescriptor::new("c", TaskId(2), 1e6))
+            .unwrap();
         g.connect(a, b).unwrap();
         g.connect(b, c).unwrap();
         PipelineRuntime::new(g, config).unwrap()
@@ -425,9 +437,12 @@ mod tests {
         assert!(bad.validate().is_err());
         // Runtime constructor surfaces the same errors.
         let mut g = PipelineGraph::new();
-        g.add_stage(StageDescriptor::new("a", TaskId(0), 1.0)).unwrap();
+        g.add_stage(StageDescriptor::new("a", TaskId(0), 1.0))
+            .unwrap();
         assert!(PipelineRuntime::new(g, bad).is_err());
-        assert!(PipelineRuntime::new(PipelineGraph::new(), PipelineConfig::paper_default()).is_err());
+        assert!(
+            PipelineRuntime::new(PipelineGraph::new(), PipelineConfig::paper_default()).is_err()
+        );
     }
 
     #[test]
@@ -440,7 +455,10 @@ mod tests {
         }
         let qos = rt.qos();
         assert!(qos.frames_delivered > 300);
-        assert_eq!(qos.deadline_misses, 0, "well-provisioned pipeline must not miss");
+        assert_eq!(
+            qos.deadline_misses, 0,
+            "well-provisioned pipeline must not miss"
+        );
         assert_eq!(qos.miss_rate(), 0.0);
         assert!(qos.frames_produced >= qos.frames_delivered);
         assert!(rt.elapsed().as_secs() > 9.9);
@@ -502,7 +520,7 @@ mod tests {
         }
         let misses_after_stall = rt.qos().deadline_misses;
         assert!(
-            misses_after_stall >= 10 && misses_after_stall <= 20,
+            (10..=20).contains(&misses_after_stall),
             "500 ms stall with 125 ms of buffering should miss ~15 deadlines, got {misses_after_stall}"
         );
         // Recovery stops the bleeding.
@@ -517,10 +535,18 @@ mod tests {
     fn fork_join_requires_all_branches() {
         // a -> {b, c} -> d; if branch c is starved, d cannot assemble output.
         let mut g = PipelineGraph::new();
-        let a = g.add_stage(StageDescriptor::new("a", TaskId(0), 1e6)).unwrap();
-        let b = g.add_stage(StageDescriptor::new("b", TaskId(1), 1e6)).unwrap();
-        let c = g.add_stage(StageDescriptor::new("c", TaskId(2), 1e6)).unwrap();
-        let d = g.add_stage(StageDescriptor::new("d", TaskId(3), 1e6)).unwrap();
+        let a = g
+            .add_stage(StageDescriptor::new("a", TaskId(0), 1e6))
+            .unwrap();
+        let b = g
+            .add_stage(StageDescriptor::new("b", TaskId(1), 1e6))
+            .unwrap();
+        let c = g
+            .add_stage(StageDescriptor::new("c", TaskId(2), 1e6))
+            .unwrap();
+        let d = g
+            .add_stage(StageDescriptor::new("d", TaskId(3), 1e6))
+            .unwrap();
         g.connect(a, b).unwrap();
         g.connect(a, c).unwrap();
         g.connect(b, d).unwrap();

@@ -112,7 +112,11 @@ mod tests {
             num += (o - expected).abs();
             den += expected.abs();
         }
-        assert!(num / den < 0.05, "relative demodulation error {}", num / den);
+        assert!(
+            num / den < 0.05,
+            "relative demodulation error {}",
+            num / den
+        );
     }
 
     #[test]

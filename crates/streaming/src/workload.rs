@@ -140,8 +140,7 @@ impl SyntheticWorkload {
         let mut tasks = Vec::with_capacity(spec.num_tasks);
         for (i, &load) in shares.iter().enumerate() {
             let span = spec.max_context.as_u64() - spec.min_context.as_u64();
-            let context =
-                Bytes::new(spec.min_context.as_u64() + (rng.next_u64() % (span + 1)));
+            let context = Bytes::new(spec.min_context.as_u64() + (rng.next_u64() % (span + 1)));
             let checkpoint = Seconds::from_millis(rng.range(20.0, 80.0));
             tasks.push(
                 TaskDescriptor::new(&format!("synthetic{i}"), load, context)
@@ -251,11 +250,7 @@ mod tests {
         let again = SyntheticWorkload::generate(&spec).unwrap();
         assert_eq!(workload, again);
         // Different seed, different workload.
-        let other = SyntheticWorkload::generate(&WorkloadSpec {
-            seed: 1,
-            ..spec
-        })
-        .unwrap();
+        let other = SyntheticWorkload::generate(&WorkloadSpec { seed: 1, ..spec }).unwrap();
         assert_ne!(workload, other);
     }
 
@@ -271,6 +266,9 @@ mod tests {
         let loads = workload.per_core_load(3);
         let max = loads.iter().cloned().fold(0.0, f64::max);
         let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
-        assert!(max - min < 0.3, "greedy placement should be balanced: {loads:?}");
+        assert!(
+            max - min < 0.3,
+            "greedy placement should be balanced: {loads:?}"
+        );
     }
 }

@@ -75,7 +75,9 @@ mod tests {
         assert!(ThermalError::InvalidParameter("bad".into())
             .to_string()
             .contains("bad"));
-        assert!(ThermalError::InvalidTimeStep(-1.0).to_string().contains("-1"));
+        assert!(ThermalError::InvalidTimeStep(-1.0)
+            .to_string()
+            .contains("-1"));
         let wrapped: ThermalError = ArchError::UnknownCore(CoreId(1)).into();
         assert!(wrapped.to_string().contains("core1"));
         assert!(Error::source(&wrapped).is_some());

@@ -87,7 +87,11 @@ impl ThermalModel {
             package.sink_capacitance,
             package.sink_to_ambient_conductance(),
         )?;
-        network.add_edge(spreader_node, sink_node, package.spreader_to_sink_conductance())?;
+        network.add_edge(
+            spreader_node,
+            sink_node,
+            package.spreader_to_sink_conductance(),
+        )?;
 
         // Vertical couplings block -> spreader.
         for (i, block) in floorplan.blocks().iter().enumerate() {
@@ -288,7 +292,10 @@ mod tests {
         assert_eq!(model.num_cores(), 3);
         assert_eq!(model.solver_kind(), SolverKind::ForwardEuler);
         assert_eq!(model.elapsed(), Seconds::ZERO);
-        assert_eq!(model.package().kind(), crate::package::PackageKind::MobileEmbedded);
+        assert_eq!(
+            model.package().kind(),
+            crate::package::PackageKind::MobileEmbedded
+        );
         // network = blocks + spreader + sink
         assert_eq!(model.network().len(), floorplan.len() + 2);
         assert_eq!(model.block_temperatures().len(), floorplan.len());
@@ -311,7 +318,10 @@ mod tests {
         let err = model.step(&[Watts::new(1.0)], Seconds::from_millis(10.0));
         assert!(matches!(
             err,
-            Err(ThermalError::PowerLengthMismatch { expected: 14, actual: 1 })
+            Err(ThermalError::PowerLengthMismatch {
+                expected: 14,
+                actual: 1
+            })
         ));
         assert!(model.steady_state(&[Watts::ZERO]).is_err());
     }
@@ -383,8 +393,7 @@ mod tests {
             mobile.step(&power, Seconds::from_millis(10.0)).unwrap();
             fast.step(&power, Seconds::from_millis(10.0)).unwrap();
         }
-        let rise_mobile =
-            mobile.core_temperature(CoreId(0)).unwrap().as_celsius() - 45.0;
+        let rise_mobile = mobile.core_temperature(CoreId(0)).unwrap().as_celsius() - 45.0;
         let rise_fast = fast.core_temperature(CoreId(0)).unwrap().as_celsius() - 45.0;
         assert!(
             rise_fast > rise_mobile * 1.5,
@@ -445,7 +454,10 @@ mod tests {
         let ss = model.steady_state(&power).unwrap();
         let core0_block = floorplan.core_block_index(CoreId(0)).unwrap();
         let ss_rise = ss[core0_block].as_celsius() - 45.0;
-        assert!(ss_rise > 8.0, "steady-state rise should be significant, got {ss_rise}");
+        assert!(
+            ss_rise > 8.0,
+            "steady-state rise should be significant, got {ss_rise}"
+        );
 
         for _ in 0..100 {
             model.step(&power, Seconds::from_millis(10.0)).unwrap();

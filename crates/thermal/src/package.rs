@@ -141,9 +141,15 @@ impl Package {
                 self.vertical_resistance_specific,
             ),
             ("spreader capacitance", self.spreader_capacitance),
-            ("spreader-to-sink resistance", self.spreader_to_sink_resistance),
+            (
+                "spreader-to-sink resistance",
+                self.spreader_to_sink_resistance,
+            ),
             ("sink capacitance", self.sink_capacitance),
-            ("sink-to-ambient resistance", self.sink_to_ambient_resistance),
+            (
+                "sink-to-ambient resistance",
+                self.sink_to_ambient_resistance,
+            ),
             ("capacitance scale", self.capacitance_scale),
         ];
         for (name, value) in checks {

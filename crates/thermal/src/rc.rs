@@ -195,7 +195,11 @@ impl RcNetwork {
 
     /// All node temperatures in index order.
     pub fn temperatures(&self) -> Vec<Celsius> {
-        self.temperatures.iter().copied().map(Celsius::new).collect()
+        self.temperatures
+            .iter()
+            .copied()
+            .map(Celsius::new)
+            .collect()
     }
 
     /// Overwrites a node's temperature (used to set initial conditions).
@@ -286,8 +290,7 @@ impl RcNetwork {
         let t3: Vec<f64> = t0.iter().zip(&k3).map(|(t, k)| t + dt * k).collect();
         let k4 = self.derivative(&t3);
         for i in 0..self.temperatures.len() {
-            self.temperatures[i] =
-                t0[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
+            self.temperatures[i] = t0[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
     }
 
@@ -414,8 +417,7 @@ mod tests {
         }
         for i in 0..euler_net.len() {
             assert!(
-                (euler_net.temperature(i).as_celsius() - rk4_net.temperature(i).as_celsius())
-                    .abs()
+                (euler_net.temperature(i).as_celsius() - rk4_net.temperature(i).as_celsius()).abs()
                     < 0.05
             );
         }

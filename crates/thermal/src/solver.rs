@@ -180,7 +180,9 @@ mod tests {
         let mut net_a = heated_network();
         let mut net_b = heated_network();
         for _ in 0..200 {
-            euler.advance(&mut net_a, Seconds::from_millis(50.0)).unwrap();
+            euler
+                .advance(&mut net_a, Seconds::from_millis(50.0))
+                .unwrap();
             rk4.advance(&mut net_b, Seconds::from_millis(50.0)).unwrap();
         }
         for i in 0..net_a.len() {
@@ -195,7 +197,9 @@ mod tests {
         let mut fine = heated_network();
         let mut coarse = heated_network();
         for _ in 0..100 {
-            solver.advance(&mut fine, Seconds::from_millis(10.0)).unwrap();
+            solver
+                .advance(&mut fine, Seconds::from_millis(10.0))
+                .unwrap();
         }
         solver.advance(&mut coarse, Seconds::new(1.0)).unwrap();
         for i in 0..fine.len() {

@@ -1,9 +1,11 @@
-//! Build a custom streaming application and platform, beyond the paper's SDR.
+//! Build a custom streaming application, platform and *policy*, beyond the
+//! paper's SDR.
 //!
 //! Shows how a downstream user targets their own workload: a 4-stage video
-//! analytics pipeline on a 4-core platform, with its own queue sizing and a
-//! tighter balancing threshold, using the lower-power ARM11-class cores
-//! (Conf2 of Table 1).
+//! analytics pipeline on a 4-core platform of the lower-power ARM11-class
+//! cores (Conf2 of Table 1), balanced by a third-party policy that is
+//! registered in a [`PolicyRegistry`] and resolved by name — no core code is
+//! touched.
 //!
 //! ```sh
 //! cargo run --release --example custom_pipeline
@@ -12,7 +14,8 @@
 use tbp_arch::core::CoreId;
 use tbp_arch::platform::PlatformConfig;
 use tbp_arch::units::{Bytes, Seconds};
-use tbp_core::policy::{ThermalBalancingConfig, ThermalBalancingPolicy};
+use tbp_core::policy::{Policy, PolicyAction, PolicyInput};
+use tbp_core::scenario::{PolicyRegistry, PolicySpec};
 use tbp_core::sim::{Simulation, SimulationConfig};
 use tbp_core::SimError;
 use tbp_os::mpos::Mpos;
@@ -22,14 +25,56 @@ use tbp_streaming::pipeline::{PipelineConfig, PipelineRuntime};
 use tbp_thermal::package::Package;
 use tbp_thermal::{SensorBank, ThermalModel};
 
+/// A deliberately simple third-party policy: when the spread between the
+/// hottest and coolest core exceeds the band, migrate the hottest core's
+/// lightest migratable task to the coolest core.
+struct SpreadCapPolicy {
+    band: f64,
+}
+
+impl Policy for SpreadCapPolicy {
+    fn name(&self) -> &str {
+        "spread-cap"
+    }
+
+    fn decide(&mut self, input: &PolicyInput) -> Vec<PolicyAction> {
+        if input.migrations_in_flight > 0 || input.temperature_spread() <= self.band {
+            return Vec::new();
+        }
+        let (Some(hot), Some(cool)) = (input.hottest_core(), input.coolest_core()) else {
+            return Vec::new();
+        };
+        hot.tasks
+            .iter()
+            .filter(|t| t.migratable && !t.migrating)
+            .min_by(|a, b| a.fse_load.total_cmp(&b.fse_load))
+            .map(|t| {
+                vec![PolicyAction::Migrate {
+                    task: t.id,
+                    to: cool.id,
+                }]
+            })
+            .unwrap_or_default()
+    }
+}
+
 fn main() -> Result<(), SimError> {
-    // 1. A 4-core platform built from the lower-power ARM11-class cores.
+    // 1. Register the third-party policy; "spread-cap" now resolves next to
+    //    the four built-ins wherever this registry is used.
+    let mut registry = PolicyRegistry::with_builtins();
+    registry.register("spread-cap", |spec| {
+        Ok(Box::new(SpreadCapPolicy {
+            band: spec.threshold_or_default(),
+        }))
+    });
+
+    // 2. A 4-core platform built from the lower-power ARM11-class cores.
     let platform_config = PlatformConfig::paper_arm11().with_cores(4);
     let platform = tbp_arch::platform::MpsocPlatform::new(platform_config.clone())?;
     let thermal = ThermalModel::new(platform.floorplan(), Package::high_performance())?;
     let sensors = SensorBank::paper_default(platform.num_cores());
 
-    // 2. The OS layer with a video-analytics task set: capture → detect →
+    // 3. The OS layer with a video-analytics task set: capture → detect →
     //    track → encode, plus a background telemetry task pinned to core 3.
     let mut os = Mpos::new(platform.num_cores(), platform_config.dvfs.clone());
     let capture = os.spawn(
@@ -53,7 +98,7 @@ fn main() -> Result<(), SimError> {
         CoreId(3),
     )?;
 
-    // 3. The pipeline graph: 30 frames/s, deep queues for the heavy detector.
+    // 4. The pipeline graph: 30 frames/s, deep queues for the heavy detector.
     let frame_period = Seconds::from_millis(33.0);
     let cycles = |fse: f64| fse * 533e6 * frame_period.as_secs();
     let mut graph = PipelineGraph::new();
@@ -73,20 +118,17 @@ fn main() -> Result<(), SimError> {
         },
     )?;
 
-    // 4. The policy: a tight ±1.5 °C band.
-    let policy = ThermalBalancingPolicy::new(
-        platform_config.dvfs.clone(),
-        ThermalBalancingConfig::paper_default().with_threshold(1.5),
-    );
+    // 5. The policy, by name, at a tight ±1.5 °C band.
+    let policy = registry.instantiate(&PolicySpec::named("spread-cap").with_threshold(1.5))?;
 
-    // 5. Assemble and run.
+    // 6. Assemble and run.
     let mut sim = Simulation::from_parts(
         platform,
         thermal,
         sensors,
         os,
         Some(pipeline),
-        Box::new(policy),
+        policy,
         SimulationConfig {
             warmup: Seconds::new(4.0),
             metrics_threshold: 1.5,

@@ -1,4 +1,5 @@
-//! Stress the policy with fast thermal dynamics (the paper's second package).
+//! Stress the policy with fast thermal dynamics (the paper's second package)
+//! using a package sweep axis.
 //!
 //! The high-performance package has one sixth of the mobile package's thermal
 //! capacitance, so temperatures move 6× faster and the policy has far less
@@ -10,26 +11,23 @@
 //! ```
 
 use tbp_arch::units::Seconds;
-use tbp_core::experiments::{build_sdr_simulation, ExperimentConfig, PolicyKind};
+use tbp_core::scenario::{package_label, Runner, ScenarioSpec, SweepSpec};
 use tbp_core::SimError;
 use tbp_thermal::package::PackageKind;
 
 fn main() -> Result<(), SimError> {
-    for (label, package) in [
-        ("mobile embedded", PackageKind::MobileEmbedded),
-        ("high performance", PackageKind::HighPerformance),
-    ] {
-        let config = ExperimentConfig {
-            package,
-            policy: PolicyKind::ThermalBalancing,
-            threshold: 1.0,
-            warmup: Seconds::new(6.0),
-            duration: Seconds::new(15.0),
-        };
-        let mut sim = build_sdr_simulation(&config)?;
-        sim.run_for(config.warmup + config.duration)?;
-        let summary = sim.summary();
-        println!("== {label} package ==");
+    let spec = ScenarioSpec::new("package-comparison")
+        .with_policy("thermal-balancing", 1.0)
+        .with_schedule(6.0, 15.0)
+        .with_sweep(
+            SweepSpec::default()
+                .with_packages([PackageKind::MobileEmbedded, PackageKind::HighPerformance]),
+        );
+    let batch = Runner::new().run_spec(&spec)?;
+    for report in &batch.reports {
+        let summary = report.summary().expect("simulation outcome");
+        let package = report.package.expect("simulation report");
+        println!("== {package} package ==");
         println!(
             "  σ = {:.3} °C, spread = {:.2} °C, peak = {:.1} °C",
             summary.mean_spatial_std_dev(),
@@ -43,17 +41,31 @@ fn main() -> Result<(), SimError> {
             summary.qos.deadline_misses,
             summary.thermal.time_above_upper_threshold.as_secs()
         );
-        // Show a short excerpt of the recorded trace: the temperature of the
-        // hottest core over the last second.
-        let series = sim.trace().core_series(0);
-        if let Some(window) = series.rchunks(10).next() {
-            let line: Vec<String> = window.iter().map(|(_, t)| format!("{t:.1}")).collect();
-            println!("  core 0 trace tail [°C]: {}", line.join(" "));
-        }
         println!();
     }
+
+    // A spec also builds a Simulation directly when the run needs live
+    // access (traces, stepping): here the hot core's trace tail on the fast
+    // package.
+    let concrete = ScenarioSpec::new(format!(
+        "trace-{}",
+        package_label(PackageKind::HighPerformance)
+    ))
+    .with_package(PackageKind::HighPerformance)
+    .with_policy("thermal-balancing", 1.0)
+    .with_schedule(6.0, 15.0);
+    let mut sim = concrete.build()?;
+    sim.run_for(Seconds::new(21.0))?;
+    let series = sim.trace().core_series(0);
+    if let Some(window) = series.rchunks(10).next() {
+        let line: Vec<String> = window.iter().map(|(_, t)| format!("{t:.1}")).collect();
+        println!(
+            "core 0 trace tail on the fast package [°C]: {}",
+            line.join(" ")
+        );
+    }
     println!(
-        "With the fast package the policy migrates more often (Figure 11) and tolerates\n\
+        "\nWith the fast package the policy migrates more often (Figure 11) and tolerates\n\
          larger oscillations than with the mobile package — the same trend the paper reports."
     );
     Ok(())

@@ -1,4 +1,5 @@
-//! Compare the three policies of the paper on the same workload.
+//! Compare the three policies of the paper on the same workload — as a
+//! one-spec sweep executed in parallel by the batch runner.
 //!
 //! Runs the SDR benchmark under energy balancing, Stop&Go and the thermal
 //! balancing policy (threshold 2 °C) on the mobile-embedded package and
@@ -9,30 +10,28 @@
 //! cargo run --release --example policy_comparison
 //! ```
 
-use tbp_arch::units::Seconds;
-use tbp_core::experiments::{run_sdr_experiment, ExperimentConfig, PolicyKind};
+use tbp_core::scenario::{Runner, ScenarioSpec, SweepSpec};
 use tbp_core::SimError;
 use tbp_thermal::package::PackageKind;
 
 fn main() -> Result<(), SimError> {
-    let policies = [
-        PolicyKind::EnergyBalancing,
-        PolicyKind::StopGo,
-        PolicyKind::ThermalBalancing,
-    ];
+    let spec = ScenarioSpec::new("policy-comparison")
+        .with_package(PackageKind::MobileEmbedded)
+        .with_policy("thermal-balancing", 2.0)
+        .with_schedule(8.0, 15.0)
+        .with_sweep(SweepSpec::default().with_policies([
+            "energy-balancing",
+            "stop-and-go",
+            "thermal-balancing",
+        ]));
+    let batch = Runner::new().run_spec(&spec)?;
+
     println!(
         "{:<20} {:>10} {:>12} {:>12} {:>14} {:>12}",
         "policy", "σ [°C]", "spread [°C]", "misses", "migrations/s", "KiB/s"
     );
-    for policy in policies {
-        let config = ExperimentConfig {
-            package: PackageKind::MobileEmbedded,
-            policy,
-            threshold: 2.0,
-            warmup: Seconds::new(8.0),
-            duration: Seconds::new(15.0),
-        };
-        let summary = run_sdr_experiment(&config)?;
+    for report in &batch.reports {
+        let summary = report.summary().expect("simulation outcome");
         println!(
             "{:<20} {:>10.3} {:>12.2} {:>12} {:>14.2} {:>12.1}",
             summary.policy,

@@ -1,48 +1,48 @@
-//! Quickstart: run the paper's headline experiment in a few lines.
+//! Quickstart: run the paper's headline experiment from a declarative spec.
 //!
-//! Builds the 3-core streaming MPSoC, maps the Software Defined Radio
-//! benchmark onto it (Table 2), lets DVFS warm the chip up, enables the
-//! thermal balancing policy with a ±3 °C band and prints what happened.
+//! A scenario is data: the TOML below describes the 3-core streaming MPSoC,
+//! the SDR benchmark (Table 2), the mobile-embedded package and the thermal
+//! balancing policy with a ±3 °C band. The runner executes it and returns a
+//! structured report. The same text could live in a `.toml` file (see the
+//! workspace's `scenarios/` directory).
 //!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
 
-use tbp_arch::units::Seconds;
-use tbp_core::sim::builder::Workload;
-use tbp_core::sim::{SimulationBuilder, SimulationConfig};
+use tbp_core::scenario::{Runner, ScenarioSpec};
 use tbp_core::SimError;
-use tbp_thermal::package::Package;
+
+const SPEC: &str = r#"
+name = "quickstart"
+description = "The paper's headline experiment: SDR + thermal balancing at ±3 °C"
+package = "MobileEmbedded"
+
+[policy]
+name = "thermal-balancing"
+threshold = 3.0
+
+[schedule]
+warmup = 8.0
+duration = 20.0
+"#;
 
 fn main() -> Result<(), SimError> {
-    // The defaults reproduce the paper's setup: 3 cores, Table 1 power
-    // figures, mobile-embedded package, SDR workload, thermal balancing at
-    // ±3 °C on top of the per-core DVFS governor.
-    let mut sim = SimulationBuilder::new()
-        .with_package(Package::mobile_embedded())
-        .with_workload(Workload::sdr())
-        .with_threshold(3.0)
-        .with_config(SimulationConfig {
-            warmup: Seconds::new(8.0),
-            ..SimulationConfig::paper_default()
-        })
-        .build()?;
-
-    println!("simulating 8 s of warm-up + 20 s with thermal balancing enabled ...");
-    sim.run_for(Seconds::new(28.0))?;
-
-    let temps = sim.core_temperatures();
-    println!("\nfinal core temperatures:");
-    for (i, t) in temps.iter().enumerate() {
-        println!("  core {i}: {t}");
-    }
-
-    let summary = sim.summary();
+    let spec = ScenarioSpec::from_toml_str(SPEC)?;
+    println!(
+        "simulating {} s of warm-up + {} s with thermal balancing enabled ...",
+        spec.schedule().warmup.as_secs(),
+        spec.schedule().duration.as_secs()
+    );
+    let batch = Runner::new().run_spec(&spec)?;
+    let report = &batch.reports[0];
+    let summary = report.summary().expect("simulation outcome");
     println!("\n{summary}");
     println!(
         "\nmigration traffic: {:.0} KiB/s ({} migrations over the measured window)",
         summary.migrated_kib_per_second(),
         summary.migration.migrations
     );
+    println!("\nstructured CSV report:\n{}", batch.to_csv());
     Ok(())
 }

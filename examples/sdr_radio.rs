@@ -25,14 +25,14 @@ fn main() {
     // 1. The radio front end: an FM carrier modulated by a 1 kHz + 3 kHz
     //    message, sampled at 48 kHz.
     let sample_rate = 48_000.0;
-    let mut generator = FmSignalGenerator::new(
-        sample_rate,
-        5_000.0,
-        vec![(1_000.0, 0.6), (3_000.0, 0.3)],
-    );
+    let mut generator =
+        FmSignalGenerator::new(sample_rate, 5_000.0, vec![(1_000.0, 0.6), (3_000.0, 0.3)]);
     let seconds = 2.0;
     let iq = generator.block((sample_rate * seconds) as usize);
-    println!("generated {} I/Q samples ({seconds} s of FM signal)", iq.len());
+    println!(
+        "generated {} I/Q samples ({seconds} s of FM signal)",
+        iq.len()
+    );
 
     // 2. LPF: remove out-of-band energy before demodulation.
     let mut lpf_i = FirFilter::low_pass(0.25, 63);
@@ -63,7 +63,11 @@ fn main() {
     // 5. Σ: the consumer mixes the equalised bands with per-band gains.
     let mixer = WeightedMixer::new(vec![1.0, 0.8, 0.4]);
     let mixed = mixer.mix(&outputs);
-    println!("mixed output: {} samples, RMS = {:.5}", mixed.len(), rms(&mixed[1000..]));
+    println!(
+        "mixed output: {} samples, RMS = {:.5}",
+        mixed.len(),
+        rms(&mixed[1000..])
+    );
 
     // 6. The same application as the co-simulation sees it (Table 2 loads).
     let benchmark = SdrBenchmark::paper_default();

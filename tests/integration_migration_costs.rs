@@ -25,7 +25,10 @@ fn fig2_cost_curve_shape() {
         let recr = model.cycles(MigrationStrategy::TaskRecreation, size);
         assert!(repl > previous_repl);
         assert!(recr > previous_recr);
-        assert!(recr > repl, "recreation must sit above replication at {kib} KiB");
+        assert!(
+            recr > repl,
+            "recreation must sit above replication at {kib} KiB"
+        );
         previous_repl = repl;
         previous_recr = recr;
     }
@@ -43,8 +46,11 @@ fn migrate_once(strategy: MigrationStrategy, context: Bytes) -> (u64, Seconds, B
     let task = os
         .spawn(TaskDescriptor::new("worker", 0.4, context), CoreId(0))
         .unwrap();
-    os.spawn(TaskDescriptor::new("background", 0.2, Bytes::from_kib(64)), CoreId(2))
-        .unwrap();
+    os.spawn(
+        TaskDescriptor::new("background", 0.2, Bytes::from_kib(64)),
+        CoreId(2),
+    )
+    .unwrap();
     os.request_migration(task, CoreId(2)).unwrap();
     for _ in 0..400 {
         let report = os.step(&mut platform, Seconds::from_millis(5.0)).unwrap();
@@ -52,7 +58,11 @@ fn migrate_once(strategy: MigrationStrategy, context: Bytes) -> (u64, Seconds, B
             break;
         }
     }
-    assert_eq!(os.core_of(task).unwrap(), CoreId(2), "migration must complete");
+    assert_eq!(
+        os.core_of(task).unwrap(),
+        CoreId(2),
+        "migration must complete"
+    );
     let totals = os.migration().totals();
     (totals.migrations, totals.frozen_time, totals.bytes)
 }

@@ -25,8 +25,16 @@ fn run(package: PackageKind, policy: PolicyKind, threshold: f64) -> SimulationSu
 /// not react to temperature at all.
 #[test]
 fn fig7_balancing_beats_energy_balancing_on_sigma() {
-    let balancing = run(PackageKind::MobileEmbedded, PolicyKind::ThermalBalancing, 2.0);
-    let energy = run(PackageKind::MobileEmbedded, PolicyKind::EnergyBalancing, 2.0);
+    let balancing = run(
+        PackageKind::MobileEmbedded,
+        PolicyKind::ThermalBalancing,
+        2.0,
+    );
+    let energy = run(
+        PackageKind::MobileEmbedded,
+        PolicyKind::EnergyBalancing,
+        2.0,
+    );
     assert!(
         balancing.mean_spatial_std_dev() < 0.7 * energy.mean_spatial_std_dev(),
         "balancing σ {:.2} should be well below energy-balancing σ {:.2}",
@@ -45,16 +53,32 @@ fn fig7_balancing_beats_energy_balancing_on_sigma() {
 /// energy-balancing baseline is flat.
 #[test]
 fn sigma_grows_with_threshold_for_balancing_only() {
-    let tight = run(PackageKind::MobileEmbedded, PolicyKind::ThermalBalancing, 1.0);
-    let loose = run(PackageKind::MobileEmbedded, PolicyKind::ThermalBalancing, 4.0);
+    let tight = run(
+        PackageKind::MobileEmbedded,
+        PolicyKind::ThermalBalancing,
+        1.0,
+    );
+    let loose = run(
+        PackageKind::MobileEmbedded,
+        PolicyKind::ThermalBalancing,
+        4.0,
+    );
     assert!(
         tight.mean_spatial_std_dev() < loose.mean_spatial_std_dev() + 1e-9,
         "σ at 1 °C ({:.2}) should not exceed σ at 4 °C ({:.2})",
         tight.mean_spatial_std_dev(),
         loose.mean_spatial_std_dev()
     );
-    let energy_tight = run(PackageKind::MobileEmbedded, PolicyKind::EnergyBalancing, 1.0);
-    let energy_loose = run(PackageKind::MobileEmbedded, PolicyKind::EnergyBalancing, 4.0);
+    let energy_tight = run(
+        PackageKind::MobileEmbedded,
+        PolicyKind::EnergyBalancing,
+        1.0,
+    );
+    let energy_loose = run(
+        PackageKind::MobileEmbedded,
+        PolicyKind::EnergyBalancing,
+        4.0,
+    );
     assert!(
         (energy_tight.mean_spatial_std_dev() - energy_loose.mean_spatial_std_dev()).abs() < 0.2,
         "energy balancing does not depend on the threshold"
@@ -67,7 +91,11 @@ fn sigma_grows_with_threshold_for_balancing_only() {
 #[test]
 fn stop_and_go_trades_misses_for_thermal_control() {
     let stopgo = run(PackageKind::MobileEmbedded, PolicyKind::StopGo, 2.0);
-    let balancing = run(PackageKind::MobileEmbedded, PolicyKind::ThermalBalancing, 2.0);
+    let balancing = run(
+        PackageKind::MobileEmbedded,
+        PolicyKind::ThermalBalancing,
+        2.0,
+    );
     assert!(
         stopgo.qos.deadline_misses > 20,
         "Stop&Go should miss many frames, got {}",
@@ -90,8 +118,16 @@ fn stop_and_go_trades_misses_for_thermal_control() {
 #[test]
 fn fig9_fig10_high_performance_crossover() {
     let stopgo = run(PackageKind::HighPerformance, PolicyKind::StopGo, 1.0);
-    let balancing = run(PackageKind::HighPerformance, PolicyKind::ThermalBalancing, 1.0);
-    let energy = run(PackageKind::HighPerformance, PolicyKind::EnergyBalancing, 1.0);
+    let balancing = run(
+        PackageKind::HighPerformance,
+        PolicyKind::ThermalBalancing,
+        1.0,
+    );
+    let energy = run(
+        PackageKind::HighPerformance,
+        PolicyKind::EnergyBalancing,
+        1.0,
+    );
     // Energy balancing is the worst at controlling the gradient.
     assert!(balancing.mean_spatial_std_dev() < energy.mean_spatial_std_dev());
     assert!(stopgo.mean_spatial_std_dev() < energy.mean_spatial_std_dev());
@@ -104,9 +140,21 @@ fn fig9_fig10_high_performance_crossover() {
 /// one at the tightest threshold.
 #[test]
 fn fig11_migration_rate_shape() {
-    let mobile_tight = run(PackageKind::MobileEmbedded, PolicyKind::ThermalBalancing, 1.0);
-    let mobile_loose = run(PackageKind::MobileEmbedded, PolicyKind::ThermalBalancing, 4.0);
-    let hiperf_tight = run(PackageKind::HighPerformance, PolicyKind::ThermalBalancing, 1.0);
+    let mobile_tight = run(
+        PackageKind::MobileEmbedded,
+        PolicyKind::ThermalBalancing,
+        1.0,
+    );
+    let mobile_loose = run(
+        PackageKind::MobileEmbedded,
+        PolicyKind::ThermalBalancing,
+        4.0,
+    );
+    let hiperf_tight = run(
+        PackageKind::HighPerformance,
+        PolicyKind::ThermalBalancing,
+        1.0,
+    );
     assert!(
         mobile_tight.migrations_per_second() >= mobile_loose.migrations_per_second(),
         "migration rate should not grow with the threshold"

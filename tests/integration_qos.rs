@@ -41,7 +41,10 @@ fn run_with_queue(queue_capacity: usize, threshold: f64) -> tbp_core::Simulation
 fn deeper_queues_absorb_migration_freezes() {
     let tiny = run_with_queue(1, 1.0);
     let paper = run_with_queue(11, 1.0);
-    assert!(paper.migration.migrations > 0, "the tight threshold must migrate");
+    assert!(
+        paper.migration.migrations > 0,
+        "the tight threshold must migrate"
+    );
     assert_eq!(
         paper.qos.deadline_misses, 0,
         "11-frame queues must sustain balancing without misses"

@@ -7,8 +7,14 @@ use tbp_core::experiments::{build_sdr_simulation, ExperimentConfig, PolicyKind};
 use tbp_thermal::package::PackageKind;
 
 fn spread(temps: &[Celsius]) -> f64 {
-    temps.iter().map(|c| c.as_celsius()).fold(f64::MIN, f64::max)
-        - temps.iter().map(|c| c.as_celsius()).fold(f64::MAX, f64::min)
+    temps
+        .iter()
+        .map(|c| c.as_celsius())
+        .fold(f64::MIN, f64::max)
+        - temps
+            .iter()
+            .map(|c| c.as_celsius())
+            .fold(f64::MAX, f64::min)
 }
 
 /// The paper: after 12.5 s of DVFS-only execution the temperatures are stable
@@ -66,7 +72,10 @@ fn enabling_the_policy_balances_within_seconds() {
     let mut sim = build_sdr_simulation(&config).unwrap();
     sim.run_for(Seconds::new(12.5)).unwrap();
     let before = spread(&sim.core_temperatures());
-    assert!(before > 6.0, "warm-up should leave a gradient, got {before:.1}");
+    assert!(
+        before > 6.0,
+        "warm-up should leave a gradient, got {before:.1}"
+    );
 
     // Advance in 100 ms slices and find when the spread first falls inside
     // the band (2 * threshold).
@@ -126,6 +135,7 @@ fn balanced_state_keeps_cores_near_the_mean() {
     let summary = sim.summary();
     // The measured band-violation time is a small fraction of the run.
     assert!(
-        summary.thermal.time_above_upper_threshold.as_secs() < 0.4 * summary.measured_time.as_secs()
+        summary.thermal.time_above_upper_threshold.as_secs()
+            < 0.4 * summary.measured_time.as_secs()
     );
 }

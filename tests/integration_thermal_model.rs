@@ -79,7 +79,11 @@ fn solver_choice_does_not_change_the_physics() {
     let mut rk4 = build(SolverKind::RungeKutta4);
     euler.run_for(Seconds::new(5.0)).unwrap();
     rk4.run_for(Seconds::new(5.0)).unwrap();
-    for (a, b) in euler.core_temperatures().iter().zip(rk4.core_temperatures()) {
+    for (a, b) in euler
+        .core_temperatures()
+        .iter()
+        .zip(rk4.core_temperatures())
+    {
         assert!(
             (a.as_celsius() - b.as_celsius()).abs() < 0.5,
             "solvers disagree: {a} vs {b}"
