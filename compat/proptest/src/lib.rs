@@ -198,7 +198,7 @@ pub mod collection {
     use super::{Strategy, TestRng};
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact length or a range.
+    /// Length specification for [`vec`](fn@vec): an exact length or a range.
     pub struct SizeRange {
         lo: usize,
         hi: usize,

@@ -6,14 +6,13 @@
 //! near zero.
 
 use tbp_core::experiments::threshold_sweep_spec;
-use tbp_core::scenario::Runner;
 use tbp_thermal::package::PackageKind;
 
 fn main() {
     let spec = threshold_sweep_spec(PackageKind::HighPerformance, tbp_bench::measured_duration());
-    let batch = tbp_bench::timed("fig10", || {
-        Runner::new().run_spec(&spec).expect("sweep runs")
-    });
+    let Some(batch) = tbp_bench::run_cli("fig10", std::slice::from_ref(&spec)) else {
+        return;
+    };
     if tbp_bench::emit_structured(&batch) {
         return;
     }

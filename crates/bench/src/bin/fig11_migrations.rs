@@ -8,14 +8,14 @@
 //! 192 kB/s of shared-memory traffic, i.e. negligible.
 
 use tbp_core::experiments::migration_rate_sweep_spec;
-use tbp_core::scenario::{RunReport, Runner};
+use tbp_core::scenario::RunReport;
 use tbp_thermal::package::PackageKind;
 
 fn main() {
     let spec = migration_rate_sweep_spec(tbp_bench::measured_duration());
-    let batch = tbp_bench::timed("fig11", || {
-        Runner::new().run_spec(&spec).expect("sweep runs")
-    });
+    let Some(batch) = tbp_bench::run_cli("fig11", std::slice::from_ref(&spec)) else {
+        return;
+    };
     if tbp_bench::emit_structured(&batch) {
         return;
     }

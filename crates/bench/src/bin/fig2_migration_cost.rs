@@ -8,13 +8,12 @@
 
 use tbp_arch::units::Bytes;
 use tbp_core::experiments::fig2_migration_cost_spec;
-use tbp_core::scenario::Runner;
 use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
 
 fn main() {
-    let batch = Runner::new()
-        .run_spec(&fig2_migration_cost_spec())
-        .expect("analytic scenario runs");
+    let Some(batch) = tbp_bench::run_cli("fig2", &[fig2_migration_cost_spec()]) else {
+        return;
+    };
     if tbp_bench::emit_structured(&batch) {
         return;
     }

@@ -7,14 +7,13 @@
 //! flat (it never reacts to temperature).
 
 use tbp_core::experiments::threshold_sweep_spec;
-use tbp_core::scenario::Runner;
 use tbp_thermal::package::PackageKind;
 
 fn main() {
     let spec = threshold_sweep_spec(PackageKind::MobileEmbedded, tbp_bench::measured_duration());
-    let batch = tbp_bench::timed("fig7", || {
-        Runner::new().run_spec(&spec).expect("sweep runs")
-    });
+    let Some(batch) = tbp_bench::run_cli("fig7", std::slice::from_ref(&spec)) else {
+        return;
+    };
     if tbp_bench::emit_structured(&batch) {
         return;
     }

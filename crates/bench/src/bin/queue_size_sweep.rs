@@ -8,13 +8,12 @@
 //! package) and reports misses and the minimum queue level reached.
 
 use tbp_core::experiments::queue_capacity_sweep_spec;
-use tbp_core::scenario::Runner;
 
 fn main() {
     let spec = queue_capacity_sweep_spec(tbp_bench::measured_duration());
-    let batch = tbp_bench::timed("queue sweep", || {
-        Runner::new().run_spec(&spec).expect("sweep runs")
-    });
+    let Some(batch) = tbp_bench::run_cli("queue sweep", std::slice::from_ref(&spec)) else {
+        return;
+    };
     if tbp_bench::emit_structured(&batch) {
         return;
     }

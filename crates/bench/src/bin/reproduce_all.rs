@@ -9,25 +9,37 @@
 //! * `TBP_DURATION=<seconds>` shortens/lengthens the measured window.
 //! * `--json` / `--csv` (or `TBP_FORMAT`) emit the structured batch report.
 //! * `TBP_SCENARIOS=<dir>` points at an alternative scenario directory.
+//! * `--cache-dir <dir>` (or `TBP_CACHE_DIR`) memoizes run reports by
+//!   content hash: a warm re-run performs zero simulations.
+//! * `--shard i/k` executes the i-th of k contiguous slices of the batch and
+//!   prints a partial report (JSON) on stdout; `--merge <file>...` merges
+//!   such partials back into the full batch (byte-identical to a
+//!   single-process run) and renders it.
 
 use tbp_arch::units::{Celsius, Seconds};
 use tbp_core::experiments::{paper_scenarios, ExperimentConfig, PolicyKind};
-use tbp_core::scenario::{BatchReport, RunReport, Runner, ScenarioSpec};
+use tbp_core::scenario::{BatchReport, RunReport, ScenarioSpec};
 use tbp_thermal::package::PackageKind;
 
 fn main() {
     let duration = tbp_bench::measured_duration();
     let specs = load_specs(duration);
-    let batch = tbp_bench::timed("paper batch", || {
-        Runner::new().run(&specs).expect("paper scenarios run")
-    });
+    let cli = tbp_bench::batch_cli();
+    let Some(batch) = tbp_bench::run_cli_with(&cli, "paper batch", &specs) else {
+        return; // shard mode: the partial report went to stdout
+    };
     if tbp_bench::emit_structured(&batch) {
         return;
     }
     for spec in &specs {
         print_group(spec, &batch);
     }
-    warmup_and_transient();
+    // The two trace-based narratives step their simulations directly, so they
+    // are neither shardable nor part of a merged batch — skip them when this
+    // invocation only reassembles partial reports.
+    if !cli.is_merge() {
+        warmup_and_transient();
+    }
 }
 
 /// Loads the scenario files, falling back to the built-in constructors when

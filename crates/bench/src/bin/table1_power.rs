@@ -3,12 +3,11 @@
 //! support.
 
 use tbp_core::experiments::table1_power_spec;
-use tbp_core::scenario::Runner;
 
 fn main() {
-    let batch = Runner::new()
-        .run_spec(&table1_power_spec())
-        .expect("analytic scenario runs");
+    let Some(batch) = tbp_bench::run_cli("table1", &[table1_power_spec()]) else {
+        return;
+    };
     if tbp_bench::emit_structured(&batch) {
         return;
     }

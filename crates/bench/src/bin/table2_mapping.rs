@@ -5,14 +5,13 @@
 use tbp_arch::core::CoreId;
 use tbp_arch::freq::DvfsScale;
 use tbp_core::experiments::table2_mapping_spec;
-use tbp_core::scenario::Runner;
 use tbp_os::governor::DvfsGovernor;
 use tbp_streaming::sdr::SdrBenchmark;
 
 fn main() {
-    let batch = Runner::new()
-        .run_spec(&table2_mapping_spec())
-        .expect("analytic scenario runs");
+    let Some(batch) = tbp_bench::run_cli("table2", &[table2_mapping_spec()]) else {
+        return;
+    };
     if tbp_bench::emit_structured(&batch) {
         return;
     }

@@ -1,23 +1,35 @@
 //! # tbp-bench — experiment harness for the DATE 2008 reproduction
 //!
 //! Each binary in `src/bin/` regenerates one table or figure of the paper by
-//! building a [`ScenarioSpec`](tbp_core::scenario::ScenarioSpec) (or loading
+//! building a [`ScenarioSpec`] (or loading
 //! one from the workspace's `scenarios/` directory), handing it to the
-//! parallel [`Runner`](tbp_core::scenario::Runner) and rendering the
+//! parallel [`Runner`] and rendering the
 //! returned [`BatchReport`]. `reproduce_all` runs the whole evaluation from
 //! the TOML scenario files.
 //!
 //! All binaries accept `--json` / `--csv` (or `TBP_FORMAT=json|csv`) to emit
 //! the structured reports instead of plain-text tables, and honour
 //! `TBP_DURATION=<seconds>` to shorten the measured window.
+//!
+//! Binaries that execute batches additionally accept (see [`run_cli`]):
+//!
+//! * `--cache-dir <dir>` (or `TBP_CACHE_DIR`) — memoize run reports in a
+//!   content-addressed filesystem cache; warm re-runs simulate nothing.
+//! * `--shard i/k` (or `TBP_SHARD`) — execute only the i-th of k contiguous
+//!   shards of the batch and print a partial report (JSON) on stdout.
+//! * `--merge <file>...` — skip execution, merge previously emitted partial
+//!   reports back into the full batch and render it as usual.
 
 #![deny(missing_docs)]
 
+use std::path::PathBuf;
 use std::time::Instant;
 
 use tbp_arch::units::Seconds;
 use tbp_core::experiments::SweepPoint;
-use tbp_core::scenario::{BatchReport, RunReport};
+use tbp_core::scenario::{
+    BatchReport, FsCache, PartialReport, RunReport, Runner, ScenarioSpec, ShardPlan,
+};
 
 /// Measured duration used by the figure experiments (seconds of simulated
 /// time after the warm-up). Override with the `TBP_DURATION` environment
@@ -213,6 +225,200 @@ pub fn sweep_table(points: &[SweepPoint], metric: impl Fn(&SweepPoint) -> f64) -
         .collect()
 }
 
+/// Batch-level CLI options shared by the bench binaries: caching, sharding
+/// and partial-report merging.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct BatchCli {
+    /// Cache directory (`--cache-dir <dir>` or `TBP_CACHE_DIR`).
+    pub cache_dir: Option<PathBuf>,
+    /// Shard to execute (`--shard i/k` or `TBP_SHARD=i/k`).
+    pub shard: Option<ShardPlan>,
+    /// Partial-report files to merge instead of executing (`--merge <f>...`).
+    pub merge: Vec<PathBuf>,
+}
+
+impl BatchCli {
+    /// Whether the binary should merge partials instead of executing runs.
+    pub fn is_merge(&self) -> bool {
+        !self.merge.is_empty()
+    }
+}
+
+/// Parses the batch-level flags from the process arguments and environment.
+///
+/// A `--merge` invocation executes nothing, so combining it with `--shard`
+/// or `--cache-dir` is rejected as a usage error rather than silently
+/// ignoring the execution flags. The `TBP_CACHE_DIR`/`TBP_SHARD` environment
+/// fallbacks are not applied in merge mode (a globally exported cache dir
+/// must not break merge invocations).
+///
+/// # Panics
+///
+/// Panics with a usage message on malformed flags (a missing value after
+/// `--cache-dir`/`--shard`/`--merge`, an unparsable shard, or `--merge`
+/// combined with the execution flags).
+pub fn batch_cli() -> BatchCli {
+    let mut cli = parse_batch_cli(std::env::args().skip(1));
+    if cli.is_merge() {
+        return cli;
+    }
+    if cli.cache_dir.is_none() {
+        if let Ok(dir) = std::env::var("TBP_CACHE_DIR") {
+            cli.cache_dir = Some(PathBuf::from(dir));
+        }
+    }
+    if cli.shard.is_none() {
+        if let Ok(shard) = std::env::var("TBP_SHARD") {
+            cli.shard = Some(ShardPlan::parse(&shard).expect("TBP_SHARD parses"));
+        }
+    }
+    cli
+}
+
+fn parse_batch_cli(args: impl Iterator<Item = String>) -> BatchCli {
+    let mut cli = BatchCli::default();
+    // A flag's value must not itself look like a flag: `--cache-dir --csv`
+    // is a forgotten value, not a directory named `--csv`.
+    fn flag_value(args: &mut impl Iterator<Item = String>, flag: &str, what: &str) -> String {
+        match args.next() {
+            Some(value) if !value.starts_with("--") => value,
+            _ => panic!("{flag} needs {what}"),
+        }
+    }
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache-dir" => {
+                let dir = flag_value(&mut args, "--cache-dir", "a directory");
+                cli.cache_dir = Some(PathBuf::from(dir));
+            }
+            "--shard" => {
+                let spec = flag_value(&mut args, "--shard", "an i/k value, e.g. 2/4");
+                cli.shard = Some(ShardPlan::parse(&spec).expect("--shard value parses"));
+            }
+            "--merge" => {
+                while let Some(path) = args.peek() {
+                    if path.starts_with("--") {
+                        break;
+                    }
+                    cli.merge.push(PathBuf::from(args.next().expect("peeked")));
+                }
+                assert!(
+                    !cli.merge.is_empty(),
+                    "--merge needs at least one partial-report file"
+                );
+            }
+            _ => {}
+        }
+    }
+    assert!(
+        !(cli.is_merge() && (cli.shard.is_some() || cli.cache_dir.is_some())),
+        "--merge executes nothing and cannot be combined with --shard or --cache-dir"
+    );
+    cli
+}
+
+/// Executes `specs` honouring the batch-level flags, returning the batch to
+/// render — or `None` in shard mode, where the partial report has already
+/// been printed to stdout and the caller should simply exit.
+///
+/// * default — run the whole batch (optionally through the cache).
+/// * `--shard i/k` — run one shard, print its [`PartialReport`] JSON.
+/// * `--merge <file>...` — execute nothing; merge the partials instead.
+///
+/// With `--cache-dir`, a `[cache] hits=… misses=…` line is printed to stderr
+/// after execution (the cached-reproduce CI job greps for `misses=0`).
+///
+/// # Panics
+///
+/// Panics with a descriptive message when a run fails, a partial file cannot
+/// be read, or the partials do not merge — matching the fail-fast style of
+/// the bench binaries.
+pub fn run_cli(label: &str, specs: &[ScenarioSpec]) -> Option<BatchReport> {
+    run_cli_with(&batch_cli(), label, specs)
+}
+
+/// [`run_cli`] with an already-parsed [`BatchCli`] — for binaries that also
+/// need the options themselves (and must not parse the CLI twice).
+///
+/// # Panics
+///
+/// See [`run_cli`].
+pub fn run_cli_with(cli: &BatchCli, label: &str, specs: &[ScenarioSpec]) -> Option<BatchReport> {
+    if cli.is_merge() {
+        let partials: Vec<PartialReport> = cli
+            .merge
+            .iter()
+            .map(|path| {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read partial {}: {e}", path.display()));
+                PartialReport::from_json_str(&text)
+                    .unwrap_or_else(|e| panic!("{}: {e}", path.display()))
+            })
+            .collect();
+        // The partials must describe the batch *this* invocation would run,
+        // or the rendered tables would silently pose as the local
+        // configuration's results.
+        let expected = tbp_core::scenario::batch_digest(specs)
+            .expect("local specs expand to a digestible batch")
+            .to_hex();
+        if let Some(partial) = partials.iter().find(|p| p.batch != expected) {
+            panic!(
+                "partial reports were produced from a different batch than this \
+                 invocation describes (digest {} vs local {expected}); check \
+                 TBP_DURATION, TBP_SCENARIOS and the scenario files",
+                partial.batch
+            );
+        }
+        let batch = PartialReport::merge(partials)
+            .unwrap_or_else(|e| panic!("partial reports do not merge: {e}"));
+        return Some(batch);
+    }
+    let mut runner = Runner::new();
+    if let Some(dir) = &cli.cache_dir {
+        runner = runner.with_cache(
+            FsCache::open(dir)
+                .unwrap_or_else(|e| panic!("cannot open cache dir {}: {e}", dir.display())),
+        );
+    }
+    if let Some(plan) = cli.shard {
+        let partial = timed(label, || {
+            runner
+                .run_shard(specs, plan)
+                .unwrap_or_else(|e| panic!("shard {plan} failed: {e}"))
+        });
+        eprintln!(
+            "[shard {plan}] runs {}..{} of {}",
+            partial.start,
+            partial.start + partial.reports.len(),
+            partial.total
+        );
+        report_cache_stats(&runner, cli);
+        println!("{}", partial.to_json());
+        return None;
+    }
+    let batch = timed(label, || {
+        runner
+            .run(specs)
+            .unwrap_or_else(|e| panic!("batch failed: {e}"))
+    });
+    report_cache_stats(&runner, cli);
+    Some(batch)
+}
+
+fn report_cache_stats(runner: &Runner, cli: &BatchCli) {
+    if cli.cache_dir.is_some() {
+        let stats = runner.stats();
+        eprintln!(
+            "[cache] hits={} misses={} (simulated={} analytic={})",
+            stats.cache_hits,
+            stats.misses(),
+            stats.simulated,
+            stats.analytic
+        );
+    }
+}
+
 /// Runs a closure, printing how long it took in wall-clock time.
 pub fn timed<T>(label: &str, f: impl FnOnce() -> T) -> T {
     let start = Instant::now();
@@ -240,4 +446,69 @@ pub fn override_duration(
 ) -> tbp_core::scenario::ScenarioSpec {
     let warmup = spec.schedule().warmup.as_secs();
     spec.with_schedule(warmup, duration.as_secs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> BatchCli {
+        parse_batch_cli(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn no_batch_flags_parse_to_defaults() {
+        assert_eq!(parse(&[]), BatchCli::default());
+        // Unrelated flags (--json/--csv and friends) are ignored here.
+        assert_eq!(parse(&["--csv", "whatever"]), BatchCli::default());
+    }
+
+    #[test]
+    fn cache_dir_and_shard_take_one_value_each() {
+        let cli = parse(&["--cache-dir", "cache/", "--shard", "2/4"]);
+        assert_eq!(
+            cli.cache_dir.as_deref(),
+            Some(std::path::Path::new("cache/"))
+        );
+        let plan = cli.shard.expect("shard parsed");
+        assert_eq!((plan.index(), plan.count()), (2, 4));
+        assert!(!cli.is_merge());
+        // A repeated flag follows last-wins.
+        let cli = parse(&["--shard", "1/4", "--shard", "3/4"]);
+        assert_eq!(cli.shard.expect("shard parsed").index(), 3);
+    }
+
+    #[test]
+    fn merge_consumes_files_until_the_next_flag() {
+        let cli = parse(&["--merge", "a.json", "b.json", "--csv"]);
+        assert_eq!(
+            cli.merge,
+            vec![PathBuf::from("a.json"), PathBuf::from("b.json")]
+        );
+        assert!(cli.is_merge());
+    }
+
+    #[test]
+    #[should_panic(expected = "--cache-dir needs a directory")]
+    fn cache_dir_rejects_a_flag_as_its_value() {
+        parse(&["--cache-dir", "--csv"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--shard needs an i/k value")]
+    fn shard_rejects_a_missing_value() {
+        parse(&["--shard"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "--merge needs at least one partial-report file")]
+    fn merge_rejects_an_empty_file_list() {
+        parse(&["--merge", "--csv"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be combined")]
+    fn merge_rejects_execution_flags() {
+        parse(&["--shard", "2/3", "--merge", "a.json"]);
+    }
 }

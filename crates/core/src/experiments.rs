@@ -2,7 +2,8 @@
 //!
 //! Every table and figure of Section 5 maps to a [`ScenarioSpec`] built
 //! here; the `tbp-bench` binaries hand those specs to a
-//! [`Runner`](crate::scenario::Runner) and print the resulting reports, and
+//! [`Runner`] and print the resulting
+//! reports, and
 //! the integration tests assert the qualitative shapes (orderings, trends,
 //! crossovers) the paper reports. The same specs ship as TOML files under
 //! the workspace's `scenarios/` directory — `ScenarioSpec` serializes — so

@@ -15,9 +15,9 @@
 //! * [`metrics`] / [`trace`] — the measurements the paper reports: spatial
 //!   and temporal temperature variance, migrated data, deadline misses;
 //! * [`scenario`] — the declarative Scenario API: serde-serializable
-//!   [`ScenarioSpec`](scenario::ScenarioSpec)s with sweep axes, a
-//!   [`PolicyRegistry`](scenario::PolicyRegistry) resolving policy names,
-//!   and a parallel batch [`Runner`](scenario::Runner) returning structured
+//!   [`ScenarioSpec`]s with sweep axes, a
+//!   [`PolicyRegistry`] resolving policy names,
+//!   and a parallel batch [`Runner`] returning structured
 //!   reports with JSON/CSV emission;
 //! * [`experiments`] — thin spec constructors reproducing every table and
 //!   figure of the paper's evaluation through the Scenario API.

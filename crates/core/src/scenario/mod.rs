@@ -18,6 +18,24 @@
 //!    expansion order, so parallel and sequential execution produce
 //!    byte-identical reports.
 //!
+//! Two further pieces make large sweeps cheap to re-run and distributable
+//! across processes:
+//!
+//! 4. [`ScenarioHash`] + [`RunCache`] — a concrete (post-expansion) spec has
+//!    a stable content hash of its semantic fields; a cache ([`FsCache`] on
+//!    disk, [`MemCache`] in process) memoizes each run's report under that
+//!    hash, so a warm re-run of a sweep performs zero simulations
+//!    ([`Runner::with_cache`]).
+//! 5. [`ShardPlan`] + [`PartialReport`] — a batch splits into `K` contiguous
+//!    shards executed by independent workers ([`Runner::run_shard`]);
+//!    [`PartialReport::merge`] reassembles the partials into a
+//!    [`BatchReport`] byte-identical to a single-process run.
+//!
+//! The spec → expand → run → report pipeline, and where the cache and shard
+//! layers sit in it, is drawn out in `docs/ARCHITECTURE.md`; the TOML schema
+//! specs are written in is documented field by field in
+//! `docs/SCENARIO_FORMAT.md`.
+//!
 //! # Example
 //!
 //! ```
@@ -41,12 +59,20 @@
 //! # }
 //! ```
 
+pub mod cache;
+pub mod hash;
 pub mod registry;
 pub mod runner;
+pub mod shard;
 pub mod spec;
 
+pub use cache::{FsCache, MemCache, RunCache};
+pub use hash::{canonical_json, ScenarioHash, HASH_DOMAIN};
 pub use registry::{PolicyFactory, PolicyRegistry};
-pub use runner::{BatchReport, RunOutcome, RunReport, Runner, TableReport};
+pub use runner::{
+    batch_digest, BatchReport, RunOutcome, RunReport, Runner, RunnerStats, TableReport,
+};
+pub use shard::{PartialReport, ShardPlan};
 pub use spec::{
     package_label, AnalysisKind, PlatformSpec, PolicySpec, ResolvedSchedule, ScenarioSpec,
     ScheduleSpec, SweepSpec, WorkloadDecl, WorkloadKind, DEFAULT_THRESHOLD,

@@ -6,6 +6,21 @@
 //! with JSON and CSV emission. Report order follows expansion order
 //! regardless of execution order, so a parallel batch is byte-identical to a
 //! sequential one.
+//!
+//! Two orthogonal extensions make re-running sweeps cheap and batches
+//! distributable:
+//!
+//! * **Caching** ([`Runner::with_cache`]) — before building a simulation the
+//!   runner looks the run up in a [`RunCache`] under its
+//!   [`ScenarioHash`]; hits are returned
+//!   directly (re-labelled for the requesting spec) and misses are stored
+//!   after execution. A warm re-run of a fully cached batch performs zero
+//!   simulations. [`Runner::stats`] reports the hit/simulate counts.
+//! * **Sharding** ([`Runner::run_shard`]) — executes one contiguous slice of
+//!   the expanded batch and returns a
+//!   [`PartialReport`]; merging a complete
+//!   set of partials reproduces the single-process [`BatchReport`]
+//!   byte-for-byte.
 
 use rayon::prelude::*;
 use serde::{Deserialize, Serialize};
@@ -19,16 +34,48 @@ use tbp_thermal::package::PackageKind;
 
 use crate::error::SimError;
 use crate::metrics::SimulationSummary;
+use crate::scenario::cache::RunCache;
+use crate::scenario::hash::ScenarioHash;
 use crate::scenario::registry::PolicyRegistry;
+use crate::scenario::shard::{PartialReport, ShardPlan};
 use crate::scenario::spec::{AnalysisKind, ScenarioSpec};
 use crate::sim::Simulation;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Executes batches of scenarios and collects their reports.
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct Runner {
     registry: Arc<PolicyRegistry>,
     parallel: bool,
+    cache: Option<Arc<dyn RunCache>>,
+    counters: Arc<RunnerCounters>,
+}
+
+#[derive(Debug, Default)]
+struct RunnerCounters {
+    simulated: AtomicU64,
+    analytic: AtomicU64,
+    cache_hits: AtomicU64,
+}
+
+/// Cumulative execution counters of a [`Runner`] (shared by its clones).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RunnerStats {
+    /// Simulations actually executed (cache misses of simulation runs).
+    pub simulated: u64,
+    /// Analytic tables actually computed (cache misses of table runs).
+    pub analytic: u64,
+    /// Runs answered from the cache without executing anything.
+    pub cache_hits: u64,
+}
+
+impl RunnerStats {
+    /// Total runs that were executed rather than answered from the cache.
+    pub fn misses(&self) -> u64 {
+        self.simulated + self.analytic
+    }
 }
 
 impl Runner {
@@ -37,6 +84,8 @@ impl Runner {
         Runner {
             registry: PolicyRegistry::global(),
             parallel: true,
+            cache: None,
+            counters: Arc::default(),
         }
     }
 
@@ -44,8 +93,8 @@ impl Runner {
     /// verifying parallel determinism).
     pub fn sequential() -> Self {
         Runner {
-            registry: PolicyRegistry::global(),
             parallel: false,
+            ..Runner::new()
         }
     }
 
@@ -67,21 +116,100 @@ impl Runner {
         self
     }
 
+    /// Memoizes run reports in `cache`, keyed by scenario content hash.
+    pub fn with_cache(self, cache: impl RunCache + 'static) -> Self {
+        self.with_cache_arc(Arc::new(cache))
+    }
+
+    /// Memoizes run reports in an already-shared cache.
+    pub fn with_cache_arc(mut self, cache: Arc<dyn RunCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// Cumulative execution counters: how many runs were simulated, computed
+    /// analytically, or answered from the cache. Counters are shared with
+    /// clones of this runner and accumulate across [`run`](Self::run) calls.
+    pub fn stats(&self) -> RunnerStats {
+        RunnerStats {
+            simulated: self.counters.simulated.load(Ordering::Relaxed),
+            analytic: self.counters.analytic.load(Ordering::Relaxed),
+            cache_hits: self.counters.cache_hits.load(Ordering::Relaxed),
+        }
+    }
+
     /// Expands every spec and executes all resulting runs.
     ///
     /// # Errors
     ///
     /// Returns the first error in expansion order; runs that already
     /// completed are discarded.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use tbp_core::scenario::{Runner, ScenarioSpec, SweepSpec};
+    ///
+    /// # fn main() -> Result<(), tbp_core::SimError> {
+    /// let spec = ScenarioSpec::new("demo")
+    ///     .with_schedule(0.2, 0.5) // short schedule to keep the doctest fast
+    ///     .with_sweep(SweepSpec::default().with_thresholds([1.0, 3.0]));
+    /// let batch = Runner::new().run(&[spec])?;
+    /// assert_eq!(batch.len(), 2);
+    /// assert_eq!(batch.reports[0].scenario, "demo[t1]");
+    /// assert!(batch.reports[0].summary().is_some());
+    /// # Ok(())
+    /// # }
+    /// ```
     pub fn run(&self, specs: &[ScenarioSpec]) -> Result<BatchReport, SimError> {
-        let cases: Vec<(String, ScenarioSpec)> = specs
-            .iter()
-            .flat_map(|spec| {
-                spec.expand()
-                    .into_iter()
-                    .map(|case| (spec.name.clone(), case))
-            })
-            .collect();
+        let cases = expand_batch(specs);
+        let reports = self.execute(cases)?;
+        Ok(BatchReport { reports })
+    }
+
+    /// Runs a single spec (expanding its sweep) — convenience wrapper.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_spec(&self, spec: &ScenarioSpec) -> Result<BatchReport, SimError> {
+        self.run(std::slice::from_ref(spec))
+    }
+
+    /// Executes one shard of the expanded batch — the contiguous slice of
+    /// runs `plan` assigns to this worker — and returns a [`PartialReport`]
+    /// for [`PartialReport::merge`] to reassemble.
+    ///
+    /// Every worker must be given the same `specs` in the same order;
+    /// expansion is deterministic, so the workers agree on the global run
+    /// order without coordinating.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_shard(
+        &self,
+        specs: &[ScenarioSpec],
+        plan: ShardPlan,
+    ) -> Result<PartialReport, SimError> {
+        let mut cases = expand_batch(specs);
+        let total = cases.len();
+        let batch = ScenarioHash::of_batch(cases.iter().map(|(g, c)| (g.as_str(), c)))?;
+        let range = plan.range(total);
+        let slice: Vec<(String, ScenarioSpec)> = cases.drain(range.clone()).collect();
+        let reports = self.execute(slice)?;
+        Ok(PartialReport {
+            shard_index: plan.index(),
+            shard_count: plan.count(),
+            start: range.start,
+            total,
+            batch: batch.to_hex(),
+            reports,
+        })
+    }
+
+    /// Executes concrete cases (in parallel when enabled), preserving order.
+    fn execute(&self, cases: Vec<(String, ScenarioSpec)>) -> Result<Vec<RunReport>, SimError> {
         let results: Vec<Result<RunReport, SimError>> = if self.parallel {
             cases
                 .into_par_iter()
@@ -97,22 +225,30 @@ impl Runner {
         for result in results {
             reports.push(result?);
         }
-        Ok(BatchReport { reports })
+        Ok(reports)
     }
 
-    /// Runs a single spec (expanding its sweep) — convenience wrapper.
-    ///
-    /// # Errors
-    ///
-    /// See [`run`](Self::run).
-    pub fn run_spec(&self, spec: &ScenarioSpec) -> Result<BatchReport, SimError> {
-        self.run(std::slice::from_ref(spec))
-    }
-
-    /// Executes one concrete (already expanded) scenario of the named group.
+    /// Executes one concrete (already expanded) scenario of the named group,
+    /// consulting the cache first when one is configured.
     fn run_case(&self, group: String, case: &ScenarioSpec) -> Result<RunReport, SimError> {
-        if let Some(kind) = case.analysis {
-            return Ok(RunReport {
+        let key = match &self.cache {
+            Some(cache) => {
+                let key = ScenarioHash::of(case)?;
+                if let Some(mut report) = cache.load(&key) {
+                    // The hash covers semantic content only; re-stamp the
+                    // labels so a renamed scenario reuses its cached runs.
+                    report.scenario = case.name.clone();
+                    report.group = group;
+                    self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(report);
+                }
+                Some((cache, key))
+            }
+            None => None,
+        };
+        let report = if let Some(kind) = case.analysis {
+            self.counters.analytic.fetch_add(1, Ordering::Relaxed);
+            RunReport {
                 scenario: case.name.clone(),
                 group,
                 policy: None,
@@ -120,25 +256,68 @@ impl Runner {
                 threshold: None,
                 queue_capacity: None,
                 outcome: RunOutcome::Table(kind.compute()),
-            });
+            }
+        } else {
+            let mut sim: Simulation = case.build_with(&self.registry)?;
+            sim.run_for(case.total_duration())?;
+            self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+            RunReport {
+                scenario: case.name.clone(),
+                group,
+                policy: Some(case.policy_spec().name),
+                package: Some(case.package_kind()),
+                threshold: Some(case.threshold()),
+                queue_capacity: case.queue_capacity(),
+                outcome: RunOutcome::Simulation(Box::new(sim.summary())),
+            }
+        };
+        if let Some((cache, key)) = key {
+            cache.store(&key, &report);
         }
-        let mut sim: Simulation = case.build_with(&self.registry)?;
-        sim.run_for(case.total_duration())?;
-        Ok(RunReport {
-            scenario: case.name.clone(),
-            group,
-            policy: Some(case.policy_spec().name),
-            package: Some(case.package_kind()),
-            threshold: Some(case.threshold()),
-            queue_capacity: case.queue_capacity(),
-            outcome: RunOutcome::Simulation(Box::new(sim.summary())),
-        })
+        Ok(report)
     }
+}
+
+/// The digest identifying the expanded batch of a spec list — what shard
+/// workers stamp into their [`PartialReport`]s. Merge hosts compare it
+/// against the partials they are handed to reject mixed-up batches.
+///
+/// # Errors
+///
+/// Returns [`SimError::Spec`] when an expanded case cannot be hashed.
+pub fn batch_digest(specs: &[ScenarioSpec]) -> Result<ScenarioHash, SimError> {
+    let cases = expand_batch(specs);
+    ScenarioHash::of_batch(cases.iter().map(|(group, case)| (group.as_str(), case)))
+}
+
+/// Expands a spec list into `(group, concrete case)` pairs in the global,
+/// deterministic batch order shared by [`Runner::run`] and
+/// [`Runner::run_shard`].
+fn expand_batch(specs: &[ScenarioSpec]) -> Vec<(String, ScenarioSpec)> {
+    specs
+        .iter()
+        .flat_map(|spec| {
+            spec.expand()
+                .into_iter()
+                .map(|case| (spec.name.clone(), case))
+        })
+        .collect()
 }
 
 impl Default for Runner {
     fn default() -> Self {
         Runner::new()
+    }
+}
+
+impl fmt::Debug for Runner {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runner")
+            .field("registry", &self.registry)
+            .field("parallel", &self.parallel)
+            .field("cached", &self.cache.is_some())
+            .field("stats", &self.stats())
+            .finish()
     }
 }
 

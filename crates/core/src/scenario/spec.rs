@@ -25,6 +25,16 @@ use crate::sim::{Simulation, SimulationBuilder, SimulationConfig};
 /// Default policy threshold (°C) when a spec does not name one.
 pub const DEFAULT_THRESHOLD: f64 = 3.0;
 
+/// Default thermal solver when the platform section does not name one.
+pub const DEFAULT_SOLVER: SolverKind = SolverKind::ForwardEuler;
+
+/// Default migration back-end when the platform section does not name one
+/// (task replication is the strategy the paper deploys).
+pub const DEFAULT_MIGRATION: MigrationStrategy = MigrationStrategy::TaskReplication;
+
+/// Default DVFS-governor setting when the platform section does not name one.
+pub const DEFAULT_DVFS: bool = true;
+
 /// A declarative description of one experiment (or, with a sweep, a grid of
 /// experiments).
 ///
@@ -286,13 +296,9 @@ impl ScenarioSpec {
         SimulationBuilder::new()
             .with_platform(platform.to_config())
             .with_package(self.package_object())
-            .with_solver(platform.solver.unwrap_or(SolverKind::ForwardEuler))
-            .with_migration_strategy(
-                platform
-                    .migration
-                    .unwrap_or(MigrationStrategy::TaskReplication),
-            )
-            .with_dvfs(platform.dvfs.unwrap_or(true))
+            .with_solver(platform.solver.unwrap_or(DEFAULT_SOLVER))
+            .with_migration_strategy(platform.migration.unwrap_or(DEFAULT_MIGRATION))
+            .with_dvfs(platform.dvfs.unwrap_or(DEFAULT_DVFS))
             .with_workload(self.workload.clone().unwrap_or_default().to_workload()?)
             .with_policy_box(policy)
             .with_threshold(threshold)
@@ -304,6 +310,19 @@ impl ScenarioSpec {
                 trace_interval: schedule.trace_interval,
             })
             .build()
+    }
+
+    /// The stable content hash of this concrete spec — the key run caches
+    /// memoize reports under. See
+    /// [`ScenarioHash`](crate::scenario::ScenarioHash) for what is (and is
+    /// not) hashed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] for sweep-carrying specs; call
+    /// [`expand`](Self::expand) first and hash the concrete runs.
+    pub fn content_hash(&self) -> Result<crate::scenario::ScenarioHash, SimError> {
+        crate::scenario::ScenarioHash::of(self)
     }
 
     /// Parses a spec from TOML text.

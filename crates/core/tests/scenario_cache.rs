@@ -1,0 +1,340 @@
+//! Integration tests of the persistence-and-distribution layer: content-hash
+//! stability, cache semantics (cold → warm equality, zero warm simulations)
+//! and shard-merge determinism.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use tbp_core::scenario::{
+    load_dir, FsCache, MemCache, PartialReport, PlatformSpec, Runner, ScenarioHash, ScenarioSpec,
+    ShardPlan, SweepSpec, WorkloadDecl, WorkloadKind,
+};
+use tbp_core::SimError;
+
+use tbp_os::migration::MigrationStrategy;
+use tbp_thermal::package::PackageKind;
+
+/// A self-cleaning temp directory for filesystem caches.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir =
+            std::env::temp_dir().join(format!("tbp-scenario-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn grid_spec(name: &str) -> ScenarioSpec {
+    ScenarioSpec::new(name).with_schedule(0.5, 1.0).with_sweep(
+        SweepSpec::default()
+            .with_packages([PackageKind::MobileEmbedded, PackageKind::HighPerformance])
+            .with_policies(["thermal-balancing", "stop-and-go"])
+            .with_thresholds([1.0, 3.0]),
+    )
+}
+
+#[test]
+fn hash_is_stable_across_field_reordering() {
+    // The same scenario written twice: tables and keys in different orders.
+    let a = ScenarioSpec::from_toml_str(
+        r#"
+        name = "order-a"
+        package = "HighPerformance"
+
+        [policy]
+        name = "stop-and-go"
+        threshold = 2.0
+
+        [schedule]
+        warmup = 1.0
+        duration = 2.0
+
+        [workload]
+        queue_capacity = 11
+        prefill = 5
+        "#,
+    )
+    .expect("valid TOML");
+    let b = ScenarioSpec::from_toml_str(
+        r#"
+        package = "HighPerformance"
+        name = "order-b"
+
+        [workload]
+        prefill = 5
+        queue_capacity = 11
+
+        [schedule]
+        duration = 2.0
+        warmup = 1.0
+
+        [policy]
+        threshold = 2.0
+        name = "stop-and-go"
+        "#,
+    )
+    .expect("valid TOML");
+    assert_eq!(
+        ScenarioHash::of(&a).unwrap(),
+        ScenarioHash::of(&b).unwrap(),
+        "field order (and the scenario name) must not change the hash"
+    );
+    // Hashing is also stable across serialization round-trips.
+    let round_tripped = ScenarioSpec::from_toml_str(&a.to_toml_string()).unwrap();
+    assert_eq!(
+        ScenarioHash::of(&a).unwrap(),
+        ScenarioHash::of(&round_tripped).unwrap()
+    );
+}
+
+#[test]
+fn hash_changes_on_any_semantic_field_change() {
+    let base = ScenarioSpec::new("base")
+        .with_package(PackageKind::MobileEmbedded)
+        .with_policy("thermal-balancing", 3.0)
+        .with_workload(WorkloadDecl::sdr_with_queue(11))
+        .with_schedule(1.0, 2.0);
+    let variants: Vec<ScenarioSpec> = vec![
+        base.clone().with_package(PackageKind::HighPerformance),
+        base.clone().with_policy("stop-and-go", 3.0),
+        base.clone().with_policy("thermal-balancing", 2.0),
+        base.clone().with_workload(WorkloadDecl::sdr_with_queue(7)),
+        base.clone().with_workload(WorkloadDecl {
+            kind: Some(WorkloadKind::Synthetic),
+            ..WorkloadDecl::default()
+        }),
+        base.clone().with_schedule(0.5, 2.0),
+        base.clone().with_schedule(1.0, 4.0),
+        {
+            let mut spec = base.clone();
+            spec.platform = Some(PlatformSpec {
+                cores: Some(4),
+                ..PlatformSpec::default()
+            });
+            spec
+        },
+        {
+            let mut spec = base.clone();
+            spec.platform = Some(PlatformSpec {
+                arm11: Some(true),
+                ..PlatformSpec::default()
+            });
+            spec
+        },
+        {
+            let mut spec = base.clone();
+            spec.platform = Some(PlatformSpec {
+                dvfs: Some(false),
+                ..PlatformSpec::default()
+            });
+            spec
+        },
+        {
+            let mut spec = base.clone();
+            spec.platform = Some(PlatformSpec {
+                migration: Some(MigrationStrategy::TaskRecreation),
+                ..PlatformSpec::default()
+            });
+            spec
+        },
+        {
+            let mut spec = base.clone();
+            let mut schedule = spec.schedule.clone().unwrap();
+            schedule.time_step_ms = Some(2.5);
+            spec.schedule = Some(schedule);
+            spec
+        },
+    ];
+    let base_hash = ScenarioHash::of(&base).unwrap();
+    let mut seen: BTreeSet<String> = BTreeSet::new();
+    seen.insert(base_hash.to_hex());
+    for variant in &variants {
+        let hash = ScenarioHash::of(variant).unwrap();
+        assert_ne!(
+            hash, base_hash,
+            "variant must hash differently: {variant:?}"
+        );
+        assert!(
+            seen.insert(hash.to_hex()),
+            "two distinct variants collided: {variant:?}"
+        );
+    }
+    // Defaulted-but-absent and explicitly-set sections are distinct specs.
+    let explicit = base.clone().with_schedule(8.0, 20.0);
+    assert_ne!(ScenarioHash::of(&explicit).unwrap(), base_hash);
+}
+
+#[test]
+fn sweep_carrying_specs_refuse_to_hash() {
+    let spec = grid_spec("swept");
+    assert!(matches!(spec.content_hash(), Err(SimError::Spec(_))));
+    for case in spec.expand() {
+        case.content_hash().expect("expanded cases are concrete");
+    }
+}
+
+#[test]
+fn cold_then_warm_runs_are_byte_identical_and_simulate_nothing() {
+    let tmp = TempDir::new("cold-warm");
+    let spec = grid_spec("cache");
+    let cache = Arc::new(FsCache::open(&tmp.0).expect("cache opens"));
+
+    let cold_runner = Runner::new().with_cache_arc(cache.clone());
+    let cold = cold_runner.run_spec(&spec).expect("cold batch runs");
+    let cold_stats = cold_runner.stats();
+    assert_eq!(cold.len(), 8);
+    assert_eq!(cold_stats.simulated, 8, "cold run simulates every case");
+    assert_eq!(cache.len(), 8, "every report is persisted");
+
+    // A *fresh* runner over the same directory: everything comes from disk.
+    let warm_runner = Runner::new().with_cache_arc(cache.clone());
+    let warm = warm_runner.run_spec(&spec).expect("warm batch runs");
+    let warm_stats = warm_runner.stats();
+    assert_eq!(warm_stats.simulated, 0, "warm run must not simulate");
+    assert_eq!(warm_stats.analytic, 0);
+    assert_eq!(warm_stats.cache_hits, 8);
+    assert_eq!(warm.to_json(), cold.to_json(), "reports are byte-identical");
+    assert_eq!(warm.to_csv(), cold.to_csv());
+}
+
+#[test]
+fn warm_cache_rerun_of_every_shipped_scenario_performs_zero_simulations() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
+    let specs: Vec<ScenarioSpec> = load_dir(&dir)
+        .expect("scenarios/ loads")
+        .into_iter()
+        .map(|spec| {
+            if spec.analysis.is_some() {
+                spec
+            } else {
+                // Shorten the paper's 8 s + 20 s schedule; the cache semantics
+                // under test are schedule-independent.
+                spec.with_schedule(0.2, 0.5)
+            }
+        })
+        .collect();
+    assert_eq!(specs.len(), 7);
+
+    let cache = Arc::new(MemCache::new());
+    let cold_runner = Runner::new().with_cache_arc(cache.clone());
+    let cold = cold_runner.run(&specs).expect("cold paper batch runs");
+    assert!(cold_runner.stats().simulated > 0);
+    assert!(cold_runner.stats().analytic > 0);
+
+    let warm_runner = Runner::new().with_cache_arc(cache);
+    let warm = warm_runner.run(&specs).expect("warm paper batch runs");
+    let stats = warm_runner.stats();
+    assert_eq!(
+        (stats.simulated, stats.analytic),
+        (0, 0),
+        "a warm re-run of the shipped scenarios must execute nothing"
+    );
+    assert_eq!(stats.cache_hits, cold.len() as u64);
+    assert_eq!(warm.to_json(), cold.to_json());
+}
+
+#[test]
+fn renaming_a_scenario_reuses_its_cached_runs() {
+    let cache = Arc::new(MemCache::new());
+    let original = grid_spec("old-name");
+    let runner = Runner::new().with_cache_arc(cache.clone());
+    runner.run_spec(&original).expect("cold batch runs");
+
+    let mut renamed = original.clone();
+    renamed.name = "new-name".to_string();
+    let warm_runner = Runner::new().with_cache_arc(cache);
+    let warm = warm_runner.run_spec(&renamed).expect("renamed batch runs");
+    assert_eq!(warm_runner.stats().simulated, 0);
+    assert!(warm
+        .reports
+        .iter()
+        .all(|r| r.group == "new-name" && r.scenario.starts_with("new-name[")));
+}
+
+#[test]
+fn shard_merge_is_byte_identical_to_a_single_process_run() {
+    let specs = [
+        grid_spec("shard-grid"),
+        ScenarioSpec::new("shard-solo")
+            .with_package(PackageKind::HighPerformance)
+            .with_policy("dvfs-only", 2.0)
+            .with_schedule(0.5, 1.0),
+    ];
+    let single = Runner::new()
+        .run(&specs)
+        .expect("single-process batch runs");
+    assert_eq!(single.len(), 9);
+
+    // Three independent workers, each with its own runner (as separate
+    // processes would have), collected out of order.
+    let mut partials: Vec<PartialReport> = [3usize, 1, 2]
+        .iter()
+        .map(|&index| {
+            Runner::new()
+                .run_shard(&specs, ShardPlan::new(index, 3).unwrap())
+                .expect("shard runs")
+        })
+        .collect();
+    assert_eq!(
+        partials.iter().map(|p| p.reports.len()).sum::<usize>(),
+        single.len()
+    );
+    // Partials survive their on-disk JSON form.
+    partials = partials
+        .iter()
+        .map(|p| PartialReport::from_json_str(&p.to_json()).expect("partial round-trips"))
+        .collect();
+    let merged = PartialReport::merge(partials).expect("complete set merges");
+    assert_eq!(merged.to_json(), single.to_json());
+    assert_eq!(merged.to_csv(), single.to_csv());
+}
+
+#[test]
+fn partials_from_different_batches_refuse_to_merge() {
+    // The same scenario at two durations — the classic mixed-TBP_DURATION
+    // mistake. Each worker believes it ran shard i of 2 of "the" batch.
+    let short = grid_spec("mixed");
+    let long = grid_spec("mixed").with_schedule(0.5, 2.0);
+    let p1 = Runner::new()
+        .run_shard(std::slice::from_ref(&short), ShardPlan::new(1, 2).unwrap())
+        .expect("shard of the short batch runs");
+    let p2 = Runner::new()
+        .run_shard(std::slice::from_ref(&long), ShardPlan::new(2, 2).unwrap())
+        .expect("shard of the long batch runs");
+    let err = PartialReport::merge(vec![p1, p2]).unwrap_err();
+    assert!(err.to_string().contains("different batch"), "{err}");
+}
+
+#[test]
+fn shards_sharing_a_cache_make_the_full_batch_free() {
+    let tmp = TempDir::new("shard-cache");
+    let spec = grid_spec("shard-warm");
+    let cache = Arc::new(FsCache::open(&tmp.0).expect("cache opens"));
+
+    // Two shard workers populate a common cache directory...
+    for index in 1..=2 {
+        Runner::new()
+            .with_cache_arc(cache.clone())
+            .run_shard(
+                std::slice::from_ref(&spec),
+                ShardPlan::new(index, 2).unwrap(),
+            )
+            .expect("shard runs");
+    }
+    // ...after which the unsharded batch is answered entirely from disk.
+    let runner = Runner::new().with_cache_arc(cache);
+    let warm = runner.run_spec(&spec).expect("warm batch runs");
+    assert_eq!(runner.stats().simulated, 0);
+    assert_eq!(runner.stats().cache_hits, warm.len() as u64);
+    let uncached = Runner::new().run_spec(&spec).expect("reference batch runs");
+    assert_eq!(warm.to_json(), uncached.to_json());
+}

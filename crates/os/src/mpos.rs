@@ -2,7 +2,7 @@
 //!
 //! [`Mpos`] glues the per-core schedulers, the DVFS governor, the migration
 //! middleware and the daemons together, and drives an
-//! [`MpsocPlatform`](tbp_arch::platform::MpsocPlatform) each simulation step:
+//! [`MpsocPlatform`] each simulation step:
 //! it applies the governor's frequency plan, programs per-core utilisations
 //! from the run queues, progresses checkpoints and in-flight migrations, and
 //! reports how many cycles each task actually executed (which the streaming
