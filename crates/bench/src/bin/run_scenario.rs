@@ -1,0 +1,94 @@
+//! Runs arbitrary scenario TOML files through the batch CLI.
+//!
+//! Where `reproduce_all` always executes the whole `scenarios/` directory,
+//! this binary runs exactly the files it is given — the CI smoke jobs use it
+//! to exercise individual scenarios (cold + warm against a cache), and it is
+//! the quickest way to iterate on a new scenario file:
+//!
+//! ```sh
+//! cargo run --release -p tbp-bench --bin run_scenario -- \
+//!     scenarios/90_dag_sweep.toml --cache-dir .tbp-cache --csv
+//! ```
+//!
+//! Accepts the shared batch flags (`--json`/`--csv`, `--cache-dir`,
+//! `--shard i/k`, `--merge`). Merge mode still needs the scenario files —
+//! they define the batch the partials are checked against:
+//! `run_scenario <scenario.toml>... --merge p1.json p2.json`.
+//! `TBP_DURATION` overrides the measured duration of every simulated
+//! scenario *when set*; unlike `reproduce_all`, an unset variable leaves the
+//! files' own schedules untouched.
+
+use std::path::PathBuf;
+
+use tbp_core::scenario::ScenarioSpec;
+
+fn main() {
+    let paths = scenario_paths();
+    assert!(
+        !paths.is_empty(),
+        "usage: run_scenario <scenario.toml>... [--cache-dir <dir>] [--shard i/k] \
+         [--merge <partial.json>...] [--json|--csv]\n\
+         note: --merge also needs the scenario files — they define the batch \
+         the partial reports are validated against"
+    );
+    let duration = std::env::var("TBP_DURATION")
+        .ok()
+        .map(|_| tbp_bench::measured_duration());
+    let specs: Vec<ScenarioSpec> = paths
+        .iter()
+        .map(|path| {
+            let spec = tbp_core::scenario::load_toml_file(path)
+                .unwrap_or_else(|e| panic!("cannot load scenario: {e}"));
+            match duration {
+                Some(duration) if spec.analysis.is_none() => {
+                    tbp_bench::override_duration(spec, duration)
+                }
+                _ => spec,
+            }
+        })
+        .collect();
+    let Some(batch) = tbp_bench::run_cli("scenarios", &specs) else {
+        return; // shard mode: the partial report went to stdout
+    };
+    if tbp_bench::emit_structured(&batch) {
+        return;
+    }
+    for spec in &specs {
+        let reports = batch.group(&spec.name);
+        if reports.is_empty() {
+            continue;
+        }
+        if let Some(table) = reports[0].table() {
+            tbp_bench::print_table_report(table);
+        } else {
+            tbp_bench::print_table(
+                &spec.name,
+                &tbp_bench::SUMMARY_HEADER,
+                &tbp_bench::summary_rows(&reports),
+            );
+        }
+    }
+}
+
+/// The positional scenario-file arguments: everything that is not one of the
+/// shared batch/format flags (whose values are skipped).
+fn scenario_paths() -> Vec<PathBuf> {
+    let mut paths = Vec::new();
+    let mut args = std::env::args().skip(1).peekable();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--cache-dir" | "--shard" => {
+                args.next();
+            }
+            "--merge" => {
+                while args.peek().is_some_and(|a| !a.starts_with("--")) {
+                    args.next();
+                }
+            }
+            "--json" | "--csv" => {}
+            other if other.starts_with("--") => panic!("unknown flag `{other}`"),
+            other => paths.push(PathBuf::from(other)),
+        }
+    }
+    paths
+}

@@ -174,6 +174,7 @@ mod tests {
             scenario: name.to_string(),
             group: name.to_string(),
             policy: None,
+            workload: None,
             package: None,
             threshold: None,
             queue_capacity: None,

@@ -54,7 +54,12 @@ use crate::scenario::spec::{
 /// spec schema (or the canonicalisation) changes incompatibly: every cache
 /// keyed by the old digests then misses cleanly instead of replaying stale
 /// reports.
-pub const HASH_DOMAIN: &str = "tbp-scenario-spec-v1";
+///
+/// History: `v2` — the workload subsystem landed (new `WorkloadKind`s, knob
+/// tables, sweep axes) and `SplitMix64::below` switched to unbiased
+/// rejection sampling, which shifts every seeded task stream; reports cached
+/// under `v1` describe runs the current code would not reproduce.
+pub const HASH_DOMAIN: &str = "tbp-scenario-spec-v2";
 
 /// Top-level spec fields that do not change what a run computes.
 const NON_SEMANTIC_FIELDS: [&str; 2] = ["name", "description"];
@@ -178,7 +183,7 @@ fn defaults_fingerprint() -> &'static str {
     FINGERPRINT.get_or_init(|| {
         let defaults = ScenarioSpec::new(String::new());
         format!(
-            "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}",
+            "{:?}|{}|{}|{:?}|{:?}|{:?}|{:?}|{}|{:?}|{:?}|{:?}|{:?}",
             defaults.package_kind(),
             defaults.policy_spec().name,
             defaults.threshold(),
@@ -188,6 +193,11 @@ fn defaults_fingerprint() -> &'static str {
             DEFAULT_MIGRATION,
             DEFAULT_DVFS,
             WorkloadDecl::default().to_workload(),
+            // Per-kind generator defaults: a spec selecting a workload kind
+            // without a knob table relies on these resolved values.
+            tbp_streaming::workloads::WorkloadParams::default(),
+            tbp_streaming::workloads::VideoKnobs::default().resolve(),
+            tbp_streaming::workloads::DagKnobs::default().resolve(),
         )
     })
 }
@@ -441,6 +451,55 @@ mod tests {
             .with_policy("stop-and-go", 2.0);
         assert_eq!(ScenarioHash::of(&a).unwrap(), ScenarioHash::of(&b).unwrap());
         assert_eq!(canonical_json(&a), canonical_json(&b));
+    }
+
+    #[test]
+    fn every_workload_knob_changes_the_hash() {
+        use crate::scenario::spec::{WorkloadDecl, WorkloadKind};
+
+        let base = ScenarioSpec::new("wl").with_workload(WorkloadDecl::of_kind(WorkloadKind::Dag));
+        let base_hash = ScenarioHash::of(&base).unwrap();
+        let mutate = |f: &dyn Fn(&mut WorkloadDecl)| {
+            let mut decl = WorkloadDecl::of_kind(WorkloadKind::Dag);
+            f(&mut decl);
+            ScenarioHash::of(&ScenarioSpec::new("wl").with_workload(decl)).unwrap()
+        };
+        let variants = [
+            mutate(&|d| d.kind = Some(WorkloadKind::VideoAnalytics)),
+            mutate(&|d| d.seed = Some(1)),
+            mutate(&|d| d.queue_capacity = Some(9)),
+            mutate(&|d| d.prefill = Some(2)),
+            mutate(&|d| d.generator = Some("custom".into())),
+            mutate(&|d| {
+                d.dag = Some(tbp_streaming::workloads::DagKnobs {
+                    depth: Some(5),
+                    ..Default::default()
+                })
+            }),
+            mutate(&|d| {
+                d.dag = Some(tbp_streaming::workloads::DagKnobs {
+                    skew: Some(0.9),
+                    ..Default::default()
+                })
+            }),
+            mutate(&|d| {
+                d.video = Some(tbp_streaming::workloads::VideoKnobs {
+                    streams: Some(3),
+                    ..Default::default()
+                })
+            }),
+        ];
+        for (i, variant) in variants.iter().enumerate() {
+            assert_ne!(
+                base_hash, *variant,
+                "workload knob change #{i} must change the content hash"
+            );
+        }
+        // And distinct knob values hash distinctly from one another.
+        let mut all: Vec<String> = variants.iter().map(|h| h.to_hex()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), variants.len());
     }
 
     #[test]

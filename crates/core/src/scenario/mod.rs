@@ -74,8 +74,8 @@ pub use runner::{
 };
 pub use shard::{PartialReport, ShardPlan};
 pub use spec::{
-    package_label, AnalysisKind, PlatformSpec, PolicySpec, ResolvedSchedule, ScenarioSpec,
-    ScheduleSpec, SweepSpec, WorkloadDecl, WorkloadKind, DEFAULT_THRESHOLD,
+    package_label, workload_kind_label, AnalysisKind, PlatformSpec, PolicySpec, ResolvedSchedule,
+    ScenarioSpec, ScheduleSpec, SweepSpec, WorkloadDecl, WorkloadKind, DEFAULT_THRESHOLD,
 };
 
 use crate::error::SimError;

@@ -30,6 +30,7 @@ use tbp_arch::power::{ComponentKind, CoreClass, PowerModel};
 use tbp_arch::units::{Bytes, Celsius};
 use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
 use tbp_streaming::sdr::SdrBenchmark;
+use tbp_streaming::workloads::WorkloadRegistry;
 use tbp_thermal::package::PackageKind;
 
 use crate::error::SimError;
@@ -48,6 +49,7 @@ use std::sync::Arc;
 #[derive(Clone)]
 pub struct Runner {
     registry: Arc<PolicyRegistry>,
+    workloads: Arc<WorkloadRegistry>,
     parallel: bool,
     cache: Option<Arc<dyn RunCache>>,
     counters: Arc<RunnerCounters>,
@@ -79,10 +81,12 @@ impl RunnerStats {
 }
 
 impl Runner {
-    /// A parallel runner using the global (built-in) policy registry.
+    /// A parallel runner using the global (built-in) policy and workload
+    /// registries.
     pub fn new() -> Self {
         Runner {
             registry: PolicyRegistry::global(),
+            workloads: WorkloadRegistry::global(),
             parallel: true,
             cache: None,
             counters: Arc::default(),
@@ -107,6 +111,21 @@ impl Runner {
     /// Resolves policies through an already-shared registry.
     pub fn with_registry_arc(mut self, registry: Arc<PolicyRegistry>) -> Self {
         self.registry = registry;
+        self
+    }
+
+    /// Resolves workload generator names (the `[workload] generator` field
+    /// and the generated kinds) through `registry` instead of the global
+    /// (built-ins only) workload registry — the hook that lets third-party
+    /// workloads run from TOML scenarios.
+    pub fn with_workload_registry(mut self, registry: WorkloadRegistry) -> Self {
+        self.workloads = Arc::new(registry);
+        self
+    }
+
+    /// Resolves workload names through an already-shared registry.
+    pub fn with_workload_registry_arc(mut self, registry: Arc<WorkloadRegistry>) -> Self {
+        self.workloads = registry;
         self
     }
 
@@ -252,19 +271,22 @@ impl Runner {
                 scenario: case.name.clone(),
                 group,
                 policy: None,
+                workload: None,
                 package: None,
                 threshold: None,
                 queue_capacity: None,
                 outcome: RunOutcome::Table(kind.compute()),
             }
         } else {
-            let mut sim: Simulation = case.build_with(&self.registry)?;
+            let mut sim: Simulation =
+                case.build_with_registries(&self.registry, self.workloads.clone())?;
             sim.run_for(case.total_duration())?;
             self.counters.simulated.fetch_add(1, Ordering::Relaxed);
             RunReport {
                 scenario: case.name.clone(),
                 group,
                 policy: Some(case.policy_spec().name),
+                workload: Some(case.workload_label()),
                 package: Some(case.package_kind()),
                 threshold: Some(case.threshold()),
                 queue_capacity: case.queue_capacity(),
@@ -331,6 +353,9 @@ pub struct RunReport {
     pub group: String,
     /// Policy that ran (`None` for analytic tables).
     pub policy: Option<String>,
+    /// Workload label the run executed (`None` for analytic tables); the
+    /// custom generator name for registry-resolved third-party workloads.
+    pub workload: Option<String>,
     /// Thermal package (`None` for analytic tables).
     pub package: Option<PackageKind>,
     /// Policy threshold in °C (`None` for analytic tables).
@@ -411,9 +436,9 @@ impl BatchReport {
     /// per run with the headline metrics of the paper's evaluation.
     pub fn to_csv(&self) -> String {
         let mut out = String::from(
-            "scenario,policy,package,threshold_c,queue_capacity,sigma_spatial_c,mean_spread_c,\
-             peak_c,frames_delivered,deadline_misses,miss_rate,migrations,migrations_per_s,\
-             migrated_kib_per_s,halts,measured_s\n",
+            "scenario,policy,workload,package,threshold_c,queue_capacity,sigma_spatial_c,\
+             mean_spread_c,peak_c,frames_delivered,deadline_misses,miss_rate,migrations,\
+             migrations_per_s,migrated_kib_per_s,halts,measured_s\n",
         );
         for report in &self.reports {
             let Some(summary) = report.summary() else {
@@ -422,6 +447,7 @@ impl BatchReport {
             let row = [
                 csv_field(&report.scenario),
                 csv_field(report.policy.as_deref().unwrap_or("")),
+                csv_field(report.workload.as_deref().unwrap_or("")),
                 csv_field(&report.package.map_or(String::new(), |p| p.to_string())),
                 report.threshold.map_or(String::new(), |t| format!("{t}")),
                 report

@@ -263,6 +263,7 @@ mod tests {
                     scenario: format!("run-{}", start + i),
                     group: "g".into(),
                     policy: None,
+                    workload: None,
                     package: None,
                     threshold: None,
                     queue_capacity: None,

@@ -14,6 +14,7 @@ use tbp_os::migration::MigrationStrategy;
 use tbp_streaming::pipeline::PipelineConfig;
 use tbp_streaming::sdr::SdrBenchmark;
 use tbp_streaming::workload::WorkloadSpec;
+use tbp_streaming::workloads::{DagKnobs, VideoKnobs, WorkloadParams, WorkloadRegistry};
 use tbp_thermal::package::{Package, PackageKind};
 use tbp_thermal::solver::SolverKind;
 
@@ -191,12 +192,22 @@ impl ScenarioSpec {
         self.workload.as_ref().and_then(|w| w.queue_capacity)
     }
 
+    /// The label of the effective workload (`"sdr"` when the section is
+    /// absent) — what run reports carry in their `workload` column.
+    pub fn workload_label(&self) -> String {
+        self.workload
+            .as_ref()
+            .map(WorkloadDecl::label)
+            .unwrap_or_else(|| workload_kind_label(WorkloadKind::Sdr).to_string())
+    }
+
     /// Expands the sweep axes into concrete specs (one per grid point).
     ///
-    /// Axis order (outermost to innermost): packages, policies, thresholds,
-    /// queue capacities. A spec without a sweep expands to itself. Expanded
-    /// specs carry no sweep and a name suffixed with the swept coordinates,
-    /// e.g. `fig7[stop-and-go/t2]`.
+    /// Axis order (outermost to innermost): packages, workloads, policies,
+    /// thresholds, queue capacities, seeds. A spec without a sweep expands
+    /// to itself. Expanded specs carry no sweep and a name suffixed with the
+    /// swept coordinates, e.g. `fig7[stop-and-go/t2]` or
+    /// `matrix[dag/thermal-balancing]`.
     pub fn expand(&self) -> Vec<ScenarioSpec> {
         let Some(sweep) = &self.sweep else {
             return vec![self.clone()];
@@ -204,54 +215,72 @@ impl ScenarioSpec {
         // An explicitly empty axis behaves like an absent one (matching
         // `SweepSpec::cardinality`); expanding it to zero runs would silently
         // drop the whole scenario.
-        let packages: Vec<Option<PackageKind>> = match &sweep.packages {
-            Some(values) if !values.is_empty() => values.iter().copied().map(Some).collect(),
-            _ => vec![None],
-        };
-        let policies: Vec<Option<String>> = match &sweep.policies {
-            Some(values) if !values.is_empty() => values.iter().cloned().map(Some).collect(),
-            _ => vec![None],
-        };
-        let thresholds: Vec<Option<f64>> = match &sweep.thresholds {
-            Some(values) if !values.is_empty() => values.iter().copied().map(Some).collect(),
-            _ => vec![None],
-        };
-        let queues: Vec<Option<usize>> = match &sweep.queue_capacities {
-            Some(values) if !values.is_empty() => values.iter().copied().map(Some).collect(),
-            _ => vec![None],
-        };
+        fn axis<T: Clone>(values: &Option<Vec<T>>) -> Vec<Option<T>> {
+            match values {
+                Some(values) if !values.is_empty() => values.iter().cloned().map(Some).collect(),
+                _ => vec![None],
+            }
+        }
+        let packages = axis(&sweep.packages);
+        let workloads = axis(&sweep.workloads);
+        let policies = axis(&sweep.policies);
+        let thresholds = axis(&sweep.thresholds);
+        let queues = axis(&sweep.queue_capacities);
+        let seeds = axis(&sweep.seeds);
         let mut cases = Vec::new();
         for package in &packages {
-            for policy in &policies {
-                for threshold in &thresholds {
-                    for queue in &queues {
-                        let mut case = self.clone();
-                        case.sweep = None;
-                        let mut suffix: Vec<String> = Vec::new();
-                        if let Some(package) = package {
-                            case.package = Some(*package);
-                            suffix.push(package_label(*package).to_string());
+            for workload_kind in &workloads {
+                for policy in &policies {
+                    for threshold in &thresholds {
+                        for queue in &queues {
+                            for seed in &seeds {
+                                let mut case = self.clone();
+                                case.sweep = None;
+                                let mut suffix: Vec<String> = Vec::new();
+                                if let Some(package) = package {
+                                    case.package = Some(*package);
+                                    suffix.push(package_label(*package).to_string());
+                                }
+                                if let Some(kind) = workload_kind {
+                                    let mut workload = case.workload.take().unwrap_or_default();
+                                    workload.kind = Some(*kind);
+                                    // A spec-level custom generator would
+                                    // silently override every point of the
+                                    // axis (generator takes precedence over
+                                    // kind); the axis is the explicit choice
+                                    // here, so it wins.
+                                    workload.generator = None;
+                                    case.workload = Some(workload);
+                                    suffix.push(workload_kind_label(*kind).to_string());
+                                }
+                                let mut policy_spec = self.policy_spec();
+                                if let Some(policy) = policy {
+                                    policy_spec.name = policy.clone();
+                                    suffix.push(policy.clone());
+                                }
+                                if let Some(threshold) = threshold {
+                                    policy_spec.threshold = Some(*threshold);
+                                    suffix.push(format!("t{threshold}"));
+                                }
+                                case.policy = Some(policy_spec);
+                                if let Some(queue) = queue {
+                                    let mut workload = case.workload.take().unwrap_or_default();
+                                    workload.queue_capacity = Some(*queue);
+                                    case.workload = Some(workload);
+                                    suffix.push(format!("q{queue}"));
+                                }
+                                if let Some(seed) = seed {
+                                    let mut workload = case.workload.take().unwrap_or_default();
+                                    workload.seed = Some(*seed);
+                                    case.workload = Some(workload);
+                                    suffix.push(format!("s{seed}"));
+                                }
+                                if !suffix.is_empty() {
+                                    case.name = format!("{}[{}]", self.name, suffix.join("/"));
+                                }
+                                cases.push(case);
+                            }
                         }
-                        let mut policy_spec = self.policy_spec();
-                        if let Some(policy) = policy {
-                            policy_spec.name = policy.clone();
-                            suffix.push(policy.clone());
-                        }
-                        if let Some(threshold) = threshold {
-                            policy_spec.threshold = Some(*threshold);
-                            suffix.push(format!("t{threshold}"));
-                        }
-                        case.policy = Some(policy_spec);
-                        if let Some(queue) = queue {
-                            let mut workload = case.workload.unwrap_or_default();
-                            workload.queue_capacity = Some(*queue);
-                            case.workload = Some(workload);
-                            suffix.push(format!("q{queue}"));
-                        }
-                        if !suffix.is_empty() {
-                            case.name = format!("{}[{}]", self.name, suffix.join("/"));
-                        }
-                        cases.push(case);
                     }
                 }
             }
@@ -271,12 +300,31 @@ impl ScenarioSpec {
     }
 
     /// Builds the simulation for a concrete spec resolving the policy through
-    /// `registry`.
+    /// `registry` (workload names resolve through the global workload
+    /// registry; see
+    /// [`build_with_registries`](Self::build_with_registries) to supply a
+    /// custom one).
     ///
     /// # Errors
     ///
     /// See [`build`](Self::build).
     pub fn build_with(&self, registry: &PolicyRegistry) -> Result<Simulation, SimError> {
+        self.build_with_registries(registry, WorkloadRegistry::global())
+    }
+
+    /// Builds the simulation for a concrete spec, resolving the policy
+    /// through `policies` and [`Workload::Generated`] names (the
+    /// `generator` field, `VideoAnalytics`, `Dag`) through `workloads` —
+    /// the hook that makes third-party workloads selectable from TOML.
+    ///
+    /// # Errors
+    ///
+    /// See [`build`](Self::build).
+    pub fn build_with_registries(
+        &self,
+        policies: &PolicyRegistry,
+        workloads: std::sync::Arc<WorkloadRegistry>,
+    ) -> Result<Simulation, SimError> {
         if self.sweep.is_some() {
             return Err(SimError::Spec(format!(
                 "scenario `{}` still carries a sweep; call expand() first",
@@ -292,7 +340,7 @@ impl ScenarioSpec {
         let threshold = self.threshold();
         let schedule = self.schedule();
         let platform = self.platform.clone().unwrap_or_default();
-        let policy = registry.instantiate(&self.policy_spec())?;
+        let policy = policies.instantiate(&self.policy_spec())?;
         SimulationBuilder::new()
             .with_platform(platform.to_config())
             .with_package(self.package_object())
@@ -300,6 +348,7 @@ impl ScenarioSpec {
             .with_migration_strategy(platform.migration.unwrap_or(DEFAULT_MIGRATION))
             .with_dvfs(platform.dvfs.unwrap_or(DEFAULT_DVFS))
             .with_workload(self.workload.clone().unwrap_or_default().to_workload()?)
+            .with_workload_registry(workloads)
             .with_policy_box(policy)
             .with_threshold(threshold)
             .with_config(SimulationConfig {
@@ -401,8 +450,26 @@ pub enum WorkloadKind {
     Sdr,
     /// A synthetic task set without a pipeline.
     Synthetic,
+    /// Video analytics: decode → detect → track → sink chains, one per
+    /// camera stream (knobs in the `[workload.video]` table).
+    VideoAnalytics,
+    /// A parameterised fork-join pipeline with depth/width/skew knobs and
+    /// configurable arrivals (knobs in the `[workload.dag]` table).
+    Dag,
     /// No tasks at all.
     Idle,
+}
+
+/// Short human label for a workload kind (used in expanded scenario names
+/// and run reports).
+pub fn workload_kind_label(kind: WorkloadKind) -> &'static str {
+    match kind {
+        WorkloadKind::Sdr => "sdr",
+        WorkloadKind::Synthetic => "synthetic",
+        WorkloadKind::VideoAnalytics => "video-analytics",
+        WorkloadKind::Dag => "dag",
+        WorkloadKind::Idle => "idle",
+    }
 }
 
 /// Workload selection and its knobs.
@@ -410,10 +477,13 @@ pub enum WorkloadKind {
 pub struct WorkloadDecl {
     /// Workload family (default [`WorkloadKind::Sdr`]).
     pub kind: Option<WorkloadKind>,
-    /// Inter-stage queue capacity in frames (SDR only).
+    /// Third-party generator name resolved through the workload registry;
+    /// takes precedence over `kind` when set.
+    pub generator: Option<String>,
+    /// Inter-stage queue capacity in frames (pipeline workloads).
     pub queue_capacity: Option<usize>,
-    /// Frames buffered before playback starts (SDR only; defaults to half
-    /// the queue capacity when a capacity is given).
+    /// Frames buffered before playback starts (pipeline workloads; defaults
+    /// to half the queue capacity when a capacity is given).
     pub prefill: Option<usize>,
     /// Number of tasks (synthetic only).
     pub num_tasks: Option<usize>,
@@ -421,8 +491,12 @@ pub struct WorkloadDecl {
     pub num_cores: Option<usize>,
     /// Total full-speed-equivalent load (synthetic only).
     pub total_fse_load: Option<f64>,
-    /// PRNG seed (synthetic only).
+    /// PRNG seed (all seeded workloads).
     pub seed: Option<u64>,
+    /// Knobs of the video-analytics workload (`[workload.video]`).
+    pub video: Option<VideoKnobs>,
+    /// Knobs of the fork-join DAG workload (`[workload.dag]`).
+    pub dag: Option<DagKnobs>,
 }
 
 impl WorkloadDecl {
@@ -434,7 +508,58 @@ impl WorkloadDecl {
         }
     }
 
+    /// A declaration of the given kind with default knobs.
+    pub fn of_kind(kind: WorkloadKind) -> Self {
+        WorkloadDecl {
+            kind: Some(kind),
+            ..WorkloadDecl::default()
+        }
+    }
+
+    /// The label naming the effective workload: the custom generator name
+    /// when one is set, the kind's label otherwise.
+    pub fn label(&self) -> String {
+        match &self.generator {
+            Some(name) => name.clone(),
+            None => workload_kind_label(self.kind.unwrap_or(WorkloadKind::Sdr)).to_string(),
+        }
+    }
+
+    /// The generator parameters this declaration describes: the shared
+    /// seed/queue knobs plus the per-kind knob tables.
+    pub fn to_params(&self) -> WorkloadParams {
+        let mut params = WorkloadParams::default();
+        if let Some(seed) = self.seed {
+            params.seed = seed;
+        }
+        if let Some(num_cores) = self.num_cores {
+            params.num_cores = num_cores;
+        }
+        params.queue_capacity = self.queue_capacity;
+        params.prefill = self.prefill;
+        if let Some(num_tasks) = self.num_tasks {
+            params.synthetic.num_tasks = num_tasks;
+        }
+        if let Some(total) = self.total_fse_load {
+            params.synthetic.total_fse_load = total;
+        }
+        if let Some(video) = &self.video {
+            params.video = video.clone();
+        }
+        if let Some(dag) = &self.dag {
+            params.dag = dag.clone();
+        }
+        params
+    }
+
     /// Converts the declaration into the builder's workload value.
+    ///
+    /// `video-analytics`, `dag` and custom `generator` workloads resolve
+    /// by name through the [`WorkloadRegistry`]
+    /// at build time; the SDR and synthetic kinds keep their direct
+    /// constructions (their knobs predate the registry).
+    ///
+    /// [`WorkloadRegistry`]: tbp_streaming::workloads::WorkloadRegistry
     ///
     /// # Errors
     ///
@@ -442,6 +567,12 @@ impl WorkloadDecl {
     /// parameters on an SDR workload are ignored, but a prefill larger than
     /// the queue capacity is rejected by the pipeline at build time).
     pub fn to_workload(&self) -> Result<Workload, SimError> {
+        if let Some(generator) = &self.generator {
+            return Ok(Workload::Generated {
+                generator: generator.clone(),
+                params: Box::new(self.to_params()),
+            });
+        }
         match self.kind.unwrap_or(WorkloadKind::Sdr) {
             WorkloadKind::Sdr => {
                 let mut sdr = SdrBenchmark::paper_default();
@@ -477,6 +608,14 @@ impl WorkloadDecl {
                 }
                 Ok(Workload::Synthetic(spec))
             }
+            WorkloadKind::VideoAnalytics => Ok(Workload::Generated {
+                generator: "video-analytics".to_string(),
+                params: Box::new(self.to_params()),
+            }),
+            WorkloadKind::Dag => Ok(Workload::Generated {
+                generator: "dag".to_string(),
+                params: Box::new(self.to_params()),
+            }),
             WorkloadKind::Idle => Ok(Workload::Idle),
         }
     }
@@ -566,12 +705,18 @@ pub struct ResolvedSchedule {
 pub struct SweepSpec {
     /// Thermal packages to sweep.
     pub packages: Option<Vec<PackageKind>>,
+    /// Workload kinds to sweep (cross-workload comparisons; per-kind knobs
+    /// come from the spec's `[workload]` section).
+    pub workloads: Option<Vec<WorkloadKind>>,
     /// Policy registry names to sweep.
     pub policies: Option<Vec<String>>,
     /// Policy thresholds (°C) to sweep.
     pub thresholds: Option<Vec<f64>>,
-    /// SDR queue capacities to sweep.
+    /// Inter-stage queue capacities to sweep (pipeline workloads).
     pub queue_capacities: Option<Vec<usize>>,
+    /// Workload PRNG seeds to sweep (statistical replication of seeded
+    /// workloads).
+    pub seeds: Option<Vec<u64>>,
 }
 
 impl SweepSpec {
@@ -579,9 +724,11 @@ impl SweepSpec {
     pub fn cardinality(&self) -> usize {
         let len = |n: Option<usize>| n.filter(|&n| n > 0).unwrap_or(1);
         len(self.packages.as_ref().map(Vec::len))
+            * len(self.workloads.as_ref().map(Vec::len))
             * len(self.policies.as_ref().map(Vec::len))
             * len(self.thresholds.as_ref().map(Vec::len))
             * len(self.queue_capacities.as_ref().map(Vec::len))
+            * len(self.seeds.as_ref().map(Vec::len))
     }
 
     /// Sets the threshold axis.
@@ -609,6 +756,18 @@ impl SweepSpec {
     /// Sets the queue-capacity axis.
     pub fn with_queue_capacities(mut self, capacities: impl Into<Vec<usize>>) -> Self {
         self.queue_capacities = Some(capacities.into());
+        self
+    }
+
+    /// Sets the workload-kind axis.
+    pub fn with_workloads(mut self, workloads: impl Into<Vec<WorkloadKind>>) -> Self {
+        self.workloads = Some(workloads.into());
+        self
+    }
+
+    /// Sets the workload-seed axis.
+    pub fn with_seeds(mut self, seeds: impl Into<Vec<u64>>) -> Self {
+        self.seeds = Some(seeds.into());
         self
     }
 }
@@ -744,6 +903,123 @@ mod tests {
             .unwrap(),
             Workload::Idle
         ));
+    }
+
+    #[test]
+    fn generated_workload_kinds_resolve_by_registry_name() {
+        let video = WorkloadDecl::of_kind(WorkloadKind::VideoAnalytics)
+            .to_workload()
+            .unwrap();
+        match video {
+            Workload::Generated { generator, .. } => assert_eq!(generator, "video-analytics"),
+            other => panic!("expected generated workload, got {other:?}"),
+        }
+        let mut decl = WorkloadDecl::of_kind(WorkloadKind::Dag);
+        decl.seed = Some(7);
+        decl.queue_capacity = Some(6);
+        match decl.to_workload().unwrap() {
+            Workload::Generated { generator, params } => {
+                assert_eq!(generator, "dag");
+                assert_eq!(params.seed, 7);
+                assert_eq!(params.queue_capacity, Some(6));
+            }
+            other => panic!("expected generated workload, got {other:?}"),
+        }
+        // A custom generator name takes precedence over the kind.
+        let custom = WorkloadDecl {
+            kind: Some(WorkloadKind::Sdr),
+            generator: Some("my-workload".into()),
+            ..WorkloadDecl::default()
+        };
+        assert_eq!(custom.label(), "my-workload");
+        match custom.to_workload().unwrap() {
+            Workload::Generated { generator, .. } => assert_eq!(generator, "my-workload"),
+            other => panic!("expected generated workload, got {other:?}"),
+        }
+        assert_eq!(WorkloadDecl::default().label(), "sdr");
+        assert_eq!(
+            WorkloadDecl::of_kind(WorkloadKind::VideoAnalytics).label(),
+            "video-analytics"
+        );
+        assert_eq!(ScenarioSpec::new("x").workload_label(), "sdr");
+    }
+
+    #[test]
+    fn video_and_dag_scenarios_build_from_toml_only() {
+        let spec: ScenarioSpec = toml::from_str(
+            r#"
+            name = "video"
+
+            [workload]
+            kind = "VideoAnalytics"
+            seed = 99
+
+            [workload.video]
+            streams = 2
+            detect_load = 0.4
+
+            [schedule]
+            warmup = 0.2
+            duration = 0.5
+            "#,
+        )
+        .expect("valid TOML");
+        let decl = spec.workload.as_ref().unwrap();
+        assert_eq!(decl.video.as_ref().unwrap().streams, Some(2));
+        let sim = spec.build().expect("video scenario builds");
+        assert!(sim.pipeline().is_some());
+        assert_eq!(sim.os().tasks().len(), 9);
+
+        let spec: ScenarioSpec = toml::from_str(
+            r#"
+            name = "dag"
+
+            [workload]
+            kind = "Dag"
+
+            [workload.dag]
+            depth = 2
+            width = 2
+            arrivals = "Bursty"
+            burst = 3
+
+            [schedule]
+            warmup = 0.2
+            duration = 0.5
+            "#,
+        )
+        .expect("valid TOML");
+        let sim = spec.build().expect("dag scenario builds");
+        assert_eq!(sim.os().tasks().len(), 6);
+        // The spec round-trips through TOML with its knob tables intact.
+        let text = spec.to_toml_string();
+        let reparsed = ScenarioSpec::from_toml_str(&text).unwrap();
+        assert_eq!(reparsed, spec);
+    }
+
+    #[test]
+    fn workload_and_seed_axes_expand_the_grid() {
+        let spec = ScenarioSpec::new("matrix").with_sweep(
+            SweepSpec::default()
+                .with_workloads([WorkloadKind::Sdr, WorkloadKind::Dag])
+                .with_policies(["thermal-balancing", "stop-and-go"])
+                .with_seeds([1, 2, 3]),
+        );
+        let cases = spec.expand();
+        assert_eq!(cases.len(), 12);
+        assert_eq!(spec.sweep.as_ref().unwrap().cardinality(), 12);
+        // Workloads are an outer axis relative to policies and seeds.
+        assert_eq!(cases[0].name, "matrix[sdr/thermal-balancing/s1]");
+        assert!(cases[..6].iter().all(|c| c.workload_label() == "sdr"));
+        assert!(cases[6..].iter().all(|c| c.workload_label() == "dag"));
+        // Seeds land in the workload declaration.
+        assert_eq!(cases[1].workload.as_ref().unwrap().seed, Some(2));
+        // All names are unique and concrete.
+        let mut names: Vec<&str> = cases.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+        assert!(cases.iter().all(|c| c.sweep.is_none()));
     }
 
     #[test]

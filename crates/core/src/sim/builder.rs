@@ -8,6 +8,7 @@ use tbp_os::mpos::Mpos;
 use tbp_streaming::pipeline::PipelineRuntime;
 use tbp_streaming::sdr::SdrBenchmark;
 use tbp_streaming::workload::{SyntheticWorkload, WorkloadSpec};
+use tbp_streaming::workloads::{WorkloadParams, WorkloadRegistry};
 use tbp_thermal::package::Package;
 use tbp_thermal::solver::SolverKind;
 use tbp_thermal::{SensorBank, ThermalModel};
@@ -28,6 +29,19 @@ pub enum Workload {
     Sdr(SdrBenchmark),
     /// A synthetic task set without a pipeline (no QoS accounting).
     Synthetic(WorkloadSpec),
+    /// A workload resolved by name through a
+    /// [`WorkloadRegistry`] at build time — the route
+    /// every scenario-file workload (including `video-analytics` and `dag`)
+    /// takes, and the extension point for third-party generators.
+    Generated {
+        /// Registry name of the generator (e.g. `"video-analytics"`).
+        generator: String,
+        /// The generator's knobs (boxed: the knob tables dwarf the other
+        /// variants). The builder overrides [`WorkloadParams::num_cores`]
+        /// with the actual platform core count, so placements always target
+        /// the platform being built.
+        params: Box<WorkloadParams>,
+    },
     /// No tasks at all (idle platform; useful for calibration).
     Idle,
 }
@@ -36,6 +50,14 @@ impl Workload {
     /// The paper's SDR benchmark with default parameters.
     pub fn sdr() -> Self {
         Workload::Sdr(SdrBenchmark::paper_default())
+    }
+
+    /// A registry-resolved workload by name with default knobs.
+    pub fn generated(generator: impl Into<String>) -> Self {
+        Workload::Generated {
+            generator: generator.into(),
+            params: Box::new(WorkloadParams::default()),
+        }
     }
 }
 
@@ -61,6 +83,7 @@ pub struct SimulationBuilder {
     solver: SolverKind,
     policy: PolicyChoice,
     registry: Option<Arc<PolicyRegistry>>,
+    workload_registry: Option<Arc<WorkloadRegistry>>,
     threshold: f64,
     config: SimulationConfig,
     workload: Workload,
@@ -89,6 +112,7 @@ impl SimulationBuilder {
             solver: SolverKind::ForwardEuler,
             policy: PolicyChoice::Default,
             registry: None,
+            workload_registry: None,
             threshold: 3.0,
             config: SimulationConfig::paper_default(),
             workload: Workload::sdr(),
@@ -137,6 +161,13 @@ impl SimulationBuilder {
     /// (built-ins only) registry.
     pub fn with_registry(mut self, registry: Arc<PolicyRegistry>) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Resolves [`Workload::Generated`] names through `registry` instead of
+    /// the global (built-ins only) workload registry.
+    pub fn with_workload_registry(mut self, registry: Arc<WorkloadRegistry>) -> Self {
+        self.workload_registry = Some(registry);
         self
     }
 
@@ -204,6 +235,33 @@ impl SimulationBuilder {
                     os.spawn(descriptor, core)?;
                 }
                 None
+            }
+            Workload::Generated { generator, params } => {
+                let registry = self
+                    .workload_registry
+                    .clone()
+                    .unwrap_or_else(WorkloadRegistry::global);
+                // Placements must target the platform actually being built,
+                // whatever core count the params carried.
+                let params = WorkloadParams {
+                    num_cores: platform.num_cores(),
+                    ..(**params).clone()
+                };
+                let generated = registry.generate(generator, &params)?;
+                let mut ids = Vec::with_capacity(generated.tasks.len());
+                for (descriptor, core) in generated.tasks.into_iter().zip(generated.placement) {
+                    ids.push(os.spawn(descriptor, core)?);
+                }
+                match generated.pipeline {
+                    Some(plan) => {
+                        let graph = plan.instantiate(&ids)?;
+                        Some(
+                            PipelineRuntime::new(graph, plan.config)?
+                                .with_arrivals(plan.arrivals)?,
+                        )
+                    }
+                    None => None,
+                }
             }
             Workload::Idle => None,
         };
@@ -276,6 +334,29 @@ mod tests {
         // Idle platform stays near ambient.
         let temps = sim.core_temperatures();
         assert!(temps[0].as_celsius() < 55.0);
+    }
+
+    #[test]
+    fn generated_workloads_build_through_the_registry() {
+        let sim = SimulationBuilder::new()
+            .with_workload(Workload::generated("video-analytics"))
+            .build()
+            .unwrap();
+        assert!(sim.pipeline().is_some());
+        // 4 chain stages plus the pinned telemetry task.
+        assert_eq!(sim.os().tasks().len(), 5);
+        let sim = SimulationBuilder::new()
+            .with_workload(Workload::generated("dag"))
+            .with_platform(PlatformConfig::paper_default().with_cores(4))
+            .build()
+            .unwrap();
+        // source + 3×3 branch stages + sink, placed on the 4-core platform.
+        assert_eq!(sim.os().tasks().len(), 11);
+        assert!(sim.os().tasks().iter().all(|t| t.core().index() < 4));
+        let err = SimulationBuilder::new()
+            .with_workload(Workload::generated("not-a-workload"))
+            .build();
+        assert!(matches!(err, Err(SimError::Stream(_))));
     }
 
     #[test]

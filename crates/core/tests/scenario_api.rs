@@ -48,7 +48,11 @@ fn json_round_trip_preserves_every_field() {
 fn shipped_scenario_files_parse_and_round_trip() {
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios");
     let specs = load_dir(&dir).expect("scenarios/ directory loads");
-    assert_eq!(specs.len(), 7, "the paper ships as seven scenario files");
+    assert_eq!(
+        specs.len(),
+        9,
+        "seven paper scenarios plus the two cross-workload ones"
+    );
     for spec in &specs {
         let text = spec.to_toml_string();
         let back = ScenarioSpec::from_toml_str(&text)
@@ -59,11 +63,107 @@ fn shipped_scenario_files_parse_and_round_trip() {
             spec.name
         );
     }
-    // The shipped files and the built-in constructors describe the same runs.
+    // The shipped files start with the built-in constructors' runs, in the
+    // same order; the cross-workload scenarios follow.
     let built_in = paper_scenarios(Seconds::new(20.0));
     let shipped_names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
     let built_in_names: Vec<&str> = built_in.iter().map(|s| s.name.as_str()).collect();
-    assert_eq!(shipped_names, built_in_names);
+    assert_eq!(&shipped_names[..built_in_names.len()], &built_in_names[..]);
+    assert!(shipped_names.contains(&"video-analytics"));
+    assert!(shipped_names.contains(&"dag-sweep"));
+}
+
+#[test]
+fn third_party_workloads_run_from_toml_through_the_runner() {
+    use tbp_streaming::workloads::{
+        GeneratedWorkload, SyntheticGenerator, WorkloadGenerator, WorkloadParams, WorkloadRegistry,
+    };
+    struct Renamed;
+    impl WorkloadGenerator for Renamed {
+        fn name(&self) -> &str {
+            "my-workload"
+        }
+        fn generate(
+            &self,
+            params: &WorkloadParams,
+        ) -> Result<GeneratedWorkload, tbp_streaming::StreamError> {
+            SyntheticGenerator.generate(params)
+        }
+    }
+    let spec = ScenarioSpec::from_toml_str(
+        r#"
+        name = "custom"
+
+        [workload]
+        generator = "my-workload"
+        seed = 5
+
+        [schedule]
+        warmup = 0.2
+        duration = 0.4
+        "#,
+    )
+    .expect("valid TOML");
+    // Without the hook the name does not resolve…
+    let err = Runner::new().run_spec(&spec).unwrap_err();
+    assert!(err.to_string().contains("my-workload"), "{err}");
+    // …with it, the scenario runs and the report carries the custom label.
+    let mut registry = WorkloadRegistry::with_builtins();
+    registry.register(Renamed);
+    let batch = Runner::new()
+        .with_workload_registry(registry)
+        .run_spec(&spec)
+        .expect("custom workload runs");
+    assert_eq!(batch.reports[0].workload.as_deref(), Some("my-workload"));
+}
+
+#[test]
+fn cross_workload_sweeps_run_and_label_their_reports() {
+    use tbp_core::scenario::WorkloadKind;
+    let spec = ScenarioSpec::new("matrix")
+        .with_schedule(0.3, 0.6)
+        .with_sweep(
+            SweepSpec::default()
+                .with_workloads([
+                    WorkloadKind::Sdr,
+                    WorkloadKind::Synthetic,
+                    WorkloadKind::VideoAnalytics,
+                    WorkloadKind::Dag,
+                ])
+                .with_policies(["thermal-balancing", "dvfs-only"]),
+        );
+    let batch = Runner::new().run_spec(&spec).expect("matrix runs");
+    assert_eq!(batch.len(), 8);
+    let labels: Vec<&str> = batch
+        .reports
+        .iter()
+        .filter_map(|r| r.workload.as_deref())
+        .collect();
+    assert_eq!(
+        labels,
+        vec![
+            "sdr",
+            "sdr",
+            "synthetic",
+            "synthetic",
+            "video-analytics",
+            "video-analytics",
+            "dag",
+            "dag"
+        ]
+    );
+    // Pipeline workloads deliver frames; the flat synthetic one does not.
+    for report in &batch.reports {
+        let summary = report.summary().expect("simulation outcome");
+        match report.workload.as_deref() {
+            Some("synthetic") => assert_eq!(summary.qos.frames_delivered, 0),
+            _ => assert!(summary.qos.frames_delivered > 0),
+        }
+    }
+    // The workload column lands in the CSV.
+    let csv = batch.to_csv();
+    assert!(csv.lines().next().unwrap().contains(",workload,"));
+    assert!(csv.contains("video-analytics"));
 }
 
 #[test]

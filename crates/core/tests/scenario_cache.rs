@@ -222,7 +222,11 @@ fn warm_cache_rerun_of_every_shipped_scenario_performs_zero_simulations() {
             }
         })
         .collect();
-    assert_eq!(specs.len(), 7);
+    assert_eq!(
+        specs.len(),
+        9,
+        "seven paper scenarios plus the two cross-workload ones"
+    );
 
     let cache = Arc::new(MemCache::new());
     let cold_runner = Runner::new().with_cache_arc(cache.clone());

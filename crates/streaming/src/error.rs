@@ -17,6 +17,13 @@ pub enum StreamError {
     /// A configuration value is invalid (zero frame period, zero queue size,
     /// ...).
     InvalidConfig(String),
+    /// A workload generator name did not resolve in the registry.
+    UnknownGenerator {
+        /// The name that failed to resolve.
+        name: String,
+        /// The names the registry does know, sorted.
+        known: Vec<String>,
+    },
     /// The underlying OS layer reported an error.
     Os(OsError),
 }
@@ -27,6 +34,11 @@ impl fmt::Display for StreamError {
             StreamError::UnknownStage(id) => write!(f, "unknown pipeline stage {id}"),
             StreamError::InvalidGraph(msg) => write!(f, "invalid pipeline graph: {msg}"),
             StreamError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            StreamError::UnknownGenerator { name, known } => write!(
+                f,
+                "unknown workload generator `{name}` (known: {})",
+                known.join(", ")
+            ),
             StreamError::Os(e) => write!(f, "OS error: {e}"),
         }
     }

@@ -21,7 +21,11 @@
 //! * [`sdr`] — the SDR benchmark: the Table 2 task set and mapping, plus real
 //!   DSP kernels (FIR low-pass, FM discriminator, band-pass biquads, weighted
 //!   mixer) and an FM signal generator so the examples process actual audio;
-//! * [`workload`] — synthetic task-set generation for stress tests.
+//! * [`workload`] — synthetic task-set generation for stress tests;
+//! * [`workloads`] — the pluggable workload-generation subsystem: a
+//!   [`workloads::WorkloadGenerator`] trait, a name → generator
+//!   [`workloads::WorkloadRegistry`] mirroring the policy registry, and the
+//!   built-in `sdr`, `synthetic`, `video-analytics` and `dag` generators.
 //!
 //! # Example
 //!
@@ -45,8 +49,10 @@ pub mod pipeline;
 pub mod queue;
 pub mod sdr;
 pub mod workload;
+pub mod workloads;
 
 pub use error::StreamError;
 pub use graph::{PipelineGraph, StageId};
-pub use pipeline::PipelineRuntime;
+pub use pipeline::{ArrivalProcess, PipelineRuntime};
 pub use sdr::SdrBenchmark;
+pub use workloads::{GeneratedWorkload, WorkloadGenerator, WorkloadParams, WorkloadRegistry};

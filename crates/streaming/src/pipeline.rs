@@ -23,6 +23,151 @@ use crate::frame::{Frame, FrameId};
 use crate::graph::{PipelineGraph, StageId};
 use crate::queue::FrameQueue;
 
+/// How the external producer injects frames at frame-period boundaries.
+///
+/// The default [`Uniform`](ArrivalProcess::Uniform) process deposits exactly
+/// one frame per period — the constant-rate assumption of the paper's SDR
+/// evaluation. The other processes model the arrival patterns that stress
+/// reconfiguration machinery in stream engines: bursts that fill queues
+/// faster than the consumer drains them, and phased rate changes that shift
+/// the sustained load between epochs. All processes are deterministic, so
+/// runs remain exactly reproducible.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// One frame per frame period (the paper's constant-rate producer).
+    #[default]
+    Uniform,
+    /// `burst` frames arrive together every `every` periods, nothing in
+    /// between. With `burst == every` the mean rate matches [`Uniform`]
+    /// while the instantaneous rate stresses the queues.
+    ///
+    /// [`Uniform`]: ArrivalProcess::Uniform
+    Bursty {
+        /// Frames deposited at each burst boundary.
+        burst: usize,
+        /// Periods between two bursts.
+        every: usize,
+    },
+    /// The mean arrival rate (frames per period) switches between phases:
+    /// phase `p` lasts `periods_per_phase` periods at `rates[p]` frames per
+    /// period, cycling through `rates`. Fractional rates accumulate exactly
+    /// (a rate of 0.5 deposits a frame every second period).
+    Phased {
+        /// Periods each phase lasts.
+        periods_per_phase: u64,
+        /// Frames per period of each phase, cycled through in order.
+        rates: Vec<f64>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Largest burst size / per-period rate [`validate`](Self::validate)
+    /// accepts. The producer pushes this many frames in a loop at a period
+    /// boundary, so an unbounded value would let one boundary monopolise
+    /// the simulation; 100 000 frames per period is far beyond any sane
+    /// overload experiment while keeping a boundary cheap.
+    pub const MAX_FRAMES_PER_PERIOD: usize = 100_000;
+
+    /// Validates the process parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a zero burst size or
+    /// interval, an empty phase table, a non-finite/negative rate, or a
+    /// burst/rate exceeding [`MAX_FRAMES_PER_PERIOD`](Self::MAX_FRAMES_PER_PERIOD).
+    pub fn validate(&self) -> Result<(), StreamError> {
+        match self {
+            ArrivalProcess::Uniform => Ok(()),
+            ArrivalProcess::Bursty { burst, every } => {
+                if *burst == 0 || *every == 0 {
+                    return Err(StreamError::InvalidConfig(
+                        "bursty arrivals need a positive burst size and interval".into(),
+                    ));
+                }
+                if *burst > Self::MAX_FRAMES_PER_PERIOD {
+                    return Err(StreamError::InvalidConfig(format!(
+                        "burst of {burst} frames exceeds the {} frames-per-period limit",
+                        Self::MAX_FRAMES_PER_PERIOD
+                    )));
+                }
+                Ok(())
+            }
+            ArrivalProcess::Phased {
+                periods_per_phase,
+                rates,
+            } => {
+                if *periods_per_phase == 0 {
+                    return Err(StreamError::InvalidConfig(
+                        "phased arrivals need at least one period per phase".into(),
+                    ));
+                }
+                if rates.is_empty() {
+                    return Err(StreamError::InvalidConfig(
+                        "phased arrivals need at least one rate".into(),
+                    ));
+                }
+                if rates.iter().any(|r| !r.is_finite() || *r < 0.0) {
+                    return Err(StreamError::InvalidConfig(
+                        "phased arrival rates must be finite and non-negative".into(),
+                    ));
+                }
+                if rates
+                    .iter()
+                    .any(|r| *r > Self::MAX_FRAMES_PER_PERIOD as f64)
+                {
+                    return Err(StreamError::InvalidConfig(format!(
+                        "phased arrival rates must not exceed {} frames per period",
+                        Self::MAX_FRAMES_PER_PERIOD
+                    )));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Number of frames the producer deposits at period boundary `boundary`
+    /// (0-based). `carry` accumulates fractional phased rates between
+    /// boundaries; pass the same accumulator on every call and reset it to
+    /// zero together with the boundary counter.
+    pub fn frames_at(&self, boundary: u64, carry: &mut f64) -> usize {
+        match self {
+            ArrivalProcess::Uniform => 1,
+            ArrivalProcess::Bursty { burst, every } => {
+                if boundary.is_multiple_of(*every as u64) {
+                    *burst
+                } else {
+                    0
+                }
+            }
+            ArrivalProcess::Phased {
+                periods_per_phase,
+                rates,
+            } => {
+                let phase = ((boundary / periods_per_phase) as usize) % rates.len();
+                let due = rates[phase] + *carry;
+                let whole = due.floor();
+                *carry = due - whole;
+                whole as usize
+            }
+        }
+    }
+
+    /// Mean arrival rate in frames per period.
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            ArrivalProcess::Uniform => 1.0,
+            ArrivalProcess::Bursty { burst, every } => *burst as f64 / *every as f64,
+            ArrivalProcess::Phased { rates, .. } => {
+                if rates.is_empty() {
+                    0.0
+                } else {
+                    rates.iter().sum::<f64>() / rates.len() as f64
+                }
+            }
+        }
+    }
+}
+
 /// Configuration of a pipeline runtime.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PipelineConfig {
@@ -122,6 +267,12 @@ pub struct PipelineRuntime {
     output_queues: Vec<FrameQueue>,
     /// Unspent cycle credit per stage.
     credits: Vec<f64>,
+    /// External producer behaviour at period boundaries.
+    arrivals: ArrivalProcess,
+    /// 0-based index of the next period boundary.
+    boundary_index: u64,
+    /// Fractional-frame accumulator of phased arrival rates.
+    arrival_carry: f64,
     elapsed: Seconds,
     next_period_boundary: Seconds,
     next_frame_id: u64,
@@ -171,11 +322,33 @@ impl PipelineRuntime {
             sinks,
             output_queues,
             credits,
+            arrivals: ArrivalProcess::Uniform,
+            boundary_index: 0,
+            arrival_carry: 0.0,
             elapsed: Seconds::ZERO,
             next_period_boundary: config.frame_period,
             next_frame_id: 0,
             qos: QosReport::default(),
         })
+    }
+
+    /// Replaces the external producer's arrival process (uniform by default).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when the process parameters are
+    /// invalid.
+    pub fn with_arrivals(mut self, arrivals: ArrivalProcess) -> Result<Self, StreamError> {
+        arrivals.validate()?;
+        self.arrivals = arrivals;
+        self.boundary_index = 0;
+        self.arrival_carry = 0.0;
+        Ok(self)
+    }
+
+    /// The external producer's arrival process.
+    pub fn arrivals(&self) -> &ArrivalProcess {
+        &self.arrivals
     }
 
     /// The pipeline graph.
@@ -347,13 +520,20 @@ impl PipelineRuntime {
     }
 
     fn on_period_boundary(&mut self) {
-        // External producer deposits a new frame into every source queue.
+        // External producer deposits frames into every source queue as the
+        // arrival process dictates (one per period for the uniform default).
+        let incoming = self
+            .arrivals
+            .frames_at(self.boundary_index, &mut self.arrival_carry);
+        self.boundary_index += 1;
         for q in &mut self.input_queues {
-            let frame = Frame::new(FrameId(self.next_frame_id), self.elapsed);
-            self.next_frame_id += 1;
-            self.qos.frames_produced += 1;
-            if !q.push(frame) {
-                self.qos.input_drops += 1;
+            for _ in 0..incoming {
+                let frame = Frame::new(FrameId(self.next_frame_id), self.elapsed);
+                self.next_frame_id += 1;
+                self.qos.frames_produced += 1;
+                if !q.push(frame) {
+                    self.qos.input_drops += 1;
+                }
             }
         }
         // External real-time consumer pops from every sink queue.
@@ -379,6 +559,8 @@ impl PipelineRuntime {
             q.prefill(self.config.prefill);
         }
         self.credits.iter_mut().for_each(|c| *c = 0.0);
+        self.boundary_index = 0;
+        self.arrival_carry = 0.0;
         self.elapsed = Seconds::ZERO;
         self.next_period_boundary = self.config.frame_period;
         self.next_frame_id = 0;
@@ -576,6 +758,133 @@ mod tests {
         assert_eq!(rt.qos().frames_delivered, 0);
         assert_eq!(rt.elapsed(), Seconds::ZERO);
         assert!(rt.mean_queue_level() > 0.0);
+    }
+
+    #[test]
+    fn arrival_process_validation_and_rates() {
+        assert!(ArrivalProcess::Uniform.validate().is_ok());
+        assert!(ArrivalProcess::Bursty { burst: 0, every: 1 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Bursty { burst: 1, every: 0 }
+            .validate()
+            .is_err());
+        assert!(ArrivalProcess::Phased {
+            periods_per_phase: 0,
+            rates: vec![1.0]
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Phased {
+            periods_per_phase: 5,
+            rates: Vec::new()
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Phased {
+            periods_per_phase: 5,
+            rates: vec![-1.0]
+        }
+        .validate()
+        .is_err());
+        // Absurd magnitudes are rejected rather than looping for hours.
+        assert!(ArrivalProcess::Bursty {
+            burst: ArrivalProcess::MAX_FRAMES_PER_PERIOD + 1,
+            every: 1
+        }
+        .validate()
+        .is_err());
+        assert!(ArrivalProcess::Phased {
+            periods_per_phase: 1,
+            rates: vec![1e15]
+        }
+        .validate()
+        .is_err());
+        assert_eq!(ArrivalProcess::Uniform.mean_rate(), 1.0);
+        assert!((ArrivalProcess::Bursty { burst: 3, every: 6 }.mean_rate() - 0.5).abs() < 1e-12);
+        let phased = ArrivalProcess::Phased {
+            periods_per_phase: 10,
+            rates: vec![1.5, 0.5],
+        };
+        assert!((phased.mean_rate() - 1.0).abs() < 1e-12);
+        assert_eq!(ArrivalProcess::default(), ArrivalProcess::Uniform);
+    }
+
+    #[test]
+    fn bursty_arrivals_deposit_in_bursts_and_sustain_the_mean_rate() {
+        let rt = chain_runtime(PipelineConfig::paper_default());
+        let mut rt = rt
+            .with_arrivals(ArrivalProcess::Bursty { burst: 2, every: 2 })
+            .unwrap();
+        assert_eq!(
+            rt.arrivals(),
+            &ArrivalProcess::Bursty { burst: 2, every: 2 }
+        );
+        let cycles = per_step_cycles();
+        for _ in 0..2_000 {
+            rt.step(Seconds::from_millis(5.0), &cycles);
+        }
+        let qos = rt.qos();
+        // Mean input rate is one frame per period, so a well-provisioned
+        // chain still delivers everything once the prefill absorbs the
+        // burst shape.
+        assert!(qos.frames_delivered > 300);
+        assert_eq!(qos.deadline_misses, 0, "burst=every keeps the mean rate");
+        // Bursts of 2 every 2 periods: the boundary count is even.
+        assert_eq!(qos.frames_produced % 2, 0);
+    }
+
+    #[test]
+    fn phased_arrivals_accumulate_fractional_rates_exactly() {
+        let process = ArrivalProcess::Phased {
+            periods_per_phase: 4,
+            rates: vec![1.5, 0.5],
+        };
+        let mut carry = 0.0;
+        let counts: Vec<usize> = (0..8).map(|b| process.frames_at(b, &mut carry)).collect();
+        // Phase 0 (rate 1.5): 1, 2, 1, 2 — phase 1 (rate 0.5): 0, 1, 0, 1.
+        assert_eq!(counts, vec![1, 2, 1, 2, 0, 1, 0, 1]);
+        assert_eq!(counts.iter().sum::<usize>(), 8);
+        // A runtime driven by an overloaded phase records input drops
+        // rather than inventing capacity.
+        let rt = chain_runtime(PipelineConfig {
+            queue_capacity: 2,
+            prefill: 1,
+            ..PipelineConfig::paper_default()
+        });
+        let mut rt = rt
+            .with_arrivals(ArrivalProcess::Phased {
+                periods_per_phase: 10,
+                rates: vec![3.0],
+            })
+            .unwrap();
+        for _ in 0..1_000 {
+            rt.step(Seconds::from_millis(5.0), &per_step_cycles());
+        }
+        assert!(rt.qos().input_drops > 0);
+    }
+
+    #[test]
+    fn reset_restores_the_arrival_clock() {
+        let rt = chain_runtime(PipelineConfig::paper_default());
+        let mut rt = rt
+            .with_arrivals(ArrivalProcess::Bursty { burst: 3, every: 3 })
+            .unwrap();
+        for _ in 0..500 {
+            rt.step(Seconds::from_millis(5.0), &per_step_cycles());
+        }
+        let produced = rt.qos().frames_produced;
+        assert!(produced > 0);
+        rt.reset();
+        assert_eq!(rt.qos().frames_produced, 0);
+        for _ in 0..500 {
+            rt.step(Seconds::from_millis(5.0), &per_step_cycles());
+        }
+        assert_eq!(
+            rt.qos().frames_produced,
+            produced,
+            "reset must restart the burst pattern from boundary 0"
+        );
     }
 
     #[test]

@@ -45,12 +45,31 @@ impl SplitMix64 {
         lo + (hi - lo) * self.next_f64()
     }
 
-    /// Uniform integer in `[0, n)`.
+    /// Uniform integer in `[0, n)` (returns 0 for `n == 0`).
+    ///
+    /// Uses bitmask rejection sampling rather than a bare modulo: masking to
+    /// the smallest power of two covering `n` and rejecting out-of-range
+    /// draws makes every value exactly equally likely, where `next_u64() % n`
+    /// over-weights small values whenever `n` does not divide `2^64`. The
+    /// expected number of draws is below 2 for any `n`.
     pub fn below(&mut self, n: usize) -> usize {
-        if n == 0 {
-            0
-        } else {
-            (self.next_u64() % n as u64) as usize
+        self.below_u64(n as u64) as usize
+    }
+
+    /// Uniform integer in `[0, n)` over the full `u64` range (returns 0 for
+    /// `n == 0`). See [`below`](Self::below) for the sampling scheme.
+    pub fn below_u64(&mut self, n: u64) -> u64 {
+        if n <= 1 {
+            return 0;
+        }
+        // Smallest all-ones mask covering n-1; candidates land in
+        // [0, 2^k) with 2^k < 2n, so fewer than half are rejected.
+        let mask = u64::MAX >> (n - 1).leading_zeros();
+        loop {
+            let candidate = self.next_u64() & mask;
+            if candidate < n {
+                return candidate;
+            }
         }
     }
 }
@@ -140,7 +159,7 @@ impl SyntheticWorkload {
         let mut tasks = Vec::with_capacity(spec.num_tasks);
         for (i, &load) in shares.iter().enumerate() {
             let span = spec.max_context.as_u64() - spec.min_context.as_u64();
-            let context = Bytes::new(spec.min_context.as_u64() + (rng.next_u64() % (span + 1)));
+            let context = Bytes::new(spec.min_context.as_u64() + rng.below_u64(span + 1));
             let checkpoint = Seconds::from_millis(rng.range(20.0, 80.0));
             tasks.push(
                 TaskDescriptor::new(&format!("synthetic{i}"), load, context)
@@ -211,6 +230,33 @@ mod tests {
         assert!(rng.range(2.0, 3.0) >= 2.0);
         assert!(rng.below(10) < 10);
         assert_eq!(rng.below(0), 0);
+    }
+
+    #[test]
+    fn below_is_exact_and_unbiased() {
+        // Degenerate ranges.
+        let mut rng = SplitMix64::new(99);
+        assert_eq!(rng.below(0), 0);
+        assert_eq!(rng.below(1), 0);
+        // Rejection sampling keeps every residue equally likely even for a
+        // range that does not divide 2^64 (a bare modulo would skew low).
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[rng.below(3)] += 1;
+        }
+        for &count in &counts {
+            assert!(
+                (f64::from(count) / 10_000.0 - 1.0).abs() < 0.05,
+                "residues should be uniform: {counts:?}"
+            );
+        }
+        // Bounds hold for awkward and power-of-two ranges alike.
+        for n in [2usize, 7, 8, 1000, usize::MAX] {
+            for _ in 0..64 {
+                assert!(rng.below(n) < n);
+            }
+        }
+        assert!(rng.below_u64(u64::MAX) < u64::MAX);
     }
 
     #[test]

@@ -1,0 +1,407 @@
+//! The `dag` generator: parameterised fork-join pipelines.
+//!
+//! A source stage fans out into `width` parallel branches of `depth` stages
+//! each, which join again at a sink — the generalisation of the SDR graph's
+//! DEMOD → BPF bank → Σ shape. Knobs skew the load across branches, jitter
+//! it per stage, and drive the external producer with uniform, bursty or
+//! phased arrivals, which is exactly the workload structure (topology,
+//! phase changes, bursts) that stresses reconfiguration machinery in stream
+//! engines.
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::units::{Bytes, Seconds};
+use tbp_os::task::{TaskDescriptor, TaskId};
+
+use crate::error::StreamError;
+use crate::graph::{PipelineGraph, StageDescriptor, StageId};
+use crate::pipeline::{ArrivalProcess, PipelineConfig};
+use crate::workload::SplitMix64;
+use crate::workloads::{
+    cycles_per_frame, greedy_placement, jittered_load, GeneratedWorkload, PipelinePlan,
+    WorkloadGenerator, WorkloadParams,
+};
+
+/// Which arrival process the generated pipeline's producer follows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ArrivalKind {
+    /// One frame per period (the paper's constant-rate producer).
+    Uniform,
+    /// `burst` frames every `burst` periods (same mean rate, bursty shape).
+    Bursty,
+    /// The rate alternates between high and low phases.
+    Phased,
+}
+
+/// Knobs of the fork-join DAG workload. Every field is optional; absent
+/// knobs fall back to the defaults listed on [`ResolvedDagKnobs`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct DagKnobs {
+    /// Stages per branch.
+    pub depth: Option<usize>,
+    /// Parallel branches between the fork and the join.
+    pub width: Option<usize>,
+    /// Load skew across branches: branch *b* carries a share proportional
+    /// to `(1 + skew)^-b`. 0 is perfectly balanced.
+    pub skew: Option<f64>,
+    /// Total full-speed-equivalent load of the whole task set.
+    pub total_load: Option<f64>,
+    /// Frames per second at the source.
+    pub fps: Option<f64>,
+    /// Seeded per-stage load jitter as a fraction of the stage's share.
+    pub load_jitter: Option<f64>,
+    /// Migratable context size of every stage task, in KiB.
+    pub context_kib: Option<u64>,
+    /// Arrival process shape (default uniform).
+    pub arrivals: Option<ArrivalKind>,
+    /// Burst length in frames (bursty arrivals).
+    pub burst: Option<usize>,
+    /// Number of rate phases the producer cycles through (phased arrivals).
+    pub phases: Option<usize>,
+    /// Periods each phase lasts (phased arrivals).
+    pub phase_periods: Option<u64>,
+    /// Rate amplitude of the phases: rates alternate `1 ± amplitude`
+    /// frames per period (phased arrivals).
+    pub phase_amplitude: Option<f64>,
+}
+
+impl DagKnobs {
+    /// Applies the defaults, producing concrete knob values.
+    pub fn resolve(&self) -> ResolvedDagKnobs {
+        ResolvedDagKnobs {
+            depth: self.depth.unwrap_or(3),
+            width: self.width.unwrap_or(3),
+            skew: self.skew.unwrap_or(0.5),
+            total_load: self.total_load.unwrap_or(1.2),
+            fps: self.fps.unwrap_or(40.0),
+            load_jitter: self.load_jitter.unwrap_or(0.10),
+            context_kib: self.context_kib.unwrap_or(96),
+            arrivals: self.arrivals.unwrap_or(ArrivalKind::Uniform),
+            burst: self.burst.unwrap_or(4),
+            phases: self.phases.unwrap_or(2),
+            phase_periods: self.phase_periods.unwrap_or(200),
+            phase_amplitude: self.phase_amplitude.unwrap_or(0.5),
+        }
+    }
+}
+
+/// [`DagKnobs`] with all defaults applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedDagKnobs {
+    /// Stages per branch (default 3).
+    pub depth: usize,
+    /// Parallel branches (default 3).
+    pub width: usize,
+    /// Cross-branch load skew (default 0.5).
+    pub skew: f64,
+    /// Total FSE load (default 1.2).
+    pub total_load: f64,
+    /// Source frame rate (default 40).
+    pub fps: f64,
+    /// Per-stage load jitter fraction (default 0.10).
+    pub load_jitter: f64,
+    /// Per-task context size in KiB (default 96).
+    pub context_kib: u64,
+    /// Arrival shape (default uniform).
+    pub arrivals: ArrivalKind,
+    /// Burst length (default 4).
+    pub burst: usize,
+    /// Phase count (default 2).
+    pub phases: usize,
+    /// Periods per phase (default 200).
+    pub phase_periods: u64,
+    /// Phase rate amplitude (default 0.5).
+    pub phase_amplitude: f64,
+}
+
+impl ResolvedDagKnobs {
+    /// Validates the resolved knob values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.depth == 0 || self.width == 0 {
+            return Err(StreamError::InvalidConfig(
+                "dag depth and width must be at least 1".into(),
+            ));
+        }
+        if !(self.skew.is_finite() && self.skew >= 0.0) {
+            return Err(StreamError::InvalidConfig(
+                "dag skew must be finite and non-negative".into(),
+            ));
+        }
+        if !(self.total_load.is_finite() && self.total_load > 0.0) {
+            return Err(StreamError::InvalidConfig(
+                "dag total_load must be positive".into(),
+            ));
+        }
+        if !(self.fps.is_finite() && self.fps > 0.0) {
+            return Err(StreamError::InvalidConfig(
+                "dag fps must be positive".into(),
+            ));
+        }
+        if !(self.load_jitter.is_finite() && (0.0..0.9).contains(&self.load_jitter)) {
+            return Err(StreamError::InvalidConfig(
+                "dag load_jitter must be in [0, 0.9)".into(),
+            ));
+        }
+        if self.context_kib == 0 {
+            return Err(StreamError::InvalidConfig(
+                "dag context_kib must be positive".into(),
+            ));
+        }
+        if self.burst == 0 {
+            return Err(StreamError::InvalidConfig(
+                "dag burst must be at least 1".into(),
+            ));
+        }
+        if self.phases == 0 || self.phase_periods == 0 {
+            return Err(StreamError::InvalidConfig(
+                "dag phases and phase_periods must be at least 1".into(),
+            ));
+        }
+        if !(self.phase_amplitude.is_finite() && (0.0..1.0).contains(&self.phase_amplitude)) {
+            return Err(StreamError::InvalidConfig(
+                "dag phase_amplitude must be in [0, 1)".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The arrival process the knobs describe.
+    pub fn arrival_process(&self) -> ArrivalProcess {
+        match self.arrivals {
+            ArrivalKind::Uniform => ArrivalProcess::Uniform,
+            // Same mean rate as uniform, delivered in bursts.
+            ArrivalKind::Bursty => ArrivalProcess::Bursty {
+                burst: self.burst,
+                every: self.burst,
+            },
+            ArrivalKind::Phased => ArrivalProcess::Phased {
+                periods_per_phase: self.phase_periods,
+                rates: (0..self.phases)
+                    .map(|p| {
+                        if p % 2 == 0 {
+                            1.0 + self.phase_amplitude
+                        } else {
+                            1.0 - self.phase_amplitude
+                        }
+                    })
+                    .collect(),
+            },
+        }
+    }
+}
+
+/// Generates fork-join pipelines: `source → width × depth branch stages →
+/// sink`, with skewed branch loads, seeded per-stage jitter and a
+/// configurable arrival process.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DagGenerator;
+
+impl WorkloadGenerator for DagGenerator {
+    fn name(&self) -> &str {
+        "dag"
+    }
+
+    fn generate(&self, params: &WorkloadParams) -> Result<GeneratedWorkload, StreamError> {
+        params.validate()?;
+        let knobs = params.dag.resolve();
+        knobs.validate()?;
+        let mut rng = SplitMix64::new(params.seed);
+        let frame_period = Seconds::new(1.0 / knobs.fps);
+        let context = Bytes::from_kib(knobs.context_kib);
+        let jitter = |rng: &mut SplitMix64, base: f64| -> f64 {
+            jittered_load(rng, base, knobs.load_jitter)
+        };
+
+        // Load split: 5 % each for source and sink, the rest shared across
+        // the branches with geometric skew.
+        let endpoint_share = 0.05 * knobs.total_load;
+        let branch_budget = knobs.total_load - 2.0 * endpoint_share;
+        let ratio = 1.0 / (1.0 + knobs.skew);
+        let weights: Vec<f64> = (0..knobs.width).map(|b| ratio.powi(b as i32)).collect();
+        let weight_sum: f64 = weights.iter().sum();
+
+        let mut tasks: Vec<TaskDescriptor> = Vec::new();
+        let mut graph = PipelineGraph::new();
+        let add = |tasks: &mut Vec<TaskDescriptor>,
+                   graph: &mut PipelineGraph,
+                   name: &str,
+                   load: f64|
+         -> Result<StageId, StreamError> {
+            let index = tasks.len();
+            tasks.push(TaskDescriptor::new(name, load, context));
+            let cycles = cycles_per_frame(load, frame_period);
+            graph.add_stage(StageDescriptor::new(name, TaskId(index), cycles))
+        };
+
+        let source_load = jitter(&mut rng, endpoint_share);
+        let source = add(&mut tasks, &mut graph, "source", source_load)?;
+        let mut branch_tails = Vec::with_capacity(knobs.width);
+        for (branch, weight) in weights.iter().enumerate() {
+            let per_stage = branch_budget * weight / weight_sum / knobs.depth as f64;
+            let mut previous = source;
+            for stage in 0..knobs.depth {
+                let load = jitter(&mut rng, per_stage);
+                let name = format!("b{branch}s{stage}");
+                let id = add(&mut tasks, &mut graph, &name, load)?;
+                graph.connect(previous, id)?;
+                previous = id;
+            }
+            branch_tails.push(previous);
+        }
+        let sink_load = jitter(&mut rng, endpoint_share);
+        let sink = add(&mut tasks, &mut graph, "sink", sink_load)?;
+        for tail in branch_tails {
+            graph.connect(tail, sink)?;
+        }
+
+        let placement = greedy_placement(&tasks, params.num_cores);
+        let config = params.apply_queue_overrides(PipelineConfig {
+            frame_period,
+            queue_capacity: 11,
+            prefill: 5,
+        });
+        Ok(GeneratedWorkload {
+            tasks,
+            placement,
+            pipeline: Some(PipelinePlan {
+                graph,
+                config,
+                arrivals: knobs.arrival_process(),
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dag_generator_builds_fork_join_topologies() {
+        let mut params = WorkloadParams::default();
+        params.dag.depth = Some(2);
+        params.dag.width = Some(4);
+        let generated = DagGenerator.generate(&params).unwrap();
+        generated.validate().expect("valid workload");
+        // source + 4×2 branch stages + sink.
+        assert_eq!(generated.tasks.len(), 10);
+        let plan = generated.pipeline.as_ref().expect("dag streams");
+        assert_eq!(plan.graph.sources().len(), 1);
+        assert_eq!(plan.graph.sinks().len(), 1);
+        assert!(
+            plan.graph.topological_order().is_ok(),
+            "DAG must be acyclic"
+        );
+        // The join has one predecessor per branch.
+        let sink = plan.graph.sinks()[0];
+        assert_eq!(plan.graph.predecessors(sink).len(), 4);
+        // Total load tracks the knob (jitter stays within ±10 %).
+        let total = generated.total_fse_load();
+        assert!(
+            (total - 1.2).abs() < 0.2,
+            "total load {total} far from knob"
+        );
+    }
+
+    #[test]
+    fn dag_skew_orders_branch_loads() {
+        let mut params = WorkloadParams::default();
+        params.dag.skew = Some(1.0);
+        params.dag.load_jitter = Some(0.0);
+        params.dag.depth = Some(1);
+        let generated = DagGenerator.generate(&params).unwrap();
+        // With skew 1 and no jitter, each branch carries half the previous
+        // one's load.
+        let b0 = generated.tasks.iter().find(|t| t.name == "b0s0").unwrap();
+        let b1 = generated.tasks.iter().find(|t| t.name == "b1s0").unwrap();
+        let b2 = generated.tasks.iter().find(|t| t.name == "b2s0").unwrap();
+        assert!((b0.fse_load / b1.fse_load - 2.0).abs() < 1e-9);
+        assert!((b1.fse_load / b2.fse_load - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dag_generator_is_deterministic_and_seed_sensitive() {
+        let params = WorkloadParams::default();
+        let a = DagGenerator.generate(&params).unwrap();
+        let b = DagGenerator.generate(&params).unwrap();
+        assert_eq!(a, b);
+        let other = DagGenerator
+            .generate(&WorkloadParams {
+                seed: 123,
+                ..params
+            })
+            .unwrap();
+        assert_ne!(a, other);
+    }
+
+    #[test]
+    fn dag_arrival_knobs_map_to_processes() {
+        let mut params = WorkloadParams::default();
+        params.dag.arrivals = Some(ArrivalKind::Bursty);
+        params.dag.burst = Some(5);
+        let plan = DagGenerator.generate(&params).unwrap().pipeline.unwrap();
+        assert_eq!(plan.arrivals, ArrivalProcess::Bursty { burst: 5, every: 5 });
+        assert!((plan.arrivals.mean_rate() - 1.0).abs() < 1e-12);
+
+        let mut params = WorkloadParams::default();
+        params.dag.arrivals = Some(ArrivalKind::Phased);
+        params.dag.phases = Some(3);
+        params.dag.phase_amplitude = Some(0.25);
+        params.dag.phase_periods = Some(50);
+        let plan = DagGenerator.generate(&params).unwrap().pipeline.unwrap();
+        match &plan.arrivals {
+            ArrivalProcess::Phased {
+                periods_per_phase,
+                rates,
+            } => {
+                assert_eq!(*periods_per_phase, 50);
+                assert_eq!(rates, &vec![1.25, 0.75, 1.25]);
+            }
+            other => panic!("expected phased arrivals, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dag_knob_validation() {
+        for bad in [
+            DagKnobs {
+                depth: Some(0),
+                ..DagKnobs::default()
+            },
+            DagKnobs {
+                width: Some(0),
+                ..DagKnobs::default()
+            },
+            DagKnobs {
+                skew: Some(-1.0),
+                ..DagKnobs::default()
+            },
+            DagKnobs {
+                total_load: Some(0.0),
+                ..DagKnobs::default()
+            },
+            DagKnobs {
+                fps: Some(f64::NAN),
+                ..DagKnobs::default()
+            },
+            DagKnobs {
+                phase_amplitude: Some(1.0),
+                ..DagKnobs::default()
+            },
+            DagKnobs {
+                burst: Some(0),
+                ..DagKnobs::default()
+            },
+        ] {
+            let params = WorkloadParams {
+                dag: bad,
+                ..WorkloadParams::default()
+            };
+            assert!(DagGenerator.generate(&params).is_err());
+        }
+    }
+}

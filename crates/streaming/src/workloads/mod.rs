@@ -1,0 +1,591 @@
+//! Pluggable workload generation.
+//!
+//! The paper evaluates thermal balancing on a single benchmark (the SDR
+//! pipeline), but its claim is about streaming computing in general. This
+//! module turns "which application runs" into a first-class, extensible
+//! axis, mirroring how policies work:
+//!
+//! * [`WorkloadGenerator`] — a deterministic, seeded factory producing a
+//!   [`GeneratedWorkload`]: OS task descriptors, an initial placement, and
+//!   (for pipeline workloads) a [`PipelinePlan`] with the stage graph and an
+//!   [`ArrivalProcess`];
+//! * [`WorkloadRegistry`] — a name → generator registry, mirroring the
+//!   policy registry in `tbp-core`: scenario files select workloads by
+//!   string name, and third-party generators register without touching any
+//!   core code;
+//! * four built-in generators: [`sdr`](SdrGenerator) (the paper's
+//!   benchmark), [`synthetic`](SyntheticGenerator) (flat seeded task sets),
+//!   [`video-analytics`](VideoAnalyticsGenerator) (decode → detect → track
+//!   → sink chains per camera stream), and [`dag`](DagGenerator)
+//!   (parameterised fork-join pipelines with depth/width/skew knobs, phased
+//!   load changes and bursty arrivals), plus the trivial
+//!   [`idle`](IdleGenerator) workload.
+//!
+//! Generators are pure functions of their [`WorkloadParams`]: the same
+//! parameters always produce byte-identical task sets and graphs, so cached
+//! scenario reports stay valid and experiments stay reproducible.
+//!
+//! ```
+//! use tbp_streaming::workloads::{WorkloadParams, WorkloadRegistry};
+//!
+//! let registry = WorkloadRegistry::with_builtins();
+//! let generated = registry
+//!     .generate("video-analytics", &WorkloadParams::default())
+//!     .expect("builtin generator");
+//! // One decode→detect→track→sink chain plus a pinned telemetry task.
+//! assert_eq!(generated.tasks.len(), 5);
+//! assert!(generated.pipeline.is_some());
+//! ```
+
+mod dag;
+mod sdr;
+mod synthetic;
+mod video;
+
+pub use dag::{ArrivalKind, DagGenerator, DagKnobs, ResolvedDagKnobs};
+pub use sdr::SdrGenerator;
+pub use synthetic::SyntheticGenerator;
+pub use video::{ResolvedVideoKnobs, VideoAnalyticsGenerator, VideoKnobs};
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, OnceLock};
+
+use tbp_arch::core::CoreId;
+use tbp_os::task::{TaskDescriptor, TaskId};
+
+use crate::error::StreamError;
+use crate::graph::{PipelineGraph, StageDescriptor};
+use crate::pipeline::{ArrivalProcess, PipelineConfig};
+use crate::workload::WorkloadSpec;
+
+/// Maximum core frequency (Hz) of the paper's DVFS scale, used to convert
+/// full-speed-equivalent loads into cycles per frame.
+pub const F_MAX_HZ: f64 = 533e6;
+
+/// Inputs of a workload generator: the shared knobs every generator reads
+/// (seed, core count, queue sizing) plus the per-family knob tables.
+///
+/// A generator only reads the knobs it understands — the `synthetic` table
+/// is ignored by the `dag` generator and vice versa — so one parameter
+/// value can drive any registered generator, which is what lets scenario
+/// sweeps iterate over workload kinds without per-kind plumbing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadParams {
+    /// PRNG seed: the same seed always reproduces the same workload.
+    pub seed: u64,
+    /// Number of cores the initial placement targets (the simulation
+    /// builder overrides this with the actual platform core count).
+    pub num_cores: usize,
+    /// Inter-stage queue capacity override (pipeline workloads).
+    pub queue_capacity: Option<usize>,
+    /// Start-up buffering override in frames (pipeline workloads).
+    pub prefill: Option<usize>,
+    /// Knobs of the `synthetic` flat-task-set generator.
+    pub synthetic: WorkloadSpec,
+    /// Knobs of the `video-analytics` generator.
+    pub video: VideoKnobs,
+    /// Knobs of the `dag` fork-join generator.
+    pub dag: DagKnobs,
+}
+
+impl Default for WorkloadParams {
+    fn default() -> Self {
+        WorkloadParams {
+            seed: 0xC0FFEE,
+            num_cores: 3,
+            queue_capacity: None,
+            prefill: None,
+            synthetic: WorkloadSpec::default_mixed(),
+            video: VideoKnobs::default(),
+            dag: DagKnobs::default(),
+        }
+    }
+}
+
+impl WorkloadParams {
+    /// Validates the shared knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] for a zero core count or a
+    /// prefill exceeding the queue capacity.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.num_cores == 0 {
+            return Err(StreamError::InvalidConfig(
+                "workload needs at least one core".into(),
+            ));
+        }
+        if let (Some(prefill), Some(capacity)) = (self.prefill, self.queue_capacity) {
+            if prefill > capacity {
+                return Err(StreamError::InvalidConfig(format!(
+                    "prefill {prefill} exceeds queue capacity {capacity}"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies the queue sizing overrides to a pipeline configuration.
+    pub fn apply_queue_overrides(&self, mut config: PipelineConfig) -> PipelineConfig {
+        if let Some(capacity) = self.queue_capacity {
+            config.queue_capacity = capacity;
+            config.prefill = self.prefill.unwrap_or(capacity / 2);
+        } else if let Some(prefill) = self.prefill {
+            config.prefill = prefill;
+        }
+        config
+    }
+}
+
+/// The streaming half of a generated workload: the stage graph (stages
+/// reference tasks *by index* into [`GeneratedWorkload::tasks`]), the
+/// pipeline configuration and the external arrival process.
+///
+/// Task indices rather than live [`TaskId`]s keep generation pure: ids only
+/// exist once the OS spawns the tasks, at which point
+/// [`instantiate`](Self::instantiate) rebinds the graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelinePlan {
+    /// The stage graph; `StageDescriptor::task` holds `TaskId(i)` where `i`
+    /// indexes [`GeneratedWorkload::tasks`].
+    pub graph: PipelineGraph,
+    /// Frame period and queue sizing.
+    pub config: PipelineConfig,
+    /// External producer behaviour.
+    pub arrivals: ArrivalProcess,
+}
+
+impl PipelinePlan {
+    /// Rebinds the plan's task indices to the ids the OS actually assigned:
+    /// `ids[i]` must be the task spawned from the *i*-th generated
+    /// descriptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] when a stage references an
+    /// index outside `ids`.
+    pub fn instantiate(&self, ids: &[TaskId]) -> Result<PipelineGraph, StreamError> {
+        let mut graph = PipelineGraph::new();
+        for stage in self.graph.stages() {
+            let index = stage.task.index();
+            let id = *ids.get(index).ok_or_else(|| {
+                StreamError::InvalidConfig(format!(
+                    "stage `{}` references task index {index}, but only {} tasks were spawned",
+                    stage.name,
+                    ids.len()
+                ))
+            })?;
+            graph.add_stage(StageDescriptor::new(
+                &stage.name,
+                id,
+                stage.cycles_per_frame,
+            ))?;
+        }
+        for &(from, to) in self.graph.edges() {
+            graph.connect(from, to)?;
+        }
+        graph.validate()?;
+        Ok(graph)
+    }
+}
+
+/// A fully generated workload: task descriptors, their initial placement and
+/// (for streaming workloads) the pipeline plan.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GeneratedWorkload {
+    /// OS task descriptors, in spawn order.
+    pub tasks: Vec<TaskDescriptor>,
+    /// Initial core of each task (parallel to `tasks`).
+    pub placement: Vec<CoreId>,
+    /// The stage graph and arrival process, when the workload streams.
+    pub pipeline: Option<PipelinePlan>,
+}
+
+impl GeneratedWorkload {
+    /// Checks the structural invariants every generator must uphold: one
+    /// placement per task, valid task descriptors, and — when a pipeline is
+    /// present — an acyclic graph whose stages reference existing tasks with
+    /// positive per-frame cycle counts.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] or
+    /// [`StreamError::InvalidGraph`] naming the violated invariant.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.tasks.len() != self.placement.len() {
+            return Err(StreamError::InvalidConfig(format!(
+                "{} tasks but {} placements",
+                self.tasks.len(),
+                self.placement.len()
+            )));
+        }
+        for task in &self.tasks {
+            task.validate()
+                .map_err(|e| StreamError::InvalidConfig(format!("task `{}`: {e}", task.name)))?;
+        }
+        if let Some(plan) = &self.pipeline {
+            plan.graph.validate()?;
+            plan.config.validate()?;
+            plan.arrivals.validate()?;
+            for stage in plan.graph.stages() {
+                if stage.task.index() >= self.tasks.len() {
+                    return Err(StreamError::InvalidConfig(format!(
+                        "stage `{}` references task index {} of {}",
+                        stage.name,
+                        stage.task.index(),
+                        self.tasks.len()
+                    )));
+                }
+                if !(stage.cycles_per_frame.is_finite() && stage.cycles_per_frame > 0.0) {
+                    return Err(StreamError::InvalidConfig(format!(
+                        "stage `{}` has non-positive cycles per frame",
+                        stage.name
+                    )));
+                }
+            }
+        } else if self.tasks.is_empty() {
+            // Idle workloads are the only legitimately empty ones.
+        }
+        Ok(())
+    }
+
+    /// Total full-speed-equivalent load of the generated tasks.
+    pub fn total_fse_load(&self) -> f64 {
+        self.tasks.iter().map(|t| t.fse_load).sum()
+    }
+}
+
+/// A deterministic workload factory resolved by name through a
+/// [`WorkloadRegistry`].
+///
+/// Implementations must be pure: the same [`WorkloadParams`] must always
+/// produce the same [`GeneratedWorkload`] (scenario caching and shard
+/// merging rely on it).
+pub trait WorkloadGenerator: Send + Sync {
+    /// The registry name of the generator (e.g. `"video-analytics"`).
+    fn name(&self) -> &str;
+
+    /// Generates the workload for the given parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError`] when the parameters are invalid for this
+    /// generator.
+    fn generate(&self, params: &WorkloadParams) -> Result<GeneratedWorkload, StreamError>;
+}
+
+/// The trivial workload: no tasks at all (an idle platform, useful for
+/// thermal calibration).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IdleGenerator;
+
+impl WorkloadGenerator for IdleGenerator {
+    fn name(&self) -> &str {
+        "idle"
+    }
+
+    fn generate(&self, params: &WorkloadParams) -> Result<GeneratedWorkload, StreamError> {
+        params.validate()?;
+        Ok(GeneratedWorkload {
+            tasks: Vec::new(),
+            placement: Vec::new(),
+            pipeline: None,
+        })
+    }
+}
+
+/// Registry mapping workload names to generators, mirroring the policy
+/// registry: scenario files select workloads by string name and third-party
+/// generators register without touching core code.
+pub struct WorkloadRegistry {
+    generators: BTreeMap<String, Arc<dyn WorkloadGenerator>>,
+}
+
+impl WorkloadRegistry {
+    /// An empty registry (no names resolve).
+    pub fn empty() -> Self {
+        WorkloadRegistry {
+            generators: BTreeMap::new(),
+        }
+    }
+
+    /// A registry pre-populated with the built-in generators: `sdr`,
+    /// `synthetic`, `video-analytics`, `dag` and `idle`.
+    pub fn with_builtins() -> Self {
+        let mut registry = WorkloadRegistry::empty();
+        registry.register(SdrGenerator);
+        registry.register(SyntheticGenerator);
+        registry.register(VideoAnalyticsGenerator);
+        registry.register(DagGenerator);
+        registry.register(IdleGenerator);
+        registry
+    }
+
+    /// The shared process-wide registry with the built-in generators.
+    ///
+    /// Custom generators cannot be added here; build your own registry with
+    /// [`with_builtins`](Self::with_builtins) + [`register`](Self::register)
+    /// and hand it to the simulation builder instead.
+    pub fn global() -> Arc<WorkloadRegistry> {
+        static GLOBAL: OnceLock<Arc<WorkloadRegistry>> = OnceLock::new();
+        GLOBAL
+            .get_or_init(|| Arc::new(WorkloadRegistry::with_builtins()))
+            .clone()
+    }
+
+    /// Registers (or replaces) a generator under its own name.
+    pub fn register(&mut self, generator: impl WorkloadGenerator + 'static) {
+        self.register_arc(Arc::new(generator));
+    }
+
+    /// Registers (or replaces) an already-shared generator.
+    pub fn register_arc(&mut self, generator: Arc<dyn WorkloadGenerator>) {
+        self.generators
+            .insert(generator.name().to_string(), generator);
+    }
+
+    /// Whether `name` resolves.
+    pub fn contains(&self, name: &str) -> bool {
+        self.generators.contains_key(name)
+    }
+
+    /// The registered names, sorted.
+    pub fn names(&self) -> Vec<String> {
+        self.generators.keys().cloned().collect()
+    }
+
+    /// Generates the workload `name` describes, validating the result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::UnknownGenerator`] when the name is not
+    /// registered, or whatever error the generator reports; a generator
+    /// producing a structurally invalid workload is also an error.
+    pub fn generate(
+        &self,
+        name: &str,
+        params: &WorkloadParams,
+    ) -> Result<GeneratedWorkload, StreamError> {
+        let generator = self
+            .generators
+            .get(name)
+            .ok_or_else(|| StreamError::UnknownGenerator {
+                name: name.to_string(),
+                known: self.names(),
+            })?;
+        let workload = generator.generate(params)?;
+        workload.validate()?;
+        Ok(workload)
+    }
+}
+
+impl fmt::Debug for WorkloadRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkloadRegistry")
+            .field("names", &self.names())
+            .finish()
+    }
+}
+
+impl Default for WorkloadRegistry {
+    fn default() -> Self {
+        WorkloadRegistry::with_builtins()
+    }
+}
+
+/// A load drawn from `base * (1 ± jitter)`, clamped into the valid task-load
+/// range `(0, 1]` — the seeded per-stage variation the video and DAG
+/// generators share.
+pub(crate) fn jittered_load(rng: &mut crate::workload::SplitMix64, base: f64, jitter: f64) -> f64 {
+    let factor = 1.0 + jitter * (2.0 * rng.next_f64() - 1.0);
+    (base * factor).clamp(1e-4, 1.0)
+}
+
+/// Processor cycles per frame of a stage with the given full-speed-equivalent
+/// load at the given frame period: a task with load `L` consumes
+/// `L * f_max` cycles per second.
+pub(crate) fn cycles_per_frame(load: f64, frame_period: tbp_arch::units::Seconds) -> f64 {
+    load * F_MAX_HZ * frame_period.as_secs()
+}
+
+/// Greedy least-loaded placement: heaviest task first onto the currently
+/// lightest core — the energy-balanced starting point the paper's Table 2
+/// mapping also approximates.
+pub(crate) fn greedy_placement(tasks: &[TaskDescriptor], num_cores: usize) -> Vec<CoreId> {
+    let mut order: Vec<usize> = (0..tasks.len()).collect();
+    order.sort_by(|&a, &b| {
+        tasks[b]
+            .fse_load
+            .partial_cmp(&tasks[a].fse_load)
+            .expect("loads are finite")
+    });
+    let mut core_loads = vec![0.0f64; num_cores.max(1)];
+    let mut placement = vec![CoreId(0); tasks.len()];
+    for &i in &order {
+        let (core, _) = core_loads
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).expect("loads are finite"))
+            .expect("at least one core");
+        core_loads[core] += tasks[i].fse_load;
+        placement[i] = CoreId(core);
+    }
+    placement
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tbp_arch::units::Bytes;
+
+    #[test]
+    fn registry_resolves_builtins_by_name() {
+        let registry = WorkloadRegistry::with_builtins();
+        assert_eq!(
+            registry.names(),
+            vec![
+                "dag".to_string(),
+                "idle".to_string(),
+                "sdr".to_string(),
+                "synthetic".to_string(),
+                "video-analytics".to_string(),
+            ]
+        );
+        let params = WorkloadParams::default();
+        for name in registry.names() {
+            let workload = registry
+                .generate(&name, &params)
+                .expect("builtin generates");
+            workload.validate().expect("builtin output is valid");
+        }
+        assert!(registry.contains("dag"));
+        assert!(!registry.contains("nope"));
+        assert!(format!("{registry:?}").contains("video-analytics"));
+    }
+
+    #[test]
+    fn unknown_generators_error_with_known_names() {
+        let registry = WorkloadRegistry::with_builtins();
+        let err = registry
+            .generate("does-not-exist", &WorkloadParams::default())
+            .unwrap_err();
+        match &err {
+            StreamError::UnknownGenerator { name, known } => {
+                assert_eq!(name, "does-not-exist");
+                assert_eq!(known.len(), 5);
+            }
+            other => panic!("expected UnknownGenerator, got {other:?}"),
+        }
+        assert!(err.to_string().contains("sdr"));
+    }
+
+    #[test]
+    fn third_party_generators_register_by_name() {
+        struct TinyGenerator;
+        impl WorkloadGenerator for TinyGenerator {
+            fn name(&self) -> &str {
+                "tiny"
+            }
+            fn generate(&self, params: &WorkloadParams) -> Result<GeneratedWorkload, StreamError> {
+                params.validate()?;
+                let tasks = vec![TaskDescriptor::new("only", 0.1, Bytes::from_kib(64))];
+                let placement = greedy_placement(&tasks, params.num_cores);
+                Ok(GeneratedWorkload {
+                    tasks,
+                    placement,
+                    pipeline: None,
+                })
+            }
+        }
+        let mut registry = WorkloadRegistry::with_builtins();
+        registry.register(TinyGenerator);
+        let workload = registry
+            .generate("tiny", &WorkloadParams::default())
+            .expect("registered generator runs");
+        assert_eq!(workload.tasks.len(), 1);
+    }
+
+    #[test]
+    fn global_registry_is_shared() {
+        let a = WorkloadRegistry::global();
+        let b = WorkloadRegistry::global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.contains("video-analytics"));
+    }
+
+    #[test]
+    fn params_validation_and_queue_overrides() {
+        let mut params = WorkloadParams::default();
+        assert!(params.validate().is_ok());
+        params.num_cores = 0;
+        assert!(params.validate().is_err());
+        let params = WorkloadParams {
+            queue_capacity: Some(4),
+            prefill: Some(9),
+            ..WorkloadParams::default()
+        };
+        assert!(params.validate().is_err());
+        let params = WorkloadParams {
+            queue_capacity: Some(8),
+            prefill: None,
+            ..WorkloadParams::default()
+        };
+        let config = params.apply_queue_overrides(PipelineConfig::paper_default());
+        assert_eq!(config.queue_capacity, 8);
+        assert_eq!(config.prefill, 4);
+        let params = WorkloadParams {
+            queue_capacity: None,
+            prefill: Some(2),
+            ..WorkloadParams::default()
+        };
+        let config = params.apply_queue_overrides(PipelineConfig::paper_default());
+        assert_eq!(config.queue_capacity, 11);
+        assert_eq!(config.prefill, 2);
+    }
+
+    #[test]
+    fn plan_instantiation_rebinds_task_indices() {
+        let registry = WorkloadRegistry::with_builtins();
+        let generated = registry
+            .generate("video-analytics", &WorkloadParams::default())
+            .unwrap();
+        let plan = generated.pipeline.expect("video workload streams");
+        // Spawn order shifted by 10: stage tasks must follow.
+        let ids: Vec<TaskId> = (10..10 + generated.tasks.len()).map(TaskId).collect();
+        let graph = plan.instantiate(&ids).expect("plan instantiates");
+        assert!(graph.stages().iter().all(|s| s.task.index() >= 10));
+        // Too few ids is an error, not a panic.
+        assert!(plan.instantiate(&ids[..1]).is_err());
+    }
+
+    #[test]
+    fn generated_workload_validation_catches_mismatches() {
+        let mut workload = GeneratedWorkload {
+            tasks: vec![TaskDescriptor::new("t", 0.2, Bytes::from_kib(64))],
+            placement: Vec::new(),
+            pipeline: None,
+        };
+        assert!(workload.validate().is_err());
+        workload.placement = vec![CoreId(0)];
+        assert!(workload.validate().is_ok());
+        assert!((workload.total_fse_load() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_placement_balances_loads() {
+        let tasks: Vec<TaskDescriptor> = (0..12)
+            .map(|i| {
+                TaskDescriptor::new(&format!("t{i}"), 0.1 + 0.02 * i as f64, Bytes::from_kib(64))
+            })
+            .collect();
+        let placement = greedy_placement(&tasks, 3);
+        let mut loads = [0.0f64; 3];
+        for (task, core) in tasks.iter().zip(&placement) {
+            loads[core.index()] += task.fse_load;
+        }
+        let max = loads.iter().cloned().fold(0.0, f64::max);
+        let min = loads.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(max - min < 0.15, "loads should be balanced: {loads:?}");
+    }
+}

@@ -1,0 +1,260 @@
+//! The `video-analytics` generator: decode → detect → track → sink chains,
+//! one per camera stream, plus a pinned telemetry task.
+//!
+//! Promoted from the hand-rolled pipeline the `custom_pipeline` example used
+//! to build: the canonical "not SDR" streaming workload, with a heavy
+//! detector stage that makes thermal balancing earn its keep.
+
+use serde::{Deserialize, Serialize};
+
+use tbp_arch::units::{Bytes, Seconds};
+use tbp_os::task::{TaskDescriptor, TaskId};
+
+use crate::error::StreamError;
+use crate::graph::{PipelineGraph, StageDescriptor};
+use crate::pipeline::{ArrivalProcess, PipelineConfig};
+use crate::workload::SplitMix64;
+use crate::workloads::{
+    cycles_per_frame, greedy_placement, jittered_load, GeneratedWorkload, PipelinePlan,
+    WorkloadGenerator, WorkloadParams,
+};
+
+/// Knobs of the video-analytics workload. Every field is optional; absent
+/// knobs fall back to the defaults listed on [`ResolvedVideoKnobs`].
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct VideoKnobs {
+    /// Number of parallel camera streams (each its own 4-stage chain).
+    pub streams: Option<usize>,
+    /// Frames per second of every stream.
+    pub fps: Option<f64>,
+    /// Full-speed-equivalent load of the decode stage.
+    pub decode_load: Option<f64>,
+    /// Full-speed-equivalent load of the detect stage (the heavy one).
+    pub detect_load: Option<f64>,
+    /// Full-speed-equivalent load of the track stage.
+    pub track_load: Option<f64>,
+    /// Full-speed-equivalent load of the sink (encode) stage.
+    pub sink_load: Option<f64>,
+    /// Load of the pinned background telemetry task (0 disables it).
+    pub telemetry_load: Option<f64>,
+    /// Migratable context size of every stage task, in KiB.
+    pub context_kib: Option<u64>,
+    /// Seeded per-stage load jitter as a fraction of the base load
+    /// (stage loads are drawn from `base * (1 ± jitter)`).
+    pub load_jitter: Option<f64>,
+}
+
+impl VideoKnobs {
+    /// Applies the defaults, producing concrete knob values.
+    pub fn resolve(&self) -> ResolvedVideoKnobs {
+        ResolvedVideoKnobs {
+            streams: self.streams.unwrap_or(1),
+            fps: self.fps.unwrap_or(30.0),
+            decode_load: self.decode_load.unwrap_or(0.18),
+            detect_load: self.detect_load.unwrap_or(0.55),
+            track_load: self.track_load.unwrap_or(0.35),
+            sink_load: self.sink_load.unwrap_or(0.30),
+            telemetry_load: self.telemetry_load.unwrap_or(0.05),
+            context_kib: self.context_kib.unwrap_or(128),
+            load_jitter: self.load_jitter.unwrap_or(0.08),
+        }
+    }
+}
+
+/// [`VideoKnobs`] with all defaults applied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResolvedVideoKnobs {
+    /// Parallel camera streams (default 1).
+    pub streams: usize,
+    /// Frames per second (default 30).
+    pub fps: f64,
+    /// Decode-stage load (default 0.18).
+    pub decode_load: f64,
+    /// Detect-stage load (default 0.55).
+    pub detect_load: f64,
+    /// Track-stage load (default 0.35).
+    pub track_load: f64,
+    /// Sink-stage load (default 0.30).
+    pub sink_load: f64,
+    /// Pinned telemetry load (default 0.05; 0 disables the task).
+    pub telemetry_load: f64,
+    /// Per-task context size in KiB (default 128).
+    pub context_kib: u64,
+    /// Seeded load jitter fraction (default 0.08).
+    pub load_jitter: f64,
+}
+
+impl ResolvedVideoKnobs {
+    /// Validates the resolved knob values.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::InvalidConfig`] naming the offending knob.
+    pub fn validate(&self) -> Result<(), StreamError> {
+        if self.streams == 0 {
+            return Err(StreamError::InvalidConfig(
+                "video workload needs at least one stream".into(),
+            ));
+        }
+        if !(self.fps.is_finite() && self.fps > 0.0) {
+            return Err(StreamError::InvalidConfig(
+                "video fps must be positive".into(),
+            ));
+        }
+        for (name, load) in [
+            ("decode_load", self.decode_load),
+            ("detect_load", self.detect_load),
+            ("track_load", self.track_load),
+            ("sink_load", self.sink_load),
+        ] {
+            if !(load.is_finite() && load > 0.0 && load <= 1.0) {
+                return Err(StreamError::InvalidConfig(format!(
+                    "video {name} must be in (0, 1], got {load}"
+                )));
+            }
+        }
+        if !(self.telemetry_load.is_finite() && (0.0..=1.0).contains(&self.telemetry_load)) {
+            return Err(StreamError::InvalidConfig(
+                "video telemetry_load must be in [0, 1]".into(),
+            ));
+        }
+        if self.context_kib == 0 {
+            return Err(StreamError::InvalidConfig(
+                "video context_kib must be positive".into(),
+            ));
+        }
+        if !(self.load_jitter.is_finite() && (0.0..0.9).contains(&self.load_jitter)) {
+            return Err(StreamError::InvalidConfig(
+                "video load_jitter must be in [0, 0.9)".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Generates per-stream decode → detect → track → sink chains with seeded
+/// per-stage load jitter, a pinned telemetry task, and a greedy
+/// least-loaded placement of the migratable stages.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct VideoAnalyticsGenerator;
+
+impl WorkloadGenerator for VideoAnalyticsGenerator {
+    fn name(&self) -> &str {
+        "video-analytics"
+    }
+
+    fn generate(&self, params: &WorkloadParams) -> Result<GeneratedWorkload, StreamError> {
+        params.validate()?;
+        let knobs = params.video.resolve();
+        knobs.validate()?;
+        let mut rng = SplitMix64::new(params.seed);
+        let frame_period = Seconds::new(1.0 / knobs.fps);
+        let context = Bytes::from_kib(knobs.context_kib);
+
+        let stage_bases = [
+            ("decode", knobs.decode_load),
+            ("detect", knobs.detect_load),
+            ("track", knobs.track_load),
+            ("sink", knobs.sink_load),
+        ];
+        let mut tasks = Vec::new();
+        let mut graph = PipelineGraph::new();
+        for stream in 0..knobs.streams {
+            let mut previous: Option<crate::graph::StageId> = None;
+            for (stage_name, base) in stage_bases {
+                let load = jittered_load(&mut rng, base, knobs.load_jitter);
+                let name = if knobs.streams == 1 {
+                    stage_name.to_string()
+                } else {
+                    format!("cam{stream}.{stage_name}")
+                };
+                let index = tasks.len();
+                tasks.push(TaskDescriptor::new(&name, load, context));
+                let cycles = cycles_per_frame(load, frame_period);
+                let stage = graph.add_stage(StageDescriptor::new(&name, TaskId(index), cycles))?;
+                if let Some(prev) = previous {
+                    graph.connect(prev, stage)?;
+                }
+                previous = Some(stage);
+            }
+        }
+        let mut placement = greedy_placement(&tasks, params.num_cores);
+        if knobs.telemetry_load > 0.0 {
+            // Background telemetry: pinned to the last core, outside the
+            // stage graph (it produces no frames, only heat).
+            tasks.push(
+                TaskDescriptor::new("telemetry", knobs.telemetry_load, Bytes::from_kib(64))
+                    .pinned(),
+            );
+            placement.push(tbp_arch::core::CoreId(params.num_cores - 1));
+        }
+        let config = params.apply_queue_overrides(PipelineConfig {
+            frame_period,
+            queue_capacity: 8,
+            prefill: 4,
+        });
+        Ok(GeneratedWorkload {
+            tasks,
+            placement,
+            pipeline: Some(PipelinePlan {
+                graph,
+                config,
+                arrivals: ArrivalProcess::Uniform,
+            }),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn video_generator_builds_chains_per_stream() {
+        let mut params = WorkloadParams::default();
+        params.video.streams = Some(2);
+        params.video.detect_load = Some(0.4);
+        let generated = VideoAnalyticsGenerator.generate(&params).unwrap();
+        generated.validate().expect("valid workload");
+        // 2 streams × 4 stages + telemetry.
+        assert_eq!(generated.tasks.len(), 9);
+        let plan = generated.pipeline.as_ref().expect("video streams");
+        assert_eq!(plan.graph.len(), 8);
+        assert_eq!(plan.graph.sources().len(), 2);
+        assert_eq!(plan.graph.sinks().len(), 2);
+        assert!((plan.config.frame_period.as_secs() - 1.0 / 30.0).abs() < 1e-12);
+        // Telemetry is pinned and not a stage.
+        let telemetry = generated.tasks.last().unwrap();
+        assert_eq!(telemetry.name, "telemetry");
+        assert!(!telemetry.migratable);
+    }
+
+    #[test]
+    fn video_generator_is_deterministic_and_seed_sensitive() {
+        let params = WorkloadParams::default();
+        let a = VideoAnalyticsGenerator.generate(&params).unwrap();
+        let b = VideoAnalyticsGenerator.generate(&params).unwrap();
+        assert_eq!(a, b);
+        let other = VideoAnalyticsGenerator
+            .generate(&WorkloadParams { seed: 42, ..params })
+            .unwrap();
+        assert_ne!(a, other, "load jitter must depend on the seed");
+    }
+
+    #[test]
+    fn video_knob_validation() {
+        let mut params = WorkloadParams::default();
+        params.video.streams = Some(0);
+        assert!(VideoAnalyticsGenerator.generate(&params).is_err());
+        let mut params = WorkloadParams::default();
+        params.video.detect_load = Some(1.5);
+        assert!(VideoAnalyticsGenerator.generate(&params).is_err());
+        let mut params = WorkloadParams::default();
+        params.video.fps = Some(0.0);
+        assert!(VideoAnalyticsGenerator.generate(&params).is_err());
+        let mut params = WorkloadParams::default();
+        params.video.telemetry_load = Some(0.0);
+        let generated = VideoAnalyticsGenerator.generate(&params).unwrap();
+        assert!(generated.tasks.iter().all(|t| t.name != "telemetry"));
+    }
+}

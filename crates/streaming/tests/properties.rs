@@ -10,6 +10,7 @@ use tbp_streaming::pipeline::{PipelineConfig, PipelineRuntime};
 use tbp_streaming::queue::FrameQueue;
 use tbp_streaming::sdr::kernels::{FirFilter, WeightedMixer};
 use tbp_streaming::workload::{SplitMix64, SyntheticWorkload, WorkloadSpec};
+use tbp_streaming::workloads::{WorkloadParams, WorkloadRegistry};
 
 proptest! {
     /// Queues never exceed their capacity, never report negative occupancy,
@@ -99,6 +100,72 @@ proptest! {
         }
         let total = workload.total_fse_load();
         prop_assert!(total <= 0.4 * cores as f64 + 1e-6);
+    }
+
+    /// Every registered generator is a pure function of its parameters:
+    /// the same seed reproduces the identical workload (task set, placement
+    /// and pipeline plan), and every output passes structural validation.
+    #[test]
+    fn generators_are_deterministic_and_valid(seed in any::<u64>(), cores in 3usize..8) {
+        let registry = WorkloadRegistry::with_builtins();
+        let params = WorkloadParams { seed, num_cores: cores, ..WorkloadParams::default() };
+        for name in registry.names() {
+            let a = registry.generate(&name, &params).unwrap();
+            let b = registry.generate(&name, &params).unwrap();
+            prop_assert_eq!(&a, &b, "generator `{}` must be deterministic", name);
+            prop_assert!(a.validate().is_ok());
+            for core in &a.placement {
+                prop_assert!(core.index() < cores);
+            }
+        }
+    }
+
+    /// Seeded generators produce *different* workloads for different seeds
+    /// (the SDR benchmark and the idle workload are fully specified and
+    /// legitimately seed-independent).
+    #[test]
+    fn seeded_generators_differ_across_seeds(seed in any::<u64>()) {
+        let registry = WorkloadRegistry::with_builtins();
+        let base = WorkloadParams::default();
+        // Always a different seed: the offset is in 1..=1000, never zero.
+        let other = WorkloadParams {
+            seed: base.seed.wrapping_add(1 + seed % 1000),
+            ..base.clone()
+        };
+        for name in ["synthetic", "video-analytics", "dag"] {
+            let a = registry.generate(name, &base).unwrap();
+            let b = registry.generate(name, &other).unwrap();
+            prop_assert_ne!(a, b, "generator `{}` must depend on the seed", name);
+        }
+    }
+
+    /// Generated DAG pipelines are acyclic with positive per-stage loads and
+    /// cycle counts, for any depth/width/skew combination.
+    #[test]
+    fn generated_dags_are_acyclic_with_positive_loads(
+        seed in any::<u64>(),
+        depth in 1usize..5,
+        width in 1usize..6,
+        skew in 0.0f64..2.0,
+    ) {
+        let registry = WorkloadRegistry::with_builtins();
+        let mut params = WorkloadParams { seed, ..WorkloadParams::default() };
+        params.dag.depth = Some(depth);
+        params.dag.width = Some(width);
+        params.dag.skew = Some(skew);
+        let generated = registry.generate("dag", &params).unwrap();
+        prop_assert_eq!(generated.tasks.len(), depth * width + 2);
+        for task in &generated.tasks {
+            prop_assert!(task.fse_load > 0.0 && task.fse_load <= 1.0);
+        }
+        let plan = generated.pipeline.as_ref().unwrap();
+        prop_assert!(plan.graph.topological_order().is_ok(), "DAG must be acyclic");
+        prop_assert_eq!(plan.graph.sources().len(), 1);
+        prop_assert_eq!(plan.graph.sinks().len(), 1);
+        for stage in plan.graph.stages() {
+            prop_assert!(stage.cycles_per_frame > 0.0);
+            prop_assert!(stage.task.index() < generated.tasks.len());
+        }
     }
 
     /// The deterministic PRNG stays inside [0, 1) and is reproducible.

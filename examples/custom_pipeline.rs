@@ -1,29 +1,30 @@
 //! Build a custom streaming application, platform and *policy*, beyond the
 //! paper's SDR.
 //!
-//! Shows how a downstream user targets their own workload: a 4-stage video
-//! analytics pipeline on a 4-core platform of the lower-power ARM11-class
-//! cores (Conf2 of Table 1), balanced by a third-party policy that is
-//! registered in a [`PolicyRegistry`] and resolved by name — no core code is
-//! touched.
+//! Shows how a downstream user targets their own workload without touching
+//! core code, on both extension axes:
+//!
+//! * the **workload** comes from the `video-analytics` generator resolved by
+//!   name through a [`WorkloadRegistry`] — the same registry that powers the
+//!   `VideoAnalytics` scenario kind — parameterised with per-stage loads for
+//!   a 4-core platform of the lower-power ARM11-class cores (Conf2 of
+//!   Table 1);
+//! * the **policy** is a third-party `SpreadCapPolicy` registered in a
+//!   [`PolicyRegistry`] and resolved by name.
 //!
 //! ```sh
 //! cargo run --release --example custom_pipeline
 //! ```
 
-use tbp_arch::core::CoreId;
+use std::sync::Arc;
+
 use tbp_arch::platform::PlatformConfig;
-use tbp_arch::units::{Bytes, Seconds};
 use tbp_core::policy::{Policy, PolicyAction, PolicyInput};
-use tbp_core::scenario::{PolicyRegistry, PolicySpec};
-use tbp_core::sim::{Simulation, SimulationConfig};
+use tbp_core::scenario::PolicyRegistry;
+use tbp_core::sim::{builder::Workload, SimulationBuilder};
 use tbp_core::SimError;
-use tbp_os::mpos::Mpos;
-use tbp_os::task::TaskDescriptor;
-use tbp_streaming::graph::{PipelineGraph, StageDescriptor};
-use tbp_streaming::pipeline::{PipelineConfig, PipelineRuntime};
+use tbp_streaming::workloads::{WorkloadParams, WorkloadRegistry};
 use tbp_thermal::package::Package;
-use tbp_thermal::{SensorBank, ThermalModel};
 
 /// A deliberately simple third-party policy: when the spread between the
 /// hottest and coolest core exceeds the band, migrate the hottest core's
@@ -61,81 +62,53 @@ impl Policy for SpreadCapPolicy {
 fn main() -> Result<(), SimError> {
     // 1. Register the third-party policy; "spread-cap" now resolves next to
     //    the four built-ins wherever this registry is used.
-    let mut registry = PolicyRegistry::with_builtins();
-    registry.register("spread-cap", |spec| {
+    let mut policies = PolicyRegistry::with_builtins();
+    policies.register("spread-cap", |spec| {
         Ok(Box::new(SpreadCapPolicy {
             band: spec.threshold_or_default(),
         }))
     });
 
-    // 2. A 4-core platform built from the lower-power ARM11-class cores.
-    let platform_config = PlatformConfig::paper_arm11().with_cores(4);
-    let platform = tbp_arch::platform::MpsocPlatform::new(platform_config.clone())?;
-    let thermal = ThermalModel::new(platform.floorplan(), Package::high_performance())?;
-    let sensors = SensorBank::paper_default(platform.num_cores());
+    // 2. The workload registry: "video-analytics" resolves to the built-in
+    //    generator (a custom `WorkloadGenerator` would register here the
+    //    same way the policy did above).
+    let workloads = Arc::new(WorkloadRegistry::with_builtins());
 
-    // 3. The OS layer with a video-analytics task set: capture → detect →
-    //    track → encode, plus a background telemetry task pinned to core 3.
-    let mut os = Mpos::new(platform.num_cores(), platform_config.dvfs.clone());
-    let capture = os.spawn(
-        TaskDescriptor::new("capture", 0.18, Bytes::from_kib(128)),
-        CoreId(0),
-    )?;
-    let detect = os.spawn(
-        TaskDescriptor::new("detect", 0.55, Bytes::from_kib(256)),
-        CoreId(1),
-    )?;
-    let track = os.spawn(
-        TaskDescriptor::new("track", 0.35, Bytes::from_kib(128)),
-        CoreId(2),
-    )?;
-    let encode = os.spawn(
-        TaskDescriptor::new("encode", 0.30, Bytes::from_kib(192)),
-        CoreId(3),
-    )?;
-    let _telemetry = os.spawn(
-        TaskDescriptor::new("telemetry", 0.05, Bytes::from_kib(64)).pinned(),
-        CoreId(3),
-    )?;
+    // 3. Parameterise the generator: one 30 fps camera chain — decode →
+    //    detect → track → sink — with a heavy detector, a pinned background
+    //    telemetry task, and deep queues. The generator builds the tasks,
+    //    the stage graph and the initial placement; nothing is hand-rolled
+    //    here.
+    let mut params = WorkloadParams {
+        seed: 0xF1DE0,
+        ..WorkloadParams::default()
+    };
+    params.video.decode_load = Some(0.18);
+    params.video.detect_load = Some(0.55);
+    params.video.track_load = Some(0.35);
+    params.video.sink_load = Some(0.30);
+    params.queue_capacity = Some(8);
 
-    // 4. The pipeline graph: 30 frames/s, deep queues for the heavy detector.
-    let frame_period = Seconds::from_millis(33.0);
-    let cycles = |fse: f64| fse * 533e6 * frame_period.as_secs();
-    let mut graph = PipelineGraph::new();
-    let s_capture = graph.add_stage(StageDescriptor::new("capture", capture, cycles(0.18)))?;
-    let s_detect = graph.add_stage(StageDescriptor::new("detect", detect, cycles(0.55)))?;
-    let s_track = graph.add_stage(StageDescriptor::new("track", track, cycles(0.35)))?;
-    let s_encode = graph.add_stage(StageDescriptor::new("encode", encode, cycles(0.30)))?;
-    graph.connect(s_capture, s_detect)?;
-    graph.connect(s_detect, s_track)?;
-    graph.connect(s_track, s_encode)?;
-    let pipeline = PipelineRuntime::new(
-        graph,
-        PipelineConfig {
-            frame_period,
-            queue_capacity: 8,
-            prefill: 4,
-        },
-    )?;
-
-    // 5. The policy, by name, at a tight ±1.5 °C band.
-    let policy = registry.instantiate(&PolicySpec::named("spread-cap").with_threshold(1.5))?;
-
-    // 6. Assemble and run.
-    let mut sim = Simulation::from_parts(
-        platform,
-        thermal,
-        sensors,
-        os,
-        Some(pipeline),
-        policy,
-        SimulationConfig {
-            warmup: Seconds::new(4.0),
-            metrics_threshold: 1.5,
-            ..SimulationConfig::paper_default()
-        },
-    );
-    sim.run_for(Seconds::new(20.0))?;
+    // 4. Assemble: a 4-core platform of the lower-power ARM11-class cores,
+    //    the high-performance package, the registry-resolved workload and
+    //    the third-party policy at a tight ±1.5 °C band.
+    let mut sim = SimulationBuilder::new()
+        .with_platform(PlatformConfig::paper_arm11().with_cores(4))
+        .with_package(Package::high_performance())
+        .with_workload(Workload::Generated {
+            generator: "video-analytics".into(),
+            params: Box::new(params),
+        })
+        .with_workload_registry(workloads)
+        .with_registry(Arc::new(policies))
+        .with_policy_name("spread-cap")
+        .with_config(tbp_core::sim::SimulationConfig {
+            warmup: tbp_arch::units::Seconds::new(4.0),
+            ..tbp_core::sim::SimulationConfig::paper_default()
+        })
+        .with_threshold(1.5)
+        .build()?;
+    sim.run_for(tbp_arch::units::Seconds::new(20.0))?;
 
     let summary = sim.summary();
     println!("{summary}");
