@@ -113,6 +113,10 @@ pub struct Bus {
     pending: Bytes,
     total_served: Bytes,
     busy_time: Seconds,
+    /// Cached [`effective_bandwidth`](Self::effective_bandwidth): a pure
+    /// function of the (immutable) configuration that `serve` and the OS
+    /// step would otherwise rederive — three divisions — every step.
+    effective_bandwidth: f64,
 }
 
 impl Bus {
@@ -123,11 +127,13 @@ impl Bus {
     /// Returns [`ArchError::InvalidConfig`] when the configuration is invalid.
     pub fn new(config: BusConfig) -> Result<Self, ArchError> {
         config.validate()?;
+        let effective_bandwidth = compute_effective_bandwidth(&config);
         Ok(Bus {
             config,
             pending: Bytes::ZERO,
             total_served: Bytes::ZERO,
             busy_time: Seconds::ZERO,
+            effective_bandwidth,
         })
     }
 
@@ -157,12 +163,9 @@ impl Bus {
     }
 
     /// Effective bandwidth in bytes/second once per-burst arbitration is
-    /// accounted for.
+    /// accounted for (computed once at construction).
     pub fn effective_bandwidth(&self) -> f64 {
-        let data_cycles_per_burst = self.config.burst_bytes as f64 / self.config.bytes_per_cycle;
-        let cycles_per_burst = data_cycles_per_burst + self.config.arbitration_cycles;
-        let bursts_per_second = self.config.clock_mhz * 1e6 / cycles_per_burst;
-        bursts_per_second * self.config.burst_bytes as f64
+        self.effective_bandwidth
     }
 
     /// Serves queued traffic for an interval of `dt` and returns what
@@ -218,6 +221,15 @@ impl Bus {
         self.total_served = Bytes::ZERO;
         self.busy_time = Seconds::ZERO;
     }
+}
+
+/// Effective bandwidth of a bus configuration in bytes/second: data cycles
+/// per burst plus arbitration overhead, scaled to the bus clock.
+fn compute_effective_bandwidth(config: &BusConfig) -> f64 {
+    let data_cycles_per_burst = config.burst_bytes as f64 / config.bytes_per_cycle;
+    let cycles_per_burst = data_cycles_per_burst + config.arbitration_cycles;
+    let bursts_per_second = config.clock_mhz * 1e6 / cycles_per_burst;
+    bursts_per_second * config.burst_bytes as f64
 }
 
 impl fmt::Display for Bus {

@@ -22,6 +22,10 @@ pub struct PrivateMemory {
     owner: CoreId,
     capacity: Bytes,
     allocated: Bytes,
+    /// Cached `sqrt(capacity / 32 kB)` used by [`power`](Self::power): a pure
+    /// function of the fixed capacity that would otherwise cost a division
+    /// and a square root per block per simulation step.
+    macro_scale: f64,
 }
 
 impl PrivateMemory {
@@ -36,10 +40,12 @@ impl PrivateMemory {
                 "private memory capacity must be > 0".into(),
             ));
         }
+        let macros = (capacity.as_u64() as f64 / Bytes::from_kib(32).as_u64() as f64).max(1.0);
         Ok(PrivateMemory {
             owner,
             capacity,
             allocated: Bytes::ZERO,
+            macro_scale: macros.sqrt(),
         })
     }
 
@@ -113,7 +119,6 @@ impl PrivateMemory {
         core_utilization: f64,
         temperature: Celsius,
     ) -> Watts {
-        let macros = (self.capacity.as_u64() as f64 / Bytes::from_kib(32).as_u64() as f64).max(1.0);
         let per_macro = model
             .component_power(
                 ComponentKind::Memory32k,
@@ -123,8 +128,30 @@ impl PrivateMemory {
             )
             .expect("clamped utilization is valid");
         // Only a handful of macros are active at a time regardless of the
-        // total capacity: scale sub-linearly (square root) like banked SRAMs.
-        Watts::new(per_macro.as_watts() * macros.sqrt())
+        // total capacity: scale sub-linearly (square root) like banked SRAMs
+        // (`macro_scale` is the cached `sqrt(capacity / 32 kB)`).
+        Watts::new(per_macro.as_watts() * self.macro_scale)
+    }
+
+    /// [`power`](Self::power) with the operating point's factors precomputed
+    /// by [`PowerModel::point_scales`] (bit-identical, used by the per-step
+    /// power snapshot).
+    pub fn power_with(
+        &self,
+        model: &PowerModel,
+        scales: &crate::power::PointScales,
+        core_utilization: f64,
+        temperature: Celsius,
+    ) -> Watts {
+        let per_macro = model
+            .total_power_with(
+                ComponentKind::Memory32k.max_power(),
+                scales,
+                core_utilization.clamp(0.0, 1.0),
+                temperature,
+            )
+            .expect("clamped utilization is valid");
+        Watts::new(per_macro.as_watts() * self.macro_scale)
     }
 }
 

@@ -81,17 +81,23 @@ impl Default for PlatformConfig {
 
 /// Per-block power produced by one platform step, aligned with the
 /// floorplan's block order.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Block names are copies of the platform's interned block table (built once
+/// at platform construction); the snapshot can be reused across steps via
+/// [`MpsocPlatform::power_snapshot_into`], which rewrites the power vector in
+/// place and refreshes the names with capacity-reusing `clone_from`s, so the
+/// steady-state co-simulation step allocates nothing here.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PowerSnapshot {
     block_names: Vec<String>,
     watts: Vec<Watts>,
 }
 
 impl PowerSnapshot {
-    /// Creates a snapshot from parallel block-name / power vectors.
-    pub(crate) fn new(block_names: Vec<String>, watts: Vec<Watts>) -> Self {
-        debug_assert_eq!(block_names.len(), watts.len());
-        PowerSnapshot { block_names, watts }
+    /// Creates an empty snapshot to be filled by
+    /// [`MpsocPlatform::power_snapshot_into`].
+    pub fn empty() -> Self {
+        PowerSnapshot::default()
     }
 
     /// Power of each block, in floorplan order.
@@ -132,6 +138,10 @@ pub struct MpsocPlatform {
     shared_memory: SharedMemory,
     bus: Bus,
     elapsed: Seconds,
+    /// Interned block-name table, in floorplan order. Built once at
+    /// construction so per-step power snapshots never re-clone names out of
+    /// the floorplan.
+    block_names: Vec<String>,
 }
 
 impl MpsocPlatform {
@@ -160,6 +170,7 @@ impl MpsocPlatform {
         }
         let shared_memory = SharedMemory::new(config.shared_memory)?;
         let bus = Bus::new(config.bus)?;
+        let block_names = floorplan.blocks().iter().map(|b| b.name.clone()).collect();
         Ok(MpsocPlatform {
             config,
             floorplan,
@@ -170,6 +181,7 @@ impl MpsocPlatform {
             shared_memory,
             bus,
             elapsed: Seconds::ZERO,
+            block_names,
         })
     }
 
@@ -286,6 +298,12 @@ impl MpsocPlatform {
         self.power_snapshot_at(&uniform)
     }
 
+    /// The interned block-name table, in floorplan order (built once at
+    /// construction; [`PowerSnapshot`]s index into the same order).
+    pub fn block_table(&self) -> &[String] {
+        &self.block_names
+    }
+
     /// Produces the per-block power snapshot given each block's current
     /// temperature (floorplan order). Leakage is evaluated at the block's own
     /// temperature, closing the electro-thermal loop.
@@ -293,84 +311,91 @@ impl MpsocPlatform {
     /// Temperatures beyond the floorplan length are ignored; missing entries
     /// default to the ambient temperature.
     pub fn power_snapshot_at(&self, block_temperatures: &[Celsius]) -> PowerSnapshot {
-        let model = &self.config.power;
-        let bus_util = self.bus_utilization_estimate();
-        let names: Vec<String> = self
-            .floorplan
-            .blocks()
-            .iter()
-            .map(|b| b.name.clone())
-            .collect();
-        let watts: Vec<Watts> = self
-            .floorplan
-            .blocks()
-            .iter()
-            .enumerate()
-            .map(|(i, block)| {
-                let t = block_temperatures
-                    .get(i)
-                    .copied()
-                    .unwrap_or_else(Celsius::ambient);
-                self.block_power(block.kind, model, t, bus_util)
-            })
-            .collect();
-        PowerSnapshot::new(names, watts)
+        let mut snapshot = PowerSnapshot::empty();
+        self.power_snapshot_into(block_temperatures, &mut snapshot);
+        snapshot
     }
 
-    fn block_power(
-        &self,
-        kind: BlockKind,
-        model: &PowerModel,
-        temperature: Celsius,
-        bus_util: f64,
-    ) -> Watts {
-        match kind {
-            BlockKind::Core(id) => self.cores[id.index()].power(model, temperature),
-            BlockKind::ICache(id) => {
-                let core = &self.cores[id.index()];
-                self.icaches[id.index()].power(
-                    model,
-                    self.active_point(core),
-                    core.utilization(),
-                    temperature,
-                )
-            }
-            BlockKind::DCache(id) => {
-                let core = &self.cores[id.index()];
-                self.dcaches[id.index()].power(
-                    model,
-                    self.active_point(core),
-                    core.utilization(),
-                    temperature,
-                )
-            }
-            BlockKind::PrivateMemory(id) => {
-                let core = &self.cores[id.index()];
-                self.private_memories[id.index()].power(
-                    model,
-                    self.active_point(core),
-                    core.utilization(),
-                    temperature,
-                )
-            }
-            BlockKind::SharedMemory => {
-                let point = self.reference_like_point();
-                self.shared_memory
-                    .power(model, point, bus_util, temperature)
-            }
-            BlockKind::Interconnect => {
-                let point = self.reference_like_point();
-                // The interconnect is modelled as a shared-memory-class
-                // component driven by bus utilisation.
-                model
-                    .component_power(
-                        crate::power::ComponentKind::SharedMemory,
-                        point,
-                        bus_util,
-                        temperature,
-                    )
-                    .expect("bus utilization is clamped")
-            }
+    /// Allocation-free form of [`power_snapshot_at`](Self::power_snapshot_at):
+    /// rewrites `out` in place. The power vector is refilled index by index
+    /// and the block names are refreshed with capacity-reusing `clone_from`s
+    /// against the interned block table, so once `out` has been filled for a
+    /// platform of this shape the call performs no heap allocations.
+    pub fn power_snapshot_into(&self, block_temperatures: &[Celsius], out: &mut PowerSnapshot) {
+        let model = &self.config.power;
+        let bus_util = self.bus_utilization_estimate();
+        // Point-dependent power factors are shared by every block of a tile
+        // (and by both uncore blocks): precompute them once per point instead
+        // of once per block. Floorplans group the four blocks of a tile, so a
+        // one-entry cache keyed by core id eliminates the recomputation; a
+        // differently-ordered floorplan merely recomputes identical values.
+        let uncore_scales = model.point_scales(self.reference_like_point());
+        let mut cached_core = usize::MAX;
+        let mut core_scales = uncore_scales;
+        let mut core_util = 0.0;
+        out.block_names.clone_from(&self.block_names);
+        out.watts.clear();
+        for (i, block) in self.floorplan.blocks().iter().enumerate() {
+            let t = block_temperatures
+                .get(i)
+                .copied()
+                .unwrap_or_else(Celsius::ambient);
+            let w = match block.kind {
+                BlockKind::Core(id)
+                | BlockKind::ICache(id)
+                | BlockKind::DCache(id)
+                | BlockKind::PrivateMemory(id) => {
+                    let idx = id.index();
+                    if idx != cached_core {
+                        let core = &self.cores[idx];
+                        core_scales = model.point_scales(self.active_point(core));
+                        core_util = core.utilization();
+                        cached_core = idx;
+                    }
+                    match block.kind {
+                        BlockKind::Core(_) => model
+                            .total_power_with(
+                                self.cores[idx].class().max_power(),
+                                &core_scales,
+                                core_util,
+                                t,
+                            )
+                            .expect("utilization is validated on set"),
+                        BlockKind::ICache(_) => model
+                            .total_power_with(
+                                self.icaches[idx].config().kind.component().max_power(),
+                                &core_scales,
+                                core_util.clamp(0.0, 1.0),
+                                t,
+                            )
+                            .expect("clamped utilization is always valid"),
+                        BlockKind::DCache(_) => model
+                            .total_power_with(
+                                self.dcaches[idx].config().kind.component().max_power(),
+                                &core_scales,
+                                core_util.clamp(0.0, 1.0),
+                                t,
+                            )
+                            .expect("clamped utilization is always valid"),
+                        _ => {
+                            self.private_memories[idx].power_with(model, &core_scales, core_util, t)
+                        }
+                    }
+                }
+                BlockKind::SharedMemory | BlockKind::Interconnect => {
+                    // The interconnect is modelled as a shared-memory-class
+                    // component driven by bus utilisation.
+                    model
+                        .total_power_with(
+                            crate::power::ComponentKind::SharedMemory.max_power(),
+                            &uncore_scales,
+                            bus_util.clamp(0.0, 1.0),
+                            t,
+                        )
+                        .expect("bus utilization is clamped")
+                }
+            };
+            out.watts.push(w);
         }
     }
 
@@ -462,6 +487,29 @@ mod tests {
         let core_power = snap.block("core0").unwrap().as_watts();
         let icache_power = snap.block("core0.icache").unwrap().as_watts();
         assert!(core_power > icache_power);
+    }
+
+    #[test]
+    fn snapshot_into_reuses_buffers_and_matches_fresh_snapshot() {
+        let mut platform = MpsocPlatform::new(PlatformConfig::paper_default()).unwrap();
+        for id in platform.core_ids() {
+            platform.core_mut(id).unwrap().set_utilization(0.4).unwrap();
+        }
+        assert_eq!(platform.block_table().len(), 14);
+        let temps = vec![Celsius::new(55.0); platform.floorplan().len()];
+        let fresh = platform.power_snapshot_at(&temps);
+        let mut reused = PowerSnapshot::empty();
+        platform.power_snapshot_into(&temps, &mut reused);
+        assert_eq!(fresh, reused);
+        // Refilling after a state change rewrites in place and still matches.
+        platform
+            .core_mut(CoreId(0))
+            .unwrap()
+            .set_utilization(0.9)
+            .unwrap();
+        platform.power_snapshot_into(&temps, &mut reused);
+        assert_eq!(platform.power_snapshot_at(&temps), reused);
+        assert_eq!(reused.block_names(), platform.block_table());
     }
 
     #[test]

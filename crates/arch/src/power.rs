@@ -215,7 +215,11 @@ impl PowerModel {
             1.0
         };
         let delta_t = temperature.as_celsius() - self.leakage_reference.as_celsius();
-        let t_scale = 2f64.powf(delta_t / self.leakage_doubling);
+        // Spelled `exp2` rather than `powf(2.0, ..)`: optimized builds already
+        // lower a literal base-2 powf to exp2 (so release output is unchanged
+        // bit for bit), and debug builds skip the generic pow path — this runs
+        // once per block per simulation step.
+        let t_scale = (delta_t / self.leakage_doubling).exp2();
         Watts::new(base * v_scale * t_scale)
     }
 
@@ -268,6 +272,71 @@ impl PowerModel {
     ) -> Result<Watts, ArchError> {
         self.total_power(kind.max_power(), point, utilization, temperature)
     }
+
+    /// Precomputes the operating-point-dependent factors of
+    /// [`total_power`](Self::total_power) so callers evaluating several
+    /// components at the *same* point (the four blocks of a tile, every step)
+    /// pay for the divisions once. Feed the result to
+    /// [`total_power_with`](Self::total_power_with).
+    pub fn point_scales(&self, point: OperatingPoint) -> PointScales {
+        let voltage_scale = if REFERENCE_VOLTAGE > 0.0 {
+            point.voltage.as_volts() / REFERENCE_VOLTAGE
+        } else {
+            1.0
+        };
+        PointScales {
+            dynamic_scale: point.dynamic_scale(&self.reference),
+            voltage_scale,
+            zero_frequency: point.frequency == Frequency::ZERO,
+        }
+    }
+
+    /// [`total_power`](Self::total_power) with the point-dependent factors
+    /// precomputed by [`point_scales`](Self::point_scales). The arithmetic
+    /// mirrors [`dynamic_power`](Self::dynamic_power) +
+    /// [`leakage_power`](Self::leakage_power) operation for operation, so the
+    /// two paths produce bit-identical results (asserted by the
+    /// `cached_scales_match_direct_path` test).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidUtilization`] when `utilization` is outside
+    /// `[0, 1]`.
+    pub fn total_power_with(
+        &self,
+        max_power: Watts,
+        scales: &PointScales,
+        utilization: f64,
+        temperature: Celsius,
+    ) -> Result<Watts, ArchError> {
+        if !(0.0..=1.0).contains(&utilization) {
+            return Err(ArchError::InvalidUtilization(utilization));
+        }
+        let dynamic = if scales.zero_frequency {
+            Watts::ZERO
+        } else {
+            let max_dynamic = max_power.as_watts() * (1.0 - self.leakage_fraction);
+            let activity = self.idle_fraction + (1.0 - self.idle_fraction) * utilization;
+            Watts::new(max_dynamic * scales.dynamic_scale * activity)
+        };
+        let base = max_power.as_watts() * self.leakage_fraction;
+        let delta_t = temperature.as_celsius() - self.leakage_reference.as_celsius();
+        let t_scale = (delta_t / self.leakage_doubling).exp2();
+        let leakage = Watts::new(base * scales.voltage_scale * t_scale);
+        Ok(dynamic + leakage)
+    }
+}
+
+/// Operating-point-dependent factors of the power model, precomputed once
+/// per point by [`PowerModel::point_scales`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PointScales {
+    /// `(f/f_ref) · (V/V_ref)²` of the point.
+    pub dynamic_scale: f64,
+    /// `V/V_ref` of the point (leakage voltage scaling).
+    pub voltage_scale: f64,
+    /// Whether the point is clock-gated (no dynamic power at all).
+    pub zero_frequency: bool,
 }
 
 impl Default for PowerModel {
@@ -279,6 +348,70 @@ impl Default for PowerModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn cached_scales_match_direct_path() {
+        let model = PowerModel::new();
+        let scale = crate::freq::DvfsScale::paper_default();
+        let mut points: Vec<OperatingPoint> = scale.points().to_vec();
+        points.push(OperatingPoint::new(Frequency::ZERO, Voltage::new(1.0)));
+        for point in points {
+            let scales = model.point_scales(point);
+            for kind in [
+                ComponentKind::ICache,
+                ComponentKind::DCache,
+                ComponentKind::Memory32k,
+                ComponentKind::SharedMemory,
+            ] {
+                for utilization in [0.0, 0.3, 0.97, 1.0] {
+                    for temp in [25.0, 45.0, 61.3, 95.0] {
+                        let direct = model
+                            .total_power(kind.max_power(), point, utilization, Celsius::new(temp))
+                            .unwrap();
+                        let cached = model
+                            .total_power_with(
+                                kind.max_power(),
+                                &scales,
+                                utilization,
+                                Celsius::new(temp),
+                            )
+                            .unwrap();
+                        assert_eq!(
+                            direct.as_watts().to_bits(),
+                            cached.as_watts().to_bits(),
+                            "{kind:?} at {point} u={utilization} t={temp}"
+                        );
+                    }
+                }
+            }
+        }
+        // Out-of-range utilization is rejected on both paths.
+        let scales = model.point_scales(reference_point());
+        assert!(model
+            .total_power_with(Watts::new(0.5), &scales, 1.5, Celsius::new(45.0))
+            .is_err());
+    }
+
+    #[test]
+    fn exp2_matches_powf_base_two() {
+        // `leakage_power` uses `exp2` as a faster spelling of the model's
+        // `2^(ΔT/doubling)`. Optimized builds lower a literal base-2 `powf`
+        // to `exp2` anyway, so the spelling cannot change release output;
+        // this guards the two staying equivalent within float tolerance on
+        // every build profile (unoptimized libm `pow` may differ in the last
+        // ulp). The grid covers far more than the plausible ΔT/doubling
+        // range (roughly [-10, 10] for die temperatures).
+        let mut x = -60.0f64;
+        while x <= 60.0 {
+            let a = x.exp2();
+            let b = 2f64.powf(x);
+            assert!(
+                ((a - b) / b).abs() < 1e-14,
+                "exp2({x}) = {a:e} deviates from powf(2, {x}) = {b:e}"
+            );
+            x += 0.000317;
+        }
+    }
 
     fn reference_point() -> OperatingPoint {
         OperatingPoint::new(

@@ -195,33 +195,34 @@ impl MetricsCollector {
     /// Records a sensor sample of the core temperatures taken at `time`,
     /// covering `dt` of simulated time.
     pub fn record_temperatures(&mut self, time: Seconds, dt: Seconds, temps: &[Celsius]) {
+        // Peak / sum / max / min are independent accumulators: one fused pass
+        // updates each in the same element order as separate passes would, so
+        // the results are bit-identical while the (hot-path) sample touches
+        // the temperatures twice instead of six times.
+        let mut sum = 0.0;
+        let mut max = f64::MIN;
+        let mut min = f64::MAX;
         for t in temps {
-            self.thermal.peak_temperature = self.thermal.peak_temperature.max(t.as_celsius());
+            let t = t.as_celsius();
+            self.thermal.peak_temperature = self.thermal.peak_temperature.max(t);
+            sum += t;
+            max = f64::max(max, t);
+            min = f64::min(min, t);
         }
         if time.as_secs() < self.warmup.as_secs() || temps.is_empty() {
             return;
         }
         self.measured_time += dt;
         let n = temps.len() as f64;
-        let mean = temps.iter().map(|t| t.as_celsius()).sum::<f64>() / n;
-        let variance = temps
-            .iter()
-            .map(|t| (t.as_celsius() - mean).powi(2))
-            .sum::<f64>()
-            / n;
-        self.thermal.spatial_std_dev.push(variance.sqrt());
-        let max = temps
-            .iter()
-            .map(|t| t.as_celsius())
-            .fold(f64::MIN, f64::max);
-        let min = temps
-            .iter()
-            .map(|t| t.as_celsius())
-            .fold(f64::MAX, f64::min);
-        self.thermal.spread.push(max - min);
+        let mean = sum / n;
+        let mut variance_sum = 0.0;
         for (stats, t) in self.thermal.per_core.iter_mut().zip(temps) {
-            stats.push(t.as_celsius());
+            let t = t.as_celsius();
+            variance_sum += (t - mean).powi(2);
+            stats.push(t);
         }
+        self.thermal.spatial_std_dev.push((variance_sum / n).sqrt());
+        self.thermal.spread.push(max - min);
         if max > mean + self.threshold {
             self.thermal.time_above_upper_threshold += dt;
         }

@@ -198,26 +198,40 @@ pub fn build_input(
     cores: Vec<CoreSnapshot>,
     migrations_in_flight: usize,
 ) -> PolicyInput {
-    let n = cores.len().max(1) as f64;
-    let mean_t = cores
+    let mut input = PolicyInput {
+        time,
+        cores,
+        mean_temperature: Celsius::ambient(),
+        mean_frequency: Frequency::ZERO,
+        migrations_in_flight,
+    };
+    update_input_means(&mut input);
+    input
+}
+
+/// Recomputes [`PolicyInput::mean_temperature`] and
+/// [`PolicyInput::mean_frequency`] from the current core snapshots.
+///
+/// Shared by [`build_input`] and the simulation engine's in-place snapshot
+/// refresh, so both paths produce bit-identical means.
+pub fn update_input_means(input: &mut PolicyInput) {
+    let n = input.cores.len().max(1) as f64;
+    let mean_t = input
+        .cores
         .iter()
         .map(|c| c.temperature.as_celsius())
         .sum::<f64>()
         / n;
     // Average in f64: summing u64 hertz and dividing truncates towards zero,
     // which at the 10 ms policy period systematically under-reports `f_mean`.
-    let mean_f = cores
+    let mean_f = input
+        .cores
         .iter()
         .map(|c| c.frequency.as_hz() as f64)
         .sum::<f64>()
         / n;
-    PolicyInput {
-        time,
-        cores,
-        mean_temperature: Celsius::new(mean_t),
-        mean_frequency: Frequency::from_hz(mean_f.round() as u64),
-        migrations_in_flight,
-    }
+    input.mean_temperature = Celsius::new(mean_t);
+    input.mean_frequency = Frequency::from_hz(mean_f.round() as u64);
 }
 
 #[cfg(test)]

@@ -397,6 +397,17 @@ mod tests {
     }
 
     #[test]
+    fn hash_domain_is_still_v2() {
+        // The PR 4 hot-loop rework (compiled thermal kernel, reusable step
+        // workspaces, zero-allocation stepping) is required to be invisible
+        // in simulation output: reports stay byte-identical, so every cache
+        // entry hashed under the v2 domain remains valid and the domain must
+        // NOT be bumped. A failure here means someone changed the domain —
+        // which invalidates all existing caches and must be deliberate.
+        assert_eq!(HASH_DOMAIN, "tbp-scenario-spec-v2");
+    }
+
+    #[test]
     fn sha256_matches_fips_test_vectors() {
         assert_eq!(
             sha256_hex(b""),

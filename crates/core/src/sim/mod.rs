@@ -14,17 +14,20 @@ pub use builder::SimulationBuilder;
 use serde::{Deserialize, Serialize};
 
 use tbp_arch::core::CoreId;
-use tbp_arch::platform::MpsocPlatform;
+use tbp_arch::freq::Frequency;
+use tbp_arch::platform::{MpsocPlatform, PowerSnapshot};
 use tbp_arch::units::{Celsius, Seconds};
-use tbp_os::mpos::Mpos;
+use tbp_os::mpos::{Mpos, MposStepReport};
 use tbp_os::OsError;
 use tbp_streaming::pipeline::PipelineRuntime;
 use tbp_thermal::{SensorBank, ThermalModel};
 
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, QosMetrics, SimulationSummary};
-use crate::policy::{build_input, CoreSnapshot, Policy, PolicyAction, PolicyInput, TaskSnapshot};
-use crate::trace::{TraceRecorder, TraceSample};
+use crate::policy::{
+    update_input_means, CoreSnapshot, Policy, PolicyAction, PolicyInput, TaskSnapshot,
+};
+use crate::trace::TraceRecorder;
 
 /// Timing and measurement parameters of a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -88,6 +91,44 @@ impl Default for SimulationConfig {
     }
 }
 
+/// Reusable per-step buffers of a [`Simulation`].
+///
+/// Every vector the step loop needs lives here and is cleared/refilled in
+/// place, so a steady-state step performs **zero heap allocations** (pinned
+/// down by the counting-allocator test in
+/// `crates/core/tests/alloc_free_step.rs`).
+#[derive(Debug)]
+struct StepScratch {
+    /// OS step report (executed cycles, core loads, completed migrations).
+    os_report: MposStepReport,
+    /// Block temperatures fed to the platform's power model.
+    block_temps: Vec<Celsius>,
+    /// Per-block power snapshot fed to the thermal model.
+    power: PowerSnapshot,
+    /// Core frequencies in MHz for trace samples.
+    freqs_mhz: Vec<f64>,
+    /// Policy input refreshed in place at every policy invocation.
+    policy_input: PolicyInput,
+}
+
+impl StepScratch {
+    fn new() -> Self {
+        StepScratch {
+            os_report: MposStepReport::default(),
+            block_temps: Vec::new(),
+            power: PowerSnapshot::empty(),
+            freqs_mhz: Vec::new(),
+            policy_input: PolicyInput {
+                time: Seconds::ZERO,
+                cores: Vec::new(),
+                mean_temperature: Celsius::ambient(),
+                mean_frequency: Frequency::ZERO,
+                migrations_in_flight: 0,
+            },
+        }
+    }
+}
+
 /// The assembled co-simulation.
 ///
 /// Build one with [`SimulationBuilder`]; see the
@@ -102,6 +143,7 @@ pub struct Simulation {
     config: SimulationConfig,
     metrics: MetricsCollector,
     trace: TraceRecorder,
+    scratch: StepScratch,
     elapsed: Seconds,
     since_policy: Seconds,
     policy_enabled: bool,
@@ -140,6 +182,7 @@ impl Simulation {
             config,
             metrics,
             trace,
+            scratch: StepScratch::new(),
             elapsed: Seconds::ZERO,
             since_policy: Seconds::ZERO,
             policy_enabled: true,
@@ -203,7 +246,17 @@ impl Simulation {
         self.sensors.readings().to_vec()
     }
 
+    /// Borrowed form of [`core_temperatures`](Self::core_temperatures): the
+    /// latest sensor readings without copying them.
+    pub fn sensor_readings(&self) -> &[Celsius] {
+        self.sensors.readings()
+    }
+
     /// Advances the simulation by one time step.
+    ///
+    /// Every buffer the step needs lives in the simulation's internal step
+    /// scratch and is reused across calls: once warmed up, a steady-state
+    /// step performs no heap allocations.
     ///
     /// # Errors
     ///
@@ -213,20 +266,23 @@ impl Simulation {
         let dt = self.config.time_step;
 
         // 1. OS: frequencies, utilisations, checkpoints, migrations.
-        let report = self.os.step(&mut self.platform, dt)?;
+        self.os
+            .step_into(&mut self.platform, dt, &mut self.scratch.os_report)?;
 
         // 2. Streaming: convert executed cycles into frames and deadlines.
         if let Some(pipeline) = &mut self.pipeline {
-            pipeline.step(dt, &report.executed_cycles);
+            pipeline.step(dt, &self.scratch.os_report.executed_cycles);
         }
 
         // 3. Platform: cache traffic and bus contention.
         self.platform.step(dt);
 
         // 4. Thermal: inject per-block power at the current temperatures.
-        let block_temps = self.thermal.block_temperatures();
-        let power = self.platform.power_snapshot_at(&block_temps);
-        self.thermal.step(power.per_block(), dt)?;
+        self.thermal
+            .block_temperatures_into(&mut self.scratch.block_temps);
+        self.platform
+            .power_snapshot_into(&self.scratch.block_temps, &mut self.scratch.power);
+        self.thermal.step(self.scratch.power.per_block(), dt)?;
 
         // 5. Sensors.
         if self.sensors.tick(dt) {
@@ -239,7 +295,7 @@ impl Simulation {
         }
 
         // 6. Migration accounting.
-        for done in &report.completed_migrations {
+        for done in &self.scratch.os_report.completed_migrations {
             self.metrics
                 .record_migrations(1, done.bytes, done.freeze_time);
         }
@@ -251,8 +307,14 @@ impl Simulation {
             && self.since_policy.as_secs() + 1e-12 >= self.config.policy_period.as_secs()
         {
             self.since_policy = Seconds::ZERO;
-            let input = self.build_policy_input()?;
-            let actions = self.policy.decide(&input);
+            build_policy_input_into(
+                &self.platform,
+                &self.os,
+                &self.sensors,
+                self.elapsed,
+                &mut self.scratch.policy_input,
+            )?;
+            let actions = self.policy.decide(&self.scratch.policy_input);
             for action in actions {
                 self.apply_action(action)?;
             }
@@ -260,23 +322,23 @@ impl Simulation {
 
         // 8. Trace.
         if self.trace.tick(dt) {
-            let sample = TraceSample {
-                time: self.elapsed,
-                core_temperatures: self.sensors.readings().to_vec(),
-                core_frequencies_mhz: self
-                    .platform
-                    .cores()
-                    .iter()
-                    .map(|c| c.frequency().as_mhz())
-                    .collect(),
-                migrations: self.os.migration().totals().migrations,
-                deadline_misses: self
-                    .pipeline
-                    .as_ref()
-                    .map(|p| p.qos().deadline_misses)
-                    .unwrap_or(0),
-            };
-            self.trace.record(sample);
+            self.scratch.freqs_mhz.clear();
+            self.scratch
+                .freqs_mhz
+                .extend(self.platform.cores().iter().map(|c| c.frequency().as_mhz()));
+            let migrations = self.os.migration().totals().migrations;
+            let deadline_misses = self
+                .pipeline
+                .as_ref()
+                .map(|p| p.qos().deadline_misses)
+                .unwrap_or(0);
+            self.trace.record_borrowed(
+                self.elapsed,
+                self.sensors.readings(),
+                &self.scratch.freqs_mhz,
+                migrations,
+                deadline_misses,
+            );
         }
 
         self.elapsed += dt;
@@ -310,38 +372,6 @@ impl Simulation {
             .unwrap_or_default();
         self.metrics.set_qos(qos);
         self.metrics.summary(self.policy.name(), self.elapsed)
-    }
-
-    fn build_policy_input(&self) -> Result<PolicyInput, SimError> {
-        let mut cores = Vec::with_capacity(self.platform.num_cores());
-        for id in self.platform.core_ids() {
-            let core = self.platform.core(id)?;
-            let temperature = self.sensors.reading(id).unwrap_or_else(Celsius::ambient);
-            let task_ids = self.os.tasks_on(id)?;
-            let tasks: Vec<TaskSnapshot> = task_ids
-                .iter()
-                .map(|&task_id| -> Result<TaskSnapshot, OsError> {
-                    let task = self.os.task(task_id)?;
-                    Ok(TaskSnapshot {
-                        id: task_id,
-                        fse_load: task.fse_load(),
-                        context_size: task.descriptor().context_size,
-                        migratable: task.descriptor().migratable,
-                        migrating: self.os.is_migrating(task_id),
-                    })
-                })
-                .collect::<Result<_, _>>()?;
-            cores.push(CoreSnapshot {
-                id,
-                temperature,
-                frequency: core.configured_frequency(),
-                running: core.is_running(),
-                fse_load: self.os.fse_load(id),
-                tasks,
-            });
-        }
-        let in_flight = self.os.migration().in_flight().len();
-        Ok(build_input(self.elapsed, cores, in_flight))
     }
 
     fn apply_action(&mut self, action: PolicyAction) -> Result<(), SimError> {
@@ -384,6 +414,61 @@ impl Simulation {
         }
         Ok(())
     }
+}
+
+/// Refreshes `input` in place from the current platform/OS/sensor state.
+///
+/// The per-core snapshot vector and each core's task vector are reused
+/// across invocations (cleared, capacity retained), so the periodic policy
+/// snapshot stops allocating once the task population stabilises. The
+/// resulting input is identical — including the floating-point means — to
+/// what [`crate::policy::build_input`] produces from freshly collected
+/// vectors.
+fn build_policy_input_into(
+    platform: &MpsocPlatform,
+    os: &Mpos,
+    sensors: &SensorBank,
+    elapsed: Seconds,
+    input: &mut PolicyInput,
+) -> Result<(), SimError> {
+    let num_cores = platform.num_cores();
+    if input.cores.len() != num_cores {
+        input.cores.clear();
+        for i in 0..num_cores {
+            input.cores.push(CoreSnapshot {
+                id: CoreId(i),
+                temperature: Celsius::ambient(),
+                frequency: Frequency::ZERO,
+                running: true,
+                fse_load: 0.0,
+                tasks: Vec::new(),
+            });
+        }
+    }
+    for (i, snapshot) in input.cores.iter_mut().enumerate() {
+        let id = CoreId(i);
+        let core = platform.core(id)?;
+        snapshot.id = id;
+        snapshot.temperature = sensors.reading(id).unwrap_or_else(Celsius::ambient);
+        snapshot.frequency = core.configured_frequency();
+        snapshot.running = core.is_running();
+        snapshot.fse_load = os.fse_load(id);
+        snapshot.tasks.clear();
+        for &task_id in os.tasks_on_slice(id)? {
+            let task = os.task(task_id)?;
+            snapshot.tasks.push(TaskSnapshot {
+                id: task_id,
+                fse_load: task.fse_load(),
+                context_size: task.descriptor().context_size,
+                migratable: task.descriptor().migratable,
+                migrating: os.is_migrating(task_id),
+            });
+        }
+    }
+    input.time = elapsed;
+    input.migrations_in_flight = os.migration().in_flight().len();
+    update_input_means(input);
+    Ok(())
 }
 
 impl std::fmt::Debug for Simulation {

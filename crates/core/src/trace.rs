@@ -88,6 +88,32 @@ impl TraceRecorder {
         self.samples.push(sample);
     }
 
+    /// Borrow-based form of [`record`](Self::record): the recorder copies the
+    /// slices into an owned [`TraceSample`] only when the sample is actually
+    /// stored, so a full (or disabled) recorder costs nothing per tick and
+    /// callers do not build throwaway vectors just to offer a sample.
+    pub fn record_borrowed(
+        &mut self,
+        time: Seconds,
+        core_temperatures: &[Celsius],
+        core_frequencies_mhz: &[f64],
+        migrations: u64,
+        deadline_misses: u64,
+    ) {
+        self.since_last = Seconds::ZERO;
+        if self.samples.len() >= self.max_samples {
+            self.dropped += 1;
+            return;
+        }
+        self.samples.push(TraceSample {
+            time,
+            core_temperatures: core_temperatures.to_vec(),
+            core_frequencies_mhz: core_frequencies_mhz.to_vec(),
+            migrations,
+            deadline_misses,
+        });
+    }
+
     /// Clears the recorded samples.
     pub fn reset(&mut self) {
         self.samples.clear();

@@ -79,15 +79,29 @@ impl SlaveDaemon {
     /// Advances the daemon's clock; when the report period elapses the given
     /// statistics are published to the mailbox.
     pub fn tick(&mut self, dt: Seconds, stats: Vec<TaskStats>, mailbox: &mut DaemonMailbox) {
-        self.since_last_report += dt;
-        if self.since_last_report.as_secs() + 1e-12 >= self.report_period.as_secs() {
-            self.since_last_report = Seconds::ZERO;
-            self.reports_sent += 1;
-            mailbox.push(DaemonMessage::StatsReport {
-                core: self.core,
-                stats,
-            });
+        if self.advance(dt) {
+            self.publish(stats, mailbox);
         }
+    }
+
+    /// Advances the daemon's clock by `dt` and returns `true` when a
+    /// statistics report is due. Splitting the clock from
+    /// [`publish`](Self::publish) lets the OS step skip *computing* the
+    /// statistics on the vast majority of steps where no report is due.
+    pub fn advance(&mut self, dt: Seconds) -> bool {
+        self.since_last_report += dt;
+        self.since_last_report.as_secs() + 1e-12 >= self.report_period.as_secs()
+    }
+
+    /// Publishes a statistics report and restarts the report period (call
+    /// when [`advance`](Self::advance) returned `true`).
+    pub fn publish(&mut self, stats: Vec<TaskStats>, mailbox: &mut DaemonMailbox) {
+        self.since_last_report = Seconds::ZERO;
+        self.reports_sent += 1;
+        mailbox.push(DaemonMessage::StatsReport {
+            core: self.core,
+            stats,
+        });
     }
 
     /// Acknowledges a completed migration to the master.
@@ -155,10 +169,14 @@ impl MasterDaemon {
         let mut commands = Vec::new();
         while let Some(message) = mailbox.pop() {
             match message {
-                DaemonMessage::StatsReport { core, stats } => {
+                DaemonMessage::StatsReport { core, mut stats } => {
                     if let Some(slot) = self.stats.get_mut(core.index()) {
-                        *slot = stats;
+                        // Swap rather than assign: the displaced snapshot's
+                        // buffer goes back into the mailbox's spare pool so
+                        // the periodic reports stop churning the allocator.
+                        std::mem::swap(slot, &mut stats);
                     }
+                    mailbox.recycle(stats);
                 }
                 DaemonMessage::MigrateAck { .. } => {
                     self.acks_received += 1;
@@ -171,9 +189,16 @@ impl MasterDaemon {
 }
 
 /// The shared-memory mailbox the daemons communicate through.
+///
+/// Besides the message queue it keeps a small pool of spare statistics
+/// buffers: the master recycles the snapshot it displaces when absorbing a
+/// report, and the slaves draw from the pool when composing the next one, so
+/// steady-state statistics traffic performs no heap allocations.
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
 pub struct DaemonMailbox {
     messages: VecDeque<DaemonMessage>,
+    /// Recycled statistics buffers (cleared, capacity retained).
+    spare_stats: Vec<Vec<TaskStats>>,
 }
 
 impl DaemonMailbox {
@@ -200,6 +225,22 @@ impl DaemonMailbox {
     /// Removes and returns the oldest message.
     pub fn pop(&mut self) -> Option<DaemonMessage> {
         self.messages.pop_front()
+    }
+
+    /// Takes a cleared statistics buffer from the spare pool (empty when the
+    /// pool is dry; the buffer then grows once and is recycled thereafter).
+    pub fn take_spare_stats(&mut self) -> Vec<TaskStats> {
+        self.spare_stats.pop().unwrap_or_default()
+    }
+
+    /// Returns a statistics buffer to the spare pool for reuse.
+    pub fn recycle(&mut self, mut stats: Vec<TaskStats>) {
+        stats.clear();
+        // A handful of spares covers one in-flight report per core; beyond
+        // that, let excess buffers drop.
+        if self.spare_stats.len() < 64 {
+            self.spare_stats.push(stats);
+        }
     }
 }
 

@@ -220,6 +220,15 @@ impl MigrationManager {
     /// states from the returned records.
     pub fn step(&mut self, dt: Seconds) -> Vec<CompletedMigration> {
         let mut completed = Vec::new();
+        self.step_into(dt, &mut completed);
+        completed
+    }
+
+    /// [`step`](Self::step) into a reusable buffer: `completed` is cleared
+    /// and refilled, so a caller that keeps the buffer across steps stops
+    /// allocating for the (rare) completion records.
+    pub fn step_into(&mut self, dt: Seconds, completed: &mut Vec<CompletedMigration>) {
+        completed.clear();
         self.in_flight.retain_mut(|m| {
             if let MigrationPhase::Transferring(remaining) = m.phase {
                 let left = remaining.saturating_sub(dt);
@@ -240,11 +249,10 @@ impl MigrationManager {
                 true
             }
         });
-        for done in &completed {
+        for done in completed.iter() {
             self.totals.migrations += 1;
             self.totals.frozen_time += done.freeze_time;
         }
-        completed
     }
 
     /// Records the bytes actually transferred for a completed migration (the

@@ -135,12 +135,21 @@ impl Mpos {
     ///
     /// Returns [`OsError::UnknownCore`] for an unknown core.
     pub fn tasks_on(&self, core: CoreId) -> Result<Vec<TaskId>, OsError> {
+        Ok(self.tasks_on_slice(core)?.to_vec())
+    }
+
+    /// Borrowed form of [`tasks_on`](Self::tasks_on): the run queue of
+    /// `core` without copying it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OsError::UnknownCore`] for an unknown core.
+    pub fn tasks_on_slice(&self, core: CoreId) -> Result<&[TaskId], OsError> {
         Ok(self
             .schedulers
             .get(core.index())
             .ok_or(OsError::UnknownCore(core))?
-            .tasks()
-            .to_vec())
+            .tasks())
     }
 
     /// Spawns a task on `core` and returns its identifier.
@@ -253,23 +262,28 @@ impl Mpos {
 
     /// Per-task statistics as the slave daemons would publish them.
     pub fn task_statistics(&self, core: CoreId) -> Vec<TaskStats> {
+        let mut stats = Vec::new();
+        self.task_statistics_into(core, &mut stats);
+        stats
+    }
+
+    /// [`task_statistics`](Self::task_statistics) into a reusable buffer
+    /// (cleared first; unknown cores leave it empty).
+    pub fn task_statistics_into(&self, core: CoreId, out: &mut Vec<TaskStats>) {
+        out.clear();
         let Some(scheduler) = self.schedulers.get(core.index()) else {
-            return Vec::new();
+            return;
         };
         let fse_total = self.fse_load(core).max(1e-12);
-        scheduler
-            .tasks()
-            .iter()
-            .map(|&id| {
-                let task = &self.tasks[id.index()];
-                TaskStats::new(
-                    id,
-                    task.fse_load() / fse_total,
-                    task.descriptor().context_size,
-                    task.migrations(),
-                )
-            })
-            .collect()
+        out.extend(scheduler.tasks().iter().map(|&id| {
+            let task = &self.tasks[id.index()];
+            TaskStats::new(
+                id,
+                task.fse_load() / fse_total,
+                task.descriptor().context_size,
+                task.migrations(),
+            )
+        }));
     }
 
     /// Advances the OS by `dt`, driving `platform`.
@@ -295,40 +309,62 @@ impl Mpos {
         platform: &mut MpsocPlatform,
         dt: Seconds,
     ) -> Result<MposStepReport, OsError> {
+        let mut report = MposStepReport::default();
+        self.step_into(platform, dt, &mut report)?;
+        Ok(report)
+    }
+
+    /// [`step`](Self::step) writing into a caller-owned report whose vectors
+    /// are cleared and refilled in place, so a report reused across steps
+    /// stops allocating once its buffers have grown to the task/core counts.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`step`](Self::step).
+    pub fn step_into(
+        &mut self,
+        platform: &mut MpsocPlatform,
+        dt: Seconds,
+        report: &mut MposStepReport,
+    ) -> Result<(), OsError> {
         let num_cores = self.num_cores();
-        let mut report = MposStepReport {
-            executed_cycles: vec![0.0; self.tasks.len()],
-            ..MposStepReport::default()
-        };
+        report.executed_cycles.clear();
+        report.executed_cycles.resize(self.tasks.len(), 0.0);
+        report.core_loads.clear();
+        report.completed_migrations.clear();
+        report.started_migrations = 0;
 
-        // 1. Frequency plan.
-        if self.dvfs_enabled {
-            let plan = self.frequency_plan()?;
-            for (i, freq) in plan.iter().enumerate() {
-                let core = platform.core_mut(CoreId(i))?;
-                if core.is_running() {
-                    core.set_frequency(*freq)?;
-                }
-            }
-        }
-
-        // 2. Utilisations and per-core load figures.
+        // 1+2. Frequency plan, utilisations and per-core load figures, fused
+        //      into one pass per core (each core's frequency is programmed
+        //      before its load is derived, exactly as the separate passes
+        //      did, and cores are independent of each other here).
         let f_max = self.scale.max_frequency();
-        let mut core_loads = Vec::with_capacity(num_cores);
         for i in 0..num_cores {
             let core_id = CoreId(i);
-            let running_fse: f64 = self.schedulers[i]
-                .tasks()
-                .iter()
-                .filter(|&&t| self.tasks[t.index()].is_running())
-                .map(|&t| self.tasks[t.index()].fse_load())
-                .sum();
+            // One scan of the run queue yields both load figures (each sum
+            // accumulates in queue order, exactly as the separate scans did).
+            let mut total_fse = 0.0;
+            let mut running_fse = 0.0;
+            for &t in self.schedulers[i].tasks() {
+                let task = &self.tasks[t.index()];
+                total_fse += task.fse_load();
+                if task.is_running() {
+                    running_fse += task.fse_load();
+                }
+            }
+            if self.dvfs_enabled {
+                let freq = self.governor.frequency_for(total_fse);
+                let core = platform.core_mut(core_id)?;
+                if core.is_running() {
+                    core.set_frequency(freq)?;
+                }
+            }
             let frequency = platform.core(core_id)?.frequency();
             let load = CoreLoad::from_fse(running_fse, frequency, f_max);
             platform
                 .core_mut(core_id)?
                 .set_utilization(load.utilization)?;
-            core_loads.push(load);
+            report.core_loads.push(load);
         }
 
         // 3. Checkpoints and migration starts.
@@ -341,7 +377,7 @@ impl Mpos {
             // (overload or halt).
             if self.tasks[i].is_running() {
                 let core = self.tasks[i].core();
-                let service = core_loads[core.index()].service_ratio();
+                let service = report.core_loads[core.index()].service_ratio();
                 report.executed_cycles[i] =
                     dt.as_secs() * f_max.as_hz() as f64 * self.tasks[i].fse_load() * service;
             }
@@ -361,27 +397,31 @@ impl Mpos {
         }
 
         // 4. Progress in-flight transfers.
-        let completed = self.migration.step(dt);
-        for done in &completed {
+        self.migration
+            .step_into(dt, &mut report.completed_migrations);
+        for done in &report.completed_migrations {
             self.schedulers[done.from.index()].evict(done.task);
             self.schedulers[done.to.index()].admit(done.task);
             self.tasks[done.task.index()].finish_migration(done.to);
             // The slave daemon on the destination acknowledges the hand-off.
             self.slaves[done.to.index()].acknowledge(done.task, &mut self.mailbox);
         }
-        report.completed_migrations = completed;
 
-        // 5. Statistics reporting.
+        // 5. Statistics reporting. The statistics are only computed when a
+        //    slave's report period actually elapsed, into a buffer recycled
+        //    through the mailbox's spare pool.
         for i in 0..num_cores {
-            let stats = self.task_statistics(CoreId(i));
-            self.slaves[i].tick(dt, stats, &mut self.mailbox);
+            if self.slaves[i].advance(dt) {
+                let mut stats = self.mailbox.take_spare_stats();
+                self.task_statistics_into(CoreId(i), &mut stats);
+                self.slaves[i].publish(stats, &mut self.mailbox);
+            }
         }
         // Absorb reports/acks; commands are only generated via
         // `request_migration`, which already drained them.
         let _ = self.master.process_mailbox(&mut self.mailbox);
 
-        report.core_loads = core_loads;
-        Ok(report)
+        Ok(())
     }
 
     /// Total bytes migrated and number of migrations so far.

@@ -267,6 +267,16 @@ pub struct PipelineRuntime {
     output_queues: Vec<FrameQueue>,
     /// Unspent cycle credit per stage.
     credits: Vec<f64>,
+    /// Indices into `edge_queues` of every edge feeding each stage, derived
+    /// from the graph at construction so the per-frame hot path does not
+    /// rebuild (and reallocate) them.
+    stage_in_edges: Vec<Vec<usize>>,
+    /// Indices into `edge_queues` of every edge leaving each stage.
+    stage_out_edges: Vec<Vec<usize>>,
+    /// Index into `sources`/`input_queues` of each stage, when it is a source.
+    stage_source: Vec<Option<usize>>,
+    /// Index into `sinks`/`output_queues` of each stage, when it is a sink.
+    stage_sink: Vec<Option<usize>>,
     /// External producer behaviour at period boundaries.
     arrivals: ArrivalProcess,
     /// 0-based index of the next period boundary.
@@ -312,6 +322,20 @@ impl PipelineRuntime {
             output_queues.push(q);
         }
         let credits = vec![0.0; graph.len()];
+        let mut stage_in_edges: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+        let mut stage_out_edges: Vec<Vec<usize>> = vec![Vec::new(); graph.len()];
+        for (i, &(from, to)) in graph.edges().iter().enumerate() {
+            stage_out_edges[from.index()].push(i);
+            stage_in_edges[to.index()].push(i);
+        }
+        let mut stage_source = vec![None; graph.len()];
+        for (i, s) in sources.iter().enumerate() {
+            stage_source[s.index()] = Some(i);
+        }
+        let mut stage_sink = vec![None; graph.len()];
+        for (i, s) in sinks.iter().enumerate() {
+            stage_sink[s.index()] = Some(i);
+        }
         Ok(PipelineRuntime {
             graph,
             config,
@@ -322,6 +346,10 @@ impl PipelineRuntime {
             sinks,
             output_queues,
             credits,
+            stage_in_edges,
+            stage_out_edges,
+            stage_source,
+            stage_sink,
             arrivals: ArrivalProcess::Uniform,
             boundary_index: 0,
             arrival_carry: 0.0,
@@ -440,8 +468,10 @@ impl PipelineRuntime {
     }
 
     fn process_stages(&mut self) {
-        let order = self.order.clone();
-        for stage_id in order {
+        // Iterate by position so the (fixed) topological order is not cloned
+        // on a path that runs at least once per simulation step.
+        for i in 0..self.order.len() {
+            let stage_id = self.order[i];
             loop {
                 if !self.try_process_one_frame(stage_id) {
                     break;
@@ -451,25 +481,17 @@ impl PipelineRuntime {
     }
 
     /// Attempts to process a single frame on `stage`. Returns `true` on
-    /// success.
+    /// success. Input/output queue indices come from the per-stage adjacency
+    /// tables built at construction, so the hot path performs no allocations.
     fn try_process_one_frame(&mut self, stage: StageId) -> bool {
         let idx = stage.index();
         let cycles_needed = self.graph.stages()[idx].cycles_per_frame;
         if self.credits[idx] + 1e-9 < cycles_needed {
             return false;
         }
-        // Gather input queue indices: either edges or the external input.
-        let input_edges: Vec<usize> = self
-            .graph
-            .edges()
-            .iter()
-            .enumerate()
-            .filter(|(_, &(_, to))| to == stage)
-            .map(|(i, _)| i)
-            .collect();
-        let external_input = self.sources.iter().position(|&s| s == stage);
+        let external_input = self.stage_source[idx];
         // Check availability of one frame on every input.
-        for &e in &input_edges {
+        for &e in &self.stage_in_edges[idx] {
             if self.edge_queues[e].is_empty() {
                 return false;
             }
@@ -480,16 +502,8 @@ impl PipelineRuntime {
             }
         }
         // Check space on every output.
-        let output_edges: Vec<usize> = self
-            .graph
-            .edges()
-            .iter()
-            .enumerate()
-            .filter(|(_, &(from, _))| from == stage)
-            .map(|(i, _)| i)
-            .collect();
-        let external_output = self.sinks.iter().position(|&s| s == stage);
-        for &e in &output_edges {
+        let external_output = self.stage_sink[idx];
+        for &e in &self.stage_out_edges[idx] {
             if self.edge_queues[e].is_full() {
                 return false;
             }
@@ -501,7 +515,7 @@ impl PipelineRuntime {
         }
         // Consume inputs.
         let mut forwarded: Option<Frame> = None;
-        for &e in &input_edges {
+        for &e in &self.stage_in_edges[idx] {
             forwarded = self.edge_queues[e].pop();
         }
         if let Some(src_idx) = external_input {
@@ -509,7 +523,7 @@ impl PipelineRuntime {
         }
         let out_frame = forwarded.unwrap_or(Frame::new(FrameId(self.next_frame_id), self.elapsed));
         // Produce outputs.
-        for &e in &output_edges {
+        for &e in &self.stage_out_edges[idx] {
             self.edge_queues[e].push(out_frame);
         }
         if let Some(sink_idx) = external_output {

@@ -60,4 +60,4 @@ pub use error::ThermalError;
 pub use model::ThermalModel;
 pub use package::Package;
 pub use sensor::SensorBank;
-pub use solver::SolverKind;
+pub use solver::{SolverKind, SolverWorkspace};

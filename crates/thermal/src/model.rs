@@ -10,7 +10,7 @@ use serde::{Deserialize, Serialize};
 use crate::error::ThermalError;
 use crate::package::Package;
 use crate::rc::RcNetwork;
-use crate::solver::{Solver, SolverKind};
+use crate::solver::{Solver, SolverKind, SolverWorkspace};
 use tbp_arch::core::CoreId;
 use tbp_arch::floorplan::Floorplan;
 use tbp_arch::units::{Celsius, Seconds, Watts};
@@ -31,6 +31,9 @@ pub struct ThermalModel {
     spreader_node: usize,
     sink_node: usize,
     elapsed: Seconds,
+    /// Reusable integration scratch (skipped by comparison/serialization),
+    /// so [`step`](Self::step) allocates nothing.
+    workspace: SolverWorkspace,
 }
 
 impl ThermalModel {
@@ -107,6 +110,10 @@ impl ThermalModel {
             core_nodes[id.index()] = block_nodes[block_idx];
         }
 
+        // Compile the flat-array kernel up front: the topology is fixed from
+        // here on, so every subsequent step integrates without recompiling.
+        network.ensure_compiled();
+
         Ok(ThermalModel {
             package,
             network,
@@ -116,6 +123,7 @@ impl ThermalModel {
             spreader_node,
             sink_node,
             elapsed: Seconds::ZERO,
+            workspace: SolverWorkspace::new(),
         })
     }
 
@@ -167,10 +175,10 @@ impl ThermalModel {
                 actual: power.len(),
             });
         }
-        for (node, p) in self.block_nodes.iter().zip(power) {
-            self.network.set_power(*node, p.as_watts())?;
-        }
-        self.solver.advance(&mut self.network, dt)?;
+        self.network
+            .set_node_powers(&self.block_nodes, power.iter().map(|p| p.as_watts()))?;
+        let solver = self.solver;
+        solver.advance_with(&mut self.network, dt, &mut self.workspace)?;
         self.elapsed += dt;
         Ok(())
     }
@@ -191,6 +199,18 @@ impl ThermalModel {
             .iter()
             .map(|&n| self.network.temperature(n))
             .collect()
+    }
+
+    /// Allocation-free form of
+    /// [`block_temperatures`](Self::block_temperatures): writes the
+    /// floorplan-ordered block temperatures into `out`, reusing its capacity.
+    pub fn block_temperatures_into(&self, out: &mut Vec<Celsius>) {
+        out.clear();
+        out.extend(
+            self.block_nodes
+                .iter()
+                .map(|&n| self.network.temperature(n)),
+        );
     }
 
     /// Temperature of a core's processor block.
@@ -240,11 +260,14 @@ impl ThermalModel {
                 actual: power.len(),
             });
         }
-        let mut scratch = self.network.clone();
+        // Override the block-node power entries on a copy of the power
+        // vector instead of cloning the whole network (nodes, names, edges)
+        // just to vary the injected power.
+        let mut node_power = self.network.powers().to_vec();
         for (node, p) in self.block_nodes.iter().zip(power) {
-            scratch.set_power(*node, p.as_watts())?;
+            node_power[*node] = p.as_watts();
         }
-        let all = scratch.steady_state();
+        let all = self.network.steady_state_for(&node_power)?;
         Ok(self.block_nodes.iter().map(|&n| all[n]).collect())
     }
 

@@ -11,9 +11,10 @@
 //!
 //! which is exactly the equation HotSpot integrates for its block-level mode.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::error::ThermalError;
+use crate::solver::SolverWorkspace;
 use tbp_arch::units::Celsius;
 
 /// A single thermal node.
@@ -36,6 +37,100 @@ pub struct RcEdge {
     pub b: usize,
     /// Conductance in W/K.
     pub conductance: f64,
+}
+
+/// Compiled flat-array (CSR-style) form of the network topology, rebuilt
+/// lazily after a topology mutation.
+///
+/// The per-node data (`1/C` is deliberately **not** precomputed: the kernel
+/// divides by the stored capacitance so results stay bit-identical to the
+/// naive [`RcNetwork::derivative`] path) and the edge list live in dense
+/// struct-of-arrays storage, so the inner integration loop touches no `RcNode`
+/// structs and chases no `String`s. Edges are kept in insertion order — a
+/// node-major CSR adjacency would change the floating-point accumulation
+/// order and therefore the low bits of every temperature.
+#[derive(Debug, Clone, PartialEq)]
+struct CompiledKernel {
+    /// `RcEdge::a` of every edge, in insertion order.
+    edge_a: Vec<usize>,
+    /// `RcEdge::b` of every edge, in insertion order.
+    edge_b: Vec<usize>,
+    /// Edge conductances, in insertion order.
+    edge_g: Vec<f64>,
+    /// Per-node conductance to ambient.
+    ambient_g: Vec<f64>,
+    /// Per-node heat capacitance.
+    capacitance: Vec<f64>,
+    /// Cached explicit-Euler stability limit (`min_i C_i / ΣG_i`).
+    max_stable_step: f64,
+}
+
+impl CompiledKernel {
+    fn build(nodes: &[RcNode], edges: &[RcEdge]) -> Self {
+        CompiledKernel {
+            edge_a: edges.iter().map(|e| e.a).collect(),
+            edge_b: edges.iter().map(|e| e.b).collect(),
+            edge_g: edges.iter().map(|e| e.conductance).collect(),
+            ambient_g: nodes.iter().map(|n| n.ambient_conductance).collect(),
+            capacitance: nodes.iter().map(|n| n.capacitance).collect(),
+            max_stable_step: compute_max_stable_step(nodes, edges),
+        }
+    }
+}
+
+/// Shared stability-limit computation (used both by the compiled kernel and
+/// by the uncompiled fallback, so the cached and fresh values are identical).
+fn compute_max_stable_step(nodes: &[RcNode], edges: &[RcEdge]) -> f64 {
+    let mut total_conductance = vec![0.0; nodes.len()];
+    for (i, node) in nodes.iter().enumerate() {
+        total_conductance[i] += node.ambient_conductance;
+    }
+    for edge in edges {
+        total_conductance[edge.a] += edge.conductance;
+        total_conductance[edge.b] += edge.conductance;
+    }
+    nodes
+        .iter()
+        .zip(&total_conductance)
+        .map(|(node, &g)| {
+            if g > 0.0 {
+                node.capacitance / g
+            } else {
+                f64::INFINITY
+            }
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Lazily built [`CompiledKernel`] cache.
+///
+/// The cache is pure derived data: clones carry it along, equality ignores
+/// it, and (de)serialization skips it entirely (it serializes to the unit
+/// value, which the struct serializer omits, and deserializes to "not built
+/// yet").
+#[derive(Debug, Clone, Default)]
+struct KernelCache(Option<Box<CompiledKernel>>);
+
+impl PartialEq for KernelCache {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for KernelCache {
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+}
+
+impl Deserialize for KernelCache {
+    fn from_value(_: &Value) -> Result<Self, serde::Error> {
+        Ok(KernelCache::default())
+    }
+
+    fn absent() -> Option<Self> {
+        Some(KernelCache::default())
+    }
 }
 
 /// A lumped RC thermal network with its current temperature state.
@@ -64,6 +159,7 @@ pub struct RcNetwork {
     temperatures: Vec<f64>,
     power: Vec<f64>,
     ambient: Celsius,
+    kernel: KernelCache,
 }
 
 impl RcNetwork {
@@ -76,6 +172,7 @@ impl RcNetwork {
             temperatures: Vec::new(),
             power: Vec::new(),
             ambient,
+            kernel: KernelCache::default(),
         }
     }
 
@@ -133,6 +230,7 @@ impl RcNetwork {
         });
         self.temperatures.push(self.ambient.as_celsius());
         self.power.push(0.0);
+        self.kernel.0 = None;
         Ok(self.nodes.len() - 1)
     }
 
@@ -161,7 +259,25 @@ impl RcNetwork {
             )));
         }
         self.edges.push(RcEdge { a, b, conductance });
+        self.kernel.0 = None;
         Ok(())
+    }
+
+    /// Builds the compiled flat-array kernel (and its cached stability limit)
+    /// if a topology mutation invalidated it. Idempotent and cheap when the
+    /// kernel is already built; [`Solver::advance`](crate::solver::Solver)
+    /// calls this before integrating so the hot loop never recompiles.
+    pub fn ensure_compiled(&mut self) {
+        if self.kernel.0.is_none() {
+            self.kernel.0 = Some(Box::new(CompiledKernel::build(&self.nodes, &self.edges)));
+        }
+    }
+
+    /// Returns `true` when the compiled kernel is currently built (it is
+    /// dropped by [`add_node`](Self::add_node) / [`add_edge`](Self::add_edge)
+    /// and rebuilt by [`ensure_compiled`](Self::ensure_compiled)).
+    pub fn is_compiled(&self) -> bool {
+        self.kernel.0.is_some()
     }
 
     /// Sets the power injected into a node (W).
@@ -181,6 +297,27 @@ impl RcNetwork {
     /// indices.
     pub fn power(&self, node: usize) -> f64 {
         self.power.get(node).copied().unwrap_or(0.0)
+    }
+
+    /// Sets the power (W) of each listed node in one pass — the batched form
+    /// of [`set_power`](Self::set_power) used by the per-step injection of
+    /// the thermal model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::UnknownNode`] for the first out-of-range
+    /// index; earlier entries of the batch stay applied.
+    pub fn set_node_powers<I>(&mut self, nodes: &[usize], watts: I) -> Result<(), ThermalError>
+    where
+        I: IntoIterator<Item = f64>,
+    {
+        for (&node, w) in nodes.iter().zip(watts) {
+            *self
+                .power
+                .get_mut(node)
+                .ok_or(ThermalError::UnknownNode(node))? = w;
+        }
+        Ok(())
     }
 
     /// Current temperature of a node. Out-of-range indices return the
@@ -227,44 +364,68 @@ impl RcNetwork {
 
     /// Time derivative of each node temperature for the current state, K/s.
     pub fn derivative(&self, temperatures: &[f64]) -> Vec<f64> {
-        let mut flow = vec![0.0; self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            flow[i] = self.power[i]
-                + node.ambient_conductance * (self.ambient.as_celsius() - temperatures[i]);
-        }
-        for edge in &self.edges {
-            let q = edge.conductance * (temperatures[edge.b] - temperatures[edge.a]);
-            flow[edge.a] += q;
-            flow[edge.b] -= q;
-        }
-        for (i, node) in self.nodes.iter().enumerate() {
-            flow[i] /= node.capacitance;
-        }
+        let mut flow = Vec::new();
+        self.derivative_into(temperatures, &mut flow);
         flow
+    }
+
+    /// Allocation-free form of [`derivative`](Self::derivative): writes the
+    /// per-node derivative into `out`, resizing it to the node count.
+    ///
+    /// Uses the compiled kernel when it is built (see
+    /// [`ensure_compiled`](Self::ensure_compiled)); either way the
+    /// accumulation happens in the same edge order with the same operations,
+    /// so the results are bit-identical.
+    pub fn derivative_into(&self, temperatures: &[f64], out: &mut Vec<f64>) {
+        let ambient = self.ambient.as_celsius();
+        out.clear();
+        if let Some(kernel) = self.kernel.0.as_deref() {
+            out.extend(
+                self.power
+                    .iter()
+                    .zip(&kernel.ambient_g)
+                    .zip(temperatures)
+                    .map(|((p, g), t)| p + g * (ambient - t)),
+            );
+            let flow = &mut out[..];
+            for ((&a, &b), &g) in kernel.edge_a.iter().zip(&kernel.edge_b).zip(&kernel.edge_g) {
+                let q = g * (temperatures[b] - temperatures[a]);
+                flow[a] += q;
+                flow[b] -= q;
+            }
+            for (f, c) in flow.iter_mut().zip(&kernel.capacitance) {
+                *f /= c;
+            }
+        } else {
+            out.extend(
+                self.power
+                    .iter()
+                    .zip(&self.nodes)
+                    .zip(temperatures)
+                    .map(|((p, node), t)| p + node.ambient_conductance * (ambient - t)),
+            );
+            let flow = &mut out[..];
+            for edge in &self.edges {
+                let q = edge.conductance * (temperatures[edge.b] - temperatures[edge.a]);
+                flow[edge.a] += q;
+                flow[edge.b] -= q;
+            }
+            for (f, node) in flow.iter_mut().zip(&self.nodes) {
+                *f /= node.capacitance;
+            }
+        }
     }
 
     /// Largest explicit-Euler step (seconds) that keeps the integration
     /// stable: `min_i C_i / ΣG_i`.
+    ///
+    /// Served from the compiled kernel's cache when it is built; otherwise
+    /// recomputed from the topology (identical value either way).
     pub fn max_stable_step(&self) -> f64 {
-        let mut total_conductance = vec![0.0; self.nodes.len()];
-        for (i, node) in self.nodes.iter().enumerate() {
-            total_conductance[i] += node.ambient_conductance;
+        match self.kernel.0.as_deref() {
+            Some(kernel) => kernel.max_stable_step,
+            None => compute_max_stable_step(&self.nodes, &self.edges),
         }
-        for edge in &self.edges {
-            total_conductance[edge.a] += edge.conductance;
-            total_conductance[edge.b] += edge.conductance;
-        }
-        self.nodes
-            .iter()
-            .zip(&total_conductance)
-            .map(|(node, &g)| {
-                if g > 0.0 {
-                    node.capacitance / g
-                } else {
-                    f64::INFINITY
-                }
-            })
-            .fold(f64::INFINITY, f64::min)
     }
 
     /// Performs one explicit (forward) Euler step of `dt` seconds.
@@ -272,24 +433,63 @@ impl RcNetwork {
     /// Callers are responsible for keeping `dt` below
     /// [`max_stable_step`](Self::max_stable_step); the higher-level
     /// [`solver`](crate::solver) module handles sub-stepping automatically.
+    /// Allocates a derivative buffer per call — the hot loop uses
+    /// [`euler_step_with`](Self::euler_step_with) instead.
     pub fn euler_step(&mut self, dt: f64) {
-        let derivative = self.derivative(&self.temperatures);
-        for (t, d) in self.temperatures.iter_mut().zip(derivative) {
+        let mut workspace = SolverWorkspace::new();
+        self.euler_step_with(dt, &mut workspace);
+    }
+
+    /// [`euler_step`](Self::euler_step) writing into a reusable
+    /// [`SolverWorkspace`] — allocation-free once the workspace buffers have
+    /// grown to the network size.
+    pub fn euler_step_with(&mut self, dt: f64, workspace: &mut SolverWorkspace) {
+        let SolverWorkspace { k1, .. } = workspace;
+        self.derivative_into(&self.temperatures, k1);
+        for (t, d) in self.temperatures.iter_mut().zip(k1.iter()) {
             *t += dt * d;
         }
     }
 
     /// Performs one classic Runge–Kutta (RK4) step of `dt` seconds.
+    ///
+    /// Allocates stage buffers per call — the hot loop uses
+    /// [`rk4_step_with`](Self::rk4_step_with) instead.
     pub fn rk4_step(&mut self, dt: f64) {
-        let t0 = self.temperatures.clone();
-        let k1 = self.derivative(&t0);
-        let t1: Vec<f64> = t0.iter().zip(&k1).map(|(t, k)| t + 0.5 * dt * k).collect();
-        let k2 = self.derivative(&t1);
-        let t2: Vec<f64> = t0.iter().zip(&k2).map(|(t, k)| t + 0.5 * dt * k).collect();
-        let k3 = self.derivative(&t2);
-        let t3: Vec<f64> = t0.iter().zip(&k3).map(|(t, k)| t + dt * k).collect();
-        let k4 = self.derivative(&t3);
-        for i in 0..self.temperatures.len() {
+        let mut workspace = SolverWorkspace::new();
+        self.rk4_step_with(dt, &mut workspace);
+    }
+
+    /// [`rk4_step`](Self::rk4_step) writing every stage (k1–k4 and the
+    /// intermediate temperature vectors) into a reusable [`SolverWorkspace`]
+    /// — allocation-free once the workspace buffers have grown to the
+    /// network size. The stage arithmetic matches [`rk4_step`](Self::rk4_step)
+    /// operation for operation, so temperatures stay bit-identical.
+    pub fn rk4_step_with(&mut self, dt: f64, workspace: &mut SolverWorkspace) {
+        let n = self.temperatures.len();
+        let SolverWorkspace {
+            k1,
+            k2,
+            k3,
+            k4,
+            t0,
+            stage,
+        } = workspace;
+        t0.clear();
+        t0.extend_from_slice(&self.temperatures);
+        self.derivative_into(t0, k1);
+        stage.clear();
+        stage.extend(t0.iter().zip(k1.iter()).map(|(t, k)| t + 0.5 * dt * k));
+        self.derivative_into(stage, k2);
+        for i in 0..n {
+            stage[i] = t0[i] + 0.5 * dt * k2[i];
+        }
+        self.derivative_into(stage, k3);
+        for i in 0..n {
+            stage[i] = t0[i] + dt * k3[i];
+        }
+        self.derivative_into(stage, k4);
+        for i in 0..n {
             self.temperatures[i] = t0[i] + dt / 6.0 * (k1[i] + 2.0 * k2[i] + 2.0 * k3[i] + k4[i]);
         }
     }
@@ -298,6 +498,31 @@ impl RcNetwork {
     /// power by iterating a damped Gauss–Seidel relaxation of the static heat
     /// balance. The dynamic state is not modified.
     pub fn steady_state(&self) -> Vec<Celsius> {
+        self.steady_state_for(&self.power)
+            .expect("own power vector always matches")
+    }
+
+    /// Injected power of every node, in index order (W).
+    pub fn powers(&self) -> &[f64] {
+        &self.power
+    }
+
+    /// [`steady_state`](Self::steady_state) for an explicit per-node power
+    /// vector instead of the currently injected one, so callers (e.g.
+    /// [`ThermalModel::steady_state`](crate::model::ThermalModel)) do not
+    /// have to clone the network just to vary the power.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] when `power` does not
+    /// have one entry per node.
+    pub fn steady_state_for(&self, power: &[f64]) -> Result<Vec<Celsius>, ThermalError> {
+        if power.len() != self.nodes.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.nodes.len(),
+                actual: power.len(),
+            });
+        }
         let n = self.nodes.len();
         let mut t: Vec<f64> = self.temperatures.clone();
         // Pre-index neighbours for the relaxation.
@@ -311,7 +536,7 @@ impl RcNetwork {
             for i in 0..n {
                 let mut g_sum = self.nodes[i].ambient_conductance;
                 let mut rhs =
-                    self.power[i] + self.nodes[i].ambient_conductance * self.ambient.as_celsius();
+                    power[i] + self.nodes[i].ambient_conductance * self.ambient.as_celsius();
                 for &(j, g) in &neighbours[i] {
                     g_sum += g;
                     rhs += g * t[j];
@@ -326,7 +551,7 @@ impl RcNetwork {
                 break;
             }
         }
-        t.into_iter().map(Celsius::new).collect()
+        Ok(t.into_iter().map(Celsius::new).collect())
     }
 }
 
@@ -421,6 +646,47 @@ mod tests {
                     < 0.05
             );
         }
+    }
+
+    #[test]
+    fn topology_mutation_invalidates_the_compiled_kernel() {
+        let (mut net, a, _) = two_node_network();
+        assert!(!net.is_compiled());
+        net.ensure_compiled();
+        assert!(net.is_compiled());
+        let stable_before = net.max_stable_step();
+
+        // Stepping uses (and keeps) the compiled kernel.
+        net.set_power(a, 1.0).unwrap();
+        net.euler_step(0.01);
+        assert!(net.is_compiled());
+
+        // Adding a node drops the kernel; the stability limit is recomputed
+        // from the new topology, not served stale from the cache.
+        let c = net.add_node("c", 0.001, 5.0).unwrap();
+        assert!(!net.is_compiled());
+        let stale_free = net.max_stable_step();
+        assert!(stale_free < stable_before);
+        net.ensure_compiled();
+        assert_eq!(net.max_stable_step().to_bits(), stale_free.to_bits());
+
+        // Adding an edge invalidates again, and stepping after the mutation
+        // recompiles and integrates the new topology (the new node heats up
+        // through the fresh edge).
+        net.add_edge(a, c, 0.5).unwrap();
+        assert!(!net.is_compiled());
+        let solver = crate::solver::Solver::default();
+        solver
+            .advance(&mut net, tbp_arch::units::Seconds::from_millis(10.0))
+            .unwrap();
+        assert!(net.is_compiled());
+        assert!(net.temperature(c).as_celsius() > 45.0);
+
+        // Non-topology mutations (power, temperature, reset) keep the kernel.
+        net.set_power(a, 0.5).unwrap();
+        net.set_temperature(a, Celsius::new(50.0)).unwrap();
+        net.reset();
+        assert!(net.is_compiled());
     }
 
     #[test]

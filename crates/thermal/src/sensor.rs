@@ -176,9 +176,13 @@ mod tests {
         let model = heated_model();
         let mut bank = SensorBank::new(3, Seconds::from_millis(10.0), 0.0);
         bank.tick(Seconds::from_millis(10.0));
-        let readings = bank.sample(&model).unwrap().to_vec();
-        assert_eq!(readings.len(), 3);
-        assert!(readings[0].as_celsius() > readings[2].as_celsius());
+        // Read through the borrow `sample` returns — no `to_vec` round-trip;
+        // the borrow ends before the bank is used mutably again.
+        {
+            let readings = bank.sample(&model).unwrap();
+            assert_eq!(readings.len(), 3);
+            assert!(readings[0].as_celsius() > readings[2].as_celsius());
+        }
         assert_eq!(bank.samples_taken(), 1);
         assert!(bank.mean().as_celsius() > 45.0);
         // Sampling resets the tick accumulator.

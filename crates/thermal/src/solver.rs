@@ -6,12 +6,77 @@
 //! the solver splits it into stable sub-steps of the selected integration
 //! scheme.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 use std::fmt;
 
 use crate::error::ThermalError;
 use crate::rc::RcNetwork;
 use tbp_arch::units::Seconds;
+
+/// Reusable scratch buffers for the integration schemes.
+///
+/// One workspace serves any number of [`Solver::advance_with`] calls on any
+/// number of networks: every buffer is cleared and resized to the network at
+/// hand, so after the first call on the largest network the integration
+/// performs **zero heap allocations** — the property the
+/// `crates/core/tests/alloc_free_step.rs` counting-allocator test pins down
+/// for the whole simulation step.
+///
+/// The workspace is pure scratch: cloning starts empty, equality always
+/// holds, and (de)serialization skips the contents entirely (it serializes
+/// to the unit value, which struct serializers omit).
+#[derive(Debug, Default)]
+pub struct SolverWorkspace {
+    /// First (or only) derivative evaluation of a step.
+    pub(crate) k1: Vec<f64>,
+    /// Second RK4 stage derivative.
+    pub(crate) k2: Vec<f64>,
+    /// Third RK4 stage derivative.
+    pub(crate) k3: Vec<f64>,
+    /// Fourth RK4 stage derivative.
+    pub(crate) k4: Vec<f64>,
+    /// Temperatures at the start of an RK4 step.
+    pub(crate) t0: Vec<f64>,
+    /// Intermediate stage temperatures (reused for all three RK4 stages).
+    pub(crate) stage: Vec<f64>,
+}
+
+impl SolverWorkspace {
+    /// Creates an empty workspace; buffers grow on first use.
+    pub fn new() -> Self {
+        SolverWorkspace::default()
+    }
+}
+
+impl Clone for SolverWorkspace {
+    fn clone(&self) -> Self {
+        // Scratch contents are meaningless between steps; a clone starts
+        // empty and regrows on first use.
+        SolverWorkspace::new()
+    }
+}
+
+impl PartialEq for SolverWorkspace {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Serialize for SolverWorkspace {
+    fn to_value(&self) -> Value {
+        Value::Unit
+    }
+}
+
+impl Deserialize for SolverWorkspace {
+    fn from_value(_: &Value) -> Result<Self, serde::Error> {
+        Ok(SolverWorkspace::new())
+    }
+
+    fn absent() -> Option<Self> {
+        Some(SolverWorkspace::new())
+    }
+}
 
 /// Integration scheme used to advance the network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
@@ -80,15 +145,42 @@ impl Solver {
 
     /// Advances the network by `dt`, splitting into stable sub-steps.
     ///
+    /// Convenience wrapper around [`advance_with`](Self::advance_with) that
+    /// allocates a fresh [`SolverWorkspace`] per call; hot loops hold a
+    /// workspace and call [`advance_with`](Self::advance_with) directly.
+    ///
     /// # Errors
     ///
     /// Returns [`ThermalError::InvalidTimeStep`] when `dt` is not positive
     /// and finite.
     pub fn advance(&self, network: &mut RcNetwork, dt: Seconds) -> Result<(), ThermalError> {
+        let mut workspace = SolverWorkspace::new();
+        self.advance_with(network, dt, &mut workspace)
+    }
+
+    /// Advances the network by `dt` using caller-provided scratch buffers.
+    ///
+    /// Compiles the network's kernel if a topology mutation invalidated it,
+    /// reads the stability limit from the kernel's cache (instead of
+    /// recomputing it — with a temporary vector — on every call), and routes
+    /// every sub-step through the workspace so the integration performs no
+    /// heap allocations once the buffers have grown to the network size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidTimeStep`] when `dt` is not positive
+    /// and finite.
+    pub fn advance_with(
+        &self,
+        network: &mut RcNetwork,
+        dt: Seconds,
+        workspace: &mut SolverWorkspace,
+    ) -> Result<(), ThermalError> {
         let dt_secs = dt.as_secs();
         if !(dt_secs.is_finite() && dt_secs > 0.0) {
             return Err(ThermalError::InvalidTimeStep(dt_secs));
         }
+        network.ensure_compiled();
         let stable = network.max_stable_step();
         // RK4 tolerates larger steps than explicit Euler; allow 2x.
         let scheme_factor = match self.kind {
@@ -104,8 +196,8 @@ impl Solver {
         let sub_dt = dt_secs / substeps as f64;
         for _ in 0..substeps {
             match self.kind {
-                SolverKind::ForwardEuler => network.euler_step(sub_dt),
-                SolverKind::RungeKutta4 => network.rk4_step(sub_dt),
+                SolverKind::ForwardEuler => network.euler_step_with(sub_dt, workspace),
+                SolverKind::RungeKutta4 => network.rk4_step_with(sub_dt, workspace),
             }
         }
         Ok(())

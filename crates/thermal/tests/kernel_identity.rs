@@ -1,0 +1,175 @@
+//! Bit-identity of the compiled thermal kernel.
+//!
+//! PR 4 made the RC hot loop allocation-free by compiling the network
+//! topology into flat arrays and routing every integration step through a
+//! reusable [`SolverWorkspace`]. The whole point of that rework is that it
+//! is *invisible*: these property tests pin down that, over random networks,
+//! the compiled kernel and workspace-based stepping produce **bitwise
+//! identical** temperatures to the naive allocating paths — which is what
+//! keeps `reproduce_all` output byte-stable and the scenario cache valid.
+
+use proptest::prelude::*;
+
+use tbp_arch::units::{Celsius, Seconds};
+use tbp_thermal::rc::RcNetwork;
+use tbp_thermal::solver::{Solver, SolverKind, SolverWorkspace};
+
+/// Deterministically builds a random-but-valid network from the given knobs.
+fn build_network(
+    node_caps: &[f64],
+    ambient_gs: &[f64],
+    edge_a: &[usize],
+    edge_b: &[usize],
+    edge_gs: &[f64],
+    powers: &[f64],
+) -> RcNetwork {
+    let mut net = RcNetwork::new(Celsius::new(45.0));
+    for (i, (&c, &g)) in node_caps.iter().zip(ambient_gs).enumerate() {
+        net.add_node(&format!("n{i}"), c, g).expect("valid node");
+    }
+    let n = node_caps.len();
+    for ((&a, &b), &g) in edge_a.iter().zip(edge_b).zip(edge_gs) {
+        let (a, b) = (a % n, b % n);
+        if a != b {
+            net.add_edge(a, b, g).expect("valid edge");
+        }
+    }
+    for (i, &p) in powers.iter().enumerate() {
+        if i < n {
+            net.set_power(i, p).expect("valid node");
+        }
+    }
+    net
+}
+
+proptest! {
+    /// The compiled kernel's derivative equals the uncompiled path bit for
+    /// bit over random networks, powers and temperature states.
+    #[test]
+    fn compiled_derivative_is_bit_identical(
+        node_caps in proptest::collection::vec(0.01f64..5.0, 2..12),
+        ambient_gs in proptest::collection::vec(0.0f64..0.5, 2..12),
+        edge_a in proptest::collection::vec(0usize..12, 0..24),
+        edge_b in proptest::collection::vec(0usize..12, 24),
+        edge_gs in proptest::collection::vec(0.001f64..0.8, 24),
+        powers in proptest::collection::vec(0.0f64..2.0, 2..12),
+        temps in proptest::collection::vec(20.0f64..110.0, 12),
+    ) {
+        let n = node_caps.len().min(ambient_gs.len());
+        let mut net = build_network(&node_caps[..n], &ambient_gs[..n], &edge_a, &edge_b, &edge_gs, &powers);
+        let state: Vec<f64> = temps[..n].to_vec();
+
+        // Naive path: freshly mutated network has no compiled kernel.
+        prop_assert!(!net.is_compiled());
+        let naive = net.derivative(&state);
+
+        net.ensure_compiled();
+        prop_assert!(net.is_compiled());
+        let mut compiled = Vec::new();
+        net.derivative_into(&state, &mut compiled);
+
+        prop_assert_eq!(naive.len(), compiled.len());
+        for (i, (a, b)) in naive.iter().zip(&compiled).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "node {} differs: {} vs {}", i, a, b);
+        }
+
+        // The cached stability limit equals the fresh (uncompiled)
+        // computation bitwise.
+        let cached = net.max_stable_step();
+        let fresh = build_network(&node_caps[..n], &ambient_gs[..n], &edge_a, &edge_b, &edge_gs, &powers)
+            .max_stable_step();
+        prop_assert_eq!(cached.to_bits(), fresh.to_bits());
+    }
+
+    /// Stepping through a reusable workspace (the hot path) matches the
+    /// allocating `euler_step`/`rk4_step` convenience methods bit for bit,
+    /// compiled or not, across a multi-step trajectory.
+    #[test]
+    fn workspace_stepping_is_bit_identical(
+        node_caps in proptest::collection::vec(0.05f64..5.0, 2..10),
+        ambient_gs in proptest::collection::vec(0.001f64..0.5, 2..10),
+        edge_a in proptest::collection::vec(0usize..10, 1..18),
+        edge_b in proptest::collection::vec(0usize..10, 18),
+        edge_gs in proptest::collection::vec(0.001f64..0.5, 18),
+        powers in proptest::collection::vec(0.0f64..2.0, 2..10),
+        steps in 1usize..25,
+        rk4 in any::<bool>(),
+    ) {
+        let n = node_caps.len().min(ambient_gs.len());
+        let mut alloc_net = build_network(&node_caps[..n], &ambient_gs[..n], &edge_a, &edge_b, &edge_gs, &powers);
+        let mut ws_net = alloc_net.clone();
+        ws_net.ensure_compiled();
+        let mut workspace = SolverWorkspace::new();
+
+        let dt = 0.2 * alloc_net.max_stable_step().min(10.0);
+        for _ in 0..steps {
+            if rk4 {
+                alloc_net.rk4_step(dt);
+                ws_net.rk4_step_with(dt, &mut workspace);
+            } else {
+                alloc_net.euler_step(dt);
+                ws_net.euler_step_with(dt, &mut workspace);
+            }
+        }
+        for i in 0..n {
+            let a = alloc_net.temperature(i).as_celsius();
+            let b = ws_net.temperature(i).as_celsius();
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "node {} differs: {} vs {}", i, a, b);
+        }
+    }
+
+    /// `Solver::advance` (fresh workspace per call) and
+    /// `Solver::advance_with` (shared workspace) produce bitwise identical
+    /// trajectories, including the sub-stepping decisions.
+    #[test]
+    fn solver_advance_with_matches_advance(
+        node_caps in proptest::collection::vec(0.01f64..1.0, 2..8),
+        ambient_gs in proptest::collection::vec(0.01f64..0.5, 2..8),
+        edge_a in proptest::collection::vec(0usize..8, 1..12),
+        edge_b in proptest::collection::vec(0usize..8, 12),
+        edge_gs in proptest::collection::vec(0.01f64..0.5, 12),
+        powers in proptest::collection::vec(0.0f64..1.5, 2..8),
+        millis in 1.0f64..200.0,
+        rk4 in any::<bool>(),
+    ) {
+        let n = node_caps.len().min(ambient_gs.len());
+        let mut net_a = build_network(&node_caps[..n], &ambient_gs[..n], &edge_a, &edge_b, &edge_gs, &powers);
+        let mut net_b = net_a.clone();
+        let kind = if rk4 { SolverKind::RungeKutta4 } else { SolverKind::ForwardEuler };
+        let solver = Solver::new(kind);
+        let mut workspace = SolverWorkspace::new();
+        for _ in 0..5 {
+            solver.advance(&mut net_a, Seconds::from_millis(millis)).expect("advance");
+            solver
+                .advance_with(&mut net_b, Seconds::from_millis(millis), &mut workspace)
+                .expect("advance_with");
+        }
+        for i in 0..n {
+            let a = net_a.temperature(i).as_celsius();
+            let b = net_b.temperature(i).as_celsius();
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "node {} differs: {} vs {}", i, a, b);
+        }
+    }
+
+    /// `steady_state_for` with the currently injected power equals
+    /// `steady_state` exactly (it is the same relaxation, minus the network
+    /// clone the thermal model used to pay for).
+    #[test]
+    fn steady_state_for_matches_steady_state(
+        node_caps in proptest::collection::vec(0.05f64..5.0, 2..10),
+        ambient_gs in proptest::collection::vec(0.01f64..0.5, 2..10),
+        edge_a in proptest::collection::vec(0usize..10, 1..18),
+        edge_b in proptest::collection::vec(0usize..10, 18),
+        edge_gs in proptest::collection::vec(0.001f64..0.5, 18),
+        powers in proptest::collection::vec(0.0f64..2.0, 2..10),
+    ) {
+        let n = node_caps.len().min(ambient_gs.len());
+        let net = build_network(&node_caps[..n], &ambient_gs[..n], &edge_a, &edge_b, &edge_gs, &powers);
+        let direct = net.steady_state();
+        let explicit = net.steady_state_for(net.powers()).expect("matching length");
+        for (a, b) in direct.iter().zip(&explicit) {
+            prop_assert_eq!(a.as_celsius().to_bits(), b.as_celsius().to_bits());
+        }
+        prop_assert!(net.steady_state_for(&[0.0]).is_err() || n == 1);
+    }
+}
