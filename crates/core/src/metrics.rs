@@ -15,13 +15,77 @@ use std::fmt;
 use tbp_arch::units::{Bytes, Celsius, Seconds};
 
 /// Online mean/variance accumulator (Welford's algorithm).
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunningStats {
     count: u64,
     mean: f64,
     m2: f64,
     min: f64,
     max: f64,
+}
+
+/// `Default` must be the *empty* accumulator, i.e. exactly what
+/// [`RunningStats::new`] builds. A derived `Default` would zero-initialise
+/// `min`/`max`, so any `Default`-constructed accumulator (e.g. inside
+/// `ThermalMetrics::default()`) would clamp every later minimum at `0.0`.
+impl Default for RunningStats {
+    fn default() -> Self {
+        RunningStats::new()
+    }
+}
+
+/// Empty accumulators carry `min = +inf` / `max = -inf`, which JSON cannot
+/// represent: serializing them through a [`FsCache`] entry would either
+/// corrupt the file or come back as `null`. The manual impls omit the two
+/// fields *while the accumulator is empty* and restore the infinities on
+/// deserialization, so empty stats round-trip losslessly through strict
+/// JSON. Once a sample has been pushed, min/max are serialized verbatim —
+/// even a pathological infinite sample round-trips rather than being
+/// silently replaced by the empty-state sentinels.
+///
+/// [`FsCache`]: crate::scenario::FsCache
+impl Serialize for RunningStats {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("count".to_string(), self.count.to_value()),
+            ("mean".to_string(), self.mean.to_value()),
+            ("m2".to_string(), self.m2.to_value()),
+        ];
+        if self.count > 0 {
+            entries.push(("min".to_string(), self.min.to_value()));
+            entries.push(("max".to_string(), self.max.to_value()));
+        }
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for RunningStats {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = match value {
+            serde::Value::Map(entries) => entries.as_slice(),
+            other => {
+                return Err(serde::Error::custom(format!(
+                    "RunningStats: expected map, found {}",
+                    other.kind()
+                )))
+            }
+        };
+        let field = |key: &str| entries.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+        let float = |key: &str| -> Result<Option<f64>, serde::Error> {
+            field(key).map(f64::from_value).transpose()
+        };
+        let count = match field("count") {
+            Some(v) => u64::from_value(v)?,
+            None => return Err(serde::Error::custom("RunningStats: missing field `count`")),
+        };
+        Ok(RunningStats {
+            count,
+            mean: float("mean")?.unwrap_or(0.0),
+            m2: float("m2")?.unwrap_or(0.0),
+            min: float("min")?.unwrap_or(f64::INFINITY),
+            max: float("max")?.unwrap_or(f64::NEG_INFINITY),
+        })
+    }
 }
 
 impl RunningStats {
@@ -164,6 +228,7 @@ pub struct MetricsCollector {
     migration: MigrationMetrics,
     qos: QosMetrics,
     measured_time: Seconds,
+    reconfigs: u64,
 }
 
 impl MetricsCollector {
@@ -184,12 +249,29 @@ impl MetricsCollector {
             migration: MigrationMetrics::default(),
             qos: QosMetrics::default(),
             measured_time: Seconds::ZERO,
+            reconfigs: 0,
         }
     }
 
     /// The warm-up period excluded from measurements.
     pub fn warmup(&self) -> Seconds {
         self.warmup
+    }
+
+    /// Retunes the threshold used for the above/below-band timers — called
+    /// when a live reconfiguration changes the policy threshold mid-run.
+    /// Already-accumulated band times are kept; only future samples use the
+    /// new band.
+    pub fn set_threshold(&mut self, threshold: f64) {
+        self.threshold = threshold;
+    }
+
+    /// Records one applied live reconfiguration (a [`SpecDelta`] going
+    /// through `Simulation::apply_delta`).
+    ///
+    /// [`SpecDelta`]: crate::scenario::SpecDelta
+    pub fn record_reconfig(&mut self) {
+        self.reconfigs += 1;
     }
 
     /// Records a sensor sample of the core temperatures taken at `time`,
@@ -264,12 +346,13 @@ impl MetricsCollector {
             thermal: self.thermal.clone(),
             migration: self.migration,
             qos: self.qos,
+            reconfigs: self.reconfigs,
         }
     }
 }
 
 /// Summary of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct SimulationSummary {
     /// Name of the policy that ran.
     pub policy: String,
@@ -283,6 +366,46 @@ pub struct SimulationSummary {
     pub migration: MigrationMetrics,
     /// QoS metrics.
     pub qos: QosMetrics,
+    /// Live reconfigurations applied during the run (0 for static scenarios).
+    pub reconfigs: u64,
+}
+
+/// Manual impl so run reports cached *before* live reconfiguration landed —
+/// which lack the `reconfigs` field — still deserialize (as 0, which is what
+/// those runs applied) instead of silently missing the cache and
+/// re-simulating. A derived impl would reject the missing required field.
+impl Deserialize for SimulationSummary {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        fn required<T: Deserialize>(value: &serde::Value, key: &str) -> Result<T, serde::Error> {
+            match value.get(key) {
+                Some(v) => T::from_value(v)
+                    .map_err(|e| serde::Error::custom(format!("SimulationSummary.{key}: {e}"))),
+                None => Err(serde::Error::custom(format!(
+                    "SimulationSummary: missing field `{key}`"
+                ))),
+            }
+        }
+        if !matches!(value, serde::Value::Map(_)) {
+            return Err(serde::Error::custom(format!(
+                "SimulationSummary: expected map, found {}",
+                value.kind()
+            )));
+        }
+        Ok(SimulationSummary {
+            policy: required(value, "policy")?,
+            total_time: required(value, "total_time")?,
+            measured_time: required(value, "measured_time")?,
+            thermal: required(value, "thermal")?,
+            migration: required(value, "migration")?,
+            qos: required(value, "qos")?,
+            reconfigs: match value.get("reconfigs") {
+                Some(v) => u64::from_value(v).map_err(|e| {
+                    serde::Error::custom(format!("SimulationSummary.reconfigs: {e}"))
+                })?,
+                None => 0,
+            },
+        })
+    }
 }
 
 impl SimulationSummary {
@@ -388,6 +511,99 @@ mod tests {
     }
 
     #[test]
+    fn default_running_stats_behave_like_new() {
+        // Regression: the derived `Default` used to zero-initialise `min` and
+        // `max`, so a `Default`-constructed accumulator reported `min == 0.0`
+        // after pushing only larger samples.
+        let mut s = RunningStats::default();
+        s.push(5.0);
+        s.push(7.0);
+        assert_eq!(s.min(), 5.0);
+        assert_eq!(s.max(), 7.0);
+        let mut from_thermal = ThermalMetrics::default();
+        from_thermal.spatial_std_dev.push(3.5);
+        assert_eq!(from_thermal.spatial_std_dev.min(), 3.5);
+        // And a negative-only stream must not report max == 0.0 either.
+        let mut neg = RunningStats::default();
+        neg.push(-2.0);
+        assert_eq!(neg.max(), -2.0);
+        assert_eq!(neg.min(), -2.0);
+    }
+
+    #[test]
+    fn empty_stats_round_trip_through_strict_json() {
+        use serde::{Deserialize, Serialize};
+        // Empty accumulators hold ±inf internally; the serialized form must
+        // not contain non-finite tokens (JSON cannot represent them) and the
+        // round trip must restore the infinities exactly.
+        let empty = RunningStats::new();
+        let json = serde_json::to_string(&empty).expect("serializes");
+        assert!(!json.contains("inf") && !json.contains("Inf"), "{json}");
+        let back = RunningStats::from_value(&empty.to_value()).expect("round-trips");
+        assert_eq!(back, empty);
+        let mut reparsed: RunningStats = serde_json::from_str(&json).expect("parses");
+        assert_eq!(reparsed, empty);
+        // The restored accumulator keeps accumulating correctly.
+        reparsed.push(4.0);
+        assert_eq!(reparsed.min(), 4.0);
+        assert_eq!(reparsed.max(), 4.0);
+        // Non-empty stats keep their min/max through the round trip.
+        let mut full = RunningStats::new();
+        full.push(1.5);
+        full.push(-0.5);
+        let json = serde_json::to_string(&full).expect("serializes");
+        let back: RunningStats = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, full);
+        // A whole summary holding empty stats survives the FsCache path too.
+        let summary =
+            MetricsCollector::new(2, 3.0, Seconds::new(100.0)).summary("idle", Seconds::new(1.0));
+        let json = serde_json::to_string_pretty(&summary).expect("serializes");
+        let back: SimulationSummary = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, summary);
+        // A pathological infinite *sample* (count > 0) is serialized
+        // verbatim, not silently replaced by the empty-state sentinels.
+        // (An infinite sample poisons Welford's mean/m2 to NaN, so the
+        // fields are compared individually, NaN-aware.)
+        let mut diverged = RunningStats::new();
+        diverged.push(f64::NEG_INFINITY);
+        diverged.push(1.0);
+        let back = RunningStats::from_value(&diverged.to_value()).expect("round-trips");
+        assert_eq!(back.count(), diverged.count());
+        assert_eq!(back.min(), f64::NEG_INFINITY);
+        assert_eq!(back.max(), 1.0);
+        assert_eq!(back.mean().is_nan(), diverged.mean().is_nan());
+    }
+
+    #[test]
+    fn summaries_cached_before_reconfiguration_still_deserialize() {
+        use serde::{Deserialize, Serialize};
+        // Reports cached before the `reconfigs` field existed must load as
+        // reconfigs = 0 — not silently miss the cache (the v2 hash domain
+        // was deliberately kept for static specs so those entries stay
+        // valid).
+        let summary = MetricsCollector::new(2, 3.0, Seconds::ZERO).summary("x", Seconds::new(1.0));
+        let mut value = summary.to_value();
+        if let serde::Value::Map(entries) = &mut value {
+            entries.retain(|(key, _)| key != "reconfigs");
+        }
+        let back = SimulationSummary::from_value(&value).expect("legacy summary parses");
+        assert_eq!(back, summary);
+        assert_eq!(back.reconfigs, 0);
+        // Present fields still deserialize, and a malformed one still errors.
+        let mut collector = MetricsCollector::new(2, 3.0, Seconds::ZERO);
+        collector.record_reconfig();
+        let summary = collector.summary("x", Seconds::new(1.0));
+        let back = SimulationSummary::from_value(&summary.to_value()).expect("parses");
+        assert_eq!(back.reconfigs, 1);
+        assert!(SimulationSummary::from_value(&serde::Value::Int(3)).is_err());
+        let mut missing_policy = summary.to_value();
+        if let serde::Value::Map(entries) = &mut missing_policy {
+            entries.retain(|(key, _)| key != "policy");
+        }
+        assert!(SimulationSummary::from_value(&missing_policy).is_err());
+    }
+
+    #[test]
     fn collector_ignores_warmup_and_tracks_band_violations() {
         let mut c = MetricsCollector::new(3, 3.0, Seconds::new(1.0));
         assert_eq!(c.warmup(), Seconds::new(1.0));
@@ -426,6 +642,8 @@ mod tests {
         c.record_halt();
         c.record_halt();
         c.record_resume();
+        c.record_reconfig();
+        c.record_reconfig();
         c.set_qos(QosMetrics {
             frames_delivered: 380,
             deadline_misses: 20,
@@ -446,6 +664,7 @@ mod tests {
         assert_eq!(s.migration.bytes, Bytes::from_kib(192));
         assert_eq!(s.migration.halts, 2);
         assert_eq!(s.migration.resumes, 1);
+        assert_eq!(s.reconfigs, 2);
         assert!((s.migrations_per_second() - 0.3).abs() < 0.01);
         assert!((s.migrated_kib_per_second() - 19.2).abs() < 0.5);
         assert_eq!(s.qos.deadline_misses, 20);

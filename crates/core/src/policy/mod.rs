@@ -165,6 +165,18 @@ pub trait Policy: Send {
     /// Clears any internal state (cooldown timers, hysteresis) so the policy
     /// can be reused for another run.
     fn reset(&mut self) {}
+
+    /// Retunes the policy's balancing threshold *in place*, keeping all other
+    /// internal state (cooldown timers, issue counters) — the hook live
+    /// reconfiguration (`Simulation::apply_delta`) uses for mid-run threshold
+    /// sweeps without cold restarts.
+    ///
+    /// Returns `true` when the policy applied the new threshold; the default
+    /// implementation returns `false` for policies that take no threshold
+    /// (e.g. DVFS-only), in which case only the metric band changes.
+    fn set_threshold(&mut self, _threshold: f64) -> bool {
+        false
+    }
 }
 
 /// The "no policy" baseline: DVFS only, never migrates, halts nothing.

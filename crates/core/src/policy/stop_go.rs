@@ -79,6 +79,11 @@ impl Policy for StopGoPolicy {
         self.halts_issued = 0;
         self.resumes_issued = 0;
     }
+
+    fn set_threshold(&mut self, threshold: f64) -> bool {
+        self.threshold = threshold;
+        true
+    }
 }
 
 #[cfg(test)]

@@ -128,8 +128,14 @@ impl ThermalBalancingPolicy {
 
     fn in_cooldown(&self, now: Seconds) -> bool {
         match self.last_migration_at {
+            // Same epsilon convention as the simulation's policy-period gate
+            // (`since_policy + 1e-12 >= policy_period`): a cooldown exactly
+            // equal to the policy period must expire on the tick it
+            // nominally ends, not one tick later when accumulated float
+            // error leaves the elapsed time a few ULPs short.
             Some(at) => {
-                now.saturating_sub(at).as_secs() < self.config.min_migration_interval.as_secs()
+                now.saturating_sub(at).as_secs() + 1e-12
+                    < self.config.min_migration_interval.as_secs()
             }
             None => false,
         }
@@ -193,17 +199,40 @@ impl Policy for ThermalBalancingPolicy {
         if input.migrations_in_flight > 0 || self.in_cooldown(input.time) {
             return Vec::new();
         }
-        let mean_t = input.mean_temperature.as_celsius();
-        let mean_f = input.mean_frequency.as_hz() as f64;
+        // A glitched sensor daemon can hand the policy a NaN temperature or
+        // task load; such cores/tasks are skipped (and the means recomputed
+        // over the healthy cores) rather than panicking and aborting a whole
+        // batch run.
+        let finite =
+            |c: &CoreSnapshot| c.temperature.as_celsius().is_finite() && c.fse_load.is_finite();
+        let (mean_t, mean_f) = if input.cores.iter().all(finite) {
+            (
+                input.mean_temperature.as_celsius(),
+                input.mean_frequency.as_hz() as f64,
+            )
+        } else {
+            let mut n = 0.0;
+            let mut sum_t = 0.0;
+            let mut sum_f = 0.0;
+            for c in input.cores.iter().filter(|c| finite(c)) {
+                n += 1.0;
+                sum_t += c.temperature.as_celsius();
+                sum_f += c.frequency.as_hz() as f64;
+            }
+            if n == 0.0 {
+                return Vec::new();
+            }
+            (sum_t / n, sum_f / n)
+        };
 
         // Find the running core with the largest band violation.
         let trigger = input
             .cores
             .iter()
-            .filter(|c| c.running)
+            .filter(|c| c.running && finite(c))
             .map(|c| (c, (c.temperature.as_celsius() - mean_t).abs()))
             .filter(|(_, dev)| *dev >= self.config.threshold)
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite temperatures"));
+            .max_by(|a, b| a.1.total_cmp(&b.1));
         let Some((trigger_core, _)) = trigger else {
             return Vec::new();
         };
@@ -218,14 +247,14 @@ impl Policy for ThermalBalancingPolicy {
             input
                 .cores
                 .iter()
-                .filter(|c| c.running && c.temperature.as_celsius() > mean_t)
+                .filter(|c| c.running && finite(c) && c.temperature.as_celsius() > mean_t)
                 .collect()
         };
         let destinations: Vec<&CoreSnapshot> = if trigger_is_hot {
             input
                 .cores
                 .iter()
-                .filter(|c| c.running && c.temperature.as_celsius() < mean_t)
+                .filter(|c| c.running && finite(c) && c.temperature.as_celsius() < mean_t)
                 .collect()
         } else {
             vec![trigger_core]
@@ -237,13 +266,11 @@ impl Policy for ThermalBalancingPolicy {
             let mut candidates: Vec<_> = src
                 .tasks
                 .iter()
-                .filter(|t| t.migratable && !t.migrating && t.fse_load > 0.0)
+                .filter(|t| {
+                    t.migratable && !t.migrating && t.fse_load.is_finite() && t.fse_load > 0.0
+                })
                 .collect();
-            candidates.sort_by(|a, b| {
-                b.fse_load
-                    .partial_cmp(&a.fse_load)
-                    .expect("loads are finite")
-            });
+            candidates.sort_by(|a, b| b.fse_load.total_cmp(&a.fse_load));
             candidates.truncate(self.config.max_candidate_tasks);
 
             for dst in &destinations {
@@ -283,6 +310,11 @@ impl Policy for ThermalBalancingPolicy {
     fn reset(&mut self) {
         self.last_migration_at = None;
         self.migrations_issued = 0;
+    }
+
+    fn set_threshold(&mut self, threshold: f64) -> bool {
+        self.config.threshold = threshold;
+        true
     }
 }
 
@@ -364,8 +396,113 @@ mod tests {
         let mut later = hot.clone();
         later.time = Seconds::new(hot.time.as_secs() + 1.0);
         assert_eq!(p.decide(&later).len(), 1);
+        // Boundary: a cooldown *exactly* equal to the interval must expire on
+        // the tick it nominally ends even when accumulated float error leaves
+        // the computed elapsed time a few ULPs short. 1.15 + 1.05 subtract to
+        // 0.09999999999999987 < 0.1 strictly, which used to re-trigger one
+        // tick late.
+        p.reset();
+        let mut first = hot.clone();
+        first.time = Seconds::new(1.05);
+        assert_eq!(p.decide(&first).len(), 1);
+        let mut boundary = hot.clone();
+        boundary.time = Seconds::new(1.15);
+        assert!(boundary.time.as_secs() - first.time.as_secs() < 0.1);
+        assert_eq!(
+            p.decide(&boundary).len(),
+            1,
+            "cooldown equal to the policy period must expire on its tick"
+        );
         p.reset();
         assert_eq!(p.migrations_issued(), 0);
+    }
+
+    #[test]
+    fn non_finite_sensor_readings_and_loads_are_skipped() {
+        use tbp_arch::units::Celsius;
+        // Regression: a NaN reading used to abort the run through
+        // `.expect("finite temperatures")`. The glitched core is skipped and
+        // the policy keeps balancing among the healthy ones.
+        let mut p = policy(3.0);
+        let mut input = input_from(&[
+            (70.0, 533.0, 0.65),
+            (63.0, 266.0, 0.33),
+            (59.0, 266.0, 0.40),
+        ]);
+        input.cores[1].temperature = Celsius::new(f64::NAN);
+        let actions = p.decide(&input);
+        assert_eq!(actions.len(), 1, "healthy cores still balance");
+        match actions[0] {
+            PolicyAction::Migrate { to, .. } => assert_eq!(to, CoreId(2)),
+            other => panic!("expected a migration, got {other}"),
+        }
+        // The glitched core is never picked as a destination even when it
+        // reads colder than everyone else (NaN compares false, but an -inf
+        // reading would otherwise win the cost function outright).
+        let mut p = policy(3.0);
+        let mut input = input_from(&[
+            (70.0, 533.0, 0.65),
+            (63.0, 266.0, 0.33),
+            (59.0, 266.0, 0.40),
+        ]);
+        input.cores[2].temperature = Celsius::new(f64::NEG_INFINITY);
+        for action in p.decide(&input) {
+            match action {
+                PolicyAction::Migrate { to, .. } => assert_ne!(to, CoreId(2)),
+                other => panic!("expected a migration, got {other}"),
+            }
+        }
+        // A NaN task load must not panic the candidate sort; the finite task
+        // still migrates.
+        let mut p = policy(3.0);
+        let mut src = core(0, 72.0, 533.0, 0.0, true);
+        src.tasks = vec![
+            super::super::TaskSnapshot {
+                id: TaskId(0),
+                fse_load: f64::NAN,
+                context_size: Bytes::from_kib(64),
+                migratable: true,
+                migrating: false,
+            },
+            super::super::TaskSnapshot {
+                id: TaskId(1),
+                fse_load: 0.4,
+                context_size: Bytes::from_kib(64),
+                migratable: true,
+                migrating: false,
+            },
+        ];
+        src.fse_load = 0.4;
+        let dst = core(1, 58.0, 133.0, 0.05, true);
+        let input = build_input(Seconds::new(1.0), vec![src, dst], 0);
+        let actions = p.decide(&input);
+        assert_eq!(actions.len(), 1);
+        match actions[0] {
+            PolicyAction::Migrate { task, .. } => assert_eq!(task, TaskId(1)),
+            other => panic!("expected a migration, got {other}"),
+        }
+        // All cores glitched: no action, no panic.
+        let mut p = policy(3.0);
+        let mut input = input_from(&[(70.0, 533.0, 0.6), (60.0, 266.0, 0.3)]);
+        for c in &mut input.cores {
+            c.temperature = Celsius::new(f64::NAN);
+        }
+        assert!(p.decide(&input).is_empty());
+    }
+
+    #[test]
+    fn set_threshold_retunes_in_place() {
+        let input = input_from(&[
+            (70.0, 533.0, 0.65),
+            (63.0, 266.0, 0.33),
+            (59.0, 266.0, 0.40),
+        ]);
+        // Max deviation is 6 °C: inside a 7 °C band, outside a 3 °C one.
+        let mut loose = policy(7.0);
+        assert!(loose.decide(&input).is_empty());
+        assert!(loose.set_threshold(3.0));
+        assert_eq!(loose.config().threshold, 3.0);
+        assert_eq!(loose.decide(&input).len(), 1);
     }
 
     #[test]

@@ -59,7 +59,23 @@ use crate::scenario::spec::{
 /// tables, sweep axes) and `SplitMix64::below` switched to unbiased
 /// rejection sampling, which shifts every seeded task stream; reports cached
 /// under `v1` describe runs the current code would not reproduce.
+///
+/// `v3` ([`HASH_DOMAIN_PHASED`]) — live reconfiguration landed: specs that
+/// declare a `[[phases]]` table hash under the `v3` domain, which covers the
+/// phase deltas. Specs *without* phases keep hashing under `v2` (their
+/// canonical JSON is unchanged — absent fields are dropped), so existing
+/// caches of static scenarios stay valid and only phased specs get new keys.
+/// One caveat rides along: the same change made `Simulation::run_for`'s step
+/// count epsilon-robust, which runs one *fewer* step for schedules whose
+/// `duration / time_step` quotient lands a few ULPs above an integer (none
+/// of the shipped scenarios do). A pre-fix cache entry for such a schedule
+/// describes a run that was one step too long — the bug this fixed — so
+/// drop the cache directory if exact step counts matter for those entries.
 pub const HASH_DOMAIN: &str = "tbp-scenario-spec-v2";
+
+/// Format-version prefix of specs that declare live-reconfiguration phases.
+/// See [`HASH_DOMAIN`] for the history.
+pub const HASH_DOMAIN_PHASED: &str = "tbp-scenario-spec-v3";
 
 /// Top-level spec fields that do not change what a run computes.
 const NON_SEMANTIC_FIELDS: [&str; 2] = ["name", "description"];
@@ -85,8 +101,13 @@ impl ScenarioHash {
                 spec.name
             )));
         }
+        let domain = if spec.has_phases() {
+            HASH_DOMAIN_PHASED
+        } else {
+            HASH_DOMAIN
+        };
         let mut sha = Sha256::new();
-        sha.update(HASH_DOMAIN.as_bytes());
+        sha.update(domain.as_bytes());
         sha.update(&[0]);
         sha.update(defaults_fingerprint().as_bytes());
         sha.update(&[0]);
@@ -405,6 +426,52 @@ mod tests {
         // NOT be bumped. A failure here means someone changed the domain —
         // which invalidates all existing caches and must be deliberate.
         assert_eq!(HASH_DOMAIN, "tbp-scenario-spec-v2");
+        assert_eq!(HASH_DOMAIN_PHASED, "tbp-scenario-spec-v3");
+    }
+
+    #[test]
+    fn domain_v3_only_changes_hashes_of_specs_that_declare_phases() {
+        use crate::scenario::spec::PhaseSpec;
+
+        // Golden digests captured on the pre-phases tree: the v3 domain is
+        // applied only to specs declaring `[[phases]]`, so every static
+        // spec's hash — and with it every existing cache entry — must be
+        // byte-for-byte what it was before live reconfiguration landed.
+        let plain = ScenarioSpec::new("x");
+        assert_eq!(
+            ScenarioHash::of(&plain).unwrap().to_hex(),
+            "60d4aae6e10604196a63b60328b0df34452c4854807eaf52d9d030cfb976f78e"
+        );
+        let with_policy = ScenarioSpec::new("y").with_policy("stop-and-go", 2.0);
+        assert_eq!(
+            ScenarioHash::of(&with_policy).unwrap().to_hex(),
+            "7942bb21527cbece9c96b48686e675148b6f528b25f280c408cb832e59099a45"
+        );
+
+        // Declaring phases switches the spec to the v3 domain: even an empty
+        // phase table hashes differently from the phase-free spec, and the
+        // phase contents are covered by the digest.
+        let empty_phases = ScenarioSpec::new("x").with_phases(Vec::new());
+        assert_ne!(
+            ScenarioHash::of(&plain).unwrap(),
+            ScenarioHash::of(&empty_phases).unwrap()
+        );
+        let phased = ScenarioSpec::new("x").with_phases([PhaseSpec::at(5.0).with_threshold(2.0)]);
+        let retimed = ScenarioSpec::new("x").with_phases([PhaseSpec::at(6.0).with_threshold(2.0)]);
+        let retuned = ScenarioSpec::new("x").with_phases([PhaseSpec::at(5.0).with_threshold(1.0)]);
+        let swapped =
+            ScenarioSpec::new("x").with_phases([PhaseSpec::at(5.0).with_policy("stop-and-go")]);
+        let all = [
+            ScenarioHash::of(&phased).unwrap(),
+            ScenarioHash::of(&retimed).unwrap(),
+            ScenarioHash::of(&retuned).unwrap(),
+            ScenarioHash::of(&swapped).unwrap(),
+            ScenarioHash::of(&empty_phases).unwrap(),
+        ];
+        let mut uniq: Vec<String> = all.iter().map(|h| h.to_hex()).collect();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), all.len(), "every phase knob must hash");
     }
 
     #[test]

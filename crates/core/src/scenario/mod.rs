@@ -67,15 +67,16 @@ pub mod shard;
 pub mod spec;
 
 pub use cache::{FsCache, MemCache, RunCache};
-pub use hash::{canonical_json, ScenarioHash, HASH_DOMAIN};
+pub use hash::{canonical_json, ScenarioHash, HASH_DOMAIN, HASH_DOMAIN_PHASED};
 pub use registry::{PolicyFactory, PolicyRegistry};
 pub use runner::{
     batch_digest, BatchReport, RunOutcome, RunReport, Runner, RunnerStats, TableReport,
 };
 pub use shard::{PartialReport, ShardPlan};
 pub use spec::{
-    package_label, workload_kind_label, AnalysisKind, PlatformSpec, PolicySpec, ResolvedSchedule,
-    ScenarioSpec, ScheduleSpec, SweepSpec, WorkloadDecl, WorkloadKind, DEFAULT_THRESHOLD,
+    package_label, workload_kind_label, AnalysisKind, PhaseSpec, PlatformSpec, PolicySpec,
+    ResolvedSchedule, ScenarioSpec, ScheduleSpec, SpecDelta, SweepSpec, WorkloadDecl, WorkloadKind,
+    DEFAULT_THRESHOLD,
 };
 
 use crate::error::SimError;

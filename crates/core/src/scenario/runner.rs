@@ -27,7 +27,7 @@ use serde::{Deserialize, Serialize};
 
 use tbp_arch::freq::{Frequency, OperatingPoint, Voltage};
 use tbp_arch::power::{ComponentKind, CoreClass, PowerModel};
-use tbp_arch::units::{Bytes, Celsius};
+use tbp_arch::units::{Bytes, Celsius, Seconds};
 use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
 use tbp_streaming::sdr::SdrBenchmark;
 use tbp_streaming::workloads::WorkloadRegistry;
@@ -40,7 +40,7 @@ use crate::scenario::hash::ScenarioHash;
 use crate::scenario::registry::PolicyRegistry;
 use crate::scenario::shard::{PartialReport, ShardPlan};
 use crate::scenario::spec::{AnalysisKind, ScenarioSpec};
-use crate::sim::Simulation;
+use crate::sim::{step_count, Simulation};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -278,18 +278,24 @@ impl Runner {
                 outcome: RunOutcome::Table(kind.compute()),
             }
         } else {
+            // Phases firing at t = 0 fold into the static sections first
+            // (applying a delta before the first step is equivalent to
+            // starting with it), so a phased spec whose only delta fires at
+            // t = 0 runs — and reports — exactly like its static equivalent.
+            let folded = case.fold_initial_phases()?;
             let mut sim: Simulation =
-                case.build_with_registries(&self.registry, self.workloads.clone())?;
-            sim.run_for(case.total_duration())?;
+                folded.build_with_registries(&self.registry, self.workloads.clone())?;
+            sim.set_policy_registry(self.registry.clone());
+            run_phased(&mut sim, &folded)?;
             self.counters.simulated.fetch_add(1, Ordering::Relaxed);
             RunReport {
                 scenario: case.name.clone(),
                 group,
-                policy: Some(case.policy_spec().name),
-                workload: Some(case.workload_label()),
-                package: Some(case.package_kind()),
-                threshold: Some(case.threshold()),
-                queue_capacity: case.queue_capacity(),
+                policy: Some(folded.policy_spec().name),
+                workload: Some(folded.workload_label()),
+                package: Some(folded.package_kind()),
+                threshold: Some(folded.threshold()),
+                queue_capacity: folded.queue_capacity(),
                 outcome: RunOutcome::Simulation(Box::new(sim.summary())),
             }
         };
@@ -298,6 +304,38 @@ impl Runner {
         }
         Ok(report)
     }
+}
+
+/// Executes one (possibly phased) concrete scenario to its end, applying
+/// each remaining phase's delta at its due step.
+///
+/// Segment boundaries are computed as *step counts* from the declared phase
+/// times — not by subtracting accumulated elapsed time, whose float error
+/// would make boundary placement depend on execution history — so phased
+/// runs are deterministic and a run with zero phases steps exactly as
+/// [`Simulation::run_for`] would. Phases at or beyond the end of the run
+/// never fire.
+fn run_phased(sim: &mut Simulation, case: &ScenarioSpec) -> Result<(), SimError> {
+    let dt = sim.config().time_step;
+    let total_steps = step_count(case.total_duration(), dt);
+    let mut done: u64 = 0;
+    if let Some(phases) = &case.phases {
+        for phase in phases {
+            let due = step_count(Seconds::new(phase.at), dt);
+            if due >= total_steps {
+                break;
+            }
+            for _ in done..due {
+                sim.step()?;
+            }
+            done = done.max(due);
+            sim.apply_delta(&phase.delta())?;
+        }
+    }
+    for _ in done..total_steps {
+        sim.step()?;
+    }
+    Ok(())
 }
 
 /// The digest identifying the expanded batch of a spec list — what shard
@@ -438,7 +476,7 @@ impl BatchReport {
         let mut out = String::from(
             "scenario,policy,workload,package,threshold_c,queue_capacity,sigma_spatial_c,\
              mean_spread_c,peak_c,frames_delivered,deadline_misses,miss_rate,migrations,\
-             migrations_per_s,migrated_kib_per_s,halts,measured_s\n",
+             migrations_per_s,migrated_kib_per_s,halts,reconfigs,measured_s\n",
         );
         for report in &self.reports {
             let Some(summary) = report.summary() else {
@@ -463,6 +501,7 @@ impl BatchReport {
                 format!("{:.3}", summary.migrations_per_second()),
                 format!("{:.1}", summary.migrated_kib_per_second()),
                 summary.migration.halts.to_string(),
+                summary.reconfigs.to_string(),
                 format!("{:.2}", summary.measured_time.as_secs()),
             ];
             out.push_str(&row.join(","));

@@ -86,6 +86,9 @@ pub struct ScenarioSpec {
     pub schedule: Option<ScheduleSpec>,
     /// Sweep axes expanding this spec into a grid of concrete runs.
     pub sweep: Option<SweepSpec>,
+    /// Live-reconfiguration phases (`[[phases]]` in TOML): validated,
+    /// time-ordered deltas the runner applies to the *running* simulation.
+    pub phases: Option<Vec<PhaseSpec>>,
 }
 
 impl ScenarioSpec {
@@ -101,6 +104,7 @@ impl ScenarioSpec {
             policy: None,
             schedule: None,
             sweep: None,
+            phases: None,
         }
     }
 
@@ -148,6 +152,125 @@ impl ScenarioSpec {
     pub fn with_sweep(mut self, sweep: SweepSpec) -> Self {
         self.sweep = Some(sweep);
         self
+    }
+
+    /// Sets the live-reconfiguration phases.
+    pub fn with_phases(mut self, phases: impl Into<Vec<PhaseSpec>>) -> Self {
+        self.phases = Some(phases.into());
+        self
+    }
+
+    /// Whether the spec declares a `[[phases]]` table (even an empty one).
+    /// Phased specs hash under the `v3` domain; see
+    /// [`ScenarioHash`](crate::scenario::ScenarioHash).
+    pub fn has_phases(&self) -> bool {
+        self.phases.is_some()
+    }
+
+    /// Validates the `[[phases]]` table:
+    ///
+    /// * phase times are finite, non-negative and strictly ascending;
+    /// * every phase carries at least one override;
+    /// * thresholds are finite and positive, periods are positive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] naming the offending phase.
+    pub fn validate_phases(&self) -> Result<(), SimError> {
+        let Some(phases) = &self.phases else {
+            return Ok(());
+        };
+        let mut prev = f64::NEG_INFINITY;
+        for (i, phase) in phases.iter().enumerate() {
+            let place = format!("scenario `{}` phase #{i}", self.name);
+            if !phase.at.is_finite() || phase.at < 0.0 {
+                return Err(SimError::Spec(format!(
+                    "{place}: `at` must be a finite, non-negative time (got {})",
+                    phase.at
+                )));
+            }
+            if phase.at <= prev {
+                return Err(SimError::Spec(format!(
+                    "{place}: phase times must be strictly ascending ({} after {prev})",
+                    phase.at
+                )));
+            }
+            prev = phase.at;
+            if phase.delta().is_empty() {
+                return Err(SimError::Spec(format!(
+                    "{place}: a phase must override at least one of \
+                     policy/threshold/policy_period_ms/sensor_period_ms"
+                )));
+            }
+            if let Some(t) = phase.threshold {
+                if !t.is_finite() || t <= 0.0 {
+                    return Err(SimError::Spec(format!(
+                        "{place}: threshold must be finite and positive (got {t})"
+                    )));
+                }
+            }
+            for (knob, value) in [
+                ("policy_period_ms", phase.policy_period_ms),
+                ("sensor_period_ms", phase.sensor_period_ms),
+            ] {
+                if let Some(ms) = value {
+                    if !ms.is_finite() || ms <= 0.0 {
+                        return Err(SimError::Spec(format!(
+                            "{place}: {knob} must be finite and positive (got {ms})"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Folds phases firing at `t = 0` into the spec's static sections and
+    /// returns the normalized spec — the form the runner builds and reports.
+    ///
+    /// Applying a delta before the first simulation step is equivalent to
+    /// starting with it, so a phased spec whose only delta fires at `t = 0`
+    /// normalizes to the corresponding *static* spec and produces a
+    /// byte-identical [`RunReport`](crate::scenario::RunReport). A `t = 0`
+    /// phase that changes the sensor period is kept live (the schedule has no
+    /// static sensor-period knob to fold into).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] when the phase table fails validation.
+    pub fn fold_initial_phases(&self) -> Result<ScenarioSpec, SimError> {
+        self.validate_phases()?;
+        let Some(phases) = &self.phases else {
+            return Ok(self.clone());
+        };
+        let mut folded = self.clone();
+        let mut remaining = Vec::new();
+        for phase in phases {
+            // Strict ascent means only the first phase can sit at t = 0.
+            if phase.at == 0.0 && phase.sensor_period_ms.is_none() {
+                let mut policy_spec = folded.policy_spec();
+                if let Some(name) = &phase.policy {
+                    policy_spec.name = name.clone();
+                }
+                if let Some(threshold) = phase.threshold {
+                    policy_spec.threshold = Some(threshold);
+                }
+                folded.policy = Some(policy_spec);
+                if let Some(period) = phase.policy_period_ms {
+                    let mut schedule = folded.schedule.take().unwrap_or_default();
+                    schedule.policy_period_ms = Some(period);
+                    folded.schedule = Some(schedule);
+                }
+            } else {
+                remaining.push(phase.clone());
+            }
+        }
+        folded.phases = if remaining.is_empty() {
+            None
+        } else {
+            Some(remaining)
+        };
+        Ok(folded)
     }
 
     /// The effective package kind ([`PackageKind::MobileEmbedded`] default).
@@ -337,6 +460,10 @@ impl ScenarioSpec {
                 self.name
             )));
         }
+        // Phases are validated here but *executed* by the Runner (which folds
+        // `t = 0` phases into the static sections first): building a phased
+        // spec yields its initial configuration.
+        self.validate_phases()?;
         let threshold = self.threshold();
         let schedule = self.schedule();
         let platform = self.platform.clone().unwrap_or_default();
@@ -648,6 +775,173 @@ impl PolicySpec {
     /// The threshold, defaulted to ±3 °C.
     pub fn threshold_or_default(&self) -> f64 {
         self.threshold.unwrap_or(DEFAULT_THRESHOLD)
+    }
+}
+
+/// One live-reconfiguration phase of a scenario (`[[phases]]` in TOML): a
+/// time plus the overrides applied to the *running* simulation at that time.
+///
+/// ```
+/// use tbp_core::scenario::ScenarioSpec;
+///
+/// let spec: ScenarioSpec = toml::from_str(
+///     r#"
+///     name = "phased"
+///
+///     [[phases]]
+///     at = 10.0
+///     threshold = 2.0
+///
+///     [[phases]]
+///     at = 14.0
+///     policy = "stop-and-go"
+///     policy_period_ms = 20.0
+///     "#,
+/// )
+/// .expect("valid TOML");
+/// assert!(spec.validate_phases().is_ok());
+/// assert_eq!(spec.phases.as_ref().unwrap().len(), 2);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PhaseSpec {
+    /// Simulated time (seconds from simulation start, warm-up included) the
+    /// delta applies at. Phase times must be strictly ascending; a phase at
+    /// `0.0` is folded into the static spec sections
+    /// ([`ScenarioSpec::fold_initial_phases`]).
+    pub at: f64,
+    /// Swap the active policy to this registry name.
+    pub policy: Option<String>,
+    /// Retune the balancing threshold (°C); also moves the metric band.
+    pub threshold: Option<f64>,
+    /// Change the policy invocation period (milliseconds).
+    pub policy_period_ms: Option<f64>,
+    /// Change the thermal-sensor sampling period (milliseconds).
+    pub sensor_period_ms: Option<f64>,
+}
+
+impl PhaseSpec {
+    /// A phase at `at` seconds with no overrides yet (add some before
+    /// validating — an empty phase is rejected).
+    pub fn at(at: f64) -> Self {
+        PhaseSpec {
+            at,
+            policy: None,
+            threshold: None,
+            policy_period_ms: None,
+            sensor_period_ms: None,
+        }
+    }
+
+    /// Sets the policy swap.
+    pub fn with_policy(mut self, name: impl Into<String>) -> Self {
+        self.policy = Some(name.into());
+        self
+    }
+
+    /// Sets the threshold retune.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the policy-period change (milliseconds).
+    pub fn with_policy_period_ms(mut self, ms: f64) -> Self {
+        self.policy_period_ms = Some(ms);
+        self
+    }
+
+    /// Sets the sensor-period change (milliseconds).
+    pub fn with_sensor_period_ms(mut self, ms: f64) -> Self {
+        self.sensor_period_ms = Some(ms);
+        self
+    }
+
+    /// The runtime delta this phase applies.
+    pub fn delta(&self) -> SpecDelta {
+        SpecDelta {
+            policy: self.policy.clone(),
+            threshold: self.threshold,
+            policy_period: self.policy_period_ms.map(Seconds::from_millis),
+            sensor_period: self.sensor_period_ms.map(Seconds::from_millis),
+        }
+    }
+}
+
+/// A reconfiguration delta applied to a *running* simulation
+/// (`Simulation::apply_delta`): the dynamic subset of a [`ScenarioSpec`] —
+/// policy, threshold and the two periods — without disturbing thermal or OS
+/// state.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SpecDelta {
+    /// Swap the active policy to this registry name (resolved through the
+    /// simulation's [`PolicyRegistry`]).
+    /// The new instance starts with fresh internal state.
+    pub policy: Option<String>,
+    /// Retune the balancing threshold (°C). Applied in place (keeping policy
+    /// state) when the active policy supports it, and always moved into the
+    /// metric band.
+    pub threshold: Option<f64>,
+    /// New policy invocation period.
+    pub policy_period: Option<Seconds>,
+    /// New thermal-sensor sampling period.
+    pub sensor_period: Option<Seconds>,
+}
+
+impl SpecDelta {
+    /// A delta with no overrides (applying it is an error).
+    pub fn new() -> Self {
+        SpecDelta::default()
+    }
+
+    /// Sets the policy swap.
+    pub fn with_policy(mut self, name: impl Into<String>) -> Self {
+        self.policy = Some(name.into());
+        self
+    }
+
+    /// Sets the threshold retune.
+    pub fn with_threshold(mut self, threshold: f64) -> Self {
+        self.threshold = Some(threshold);
+        self
+    }
+
+    /// Sets the policy-period change.
+    pub fn with_policy_period(mut self, period: Seconds) -> Self {
+        self.policy_period = Some(period);
+        self
+    }
+
+    /// Sets the sensor-period change.
+    pub fn with_sensor_period(mut self, period: Seconds) -> Self {
+        self.sensor_period = Some(period);
+        self
+    }
+
+    /// Whether the delta carries no override at all.
+    pub fn is_empty(&self) -> bool {
+        self.policy.is_none()
+            && self.threshold.is_none()
+            && self.policy_period.is_none()
+            && self.sensor_period.is_none()
+    }
+
+    /// Deterministic human-readable rendering (recorded as the trace's
+    /// reconfiguration-event description).
+    pub fn describe(&self) -> String {
+        let mut parts = Vec::new();
+        if let Some(policy) = &self.policy {
+            parts.push(format!("policy={policy}"));
+        }
+        if let Some(threshold) = self.threshold {
+            parts.push(format!("threshold={threshold}"));
+        }
+        if let Some(period) = self.policy_period {
+            parts.push(format!("policy_period_ms={}", period.as_millis()));
+        }
+        if let Some(period) = self.sensor_period {
+            parts.push(format!("sensor_period_ms={}", period.as_millis()));
+        }
+        parts.join(" ")
     }
 }
 

@@ -280,7 +280,7 @@ impl SimulationBuilder {
             )?,
         };
 
-        Ok(Simulation::from_parts(
+        let mut sim = Simulation::from_parts(
             platform,
             thermal,
             sensors,
@@ -288,7 +288,13 @@ impl SimulationBuilder {
             pipeline,
             policy,
             self.config,
-        ))
+        );
+        // Live reconfiguration (`Simulation::apply_delta`) must resolve
+        // policy swaps through the same registry the simulation was built
+        // with, or custom policies would be reachable at build time but not
+        // at run time.
+        sim.set_policy_registry(registry);
+        Ok(sim)
     }
 }
 

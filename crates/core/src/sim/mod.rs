@@ -22,11 +22,15 @@ use tbp_os::OsError;
 use tbp_streaming::pipeline::PipelineRuntime;
 use tbp_thermal::{SensorBank, ThermalModel};
 
+use std::sync::Arc;
+
 use crate::error::SimError;
 use crate::metrics::{MetricsCollector, QosMetrics, SimulationSummary};
 use crate::policy::{
     update_input_means, CoreSnapshot, Policy, PolicyAction, PolicyInput, TaskSnapshot,
 };
+use crate::scenario::registry::PolicyRegistry;
+use crate::scenario::spec::{PolicySpec, SpecDelta};
 use crate::trace::TraceRecorder;
 
 /// Timing and measurement parameters of a simulation.
@@ -148,6 +152,10 @@ pub struct Simulation {
     since_policy: Seconds,
     policy_enabled: bool,
     actions_applied: u64,
+    /// Registry live reconfiguration resolves policy swaps through (the
+    /// global built-ins unless the builder or runner installed another one).
+    registry: Arc<PolicyRegistry>,
+    reconfigs_applied: u64,
 }
 
 impl Simulation {
@@ -187,6 +195,8 @@ impl Simulation {
             since_policy: Seconds::ZERO,
             policy_enabled: true,
             actions_applied: 0,
+            registry: PolicyRegistry::global(),
+            reconfigs_applied: 0,
         }
     }
 
@@ -347,15 +357,128 @@ impl Simulation {
 
     /// Runs the simulation for `duration` of simulated time.
     ///
+    /// The step count is computed epsilon-robustly: a duration whose
+    /// quotient by the time step lands a few ULPs above an integer (e.g.
+    /// `0.035 / 0.005 = 7.000000000000001`) runs the nominal number of steps
+    /// instead of overshooting by one and skewing elapsed-time-normalised
+    /// metrics.
+    ///
     /// # Errors
     ///
     /// Propagates the first error returned by [`step`](Self::step).
     pub fn run_for(&mut self, duration: Seconds) -> Result<(), SimError> {
-        let steps = (duration.as_secs() / self.config.time_step.as_secs()).ceil() as u64;
-        for _ in 0..steps {
+        for _ in 0..step_count(duration, self.config.time_step) {
             self.step()?;
         }
         Ok(())
+    }
+
+    /// Applies a live reconfiguration to the *running* simulation: swap the
+    /// active policy (resolved through the installed
+    /// [`PolicyRegistry`]), retune the balancing threshold, and change the
+    /// policy/sensor periods — all without disturbing thermal or OS state.
+    ///
+    /// Semantics, in application order:
+    ///
+    /// 1. **Policy swap** — a fresh instance is built from the registry; when
+    ///    the delta carries no threshold the new policy inherits the current
+    ///    metric-band threshold.
+    /// 2. **Threshold** — applied in place via [`Policy::set_threshold`]
+    ///    (keeping cooldown timers and counters) when the policy supports
+    ///    it; the metric band follows either way.
+    /// 3. **Policy period** — validated against the time step, applied from
+    ///    the next policy tick (the elapsed-since-last-invocation clock is
+    ///    kept).
+    /// 4. **Sensor period** — applied to the sensor bank; readings are never
+    ///    discarded.
+    ///
+    /// The application is recorded as a reconfiguration event in the trace
+    /// and counted in the summary's `reconfigs` field.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] for an empty delta, an unknown policy name, a
+    /// non-positive threshold or period, or a policy period smaller than the
+    /// time step. A failed delta leaves the simulation unchanged.
+    pub fn apply_delta(&mut self, delta: &SpecDelta) -> Result<(), SimError> {
+        if delta.is_empty() {
+            return Err(SimError::InvalidConfig(
+                "a reconfiguration delta must override at least one knob".into(),
+            ));
+        }
+        // Validate everything before touching any state: a rejected delta
+        // must not leave the simulation half-reconfigured.
+        if let Some(threshold) = delta.threshold {
+            if !threshold.is_finite() || threshold <= 0.0 {
+                return Err(SimError::InvalidConfig(format!(
+                    "reconfigured threshold must be finite and positive (got {threshold})"
+                )));
+            }
+        }
+        if let Some(period) = delta.policy_period {
+            if !period.as_secs().is_finite() || period.is_zero() {
+                return Err(SimError::InvalidConfig(
+                    "reconfigured policy period must be positive".into(),
+                ));
+            }
+            if self.config.time_step.as_secs() > period.as_secs() + 1e-12 {
+                return Err(SimError::InvalidConfig(
+                    "reconfigured policy period must not be smaller than the time step".into(),
+                ));
+            }
+        }
+        if let Some(period) = delta.sensor_period {
+            if !period.as_secs().is_finite() || period.is_zero() {
+                return Err(SimError::InvalidConfig(
+                    "reconfigured sensor period must be positive".into(),
+                ));
+            }
+        }
+        let new_policy = match &delta.policy {
+            Some(name) => {
+                let spec = PolicySpec {
+                    name: name.clone(),
+                    threshold: Some(delta.threshold.unwrap_or(self.config.metrics_threshold)),
+                };
+                Some(self.registry.instantiate(&spec)?)
+            }
+            None => None,
+        };
+
+        // All checks passed: apply.
+        if let Some(policy) = new_policy {
+            self.policy = policy;
+        } else if let Some(threshold) = delta.threshold {
+            // In-place retune keeps the policy's internal state; policies
+            // without a threshold simply keep running and only the metric
+            // band moves.
+            self.policy.set_threshold(threshold);
+        }
+        if let Some(threshold) = delta.threshold {
+            self.config.metrics_threshold = threshold;
+            self.metrics.set_threshold(threshold);
+        }
+        if let Some(period) = delta.policy_period {
+            self.config.policy_period = period;
+        }
+        if let Some(period) = delta.sensor_period {
+            self.sensors.set_period(period);
+        }
+        self.reconfigs_applied += 1;
+        self.metrics.record_reconfig();
+        self.trace.record_reconfig(self.elapsed, delta.describe());
+        Ok(())
+    }
+
+    /// Number of live reconfigurations applied so far.
+    pub fn reconfigs_applied(&self) -> u64 {
+        self.reconfigs_applied
+    }
+
+    /// Installs the registry [`apply_delta`](Self::apply_delta) resolves
+    /// policy swaps through (defaults to the global built-ins registry).
+    pub fn set_policy_registry(&mut self, registry: Arc<PolicyRegistry>) {
+        self.registry = registry;
     }
 
     /// Produces the summary of everything measured so far.
@@ -414,6 +537,24 @@ impl Simulation {
         }
         Ok(())
     }
+}
+
+/// Number of time steps a run of `duration` takes at step `time_step`,
+/// epsilon-robust against float division error in both directions.
+///
+/// The naive `ceil(duration / time_step)` overshoots by one full step when
+/// the quotient lands a few ULPs *above* an integer (`0.1 / 0.005 =
+/// 20.000000000000004`), silently extending the run and skewing every
+/// elapsed-time-normalised metric. Subtracting a small relative epsilon
+/// before the ceil absorbs that error while quotients a few ULPs *below* an
+/// integer (`0.1 / 0.001 = 99.99999999999999`) still round up exactly as
+/// before. Partial steps remain whole steps: `2.5` steps runs `3`.
+pub(crate) fn step_count(duration: Seconds, time_step: Seconds) -> u64 {
+    let ratio = duration.as_secs() / time_step.as_secs();
+    if !ratio.is_finite() || ratio <= 0.0 {
+        return 0;
+    }
+    (ratio - 1e-9 * ratio.max(1.0)).ceil() as u64
 }
 
 /// Refreshes `input` in place from the current platform/OS/sensor state.
@@ -502,6 +643,55 @@ mod tests {
     }
 
     #[test]
+    fn step_count_is_epsilon_robust_over_awkward_pairs() {
+        let count = |d: f64, dt: f64| step_count(Seconds::new(d), Seconds::from_millis(dt * 1e3));
+        let quotient = |d: f64, dt: f64| std::hint::black_box(d) / std::hint::black_box(dt);
+        // Quotient lands a few ULPs above the integer: 0.035 / 0.005 =
+        // 7.000000000000001 — the old ceil ran 8 steps.
+        assert!(quotient(0.035, 0.005) > 7.0);
+        assert_eq!(count(0.035, 0.005), 7);
+        // Same shape at a coarser step: 2.1 / 0.7 = 3.0000000000000004.
+        assert!(quotient(2.1, 0.7) > 3.0);
+        assert_eq!(count(2.1, 0.7), 3);
+        // A few ULPs below the integer must still round *up* to the nominal
+        // count: 0.3 / 0.1 = 2.9999999999999996 and 0.7 / 0.1 =
+        // 6.999999999999999.
+        assert!(quotient(0.3, 0.1) < 3.0);
+        assert_eq!(count(0.3, 0.1), 3);
+        assert!(quotient(0.7, 0.1) < 7.0);
+        assert_eq!(count(0.7, 0.1), 7);
+        // Exactly representable quotients are untouched.
+        assert_eq!(count(0.1, 0.005), 20);
+        assert_eq!(count(28.0, 0.005), 5600);
+        // Exact multiples and genuine partial steps are untouched.
+        assert_eq!(count(1.0, 0.25), 4);
+        assert_eq!(count(1.1, 0.25), 5);
+        // Degenerate inputs run nothing.
+        assert_eq!(count(0.0, 0.005), 0);
+        assert_eq!(count(-1.0, 0.005), 0);
+        assert_eq!(step_count(Seconds::new(1.0), Seconds::ZERO), 0);
+        // A long run at a fine step keeps the nominal count too.
+        assert_eq!(count(3600.0, 0.001), 3_600_000);
+    }
+
+    #[test]
+    fn run_for_does_not_overshoot_awkward_durations() {
+        // 0.035 s at the 5 ms step divides to 7.000000000000001: the old
+        // ceil-based count ran one extra step per call and over-reported
+        // elapsed time by a full step each time.
+        let mut sim = sdr_simulation(Box::new(DvfsOnlyPolicy::new()));
+        for _ in 0..10 {
+            sim.run_for(Seconds::new(0.035)).unwrap();
+        }
+        let expected = 10.0 * 0.035;
+        assert!(
+            (sim.elapsed().as_secs() - expected).abs() < 0.005 - 1e-9,
+            "elapsed {} drifted a full step from {expected}",
+            sim.elapsed().as_secs()
+        );
+    }
+
+    #[test]
     fn config_validation() {
         assert!(SimulationConfig::paper_default().validate().is_ok());
         assert!(SimulationConfig::default().validate().is_ok());
@@ -538,6 +728,96 @@ mod tests {
         assert!(summary.mean_spatial_std_dev() > 0.5);
         assert!(!sim.trace().samples().is_empty());
         assert!(format!("{sim:?}").contains("dvfs-only"));
+    }
+
+    #[test]
+    fn apply_delta_swaps_policy_and_retunes_knobs_mid_run() {
+        let mut sim = sdr_simulation(Box::new(crate::policy::ThermalBalancingPolicy::new(
+            tbp_arch::freq::DvfsScale::paper_default(),
+            crate::policy::ThermalBalancingConfig::paper_default(),
+        )));
+        sim.run_for(Seconds::new(1.5)).unwrap();
+        let elapsed_before = sim.elapsed();
+        let temps_before = sim.core_temperatures();
+
+        // Threshold retune: metric band and policy move, nothing else.
+        sim.apply_delta(&SpecDelta::new().with_threshold(1.5))
+            .unwrap();
+        assert_eq!(sim.config().metrics_threshold, 1.5);
+        assert_eq!(sim.reconfigs_applied(), 1);
+        // Thermal and OS state are untouched by the delta itself.
+        assert_eq!(sim.elapsed(), elapsed_before);
+        assert_eq!(sim.core_temperatures(), temps_before);
+
+        // Policy swap resolves through the registry and inherits the current
+        // threshold when the delta names none.
+        sim.apply_delta(&SpecDelta::new().with_policy("stop-and-go"))
+            .unwrap();
+        assert_eq!(sim.policy_name(), "stop-and-go");
+        // Period changes apply and the simulation keeps running.
+        sim.apply_delta(
+            &SpecDelta::new()
+                .with_policy_period(Seconds::from_millis(20.0))
+                .with_sensor_period(Seconds::from_millis(5.0)),
+        )
+        .unwrap();
+        assert_eq!(sim.config().policy_period, Seconds::from_millis(20.0));
+        sim.run_for(Seconds::new(0.5)).unwrap();
+        assert_eq!(sim.reconfigs_applied(), 3);
+        let summary = sim.summary();
+        assert_eq!(summary.reconfigs, 3);
+        assert_eq!(sim.trace().reconfig_events().len(), 3);
+        assert_eq!(
+            sim.trace().reconfig_events()[1].description,
+            "policy=stop-and-go"
+        );
+    }
+
+    #[test]
+    fn invalid_deltas_are_rejected_without_side_effects() {
+        let mut sim = sdr_simulation(Box::new(DvfsOnlyPolicy::new()));
+        sim.run_for(Seconds::new(0.2)).unwrap();
+        let assert_unchanged = |sim: &Simulation| {
+            assert_eq!(sim.policy_name(), "dvfs-only");
+            assert_eq!(sim.reconfigs_applied(), 0);
+            assert!(sim.trace().reconfig_events().is_empty());
+        };
+        // Empty delta.
+        assert!(sim.apply_delta(&SpecDelta::new()).is_err());
+        assert_unchanged(&sim);
+        // Unknown policy name.
+        assert!(sim
+            .apply_delta(&SpecDelta::new().with_policy("not-a-policy"))
+            .is_err());
+        assert_unchanged(&sim);
+        // Unknown policy combined with a valid threshold: the threshold must
+        // not be half-applied.
+        let before = sim.config().metrics_threshold;
+        assert!(sim
+            .apply_delta(
+                &SpecDelta::new()
+                    .with_policy("not-a-policy")
+                    .with_threshold(1.0)
+            )
+            .is_err());
+        assert_eq!(sim.config().metrics_threshold, before);
+        // Non-positive threshold, non-positive period, period below step.
+        assert!(sim
+            .apply_delta(&SpecDelta::new().with_threshold(0.0))
+            .is_err());
+        assert!(sim
+            .apply_delta(&SpecDelta::new().with_threshold(f64::NAN))
+            .is_err());
+        assert!(sim
+            .apply_delta(&SpecDelta::new().with_policy_period(Seconds::ZERO))
+            .is_err());
+        assert!(sim
+            .apply_delta(&SpecDelta::new().with_policy_period(Seconds::from_millis(1.0)))
+            .is_err());
+        assert!(sim
+            .apply_delta(&SpecDelta::new().with_sensor_period(Seconds::ZERO))
+            .is_err());
+        assert_unchanged(&sim);
     }
 
     #[test]

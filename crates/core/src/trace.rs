@@ -25,6 +25,19 @@ pub struct TraceSample {
     pub deadline_misses: u64,
 }
 
+/// One live-reconfiguration event applied to a running simulation.
+///
+/// Recorded by `Simulation::apply_delta` so traces show *when* the policy,
+/// threshold or periods changed mid-run — phased scenarios and closed-loop
+/// threshold searches produce one event per applied delta.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReconfigEvent {
+    /// Simulated time the delta was applied at.
+    pub time: Seconds,
+    /// Human-readable rendering of the applied delta (deterministic).
+    pub description: String,
+}
+
 /// Records [`TraceSample`]s at a fixed interval, bounded in length.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TraceRecorder {
@@ -33,6 +46,7 @@ pub struct TraceRecorder {
     since_last: Seconds,
     samples: Vec<TraceSample>,
     dropped: u64,
+    reconfigs: Vec<ReconfigEvent>,
 }
 
 impl TraceRecorder {
@@ -46,6 +60,7 @@ impl TraceRecorder {
             since_last: interval, // record the very first offered sample
             samples: Vec::new(),
             dropped: 0,
+            reconfigs: Vec::new(),
         }
     }
 
@@ -114,11 +129,32 @@ impl TraceRecorder {
         });
     }
 
-    /// Clears the recorded samples.
+    /// Records a live-reconfiguration event. Events are kept even by a
+    /// disabled recorder (they are rare and cheap, and a reconfig history is
+    /// useful precisely when periodic sampling is off), bounded by the same
+    /// hard cap as samples plus a small floor so a `disabled()` recorder
+    /// (capacity 0) still keeps a history.
+    pub fn record_reconfig(&mut self, time: Seconds, description: impl Into<String>) {
+        if self.reconfigs.len() >= self.max_samples.max(4096) {
+            return;
+        }
+        self.reconfigs.push(ReconfigEvent {
+            time,
+            description: description.into(),
+        });
+    }
+
+    /// The recorded live-reconfiguration events, in application order.
+    pub fn reconfig_events(&self) -> &[ReconfigEvent] {
+        &self.reconfigs
+    }
+
+    /// Clears the recorded samples and reconfiguration events.
     pub fn reset(&mut self) {
         self.samples.clear();
         self.dropped = 0;
         self.since_last = self.interval;
+        self.reconfigs.clear();
     }
 
     /// The temperature series of one core as `(time, °C)` pairs.
@@ -193,5 +229,18 @@ mod tests {
         rec.record(sample(0.0, 50.0));
         assert!(rec.samples().is_empty());
         assert_eq!(TraceRecorder::default().samples().len(), 0);
+    }
+
+    #[test]
+    fn reconfig_events_are_kept_even_when_disabled() {
+        let mut rec = TraceRecorder::disabled();
+        rec.record_reconfig(Seconds::new(1.5), "threshold=2");
+        rec.record_reconfig(Seconds::new(3.0), "policy=stop-and-go");
+        let events = rec.reconfig_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].time, Seconds::new(1.5));
+        assert_eq!(events[1].description, "policy=stop-and-go");
+        rec.reset();
+        assert!(rec.reconfig_events().is_empty());
     }
 }

@@ -1,0 +1,304 @@
+//! Integration tests of the live-reconfiguration subsystem: phased scenario
+//! specs, mid-run deltas through the runner, swap equivalence against static
+//! specs, and cache behaviour of phased runs.
+
+use std::sync::Arc;
+
+use tbp_core::scenario::{
+    MemCache, PhaseSpec, PolicyRegistry, Runner, ScenarioHash, ScenarioSpec, SpecDelta,
+};
+use tbp_core::SimError;
+use tbp_thermal::package::PackageKind;
+
+/// A quick high-performance-package spec (short schedule keeps tests fast).
+fn quick(name: &str) -> ScenarioSpec {
+    ScenarioSpec::new(name)
+        .with_package(PackageKind::HighPerformance)
+        .with_schedule(0.5, 1.5)
+}
+
+#[test]
+fn phase_at_t0_is_byte_identical_to_the_static_spec() {
+    // The acceptance bar of the reconfiguration subsystem: applying a delta
+    // before the first step is *exactly* starting with it. The phased spec
+    // leaves policy/threshold to a t = 0 phase; the static spec declares
+    // them directly. Reports — JSON and CSV — must match byte for byte.
+    let static_spec = quick("equiv").with_policy("stop-and-go", 2.0);
+    let phased_spec = quick("equiv").with_phases([PhaseSpec::at(0.0)
+        .with_policy("stop-and-go")
+        .with_threshold(2.0)]);
+
+    let a = Runner::sequential()
+        .run_spec(&static_spec)
+        .expect("static spec runs");
+    let b = Runner::sequential()
+        .run_spec(&phased_spec)
+        .expect("phased spec runs");
+    assert_eq!(a.to_json(), b.to_json());
+    assert_eq!(a.to_csv(), b.to_csv());
+    assert_eq!(a.reports[0].policy.as_deref(), Some("stop-and-go"));
+    assert_eq!(a.reports[0].threshold, Some(2.0));
+    assert_eq!(a.reports[0].summary().unwrap().reconfigs, 0);
+
+    // Equivalent runs, but *not* equivalent cache keys: declaring phases
+    // moves the spec to the v3 hash domain.
+    assert_ne!(
+        ScenarioHash::of(&static_spec).unwrap(),
+        ScenarioHash::of(&phased_spec).unwrap()
+    );
+
+    // A t = 0 phase that changes the sensor period has no static-spec
+    // equivalent and therefore stays live: it applies before the first step
+    // and is counted as a reconfiguration.
+    let sensor_spec =
+        quick("sensor-t0").with_phases([PhaseSpec::at(0.0).with_sensor_period_ms(5.0)]);
+    let batch = Runner::sequential()
+        .run_spec(&sensor_spec)
+        .expect("sensor-period phase runs");
+    assert_eq!(batch.reports[0].summary().unwrap().reconfigs, 1);
+}
+
+#[test]
+fn phased_specs_apply_their_deltas_in_order() {
+    let spec = quick("phased")
+        .with_policy("thermal-balancing", 1.0)
+        .with_phases([
+            PhaseSpec::at(0.8).with_threshold(3.0),
+            PhaseSpec::at(1.2).with_policy("stop-and-go"),
+            PhaseSpec::at(1.6).with_policy_period_ms(20.0),
+        ]);
+    let batch = Runner::new().run_spec(&spec).expect("phased spec runs");
+    assert_eq!(batch.len(), 1);
+    let report = &batch.reports[0];
+    // Report metadata describes the *initial* configuration...
+    assert_eq!(report.policy.as_deref(), Some("thermal-balancing"));
+    assert_eq!(report.threshold, Some(1.0));
+    // ...while the summary reflects what actually ran: all three deltas
+    // applied, and the policy that finished the run is the swapped one.
+    let summary = report.summary().expect("simulation outcome");
+    assert_eq!(summary.reconfigs, 3);
+    assert_eq!(summary.policy, "stop-and-go");
+    // The CSV row carries the reconfiguration count.
+    let csv = batch.to_csv();
+    let header: Vec<&str> = csv.lines().next().unwrap().split(',').collect();
+    let row: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+    let col = header.iter().position(|h| *h == "reconfigs").unwrap();
+    assert_eq!(row[col], "3");
+
+    // Phases at or beyond the end of the run never fire.
+    let late = quick("late-phase").with_phases([PhaseSpec::at(100.0).with_threshold(2.0)]);
+    let batch = Runner::new().run_spec(&late).expect("late phase runs");
+    assert_eq!(batch.reports[0].summary().unwrap().reconfigs, 0);
+}
+
+#[test]
+fn phased_runs_are_deterministic_and_cacheable() {
+    let spec = quick("cache-phased").with_phases([
+        PhaseSpec::at(0.7).with_threshold(1.0),
+        PhaseSpec::at(1.1).with_policy("energy-balancing"),
+    ]);
+    let cache = Arc::new(MemCache::new());
+    let runner = Runner::new().with_cache_arc(cache.clone());
+    let cold = runner.run_spec(&spec).expect("cold run");
+    assert_eq!(runner.stats().simulated, 1);
+    assert_eq!(runner.stats().cache_hits, 0);
+    let warm = runner.run_spec(&spec).expect("warm run");
+    assert_eq!(runner.stats().simulated, 1, "warm run must not simulate");
+    assert_eq!(runner.stats().cache_hits, 1);
+    assert_eq!(cold.to_json(), warm.to_json());
+    assert_eq!(cold.to_csv(), warm.to_csv());
+    assert_eq!(cache.len(), 1);
+
+    // And an uncached re-run from a fresh runner reproduces the same bytes
+    // (deterministic phased execution, parallel runner included).
+    let again = Runner::new().run_spec(&spec).expect("fresh run");
+    assert_eq!(cold.to_json(), again.to_json());
+}
+
+#[test]
+fn invalid_phase_tables_are_rejected() {
+    // Out-of-order phase times.
+    let unsorted = quick("unsorted").with_phases([
+        PhaseSpec::at(1.0).with_threshold(2.0),
+        PhaseSpec::at(0.5).with_threshold(3.0),
+    ]);
+    assert!(matches!(unsorted.validate_phases(), Err(SimError::Spec(_))));
+    assert!(Runner::new().run_spec(&unsorted).is_err());
+    // Duplicate times are not "ascending" either.
+    let duplicated = quick("dup").with_phases([
+        PhaseSpec::at(1.0).with_threshold(2.0),
+        PhaseSpec::at(1.0).with_threshold(3.0),
+    ]);
+    assert!(duplicated.validate_phases().is_err());
+    // A phase with no override.
+    let empty = quick("empty-phase").with_phases([PhaseSpec::at(1.0)]);
+    assert!(empty.validate_phases().is_err());
+    // Negative and non-finite times.
+    assert!(quick("neg")
+        .with_phases([PhaseSpec::at(-1.0).with_threshold(2.0)])
+        .validate_phases()
+        .is_err());
+    assert!(quick("nan")
+        .with_phases([PhaseSpec::at(f64::NAN).with_threshold(2.0)])
+        .validate_phases()
+        .is_err());
+    // Bad knob values.
+    assert!(quick("bad-threshold")
+        .with_phases([PhaseSpec::at(1.0).with_threshold(-2.0)])
+        .validate_phases()
+        .is_err());
+    assert!(quick("bad-period")
+        .with_phases([PhaseSpec::at(1.0).with_policy_period_ms(0.0)])
+        .validate_phases()
+        .is_err());
+    // A valid table passes.
+    let ok = quick("ok").with_phases([
+        PhaseSpec::at(0.0).with_threshold(2.0),
+        PhaseSpec::at(1.0).with_policy("stop-and-go"),
+    ]);
+    assert!(ok.validate_phases().is_ok());
+    // An unknown policy in a *runtime* phase fails the run, not the parse.
+    let unknown = quick("unknown").with_phases([PhaseSpec::at(0.9).with_policy("not-a-policy")]);
+    assert!(unknown.validate_phases().is_ok());
+    assert!(matches!(
+        Runner::new().run_spec(&unknown),
+        Err(SimError::UnknownPolicy { .. })
+    ));
+}
+
+#[test]
+fn phases_round_trip_through_toml_and_json() {
+    let spec: ScenarioSpec = toml::from_str(
+        r#"
+        name = "phased-toml"
+        package = "HighPerformance"
+
+        [policy]
+        name = "thermal-balancing"
+        threshold = 1.0
+
+        [schedule]
+        warmup = 0.5
+        duration = 1.5
+
+        [[phases]]
+        at = 1.0
+        threshold = 3.0
+
+        [[phases]]
+        at = 1.5
+        policy = "stop-and-go"
+        policy_period_ms = 20.0
+        "#,
+    )
+    .expect("valid TOML");
+    let phases = spec.phases.as_ref().expect("phases parsed");
+    assert_eq!(phases.len(), 2);
+    assert_eq!(phases[0].at, 1.0);
+    assert_eq!(phases[1].policy.as_deref(), Some("stop-and-go"));
+    assert!(spec.validate_phases().is_ok());
+    // TOML and JSON round trips preserve the phase table.
+    let reparsed = ScenarioSpec::from_toml_str(&spec.to_toml_string()).unwrap();
+    assert_eq!(reparsed, spec);
+    let reparsed = ScenarioSpec::from_json_str(&spec.to_json_string()).unwrap();
+    assert_eq!(reparsed, spec);
+    // And the parsed spec actually runs its phases.
+    let batch = Runner::new().run_spec(&spec).expect("phased TOML runs");
+    assert_eq!(batch.reports[0].summary().unwrap().reconfigs, 2);
+}
+
+#[test]
+fn sweeps_and_phases_compose() {
+    // Phases ride along every expanded grid point: the sweep sets the
+    // initial threshold, the phase retunes it mid-run.
+    let spec = quick("swept-phases")
+        .with_sweep(tbp_core::scenario::SweepSpec::default().with_thresholds([1.0, 2.0]))
+        .with_phases([PhaseSpec::at(1.0).with_threshold(4.0)]);
+    let cases = spec.expand();
+    assert_eq!(cases.len(), 2);
+    assert!(cases.iter().all(|c| c.phases.is_some()));
+    let batch = Runner::new().run_spec(&spec).expect("swept phased runs");
+    assert_eq!(batch.len(), 2);
+    for report in &batch.reports {
+        assert_eq!(report.summary().unwrap().reconfigs, 1);
+    }
+    // Grid points differ in their initial threshold but share the phase, so
+    // their hashes must differ.
+    assert_ne!(
+        ScenarioHash::of(&cases[0]).unwrap(),
+        ScenarioHash::of(&cases[1]).unwrap()
+    );
+}
+
+#[test]
+fn custom_registries_serve_live_swaps() {
+    use tbp_core::policy::DvfsOnlyPolicy;
+
+    // A policy known only to a custom registry must be reachable both at
+    // build time and as a live-swap target.
+    let mut registry = PolicyRegistry::with_builtins();
+    registry.register("my-policy", |_| Ok(Box::new(DvfsOnlyPolicy::new())));
+    let spec = quick("custom").with_phases([PhaseSpec::at(0.9).with_policy("my-policy")]);
+    let batch = Runner::sequential()
+        .with_registry(registry)
+        .run_spec(&spec)
+        .expect("custom registry serves the swap");
+    let summary = batch.reports[0].summary().unwrap();
+    assert_eq!(summary.reconfigs, 1);
+    assert_eq!(summary.policy, "dvfs-only");
+    // The default runner (global registry) cannot resolve the same swap.
+    assert!(Runner::sequential().run_spec(&spec).is_err());
+}
+
+#[test]
+fn fold_initial_phases_normalizes_t0_deltas() {
+    let spec = quick("fold")
+        .with_policy("thermal-balancing", 1.0)
+        .with_phases([
+            PhaseSpec::at(0.0)
+                .with_policy("stop-and-go")
+                .with_threshold(2.5),
+            PhaseSpec::at(1.0).with_threshold(3.0),
+        ]);
+    let folded = spec.fold_initial_phases().expect("valid phases fold");
+    // The t = 0 delta moved into the static policy section...
+    let policy = folded.policy_spec();
+    assert_eq!(policy.name, "stop-and-go");
+    assert_eq!(policy.threshold, Some(2.5));
+    // ...and only the runtime phase remains.
+    let remaining = folded.phases.as_ref().expect("runtime phase kept");
+    assert_eq!(remaining.len(), 1);
+    assert_eq!(remaining[0].at, 1.0);
+    // A spec whose only phase fires at t = 0 normalizes to a fully static
+    // spec (no phases left).
+    let only_t0 = quick("only-t0").with_phases([PhaseSpec::at(0.0).with_threshold(2.0)]);
+    let folded = only_t0.fold_initial_phases().unwrap();
+    assert!(folded.phases.is_none());
+    assert_eq!(folded.threshold(), 2.0);
+    // Folding a phase-free spec is the identity.
+    let plain = quick("plain");
+    assert_eq!(plain.fold_initial_phases().unwrap(), plain);
+}
+
+#[test]
+fn spec_delta_describe_is_deterministic_and_complete() {
+    use tbp_arch::units::Seconds;
+    let delta = SpecDelta::new()
+        .with_policy("stop-and-go")
+        .with_threshold(2.0)
+        .with_policy_period(Seconds::from_millis(20.0))
+        .with_sensor_period(Seconds::from_millis(5.0));
+    assert_eq!(
+        delta.describe(),
+        "policy=stop-and-go threshold=2 policy_period_ms=20 sensor_period_ms=5"
+    );
+    assert!(!delta.is_empty());
+    assert!(SpecDelta::new().is_empty());
+    // PhaseSpec::delta carries every knob over.
+    let phase = PhaseSpec::at(3.0)
+        .with_policy("stop-and-go")
+        .with_threshold(2.0)
+        .with_policy_period_ms(20.0)
+        .with_sensor_period_ms(5.0);
+    assert_eq!(phase.delta(), delta);
+}

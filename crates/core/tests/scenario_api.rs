@@ -50,8 +50,8 @@ fn shipped_scenario_files_parse_and_round_trip() {
     let specs = load_dir(&dir).expect("scenarios/ directory loads");
     assert_eq!(
         specs.len(),
-        9,
-        "seven paper scenarios plus the two cross-workload ones"
+        10,
+        "seven paper scenarios, two cross-workload ones, one phased"
     );
     for spec in &specs {
         let text = spec.to_toml_string();

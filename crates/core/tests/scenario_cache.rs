@@ -224,8 +224,8 @@ fn warm_cache_rerun_of_every_shipped_scenario_performs_zero_simulations() {
         .collect();
     assert_eq!(
         specs.len(),
-        9,
-        "seven paper scenarios plus the two cross-workload ones"
+        10,
+        "seven paper scenarios, two cross-workload ones, one phased"
     );
 
     let cache = Arc::new(MemCache::new());

@@ -70,6 +70,14 @@ impl SensorBank {
         self.period
     }
 
+    /// Changes the sampling period mid-run (live reconfiguration). The
+    /// elapsed-since-last-sample accumulator is kept, so shortening the
+    /// period can make the next sample due immediately while lengthening it
+    /// simply pushes the next sample out — readings are never discarded.
+    pub fn set_period(&mut self, period: Seconds) {
+        self.period = period;
+    }
+
     /// Number of samples taken since construction.
     pub fn samples_taken(&self) -> u64 {
         self.samples_taken
