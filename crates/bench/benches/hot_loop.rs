@@ -203,10 +203,70 @@ fn bench_layers(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_trace_encode(c: &mut Criterion) {
+    use tbp_obs::{TraceWriter, TrackDef, TrackKind};
+
+    let mut group = c.benchmark_group("trace_encode");
+    let iters = 10_000u64;
+    // One sampling tick of an N-core platform: N temperature + N frequency
+    // counters plus the two cumulative counters, written into an in-memory
+    // writer (the same encode path a file-backed sink drives per tick).
+    for cores in [4usize, 16, 64] {
+        let mut defs = Vec::new();
+        for i in 0..cores {
+            defs.push(TrackDef::counter(
+                TrackKind::CoreTemperature,
+                i as u32,
+                0.01,
+                format!("core{i}.temp_c"),
+            ));
+        }
+        for i in 0..cores {
+            defs.push(TrackDef::counter(
+                TrackKind::CoreFrequency,
+                i as u32,
+                0.01,
+                format!("core{i}.freq_mhz"),
+            ));
+        }
+        defs.push(TrackDef::counter(
+            TrackKind::Migrations,
+            0,
+            0.01,
+            "migrations",
+        ));
+        defs.push(TrackDef::counter(
+            TrackKind::DeadlineMisses,
+            0,
+            0.01,
+            "deadline_misses",
+        ));
+        let mut writer = TraceWriter::new(std::io::sink(), &defs).expect("writer builds");
+        let freq_base = cores as u16;
+        let mig = 2 * cores as u16;
+        group.bench_function(format!("tick_{cores}cores_x{iters}"), |b| {
+            b.iter(|| {
+                for tick in 0..iters {
+                    let t = tick as f64 * 0.01;
+                    for i in 0..cores as u16 {
+                        writer.counter(i, t, black_box(45.0 + f64::from(i)));
+                        writer.counter(freq_base + i, t, black_box(400.0));
+                    }
+                    writer.counter(mig, t, 3.0);
+                    writer.counter(mig + 1, t, 0.0);
+                }
+                writer.records()
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_simulation_step,
     bench_rc_network,
-    bench_layers
+    bench_layers,
+    bench_trace_encode
 );
 criterion_main!(benches);

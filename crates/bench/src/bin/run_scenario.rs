@@ -11,7 +11,10 @@
 //! ```
 //!
 //! Accepts the shared batch flags (`--json`/`--csv`, `--cache-dir`,
-//! `--shard i/k`, `--merge`). Merge mode still needs the scenario files —
+//! `--shard i/k`, `--trace-dir <dir>`, `--merge`). With `--trace-dir` every
+//! *simulated* run additionally writes a binary trace (see
+//! `docs/OBSERVABILITY.md`); cache hits skip simulation and emit none.
+//! Merge mode still needs the scenario files —
 //! they define the batch the partials are checked against:
 //! `run_scenario <scenario.toml>... --merge p1.json p2.json`.
 //! `TBP_DURATION` overrides the measured duration of every simulated
@@ -27,7 +30,7 @@ fn main() {
     assert!(
         !paths.is_empty(),
         "usage: run_scenario <scenario.toml>... [--cache-dir <dir>] [--shard i/k] \
-         [--merge <partial.json>...] [--json|--csv]\n\
+         [--trace-dir <dir>] [--merge <partial.json>...] [--json|--csv]\n\
          note: --merge also needs the scenario files — they define the batch \
          the partial reports are validated against"
     );
@@ -77,7 +80,7 @@ fn scenario_paths() -> Vec<PathBuf> {
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--cache-dir" | "--shard" => {
+            "--cache-dir" | "--shard" | "--trace-dir" => {
                 args.next();
             }
             "--merge" => {

@@ -1,0 +1,247 @@
+//! Inspects and exports binary trace files (`.tbptrace`).
+//!
+//! The runner's `--trace-dir` flag makes every simulated run emit one binary
+//! trace (see `docs/OBSERVABILITY.md` for the format); this binary is the
+//! companion reader:
+//!
+//! ```text
+//! cargo run --release -p tbp-bench --bin trace_explore -- <file.tbptrace>
+//!     [--window <seconds>]           # windowed stats instead of track table
+//!     [--export perfetto|json|csv]   # convert instead of summarising
+//!     [--out <file>]                 # write the export to a file
+//! ```
+//!
+//! Without flags it prints one row per track — kind, samples, span, min,
+//! mean, max and an ASCII sparkline of the series. `--window` aggregates the
+//! run into fixed windows with the spatial temperature σ (the paper's
+//! headline balancing metric) and the migration rate per window. `--export
+//! perfetto` emits Chrome-trace JSON that `ui.perfetto.dev` opens directly;
+//! `json` is the legacy in-memory recorder shape; `csv` is long-format.
+
+use std::path::{Path, PathBuf};
+
+use tbp_obs::export::{to_csv, to_legacy_json, to_perfetto_json};
+use tbp_obs::{TraceData, TraceReader, Track, TrackKind};
+
+const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+fn main() {
+    let cli = Cli::parse(std::env::args().skip(1));
+    let data = TraceReader::read_file(&cli.file)
+        .unwrap_or_else(|e| panic!("cannot read trace {}: {e}", cli.file.display()));
+    if let Some(format) = &cli.export {
+        let rendered = match format.as_str() {
+            "perfetto" => to_perfetto_json(&data),
+            "json" => to_legacy_json(&data),
+            "csv" => to_csv(&data),
+            other => panic!("unknown export format `{other}` (known: perfetto, json, csv)"),
+        };
+        match &cli.out {
+            Some(path) => std::fs::write(path, rendered)
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display())),
+            None => print!("{rendered}"),
+        }
+        return;
+    }
+    match cli.window {
+        Some(window) => print_windowed(&data, window),
+        None => print_summary(&cli.file, &data),
+    }
+}
+
+struct Cli {
+    file: PathBuf,
+    window: Option<f64>,
+    export: Option<String>,
+    out: Option<PathBuf>,
+}
+
+impl Cli {
+    fn parse(args: impl Iterator<Item = String>) -> Cli {
+        let mut file = None;
+        let mut window = None;
+        let mut export = None;
+        let mut out = None;
+        let mut args = args.peekable();
+        fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
+            match args.next() {
+                Some(v) if !v.starts_with("--") => v,
+                _ => panic!("{flag} needs a value"),
+            }
+        }
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--window" => {
+                    let v = value(&mut args, "--window");
+                    let secs: f64 = v.parse().unwrap_or_else(|_| {
+                        panic!("--window needs a duration in seconds, got `{v}`")
+                    });
+                    assert!(
+                        secs.is_finite() && secs > 0.0,
+                        "--window must be positive, got {secs}"
+                    );
+                    window = Some(secs);
+                }
+                "--export" => export = Some(value(&mut args, "--export")),
+                "--out" => out = Some(PathBuf::from(value(&mut args, "--out"))),
+                other if other.starts_with("--") => panic!("unknown flag `{other}`"),
+                other => {
+                    assert!(file.is_none(), "more than one trace file given");
+                    file = Some(PathBuf::from(other));
+                }
+            }
+        }
+        Cli {
+            file: file.unwrap_or_else(|| {
+                panic!(
+                    "usage: trace_explore <file.tbptrace> [--window <s>] \
+                     [--export perfetto|json|csv] [--out <file>]"
+                )
+            }),
+            window,
+            export,
+            out,
+        }
+    }
+}
+
+/// One row per track: kind, record count, time span, min/mean/max and a
+/// sparkline of the (resampled) series.
+fn print_summary(path: &Path, data: &TraceData) {
+    let (start, end) = data.span().unwrap_or((0.0, 0.0));
+    println!(
+        "{}: {} tracks, {} records, {:.2} s .. {:.2} s",
+        path.display(),
+        data.tracks.len(),
+        data.total_records(),
+        start,
+        end
+    );
+    println!(
+        "{:<22} {:>7} {:>9} {:>9} {:>9}  sparkline",
+        "track", "records", "min", "mean", "max"
+    );
+    for track in &data.tracks {
+        if track.def.kind.is_event() {
+            let preview = track
+                .labels
+                .first()
+                .map(|l| format!("first: {l}"))
+                .unwrap_or_default();
+            println!(
+                "{:<22} {:>7} {:>9} {:>9} {:>9}  {}",
+                track.def.name,
+                track.len(),
+                "-",
+                "-",
+                "-",
+                preview
+            );
+            continue;
+        }
+        let stats = series_stats(&track.values);
+        println!(
+            "{:<22} {:>7} {:>9.2} {:>9.2} {:>9.2}  {}",
+            track.def.name,
+            track.len(),
+            stats.0,
+            stats.1,
+            stats.2,
+            sparkline(&track.values, 40)
+        );
+    }
+}
+
+/// Windowed aggregates: per window the spatial temperature σ (mean over the
+/// window's samples) and the migration rate, the paper's two headline
+/// balancing metrics.
+fn print_windowed(data: &TraceData, window: f64) {
+    let temps: Vec<&Track> = data.tracks_of(TrackKind::CoreTemperature).collect();
+    let migrations = data.track(TrackKind::Migrations, 0);
+    let Some((start, end)) = data.span() else {
+        println!("empty trace");
+        return;
+    };
+    let grid: &[f64] = temps
+        .iter()
+        .max_by_key(|t| t.len())
+        .map(|t| t.times.as_slice())
+        .unwrap_or(&[]);
+    println!(
+        "{:>9} {:>9} {:>12} {:>14}",
+        "from_s", "to_s", "sigma_c", "migrations_per_s"
+    );
+    let mut at = start;
+    while at < end {
+        let to = (at + window).min(end);
+        // Mean spatial σ over the window's sample instants.
+        let mut sigma_sum = 0.0;
+        let mut sigma_n = 0u64;
+        for &t in grid.iter().filter(|&&t| t >= at && t < to) {
+            let values: Vec<f64> = temps
+                .iter()
+                .filter_map(|track| track.value_at_or_before(t))
+                .collect();
+            if values.len() > 1 {
+                sigma_sum += std_dev(&values);
+                sigma_n += 1;
+            }
+        }
+        let sigma = if sigma_n > 0 {
+            sigma_sum / sigma_n as f64
+        } else {
+            0.0
+        };
+        let migrated = migrations
+            .map(|m| {
+                let before = m.value_at_or_before(at).unwrap_or(0.0);
+                let after = m.value_at_or_before(to).unwrap_or(before);
+                (after - before).max(0.0)
+            })
+            .unwrap_or(0.0);
+        let rate = if to > at { migrated / (to - at) } else { 0.0 };
+        println!("{at:>9.2} {to:>9.2} {sigma:>12.4} {rate:>14.3}");
+        at = to;
+    }
+}
+
+fn series_stats(values: &[f64]) -> (f64, f64, f64) {
+    if values.is_empty() {
+        return (0.0, 0.0, 0.0);
+    }
+    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    (min, mean, max)
+}
+
+fn std_dev(values: &[f64]) -> f64 {
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Resamples `values` into at most `width` buckets (bucket mean) and maps
+/// each onto the 8-level block characters.
+fn sparkline(values: &[f64], width: usize) -> String {
+    if values.is_empty() {
+        return String::new();
+    }
+    let buckets = width.min(values.len()).max(1);
+    let mut resampled = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let lo = b * values.len() / buckets;
+        let hi = (((b + 1) * values.len()) / buckets).max(lo + 1);
+        let slice = &values[lo..hi.min(values.len())];
+        resampled.push(slice.iter().sum::<f64>() / slice.len() as f64);
+    }
+    let (min, _, max) = series_stats(&resampled);
+    let span = (max - min).max(1e-12);
+    resampled
+        .iter()
+        .map(|v| {
+            let level = (((v - min) / span) * 7.0).round() as usize;
+            SPARKS[level.min(7)]
+        })
+        .collect()
+}

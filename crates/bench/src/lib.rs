@@ -233,6 +233,9 @@ pub struct BatchCli {
     pub cache_dir: Option<PathBuf>,
     /// Shard to execute (`--shard i/k` or `TBP_SHARD=i/k`).
     pub shard: Option<ShardPlan>,
+    /// Directory for per-run binary traces (`--trace-dir <dir>` or
+    /// `TBP_TRACE_DIR`).
+    pub trace_dir: Option<PathBuf>,
     /// Partial-report files to merge instead of executing (`--merge <f>...`).
     pub merge: Vec<PathBuf>,
 }
@@ -272,6 +275,11 @@ pub fn batch_cli() -> BatchCli {
             cli.shard = Some(ShardPlan::parse(&shard).expect("TBP_SHARD parses"));
         }
     }
+    if cli.trace_dir.is_none() {
+        if let Ok(dir) = std::env::var("TBP_TRACE_DIR") {
+            cli.trace_dir = Some(PathBuf::from(dir));
+        }
+    }
     cli
 }
 
@@ -296,6 +304,10 @@ fn parse_batch_cli(args: impl Iterator<Item = String>) -> BatchCli {
                 let spec = flag_value(&mut args, "--shard", "an i/k value, e.g. 2/4");
                 cli.shard = Some(ShardPlan::parse(&spec).expect("--shard value parses"));
             }
+            "--trace-dir" => {
+                let dir = flag_value(&mut args, "--trace-dir", "a directory");
+                cli.trace_dir = Some(PathBuf::from(dir));
+            }
             "--merge" => {
                 while let Some(path) = args.peek() {
                     if path.starts_with("--") {
@@ -312,8 +324,9 @@ fn parse_batch_cli(args: impl Iterator<Item = String>) -> BatchCli {
         }
     }
     assert!(
-        !(cli.is_merge() && (cli.shard.is_some() || cli.cache_dir.is_some())),
-        "--merge executes nothing and cannot be combined with --shard or --cache-dir"
+        !(cli.is_merge()
+            && (cli.shard.is_some() || cli.cache_dir.is_some() || cli.trace_dir.is_some())),
+        "--merge executes nothing and cannot be combined with --shard, --cache-dir or --trace-dir"
     );
     cli
 }
@@ -375,6 +388,9 @@ pub fn run_cli_with(cli: &BatchCli, label: &str, specs: &[ScenarioSpec]) -> Opti
         return Some(batch);
     }
     let mut runner = Runner::new();
+    if let Some(dir) = &cli.trace_dir {
+        runner = runner.with_trace_dir(dir.clone());
+    }
     if let Some(dir) = &cli.cache_dir {
         runner = runner.with_cache(
             FsCache::open(dir)
@@ -476,6 +492,21 @@ mod tests {
         // A repeated flag follows last-wins.
         let cli = parse(&["--shard", "1/4", "--shard", "3/4"]);
         assert_eq!(cli.shard.expect("shard parsed").index(), 3);
+    }
+
+    #[test]
+    fn trace_dir_takes_one_value() {
+        let cli = parse(&["--trace-dir", "traces/"]);
+        assert_eq!(
+            cli.trace_dir.as_deref(),
+            Some(std::path::Path::new("traces/"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--trace-dir needs a directory")]
+    fn trace_dir_rejects_a_missing_value() {
+        parse(&["--trace-dir"]);
     }
 
     #[test]

@@ -30,6 +30,9 @@ pub enum SimError {
     },
     /// A scenario specification could not be parsed or validated.
     Spec(String),
+    /// The attached observability trace sink failed (I/O error or invalid
+    /// trace configuration).
+    Trace(String),
 }
 
 impl fmt::Display for SimError {
@@ -46,6 +49,7 @@ impl fmt::Display for SimError {
                 known.join(", ")
             ),
             SimError::Spec(msg) => write!(f, "invalid scenario specification: {msg}"),
+            SimError::Trace(msg) => write!(f, "trace sink error: {msg}"),
         }
     }
 }
@@ -57,7 +61,10 @@ impl Error for SimError {
             SimError::Thermal(e) => Some(e),
             SimError::Os(e) => Some(e),
             SimError::Stream(e) => Some(e),
-            SimError::InvalidConfig(_) | SimError::UnknownPolicy { .. } | SimError::Spec(_) => None,
+            SimError::InvalidConfig(_)
+            | SimError::UnknownPolicy { .. }
+            | SimError::Spec(_)
+            | SimError::Trace(_) => None,
         }
     }
 }

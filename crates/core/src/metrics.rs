@@ -347,6 +347,7 @@ impl MetricsCollector {
             migration: self.migration,
             qos: self.qos,
             reconfigs: self.reconfigs,
+            trace_dropped: 0,
         }
     }
 }
@@ -368,6 +369,9 @@ pub struct SimulationSummary {
     pub qos: QosMetrics,
     /// Live reconfigurations applied during the run (0 for static scenarios).
     pub reconfigs: u64,
+    /// Trace samples discarded by recorder decimation passes (0 when the
+    /// recorder never saturated or tracing was off).
+    pub trace_dropped: u64,
 }
 
 /// Manual impl so run reports cached *before* live reconfiguration landed —
@@ -401,6 +405,13 @@ impl Deserialize for SimulationSummary {
             reconfigs: match value.get("reconfigs") {
                 Some(v) => u64::from_value(v).map_err(|e| {
                     serde::Error::custom(format!("SimulationSummary.reconfigs: {e}"))
+                })?,
+                None => 0,
+            },
+            // Absent in reports cached before decimation accounting existed.
+            trace_dropped: match value.get("trace_dropped") {
+                Some(v) => u64::from_value(v).map_err(|e| {
+                    serde::Error::custom(format!("SimulationSummary.trace_dropped: {e}"))
                 })?,
                 None => 0,
             },

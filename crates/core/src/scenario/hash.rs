@@ -77,8 +77,9 @@ pub const HASH_DOMAIN: &str = "tbp-scenario-spec-v2";
 /// See [`HASH_DOMAIN`] for the history.
 pub const HASH_DOMAIN_PHASED: &str = "tbp-scenario-spec-v3";
 
-/// Top-level spec fields that do not change what a run computes.
-const NON_SEMANTIC_FIELDS: [&str; 2] = ["name", "description"];
+/// Top-level spec fields that do not change what a run computes: labels,
+/// and the `[trace]` table (tracing observes a run without changing it).
+const NON_SEMANTIC_FIELDS: [&str; 3] = ["name", "description", "trace"];
 
 /// A stable content hash of a concrete [`ScenarioSpec`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -529,6 +530,23 @@ mod tests {
             .with_policy("stop-and-go", 2.0);
         assert_eq!(ScenarioHash::of(&a).unwrap(), ScenarioHash::of(&b).unwrap());
         assert_eq!(canonical_json(&a), canonical_json(&b));
+    }
+
+    #[test]
+    fn trace_table_does_not_hash() {
+        // The `[trace]` table configures observation, not simulation: adding
+        // or editing it must keep cache keys (and cached results) valid.
+        let plain = ScenarioSpec::new("t").with_policy("stop-and-go", 2.0);
+        let mut traced = plain.clone();
+        traced.trace = Some(crate::scenario::spec::TraceSpec {
+            interval_ms: Some(50.0),
+            tracks: Some(vec!["temperatures".into(), "reconfigs".into()]),
+        });
+        assert_eq!(
+            ScenarioHash::of(&plain).unwrap(),
+            ScenarioHash::of(&traced).unwrap()
+        );
+        assert_eq!(canonical_json(&plain), canonical_json(&traced));
     }
 
     #[test]

@@ -75,8 +75,8 @@ pub use runner::{
 pub use shard::{PartialReport, ShardPlan};
 pub use spec::{
     package_label, workload_kind_label, AnalysisKind, PhaseSpec, PlatformSpec, PolicySpec,
-    ResolvedSchedule, ScenarioSpec, ScheduleSpec, SpecDelta, SweepSpec, WorkloadDecl, WorkloadKind,
-    DEFAULT_THRESHOLD,
+    ResolvedSchedule, ScenarioSpec, ScheduleSpec, SpecDelta, SweepSpec, TraceSpec, WorkloadDecl,
+    WorkloadKind, DEFAULT_THRESHOLD,
 };
 
 use crate::error::SimError;

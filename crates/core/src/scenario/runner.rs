@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 use tbp_arch::freq::{Frequency, OperatingPoint, Voltage};
 use tbp_arch::power::{ComponentKind, CoreClass, PowerModel};
 use tbp_arch::units::{Bytes, Celsius, Seconds};
+use tbp_obs::FileSink;
 use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
 use tbp_streaming::sdr::SdrBenchmark;
 use tbp_streaming::workloads::WorkloadRegistry;
@@ -39,9 +40,10 @@ use crate::scenario::cache::RunCache;
 use crate::scenario::hash::ScenarioHash;
 use crate::scenario::registry::PolicyRegistry;
 use crate::scenario::shard::{PartialReport, ShardPlan};
-use crate::scenario::spec::{AnalysisKind, ScenarioSpec};
+use crate::scenario::spec::{AnalysisKind, ScenarioSpec, TraceSpec};
 use crate::sim::{step_count, Simulation};
 use std::fmt;
+use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -52,6 +54,7 @@ pub struct Runner {
     workloads: Arc<WorkloadRegistry>,
     parallel: bool,
     cache: Option<Arc<dyn RunCache>>,
+    trace_dir: Option<Arc<PathBuf>>,
     counters: Arc<RunnerCounters>,
 }
 
@@ -89,6 +92,7 @@ impl Runner {
             workloads: WorkloadRegistry::global(),
             parallel: true,
             cache: None,
+            trace_dir: None,
             counters: Arc::default(),
         }
     }
@@ -143,6 +147,18 @@ impl Runner {
     /// Memoizes run reports in an already-shared cache.
     pub fn with_cache_arc(mut self, cache: Arc<dyn RunCache>) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Writes one binary trace per *simulated* run into `dir` (created on
+    /// first use), named after the concrete scenario with a `.tbptrace`
+    /// extension. The spec's `[trace]` table picks the sampling interval and
+    /// track groups (all tracks every 100 ms when absent).
+    ///
+    /// Cache hits skip simulation entirely and therefore emit no trace:
+    /// combine with a cold cache (or none) when the traces matter.
+    pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.trace_dir = Some(Arc::new(dir.into()));
         self
     }
 
@@ -286,7 +302,11 @@ impl Runner {
             let mut sim: Simulation =
                 folded.build_with_registries(&self.registry, self.workloads.clone())?;
             sim.set_policy_registry(self.registry.clone());
+            if let Some(dir) = &self.trace_dir {
+                attach_file_sink(&mut sim, dir, &case.name, case.trace.as_ref())?;
+            }
             run_phased(&mut sim, &folded)?;
+            sim.detach_trace_sink()?;
             self.counters.simulated.fetch_add(1, Ordering::Relaxed);
             RunReport {
                 scenario: case.name.clone(),
@@ -304,6 +324,47 @@ impl Runner {
         }
         Ok(report)
     }
+}
+
+/// File name of the binary trace of the named concrete scenario: characters
+/// outside `[A-Za-z0-9._-]` (sweep expansion produces `[` and `]`) degrade
+/// to `_`, extension `.tbptrace`.
+fn trace_file_name(scenario: &str) -> String {
+    let mut name: String = scenario
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '-' | '_') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect();
+    if name.is_empty() {
+        name.push('_');
+    }
+    name.push_str(".tbptrace");
+    name
+}
+
+/// Attaches a file-backed observability sink to `sim`, honouring the spec's
+/// `[trace]` table (all tracks every 100 ms when absent).
+fn attach_file_sink(
+    sim: &mut Simulation,
+    dir: &Path,
+    scenario: &str,
+    spec: Option<&TraceSpec>,
+) -> Result<(), SimError> {
+    let default_spec = TraceSpec::default();
+    let spec = spec.unwrap_or(&default_spec);
+    let interval = spec.interval()?;
+    let selection = spec.selection()?;
+    std::fs::create_dir_all(dir)
+        .map_err(|e| SimError::Trace(format!("create trace dir {}: {e}", dir.display())))?;
+    let path = dir.join(trace_file_name(scenario));
+    let sink = FileSink::create(&path)
+        .map_err(|e| SimError::Trace(format!("create trace file {}: {e}", path.display())))?;
+    sim.attach_trace_sink(Box::new(sink), interval, selection)
 }
 
 /// Executes one (possibly phased) concrete scenario to its end, applying
@@ -476,7 +537,7 @@ impl BatchReport {
         let mut out = String::from(
             "scenario,policy,workload,package,threshold_c,queue_capacity,sigma_spatial_c,\
              mean_spread_c,peak_c,frames_delivered,deadline_misses,miss_rate,migrations,\
-             migrations_per_s,migrated_kib_per_s,halts,reconfigs,measured_s\n",
+             migrations_per_s,migrated_kib_per_s,halts,reconfigs,measured_s,trace_dropped\n",
         );
         for report in &self.reports {
             let Some(summary) = report.summary() else {
@@ -503,6 +564,7 @@ impl BatchReport {
                 summary.migration.halts.to_string(),
                 summary.reconfigs.to_string(),
                 format!("{:.2}", summary.measured_time.as_secs()),
+                summary.trace_dropped.to_string(),
             ];
             out.push_str(&row.join(","));
             out.push('\n');

@@ -22,6 +22,7 @@ use crate::error::SimError;
 use crate::scenario::registry::PolicyRegistry;
 use crate::sim::builder::Workload;
 use crate::sim::{Simulation, SimulationBuilder, SimulationConfig};
+use crate::trace::TrackSelection;
 
 /// Default policy threshold (°C) when a spec does not name one.
 pub const DEFAULT_THRESHOLD: f64 = 3.0;
@@ -89,6 +90,10 @@ pub struct ScenarioSpec {
     /// Live-reconfiguration phases (`[[phases]]` in TOML): validated,
     /// time-ordered deltas the runner applies to the *running* simulation.
     pub phases: Option<Vec<PhaseSpec>>,
+    /// Observability-sink settings (`[trace]` in TOML). Tracing observes a
+    /// run without changing it, so this section is excluded from the
+    /// scenario hash.
+    pub trace: Option<TraceSpec>,
 }
 
 impl ScenarioSpec {
@@ -105,6 +110,7 @@ impl ScenarioSpec {
             schedule: None,
             sweep: None,
             phases: None,
+            trace: None,
         }
     }
 
@@ -991,6 +997,88 @@ pub struct ResolvedSchedule {
     pub policy_period: Seconds,
     /// Trace interval (`None` disables tracing).
     pub trace_interval: Option<Seconds>,
+}
+
+/// Observability-sink settings (`[trace]` in TOML): the sampling interval
+/// and track groups of the binary trace a run emits when the runner is given
+/// a trace directory.
+///
+/// Tracing observes a run without changing its dynamics, so this table is a
+/// non-semantic field of the spec: adding or editing it never changes the
+/// scenario hash (cache keys and cached results stay valid).
+///
+/// ```
+/// use tbp_core::scenario::ScenarioSpec;
+///
+/// let spec: ScenarioSpec = toml::from_str(
+///     r#"
+///     name = "traced"
+///
+///     [trace]
+///     interval_ms = 50.0
+///     tracks = ["temperatures", "migrations", "reconfigs"]
+///     "#,
+/// )
+/// .expect("valid TOML");
+/// let trace = spec.trace.as_ref().unwrap();
+/// assert!(trace.selection().unwrap().temperatures);
+/// assert!(!trace.selection().unwrap().frequencies);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Sink sampling interval in milliseconds (default 100 ms).
+    pub interval_ms: Option<f64>,
+    /// Track groups to record; absent means all. Known names:
+    /// `temperatures`, `frequencies`, `migrations`, `deadline_misses`,
+    /// `queue_depths`, `reconfigs`.
+    pub tracks: Option<Vec<String>>,
+}
+
+impl TraceSpec {
+    /// The sink sampling interval, defaulted to 100 ms.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] for a non-finite or non-positive interval.
+    pub fn interval(&self) -> Result<Seconds, SimError> {
+        let ms = self.interval_ms.unwrap_or(100.0);
+        if !ms.is_finite() || ms <= 0.0 {
+            return Err(SimError::Spec(format!(
+                "[trace] interval_ms must be finite and positive (got {ms})"
+            )));
+        }
+        Ok(Seconds::from_millis(ms))
+    }
+
+    /// The track selection this spec names (all groups when `tracks` is
+    /// absent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Spec`] for an unknown track-group name.
+    pub fn selection(&self) -> Result<TrackSelection, SimError> {
+        let Some(tracks) = &self.tracks else {
+            return Ok(TrackSelection::all());
+        };
+        let mut selection = TrackSelection::none();
+        for name in tracks {
+            match name.as_str() {
+                "temperatures" => selection.temperatures = true,
+                "frequencies" => selection.frequencies = true,
+                "migrations" => selection.migrations = true,
+                "deadline_misses" => selection.deadline_misses = true,
+                "queue_depths" => selection.queue_depths = true,
+                "reconfigs" => selection.reconfigs = true,
+                other => {
+                    return Err(SimError::Spec(format!(
+                        "[trace] unknown track group `{other}` (known: temperatures, \
+                         frequencies, migrations, deadline_misses, queue_depths, reconfigs)"
+                    )))
+                }
+            }
+        }
+        Ok(selection)
+    }
 }
 
 /// Sweep axes: the cartesian product of all present axes expands a spec into

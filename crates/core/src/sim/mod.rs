@@ -17,6 +17,7 @@ use tbp_arch::core::CoreId;
 use tbp_arch::freq::Frequency;
 use tbp_arch::platform::{MpsocPlatform, PowerSnapshot};
 use tbp_arch::units::{Celsius, Seconds};
+use tbp_obs::{TraceSink, TrackDef, TrackKind};
 use tbp_os::mpos::{Mpos, MposStepReport};
 use tbp_os::OsError;
 use tbp_streaming::pipeline::PipelineRuntime;
@@ -31,7 +32,7 @@ use crate::policy::{
 };
 use crate::scenario::registry::PolicyRegistry;
 use crate::scenario::spec::{PolicySpec, SpecDelta};
-use crate::trace::TraceRecorder;
+use crate::trace::{TraceRecorder, TrackSelection};
 
 /// Timing and measurement parameters of a simulation.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -133,6 +134,24 @@ impl StepScratch {
     }
 }
 
+/// State of an attached observability sink: the boxed sink, the layout of
+/// the track table it was registered with (base track id per selected
+/// group), and its own sampling clock, independent of the in-memory
+/// recorder's.
+struct ObsState {
+    sink: Box<dyn TraceSink>,
+    interval: Seconds,
+    since_last: Seconds,
+    /// Base track ids per group; `None` means the group was deselected.
+    temps: Option<u16>,
+    freqs: Option<u16>,
+    migrations: Option<u16>,
+    misses: Option<u16>,
+    queues: Option<u16>,
+    reconfig: Option<u16>,
+    num_queues: usize,
+}
+
 /// The assembled co-simulation.
 ///
 /// Build one with [`SimulationBuilder`]; see the
@@ -147,6 +166,7 @@ pub struct Simulation {
     config: SimulationConfig,
     metrics: MetricsCollector,
     trace: TraceRecorder,
+    obs: Option<ObsState>,
     scratch: StepScratch,
     elapsed: Seconds,
     since_policy: Seconds,
@@ -190,6 +210,7 @@ impl Simulation {
             config,
             metrics,
             trace,
+            obs: None,
             scratch: StepScratch::new(),
             elapsed: Seconds::ZERO,
             since_policy: Seconds::ZERO,
@@ -238,6 +259,157 @@ impl Simulation {
     /// The recorded trace.
     pub fn trace(&self) -> &TraceRecorder {
         &self.trace
+    }
+
+    /// Attaches an observability sink that receives typed per-subsystem
+    /// tracks (temperatures, frequencies, migration/miss counters, queue
+    /// depths, reconfiguration events) sampled every `interval`.
+    ///
+    /// The sink keeps its own sampling clock, independent of the in-memory
+    /// [`TraceRecorder`]; the first sample is emitted on the first step after
+    /// attachment. Sink feeding reuses the step scratch, so a steady-state
+    /// step stays allocation-free even with a file-backed sink attached (the
+    /// counting-allocator test pins this down).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Trace`] for a non-positive or non-finite interval,
+    /// when a sink is already attached, or when the platform needs more
+    /// tracks than the format's `u16` track ids can address.
+    pub fn attach_trace_sink(
+        &mut self,
+        mut sink: Box<dyn TraceSink>,
+        interval: Seconds,
+        selection: TrackSelection,
+    ) -> Result<(), SimError> {
+        if !interval.as_secs().is_finite() || interval.is_zero() {
+            return Err(SimError::Trace(
+                "sink sampling interval must be finite and positive".into(),
+            ));
+        }
+        if self.obs.is_some() {
+            return Err(SimError::Trace(
+                "a trace sink is already attached; detach it first".into(),
+            ));
+        }
+        let num_cores = self.platform.num_cores();
+        let num_queues = self.pipeline.as_ref().map(|p| p.num_queues()).unwrap_or(0);
+        let secs = interval.as_secs();
+        let mut defs: Vec<TrackDef> = Vec::new();
+        let base = |defs: &[TrackDef]| -> Result<u16, SimError> {
+            u16::try_from(defs.len())
+                .map_err(|_| SimError::Trace("track table exceeds u16 track ids".into()))
+        };
+        let temps = if selection.temperatures {
+            let at = base(&defs)?;
+            for i in 0..num_cores {
+                defs.push(TrackDef::counter(
+                    TrackKind::CoreTemperature,
+                    i as u32,
+                    secs,
+                    format!("core{i}.temp_c"),
+                ));
+            }
+            Some(at)
+        } else {
+            None
+        };
+        let freqs = if selection.frequencies {
+            let at = base(&defs)?;
+            for i in 0..num_cores {
+                defs.push(TrackDef::counter(
+                    TrackKind::CoreFrequency,
+                    i as u32,
+                    secs,
+                    format!("core{i}.freq_mhz"),
+                ));
+            }
+            Some(at)
+        } else {
+            None
+        };
+        let migrations = if selection.migrations {
+            let at = base(&defs)?;
+            defs.push(TrackDef::counter(
+                TrackKind::Migrations,
+                0,
+                secs,
+                "migrations",
+            ));
+            Some(at)
+        } else {
+            None
+        };
+        let misses = if selection.deadline_misses {
+            let at = base(&defs)?;
+            defs.push(TrackDef::counter(
+                TrackKind::DeadlineMisses,
+                0,
+                secs,
+                "deadline_misses",
+            ));
+            Some(at)
+        } else {
+            None
+        };
+        let queues = if selection.queue_depths && num_queues > 0 {
+            let at = base(&defs)?;
+            for j in 0..num_queues {
+                defs.push(TrackDef::counter(
+                    TrackKind::QueueDepth,
+                    j as u32,
+                    secs,
+                    format!("queue{j}.depth"),
+                ));
+            }
+            Some(at)
+        } else {
+            None
+        };
+        let reconfig = if selection.reconfigs {
+            let at = base(&defs)?;
+            defs.push(TrackDef::event(TrackKind::Reconfig, 0, "reconfig"));
+            Some(at)
+        } else {
+            None
+        };
+        base(&defs)?; // the full table must still be addressable
+        sink.begin(&defs);
+        self.obs = Some(ObsState {
+            sink,
+            interval,
+            // The first step after attachment emits a sample immediately.
+            since_last: interval,
+            temps,
+            freqs,
+            migrations,
+            misses,
+            queues,
+            reconfig,
+            num_queues,
+        });
+        Ok(())
+    }
+
+    /// Detaches the attached observability sink (if any) and finalises it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::Trace`] when the sink fails to finalise (e.g. an
+    /// I/O error flushing a file-backed sink).
+    pub fn detach_trace_sink(&mut self) -> Result<(), SimError> {
+        match self.obs.take() {
+            Some(mut state) => state
+                .sink
+                .finish()
+                .map_err(|e| SimError::Trace(e.to_string())),
+            None => Ok(()),
+        }
+    }
+
+    /// Whether an observability sink is currently attached.
+    pub fn has_trace_sink(&self) -> bool {
+        self.obs.is_some()
     }
 
     /// Number of policy actions applied so far.
@@ -330,8 +502,22 @@ impl Simulation {
             }
         }
 
-        // 8. Trace.
-        if self.trace.tick(dt) {
+        // 8. Trace: the in-memory recorder and an attached sink keep
+        // independent sampling clocks but share the scratch refresh.
+        let legacy_due = self.trace.tick(dt);
+        let obs_due = match &mut self.obs {
+            Some(state) => {
+                state.since_last += dt;
+                if state.since_last.as_secs() + 1e-12 >= state.interval.as_secs() {
+                    state.since_last = Seconds::ZERO;
+                    true
+                } else {
+                    false
+                }
+            }
+            None => false,
+        };
+        if legacy_due || obs_due {
             self.scratch.freqs_mhz.clear();
             self.scratch
                 .freqs_mhz
@@ -342,13 +528,43 @@ impl Simulation {
                 .as_ref()
                 .map(|p| p.qos().deadline_misses)
                 .unwrap_or(0);
-            self.trace.record_borrowed(
-                self.elapsed,
-                self.sensors.readings(),
-                &self.scratch.freqs_mhz,
-                migrations,
-                deadline_misses,
-            );
+            if legacy_due {
+                self.trace.record_borrowed(
+                    self.elapsed,
+                    self.sensors.readings(),
+                    &self.scratch.freqs_mhz,
+                    migrations,
+                    deadline_misses,
+                );
+            }
+            if obs_due {
+                if let Some(state) = &mut self.obs {
+                    let t = self.elapsed.as_secs();
+                    if let Some(base) = state.temps {
+                        for (i, temp) in self.sensors.readings().iter().enumerate() {
+                            state.sink.counter(base + i as u16, t, temp.as_celsius());
+                        }
+                    }
+                    if let Some(base) = state.freqs {
+                        for (i, mhz) in self.scratch.freqs_mhz.iter().enumerate() {
+                            state.sink.counter(base + i as u16, t, *mhz);
+                        }
+                    }
+                    if let Some(id) = state.migrations {
+                        state.sink.counter(id, t, migrations as f64);
+                    }
+                    if let Some(id) = state.misses {
+                        state.sink.counter(id, t, deadline_misses as f64);
+                    }
+                    if let (Some(base), Some(pipeline)) = (state.queues, self.pipeline.as_ref()) {
+                        for j in 0..state.num_queues {
+                            if let Some(level) = pipeline.edge_queue_level(j) {
+                                state.sink.counter(base + j as u16, t, level as f64);
+                            }
+                        }
+                    }
+                }
+            }
         }
 
         self.elapsed += dt;
@@ -466,7 +682,13 @@ impl Simulation {
         }
         self.reconfigs_applied += 1;
         self.metrics.record_reconfig();
-        self.trace.record_reconfig(self.elapsed, delta.describe());
+        let description = delta.describe();
+        if let Some(state) = &mut self.obs {
+            if let Some(id) = state.reconfig {
+                state.sink.event(id, self.elapsed.as_secs(), &description);
+            }
+        }
+        self.trace.record_reconfig(self.elapsed, description);
         Ok(())
     }
 
@@ -494,7 +716,9 @@ impl Simulation {
             })
             .unwrap_or_default();
         self.metrics.set_qos(qos);
-        self.metrics.summary(self.policy.name(), self.elapsed)
+        let mut summary = self.metrics.summary(self.policy.name(), self.elapsed);
+        summary.trace_dropped = self.trace.dropped();
+        summary
     }
 
     fn apply_action(&mut self, action: PolicyAction) -> Result<(), SimError> {

@@ -5,6 +5,11 @@
 //! simulation state at a configurable interval and keeps the series in memory
 //! so experiments can plot temperature transients (e.g. the warm-up gradient
 //! or the balancing transient of Section 5).
+//!
+//! For fleet-scale archival the simulation can additionally stream typed
+//! per-subsystem tracks into a `tbp_obs` sink (see
+//! `Simulation::attach_trace_sink`); [`TrackSelection`] names which track
+//! groups such a sink receives.
 
 use serde::{Deserialize, Serialize};
 
@@ -38,21 +43,144 @@ pub struct ReconfigEvent {
     pub description: String,
 }
 
+/// Which observability track groups an attached trace sink receives.
+///
+/// The default selects everything; scenario specs narrow it through the
+/// (non-hash-affecting) `[trace]` table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TrackSelection {
+    /// Per-core sensor temperatures.
+    pub temperatures: bool,
+    /// Per-core clock frequencies.
+    pub frequencies: bool,
+    /// The cumulative migration counter.
+    pub migrations: bool,
+    /// The cumulative deadline-miss counter.
+    pub deadline_misses: bool,
+    /// Per-edge pipeline queue depths.
+    pub queue_depths: bool,
+    /// Live-reconfiguration events.
+    pub reconfigs: bool,
+}
+
+impl TrackSelection {
+    /// Every track group.
+    pub fn all() -> Self {
+        TrackSelection {
+            temperatures: true,
+            frequencies: true,
+            migrations: true,
+            deadline_misses: true,
+            queue_depths: true,
+            reconfigs: true,
+        }
+    }
+
+    /// No track group (useful as a base for builder-style selection).
+    pub fn none() -> Self {
+        TrackSelection {
+            temperatures: false,
+            frequencies: false,
+            migrations: false,
+            deadline_misses: false,
+            queue_depths: false,
+            reconfigs: false,
+        }
+    }
+}
+
+impl Default for TrackSelection {
+    fn default() -> Self {
+        TrackSelection::all()
+    }
+}
+
 /// Records [`TraceSample`]s at a fixed interval, bounded in length.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Saturation does not lose the tail of a long run: when the buffer
+/// reaches `max_samples` the recorder *decimates* — it keeps every other
+/// stored sample and doubles its sampling interval — so the series always
+/// spans the whole run at a resolution that degrades gracefully
+/// (2×, 4×, … the configured interval) instead of silently stopping.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TraceRecorder {
     interval: Seconds,
     max_samples: usize,
     since_last: Seconds,
     samples: Vec<TraceSample>,
     dropped: u64,
+    decimations: u32,
     reconfigs: Vec<ReconfigEvent>,
+}
+
+/// A disabled recorder carries an infinite interval, which strict JSON
+/// cannot represent: the manual impls omit `interval`/`since_last` while
+/// they are non-finite and restore the infinities on deserialization (the
+/// same pattern `RunningStats` uses for its empty-state min/max), so run
+/// artifacts holding a disabled recorder round-trip losslessly through
+/// `FsCache`-style strict-JSON storage.
+impl Serialize for TraceRecorder {
+    fn to_value(&self) -> serde::Value {
+        let mut entries = Vec::with_capacity(7);
+        if self.interval.as_secs().is_finite() {
+            entries.push(("interval".to_string(), self.interval.to_value()));
+        }
+        entries.push(("max_samples".to_string(), self.max_samples.to_value()));
+        if self.since_last.as_secs().is_finite() {
+            entries.push(("since_last".to_string(), self.since_last.to_value()));
+        }
+        entries.push(("samples".to_string(), self.samples.to_value()));
+        entries.push(("dropped".to_string(), self.dropped.to_value()));
+        entries.push(("decimations".to_string(), self.decimations.to_value()));
+        entries.push(("reconfigs".to_string(), self.reconfigs.to_value()));
+        serde::Value::Map(entries)
+    }
+}
+
+impl Deserialize for TraceRecorder {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        if !matches!(value, serde::Value::Map(_)) {
+            return Err(serde::Error::custom(format!(
+                "TraceRecorder: expected map, found {}",
+                value.kind()
+            )));
+        }
+        fn required<T: Deserialize>(value: &serde::Value, key: &str) -> Result<T, serde::Error> {
+            match value.get(key) {
+                Some(v) => T::from_value(v)
+                    .map_err(|e| serde::Error::custom(format!("TraceRecorder.{key}: {e}"))),
+                None => Err(serde::Error::custom(format!(
+                    "TraceRecorder: missing field `{key}`"
+                ))),
+            }
+        }
+        fn seconds_or_infinity(value: &serde::Value, key: &str) -> Result<Seconds, serde::Error> {
+            match value.get(key) {
+                Some(v) => Seconds::from_value(v)
+                    .map_err(|e| serde::Error::custom(format!("TraceRecorder.{key}: {e}"))),
+                None => Ok(Seconds::new(f64::INFINITY)),
+            }
+        }
+        Ok(TraceRecorder {
+            interval: seconds_or_infinity(value, "interval")?,
+            max_samples: required(value, "max_samples")?,
+            since_last: seconds_or_infinity(value, "since_last")?,
+            samples: required(value, "samples")?,
+            dropped: required(value, "dropped")?,
+            // Absent in artifacts recorded before decimation existed.
+            decimations: match value.get("decimations") {
+                Some(v) => u32::from_value(v)
+                    .map_err(|e| serde::Error::custom(format!("TraceRecorder.decimations: {e}")))?,
+                None => 0,
+            },
+            reconfigs: required(value, "reconfigs")?,
+        })
+    }
 }
 
 impl TraceRecorder {
     /// Creates a recorder sampling every `interval`, keeping at most
-    /// `max_samples` samples (older samples are retained; once the buffer is
-    /// full new samples are dropped and counted).
+    /// `max_samples` samples (a full buffer decimates: see the type docs).
     pub fn new(interval: Seconds, max_samples: usize) -> Self {
         TraceRecorder {
             interval,
@@ -60,6 +188,7 @@ impl TraceRecorder {
             since_last: interval, // record the very first offered sample
             samples: Vec::new(),
             dropped: 0,
+            decimations: 0,
             reconfigs: Vec::new(),
         }
     }
@@ -69,7 +198,7 @@ impl TraceRecorder {
         TraceRecorder::new(Seconds::new(f64::INFINITY), 0)
     }
 
-    /// The sampling interval.
+    /// The sampling interval (doubled by each decimation pass).
     pub fn interval(&self) -> Seconds {
         self.interval
     }
@@ -79,9 +208,16 @@ impl TraceRecorder {
         &self.samples
     }
 
-    /// Number of samples dropped because the buffer was full.
+    /// Number of samples discarded so far — by decimation passes, or
+    /// outright on a recorder with zero capacity.
     pub fn dropped(&self) -> u64 {
         self.dropped
+    }
+
+    /// Number of keep-every-other decimation passes performed (each one
+    /// doubled the effective sampling interval).
+    pub fn decimations(&self) -> u32 {
+        self.decimations
     }
 
     /// Returns `true` when `dt` more simulated time means a sample is due.
@@ -96,11 +232,9 @@ impl TraceRecorder {
     /// Stores a sample (call when [`tick`](Self::tick) returned `true`).
     pub fn record(&mut self, sample: TraceSample) {
         self.since_last = Seconds::ZERO;
-        if self.samples.len() >= self.max_samples {
-            self.dropped += 1;
-            return;
+        if self.make_room() {
+            self.samples.push(sample);
         }
-        self.samples.push(sample);
     }
 
     /// Borrow-based form of [`record`](Self::record): the recorder copies the
@@ -116,8 +250,7 @@ impl TraceRecorder {
         deadline_misses: u64,
     ) {
         self.since_last = Seconds::ZERO;
-        if self.samples.len() >= self.max_samples {
-            self.dropped += 1;
+        if !self.make_room() {
             return;
         }
         self.samples.push(TraceSample {
@@ -127,6 +260,37 @@ impl TraceRecorder {
             migrations,
             deadline_misses,
         });
+    }
+
+    /// Makes room for one more sample, decimating when the buffer is full.
+    /// Returns whether the incoming sample should be stored.
+    fn make_room(&mut self) -> bool {
+        if self.max_samples == 0 {
+            self.dropped += 1;
+            return false;
+        }
+        if self.samples.len() < self.max_samples {
+            return true;
+        }
+        // Keep-every-other decimation: retain even indices (preserving the
+        // series start and its uniform spacing) and double the interval so
+        // future samples land on the coarser grid.
+        let before = self.samples.len();
+        let mut i = 0usize;
+        self.samples.retain(|_| {
+            let keep = i.is_multiple_of(2);
+            i += 1;
+            keep
+        });
+        self.dropped += (before - self.samples.len()) as u64;
+        self.interval = Seconds::new(self.interval.as_secs() * 2.0);
+        self.decimations += 1;
+        if self.samples.len() >= self.max_samples {
+            // Only reachable with max_samples == 1: nothing was freed.
+            self.dropped += 1;
+            return false;
+        }
+        true
     }
 
     /// Records a live-reconfiguration event. Events are kept even by a
@@ -149,10 +313,12 @@ impl TraceRecorder {
         &self.reconfigs
     }
 
-    /// Clears the recorded samples and reconfiguration events.
+    /// Clears the recorded samples and reconfiguration events. The interval
+    /// stays at its current (possibly decimation-doubled) value.
     pub fn reset(&mut self) {
         self.samples.clear();
         self.dropped = 0;
+        self.decimations = 0;
         self.since_last = self.interval;
         self.reconfigs.clear();
     }
@@ -209,17 +375,52 @@ mod tests {
     }
 
     #[test]
-    fn bounded_capacity_drops_excess() {
-        let mut rec = TraceRecorder::new(Seconds::from_millis(10.0), 2);
-        for i in 0..5 {
-            rec.tick(Seconds::from_millis(10.0));
-            rec.record(sample(i as f64, 40.0 + i as f64));
+    fn saturation_decimates_keeping_full_span_coverage() {
+        // Drive the recorder the way the simulator does: offer a sample per
+        // fixed dt, record only when tick fires (the doubled post-decimation
+        // interval thins future samples automatically).
+        let mut rec = TraceRecorder::new(Seconds::from_millis(10.0), 8);
+        let dt = Seconds::from_millis(10.0);
+        let mut recorded = 0u64;
+        for i in 0..64 {
+            if rec.tick(dt) {
+                rec.record(sample(i as f64 * 0.01, 40.0));
+                recorded += 1;
+            }
         }
-        assert_eq!(rec.samples().len(), 2);
-        assert_eq!(rec.dropped(), 3);
+        // Bounded, decimated, spanning the whole run: first sample kept,
+        // last kept sample well past the old drop-newest horizon (which
+        // would have frozen the series at t = 0.07).
+        assert!(rec.samples().len() <= 8);
+        assert_eq!(rec.samples()[0].time, Seconds::new(0.0));
+        assert!(rec.samples().last().unwrap().time.as_secs() >= 0.48);
+        assert!(rec.decimations() >= 3);
+        // Every discarded sample is accounted for.
+        assert_eq!(rec.samples().len() as u64 + rec.dropped(), recorded);
+        // The interval doubled once per decimation pass.
+        let expected = 0.01 * f64::from(1u32 << rec.decimations());
+        assert!((rec.interval().as_secs() - expected).abs() < 1e-12);
+        // The kept grid is uniform.
+        let times: Vec<f64> = rec.samples().iter().map(|s| s.time.as_secs()).collect();
+        let d0 = times[1] - times[0];
+        for w in times.windows(2) {
+            assert!((w[1] - w[0] - d0).abs() < 1e-12);
+        }
         rec.reset();
         assert!(rec.samples().is_empty());
         assert_eq!(rec.dropped(), 0);
+        assert_eq!(rec.decimations(), 0);
+    }
+
+    #[test]
+    fn capacity_one_still_keeps_the_first_sample() {
+        let mut rec = TraceRecorder::new(Seconds::from_millis(10.0), 1);
+        for i in 0..5 {
+            rec.record(sample(i as f64, 40.0));
+        }
+        assert_eq!(rec.samples().len(), 1);
+        assert_eq!(rec.samples()[0].time, Seconds::new(0.0));
+        assert_eq!(rec.dropped(), 4);
     }
 
     #[test]
@@ -242,5 +443,46 @@ mod tests {
         assert_eq!(events[1].description, "policy=stop-and-go");
         rec.reset();
         assert!(rec.reconfig_events().is_empty());
+    }
+
+    #[test]
+    fn disabled_recorder_round_trips_through_strict_json() {
+        // Regression: the infinite interval of a disabled recorder used to
+        // go through the derived impls verbatim, which strict JSON cannot
+        // carry. The manual impls omit non-finite interval/since_last and
+        // restore them on load.
+        let mut rec = TraceRecorder::disabled();
+        rec.record_reconfig(Seconds::new(2.0), "threshold=1.5");
+        let json = serde_json::to_string(&rec).expect("serializes");
+        assert!(
+            !json.to_ascii_lowercase().contains("inf"),
+            "non-finite token leaked into JSON: {json}"
+        );
+        let back: TraceRecorder = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, rec);
+        // The restored recorder still behaves disabled.
+        let mut back = back;
+        assert!(!back.tick(Seconds::new(1e9)));
+    }
+
+    #[test]
+    fn active_recorder_round_trips_through_strict_json() {
+        let mut rec = TraceRecorder::new(Seconds::from_millis(10.0), 4);
+        for i in 0..6 {
+            rec.tick(rec.interval());
+            rec.record(sample(i as f64 * 0.01, 42.0 + i as f64));
+        }
+        rec.record_reconfig(Seconds::new(0.03), "policy=mig");
+        let json = serde_json::to_string(&rec).expect("serializes");
+        let back: TraceRecorder = serde_json::from_str(&json).expect("parses");
+        assert_eq!(back, rec);
+        // Legacy artifacts without the decimations field load as 0 passes.
+        let mut value = rec.to_value();
+        if let serde::Value::Map(entries) = &mut value {
+            entries.retain(|(key, _)| key != "decimations");
+        }
+        let legacy = TraceRecorder::from_value(&value).expect("legacy parses");
+        assert_eq!(legacy.decimations(), 0);
+        assert_eq!(legacy.samples(), rec.samples());
     }
 }

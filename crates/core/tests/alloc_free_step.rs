@@ -8,9 +8,12 @@
 //! allocations. This is the property the PR 4 hot-loop rework establishes:
 //! all per-step buffers live in reusable workspaces/scratch structs.
 //!
-//! Tracing is disabled in the measured configuration — a trace recorder
-//! *stores* samples, and retaining data inherently allocates. Everything
-//! else runs exactly as in a real experiment.
+//! The in-memory trace recorder is disabled in the measured configuration —
+//! a recorder *stores* samples, and retaining data inherently allocates. A
+//! file-backed observability sink, by contrast, must uphold the guarantee
+//! (its chunk buffer is preallocated and flushed in place), so a fourth case
+//! measures the loop with one attached. Everything else runs exactly as in a
+//! real experiment.
 //!
 //! The counter is process-global, so this file contains a single `#[test]`
 //! (integration tests compile to their own binary; the libtest harness would
@@ -123,4 +126,37 @@ fn steady_state_step_performs_zero_heap_allocations() {
         // did not trade correctness for silence).
         assert!(sim.elapsed().as_secs() > 28.0);
     }
+
+    // A file-backed observability sink must not break the guarantee: its
+    // chunk buffer is preallocated at attach time and flushed to the OS in
+    // place, so feeding every track each sampling tick stays allocation-free.
+    let path = std::env::temp_dir().join("tbp_alloc_free_step.tbptrace");
+    let mut sim = build(
+        Package::mobile_embedded(),
+        SolverKind::ForwardEuler,
+        Workload::sdr(),
+    );
+    sim.attach_trace_sink(
+        Box::new(tbp_obs::FileSink::create(&path).expect("trace file creates")),
+        Seconds::from_millis(10.0),
+        tbp_core::trace::TrackSelection::all(),
+    )
+    .expect("sink attaches");
+    sim.run_for(Seconds::new(9.0)).expect("warm-up runs");
+    let before = allocations();
+    for _ in 0..4_000 {
+        sim.step().expect("steady-state step with sink");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "file-sink: steady-state Simulation::step allocated {} times in 4000 steps",
+        after - before
+    );
+    sim.detach_trace_sink().expect("sink finalises");
+    // The emitted trace is complete and readable.
+    let data = tbp_obs::TraceReader::read_file(&path).expect("trace decodes");
+    assert!(data.total_records() > 0);
+    let _ = std::fs::remove_file(&path);
 }

@@ -1,0 +1,802 @@
+//! The chunked binary trace format.
+//!
+//! ```text
+//! file   := magic chunk*
+//! magic  := "TBPTRC01" (8 bytes)
+//! chunk  := payload_len:u32le crc32(payload):u32le payload
+//! payload:= tag:u8 body
+//!
+//! tag 0x01 (header, exactly once, first):
+//!   version:u32le track_count:u32le track*
+//!   track := kind:u8 index:u32le interval_s:f64le name_len:u16le name:utf8
+//! tag 0x02 (samples, any number):
+//!   record*
+//!   record := 0x01 track:u16le time_s:f64le value:f64le        (counter)
+//!           | 0x02 track:u16le time_s:f64le len:u16le label    (event)
+//! tag 0xFF (end, exactly once, last):
+//!   total_records:u64le
+//! ```
+//!
+//! All integers and floats are little-endian fixed width. Every chunk is
+//! independently CRC-checked, so corruption is detected at chunk granularity
+//! and a file truncated mid-chunk (or missing its end chunk entirely) is
+//! rejected with a typed error rather than silently read short.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+
+use crate::crc32::crc32;
+use crate::track::{TraceData, Track, TrackDef, TrackKind};
+
+/// Leading magic: format name plus a human-readable major version.
+pub const MAGIC: &[u8; 8] = b"TBPTRC01";
+/// Version written into (and required from) the header chunk.
+pub const FORMAT_VERSION: u32 = 1;
+
+const TAG_HEADER: u8 = 0x01;
+const TAG_SAMPLES: u8 = 0x02;
+const TAG_END: u8 = 0xFF;
+
+const REC_COUNTER: u8 = 0x01;
+const REC_EVENT: u8 = 0x02;
+
+/// Samples chunks are flushed once they reach this size.
+const CHUNK_CAPACITY: usize = 64 * 1024;
+/// Event labels are truncated (on a char boundary) to this many bytes so one
+/// record can never outgrow a chunk.
+const MAX_LABEL_BYTES: usize = 4096;
+/// Upper bound a reader accepts for one chunk's payload length: large enough
+/// for any header we could write, small enough to reject garbage lengths
+/// from a corrupt size field before allocating.
+const MAX_CHUNK_BYTES: usize = 16 * 1024 * 1024;
+
+const COUNTER_RECORD_BYTES: usize = 1 + 2 + 8 + 8;
+
+/// Errors produced while writing or reading a binary trace.
+#[derive(Debug)]
+pub enum TraceError {
+    /// An underlying I/O operation failed.
+    Io(io::Error),
+    /// The file does not start with the trace magic.
+    BadMagic,
+    /// The byte stream ended in the middle of a chunk frame.
+    Truncated {
+        /// Byte offset at which more data was expected.
+        offset: usize,
+    },
+    /// A chunk's payload does not match its stored CRC-32.
+    CrcMismatch {
+        /// Zero-based index of the corrupt chunk.
+        chunk: usize,
+    },
+    /// The header declares a format version this reader does not support.
+    UnsupportedVersion(u32),
+    /// A chunk payload is structurally invalid.
+    Malformed {
+        /// Zero-based index of the offending chunk.
+        chunk: usize,
+        /// What was wrong.
+        what: &'static str,
+    },
+    /// The first chunk was not a header chunk.
+    MissingHeader,
+    /// A record referenced a track id the header did not declare.
+    UnknownTrack {
+        /// Zero-based index of the offending chunk.
+        chunk: usize,
+        /// The undeclared track id.
+        track: u16,
+    },
+    /// The stream ended without an end chunk (truncated at a chunk
+    /// boundary, which per-chunk CRCs alone cannot detect).
+    MissingEnd,
+    /// The end chunk's declared record count disagrees with the records
+    /// actually decoded.
+    CountMismatch {
+        /// Count declared by the end chunk.
+        declared: u64,
+        /// Count decoded from the samples chunks.
+        decoded: u64,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
+            TraceError::BadMagic => write!(f, "not a TBP trace (bad magic)"),
+            TraceError::Truncated { offset } => {
+                write!(f, "trace truncated mid-chunk at byte {offset}")
+            }
+            TraceError::CrcMismatch { chunk } => {
+                write!(f, "CRC mismatch in chunk {chunk} (corrupt trace)")
+            }
+            TraceError::UnsupportedVersion(v) => {
+                write!(f, "unsupported trace format version {v}")
+            }
+            TraceError::Malformed { chunk, what } => {
+                write!(f, "malformed chunk {chunk}: {what}")
+            }
+            TraceError::MissingHeader => write!(f, "trace does not start with a header chunk"),
+            TraceError::UnknownTrack { chunk, track } => {
+                write!(f, "chunk {chunk} references undeclared track {track}")
+            }
+            TraceError::MissingEnd => {
+                write!(
+                    f,
+                    "trace ends without an end chunk (truncated at a chunk boundary)"
+                )
+            }
+            TraceError::CountMismatch { declared, decoded } => write!(
+                f,
+                "end chunk declares {declared} records but {decoded} were decoded"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for TraceError {
+    fn from(e: io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Streams records into the chunked binary format.
+///
+/// Records are encoded into a preallocated chunk buffer and flushed to the
+/// underlying writer whenever the buffer reaches `CHUNK_CAPACITY` (64 KiB); the
+/// record methods therefore never allocate and never return errors — an I/O
+/// failure is latched and surfaced by [`finish`](Self::finish). This is what
+/// lets a file-backed sink sit inside the simulator's zero-allocation step
+/// loop.
+#[derive(Debug)]
+pub struct TraceWriter<W: Write> {
+    out: W,
+    chunk: Vec<u8>,
+    records: u64,
+    finished: bool,
+    error: Option<TraceError>,
+}
+
+impl<W: Write> TraceWriter<W> {
+    /// Creates a writer over `out` and immediately writes the magic and the
+    /// header chunk declaring `tracks` (record `track` ids are positions in
+    /// this slice).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TraceError::Io`] when the magic or header cannot be
+    /// written, and [`TraceError::Malformed`] for more than `u16::MAX`
+    /// tracks or a track name longer than 65 535 bytes.
+    pub fn new(mut out: W, tracks: &[TrackDef]) -> Result<Self, TraceError> {
+        if tracks.len() > u16::MAX as usize {
+            return Err(TraceError::Malformed {
+                chunk: 0,
+                what: "more than 65535 tracks",
+            });
+        }
+        let mut payload = Vec::with_capacity(16 + tracks.len() * 32);
+        payload.push(TAG_HEADER);
+        payload.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        payload.extend_from_slice(&(tracks.len() as u32).to_le_bytes());
+        for track in tracks {
+            let name = track.name.as_bytes();
+            if name.len() > u16::MAX as usize {
+                return Err(TraceError::Malformed {
+                    chunk: 0,
+                    what: "track name longer than 65535 bytes",
+                });
+            }
+            payload.push(track.kind.as_u8());
+            payload.extend_from_slice(&track.index.to_le_bytes());
+            payload.extend_from_slice(&track.interval_s.to_le_bytes());
+            payload.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            payload.extend_from_slice(name);
+        }
+        out.write_all(MAGIC)?;
+        write_chunk(&mut out, &payload)?;
+        Ok(TraceWriter {
+            out,
+            // Flushed *before* overflowing, so this capacity is never
+            // exceeded and the buffer never reallocates.
+            chunk: Vec::with_capacity(CHUNK_CAPACITY),
+            records: 0,
+            finished: false,
+            error: None,
+        })
+    }
+
+    /// Appends a counter sample. Allocation-free; errors are latched.
+    pub fn counter(&mut self, track: u16, time_s: f64, value: f64) {
+        if self.finished || self.error.is_some() {
+            return;
+        }
+        self.reserve(COUNTER_RECORD_BYTES);
+        self.chunk.push(REC_COUNTER);
+        self.chunk.extend_from_slice(&track.to_le_bytes());
+        self.chunk.extend_from_slice(&time_s.to_le_bytes());
+        self.chunk.extend_from_slice(&value.to_le_bytes());
+        self.records += 1;
+    }
+
+    /// Appends a labelled event. Labels longer than 4 KiB are truncated on
+    /// a char boundary. Allocation-free; errors are latched.
+    pub fn event(&mut self, track: u16, time_s: f64, label: &str) {
+        if self.finished || self.error.is_some() {
+            return;
+        }
+        let mut end = label.len().min(MAX_LABEL_BYTES);
+        while end > 0 && !label.is_char_boundary(end) {
+            end -= 1;
+        }
+        let bytes = &label.as_bytes()[..end];
+        self.reserve(1 + 2 + 8 + 2 + bytes.len());
+        self.chunk.push(REC_EVENT);
+        self.chunk.extend_from_slice(&track.to_le_bytes());
+        self.chunk.extend_from_slice(&time_s.to_le_bytes());
+        self.chunk
+            .extend_from_slice(&(bytes.len() as u16).to_le_bytes());
+        self.chunk.extend_from_slice(bytes);
+        self.records += 1;
+    }
+
+    /// Flushes any buffered samples, writes the end chunk and flushes the
+    /// underlying writer. Idempotent: later calls are no-ops returning `Ok`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first latched I/O error, or the error of the final
+    /// writes.
+    pub fn finish(&mut self) -> Result<(), TraceError> {
+        if self.finished {
+            return Ok(());
+        }
+        self.finished = true;
+        self.flush_chunk();
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        let mut payload = [0u8; 9];
+        payload[0] = TAG_END;
+        payload[1..9].copy_from_slice(&self.records.to_le_bytes());
+        write_chunk(&mut self.out, &payload)?;
+        self.out.flush()?;
+        Ok(())
+    }
+
+    /// Number of records appended so far.
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Consumes the writer and returns the underlying writer (call
+    /// [`finish`](Self::finish) first — this does not).
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+
+    /// Makes room for `bytes` more payload, flushing the current chunk when
+    /// it would overflow, and seeds a fresh chunk with the samples tag.
+    fn reserve(&mut self, bytes: usize) {
+        if self.chunk.len() + bytes > CHUNK_CAPACITY {
+            self.flush_chunk();
+        }
+        if self.chunk.is_empty() {
+            self.chunk.push(TAG_SAMPLES);
+        }
+    }
+
+    fn flush_chunk(&mut self) {
+        if self.chunk.is_empty() {
+            return;
+        }
+        if self.error.is_none() {
+            if let Err(e) = write_chunk(&mut self.out, &self.chunk) {
+                self.error = Some(e);
+            }
+        }
+        self.chunk.clear();
+    }
+}
+
+fn write_chunk<W: Write>(out: &mut W, payload: &[u8]) -> Result<(), TraceError> {
+    out.write_all(&(payload.len() as u32).to_le_bytes())?;
+    out.write_all(&crc32(payload).to_le_bytes())?;
+    out.write_all(payload)?;
+    Ok(())
+}
+
+/// Decodes a binary trace back into [`TraceData`].
+pub struct TraceReader;
+
+impl TraceReader {
+    /// Reads and decodes the trace file at `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] for filesystem failures, otherwise as
+    /// [`read`](Self::read).
+    pub fn read_file(path: impl AsRef<Path>) -> Result<TraceData, TraceError> {
+        Self::read(&std::fs::read(path)?)
+    }
+
+    /// Decodes a complete in-memory trace.
+    ///
+    /// # Errors
+    ///
+    /// Every structural defect maps to a dedicated [`TraceError`] variant:
+    /// wrong magic, mid-chunk truncation, per-chunk CRC mismatches, missing
+    /// or duplicate header, undeclared track ids, a missing end chunk, or a
+    /// record-count mismatch.
+    pub fn read(bytes: &[u8]) -> Result<TraceData, TraceError> {
+        if bytes.len() < MAGIC.len() || &bytes[..MAGIC.len()] != MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let mut pos = MAGIC.len();
+        let mut chunk_index = 0usize;
+        let mut tracks: Option<Vec<Track>> = None;
+        let mut decoded = 0u64;
+        let mut ended = false;
+        while pos < bytes.len() {
+            if ended {
+                return Err(TraceError::Malformed {
+                    chunk: chunk_index,
+                    what: "data after the end chunk",
+                });
+            }
+            if bytes.len() - pos < 8 {
+                return Err(TraceError::Truncated {
+                    offset: bytes.len(),
+                });
+            }
+            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+            pos += 8;
+            if len > MAX_CHUNK_BYTES {
+                return Err(TraceError::Malformed {
+                    chunk: chunk_index,
+                    what: "chunk length exceeds the format maximum",
+                });
+            }
+            if bytes.len() - pos < len {
+                return Err(TraceError::Truncated {
+                    offset: bytes.len(),
+                });
+            }
+            let payload = &bytes[pos..pos + len];
+            pos += len;
+            if crc32(payload) != crc {
+                return Err(TraceError::CrcMismatch { chunk: chunk_index });
+            }
+            let (&tag, body) = payload.split_first().ok_or(TraceError::Malformed {
+                chunk: chunk_index,
+                what: "empty chunk payload",
+            })?;
+            match tag {
+                TAG_HEADER => {
+                    if tracks.is_some() {
+                        return Err(TraceError::Malformed {
+                            chunk: chunk_index,
+                            what: "duplicate header chunk",
+                        });
+                    }
+                    tracks = Some(parse_header(body, chunk_index)?);
+                }
+                TAG_SAMPLES => {
+                    let tracks = tracks.as_mut().ok_or(TraceError::MissingHeader)?;
+                    decoded += parse_samples(body, tracks, chunk_index)?;
+                }
+                TAG_END => {
+                    if tracks.is_none() {
+                        return Err(TraceError::MissingHeader);
+                    }
+                    if body.len() != 8 {
+                        return Err(TraceError::Malformed {
+                            chunk: chunk_index,
+                            what: "end chunk payload is not 8 bytes",
+                        });
+                    }
+                    let declared = u64::from_le_bytes(body.try_into().unwrap());
+                    if declared != decoded {
+                        return Err(TraceError::CountMismatch { declared, decoded });
+                    }
+                    ended = true;
+                }
+                _ => {
+                    return Err(TraceError::Malformed {
+                        chunk: chunk_index,
+                        what: "unknown chunk tag",
+                    });
+                }
+            }
+            chunk_index += 1;
+        }
+        if !ended {
+            return Err(if tracks.is_none() {
+                TraceError::MissingHeader
+            } else {
+                TraceError::MissingEnd
+            });
+        }
+        Ok(TraceData {
+            tracks: tracks.unwrap_or_default(),
+        })
+    }
+}
+
+struct Cursor<'a> {
+    body: &'a [u8],
+    pos: usize,
+    chunk: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], TraceError> {
+        if self.body.len() - self.pos < n {
+            return Err(TraceError::Malformed {
+                chunk: self.chunk,
+                what,
+            });
+        }
+        let slice = &self.body[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, TraceError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, TraceError> {
+        Ok(u16::from_le_bytes(self.take(2, what)?.try_into().unwrap()))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &'static str) -> Result<f64, TraceError> {
+        Ok(f64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> bool {
+        self.pos >= self.body.len()
+    }
+}
+
+fn parse_header(body: &[u8], chunk: usize) -> Result<Vec<Track>, TraceError> {
+    let mut cur = Cursor {
+        body,
+        pos: 0,
+        chunk,
+    };
+    let version = cur.u32("header too short for version")?;
+    if version != FORMAT_VERSION {
+        return Err(TraceError::UnsupportedVersion(version));
+    }
+    let count = cur.u32("header too short for track count")? as usize;
+    if count > u16::MAX as usize {
+        return Err(TraceError::Malformed {
+            chunk,
+            what: "header declares more than 65535 tracks",
+        });
+    }
+    let mut tracks = Vec::with_capacity(count);
+    for _ in 0..count {
+        let kind = cur.u8("track definition too short")?;
+        let kind = TrackKind::from_u8(kind).ok_or(TraceError::Malformed {
+            chunk,
+            what: "unknown track kind",
+        })?;
+        let index = cur.u32("track definition too short")?;
+        let interval_s = cur.f64("track definition too short")?;
+        let name_len = cur.u16("track definition too short")? as usize;
+        let name = cur.take(name_len, "track name overruns the header")?;
+        let name = std::str::from_utf8(name).map_err(|_| TraceError::Malformed {
+            chunk,
+            what: "track name is not valid UTF-8",
+        })?;
+        tracks.push(Track::new(TrackDef {
+            kind,
+            index,
+            interval_s,
+            name: name.to_string(),
+        }));
+    }
+    if !cur.done() {
+        return Err(TraceError::Malformed {
+            chunk,
+            what: "trailing bytes after the track definitions",
+        });
+    }
+    Ok(tracks)
+}
+
+fn parse_samples(body: &[u8], tracks: &mut [Track], chunk: usize) -> Result<u64, TraceError> {
+    let mut cur = Cursor {
+        body,
+        pos: 0,
+        chunk,
+    };
+    let mut decoded = 0u64;
+    while !cur.done() {
+        let rec = cur.u8("record tag missing")?;
+        let track_id = cur.u16("record too short for track id")?;
+        let time = cur.f64("record too short for timestamp")?;
+        let track = tracks
+            .get_mut(track_id as usize)
+            .ok_or(TraceError::UnknownTrack {
+                chunk,
+                track: track_id,
+            })?;
+        match rec {
+            REC_COUNTER => {
+                let value = cur.f64("record too short for value")?;
+                if track.def.kind.is_event() {
+                    return Err(TraceError::Malformed {
+                        chunk,
+                        what: "counter record on an event track",
+                    });
+                }
+                track.times.push(time);
+                track.values.push(value);
+            }
+            REC_EVENT => {
+                let len = cur.u16("record too short for label length")? as usize;
+                let label = cur.take(len, "label overruns the chunk")?;
+                let label = std::str::from_utf8(label).map_err(|_| TraceError::Malformed {
+                    chunk,
+                    what: "event label is not valid UTF-8",
+                })?;
+                if !track.def.kind.is_event() {
+                    return Err(TraceError::Malformed {
+                        chunk,
+                        what: "event record on a counter track",
+                    });
+                }
+                track.times.push(time);
+                track.labels.push(label.to_string());
+            }
+            _ => {
+                return Err(TraceError::Malformed {
+                    chunk,
+                    what: "unknown record tag",
+                });
+            }
+        }
+        decoded += 1;
+    }
+    Ok(decoded)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_defs() -> Vec<TrackDef> {
+        vec![
+            TrackDef::counter(TrackKind::CoreTemperature, 0, 0.1, "core0.temp_c"),
+            TrackDef::counter(TrackKind::Migrations, 0, 0.1, "migrations"),
+            TrackDef::event(TrackKind::Reconfig, 0, "reconfig"),
+        ]
+    }
+
+    fn demo_trace() -> Vec<u8> {
+        let mut w = TraceWriter::new(Vec::new(), &demo_defs()).unwrap();
+        w.counter(0, 0.0, 40.0);
+        w.counter(1, 0.0, 0.0);
+        w.counter(0, 0.1, 41.25);
+        w.event(2, 0.05, "policy=stop-and-go");
+        w.finish().unwrap();
+        w.into_inner()
+    }
+
+    #[test]
+    fn round_trips_counters_and_events() {
+        let bytes = demo_trace();
+        let data = TraceReader::read(&bytes).unwrap();
+        assert_eq!(data.tracks.len(), 3);
+        let temps = data.track(TrackKind::CoreTemperature, 0).unwrap();
+        assert_eq!(temps.times, [0.0, 0.1]);
+        assert_eq!(temps.values, [40.0, 41.25]);
+        assert_eq!(temps.def.name, "core0.temp_c");
+        assert_eq!(temps.def.interval_s, 0.1);
+        let reconfig = data.track(TrackKind::Reconfig, 0).unwrap();
+        assert_eq!(reconfig.times, [0.05]);
+        assert_eq!(reconfig.labels, ["policy=stop-and-go"]);
+        assert_eq!(data.total_records(), 4);
+    }
+
+    #[test]
+    fn writing_is_deterministic() {
+        assert_eq!(demo_trace(), demo_trace());
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let mut w = TraceWriter::new(Vec::new(), &demo_defs()).unwrap();
+        w.finish().unwrap();
+        let data = TraceReader::read(&w.into_inner()).unwrap();
+        assert_eq!(data.tracks.len(), 3);
+        assert_eq!(data.total_records(), 0);
+    }
+
+    #[test]
+    fn finish_is_idempotent() {
+        let mut w = TraceWriter::new(Vec::new(), &demo_defs()).unwrap();
+        w.counter(0, 0.0, 1.0);
+        w.finish().unwrap();
+        w.finish().unwrap();
+        w.counter(0, 0.1, 2.0); // ignored after finish
+        let data = TraceReader::read(&w.into_inner()).unwrap();
+        assert_eq!(data.total_records(), 1);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        assert!(matches!(TraceReader::read(b""), Err(TraceError::BadMagic)));
+        let mut bytes = demo_trace();
+        bytes[0] ^= 0xFF;
+        assert!(matches!(
+            TraceReader::read(&bytes),
+            Err(TraceError::BadMagic)
+        ));
+    }
+
+    #[test]
+    fn corrupt_payload_is_a_crc_mismatch_not_a_panic() {
+        let bytes = demo_trace();
+        // Flip one byte in every payload position; each flip must surface
+        // as a typed error (CRC mismatch), never a panic or a silent pass.
+        for i in MAGIC.len() + 8..bytes.len() {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 0x40;
+            match TraceReader::read(&corrupt) {
+                Err(TraceError::CrcMismatch { .. })
+                | Err(TraceError::Truncated { .. })
+                | Err(TraceError::Malformed { .. })
+                | Err(TraceError::CountMismatch { .. }) => {}
+                other => panic!("flip at {i} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_detected_at_every_length() {
+        let bytes = demo_trace();
+        for len in 0..bytes.len() {
+            let err = TraceReader::read(&bytes[..len]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    TraceError::BadMagic
+                        | TraceError::Truncated { .. }
+                        | TraceError::MissingEnd
+                        | TraceError::MissingHeader
+                ),
+                "truncation at {len} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn end_count_mismatch_is_detected() {
+        // Drop the last samples chunk but keep the end chunk: the declared
+        // record count no longer matches.
+        let defs = demo_defs();
+        let mut w = TraceWriter::new(Vec::new(), &defs).unwrap();
+        w.counter(0, 0.0, 40.0);
+        w.finish().unwrap();
+        let with_samples = w.into_inner();
+        let mut w = TraceWriter::new(Vec::new(), &defs).unwrap();
+        w.finish().unwrap();
+        let empty = w.into_inner();
+        // Splice: header from `empty`, end chunk (records=1) from
+        // `with_samples`. The end chunk is the last 17 bytes (8 frame + 9
+        // payload).
+        let mut spliced = empty[..empty.len() - 17].to_vec();
+        spliced.extend_from_slice(&with_samples[with_samples.len() - 17..]);
+        assert!(matches!(
+            TraceReader::read(&spliced),
+            Err(TraceError::CountMismatch {
+                declared: 1,
+                decoded: 0
+            })
+        ));
+    }
+
+    #[test]
+    fn undeclared_track_ids_are_rejected() {
+        let mut w = TraceWriter::new(Vec::new(), &demo_defs()).unwrap();
+        w.counter(7, 0.0, 1.0);
+        w.finish().unwrap();
+        assert!(matches!(
+            TraceReader::read(&w.into_inner()),
+            Err(TraceError::UnknownTrack { track: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn record_kind_must_match_track_kind() {
+        let mut w = TraceWriter::new(Vec::new(), &demo_defs()).unwrap();
+        w.event(0, 0.0, "not an event track");
+        w.finish().unwrap();
+        assert!(matches!(
+            TraceReader::read(&w.into_inner()),
+            Err(TraceError::Malformed { .. })
+        ));
+        let mut w = TraceWriter::new(Vec::new(), &demo_defs()).unwrap();
+        w.counter(2, 0.0, 1.0);
+        w.finish().unwrap();
+        assert!(matches!(
+            TraceReader::read(&w.into_inner()),
+            Err(TraceError::Malformed { .. })
+        ));
+    }
+
+    #[test]
+    fn long_labels_are_truncated_on_a_char_boundary() {
+        let mut w = TraceWriter::new(Vec::new(), &demo_defs()).unwrap();
+        // 4095 ASCII bytes then a multi-byte char straddling the limit.
+        let label = format!("{}ééé", "x".repeat(4095));
+        w.event(2, 0.0, &label);
+        w.finish().unwrap();
+        let data = TraceReader::read(&w.into_inner()).unwrap();
+        let stored = &data.track(TrackKind::Reconfig, 0).unwrap().labels[0];
+        assert!(stored.len() <= 4096);
+        assert!(stored.starts_with("xxx"));
+    }
+
+    #[test]
+    fn large_streams_span_multiple_chunks() {
+        let defs = vec![TrackDef::counter(TrackKind::QueueDepth, 0, 0.01, "q0")];
+        let mut w = TraceWriter::new(Vec::new(), &defs).unwrap();
+        // ~10k counter records ≈ 190 KiB of payload → several 64 KiB chunks.
+        for i in 0..10_000 {
+            w.counter(0, i as f64 * 0.01, (i % 7) as f64);
+        }
+        w.finish().unwrap();
+        assert_eq!(w.records(), 10_000);
+        let data = TraceReader::read(&w.into_inner()).unwrap();
+        assert_eq!(data.tracks[0].len(), 10_000);
+        assert_eq!(data.tracks[0].values[6], 6.0);
+        assert_eq!(data.tracks[0].values[7], 0.0);
+    }
+
+    #[test]
+    fn errors_render_and_convert() {
+        let err = TraceError::from(io::Error::other("disk on fire"));
+        assert!(err.to_string().contains("disk on fire"));
+        assert!(std::error::Error::source(&err).is_some());
+        for e in [
+            TraceError::BadMagic,
+            TraceError::Truncated { offset: 3 },
+            TraceError::CrcMismatch { chunk: 1 },
+            TraceError::UnsupportedVersion(9),
+            TraceError::MissingHeader,
+            TraceError::MissingEnd,
+            TraceError::CountMismatch {
+                declared: 2,
+                decoded: 1,
+            },
+            TraceError::UnknownTrack { chunk: 0, track: 9 },
+            TraceError::Malformed {
+                chunk: 0,
+                what: "x",
+            },
+        ] {
+            assert!(!e.to_string().is_empty());
+            assert!(std::error::Error::source(&e).is_none());
+        }
+    }
+}

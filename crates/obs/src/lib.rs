@@ -1,0 +1,56 @@
+//! Observability subsystem: compact binary traces for the co-simulation.
+//!
+//! The paper's emulation platform streams per-component statistics to a host
+//! PC over a dedicated link; this crate is the software equivalent. It
+//! defines:
+//!
+//! - a **versioned, chunked binary trace format** ([`TraceWriter`] /
+//!   [`TraceReader`]): magic + header chunk, per-chunk length + CRC32,
+//!   little-endian fixed-width records — compact enough for fleet-scale
+//!   archival and robust against truncation and corruption;
+//! - **typed per-subsystem tracks** ([`TrackKind`], [`TrackDef`],
+//!   [`Track`]): core temperatures, core frequencies, cumulative migrations,
+//!   deadline misses, per-stage queue depths, and reconfiguration events,
+//!   each an independent time series instead of one monolithic sample
+//!   struct;
+//! - a **streaming sink abstraction** ([`TraceSink`]: [`NullSink`],
+//!   [`MemorySink`], [`StreamSink`], [`FileSink`]) whose hot-path methods
+//!   never allocate once the sink is attached, preserving the simulator's
+//!   zero-allocation step guarantee while a file-backed trace is recorded;
+//! - **exporters** ([`export`]): perfetto-compatible Chrome-trace JSON,
+//!   lossless legacy JSON, and long-format CSV.
+//!
+//! The crate is deliberately std-only: host tooling (`trace_explore`) and
+//! the simulator share it without pulling simulation layers in either
+//! direction.
+//!
+//! # Example
+//!
+//! ```
+//! use tbp_obs::{Track, TrackDef, TrackKind, TraceReader, TraceWriter};
+//!
+//! let defs = vec![
+//!     TrackDef::counter(TrackKind::CoreTemperature, 0, 0.1, "core0.temp_c"),
+//!     TrackDef::event(TrackKind::Reconfig, 0, "reconfig"),
+//! ];
+//! let mut writer = TraceWriter::new(Vec::new(), &defs).unwrap();
+//! writer.counter(0, 0.0, 41.5);
+//! writer.counter(0, 0.1, 42.0);
+//! writer.event(1, 0.05, "threshold=2");
+//! writer.finish().unwrap();
+//!
+//! let data = TraceReader::read(&writer.into_inner()).unwrap();
+//! let temps: &Track = data.track(TrackKind::CoreTemperature, 0).unwrap();
+//! assert_eq!(temps.values, [41.5, 42.0]);
+//! assert_eq!(data.tracks[1].labels, ["threshold=2"]);
+//! ```
+
+pub mod crc32;
+pub mod export;
+pub mod format;
+pub mod sink;
+pub mod track;
+
+pub use format::{TraceError, TraceReader, TraceWriter, FORMAT_VERSION, MAGIC};
+pub use sink::{FileSink, MemorySink, NullSink, StreamSink, TraceSink};
+pub use track::{TraceData, Track, TrackDef, TrackKind};

@@ -1,0 +1,265 @@
+//! Typed per-subsystem tracks.
+//!
+//! A *track* is one independently sampled time series — one core's
+//! temperature, one pipeline queue's depth, the cumulative migration count —
+//! identified by a [`TrackKind`] plus an index within that kind. Tracks
+//! replace the monolithic all-subsystems-in-one sample struct: each track
+//! can be selected, sampled and decimated on its own, and a reader only
+//! pays for the series it asks for.
+
+/// What a track measures. The discriminants are part of the binary format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TrackKind {
+    /// One core's sensor temperature in °C.
+    CoreTemperature,
+    /// One core's clock frequency in MHz.
+    CoreFrequency,
+    /// Cumulative completed task migrations.
+    Migrations,
+    /// Cumulative pipeline deadline misses.
+    DeadlineMisses,
+    /// One pipeline edge queue's fill level (frames).
+    QueueDepth,
+    /// Live-reconfiguration events (labelled instants, not a counter).
+    Reconfig,
+}
+
+impl TrackKind {
+    /// All kinds, in wire-discriminant order.
+    pub const ALL: [TrackKind; 6] = [
+        TrackKind::CoreTemperature,
+        TrackKind::CoreFrequency,
+        TrackKind::Migrations,
+        TrackKind::DeadlineMisses,
+        TrackKind::QueueDepth,
+        TrackKind::Reconfig,
+    ];
+
+    /// The wire discriminant of this kind.
+    pub fn as_u8(self) -> u8 {
+        match self {
+            TrackKind::CoreTemperature => 0,
+            TrackKind::CoreFrequency => 1,
+            TrackKind::Migrations => 2,
+            TrackKind::DeadlineMisses => 3,
+            TrackKind::QueueDepth => 4,
+            TrackKind::Reconfig => 5,
+        }
+    }
+
+    /// The kind for a wire discriminant.
+    pub fn from_u8(value: u8) -> Option<TrackKind> {
+        TrackKind::ALL.get(value as usize).copied()
+    }
+
+    /// Whether tracks of this kind carry labelled events instead of values.
+    pub fn is_event(self) -> bool {
+        matches!(self, TrackKind::Reconfig)
+    }
+
+    /// The unit counter values of this kind are expressed in.
+    pub fn unit(self) -> &'static str {
+        match self {
+            TrackKind::CoreTemperature => "degC",
+            TrackKind::CoreFrequency => "MHz",
+            TrackKind::Migrations => "count",
+            TrackKind::DeadlineMisses => "count",
+            TrackKind::QueueDepth => "frames",
+            TrackKind::Reconfig => "",
+        }
+    }
+
+    /// Stable lower-case label, used in exports and the explorer.
+    pub fn label(self) -> &'static str {
+        match self {
+            TrackKind::CoreTemperature => "core_temperature",
+            TrackKind::CoreFrequency => "core_frequency",
+            TrackKind::Migrations => "migrations",
+            TrackKind::DeadlineMisses => "deadline_misses",
+            TrackKind::QueueDepth => "queue_depth",
+            TrackKind::Reconfig => "reconfig",
+        }
+    }
+}
+
+/// Identity and sampling metadata of one track.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrackDef {
+    /// What the track measures.
+    pub kind: TrackKind,
+    /// Index within the kind (core id, queue id; 0 for scalar kinds).
+    pub index: u32,
+    /// Nominal sampling interval in seconds (0 for irregular/event tracks).
+    pub interval_s: f64,
+    /// Human-readable name, e.g. `core0.temp_c`.
+    pub name: String,
+}
+
+impl TrackDef {
+    /// A counter track sampled every `interval_s` seconds.
+    pub fn counter(kind: TrackKind, index: u32, interval_s: f64, name: impl Into<String>) -> Self {
+        TrackDef {
+            kind,
+            index,
+            interval_s,
+            name: name.into(),
+        }
+    }
+
+    /// An event track (irregular, labelled instants).
+    pub fn event(kind: TrackKind, index: u32, name: impl Into<String>) -> Self {
+        TrackDef {
+            kind,
+            index,
+            interval_s: 0.0,
+            name: name.into(),
+        }
+    }
+}
+
+/// One decoded track: definition plus its series.
+///
+/// Counter tracks fill `times`/`values`; event tracks fill `times`/`labels`.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Track {
+    /// The track's identity.
+    pub def: TrackDef,
+    /// Sample timestamps in simulated seconds, in record order.
+    pub times: Vec<f64>,
+    /// Counter values (empty for event tracks).
+    pub values: Vec<f64>,
+    /// Event labels (empty for counter tracks).
+    pub labels: Vec<String>,
+}
+
+impl Default for TrackDef {
+    fn default() -> Self {
+        TrackDef::counter(TrackKind::CoreTemperature, 0, 0.0, "")
+    }
+}
+
+impl Track {
+    /// An empty track for `def`.
+    pub fn new(def: TrackDef) -> Self {
+        Track {
+            def,
+            times: Vec::new(),
+            values: Vec::new(),
+            labels: Vec::new(),
+        }
+    }
+
+    /// Number of samples (or events) recorded.
+    pub fn len(&self) -> usize {
+        self.times.len()
+    }
+
+    /// Whether the track holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.times.is_empty()
+    }
+
+    /// The counter value at the latest sample at or before `time`, if any.
+    pub fn value_at_or_before(&self, time: f64) -> Option<f64> {
+        // partition_point gives the first index with times[i] > time.
+        let idx = self.times.partition_point(|&t| t <= time);
+        if idx == 0 {
+            None
+        } else {
+            self.values.get(idx - 1).copied()
+        }
+    }
+}
+
+/// A fully decoded trace: every track, in header order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TraceData {
+    /// All tracks, in the order the trace header declared them.
+    pub tracks: Vec<Track>,
+}
+
+impl TraceData {
+    /// The track of `kind` with the given `index`, if present.
+    pub fn track(&self, kind: TrackKind, index: u32) -> Option<&Track> {
+        self.tracks
+            .iter()
+            .find(|t| t.def.kind == kind && t.def.index == index)
+    }
+
+    /// All tracks of one kind, in index order as declared.
+    pub fn tracks_of(&self, kind: TrackKind) -> impl Iterator<Item = &Track> {
+        self.tracks.iter().filter(move |t| t.def.kind == kind)
+    }
+
+    /// Total number of samples and events across all tracks.
+    pub fn total_records(&self) -> u64 {
+        self.tracks.iter().map(|t| t.len() as u64).sum()
+    }
+
+    /// The overall time span `(first, last)` covered by any track.
+    pub fn span(&self) -> Option<(f64, f64)> {
+        let mut span: Option<(f64, f64)> = None;
+        for track in &self.tracks {
+            let (Some(&first), Some(&last)) = (track.times.first(), track.times.last()) else {
+                continue;
+            };
+            span = Some(match span {
+                Some((lo, hi)) => (lo.min(first), hi.max(last)),
+                None => (first, last),
+            });
+        }
+        span
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_discriminants_round_trip() {
+        for kind in TrackKind::ALL {
+            assert_eq!(TrackKind::from_u8(kind.as_u8()), Some(kind));
+            assert!(!kind.label().is_empty());
+        }
+        assert_eq!(TrackKind::from_u8(200), None);
+        assert!(TrackKind::Reconfig.is_event());
+        assert!(!TrackKind::CoreTemperature.is_event());
+        assert_eq!(TrackKind::CoreFrequency.unit(), "MHz");
+    }
+
+    #[test]
+    fn value_lookup_is_at_or_before() {
+        let mut t = Track::new(TrackDef::counter(
+            TrackKind::Migrations,
+            0,
+            0.1,
+            "migrations",
+        ));
+        t.times = vec![0.0, 0.1, 0.2];
+        t.values = vec![0.0, 2.0, 5.0];
+        assert_eq!(t.value_at_or_before(-0.01), None);
+        assert_eq!(t.value_at_or_before(0.0), Some(0.0));
+        assert_eq!(t.value_at_or_before(0.15), Some(2.0));
+        assert_eq!(t.value_at_or_before(9.0), Some(5.0));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn trace_data_lookup_and_span() {
+        let mut a = Track::new(TrackDef::counter(TrackKind::CoreTemperature, 1, 0.1, "c1"));
+        a.times = vec![0.5, 1.0];
+        a.values = vec![40.0, 41.0];
+        let mut b = Track::new(TrackDef::event(TrackKind::Reconfig, 0, "reconfig"));
+        b.times = vec![2.0];
+        b.labels = vec!["x".into()];
+        let data = TraceData { tracks: vec![a, b] };
+        assert!(data.track(TrackKind::CoreTemperature, 1).is_some());
+        assert!(data.track(TrackKind::CoreTemperature, 0).is_none());
+        assert_eq!(data.tracks_of(TrackKind::Reconfig).count(), 1);
+        assert_eq!(data.total_records(), 3);
+        assert_eq!(data.span(), Some((0.5, 2.0)));
+        assert_eq!(TraceData::default().span(), None);
+    }
+}

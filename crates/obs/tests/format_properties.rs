@@ -1,0 +1,110 @@
+//! Property tests for the binary trace format: arbitrary track sets and
+//! record streams must encode → decode losslessly, and arbitrary corruption
+//! must surface as a typed error, never a panic or a silent wrong read.
+
+use proptest::prelude::*;
+
+use tbp_obs::{TraceError, TraceReader, TraceWriter, Track, TrackDef, TrackKind};
+
+/// Builds a random but valid trace from a seeded RNG: a track table of
+/// 1..=12 tracks (mixed kinds) and 0..=400 records in a deterministic
+/// interleaving. Returns the expected decoded tracks next to the bytes.
+fn random_trace(rng: &mut TestRng) -> (Vec<Track>, Vec<u8>) {
+    let num_tracks = 1 + rng.below(12) as usize;
+    let defs: Vec<TrackDef> = (0..num_tracks)
+        .map(|i| {
+            let kind = TrackKind::ALL[rng.below(TrackKind::ALL.len() as u64) as usize];
+            let interval = if kind.is_event() {
+                0.0
+            } else {
+                rng.next_f64() * 0.5
+            };
+            TrackDef {
+                kind,
+                index: i as u32,
+                interval_s: interval,
+                name: format!("{}{}", kind.label(), i),
+            }
+        })
+        .collect();
+    let mut expected: Vec<Track> = defs.iter().cloned().map(Track::new).collect();
+    let mut writer = TraceWriter::new(Vec::new(), &defs).expect("writer builds");
+    let records = rng.below(401);
+    for r in 0..records {
+        let id = rng.below(num_tracks as u64) as usize;
+        let time = r as f64 * 0.005 + rng.next_f64() * 1e-3;
+        if defs[id].kind.is_event() {
+            let label = format!("event-{r}-{}", rng.below(1000));
+            writer.event(id as u16, time, &label);
+            expected[id].times.push(time);
+            expected[id].labels.push(label);
+        } else {
+            let value = rng.next_f64() * 2e3 - 1e3;
+            writer.counter(id as u16, time, value);
+            expected[id].times.push(time);
+            expected[id].values.push(value);
+        }
+    }
+    writer.finish().expect("finish succeeds");
+    (expected, writer.into_inner())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arbitrary_traces_round_trip_losslessly(seed in any::<u64>()) {
+        let mut rng = TestRng::deterministic(&format!("roundtrip-{seed}"));
+        let (expected, bytes) = random_trace(&mut rng);
+        let decoded = TraceReader::read(&bytes).expect("valid trace decodes");
+        prop_assert_eq!(decoded.tracks.len(), expected.len());
+        for (got, want) in decoded.tracks.iter().zip(&expected) {
+            prop_assert_eq!(&got.def, &want.def);
+            // Bit-exact: the format stores raw IEEE-754 bits.
+            prop_assert_eq!(got.times.len(), want.times.len());
+            for (a, b) in got.times.iter().zip(&want.times) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            for (a, b) in got.values.iter().zip(&want.values) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            prop_assert_eq!(&got.labels, &want.labels);
+        }
+    }
+
+    #[test]
+    fn encoding_is_deterministic(seed in any::<u64>()) {
+        let mut a = TestRng::deterministic(&format!("det-{seed}"));
+        let mut b = TestRng::deterministic(&format!("det-{seed}"));
+        prop_assert_eq!(random_trace(&mut a).1, random_trace(&mut b).1);
+    }
+
+    #[test]
+    fn corrupted_bytes_never_panic_and_never_pass(seed in any::<u64>()) {
+        let mut rng = TestRng::deterministic(&format!("corrupt-{seed}"));
+        let (_, bytes) = random_trace(&mut rng);
+        // Flip a random byte past the magic: the reader must reject with a
+        // typed error (usually a CRC mismatch) — silent acceptance would
+        // only be sound if the flip hit a payload byte *and* kept the CRC,
+        // which a single flip cannot.
+        if bytes.len() > 9 {
+            let at = 8 + rng.below((bytes.len() - 8) as u64) as usize;
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 1 << rng.below(8);
+            prop_assert!(TraceReader::read(&corrupt).is_err());
+        }
+        // Truncate at a random point: typed error, not a short read.
+        let cut = rng.below(bytes.len() as u64 + 1) as usize;
+        if cut < bytes.len() {
+            match TraceReader::read(&bytes[..cut]) {
+                Err(
+                    TraceError::BadMagic
+                    | TraceError::Truncated { .. }
+                    | TraceError::MissingHeader
+                    | TraceError::MissingEnd,
+                ) => {}
+                other => panic!("truncation at {cut} gave {other:?}"),
+            }
+        }
+    }
+}

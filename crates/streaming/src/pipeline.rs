@@ -405,6 +405,13 @@ impl PipelineRuntime {
         self.edge_queues.get(edge_index).map(|q| q.len())
     }
 
+    /// Number of edge queues (one per graph edge) — the index bound of
+    /// [`edge_queue_level`](Self::edge_queue_level), used by observability
+    /// consumers to register one queue-depth track per edge.
+    pub fn num_queues(&self) -> usize {
+        self.edge_queues.len()
+    }
+
     /// Minimum occupancy ever observed across all queues — the paper's
     /// "minimum queue size to sustain migration" figure is derived from this.
     pub fn min_queue_level(&self) -> usize {
