@@ -11,7 +11,9 @@
 //! ```
 //!
 //! Accepts the shared batch flags (`--json`/`--csv`, `--cache-dir`,
-//! `--shard i/k`, `--trace-dir <dir>`, `--merge`). With `--trace-dir` every
+//! `--shard i/k`, `--trace-dir <dir>`, `--lanes <n>`, `--merge`). With
+//! `--lanes <n>` compatible simulation misses step in lockstep through one
+//! SIMD lane batch — byte-identical output, faster. With `--trace-dir` every
 //! *simulated* run additionally writes a binary trace (see
 //! `docs/OBSERVABILITY.md`); cache hits skip simulation and emit none.
 //! Merge mode still needs the scenario files —
@@ -30,7 +32,7 @@ fn main() {
     assert!(
         !paths.is_empty(),
         "usage: run_scenario <scenario.toml>... [--cache-dir <dir>] [--shard i/k] \
-         [--trace-dir <dir>] [--merge <partial.json>...] [--json|--csv]\n\
+         [--trace-dir <dir>] [--lanes <n>] [--merge <partial.json>...] [--json|--csv]\n\
          note: --merge also needs the scenario files — they define the batch \
          the partial reports are validated against"
     );
@@ -80,7 +82,7 @@ fn scenario_paths() -> Vec<PathBuf> {
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--cache-dir" | "--shard" | "--trace-dir" => {
+            "--cache-dir" | "--shard" | "--trace-dir" | "--lanes" => {
                 args.next();
             }
             "--merge" => {

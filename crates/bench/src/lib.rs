@@ -17,6 +17,9 @@
 //!   content-addressed filesystem cache; warm re-runs simulate nothing.
 //! * `--shard i/k` (or `TBP_SHARD`) — execute only the i-th of k contiguous
 //!   shards of the batch and print a partial report (JSON) on stdout.
+//! * `--lanes <n>` (or `TBP_LANES`) — step up to `n` compatible simulation
+//!   misses in lockstep through one SIMD lane batch; output is byte-identical
+//!   to `--lanes 1`.
 //! * `--merge <file>...` — skip execution, merge previously emitted partial
 //!   reports back into the full batch and render it as usual.
 
@@ -236,6 +239,9 @@ pub struct BatchCli {
     /// Directory for per-run binary traces (`--trace-dir <dir>` or
     /// `TBP_TRACE_DIR`).
     pub trace_dir: Option<PathBuf>,
+    /// Lanes per batched simulation step (`--lanes <n>` or `TBP_LANES`);
+    /// `None` means the classic one-simulation-per-run path.
+    pub lanes: Option<usize>,
     /// Partial-report files to merge instead of executing (`--merge <f>...`).
     pub merge: Vec<PathBuf>,
 }
@@ -280,6 +286,11 @@ pub fn batch_cli() -> BatchCli {
             cli.trace_dir = Some(PathBuf::from(dir));
         }
     }
+    if cli.lanes.is_none() {
+        if let Ok(lanes) = std::env::var("TBP_LANES") {
+            cli.lanes = Some(lanes.parse().expect("TBP_LANES parses as a lane count"));
+        }
+    }
     cli
 }
 
@@ -307,6 +318,10 @@ fn parse_batch_cli(args: impl Iterator<Item = String>) -> BatchCli {
             "--trace-dir" => {
                 let dir = flag_value(&mut args, "--trace-dir", "a directory");
                 cli.trace_dir = Some(PathBuf::from(dir));
+            }
+            "--lanes" => {
+                let lanes = flag_value(&mut args, "--lanes", "a lane count, e.g. 4");
+                cli.lanes = Some(lanes.parse().expect("--lanes value parses"));
             }
             "--merge" => {
                 while let Some(path) = args.peek() {
@@ -337,6 +352,8 @@ fn parse_batch_cli(args: impl Iterator<Item = String>) -> BatchCli {
 ///
 /// * default — run the whole batch (optionally through the cache).
 /// * `--shard i/k` — run one shard, print its [`PartialReport`] JSON.
+/// * `--lanes <n>` — batch up to `n` compatible simulations per lockstep
+///   group (byte-identical to the default path; applies to shards too).
 /// * `--merge <file>...` — execute nothing; merge the partials instead.
 ///
 /// With `--cache-dir`, a `[cache] hits=… misses=…` line is printed to stderr
@@ -388,6 +405,9 @@ pub fn run_cli_with(cli: &BatchCli, label: &str, specs: &[ScenarioSpec]) -> Opti
         return Some(batch);
     }
     let mut runner = Runner::new();
+    if let Some(lanes) = cli.lanes {
+        runner = runner.with_lanes(lanes);
+    }
     if let Some(dir) = &cli.trace_dir {
         runner = runner.with_trace_dir(dir.clone());
     }
@@ -507,6 +527,18 @@ mod tests {
     #[should_panic(expected = "--trace-dir needs a directory")]
     fn trace_dir_rejects_a_missing_value() {
         parse(&["--trace-dir"]);
+    }
+
+    #[test]
+    fn lanes_takes_one_numeric_value() {
+        assert_eq!(parse(&["--lanes", "4"]).lanes, Some(4));
+        assert_eq!(parse(&[]).lanes, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--lanes value parses")]
+    fn lanes_rejects_a_non_numeric_value() {
+        parse(&["--lanes", "many"]);
     }
 
     #[test]

@@ -41,7 +41,7 @@ use crate::scenario::hash::ScenarioHash;
 use crate::scenario::registry::PolicyRegistry;
 use crate::scenario::shard::{PartialReport, ShardPlan};
 use crate::scenario::spec::{AnalysisKind, ScenarioSpec, TraceSpec};
-use crate::sim::{step_count, Simulation};
+use crate::sim::{step_count, LaneBatch, Simulation};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +56,9 @@ pub struct Runner {
     cache: Option<Arc<dyn RunCache>>,
     trace_dir: Option<Arc<PathBuf>>,
     counters: Arc<RunnerCounters>,
+    /// Lanes per [`LaneBatch`] when executing simulation misses batched
+    /// (1 = the classic one-simulation-per-run path).
+    lanes: usize,
 }
 
 #[derive(Debug, Default)]
@@ -94,6 +97,7 @@ impl Runner {
             cache: None,
             trace_dir: None,
             counters: Arc::default(),
+            lanes: 1,
         }
     }
 
@@ -160,6 +164,27 @@ impl Runner {
     pub fn with_trace_dir(mut self, dir: impl Into<PathBuf>) -> Self {
         self.trace_dir = Some(Arc::new(dir.into()));
         self
+    }
+
+    /// Steps up to `lanes` simulation misses in lockstep through a shared
+    /// [`LaneBatch`] instead of one simulation per run (values below 1 are
+    /// clamped to 1, the classic path).
+    ///
+    /// Batching only groups runs that share a platform fingerprint
+    /// (platform, package/solver, time step, step count); everything
+    /// observable — reports, CSV, cache entries under the same
+    /// [`ScenarioHash`] domain, `.tbptrace` files — is byte-identical to the
+    /// per-scenario path, because each lane performs the exact same
+    /// floating-point work (see [`LaneBatch`]). Runs whose platform cannot
+    /// be batched fall back to individual stepping automatically.
+    pub fn with_lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.max(1);
+        self
+    }
+
+    /// Number of lanes configured via [`with_lanes`](Self::with_lanes).
+    pub fn lanes(&self) -> usize {
+        self.lanes
     }
 
     /// Cumulative execution counters: how many runs were simulated, computed
@@ -243,8 +268,27 @@ impl Runner {
         })
     }
 
+    /// Expands every spec and executes the resulting runs through
+    /// [`LaneBatch`]es of up to `lanes` simulations grouped by platform
+    /// fingerprint — a convenience for
+    /// `runner.clone().with_lanes(lanes).run(specs)`.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_batched(
+        &self,
+        specs: &[ScenarioSpec],
+        lanes: usize,
+    ) -> Result<BatchReport, SimError> {
+        self.clone().with_lanes(lanes).run(specs)
+    }
+
     /// Executes concrete cases (in parallel when enabled), preserving order.
     fn execute(&self, cases: Vec<(String, ScenarioSpec)>) -> Result<Vec<RunReport>, SimError> {
+        if self.lanes > 1 {
+            return self.execute_batched(cases);
+        }
         let results: Vec<Result<RunReport, SimError>> = if self.parallel {
             cases
                 .into_par_iter()
@@ -324,6 +368,260 @@ impl Runner {
         }
         Ok(report)
     }
+
+    /// Lane-batched form of [`execute`](Self::execute): answers cache hits
+    /// and analytic tables exactly like the per-case path, groups the
+    /// remaining simulation misses by platform fingerprint, and steps each
+    /// group through [`LaneBatch`]es of up to `self.lanes` simulations.
+    /// Reports come back in expansion order regardless of grouping.
+    fn execute_batched(
+        &self,
+        cases: Vec<(String, ScenarioSpec)>,
+    ) -> Result<Vec<RunReport>, SimError> {
+        // Pass 1 — cheap outcomes (cache hits, analytic tables) inline;
+        // simulation misses become pending lane work.
+        let mut slots: Vec<Option<RunReport>> = Vec::with_capacity(cases.len());
+        slots.resize_with(cases.len(), || None);
+        let mut pending: Vec<PendingLane> = Vec::new();
+        for (idx, (group, case)) in cases.into_iter().enumerate() {
+            let key = match &self.cache {
+                Some(cache) => {
+                    let key = ScenarioHash::of(&case)?;
+                    if let Some(mut report) = cache.load(&key) {
+                        report.scenario = case.name.clone();
+                        report.group = group;
+                        self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        slots[idx] = Some(report);
+                        continue;
+                    }
+                    Some(key)
+                }
+                None => None,
+            };
+            if let Some(kind) = case.analysis {
+                self.counters.analytic.fetch_add(1, Ordering::Relaxed);
+                let report = RunReport {
+                    scenario: case.name.clone(),
+                    group,
+                    policy: None,
+                    workload: None,
+                    package: None,
+                    threshold: None,
+                    queue_capacity: None,
+                    outcome: RunOutcome::Table(kind.compute()),
+                };
+                if let (Some(cache), Some(key)) = (&self.cache, &key) {
+                    cache.store(key, &report);
+                }
+                slots[idx] = Some(report);
+                continue;
+            }
+            let folded = case.fold_initial_phases()?;
+            pending.push(PendingLane {
+                idx,
+                group,
+                case,
+                folded,
+                key,
+            });
+        }
+
+        // Group misses by platform fingerprint (preserving expansion order
+        // within each group — grouping must not reorder reports), then cut
+        // each group into chunks of at most `self.lanes`.
+        let mut groups: Vec<(String, Vec<PendingLane>)> = Vec::new();
+        for p in pending {
+            let print = lane_fingerprint(&p.folded);
+            match groups.iter_mut().find(|(g, _)| *g == print) {
+                Some((_, members)) => members.push(p),
+                None => groups.push((print, vec![p])),
+            }
+        }
+        let mut chunks: Vec<Vec<PendingLane>> = Vec::new();
+        for (_, mut members) in groups {
+            while !members.is_empty() {
+                let rest = members.split_off(members.len().min(self.lanes));
+                chunks.push(std::mem::replace(&mut members, rest));
+            }
+        }
+
+        // Execute the chunks; attribute a chunk-level error to its first
+        // case so the earliest error in expansion order wins, like the
+        // per-case path.
+        type ChunkResult = Result<Vec<(usize, RunReport)>, (usize, SimError)>;
+        let to_result = |chunk: Vec<PendingLane>| -> ChunkResult {
+            let first_idx = chunk[0].idx;
+            self.run_lane_chunk(chunk).map_err(|e| (first_idx, e))
+        };
+        let results: Vec<ChunkResult> = if self.parallel {
+            chunks.into_par_iter().map(to_result).collect()
+        } else {
+            chunks.into_iter().map(to_result).collect()
+        };
+        let mut first_err: Option<(usize, SimError)> = None;
+        for result in results {
+            match result {
+                Ok(reports) => {
+                    for (idx, report) in reports {
+                        slots[idx] = Some(report);
+                    }
+                }
+                Err((idx, e)) => {
+                    if first_err.as_ref().is_none_or(|(i, _)| idx < *i) {
+                        first_err = Some((idx, e));
+                    }
+                }
+            }
+        }
+        if let Some((_, e)) = first_err {
+            return Err(e);
+        }
+        Ok(slots
+            .into_iter()
+            .map(|slot| slot.expect("every case produced a report"))
+            .collect())
+    }
+
+    /// Builds, steps, and reports one chunk of simulation misses that share
+    /// a platform fingerprint. Uses a [`LaneBatch`] when the platforms
+    /// verify as identical; otherwise falls back to stepping the already
+    /// built simulations individually (byte-identical either way).
+    fn run_lane_chunk(&self, chunk: Vec<PendingLane>) -> Result<Vec<(usize, RunReport)>, SimError> {
+        let mut sims = Vec::with_capacity(chunk.len());
+        for p in &chunk {
+            let mut sim: Simulation = p
+                .folded
+                .build_with_registries(&self.registry, self.workloads.clone())?;
+            sim.set_policy_registry(self.registry.clone());
+            if let Some(dir) = &self.trace_dir {
+                attach_file_sink(&mut sim, dir, &p.case.name, p.case.trace.as_ref())?;
+            }
+            sims.push(sim);
+        }
+        let sims = match LaneBatch::new(sims) {
+            Ok(mut batch) => {
+                run_phased_batch(&mut batch, &chunk)?;
+                batch.into_lanes()
+            }
+            Err(build_err) => {
+                let mut sims = build_err.sims;
+                for (sim, p) in sims.iter_mut().zip(&chunk) {
+                    run_phased(sim, &p.folded)?;
+                }
+                sims
+            }
+        };
+        let mut out = Vec::with_capacity(chunk.len());
+        for (mut sim, p) in sims.into_iter().zip(chunk) {
+            sim.detach_trace_sink()?;
+            self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+            let report = RunReport {
+                scenario: p.case.name.clone(),
+                group: p.group,
+                policy: Some(p.folded.policy_spec().name),
+                workload: Some(p.folded.workload_label()),
+                package: Some(p.folded.package_kind()),
+                threshold: Some(p.folded.threshold()),
+                queue_capacity: p.folded.queue_capacity(),
+                outcome: RunOutcome::Simulation(Box::new(sim.summary())),
+            };
+            if let (Some(cache), Some(key)) = (&self.cache, &p.key) {
+                cache.store(key, &report);
+            }
+            out.push((p.idx, report));
+        }
+        Ok(out)
+    }
+}
+
+/// A simulation miss awaiting lane-batched execution.
+struct PendingLane {
+    /// Position in the expanded batch (report order).
+    idx: usize,
+    group: String,
+    /// The original expanded case (labels, trace table).
+    case: ScenarioSpec,
+    /// The case with t = 0 phases folded in — what actually builds and runs.
+    folded: ScenarioSpec,
+    /// Cache key computed in pass 1, stored after the simulation completes.
+    key: Option<ScenarioHash>,
+}
+
+/// Coarse grouping key for lane batching: runs may share a [`LaneBatch`]
+/// only when platform, package, solver, time step, and step count agree.
+/// The fingerprint is an efficiency pre-filter — [`LaneBatch::new`] verifies
+/// the built thermal platforms field-for-field and incompatible chunks fall
+/// back to individual stepping, so a collision cannot corrupt results.
+fn lane_fingerprint(folded: &ScenarioSpec) -> String {
+    let schedule = folded.schedule();
+    format!(
+        "{:?}|{:?}|{:x}|{}",
+        folded.platform,
+        folded.package_kind(),
+        schedule.time_step.as_secs().to_bits(),
+        step_count(folded.total_duration(), schedule.time_step),
+    )
+}
+
+/// Lane-batched form of [`run_phased`]: advances all lanes in lockstep,
+/// pausing at every step index where any lane has a phase due and applying
+/// that lane's deltas there — exactly where [`run_phased`] would apply them
+/// when stepping the lane alone. Per-lane phase lists are truncated at the
+/// first phase due at or past the end of the run, mirroring [`run_phased`]'s
+/// early `break` (later phases never fire, even out-of-order ones).
+fn run_phased_batch(batch: &mut LaneBatch, chunk: &[PendingLane]) -> Result<(), SimError> {
+    let dt = batch.time_step();
+    let total_steps = step_count(chunk[0].folded.total_duration(), dt);
+    // The fingerprint groups by step count; re-verify rather than trust it.
+    if let Some(p) = chunk
+        .iter()
+        .find(|p| step_count(p.folded.total_duration(), dt) != total_steps)
+    {
+        return Err(SimError::InvalidConfig(format!(
+            "lane batch step counts diverge (case `{}`)",
+            p.case.name
+        )));
+    }
+    // Per lane: remaining (due step, delta) pairs plus a cursor.
+    let mut cursors: Vec<(Vec<(u64, crate::scenario::spec::SpecDelta)>, usize)> = chunk
+        .iter()
+        .map(|p| {
+            let mut list = Vec::new();
+            if let Some(phases) = &p.folded.phases {
+                for phase in phases {
+                    let due = step_count(Seconds::new(phase.at), dt);
+                    if due >= total_steps {
+                        break;
+                    }
+                    list.push((due, phase.delta()));
+                }
+            }
+            (list, 0)
+        })
+        .collect();
+    let mut done: u64 = 0;
+    loop {
+        for (lane, (list, next)) in cursors.iter_mut().enumerate() {
+            while *next < list.len() && list[*next].0 <= done {
+                batch
+                    .lane_mut(lane)
+                    .expect("lane index within batch")
+                    .apply_delta(&list[*next].1)?;
+                *next += 1;
+            }
+        }
+        if done >= total_steps {
+            break;
+        }
+        let target = cursors
+            .iter()
+            .filter_map(|(list, next)| list.get(*next).map(|&(due, _)| due))
+            .min()
+            .map_or(total_steps, |due| due.min(total_steps));
+        batch.run_steps(target - done)?;
+        done = target;
+    }
+    Ok(())
 }
 
 /// File name of the binary trace of the named concrete scenario: characters
@@ -772,6 +1070,58 @@ mod tests {
         let spec = quick_spec("bad").with_policy("not-a-policy", 1.0);
         let err = Runner::new().run_spec(&spec).unwrap_err();
         assert!(matches!(err, SimError::UnknownPolicy { .. }));
+    }
+
+    #[test]
+    fn batched_execution_is_byte_identical_to_per_case() {
+        // Mixed packages force two fingerprint groups; mixed policies and
+        // thresholds exercise per-lane divergence inside a group.
+        let spec = quick_spec("sweep").with_sweep(
+            SweepSpec::default()
+                .with_packages([PackageKind::MobileEmbedded, PackageKind::HighPerformance])
+                .with_policies(["dvfs-only", "energy-balancing"])
+                .with_thresholds([2.0, 3.0]),
+        );
+        let solo = Runner::sequential().run_spec(&spec).expect("solo runs");
+        for lanes in [2, 4, 8] {
+            let batched = Runner::sequential()
+                .with_lanes(lanes)
+                .run_spec(&spec)
+                .expect("batched runs");
+            assert_eq!(solo.to_csv(), batched.to_csv(), "{lanes}-lane CSV");
+            assert_eq!(
+                serde_json::to_string(&solo.reports).unwrap(),
+                serde_json::to_string(&batched.reports).unwrap(),
+                "{lanes}-lane reports"
+            );
+        }
+    }
+
+    #[test]
+    fn run_batched_wrapper_and_lane_floor() {
+        assert_eq!(Runner::new().with_lanes(0).lanes(), 1);
+        assert_eq!(Runner::new().lanes(), 1);
+        let spec = quick_spec("wrap").with_sweep(SweepSpec::default().with_thresholds([1.0, 2.0]));
+        let solo = Runner::sequential().run_spec(&spec).expect("solo runs");
+        let batched = Runner::sequential()
+            .run_batched(std::slice::from_ref(&spec), 2)
+            .expect("batched runs");
+        assert_eq!(solo.to_csv(), batched.to_csv());
+    }
+
+    #[test]
+    fn batched_execution_handles_analysis_and_simulation_mix() {
+        let specs = [
+            ScenarioSpec::analysis("table1", AnalysisKind::Table1Power),
+            quick_spec("sim"),
+        ];
+        let solo = Runner::sequential().run(&specs).expect("solo runs");
+        let batched = Runner::sequential()
+            .with_lanes(4)
+            .run(&specs)
+            .expect("batched runs");
+        assert_eq!(batched.reports[0].table().unwrap().rows.len(), 5);
+        assert_eq!(solo.to_csv(), batched.to_csv());
     }
 
     #[test]

@@ -490,6 +490,7 @@ impl ScenarioSpec {
                 warmup: schedule.warmup,
                 metrics_threshold: threshold,
                 trace_interval: schedule.trace_interval,
+                ..SimulationConfig::default()
             })
             .build()
     }

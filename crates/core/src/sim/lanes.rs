@@ -1,0 +1,308 @@
+//! Batched multi-lane stepping of simulations that share a platform.
+//!
+//! A [`LaneBatch`] holds N complete [`Simulation`]s (one per *lane*) whose
+//! thermal platforms are identical — same floorplan, package, and solver —
+//! and steps them in lockstep within one process. Each step runs every
+//! lane's pre-thermal phases (OS, streaming, platform, power snapshot), then
+//! integrates all N thermal networks at once through the struct-of-arrays
+//! [`ThermalLaneKernel`], and finally runs every lane's post-thermal phases
+//! (sensors, policy, trace).
+//!
+//! The batching is *observationally invisible*: each lane produces
+//! bit-identical temperatures, summaries, and trace bytes to running its
+//! simulation alone, because the lane kernel performs per lane the exact
+//! same floating-point operations in the exact same order as the scalar
+//! path, and every other phase runs unchanged on the lane's own state. The
+//! differential suite in `crates/core/tests/lane_equivalence.rs` pins this
+//! down across lanes × workload × solver × policy.
+
+use tbp_arch::units::Seconds;
+use tbp_thermal::lanes::ThermalLaneKernel;
+
+use crate::error::SimError;
+use crate::sim::Simulation;
+
+/// A rejected [`LaneBatch::new`] call: the error and the untouched
+/// simulations, handed back so callers can fall back to stepping them
+/// individually.
+#[derive(Debug)]
+pub struct LaneBatchBuildError {
+    /// The simulations passed to [`LaneBatch::new`], unmodified.
+    pub sims: Vec<Simulation>,
+    /// Why the batch could not be formed.
+    pub source: SimError,
+}
+
+impl std::fmt::Display for LaneBatchBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cannot form lane batch: {}", self.source)
+    }
+}
+
+impl std::error::Error for LaneBatchBuildError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// N simulations sharing one thermal platform, stepped in lockstep.
+///
+/// ```
+/// use tbp_core::sim::builder::Workload;
+/// use tbp_core::sim::{LaneBatch, SimulationBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let sims = (0..4)
+///     .map(|_| SimulationBuilder::new().with_workload(Workload::sdr()).build())
+///     .collect::<Result<Vec<_>, _>>()?;
+/// let mut batch = LaneBatch::new(sims)?;
+/// batch.run_steps(100)?;
+/// let mut lanes = batch.into_lanes();
+/// assert!(lanes.iter().all(|s| (s.elapsed().as_secs() - 0.5).abs() < 1e-9));
+/// let summary = lanes[0].summary();
+/// # let _ = summary;
+/// # Ok(())
+/// # }
+/// ```
+pub struct LaneBatch {
+    lanes: Vec<Simulation>,
+    kernel: ThermalLaneKernel,
+    dt: Seconds,
+}
+
+impl LaneBatch {
+    /// Forms a batch over `sims`, one lane per simulation in order.
+    ///
+    /// All simulations must share the same time step and the same thermal
+    /// platform (floorplan topology, package, solver — verified
+    /// field-for-field by the lane kernel). Policies, workloads, thresholds,
+    /// sensors, and attached trace sinks are free to differ per lane.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`LaneBatchBuildError`] — carrying the simulations back,
+    /// untouched — when `sims` is empty, the time steps differ, or the
+    /// thermal platforms are not identical.
+    pub fn new(sims: Vec<Simulation>) -> Result<Self, LaneBatchBuildError> {
+        let Some(first) = sims.first() else {
+            return Err(LaneBatchBuildError {
+                sims,
+                source: SimError::InvalidConfig("a lane batch needs at least one lane".into()),
+            });
+        };
+        let dt = first.config.time_step;
+        if let Some(lane) = sims
+            .iter()
+            .position(|s| s.config.time_step.as_secs().to_bits() != dt.as_secs().to_bits())
+        {
+            return Err(LaneBatchBuildError {
+                sims,
+                source: SimError::InvalidConfig(format!(
+                    "lane {lane} time step differs from lane 0; \
+                     batched stepping needs a shared time step"
+                )),
+            });
+        }
+        let models: Vec<_> = sims.iter().map(|s| &s.thermal).collect();
+        match ThermalLaneKernel::from_models(&models) {
+            Ok(kernel) => Ok(LaneBatch {
+                lanes: sims,
+                kernel,
+                dt,
+            }),
+            Err(e) => Err(LaneBatchBuildError {
+                sims,
+                source: SimError::Thermal(e),
+            }),
+        }
+    }
+
+    /// Number of lanes in the batch.
+    pub fn num_lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The shared co-simulation time step.
+    pub fn time_step(&self) -> Seconds {
+        self.dt
+    }
+
+    /// Label of the SIMD code path the shared thermal kernel selected at
+    /// construction (`"avx512"`, `"avx2"`, or `"scalar"`).
+    pub fn simd_label(&self) -> &'static str {
+        self.kernel.simd_label()
+    }
+
+    /// Read access to one lane's simulation.
+    pub fn lane(&self, lane: usize) -> Option<&Simulation> {
+        self.lanes.get(lane)
+    }
+
+    /// Mutable access to one lane's simulation, e.g. to apply a live
+    /// reconfiguration delta at a phase boundary. Mutations must not touch
+    /// the thermal platform (the batch keeps its own copy of the thermal
+    /// state between steps); [`Simulation::apply_delta`] never does.
+    pub fn lane_mut(&mut self, lane: usize) -> Option<&mut Simulation> {
+        self.lanes.get_mut(lane)
+    }
+
+    /// Dissolves the batch back into its simulations, in lane order, with
+    /// all integrated state written back.
+    pub fn into_lanes(self) -> Vec<Simulation> {
+        self.lanes
+    }
+
+    /// Advances every lane by one time step.
+    ///
+    /// Steady-state calls perform zero heap allocations (pinned by the
+    /// counting-allocator test in `crates/core/tests/alloc_free_step.rs`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from any lane; a correctly built
+    /// batch does not fail.
+    pub fn step(&mut self) -> Result<(), SimError> {
+        let dt = self.dt;
+        let LaneBatch { lanes, kernel, .. } = self;
+        // A 1-lane batch gains nothing from the SoA kernel; the scalar step
+        // is the same operations (that is the proven equivalence) without
+        // the load/sync copies.
+        if let [sim] = lanes.as_mut_slice() {
+            return sim.step();
+        }
+        for (lane, sim) in lanes.iter_mut().enumerate() {
+            sim.step_pre_thermal(dt)?;
+            // Mirror the scalar path's power injection into the lane's own
+            // network (keeps the model bit-identical field-for-field), then
+            // load the same vector into the batched kernel.
+            sim.thermal
+                .load_block_powers(sim.scratch.power.per_block())?;
+            kernel.set_block_powers(lane, sim.scratch.power.per_block())?;
+        }
+        kernel.advance(dt)?;
+        for (lane, sim) in lanes.iter_mut().enumerate() {
+            sim.thermal.sync_from_lane(kernel, lane, dt)?;
+            sim.step_post_thermal(dt)?;
+        }
+        Ok(())
+    }
+
+    /// Advances every lane by `steps` time steps.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`SimError`] from any lane.
+    pub fn run_steps(&mut self, steps: u64) -> Result<(), SimError> {
+        for _ in 0..steps {
+            self.step()?;
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for LaneBatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LaneBatch")
+            .field("lanes", &self.lanes.len())
+            .field("time_step", &self.dt)
+            .field("simd", &self.simd_label())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::builder::Workload;
+    use crate::sim::{SimulationBuilder, SimulationConfig};
+    use tbp_thermal::package::Package;
+    use tbp_thermal::solver::SolverKind;
+
+    fn sdr_sim(package: Package, threshold: f64) -> Simulation {
+        SimulationBuilder::new()
+            .with_package(package)
+            .with_workload(Workload::sdr())
+            .with_threshold(threshold)
+            .with_config(SimulationConfig {
+                warmup: Seconds::new(1.0),
+                ..SimulationConfig::paper_default()
+            })
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn empty_and_mismatched_batches_hand_the_sims_back() {
+        let err = LaneBatch::new(Vec::new()).unwrap_err();
+        assert!(err.sims.is_empty());
+        assert!(err.to_string().contains("at least one lane"));
+
+        let a = sdr_sim(Package::mobile_embedded(), 3.0);
+        let b = sdr_sim(Package::high_performance(), 3.0);
+        let err = LaneBatch::new(vec![a, b]).unwrap_err();
+        assert_eq!(err.sims.len(), 2);
+        assert!(std::error::Error::source(&err).is_some());
+
+        let a = sdr_sim(Package::mobile_embedded(), 3.0);
+        let mut cfg = SimulationConfig::paper_default();
+        cfg.warmup = Seconds::new(1.0);
+        cfg.time_step = Seconds::from_millis(10.0);
+        let b = SimulationBuilder::new()
+            .with_workload(Workload::sdr())
+            .with_config(cfg)
+            .build()
+            .unwrap();
+        let err = LaneBatch::new(vec![a, b]).unwrap_err();
+        assert!(err.to_string().contains("time step"));
+    }
+
+    #[test]
+    fn batched_lanes_match_individual_runs_bitwise() {
+        for solver in [SolverKind::ForwardEuler, SolverKind::RungeKutta4] {
+            let build = |threshold: f64| {
+                SimulationBuilder::new()
+                    .with_package(Package::high_performance())
+                    .with_solver(solver)
+                    .with_workload(Workload::sdr())
+                    .with_threshold(threshold)
+                    .with_config(SimulationConfig {
+                        warmup: Seconds::new(0.5),
+                        ..SimulationConfig::paper_default()
+                    })
+                    .build()
+                    .unwrap()
+            };
+            let thresholds = [1.0, 2.0, 3.0];
+            let mut solo: Vec<Simulation> = thresholds.iter().map(|&t| build(t)).collect();
+            for sim in &mut solo {
+                sim.run_for(Seconds::new(2.0)).unwrap();
+            }
+            let mut batch = LaneBatch::new(thresholds.iter().map(|&t| build(t)).collect()).unwrap();
+            assert_eq!(batch.num_lanes(), 3);
+            assert!(!batch.simd_label().is_empty());
+            assert!(format!("{batch:?}").contains("LaneBatch"));
+            batch.run_steps(400).unwrap();
+            assert!(batch.lane(0).is_some());
+            assert!(batch.lane(7).is_none());
+            let mut lanes = batch.into_lanes();
+            for (lane, (s, b)) in solo.iter_mut().zip(lanes.iter_mut()).enumerate() {
+                assert_eq!(s.elapsed(), b.elapsed(), "lane {lane} elapsed");
+                for (i, (ts, tb)) in s
+                    .core_temperatures()
+                    .iter()
+                    .zip(b.core_temperatures())
+                    .enumerate()
+                {
+                    assert_eq!(
+                        ts.as_celsius().to_bits(),
+                        tb.as_celsius().to_bits(),
+                        "{solver:?} lane {lane} core {i}"
+                    );
+                }
+                let ss = serde_json::to_string(&s.summary()).unwrap();
+                let sb = serde_json::to_string(&b.summary()).unwrap();
+                assert_eq!(ss, sb, "{solver:?} lane {lane} summary");
+            }
+        }
+    }
+}

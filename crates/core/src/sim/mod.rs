@@ -8,8 +8,10 @@
 //! feed back into the OS layer.
 
 pub mod builder;
+pub mod lanes;
 
 pub use builder::SimulationBuilder;
+pub use lanes::LaneBatch;
 
 use serde::{Deserialize, Serialize};
 
@@ -51,6 +53,16 @@ pub struct SimulationConfig {
     pub metrics_threshold: f64,
     /// Interval between two trace samples; `None` disables tracing.
     pub trace_interval: Option<Seconds>,
+    /// Capacity of the in-memory trace recorder. A full buffer decimates
+    /// (drops every other retained sample and doubles the effective
+    /// interval), so the series always spans the whole run; the default
+    /// holds hours of simulated time at the default 100 ms interval.
+    pub max_trace_samples: usize,
+}
+
+/// Default recorder capacity of [`SimulationConfig::max_trace_samples`].
+fn default_max_trace_samples() -> usize {
+    200_000
 }
 
 impl SimulationConfig {
@@ -63,6 +75,7 @@ impl SimulationConfig {
             warmup: Seconds::new(8.0),
             metrics_threshold: 3.0,
             trace_interval: Some(Seconds::from_millis(100.0)),
+            max_trace_samples: default_max_trace_samples(),
         }
     }
 
@@ -197,7 +210,7 @@ impl Simulation {
         let num_cores = platform.num_cores();
         let metrics = MetricsCollector::new(num_cores, config.metrics_threshold, config.warmup);
         let trace = match config.trace_interval {
-            Some(interval) => TraceRecorder::new(interval, 200_000),
+            Some(interval) => TraceRecorder::new(interval, config.max_trace_samples),
             None => TraceRecorder::disabled(),
         };
         Simulation {
@@ -446,7 +459,18 @@ impl Simulation {
     /// a correctly built simulation does not fail.
     pub fn step(&mut self) -> Result<(), SimError> {
         let dt = self.config.time_step;
+        self.step_pre_thermal(dt)?;
+        self.thermal.step(self.scratch.power.per_block(), dt)?;
+        self.step_post_thermal(dt)
+    }
 
+    /// Phases 1–4a of [`step`](Self::step): OS, streaming, platform, and the
+    /// per-block power snapshot — everything up to (but excluding) the
+    /// thermal integration. After this returns, `scratch.power` holds the
+    /// power vector to integrate. Split out so the lane-batched engine
+    /// ([`lanes::LaneBatch`]) can interleave the thermal solve of many
+    /// simulations between identical pre/post halves.
+    fn step_pre_thermal(&mut self, dt: Seconds) -> Result<(), SimError> {
         // 1. OS: frequencies, utilisations, checkpoints, migrations.
         self.os
             .step_into(&mut self.platform, dt, &mut self.scratch.os_report)?;
@@ -464,8 +488,13 @@ impl Simulation {
             .block_temperatures_into(&mut self.scratch.block_temps);
         self.platform
             .power_snapshot_into(&self.scratch.block_temps, &mut self.scratch.power);
-        self.thermal.step(self.scratch.power.per_block(), dt)?;
+        Ok(())
+    }
 
+    /// Phases 5–8 of [`step`](Self::step): sensors, migration accounting,
+    /// policy, trace, and the elapsed-time advance — everything after the
+    /// thermal integration.
+    fn step_post_thermal(&mut self, dt: Seconds) -> Result<(), SimError> {
         // 5. Sensors.
         if self.sensors.tick(dt) {
             self.sensors.sample(&self.thermal)?;

@@ -424,6 +424,51 @@ mod tests {
     }
 
     #[test]
+    fn decimation_at_exact_capacity_boundary_fires_once() {
+        // Regression: filling the buffer to *exactly* its capacity must not
+        // decimate — only the first over-capacity sample may trigger one
+        // (and exactly one) keep-every-other pass.
+        let cap = 16usize;
+        let dt = Seconds::from_millis(10.0);
+        let mut rec = TraceRecorder::new(dt, cap);
+        let mut offered = 0u64;
+        for i in 0..cap {
+            assert!(rec.tick(dt));
+            rec.record(sample(i as f64 * 0.01, 40.0));
+            offered += 1;
+        }
+        assert_eq!(rec.samples().len(), cap);
+        assert_eq!(rec.decimations(), 0, "exact fill must not decimate");
+        assert_eq!(rec.dropped(), 0);
+        assert_eq!(rec.interval(), dt);
+
+        // One more sample crosses the boundary: one pass, one doubling.
+        assert!(rec.tick(dt));
+        rec.record(sample(cap as f64 * 0.01, 40.0));
+        offered += 1;
+        assert_eq!(rec.decimations(), 1, "boundary sample decimates once");
+        assert_eq!(rec.interval(), Seconds::new(dt.as_secs() * 2.0));
+        // Even indices of the old buffer survive, plus the new sample.
+        assert_eq!(rec.samples().len(), cap / 2 + 1);
+        // The drop counter accounts for every sample the reader no longer
+        // sees: offered == retained + dropped.
+        assert_eq!(rec.samples().len() as u64 + rec.dropped(), offered);
+
+        // Subsequent samples land on the doubled grid: ticking at the old
+        // cadence fires every other offer, with no further decimation until
+        // the buffer fills again.
+        let before = rec.decimations();
+        for i in 0..6 {
+            if rec.tick(dt) {
+                rec.record(sample((cap + 1 + i) as f64 * 0.01, 40.0));
+                offered += 1;
+            }
+        }
+        assert_eq!(rec.decimations(), before);
+        assert_eq!(rec.samples().len() as u64 + rec.dropped(), offered);
+    }
+
+    #[test]
     fn disabled_recorder_stores_nothing() {
         let mut rec = TraceRecorder::disabled();
         assert!(!rec.tick(Seconds::new(1e6)));

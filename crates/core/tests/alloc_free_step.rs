@@ -24,7 +24,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 
 use tbp_arch::units::Seconds;
 use tbp_core::sim::builder::Workload;
-use tbp_core::sim::{Simulation, SimulationBuilder, SimulationConfig};
+use tbp_core::sim::{LaneBatch, Simulation, SimulationBuilder, SimulationConfig};
 use tbp_thermal::package::Package;
 use tbp_thermal::solver::SolverKind;
 
@@ -32,13 +32,31 @@ use tbp_thermal::solver::SolverKind;
 /// steady-state step must not free either, but frees of empty collections
 /// never call the allocator anyway, so counting `alloc`/`realloc` is the
 /// signal that matters).
+///
+/// Counting is gated on a `const`-initialised thread-local so only the
+/// *test thread's* allocations are measured: the libtest harness keeps its
+/// own main thread alive alongside the test, and its occasional bookkeeping
+/// allocations would otherwise land inside the measured window and fail the
+/// assertion spuriously (observed as a rare "allocated 2 times" flake). The
+/// const initialiser matters — a lazily initialised thread-local would
+/// itself allocate on first access from the allocator hooks.
 struct CountingAllocator;
 
 static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    static COUNTING: std::cell::Cell<bool> = const { std::cell::Cell::new(false) };
+}
+
+fn counting_here() -> bool {
+    COUNTING.try_with(|c| c.get()).unwrap_or(false)
+}
+
 unsafe impl GlobalAlloc for CountingAllocator {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.alloc(layout) }
     }
 
@@ -47,7 +65,9 @@ unsafe impl GlobalAlloc for CountingAllocator {
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        if counting_here() {
+            ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        }
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -55,7 +75,9 @@ unsafe impl GlobalAlloc for CountingAllocator {
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
 
+/// Starts counting this thread's allocations and returns the baseline.
 fn allocations() -> u64 {
+    COUNTING.with(|c| c.set(true));
     ALLOCATIONS.load(Ordering::Relaxed)
 }
 
@@ -159,4 +181,72 @@ fn steady_state_step_performs_zero_heap_allocations() {
     let data = tbp_obs::TraceReader::read_file(&path).expect("trace decodes");
     assert!(data.total_records() > 0);
     let _ = std::fs::remove_file(&path);
+
+    // The batched engine inherits the guarantee: a 4-lane LaneBatch steps
+    // its lane-strided thermal kernel and all four per-lane stacks without
+    // touching the allocator once warm.
+    let sims: Vec<Simulation> = (0..4)
+        .map(|_| {
+            build(
+                Package::high_performance(),
+                SolverKind::RungeKutta4,
+                Workload::sdr(),
+            )
+        })
+        .collect();
+    let mut batch = LaneBatch::new(sims).expect("lane batch forms");
+    batch.run_steps(1_800).expect("warm-up runs"); // 9 s at the 5 ms step
+    let before = allocations();
+    batch.run_steps(4_000).expect("steady-state batch steps");
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "lane-batch: steady-state LaneBatch::step allocated {} times in 4000 steps",
+        after - before
+    );
+    assert!(batch.lane(0).expect("lane accessible").elapsed().as_secs() > 28.0);
+
+    // And with a file sink attached to one lane: the sink's preallocated
+    // chunk buffer keeps the batched loop allocation-free too.
+    let lane_path = std::env::temp_dir().join("tbp_alloc_free_lane.tbptrace");
+    let sims: Vec<Simulation> = (0..4)
+        .map(|_| {
+            build(
+                Package::mobile_embedded(),
+                SolverKind::ForwardEuler,
+                Workload::sdr(),
+            )
+        })
+        .collect();
+    let mut batch = LaneBatch::new(sims).expect("lane batch forms");
+    batch
+        .lane_mut(2)
+        .expect("lane accessible")
+        .attach_trace_sink(
+            Box::new(tbp_obs::FileSink::create(&lane_path).expect("trace file creates")),
+            Seconds::from_millis(10.0),
+            tbp_core::trace::TrackSelection::all(),
+        )
+        .expect("sink attaches");
+    batch.run_steps(1_800).expect("warm-up runs");
+    let before = allocations();
+    batch
+        .run_steps(4_000)
+        .expect("steady-state batch steps with sink");
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "lane-batch file-sink: LaneBatch::step allocated {} times in 4000 steps",
+        after - before
+    );
+    batch
+        .lane_mut(2)
+        .expect("lane accessible")
+        .detach_trace_sink()
+        .expect("sink finalises");
+    let data = tbp_obs::TraceReader::read_file(&lane_path).expect("trace decodes");
+    assert!(data.total_records() > 0);
+    let _ = std::fs::remove_file(&lane_path);
 }

@@ -1,0 +1,242 @@
+//! Differential proof that the batched multi-lane engine is observably
+//! identical to the classic one-simulation-at-a-time scenario path.
+//!
+//! Every test runs the same scenario batch once at `lanes = 1` (which
+//! delegates straight to the solo `Simulation::step` loop) and once at a
+//! higher lane count, and asserts the *bytes* agree: per-run
+//! `SimulationSummary` JSON, the batch CSV and JSON, and the `.tbptrace`
+//! files. A final pair of tests pins the cache contract — lane count is not
+//! part of the [`ScenarioHash`], so a batched cold run must warm the cache
+//! for a solo run and vice versa.
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use tbp_core::scenario::{
+    MemCache, PlatformSpec, RunCache, Runner, ScenarioSpec, SweepSpec, TraceSpec, WorkloadDecl,
+    WorkloadKind,
+};
+use tbp_thermal::solver::SolverKind;
+
+/// A self-cleaning temp directory for trace output.
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(tag: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("tbp-lane-equiv-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir creates");
+        TempDir(dir)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+/// The differential matrix spec: one scenario whose sweep expands over
+/// workloads (sdr, dag) and a policy-on/policy-off pair, pinned to one
+/// solver. Short schedule — equivalence is about bytes, not physics.
+fn matrix_spec(name: &str, solver: SolverKind) -> ScenarioSpec {
+    let mut spec = ScenarioSpec::new(name).with_schedule(0.25, 0.5).with_sweep(
+        SweepSpec::default()
+            .with_workloads([WorkloadKind::Sdr, WorkloadKind::Dag])
+            // "dvfs-only" is the policy-off proxy: DVFS governor without any
+            // balancing migrations.
+            .with_policies(["thermal-balancing", "dvfs-only"])
+            .with_thresholds([2.0, 4.0]),
+    );
+    spec.platform = Some(PlatformSpec {
+        solver: Some(solver),
+        ..PlatformSpec::default()
+    });
+    spec
+}
+
+/// Sorted (name, bytes) pairs of every file in a trace directory.
+fn dir_bytes(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+        .expect("trace dir reads")
+        .map(|e| {
+            let e = e.expect("dir entry reads");
+            (
+                e.file_name().to_string_lossy().into_owned(),
+                std::fs::read(e.path()).expect("trace file reads"),
+            )
+        })
+        .collect();
+    out.sort();
+    out
+}
+
+/// Runs the matrix at `lanes = 1` and at each higher lane count (including
+/// a non-power-of-two and a count exceeding the run count) and asserts all
+/// observable outputs are byte-identical.
+#[test]
+fn batched_matrix_matches_solo_bytes() {
+    for solver in [SolverKind::ForwardEuler, SolverKind::RungeKutta4] {
+        let spec = matrix_spec("lane-equiv", solver);
+        let solo_dir = TempDir::new(&format!("solo-{solver:?}"));
+        let solo = Runner::new()
+            .with_trace_dir(&solo_dir.0)
+            .run_batched(std::slice::from_ref(&spec), 1)
+            .expect("solo batch runs");
+        let solo_json = solo.to_json();
+        let solo_csv = solo.to_csv();
+        let solo_traces = dir_bytes(&solo_dir.0);
+        assert!(
+            !solo_traces.is_empty(),
+            "matrix spec must emit trace files for the comparison to bite"
+        );
+
+        for lanes in [2usize, 3, 4, 8, 64] {
+            let lane_dir = TempDir::new(&format!("l{lanes}-{solver:?}"));
+            let batched = Runner::new()
+                .with_trace_dir(&lane_dir.0)
+                .run_batched(std::slice::from_ref(&spec), lanes)
+                .expect("batched runs");
+
+            // Per-run summaries, element by element, then the whole report.
+            assert_eq!(solo.len(), batched.len());
+            for (s, b) in solo.reports.iter().zip(batched.reports.iter()) {
+                assert_eq!(s.scenario, b.scenario);
+                let s_sum = serde_json::to_string(s.summary().expect("solo summary"))
+                    .expect("summary serializes");
+                let b_sum = serde_json::to_string(b.summary().expect("batched summary"))
+                    .expect("summary serializes");
+                assert_eq!(
+                    s_sum, b_sum,
+                    "summary diverged: {} lanes={lanes}",
+                    s.scenario
+                );
+            }
+            assert_eq!(
+                solo_json,
+                batched.to_json(),
+                "JSON diverged at lanes={lanes}"
+            );
+            assert_eq!(solo_csv, batched.to_csv(), "CSV diverged at lanes={lanes}");
+            assert_eq!(
+                solo_traces,
+                dir_bytes(&lane_dir.0),
+                "trace bytes diverged at lanes={lanes}"
+            );
+        }
+    }
+}
+
+/// The sweep's trace spec exercises the trace path in the matrix test above.
+/// (Kept as a helper so the proptest below can toggle it.)
+fn with_trace(mut spec: ScenarioSpec) -> ScenarioSpec {
+    spec.trace = Some(TraceSpec {
+        interval_ms: Some(50.0),
+        tracks: None,
+    });
+    spec
+}
+
+/// Cold batched run warms the cache for a solo run: lane count must be
+/// invisible to the [`ScenarioHash`] domain.
+#[test]
+fn batched_cold_run_warms_solo_cache() {
+    let spec = matrix_spec("lane-cache-fwd", SolverKind::ForwardEuler);
+    let cache: Arc<dyn RunCache> = Arc::new(MemCache::new());
+
+    let cold = Runner::new()
+        .with_cache_arc(Arc::clone(&cache))
+        .with_lanes(4);
+    let cold_report = cold.run(std::slice::from_ref(&spec)).expect("cold runs");
+    assert_eq!(cold.stats().misses(), cold_report.len() as u64);
+    assert_eq!(cold.stats().cache_hits, 0);
+
+    let warm = Runner::new().with_cache_arc(Arc::clone(&cache));
+    let warm_report = warm.run(std::slice::from_ref(&spec)).expect("warm runs");
+    assert_eq!(warm.stats().misses(), 0, "batched entries must hit solo");
+    assert_eq!(warm.stats().cache_hits, warm_report.len() as u64);
+    assert_eq!(cold_report.to_csv(), warm_report.to_csv());
+}
+
+/// And the reverse: a solo cold run fully warms a batched runner.
+#[test]
+fn solo_cold_run_warms_batched_cache() {
+    let spec = matrix_spec("lane-cache-rev", SolverKind::RungeKutta4);
+    let cache: Arc<dyn RunCache> = Arc::new(MemCache::new());
+
+    let cold = Runner::new().with_cache_arc(Arc::clone(&cache));
+    let cold_report = cold.run(std::slice::from_ref(&spec)).expect("cold runs");
+    assert_eq!(cold.stats().misses(), cold_report.len() as u64);
+
+    let warm = Runner::new()
+        .with_cache_arc(Arc::clone(&cache))
+        .with_lanes(8);
+    let warm_report = warm.run(std::slice::from_ref(&spec)).expect("warm runs");
+    assert_eq!(warm.stats().misses(), 0, "solo entries must hit batched");
+    assert_eq!(warm.stats().cache_hits, warm_report.len() as u64);
+    assert_eq!(cold_report.to_json(), warm_report.to_json());
+}
+
+/// Mixed platform fingerprints in one batch: runs that cannot share a
+/// `LaneBatch` (different solver ⇒ different step count/kernel) must still
+/// come out byte-identical, exercising the grouping logic.
+#[test]
+fn mixed_fingerprint_batch_matches_solo() {
+    let specs: Vec<ScenarioSpec> = [
+        matrix_spec("mixed-euler", SolverKind::ForwardEuler),
+        matrix_spec("mixed-rk4", SolverKind::RungeKutta4),
+    ]
+    .into_iter()
+    .map(with_trace)
+    .collect();
+
+    let solo = Runner::new().run_batched(&specs, 1).expect("solo runs");
+    let batched = Runner::new().run_batched(&specs, 8).expect("batched runs");
+    assert_eq!(solo.to_json(), batched.to_json());
+    assert_eq!(solo.to_csv(), batched.to_csv());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Randomised differential check: arbitrary thresholds, durations and
+    /// lane counts still produce byte-identical reports.
+    #[test]
+    fn random_sweeps_are_lane_invariant(
+        threshold in 1.0f64..6.0,
+        duration in 0.2f64..0.8,
+        lanes in 2usize..=9,
+        rk4 in any::<bool>(),
+        dag in any::<bool>(),
+    ) {
+        let solver = if rk4 {
+            SolverKind::RungeKutta4
+        } else {
+            SolverKind::ForwardEuler
+        };
+        let workload = if dag { WorkloadKind::Dag } else { WorkloadKind::Sdr };
+        let mut spec = ScenarioSpec::new("lane-prop")
+            .with_schedule(0.25, duration)
+            .with_workload(WorkloadDecl::of_kind(workload))
+            .with_sweep(
+                SweepSpec::default()
+                    .with_policies(["thermal-balancing", "dvfs-only"])
+                    .with_thresholds([threshold, threshold + 1.0]),
+            );
+        spec.platform = Some(PlatformSpec {
+            solver: Some(solver),
+            ..PlatformSpec::default()
+        });
+
+        let solo = Runner::new()
+            .run_batched(std::slice::from_ref(&spec), 1)
+            .expect("solo runs");
+        let batched = Runner::new()
+            .run_batched(std::slice::from_ref(&spec), lanes)
+            .expect("batched runs");
+        prop_assert_eq!(solo.to_json(), batched.to_json());
+        prop_assert_eq!(solo.to_csv(), batched.to_csv());
+    }
+}

@@ -342,3 +342,120 @@ fn shards_sharing_a_cache_make_the_full_batch_free() {
     let uncached = Runner::new().run_spec(&spec).expect("reference batch runs");
     assert_eq!(warm.to_json(), uncached.to_json());
 }
+
+// ---------------------------------------------------------------------------
+// Property tests: shard plans and partial-report merging under randomised
+// shard counts, arrival orders and cache states (PR 7 satellite).
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Shard ranges partition `0..total` contiguously, in order, for every
+    /// shard count — including `k = 1` (the degenerate single-shard plan)
+    /// and `k > total` (trailing shards come out empty).
+    #[test]
+    fn shard_ranges_partition_any_batch(total in 0usize..40, k in 1usize..12) {
+        let mut next = 0usize;
+        for index in 1..=k {
+            let range = ShardPlan::new(index, k).unwrap().range(total);
+            prop_assert_eq!(range.start, next, "gap or overlap at shard {}/{}", index, k);
+            prop_assert!(range.end >= range.start);
+            next = range.end;
+        }
+        prop_assert_eq!(next, total, "shards must cover the whole batch");
+    }
+
+    /// Merging a complete set of partials is byte-identical to the single
+    /// process run for any shard count and any arrival order. `k = 1`
+    /// exercises the single-partial merge; `k` beyond the run count (the
+    /// grid expands to 8 runs) exercises empty shards; the rotation models
+    /// out-of-order arrival from racing workers.
+    #[test]
+    fn sharded_merge_matches_single_run_bytes(k in 1usize..=10, rot in 0usize..10) {
+        let spec = grid_spec("prop-shard");
+        let single = Runner::new()
+            .run_spec(&spec)
+            .expect("single-process batch runs");
+        let mut partials: Vec<PartialReport> = (1..=k)
+            .map(|index| {
+                Runner::new()
+                    .run_shard(
+                        std::slice::from_ref(&spec),
+                        ShardPlan::new(index, k).unwrap(),
+                    )
+                    .expect("shard runs")
+            })
+            .collect();
+        partials.rotate_left(rot % k);
+        let merged = PartialReport::merge(partials).expect("complete set merges");
+        prop_assert_eq!(merged.to_csv(), single.to_csv());
+        prop_assert_eq!(merged.to_json(), single.to_json());
+    }
+
+    /// A shard answered entirely from a warm cache merges byte-identically
+    /// with cold shards: cache hits relabel stored reports instead of
+    /// simulating, and the merge cannot tell the difference.
+    #[test]
+    fn all_cache_hit_shard_merges_like_a_cold_one(warm_index in 1usize..=3) {
+        let spec = grid_spec("prop-warm-shard");
+        let k = 3usize;
+        let cache: Arc<MemCache> = Arc::new(MemCache::new());
+        let plan = ShardPlan::new(warm_index, k).unwrap();
+
+        // Populate the cache with exactly the warm shard's slice...
+        Runner::new()
+            .with_cache_arc(cache.clone())
+            .run_shard(std::slice::from_ref(&spec), plan)
+            .expect("cold populating shard runs");
+
+        // ...then produce that shard again purely from cache.
+        let warm_runner = Runner::new().with_cache_arc(cache);
+        let warm = warm_runner
+            .run_shard(std::slice::from_ref(&spec), plan)
+            .expect("warm shard runs");
+        prop_assert_eq!(warm_runner.stats().misses(), 0);
+        prop_assert!(warm_runner.stats().cache_hits > 0);
+
+        let partials: Vec<PartialReport> = (1..=k)
+            .map(|index| {
+                if index == warm_index {
+                    warm.clone()
+                } else {
+                    Runner::new()
+                        .run_shard(
+                            std::slice::from_ref(&spec),
+                            ShardPlan::new(index, k).unwrap(),
+                        )
+                        .expect("cold shard runs")
+                }
+            })
+            .collect();
+        let merged = PartialReport::merge(partials).expect("mixed set merges");
+        let single = Runner::new().run_spec(&spec).expect("reference runs");
+        prop_assert_eq!(merged.to_csv(), single.to_csv());
+    }
+
+    /// JSON round-tripping a partial (the on-disk worker hand-off format)
+    /// never changes the merged bytes.
+    #[test]
+    fn partial_json_roundtrip_preserves_merge_bytes(k in 1usize..=4) {
+        let spec = grid_spec("prop-roundtrip");
+        let partials: Vec<PartialReport> = (1..=k)
+            .map(|index| {
+                let p = Runner::new()
+                    .run_shard(
+                        std::slice::from_ref(&spec),
+                        ShardPlan::new(index, k).unwrap(),
+                    )
+                    .expect("shard runs");
+                PartialReport::from_json_str(&p.to_json()).expect("partial round-trips")
+            })
+            .collect();
+        let merged = PartialReport::merge(partials).expect("round-tripped set merges");
+        let single = Runner::new().run_spec(&spec).expect("reference runs");
+        prop_assert_eq!(merged.to_csv(), single.to_csv());
+    }
+}

@@ -50,6 +50,7 @@
 #![deny(rustdoc::broken_intra_doc_links)]
 
 pub mod error;
+pub mod lanes;
 pub mod model;
 pub mod package;
 pub mod rc;
@@ -57,6 +58,7 @@ pub mod sensor;
 pub mod solver;
 
 pub use error::ThermalError;
+pub use lanes::ThermalLaneKernel;
 pub use model::ThermalModel;
 pub use package::Package;
 pub use sensor::SensorBank;

@@ -157,6 +157,57 @@ impl ThermalModel {
         &self.network
     }
 
+    /// The configured integrator (kind plus sub-stepping parameters).
+    pub(crate) fn solver(&self) -> &Solver {
+        &self.solver
+    }
+
+    /// RC node indices of the floorplan blocks, in floorplan order.
+    pub(crate) fn block_nodes(&self) -> &[usize] {
+        &self.block_nodes
+    }
+
+    /// Injects the per-block power vector **without** advancing time — the
+    /// first half of [`step`](Self::step), used by the lane-batched engine
+    /// which integrates in [`ThermalLaneKernel`](crate::lanes::ThermalLaneKernel)
+    /// and writes the state back via [`sync_from_lane`](Self::sync_from_lane).
+    /// Keeping the network's power vector in sync with the scalar path means
+    /// every field of the model stays bit-identical between the two paths.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::PowerLengthMismatch`] when the vector length
+    /// does not match the number of blocks.
+    pub fn load_block_powers(&mut self, power: &[Watts]) -> Result<(), ThermalError> {
+        if power.len() != self.block_nodes.len() {
+            return Err(ThermalError::PowerLengthMismatch {
+                expected: self.block_nodes.len(),
+                actual: power.len(),
+            });
+        }
+        self.network
+            .set_node_powers(&self.block_nodes, power.iter().map(|p| p.as_watts()))
+    }
+
+    /// Adopts the integrated temperatures of `lane` from a batched kernel and
+    /// advances the model clock by `dt` — the second half of
+    /// [`step`](Self::step) on the lane-batched path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ThermalError::InvalidParameter`] when the kernel's lane or
+    /// node shape does not match this model.
+    pub fn sync_from_lane(
+        &mut self,
+        kernel: &crate::lanes::ThermalLaneKernel,
+        lane: usize,
+        dt: Seconds,
+    ) -> Result<(), ThermalError> {
+        kernel.copy_lane_temperatures_into(lane, self.network.temperatures_raw_mut())?;
+        self.elapsed += dt;
+        Ok(())
+    }
+
     /// Injects the per-block power vector and advances the model by `dt`.
     ///
     /// `power` must have one entry per floorplan block, in floorplan order —

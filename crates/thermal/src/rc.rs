@@ -50,23 +50,23 @@ pub struct RcEdge {
 /// node-major CSR adjacency would change the floating-point accumulation
 /// order and therefore the low bits of every temperature.
 #[derive(Debug, Clone, PartialEq)]
-struct CompiledKernel {
+pub(crate) struct CompiledKernel {
     /// `RcEdge::a` of every edge, in insertion order.
-    edge_a: Vec<usize>,
+    pub(crate) edge_a: Vec<usize>,
     /// `RcEdge::b` of every edge, in insertion order.
-    edge_b: Vec<usize>,
+    pub(crate) edge_b: Vec<usize>,
     /// Edge conductances, in insertion order.
-    edge_g: Vec<f64>,
+    pub(crate) edge_g: Vec<f64>,
     /// Per-node conductance to ambient.
-    ambient_g: Vec<f64>,
+    pub(crate) ambient_g: Vec<f64>,
     /// Per-node heat capacitance.
-    capacitance: Vec<f64>,
+    pub(crate) capacitance: Vec<f64>,
     /// Cached explicit-Euler stability limit (`min_i C_i / ΣG_i`).
-    max_stable_step: f64,
+    pub(crate) max_stable_step: f64,
 }
 
 impl CompiledKernel {
-    fn build(nodes: &[RcNode], edges: &[RcEdge]) -> Self {
+    pub(crate) fn build(nodes: &[RcNode], edges: &[RcEdge]) -> Self {
         CompiledKernel {
             edge_a: edges.iter().map(|e| e.a).collect(),
             edge_b: edges.iter().map(|e| e.b).collect(),
@@ -505,6 +505,18 @@ impl RcNetwork {
     /// Injected power of every node, in index order (W).
     pub fn powers(&self) -> &[f64] {
         &self.power
+    }
+
+    /// Raw node temperatures in index order (°C), for the lane-batched
+    /// kernel's state export.
+    pub(crate) fn temperatures_raw(&self) -> &[f64] {
+        &self.temperatures
+    }
+
+    /// Mutable raw node temperatures, for the lane-batched kernel's
+    /// write-back of integrated state.
+    pub(crate) fn temperatures_raw_mut(&mut self) -> &mut [f64] {
+        &mut self.temperatures
     }
 
     /// [`steady_state`](Self::steady_state) for an explicit per-node power

@@ -158,6 +158,29 @@ impl Solver {
         self.advance_with(network, dt, &mut workspace)
     }
 
+    /// The sub-step plan `(substeps, sub_dt)` this solver uses to advance by
+    /// `dt_secs` a network whose explicit-Euler stability limit is `stable`.
+    ///
+    /// Factored out so the single-network [`advance_with`](Self::advance_with)
+    /// path and the lane-batched kernel
+    /// ([`lanes`](crate::lanes)) split `dt` identically — the differential
+    /// equivalence tests rely on both paths performing the exact same
+    /// floating-point operation sequence.
+    pub fn substep_plan(&self, dt_secs: f64, stable: f64) -> (usize, f64) {
+        // RK4 tolerates larger steps than explicit Euler; allow 2x.
+        let scheme_factor = match self.kind {
+            SolverKind::ForwardEuler => 1.0,
+            SolverKind::RungeKutta4 => 2.0,
+        };
+        let max_sub = if stable.is_finite() {
+            (stable * self.safety_factor * scheme_factor).max(1e-9)
+        } else {
+            dt_secs
+        };
+        let substeps = ((dt_secs / max_sub).ceil() as usize).clamp(1, self.max_substeps);
+        (substeps, dt_secs / substeps as f64)
+    }
+
     /// Advances the network by `dt` using caller-provided scratch buffers.
     ///
     /// Compiles the network's kernel if a topology mutation invalidated it,
@@ -181,19 +204,7 @@ impl Solver {
             return Err(ThermalError::InvalidTimeStep(dt_secs));
         }
         network.ensure_compiled();
-        let stable = network.max_stable_step();
-        // RK4 tolerates larger steps than explicit Euler; allow 2x.
-        let scheme_factor = match self.kind {
-            SolverKind::ForwardEuler => 1.0,
-            SolverKind::RungeKutta4 => 2.0,
-        };
-        let max_sub = if stable.is_finite() {
-            (stable * self.safety_factor * scheme_factor).max(1e-9)
-        } else {
-            dt_secs
-        };
-        let substeps = ((dt_secs / max_sub).ceil() as usize).clamp(1, self.max_substeps);
-        let sub_dt = dt_secs / substeps as f64;
+        let (substeps, sub_dt) = self.substep_plan(dt_secs, network.max_stable_step());
         for _ in 0..substeps {
             match self.kind {
                 SolverKind::ForwardEuler => network.euler_step_with(sub_dt, workspace),
