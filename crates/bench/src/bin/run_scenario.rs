@@ -11,7 +11,9 @@
 //! ```
 //!
 //! Accepts the shared batch flags (`--json`/`--csv`, `--cache-dir`,
-//! `--shard i/k`, `--trace-dir <dir>`, `--lanes <n>`, `--merge`). With
+//! `--shard i/k`, `--trace-dir <dir>`, `--lanes <n>`, `--merge`, plus the
+//! observability trio `--metrics <file>`, `--metrics-prom <file>` and
+//! `--progress`). With
 //! `--lanes <n>` compatible simulation misses step in lockstep through one
 //! SIMD lane batch — byte-identical output, faster. With `--trace-dir` every
 //! *simulated* run additionally writes a binary trace (see
@@ -82,7 +84,8 @@ fn scenario_paths() -> Vec<PathBuf> {
     let mut args = std::env::args().skip(1).peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--cache-dir" | "--shard" | "--trace-dir" | "--lanes" => {
+            "--cache-dir" | "--shard" | "--trace-dir" | "--lanes" | "--metrics"
+            | "--metrics-prom" => {
                 args.next();
             }
             "--merge" => {
@@ -90,7 +93,7 @@ fn scenario_paths() -> Vec<PathBuf> {
                     args.next();
                 }
             }
-            "--json" | "--csv" => {}
+            "--json" | "--csv" | "--progress" => {}
             other if other.starts_with("--") => panic!("unknown flag `{other}`"),
             other => paths.push(PathBuf::from(other)),
         }

@@ -1,4 +1,4 @@
-//! Inspects and exports binary trace files (`.tbptrace`).
+//! Inspects, exports and live-tails binary trace files (`.tbptrace`).
 //!
 //! The runner's `--trace-dir` flag makes every simulated run emit one binary
 //! trace (see `docs/OBSERVABILITY.md` for the format); this binary is the
@@ -9,6 +9,7 @@
 //!     [--window <seconds>]           # windowed stats instead of track table
 //!     [--export perfetto|json|csv]   # convert instead of summarising
 //!     [--out <file>]                 # write the export to a file
+//!     [--follow]                     # tail a live trace as it is written
 //! ```
 //!
 //! Without flags it prints one row per track — kind, samples, span, min,
@@ -17,16 +18,27 @@
 //! headline balancing metric) and the migration rate per window. `--export
 //! perfetto` emits Chrome-trace JSON that `ui.perfetto.dev` opens directly;
 //! `json` is the legacy in-memory recorder shape; `csv` is long-format.
+//!
+//! `--follow` opens the trace while the producing run is still writing it
+//! and streams the windowed stats: each window row is printed as soon as it
+//! completes (an incomplete final chunk is "wait for more data", not
+//! corruption — see [`TraceTailer`]), and when the writer finishes, the
+//! accumulated samples are checked byte-for-byte against a fresh post-hoc
+//! [`TraceReader::read_file`] pass.
 
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use tbp_obs::export::{to_csv, to_legacy_json, to_perfetto_json};
-use tbp_obs::{TraceData, TraceReader, Track, TrackKind};
-
-const SPARKS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+use tbp_obs::stats::{series_stats, sparkline, windowed_stats, WindowStat};
+use tbp_obs::{TraceData, TraceReader, TraceTailer};
 
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
+    if cli.follow {
+        follow(&cli.file, cli.window.unwrap_or(1.0));
+        return;
+    }
     let data = TraceReader::read_file(&cli.file)
         .unwrap_or_else(|e| panic!("cannot read trace {}: {e}", cli.file.display()));
     if let Some(format) = &cli.export {
@@ -54,6 +66,7 @@ struct Cli {
     window: Option<f64>,
     export: Option<String>,
     out: Option<PathBuf>,
+    follow: bool,
 }
 
 impl Cli {
@@ -62,6 +75,7 @@ impl Cli {
         let mut window = None;
         let mut export = None;
         let mut out = None;
+        let mut follow = false;
         let mut args = args.peekable();
         fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
             match args.next() {
@@ -84,6 +98,7 @@ impl Cli {
                 }
                 "--export" => export = Some(value(&mut args, "--export")),
                 "--out" => out = Some(PathBuf::from(value(&mut args, "--out"))),
+                "--follow" => follow = true,
                 other if other.starts_with("--") => panic!("unknown flag `{other}`"),
                 other => {
                     assert!(file.is_none(), "more than one trace file given");
@@ -91,18 +106,86 @@ impl Cli {
                 }
             }
         }
+        assert!(
+            !(follow && export.is_some()),
+            "--follow streams windowed stats and cannot be combined with --export"
+        );
         Cli {
             file: file.unwrap_or_else(|| {
                 panic!(
                     "usage: trace_explore <file.tbptrace> [--window <s>] \
-                     [--export perfetto|json|csv] [--out <file>]"
+                     [--export perfetto|json|csv] [--out <file>] [--follow]"
                 )
             }),
             window,
             export,
             out,
+            follow,
         }
     }
+}
+
+/// Tails a live trace: prints each windowed-stats row as soon as its window
+/// completes, then — once the writer lands the end chunk — verifies the
+/// accumulated samples against a fresh post-hoc read of the finished file.
+fn follow(path: &Path, window: f64) {
+    const POLL: Duration = Duration::from_millis(150);
+    const OPEN_TIMEOUT: Duration = Duration::from_secs(30);
+    // The producing run may not have created the file yet: retry the open
+    // briefly instead of racing the writer.
+    let opened = Instant::now();
+    let mut tailer = loop {
+        match TraceTailer::open(path) {
+            Ok(tailer) => break tailer,
+            Err(e) if opened.elapsed() < OPEN_TIMEOUT => {
+                let _ = e;
+                std::thread::sleep(POLL);
+            }
+            Err(e) => panic!("cannot open trace {} for tailing: {e}", path.display()),
+        }
+    };
+    println!(
+        "{:>9} {:>9} {:>12} {:>14}",
+        "from_s", "to_s", "sigma_c", "migrations_per_s"
+    );
+    let mut printed = 0usize;
+    loop {
+        let progress = tailer
+            .poll()
+            .unwrap_or_else(|e| panic!("cannot tail {}: {e}", path.display()));
+        let windows = windowed_stats(tailer.data(), window);
+        // While the writer is running, the final window is still filling (it
+        // would stretch as samples land), so only completed windows print;
+        // the end chunk flushes the rest including the final partial window.
+        let complete = if progress.ended {
+            windows.len()
+        } else {
+            windows.len().saturating_sub(1)
+        };
+        for stat in &windows[printed..complete] {
+            print_window_row(stat);
+        }
+        printed = complete;
+        if progress.ended {
+            break;
+        }
+        std::thread::sleep(POLL);
+    }
+    let tailed = tailer
+        .into_data()
+        .unwrap_or_else(|e| panic!("tailed trace {} is incomplete: {e}", path.display()));
+    let posthoc = TraceReader::read_file(path)
+        .unwrap_or_else(|e| panic!("cannot re-read trace {}: {e}", path.display()));
+    assert_eq!(
+        tailed,
+        posthoc,
+        "tailed samples diverged from the post-hoc read of {}",
+        path.display()
+    );
+    println!(
+        "tail verified: {} records byte-identical to post-hoc read",
+        posthoc.total_records()
+    );
 }
 
 /// One row per track: kind, record count, time span, min/mean/max and a
@@ -154,94 +237,25 @@ fn print_summary(path: &Path, data: &TraceData) {
 
 /// Windowed aggregates: per window the spatial temperature σ (mean over the
 /// window's samples) and the migration rate, the paper's two headline
-/// balancing metrics.
+/// balancing metrics. Shares [`windowed_stats`] with `--follow` and
+/// `trace_tui`, so all three views agree exactly.
 fn print_windowed(data: &TraceData, window: f64) {
-    let temps: Vec<&Track> = data.tracks_of(TrackKind::CoreTemperature).collect();
-    let migrations = data.track(TrackKind::Migrations, 0);
-    let Some((start, end)) = data.span() else {
+    if data.span().is_none() {
         println!("empty trace");
         return;
-    };
-    let grid: &[f64] = temps
-        .iter()
-        .max_by_key(|t| t.len())
-        .map(|t| t.times.as_slice())
-        .unwrap_or(&[]);
+    }
     println!(
         "{:>9} {:>9} {:>12} {:>14}",
         "from_s", "to_s", "sigma_c", "migrations_per_s"
     );
-    let mut at = start;
-    while at < end {
-        let to = (at + window).min(end);
-        // Mean spatial σ over the window's sample instants.
-        let mut sigma_sum = 0.0;
-        let mut sigma_n = 0u64;
-        for &t in grid.iter().filter(|&&t| t >= at && t < to) {
-            let values: Vec<f64> = temps
-                .iter()
-                .filter_map(|track| track.value_at_or_before(t))
-                .collect();
-            if values.len() > 1 {
-                sigma_sum += std_dev(&values);
-                sigma_n += 1;
-            }
-        }
-        let sigma = if sigma_n > 0 {
-            sigma_sum / sigma_n as f64
-        } else {
-            0.0
-        };
-        let migrated = migrations
-            .map(|m| {
-                let before = m.value_at_or_before(at).unwrap_or(0.0);
-                let after = m.value_at_or_before(to).unwrap_or(before);
-                (after - before).max(0.0)
-            })
-            .unwrap_or(0.0);
-        let rate = if to > at { migrated / (to - at) } else { 0.0 };
-        println!("{at:>9.2} {to:>9.2} {sigma:>12.4} {rate:>14.3}");
-        at = to;
+    for stat in windowed_stats(data, window) {
+        print_window_row(&stat);
     }
 }
 
-fn series_stats(values: &[f64]) -> (f64, f64, f64) {
-    if values.is_empty() {
-        return (0.0, 0.0, 0.0);
-    }
-    let min = values.iter().copied().fold(f64::INFINITY, f64::min);
-    let max = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-    let mean = values.iter().sum::<f64>() / values.len() as f64;
-    (min, mean, max)
-}
-
-fn std_dev(values: &[f64]) -> f64 {
-    let mean = values.iter().sum::<f64>() / values.len() as f64;
-    let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / values.len() as f64;
-    var.sqrt()
-}
-
-/// Resamples `values` into at most `width` buckets (bucket mean) and maps
-/// each onto the 8-level block characters.
-fn sparkline(values: &[f64], width: usize) -> String {
-    if values.is_empty() {
-        return String::new();
-    }
-    let buckets = width.min(values.len()).max(1);
-    let mut resampled = Vec::with_capacity(buckets);
-    for b in 0..buckets {
-        let lo = b * values.len() / buckets;
-        let hi = (((b + 1) * values.len()) / buckets).max(lo + 1);
-        let slice = &values[lo..hi.min(values.len())];
-        resampled.push(slice.iter().sum::<f64>() / slice.len() as f64);
-    }
-    let (min, _, max) = series_stats(&resampled);
-    let span = (max - min).max(1e-12);
-    resampled
-        .iter()
-        .map(|v| {
-            let level = (((v - min) / span) * 7.0).round() as usize;
-            SPARKS[level.min(7)]
-        })
-        .collect()
+fn print_window_row(stat: &WindowStat) {
+    println!(
+        "{:>9.2} {:>9.2} {:>12.4} {:>14.3}",
+        stat.from_s, stat.to_s, stat.sigma_c, stat.migrations_per_s
+    );
 }

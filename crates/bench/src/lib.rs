@@ -22,17 +22,35 @@
 //!   to `--lanes 1`.
 //! * `--merge <file>...` — skip execution, merge previously emitted partial
 //!   reports back into the full batch and render it as usual.
+//! * `--metrics <file>` (or `TBP_METRICS`) — append a JSONL
+//!   [`MetricsSnapshot`](tbp_obs::MetricsSnapshot) heartbeat line every
+//!   ~500 ms while the batch runs (plus a final line), for live dashboards
+//!   and `trace_tui`'s status bar.
+//! * `--metrics-prom <file>` (or `TBP_METRICS_PROM`) — write a one-shot
+//!   Prometheus-style exposition of the final metric values on completion.
+//! * `--progress` (or `TBP_PROGRESS=1`) — print a `[progress]` line to
+//!   stderr every ~500 ms (done/total, cache hits/misses, elapsed,
+//!   aggregate steps/s). Off by default so existing stderr greps stay
+//!   stable.
+//!
+//! None of the observability flags change what the binaries compute:
+//! reports, CSVs and cache entries stay byte-identical with them on.
 
 #![deny(missing_docs)]
 
 use std::path::PathBuf;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use tbp_arch::units::Seconds;
 use tbp_core::experiments::SweepPoint;
 use tbp_core::scenario::{
-    BatchReport, FsCache, PartialReport, RunReport, Runner, ScenarioSpec, ShardPlan,
+    BatchReport, CacheMetrics, FsCache, PartialReport, RunReport, Runner, RunnerMetrics,
+    ScenarioSpec, ShardPlan,
 };
+use tbp_obs::{MetricsRegistry, SnapshotEmitter};
 
 /// Measured duration used by the figure experiments (seconds of simulated
 /// time after the warm-up). Override with the `TBP_DURATION` environment
@@ -244,12 +262,25 @@ pub struct BatchCli {
     pub lanes: Option<usize>,
     /// Partial-report files to merge instead of executing (`--merge <f>...`).
     pub merge: Vec<PathBuf>,
+    /// JSONL metrics heartbeat file (`--metrics <file>` or `TBP_METRICS`).
+    pub metrics: Option<PathBuf>,
+    /// One-shot Prometheus exposition file on completion
+    /// (`--metrics-prom <file>` or `TBP_METRICS_PROM`).
+    pub metrics_prom: Option<PathBuf>,
+    /// Whether to print periodic `[progress]` lines to stderr
+    /// (`--progress` or `TBP_PROGRESS=1`).
+    pub progress: bool,
 }
 
 impl BatchCli {
     /// Whether the binary should merge partials instead of executing runs.
     pub fn is_merge(&self) -> bool {
         !self.merge.is_empty()
+    }
+
+    /// Whether any live-observability output was requested.
+    pub fn wants_observability(&self) -> bool {
+        self.metrics.is_some() || self.metrics_prom.is_some() || self.progress
     }
 }
 
@@ -291,6 +322,21 @@ pub fn batch_cli() -> BatchCli {
             cli.lanes = Some(lanes.parse().expect("TBP_LANES parses as a lane count"));
         }
     }
+    if cli.metrics.is_none() {
+        if let Ok(path) = std::env::var("TBP_METRICS") {
+            cli.metrics = Some(PathBuf::from(path));
+        }
+    }
+    if cli.metrics_prom.is_none() {
+        if let Ok(path) = std::env::var("TBP_METRICS_PROM") {
+            cli.metrics_prom = Some(PathBuf::from(path));
+        }
+    }
+    if !cli.progress {
+        if let Ok(value) = std::env::var("TBP_PROGRESS") {
+            cli.progress = !matches!(value.as_str(), "" | "0");
+        }
+    }
     cli
 }
 
@@ -323,6 +369,17 @@ fn parse_batch_cli(args: impl Iterator<Item = String>) -> BatchCli {
                 let lanes = flag_value(&mut args, "--lanes", "a lane count, e.g. 4");
                 cli.lanes = Some(lanes.parse().expect("--lanes value parses"));
             }
+            "--metrics" => {
+                let path = flag_value(&mut args, "--metrics", "a file path");
+                cli.metrics = Some(PathBuf::from(path));
+            }
+            "--metrics-prom" => {
+                let path = flag_value(&mut args, "--metrics-prom", "a file path");
+                cli.metrics_prom = Some(PathBuf::from(path));
+            }
+            "--progress" => {
+                cli.progress = true;
+            }
             "--merge" => {
                 while let Some(path) = args.peek() {
                     if path.starts_with("--") {
@@ -340,8 +397,12 @@ fn parse_batch_cli(args: impl Iterator<Item = String>) -> BatchCli {
     }
     assert!(
         !(cli.is_merge()
-            && (cli.shard.is_some() || cli.cache_dir.is_some() || cli.trace_dir.is_some())),
-        "--merge executes nothing and cannot be combined with --shard, --cache-dir or --trace-dir"
+            && (cli.shard.is_some()
+                || cli.cache_dir.is_some()
+                || cli.trace_dir.is_some()
+                || cli.wants_observability())),
+        "--merge executes nothing and cannot be combined with --shard, --cache-dir, \
+         --trace-dir, --metrics, --metrics-prom or --progress"
     );
     cli
 }
@@ -404,6 +465,7 @@ pub fn run_cli_with(cli: &BatchCli, label: &str, specs: &[ScenarioSpec]) -> Opti
             .unwrap_or_else(|e| panic!("partial reports do not merge: {e}"));
         return Some(batch);
     }
+    let obs = LiveObs::start(cli);
     let mut runner = Runner::new();
     if let Some(lanes) = cli.lanes {
         runner = runner.with_lanes(lanes);
@@ -411,11 +473,16 @@ pub fn run_cli_with(cli: &BatchCli, label: &str, specs: &[ScenarioSpec]) -> Opti
     if let Some(dir) = &cli.trace_dir {
         runner = runner.with_trace_dir(dir.clone());
     }
+    if let Some(obs) = &obs {
+        runner = runner.with_metrics(RunnerMetrics::register(&obs.registry));
+    }
     if let Some(dir) = &cli.cache_dir {
-        runner = runner.with_cache(
-            FsCache::open(dir)
-                .unwrap_or_else(|e| panic!("cannot open cache dir {}: {e}", dir.display())),
-        );
+        let mut cache = FsCache::open(dir)
+            .unwrap_or_else(|e| panic!("cannot open cache dir {}: {e}", dir.display()));
+        if let Some(obs) = &obs {
+            cache = cache.with_metrics(CacheMetrics::register(&obs.registry));
+        }
+        runner = runner.with_cache(cache);
     }
     if let Some(plan) = cli.shard {
         let partial = timed(label, || {
@@ -429,6 +496,9 @@ pub fn run_cli_with(cli: &BatchCli, label: &str, specs: &[ScenarioSpec]) -> Opti
             partial.start + partial.reports.len(),
             partial.total
         );
+        if let Some(obs) = obs {
+            obs.finish();
+        }
         report_cache_stats(&runner, cli);
         println!("{}", partial.to_json());
         return None;
@@ -438,8 +508,128 @@ pub fn run_cli_with(cli: &BatchCli, label: &str, specs: &[ScenarioSpec]) -> Opti
             .run(specs)
             .unwrap_or_else(|e| panic!("batch failed: {e}"))
     });
+    if let Some(obs) = obs {
+        obs.finish();
+    }
     report_cache_stats(&runner, cli);
     Some(batch)
+}
+
+/// Live observability for one batch execution: the shared metrics registry
+/// plus the background outputs requested on the CLI — a JSONL heartbeat
+/// emitter, a `[progress]` stderr ticker and a Prometheus dump on
+/// completion. Purely additive: attaching it never changes the reports.
+struct LiveObs {
+    registry: MetricsRegistry,
+    started: Instant,
+    emitter: Option<SnapshotEmitter>,
+    progress: Option<ProgressTicker>,
+    prom_path: Option<PathBuf>,
+}
+
+struct ProgressTicker {
+    stop: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl LiveObs {
+    /// Interval between heartbeat lines and progress ticks.
+    const INTERVAL: Duration = Duration::from_millis(500);
+
+    fn start(cli: &BatchCli) -> Option<LiveObs> {
+        if !cli.wants_observability() {
+            return None;
+        }
+        let registry = MetricsRegistry::new();
+        let emitter = cli.metrics.as_ref().map(|path| {
+            SnapshotEmitter::spawn(registry.clone(), path, Self::INTERVAL)
+                .unwrap_or_else(|e| panic!("cannot create metrics file {}: {e}", path.display()))
+        });
+        let progress = cli
+            .progress
+            .then(|| spawn_progress(registry.clone(), Self::INTERVAL));
+        Some(LiveObs {
+            registry,
+            started: Instant::now(),
+            emitter,
+            progress,
+            prom_path: cli.metrics_prom.clone(),
+        })
+    }
+
+    /// Stops the background threads (each writes a final line) and dumps the
+    /// Prometheus exposition when requested.
+    fn finish(self) {
+        if let Some(progress) = self.progress {
+            progress.stop.store(true, Ordering::Relaxed);
+            if let Some(handle) = progress.handle {
+                let _ = handle.join();
+            }
+        }
+        if let Some(emitter) = self.emitter {
+            if let Err(e) = emitter.finish() {
+                eprintln!("[metrics] heartbeat write failed: {e}");
+            }
+        }
+        if let Some(path) = &self.prom_path {
+            let elapsed = self.started.elapsed().as_secs_f64();
+            let text = self.registry.snapshot(elapsed).to_prometheus();
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("[metrics] cannot write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
+/// Starts the `[progress]` stderr ticker: one line per interval and a final
+/// line when stopped. Steps/s is the delta of the aggregate `sim.steps`
+/// counter over the tick, covering every concurrent worker and lane.
+fn spawn_progress(registry: MetricsRegistry, interval: Duration) -> ProgressTicker {
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread_stop = Arc::clone(&stop);
+    let handle = std::thread::Builder::new()
+        .name("tbp-progress".into())
+        .spawn(move || {
+            let start = Instant::now();
+            let tick = Duration::from_millis(20);
+            let mut last_steps = 0u64;
+            let mut last_at = start;
+            loop {
+                let deadline = Instant::now() + interval;
+                let mut stopping = false;
+                while Instant::now() < deadline {
+                    if thread_stop.load(Ordering::Relaxed) {
+                        stopping = true;
+                        break;
+                    }
+                    std::thread::sleep(tick);
+                }
+                let snap = registry.snapshot(start.elapsed().as_secs_f64());
+                let steps = snap.counter("sim.steps").unwrap_or(0);
+                let now = Instant::now();
+                let dt = now.duration_since(last_at).as_secs_f64().max(1e-9);
+                let steps_per_s = steps.saturating_sub(last_steps) as f64 / dt;
+                last_steps = steps;
+                last_at = now;
+                eprintln!(
+                    "[progress] {}/{} hits={} misses={} elapsed={:.1}s steps/s={:.0}",
+                    snap.counter("runner.scenarios_completed").unwrap_or(0),
+                    snap.gauge("runner.scenarios_total").unwrap_or(0.0) as u64,
+                    snap.counter("runner.cache_hits").unwrap_or(0),
+                    snap.counter("runner.cache_misses").unwrap_or(0),
+                    now.duration_since(start).as_secs_f64(),
+                    steps_per_s,
+                );
+                if stopping {
+                    return;
+                }
+            }
+        })
+        .expect("progress thread spawns");
+    ProgressTicker {
+        stop,
+        handle: Some(handle),
+    }
 }
 
 fn report_cache_stats(runner: &Runner, cli: &BatchCli) {
@@ -573,5 +763,38 @@ mod tests {
     #[should_panic(expected = "cannot be combined")]
     fn merge_rejects_execution_flags() {
         parse(&["--shard", "2/3", "--merge", "a.json"]);
+    }
+
+    #[test]
+    fn metrics_flags_take_one_value_each() {
+        let cli = parse(&["--metrics", "m.jsonl", "--metrics-prom", "m.prom"]);
+        assert_eq!(
+            cli.metrics.as_deref(),
+            Some(std::path::Path::new("m.jsonl"))
+        );
+        assert_eq!(
+            cli.metrics_prom.as_deref(),
+            Some(std::path::Path::new("m.prom"))
+        );
+        assert!(cli.wants_observability());
+        assert!(!parse(&[]).wants_observability());
+    }
+
+    #[test]
+    fn progress_is_a_bare_flag_and_off_by_default() {
+        assert!(parse(&["--progress"]).progress);
+        assert!(!parse(&[]).progress);
+    }
+
+    #[test]
+    #[should_panic(expected = "--metrics needs a file path")]
+    fn metrics_rejects_a_flag_as_its_value() {
+        parse(&["--metrics", "--csv"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be combined")]
+    fn merge_rejects_observability_flags() {
+        parse(&["--progress", "--merge", "a.json"]);
     }
 }

@@ -24,6 +24,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
+use tbp_obs::metrics::{Counter, MetricsRegistry};
+
 use crate::error::SimError;
 use crate::scenario::hash::ScenarioHash;
 use crate::scenario::runner::RunReport;
@@ -42,6 +44,30 @@ pub trait RunCache: Send + Sync {
     fn store(&self, key: &ScenarioHash, report: &RunReport);
 }
 
+/// Live counters an [`FsCache`] bumps on every operation, registered in a
+/// [`MetricsRegistry`] so heartbeats can report cache effectiveness while a
+/// batch runs. Attaching them never changes what the cache returns.
+#[derive(Clone, Debug)]
+pub struct CacheMetrics {
+    /// Lookups performed (`cache.loads`).
+    pub loads: Counter,
+    /// Lookups answered from disk (`cache.load_hits`).
+    pub load_hits: Counter,
+    /// Entries written (`cache.stores`).
+    pub stores: Counter,
+}
+
+impl CacheMetrics {
+    /// Registers (or re-resolves) the cache instruments in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        CacheMetrics {
+            loads: registry.counter("cache.loads"),
+            load_hits: registry.counter("cache.load_hits"),
+            stores: registry.counter("cache.stores"),
+        }
+    }
+}
+
 /// A filesystem-backed [`RunCache`]: one `<hash>.json` file per report.
 ///
 /// Entries are written atomically (temp file + rename on the same
@@ -52,6 +78,7 @@ pub trait RunCache: Send + Sync {
 pub struct FsCache {
     dir: PathBuf,
     sequence: AtomicU64,
+    metrics: Option<CacheMetrics>,
 }
 
 impl FsCache {
@@ -68,7 +95,14 @@ impl FsCache {
         Ok(FsCache {
             dir,
             sequence: AtomicU64::new(0),
+            metrics: None,
         })
+    }
+
+    /// Publishes load/hit/store counts through `metrics` (builder-style).
+    pub fn with_metrics(mut self, metrics: CacheMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// The cache directory.
@@ -100,11 +134,21 @@ impl FsCache {
 
 impl RunCache for FsCache {
     fn load(&self, key: &ScenarioHash) -> Option<RunReport> {
+        if let Some(metrics) = &self.metrics {
+            metrics.loads.inc();
+        }
         let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        serde_json::from_str(&text).ok()
+        let report = serde_json::from_str(&text).ok()?;
+        if let Some(metrics) = &self.metrics {
+            metrics.load_hits.inc();
+        }
+        Some(report)
     }
 
     fn store(&self, key: &ScenarioHash, report: &RunReport) {
+        if let Some(metrics) = &self.metrics {
+            metrics.stores.inc();
+        }
         let path = self.entry_path(key);
         // Unique temp name per process *and* per store: concurrent shard
         // workers on one directory must never clobber each other's temp file.

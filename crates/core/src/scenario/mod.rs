@@ -66,11 +66,12 @@ pub mod runner;
 pub mod shard;
 pub mod spec;
 
-pub use cache::{FsCache, MemCache, RunCache};
+pub use cache::{CacheMetrics, FsCache, MemCache, RunCache};
 pub use hash::{canonical_json, ScenarioHash, HASH_DOMAIN, HASH_DOMAIN_PHASED};
 pub use registry::{PolicyFactory, PolicyRegistry};
 pub use runner::{
-    batch_digest, BatchReport, RunOutcome, RunReport, Runner, RunnerStats, TableReport,
+    batch_digest, BatchReport, RunOutcome, RunReport, Runner, RunnerMetrics, RunnerStats,
+    TableReport,
 };
 pub use shard::{PartialReport, ShardPlan};
 pub use spec::{

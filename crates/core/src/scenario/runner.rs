@@ -28,6 +28,7 @@ use serde::{Deserialize, Serialize};
 use tbp_arch::freq::{Frequency, OperatingPoint, Voltage};
 use tbp_arch::power::{ComponentKind, CoreClass, PowerModel};
 use tbp_arch::units::{Bytes, Celsius, Seconds};
+use tbp_obs::metrics::{Counter, Gauge, Histogram, MetricsRegistry};
 use tbp_obs::FileSink;
 use tbp_os::migration::{MigrationCostModel, MigrationStrategy};
 use tbp_streaming::sdr::SdrBenchmark;
@@ -41,7 +42,7 @@ use crate::scenario::hash::ScenarioHash;
 use crate::scenario::registry::PolicyRegistry;
 use crate::scenario::shard::{PartialReport, ShardPlan};
 use crate::scenario::spec::{AnalysisKind, ScenarioSpec, TraceSpec};
-use crate::sim::{step_count, LaneBatch, Simulation};
+use crate::sim::{step_count, LaneBatch, SimMetrics, Simulation};
 use std::fmt;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -59,6 +60,7 @@ pub struct Runner {
     /// Lanes per [`LaneBatch`] when executing simulation misses batched
     /// (1 = the classic one-simulation-per-run path).
     lanes: usize,
+    metrics: Option<RunnerMetrics>,
 }
 
 #[derive(Debug, Default)]
@@ -86,6 +88,45 @@ impl RunnerStats {
     }
 }
 
+/// Live-metric handles a [`Runner`] updates while executing a batch,
+/// registered in a [`MetricsRegistry`] so a snapshot emitter or progress
+/// reporter can observe the run from another thread. Purely additive:
+/// attaching metrics changes no report, CSV byte, or cache entry.
+#[derive(Clone, Debug)]
+pub struct RunnerMetrics {
+    /// Scenarios in the current batch (`runner.scenarios_total`), set when
+    /// execution starts.
+    pub scenarios_total: Gauge,
+    /// Scenarios resolved so far — hits and executed runs alike
+    /// (`runner.scenarios_completed`).
+    pub scenarios_completed: Counter,
+    /// Runs answered from the cache (`runner.cache_hits`).
+    pub cache_hits: Counter,
+    /// Runs executed rather than answered from the cache — simulated or
+    /// analytic, mirroring [`RunnerStats::misses`] (`runner.cache_misses`).
+    pub cache_misses: Counter,
+    /// Simulations per [`LaneBatch`] chunk (`runner.lane_occupancy`).
+    pub lane_occupancy: Histogram,
+    /// Per-simulation hot-path instruments, attached to every simulation
+    /// the runner builds.
+    pub sim: SimMetrics,
+}
+
+impl RunnerMetrics {
+    /// Registers (or re-resolves) the runner instruments in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        RunnerMetrics {
+            scenarios_total: registry.gauge("runner.scenarios_total"),
+            scenarios_completed: registry.counter("runner.scenarios_completed"),
+            cache_hits: registry.counter("runner.cache_hits"),
+            cache_misses: registry.counter("runner.cache_misses"),
+            lane_occupancy: registry
+                .histogram("runner.lane_occupancy", &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0]),
+            sim: SimMetrics::register(registry),
+        }
+    }
+}
+
 impl Runner {
     /// A parallel runner using the global (built-in) policy and workload
     /// registries.
@@ -98,6 +139,7 @@ impl Runner {
             trace_dir: None,
             counters: Arc::default(),
             lanes: 1,
+            metrics: None,
         }
     }
 
@@ -185,6 +227,16 @@ impl Runner {
     /// Number of lanes configured via [`with_lanes`](Self::with_lanes).
     pub fn lanes(&self) -> usize {
         self.lanes
+    }
+
+    /// Publishes live progress through `metrics` while batches execute:
+    /// scenario totals/completions, cache hits/misses, lane occupancy, and
+    /// the per-simulation step/migration/reconfiguration counters. Reports
+    /// and cache entries stay byte-identical — the handles are written, not
+    /// read.
+    pub fn with_metrics(mut self, metrics: RunnerMetrics) -> Self {
+        self.metrics = Some(metrics);
+        self
     }
 
     /// Cumulative execution counters: how many runs were simulated, computed
@@ -286,6 +338,9 @@ impl Runner {
 
     /// Executes concrete cases (in parallel when enabled), preserving order.
     fn execute(&self, cases: Vec<(String, ScenarioSpec)>) -> Result<Vec<RunReport>, SimError> {
+        if let Some(metrics) = &self.metrics {
+            metrics.scenarios_total.set(cases.len() as f64);
+        }
         if self.lanes > 1 {
             return self.execute_batched(cases);
         }
@@ -319,6 +374,10 @@ impl Runner {
                     report.scenario = case.name.clone();
                     report.group = group;
                     self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    if let Some(metrics) = &self.metrics {
+                        metrics.cache_hits.inc();
+                        metrics.scenarios_completed.inc();
+                    }
                     return Ok(report);
                 }
                 Some((cache, key))
@@ -327,6 +386,10 @@ impl Runner {
         };
         let report = if let Some(kind) = case.analysis {
             self.counters.analytic.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = &self.metrics {
+                metrics.cache_misses.inc();
+                metrics.scenarios_completed.inc();
+            }
             RunReport {
                 scenario: case.name.clone(),
                 group,
@@ -346,12 +409,19 @@ impl Runner {
             let mut sim: Simulation =
                 folded.build_with_registries(&self.registry, self.workloads.clone())?;
             sim.set_policy_registry(self.registry.clone());
+            if let Some(metrics) = &self.metrics {
+                sim.attach_metrics(metrics.sim.clone());
+            }
             if let Some(dir) = &self.trace_dir {
                 attach_file_sink(&mut sim, dir, &case.name, case.trace.as_ref())?;
             }
             run_phased(&mut sim, &folded)?;
             sim.detach_trace_sink()?;
             self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = &self.metrics {
+                metrics.cache_misses.inc();
+                metrics.scenarios_completed.inc();
+            }
             RunReport {
                 scenario: case.name.clone(),
                 group,
@@ -391,6 +461,10 @@ impl Runner {
                         report.scenario = case.name.clone();
                         report.group = group;
                         self.counters.cache_hits.fetch_add(1, Ordering::Relaxed);
+                        if let Some(metrics) = &self.metrics {
+                            metrics.cache_hits.inc();
+                            metrics.scenarios_completed.inc();
+                        }
                         slots[idx] = Some(report);
                         continue;
                     }
@@ -400,6 +474,10 @@ impl Runner {
             };
             if let Some(kind) = case.analysis {
                 self.counters.analytic.fetch_add(1, Ordering::Relaxed);
+                if let Some(metrics) = &self.metrics {
+                    metrics.cache_misses.inc();
+                    metrics.scenarios_completed.inc();
+                }
                 let report = RunReport {
                     scenario: case.name.clone(),
                     group,
@@ -487,12 +565,18 @@ impl Runner {
     /// verify as identical; otherwise falls back to stepping the already
     /// built simulations individually (byte-identical either way).
     fn run_lane_chunk(&self, chunk: Vec<PendingLane>) -> Result<Vec<(usize, RunReport)>, SimError> {
+        if let Some(metrics) = &self.metrics {
+            metrics.lane_occupancy.observe(chunk.len() as f64);
+        }
         let mut sims = Vec::with_capacity(chunk.len());
         for p in &chunk {
             let mut sim: Simulation = p
                 .folded
                 .build_with_registries(&self.registry, self.workloads.clone())?;
             sim.set_policy_registry(self.registry.clone());
+            if let Some(metrics) = &self.metrics {
+                sim.attach_metrics(metrics.sim.clone());
+            }
             if let Some(dir) = &self.trace_dir {
                 attach_file_sink(&mut sim, dir, &p.case.name, p.case.trace.as_ref())?;
             }
@@ -515,6 +599,10 @@ impl Runner {
         for (mut sim, p) in sims.into_iter().zip(chunk) {
             sim.detach_trace_sink()?;
             self.counters.simulated.fetch_add(1, Ordering::Relaxed);
+            if let Some(metrics) = &self.metrics {
+                metrics.cache_misses.inc();
+                metrics.scenarios_completed.inc();
+            }
             let report = RunReport {
                 scenario: p.case.name.clone(),
                 group: p.group,

@@ -19,6 +19,7 @@ use tbp_arch::core::CoreId;
 use tbp_arch::freq::Frequency;
 use tbp_arch::platform::{MpsocPlatform, PowerSnapshot};
 use tbp_arch::units::{Celsius, Seconds};
+use tbp_obs::metrics::{Counter, MetricsRegistry};
 use tbp_obs::{TraceSink, TrackDef, TrackKind};
 use tbp_os::mpos::{Mpos, MposStepReport};
 use tbp_os::OsError;
@@ -165,6 +166,38 @@ struct ObsState {
     num_queues: usize,
 }
 
+/// Shared live-metric handles a simulation increments on its hot path.
+///
+/// All handles are atomic counters from a
+/// [`tbp_obs::metrics::MetricsRegistry`]: updating them
+/// never allocates (preserving the zero-allocation step guarantee, pinned
+/// by `alloc_free_step.rs`) and cloning shares the underlying values, so
+/// every lane of a batched run aggregates into the same instruments.
+#[derive(Clone, Debug)]
+pub struct SimMetrics {
+    /// Simulation steps executed (`sim.steps`) — consumers derive aggregate
+    /// steps/s from deltas between snapshots.
+    pub steps: Counter,
+    /// Completed task migrations (`sim.migrations`).
+    pub migrations: Counter,
+    /// Live reconfigurations applied (`sim.reconfigs`).
+    pub reconfigs: Counter,
+    /// Trace samples dropped by recorder decimation (`sim.trace_dropped`).
+    pub trace_dropped: Counter,
+}
+
+impl SimMetrics {
+    /// Registers (or re-resolves) the simulation instruments in `registry`.
+    pub fn register(registry: &MetricsRegistry) -> Self {
+        SimMetrics {
+            steps: registry.counter("sim.steps"),
+            migrations: registry.counter("sim.migrations"),
+            reconfigs: registry.counter("sim.reconfigs"),
+            trace_dropped: registry.counter("sim.trace_dropped"),
+        }
+    }
+}
+
 /// The assembled co-simulation.
 ///
 /// Build one with [`SimulationBuilder`]; see the
@@ -189,6 +222,10 @@ pub struct Simulation {
     /// global built-ins unless the builder or runner installed another one).
     registry: Arc<PolicyRegistry>,
     reconfigs_applied: u64,
+    sim_metrics: Option<SimMetrics>,
+    /// Trace-drop total already forwarded to `sim_metrics.trace_dropped`
+    /// (the recorder reports a cumulative count; the counter wants deltas).
+    dropped_reported: u64,
 }
 
 impl Simulation {
@@ -231,7 +268,18 @@ impl Simulation {
             actions_applied: 0,
             registry: PolicyRegistry::global(),
             reconfigs_applied: 0,
+            sim_metrics: None,
+            dropped_reported: 0,
         }
+    }
+
+    /// Attaches shared live-metric handles: every subsequent step bumps the
+    /// step/migration/trace-drop counters and [`apply_delta`](Self::apply_delta)
+    /// bumps the reconfiguration counter. Purely additive observability —
+    /// simulation behaviour and outputs are unchanged, and the per-step cost
+    /// is a handful of relaxed atomic adds (no allocation).
+    pub fn attach_metrics(&mut self, metrics: SimMetrics) {
+        self.sim_metrics = Some(metrics);
     }
 
     /// The simulated platform (read-only).
@@ -596,6 +644,20 @@ impl Simulation {
             }
         }
 
+        // 9. Live metrics: a handful of relaxed atomic adds when attached.
+        if let Some(metrics) = &self.sim_metrics {
+            metrics.steps.inc();
+            let migrated = self.scratch.os_report.completed_migrations.len() as u64;
+            if migrated > 0 {
+                metrics.migrations.add(migrated);
+            }
+            let dropped = self.trace.dropped();
+            if dropped > self.dropped_reported {
+                metrics.trace_dropped.add(dropped - self.dropped_reported);
+                self.dropped_reported = dropped;
+            }
+        }
+
         self.elapsed += dt;
         Ok(())
     }
@@ -711,6 +773,9 @@ impl Simulation {
         }
         self.reconfigs_applied += 1;
         self.metrics.record_reconfig();
+        if let Some(metrics) = &self.sim_metrics {
+            metrics.reconfigs.inc();
+        }
         let description = delta.describe();
         if let Some(state) = &mut self.obs {
             if let Some(id) = state.reconfig {

@@ -12,8 +12,9 @@
 //! a recorder *stores* samples, and retaining data inherently allocates. A
 //! file-backed observability sink, by contrast, must uphold the guarantee
 //! (its chunk buffer is preallocated and flushed in place), so a fourth case
-//! measures the loop with one attached. Everything else runs exactly as in a
-//! real experiment.
+//! measures the loop with one attached — and a fifth with live metrics
+//! counters attached (registration allocates, relaxed atomic updates never
+//! do). Everything else runs exactly as in a real experiment.
 //!
 //! The counter is process-global, so this file contains a single `#[test]`
 //! (integration tests compile to their own binary; the libtest harness would
@@ -181,6 +182,33 @@ fn steady_state_step_performs_zero_heap_allocations() {
     let data = tbp_obs::TraceReader::read_file(&path).expect("trace decodes");
     assert!(data.total_records() > 0);
     let _ = std::fs::remove_file(&path);
+
+    // Live metrics must be free too: attaching a `SimMetrics` set adds a
+    // handful of relaxed atomic ops per step — registration allocates once
+    // up front, updates never do.
+    let registry = tbp_obs::MetricsRegistry::new();
+    let sim_metrics = tbp_core::sim::SimMetrics::register(&registry);
+    let mut sim = build(
+        Package::mobile_embedded(),
+        SolverKind::ForwardEuler,
+        Workload::sdr(),
+    );
+    sim.attach_metrics(sim_metrics);
+    sim.run_for(Seconds::new(9.0)).expect("warm-up runs");
+    let before = allocations();
+    for _ in 0..4_000 {
+        sim.step().expect("steady-state step with metrics");
+    }
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "metrics: steady-state Simulation::step allocated {} times in 4000 steps",
+        after - before
+    );
+    // The counters really observed the measured window.
+    let snapshot = registry.snapshot(0.0);
+    assert!(snapshot.counter("sim.steps").unwrap() >= 4_000);
 
     // The batched engine inherits the guarantee: a 4-lane LaneBatch steps
     // its lane-strided thermal kernel and all four per-lane stacks without

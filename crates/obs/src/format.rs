@@ -60,9 +60,16 @@ pub enum TraceError {
     Io(io::Error),
     /// The file does not start with the trace magic.
     BadMagic,
-    /// The byte stream ended in the middle of a chunk frame.
-    Truncated {
-        /// Byte offset at which more data was expected.
+    /// The byte stream ends with an incomplete final chunk. Distinct from
+    /// [`CrcMismatch`](Self::CrcMismatch): the bytes that *are* present are
+    /// not known to be corrupt — a writer may simply still be appending, so
+    /// a follow-mode reader treats this as "wait for more data" rather than
+    /// as a fatal decode error.
+    TruncatedTail {
+        /// Zero-based index of the incomplete chunk.
+        chunk: usize,
+        /// Byte offset (from the start of the stream) of the incomplete
+        /// chunk's frame.
         offset: usize,
     },
     /// A chunk's payload does not match its stored CRC-32.
@@ -106,8 +113,12 @@ impl fmt::Display for TraceError {
         match self {
             TraceError::Io(e) => write!(f, "trace I/O error: {e}"),
             TraceError::BadMagic => write!(f, "not a TBP trace (bad magic)"),
-            TraceError::Truncated { offset } => {
-                write!(f, "trace truncated mid-chunk at byte {offset}")
+            TraceError::TruncatedTail { chunk, offset } => {
+                write!(
+                    f,
+                    "trace ends with an incomplete chunk {chunk} starting at byte offset \
+                     {offset} (torn tail: writer still running, or file cut short)"
+                )
             }
             TraceError::CrcMismatch { chunk } => {
                 write!(f, "CRC mismatch in chunk {chunk} (corrupt trace)")
@@ -343,94 +354,169 @@ impl TraceReader {
             return Err(TraceError::BadMagic);
         }
         let mut pos = MAGIC.len();
-        let mut chunk_index = 0usize;
-        let mut tracks: Option<Vec<Track>> = None;
-        let mut decoded = 0u64;
-        let mut ended = false;
+        let mut decoder = ChunkDecoder::new();
         while pos < bytes.len() {
-            if ended {
+            if decoder.ended {
                 return Err(TraceError::Malformed {
-                    chunk: chunk_index,
+                    chunk: decoder.chunk_index,
                     what: "data after the end chunk",
                 });
             }
-            if bytes.len() - pos < 8 {
-                return Err(TraceError::Truncated {
-                    offset: bytes.len(),
-                });
-            }
-            let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
-            let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
-            pos += 8;
-            if len > MAX_CHUNK_BYTES {
-                return Err(TraceError::Malformed {
-                    chunk: chunk_index,
-                    what: "chunk length exceeds the format maximum",
-                });
-            }
-            if bytes.len() - pos < len {
-                return Err(TraceError::Truncated {
-                    offset: bytes.len(),
-                });
-            }
-            let payload = &bytes[pos..pos + len];
-            pos += len;
-            if crc32(payload) != crc {
-                return Err(TraceError::CrcMismatch { chunk: chunk_index });
-            }
-            let (&tag, body) = payload.split_first().ok_or(TraceError::Malformed {
-                chunk: chunk_index,
-                what: "empty chunk payload",
-            })?;
-            match tag {
-                TAG_HEADER => {
-                    if tracks.is_some() {
-                        return Err(TraceError::Malformed {
-                            chunk: chunk_index,
-                            what: "duplicate header chunk",
-                        });
-                    }
-                    tracks = Some(parse_header(body, chunk_index)?);
+            match frame_chunk(bytes, pos, decoder.chunk_index)? {
+                Some((payload, next)) => {
+                    decoder.accept(payload)?;
+                    pos = next;
                 }
-                TAG_SAMPLES => {
-                    let tracks = tracks.as_mut().ok_or(TraceError::MissingHeader)?;
-                    decoded += parse_samples(body, tracks, chunk_index)?;
-                }
-                TAG_END => {
-                    if tracks.is_none() {
-                        return Err(TraceError::MissingHeader);
-                    }
-                    if body.len() != 8 {
-                        return Err(TraceError::Malformed {
-                            chunk: chunk_index,
-                            what: "end chunk payload is not 8 bytes",
-                        });
-                    }
-                    let declared = u64::from_le_bytes(body.try_into().unwrap());
-                    if declared != decoded {
-                        return Err(TraceError::CountMismatch { declared, decoded });
-                    }
-                    ended = true;
-                }
-                _ => {
-                    return Err(TraceError::Malformed {
-                        chunk: chunk_index,
-                        what: "unknown chunk tag",
+                None => {
+                    // A one-shot read sees the whole file: an incomplete
+                    // frame here is a torn tail, not "more data coming".
+                    return Err(TraceError::TruncatedTail {
+                        chunk: decoder.chunk_index,
+                        offset: pos,
                     });
                 }
             }
-            chunk_index += 1;
         }
-        if !ended {
-            return Err(if tracks.is_none() {
-                TraceError::MissingHeader
-            } else {
-                TraceError::MissingEnd
+        if !decoder.ended {
+            return Err(decoder.missing_end());
+        }
+        Ok(decoder.into_data())
+    }
+}
+
+/// Attempts to frame the chunk whose 8-byte length/CRC prefix starts at
+/// `bytes[pos..]`.
+///
+/// Returns `Ok(Some((payload, next_pos)))` for a complete, CRC-verified
+/// chunk, and `Ok(None)` when the remaining bytes do not yet hold a full
+/// frame — the caller decides whether that is a torn tail
+/// ([`TraceError::TruncatedTail`]) or simply "poll again later" (live
+/// tailing).
+///
+/// # Errors
+///
+/// [`TraceError::Malformed`] for an over-long declared length and
+/// [`TraceError::CrcMismatch`] when a *complete* chunk fails its CRC.
+pub(crate) fn frame_chunk(
+    bytes: &[u8],
+    pos: usize,
+    chunk_index: usize,
+) -> Result<Option<(&[u8], usize)>, TraceError> {
+    if bytes.len() - pos < 8 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().unwrap()) as usize;
+    let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+    if len > MAX_CHUNK_BYTES {
+        return Err(TraceError::Malformed {
+            chunk: chunk_index,
+            what: "chunk length exceeds the format maximum",
+        });
+    }
+    if bytes.len() - pos - 8 < len {
+        return Ok(None);
+    }
+    let payload = &bytes[pos + 8..pos + 8 + len];
+    if crc32(payload) != crc {
+        return Err(TraceError::CrcMismatch { chunk: chunk_index });
+    }
+    Ok(Some((payload, pos + 8 + len)))
+}
+
+/// Incremental chunk-payload decoder shared by the one-shot
+/// [`TraceReader`] and the live [`TraceTailer`](crate::tail::TraceTailer):
+/// feed it CRC-verified payloads one at a time and it accumulates
+/// [`TraceData`].
+#[derive(Debug, Default)]
+pub(crate) struct ChunkDecoder {
+    data: TraceData,
+    have_header: bool,
+    pub(crate) chunk_index: usize,
+    pub(crate) decoded: u64,
+    pub(crate) ended: bool,
+}
+
+impl ChunkDecoder {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one complete, CRC-verified chunk payload.
+    pub(crate) fn accept(&mut self, payload: &[u8]) -> Result<(), TraceError> {
+        let chunk = self.chunk_index;
+        if self.ended {
+            return Err(TraceError::Malformed {
+                chunk,
+                what: "data after the end chunk",
             });
         }
-        Ok(TraceData {
-            tracks: tracks.unwrap_or_default(),
-        })
+        let (&tag, body) = payload.split_first().ok_or(TraceError::Malformed {
+            chunk,
+            what: "empty chunk payload",
+        })?;
+        match tag {
+            TAG_HEADER => {
+                if self.have_header {
+                    return Err(TraceError::Malformed {
+                        chunk,
+                        what: "duplicate header chunk",
+                    });
+                }
+                self.data.tracks = parse_header(body, chunk)?;
+                self.have_header = true;
+            }
+            TAG_SAMPLES => {
+                if !self.have_header {
+                    return Err(TraceError::MissingHeader);
+                }
+                self.decoded += parse_samples(body, &mut self.data.tracks, chunk)?;
+            }
+            TAG_END => {
+                if !self.have_header {
+                    return Err(TraceError::MissingHeader);
+                }
+                if body.len() != 8 {
+                    return Err(TraceError::Malformed {
+                        chunk,
+                        what: "end chunk payload is not 8 bytes",
+                    });
+                }
+                let declared = u64::from_le_bytes(body.try_into().unwrap());
+                if declared != self.decoded {
+                    return Err(TraceError::CountMismatch {
+                        declared,
+                        decoded: self.decoded,
+                    });
+                }
+                self.ended = true;
+            }
+            _ => {
+                return Err(TraceError::Malformed {
+                    chunk,
+                    what: "unknown chunk tag",
+                });
+            }
+        }
+        self.chunk_index += 1;
+        Ok(())
+    }
+
+    /// The typed error for a stream that stopped cleanly at a chunk
+    /// boundary without its end chunk.
+    pub(crate) fn missing_end(&self) -> TraceError {
+        if self.have_header {
+            TraceError::MissingEnd
+        } else {
+            TraceError::MissingHeader
+        }
+    }
+
+    pub(crate) fn data(&self) -> &TraceData {
+        &self.data
+    }
+
+    pub(crate) fn into_data(self) -> TraceData {
+        self.data
     }
 }
 
@@ -663,7 +749,7 @@ mod tests {
             corrupt[i] ^= 0x40;
             match TraceReader::read(&corrupt) {
                 Err(TraceError::CrcMismatch { .. })
-                | Err(TraceError::Truncated { .. })
+                | Err(TraceError::TruncatedTail { .. })
                 | Err(TraceError::Malformed { .. })
                 | Err(TraceError::CountMismatch { .. }) => {}
                 other => panic!("flip at {i} gave {other:?}"),
@@ -680,13 +766,41 @@ mod tests {
                 matches!(
                     err,
                     TraceError::BadMagic
-                        | TraceError::Truncated { .. }
+                        | TraceError::TruncatedTail { .. }
                         | TraceError::MissingEnd
                         | TraceError::MissingHeader
                 ),
                 "truncation at {len} gave {err:?}"
             );
         }
+    }
+
+    #[test]
+    fn torn_final_chunk_is_a_truncated_tail_naming_the_chunk_offset() {
+        // Cut the demo trace in the middle of its final (end) chunk: the
+        // intact preceding chunks must NOT be reported as corrupt, and the
+        // error must name both the chunk index and the byte offset where
+        // the incomplete frame starts.
+        let bytes = demo_trace();
+        let tail_start = bytes.len() - 17; // end chunk = 8 frame + 9 payload
+        let torn = &bytes[..bytes.len() - 5];
+        let err = TraceReader::read(torn).unwrap_err();
+        match err {
+            TraceError::TruncatedTail { chunk, offset } => {
+                assert_eq!(
+                    chunk, 2,
+                    "header + samples decode before the torn end chunk"
+                );
+                assert_eq!(offset, tail_start);
+            }
+            other => panic!("torn tail gave {other:?}"),
+        }
+        // The message names the offset so an operator can cross-check with
+        // the file size, and is distinct from the corruption message.
+        let msg = TraceReader::read(torn).unwrap_err().to_string();
+        assert!(msg.contains(&tail_start.to_string()), "message was: {msg}");
+        assert!(msg.contains("incomplete chunk 2"), "message was: {msg}");
+        assert!(!msg.contains("CRC"), "message was: {msg}");
     }
 
     #[test]
@@ -780,7 +894,10 @@ mod tests {
         assert!(std::error::Error::source(&err).is_some());
         for e in [
             TraceError::BadMagic,
-            TraceError::Truncated { offset: 3 },
+            TraceError::TruncatedTail {
+                chunk: 2,
+                offset: 3,
+            },
             TraceError::CrcMismatch { chunk: 1 },
             TraceError::UnsupportedVersion(9),
             TraceError::MissingHeader,

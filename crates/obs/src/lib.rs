@@ -18,11 +18,23 @@
 //!   never allocate once the sink is attached, preserving the simulator's
 //!   zero-allocation step guarantee while a file-backed trace is recorded;
 //! - **exporters** ([`export`]): perfetto-compatible Chrome-trace JSON,
-//!   lossless legacy JSON, and long-format CSV.
+//!   lossless legacy JSON, and long-format CSV;
+//! - a **live metrics registry** ([`metrics`]): allocation-free-after-
+//!   registration counters/gauges/histograms, periodic JSONL
+//!   [`MetricsSnapshot`] heartbeats and a one-shot Prometheus-style text
+//!   exposition;
+//! - a **live trace tailer** ([`tail::TraceTailer`]): follows a `.tbptrace`
+//!   while it is being written, decoding only complete CRC-verified chunks
+//!   and treating a torn in-progress tail as "poll again" rather than
+//!   corruption;
+//! - **windowed statistics** ([`stats`]) and a **pure terminal UI layer**
+//!   ([`tui`]: [`tui::Frame`] / [`tui::Explorer`]) shared by the
+//!   `trace_explore` and `trace_tui` binaries, renderable headlessly and
+//!   deterministically.
 //!
-//! The crate is deliberately std-only: host tooling (`trace_explore`) and
-//! the simulator share it without pulling simulation layers in either
-//! direction.
+//! The crate is deliberately std-only: host tooling (`trace_explore`,
+//! `trace_tui`) and the simulator share it without pulling simulation
+//! layers in either direction.
 //!
 //! # Example
 //!
@@ -48,9 +60,17 @@
 pub mod crc32;
 pub mod export;
 pub mod format;
+pub mod metrics;
 pub mod sink;
+pub mod stats;
+pub mod tail;
 pub mod track;
+pub mod tui;
 
 pub use format::{TraceError, TraceReader, TraceWriter, FORMAT_VERSION, MAGIC};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot, SnapshotEmitter,
+};
 pub use sink::{FileSink, MemorySink, NullSink, StreamSink, TraceSink};
+pub use tail::{TailProgress, TraceTailer};
 pub use track::{TraceData, Track, TrackDef, TrackKind};

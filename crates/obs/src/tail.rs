@@ -1,0 +1,302 @@
+//! Live tailing of an in-progress `.tbptrace` file.
+//!
+//! A [`TraceTailer`] attaches to a trace file while a simulation is still
+//! writing it and decodes whatever *complete* chunks have landed so far.
+//! The format's per-chunk CRC framing makes this safe: a chunk either
+//! verifies in full or is not consumed at all, so a torn in-progress tail
+//! (the writer paused mid-`write_all`) is simply carried over to the next
+//! [`poll`](TraceTailer::poll) instead of being reported as corruption.
+//! Real corruption — a bad magic, a CRC mismatch on a *complete* chunk, a
+//! malformed payload — still surfaces as the same typed [`TraceError`]s a
+//! post-hoc [`TraceReader`](crate::TraceReader) read would produce.
+//!
+//! Because the tailer drives the exact decoder the one-shot reader uses,
+//! the data it accumulates over any number of polls is byte-identical to a
+//! full read of the finished file (pinned by the concurrent writer/tailer
+//! integration test in `tbp-core`).
+
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+
+use crate::format::{frame_chunk, ChunkDecoder, TraceError, MAGIC};
+use crate::track::TraceData;
+
+/// What one [`TraceTailer::poll`] observed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TailProgress {
+    /// Records decoded by this poll (complete chunks that landed since the
+    /// previous poll).
+    pub new_records: u64,
+    /// Whether the end chunk has been decoded — the trace is complete and
+    /// further polls will make no progress.
+    pub ended: bool,
+    /// Bytes read from the file but not yet decodable: a torn in-progress
+    /// chunk the writer has only partially flushed.
+    pub pending_bytes: usize,
+}
+
+/// Follow-mode reader over a trace file that is still being written.
+#[derive(Debug)]
+pub struct TraceTailer {
+    file: File,
+    /// Bytes read from the file but not yet consumed by the decoder (at
+    /// most one torn chunk plus whatever landed since the last poll).
+    buf: Vec<u8>,
+    /// Absolute file offset of `buf[0]` — keeps [`TraceError::TruncatedTail`]
+    /// offsets meaningful even though consumed bytes are dropped.
+    buf_offset: usize,
+    magic_ok: bool,
+    decoder: ChunkDecoder,
+}
+
+impl TraceTailer {
+    /// Attaches to the trace file at `path`.
+    ///
+    /// The file may be empty or mid-write; nothing is validated until
+    /// [`poll`](Self::poll) sees enough bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] when the file cannot be opened (e.g. the writer
+    /// has not created it yet — callers typically retry).
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, TraceError> {
+        Ok(TraceTailer {
+            file: File::open(path)?,
+            buf: Vec::new(),
+            buf_offset: 0,
+            magic_ok: false,
+            decoder: ChunkDecoder::new(),
+        })
+    }
+
+    /// Reads newly appended bytes and decodes every complete chunk among
+    /// them. An incomplete final chunk is left pending for the next poll —
+    /// it is *not* an error here, unlike a one-shot read.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Io`] for read failures, [`TraceError::BadMagic`] once
+    /// eight bytes exist and are not the trace magic, and any decode error
+    /// a complete-but-invalid chunk produces ([`TraceError::CrcMismatch`],
+    /// [`TraceError::Malformed`], …). Decode errors are fatal: the tailer
+    /// stays in the failed state and further polls re-fail.
+    pub fn poll(&mut self) -> Result<TailProgress, TraceError> {
+        let mut scratch = [0u8; 64 * 1024];
+        loop {
+            let n = self.file.read(&mut scratch)?;
+            if n == 0 {
+                break;
+            }
+            self.buf.extend_from_slice(&scratch[..n]);
+        }
+        let before = self.decoder.decoded;
+        let mut pos = 0usize;
+        if !self.magic_ok {
+            if self.buf.len() < MAGIC.len() {
+                return Ok(self.progress(before));
+            }
+            if &self.buf[..MAGIC.len()] != MAGIC {
+                return Err(TraceError::BadMagic);
+            }
+            self.magic_ok = true;
+            pos = MAGIC.len();
+        }
+        loop {
+            if self.decoder.ended {
+                if pos < self.buf.len() {
+                    return Err(TraceError::Malformed {
+                        chunk: self.decoder.chunk_index,
+                        what: "data after the end chunk",
+                    });
+                }
+                break;
+            }
+            // Disjoint borrows: the payload borrows `buf`, the decoder
+            // mutates itself.
+            let (buf, decoder) = (&self.buf, &mut self.decoder);
+            match frame_chunk(buf, pos, decoder.chunk_index)
+                .map_err(|e| offset_error(e, self.buf_offset))?
+            {
+                Some((payload, next)) => {
+                    decoder.accept(payload)?;
+                    pos = next;
+                }
+                None => break,
+            }
+        }
+        if pos > 0 {
+            self.buf.drain(..pos);
+            self.buf_offset += pos;
+        }
+        Ok(self.progress(before))
+    }
+
+    fn progress(&self, decoded_before: u64) -> TailProgress {
+        TailProgress {
+            new_records: self.decoder.decoded - decoded_before,
+            ended: self.decoder.ended,
+            pending_bytes: self.buf.len(),
+        }
+    }
+
+    /// The data accumulated so far — grows monotonically across polls and,
+    /// once [`ended`](Self::ended), equals a post-hoc full read.
+    pub fn data(&self) -> &TraceData {
+        self.decoder.data()
+    }
+
+    /// Whether the end chunk has been decoded.
+    pub fn ended(&self) -> bool {
+        self.decoder.ended
+    }
+
+    /// Records decoded so far.
+    pub fn records(&self) -> u64 {
+        self.decoder.decoded
+    }
+
+    /// Consumes the tailer and returns the accumulated data.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::MissingEnd`] (or [`TraceError::MissingHeader`]) when
+    /// the trace never completed — the writer died or is still running.
+    pub fn into_data(self) -> Result<TraceData, TraceError> {
+        if !self.decoder.ended {
+            return Err(self.decoder.missing_end());
+        }
+        Ok(self.decoder.into_data())
+    }
+}
+
+/// Rebases a buffer-relative [`TraceError::TruncatedTail`] offset to the
+/// absolute file offset (the tailer drops consumed bytes from its buffer).
+fn offset_error(e: TraceError, base: usize) -> TraceError {
+    match e {
+        TraceError::TruncatedTail { chunk, offset } => TraceError::TruncatedTail {
+            chunk,
+            offset: offset + base,
+        },
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::io::Write;
+
+    use super::*;
+    use crate::format::TraceWriter;
+    use crate::track::{TrackDef, TrackKind};
+    use crate::TraceReader;
+
+    fn demo_bytes(records: usize) -> Vec<u8> {
+        let defs = vec![TrackDef::counter(
+            TrackKind::CoreTemperature,
+            0,
+            0.01,
+            "core0.temp_c",
+        )];
+        let mut w = TraceWriter::new(Vec::new(), &defs).unwrap();
+        for i in 0..records {
+            w.counter(0, i as f64 * 0.01, 40.0 + i as f64);
+        }
+        w.finish().unwrap();
+        w.into_inner()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("tbp_tail_{name}_{}.tbptrace", std::process::id()))
+    }
+
+    #[test]
+    fn tailing_a_growing_file_decodes_incrementally_and_matches_full_read() {
+        let bytes = demo_bytes(5_000);
+        let path = temp_path("grow");
+        let mut file = std::fs::File::create(&path).unwrap();
+        let mut tailer = TraceTailer::open(&path).unwrap();
+
+        // Feed the file in awkward slices (including mid-magic and
+        // mid-chunk cuts); the tailer must never error and must finish
+        // with exactly the full-read data.
+        let mut progressed = 0;
+        for piece in bytes.chunks(911) {
+            file.write_all(piece).unwrap();
+            file.flush().unwrap();
+            let p = tailer.poll().unwrap();
+            if p.new_records > 0 {
+                progressed += 1;
+            }
+        }
+        let p = tailer.poll().unwrap();
+        assert!(p.ended);
+        assert_eq!(p.pending_bytes, 0);
+        assert!(progressed > 1, "tailer decoded everything in one gulp");
+        assert_eq!(tailer.records(), 5_000);
+        let full = TraceReader::read(&bytes).unwrap();
+        assert_eq!(tailer.data(), &full);
+        assert_eq!(tailer.into_data().unwrap(), full);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn torn_tail_is_pending_not_an_error() {
+        let bytes = demo_bytes(10);
+        let path = temp_path("torn");
+        let mut file = std::fs::File::create(&path).unwrap();
+        file.write_all(&bytes[..bytes.len() - 5]).unwrap();
+        file.flush().unwrap();
+        let mut tailer = TraceTailer::open(&path).unwrap();
+        let p = tailer.poll().unwrap();
+        assert!(!p.ended);
+        assert!(p.pending_bytes > 0, "torn end chunk stays pending");
+        // A premature into_data reports the incompleteness.
+        assert!(matches!(
+            tailer.into_data(),
+            Err(TraceError::MissingEnd | TraceError::MissingHeader)
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn complete_chunk_corruption_is_still_fatal() {
+        let mut bytes = demo_bytes(10);
+        let last = bytes.len() - 3;
+        bytes[last] ^= 0x40; // inside the (complete) end chunk's payload
+        let path = temp_path("corrupt");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut tailer = TraceTailer::open(&path).unwrap();
+        assert!(matches!(
+            tailer.poll(),
+            Err(TraceError::CrcMismatch { .. } | TraceError::CountMismatch { .. })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn wrong_magic_is_rejected_once_enough_bytes_exist() {
+        let path = temp_path("magic");
+        std::fs::write(&path, b"NOTTRACE....").unwrap();
+        let mut tailer = TraceTailer::open(&path).unwrap();
+        assert!(matches!(tailer.poll(), Err(TraceError::BadMagic)));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn data_after_the_end_chunk_is_rejected() {
+        let mut bytes = demo_bytes(3);
+        bytes.extend_from_slice(b"junk");
+        let path = temp_path("after");
+        std::fs::write(&path, &bytes).unwrap();
+        let mut tailer = TraceTailer::open(&path).unwrap();
+        assert!(matches!(
+            tailer.poll(),
+            Err(TraceError::Malformed {
+                what: "data after the end chunk",
+                ..
+            })
+        ));
+        let _ = std::fs::remove_file(&path);
+    }
+}

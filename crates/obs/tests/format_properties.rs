@@ -99,7 +99,7 @@ proptest! {
             match TraceReader::read(&bytes[..cut]) {
                 Err(
                     TraceError::BadMagic
-                    | TraceError::Truncated { .. }
+                    | TraceError::TruncatedTail { .. }
                     | TraceError::MissingHeader
                     | TraceError::MissingEnd,
                 ) => {}

@@ -1,0 +1,150 @@
+//! Property tests for the metrics registry's serialization: arbitrary
+//! snapshots must survive the JSONL round-trip exactly (u64 counters
+//! bit-exact, f64 gauges bit-exact including non-finite values), and
+//! histogram bucket counts must stay consistent and cumulative-monotone
+//! under arbitrary observation streams.
+
+use proptest::prelude::*;
+
+use tbp_obs::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+
+/// A metric name drawn from characters that exercise the JSON string
+/// escaping paths: plain ASCII, dots, quotes, backslashes and controls.
+fn random_name(rng: &mut TestRng, tag: usize) -> String {
+    const ALPHABET: &[char] = &[
+        'a', 'b', 'z', '0', '9', '.', '_', '-', ' ', '"', '\\', '\n', '\t', '\u{1}', 'é', '→',
+    ];
+    let len = 1 + rng.below(12) as usize;
+    let mut name: String = (0..len)
+        .map(|_| ALPHABET[rng.below(ALPHABET.len() as u64) as usize])
+        .collect();
+    // Keys must be unique for lookup comparisons to be meaningful.
+    name.push_str(&format!("#{tag}"));
+    name
+}
+
+fn random_f64(rng: &mut TestRng) -> f64 {
+    match rng.below(8) {
+        0 => f64::INFINITY,
+        1 => f64::NEG_INFINITY,
+        2 => f64::NAN,
+        3 => 0.0,
+        4 => -0.0,
+        5 => f64::from_bits(rng.next_u64()), // arbitrary bits, may be NaN/subnormal
+        _ => (rng.next_f64() - 0.5) * 2e9,
+    }
+}
+
+/// Builds an arbitrary snapshot by hand (the struct's fields are public) so
+/// the round-trip is tested beyond what real registries produce.
+fn random_snapshot(rng: &mut TestRng) -> MetricsSnapshot {
+    let counters = (0..rng.below(6))
+        .map(|i| {
+            let value = match rng.below(3) {
+                0 => u64::MAX - rng.below(3),
+                1 => rng.next_u64(),
+                _ => rng.below(1000),
+            };
+            (random_name(rng, i as usize), value)
+        })
+        .collect();
+    let gauges = (0..rng.below(6))
+        .map(|i| (random_name(rng, 100 + i as usize), random_f64(rng)))
+        .collect();
+    let histograms = (0..rng.below(3))
+        .map(|i| {
+            let bounds: Vec<f64> = (1..=1 + rng.below(5)).map(|b| b as f64 * 1.5).collect();
+            let counts: Vec<u64> = (0..bounds.len() + 1).map(|_| rng.below(1 << 40)).collect();
+            let snapshot = HistogramSnapshot {
+                bounds,
+                counts: counts.clone(),
+                sum: random_f64(rng),
+                count: counts.iter().sum(),
+            };
+            (random_name(rng, 200 + i as usize), snapshot)
+        })
+        .collect();
+    MetricsSnapshot {
+        elapsed_s: rng.next_f64() * 1e4,
+        counters,
+        gauges,
+        histograms,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// parse(to_jsonl(s)) == s, compared through a second serialization so
+    /// NaN gauges (which break direct PartialEq) still round-trip exactly:
+    /// equal JSONL lines imply bit-information-equal snapshots for every
+    /// value the format can carry.
+    #[test]
+    fn snapshots_round_trip_through_jsonl(seed in any::<u64>()) {
+        let mut rng = TestRng::deterministic(&format!("jsonl-{seed}"));
+        let snapshot = random_snapshot(&mut rng);
+        let line = snapshot.to_jsonl();
+        prop_assert!(!line.contains('\n'), "JSONL must be one line: {line}");
+        let parsed = MetricsSnapshot::parse(&line)
+            .unwrap_or_else(|e| panic!("emitted line must parse ({e}): {line}"));
+        prop_assert_eq!(parsed.to_jsonl(), line);
+        // Spot-check the typed accessors survive too (u64 counters exactly).
+        for (name, value) in &snapshot.counters {
+            prop_assert_eq!(parsed.counter(name), Some(*value));
+        }
+    }
+
+    /// Registry-produced snapshots (the shapes the emitter actually writes)
+    /// also round-trip, and lookups agree with the instruments.
+    #[test]
+    fn registry_snapshots_round_trip(seed in any::<u64>()) {
+        let mut rng = TestRng::deterministic(&format!("registry-{seed}"));
+        let registry = MetricsRegistry::new();
+        let counter = registry.counter("sim.steps");
+        let gauge = registry.gauge("runner.scenarios_total");
+        let histogram = registry.histogram("runner.lane_occupancy", &[1.0, 2.0, 4.0]);
+        let adds = rng.below(50);
+        for _ in 0..adds {
+            counter.add(rng.below(1000));
+            histogram.observe(rng.next_f64() * 8.0);
+        }
+        gauge.set(rng.next_f64() * 100.0);
+        let snapshot = registry.snapshot(rng.next_f64() * 60.0);
+        let parsed = MetricsSnapshot::parse(&snapshot.to_jsonl()).expect("parses");
+        prop_assert_eq!(&parsed, &snapshot);
+        prop_assert_eq!(parsed.counter("sim.steps"), Some(counter.get()));
+        prop_assert_eq!(parsed.gauge("runner.scenarios_total"), Some(gauge.get()));
+    }
+
+    /// Bucket invariants under arbitrary observations: per-bucket counts sum
+    /// to the total, the cumulative series is monotone non-decreasing and
+    /// ends at the total — exactly what the Prometheus `_bucket` exposition
+    /// requires.
+    #[test]
+    fn histogram_buckets_stay_monotone_and_consistent(seed in any::<u64>()) {
+        let mut rng = TestRng::deterministic(&format!("hist-{seed}"));
+        let registry = MetricsRegistry::new();
+        let num_bounds = 1 + rng.below(6) as usize;
+        let bounds: Vec<f64> = (0..num_bounds).map(|i| (i as f64 + 1.0) * 2.0).collect();
+        let histogram = registry.histogram("h", &bounds);
+        let n = rng.below(300);
+        for _ in 0..n {
+            // Observations straddle every bucket including the overflow one,
+            // plus non-finite values which must not corrupt the counts.
+            let value = match rng.below(10) {
+                0 => f64::INFINITY,
+                1 => f64::NAN,
+                _ => rng.next_f64() * (bounds.last().unwrap() * 1.5),
+            };
+            histogram.observe(value);
+        }
+        let snapshot = registry.snapshot(0.0);
+        let (_, h) = &snapshot.histograms[0];
+        prop_assert_eq!(h.counts.len(), bounds.len() + 1);
+        prop_assert_eq!(h.counts.iter().sum::<u64>(), h.count);
+        prop_assert_eq!(h.count, n);
+        let cumulative = h.cumulative();
+        prop_assert!(cumulative.windows(2).all(|w| w[0] <= w[1]), "monotone: {cumulative:?}");
+        prop_assert_eq!(cumulative.last().copied(), Some(h.count));
+    }
+}

@@ -21,14 +21,16 @@
 //! # Bit-identical by construction
 //!
 //! The batched kernel performs, per lane, the **exact same floating-point
-//! operations in the exact same order** as [`RcNetwork::euler_step_with`] /
-//! [`RcNetwork::rk4_step_with`] driven by [`Solver::advance_with`]:
+//! operations in the exact same order** as
+//! [`RcNetwork::euler_step_with`](crate::rc::RcNetwork::euler_step_with) /
+//! [`RcNetwork::rk4_step_with`](crate::rc::RcNetwork::rk4_step_with) driven
+//! by [`Solver::advance_with`]:
 //!
 //! * the sub-step split comes from the shared [`Solver::substep_plan`];
 //! * each node accumulates its incident edge flows in global edge-insertion
 //!   order — the kernel gathers via a CSR adjacency instead of scattering
 //!   `+q`/`-q` per edge, which is exactly (not approximately) the same
-//!   arithmetic; see [`derivative_lanes`] — using only `+ - * /`, which
+//!   arithmetic; see `derivative_lanes` in this module — using only `+ - * /`, which
 //!   vectorize to correctly-rounded IEEE-754 element-wise instructions with
 //!   no FMA contraction;
 //! * the stage arithmetic copies the expression shapes of the scalar RK4.
