@@ -27,33 +27,18 @@
 
 use std::path::PathBuf;
 
-use tbp_core::scenario::ScenarioSpec;
-
 fn main() {
+    tbp_bench::exit_cleanly_on_panic();
     let paths = scenario_paths();
-    assert!(
-        !paths.is_empty(),
-        "usage: run_scenario <scenario.toml>... [--cache-dir <dir>] [--shard i/k] \
-         [--trace-dir <dir>] [--lanes <n>] [--merge <partial.json>...] [--json|--csv]\n\
-         note: --merge also needs the scenario files — they define the batch \
-         the partial reports are validated against"
-    );
-    let duration = std::env::var("TBP_DURATION")
-        .ok()
-        .map(|_| tbp_bench::measured_duration());
-    let specs: Vec<ScenarioSpec> = paths
-        .iter()
-        .map(|path| {
-            let spec = tbp_core::scenario::load_toml_file(path)
-                .unwrap_or_else(|e| panic!("cannot load scenario: {e}"));
-            match duration {
-                Some(duration) if spec.analysis.is_none() => {
-                    tbp_bench::override_duration(spec, duration)
-                }
-                _ => spec,
-            }
-        })
-        .collect();
+    if paths.is_empty() {
+        tbp_bench::fail_usage(
+            "usage: run_scenario <scenario.toml>... [--cache-dir <dir>] [--shard i/k] \
+             [--trace-dir <dir>] [--lanes <n>] [--merge <partial.json>...] [--json|--csv]\n\
+             note: --merge also needs the scenario files — they define the batch \
+             the partial reports are validated against",
+        );
+    }
+    let specs = tbp_bench::load_scenarios(&paths);
     let Some(batch) = tbp_bench::run_cli("scenarios", &specs) else {
         return; // shard mode: the partial report went to stdout
     };
@@ -94,7 +79,9 @@ fn scenario_paths() -> Vec<PathBuf> {
                 }
             }
             "--json" | "--csv" | "--progress" => {}
-            other if other.starts_with("--") => panic!("unknown flag `{other}`"),
+            other if other.starts_with("--") => {
+                tbp_bench::fail_usage(format!("unknown flag `{other}`"))
+            }
             other => paths.push(PathBuf::from(other)),
         }
     }

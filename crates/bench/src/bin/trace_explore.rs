@@ -10,6 +10,7 @@
 //!     [--export perfetto|json|csv]   # convert instead of summarising
 //!     [--out <file>]                 # write the export to a file
 //!     [--follow]                     # tail a live trace as it is written
+//!     [--follow-timeout <seconds>]   # give up when the writer stalls
 //! ```
 //!
 //! Without flags it prints one row per track — kind, samples, span, min,
@@ -24,19 +25,22 @@
 //! completes (an incomplete final chunk is "wait for more data", not
 //! corruption — see [`TraceTailer`]), and when the writer finishes, the
 //! accumulated samples are checked byte-for-byte against a fresh post-hoc
-//! [`TraceReader::read_file`] pass.
+//! [`TraceReader::read_file`] pass. By default the tail waits forever for a
+//! writer that went quiet; `--follow-timeout <seconds>` arms the tailer's
+//! stall detector instead, turning a crashed producer into a clean one-line
+//! failure (exit code 1) rather than a hung terminal.
 
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
 
 use tbp_obs::export::{to_csv, to_legacy_json, to_perfetto_json};
 use tbp_obs::stats::{series_stats, sparkline, windowed_stats, WindowStat};
-use tbp_obs::{TraceData, TraceReader, TraceTailer};
+use tbp_obs::{TraceData, TraceError, TraceReader, TraceTailer};
 
 fn main() {
     let cli = Cli::parse(std::env::args().skip(1));
     if cli.follow {
-        follow(&cli.file, cli.window.unwrap_or(1.0));
+        follow(&cli.file, cli.window.unwrap_or(1.0), cli.follow_timeout);
         return;
     }
     let data = TraceReader::read_file(&cli.file)
@@ -67,6 +71,7 @@ struct Cli {
     export: Option<String>,
     out: Option<PathBuf>,
     follow: bool,
+    follow_timeout: Option<Duration>,
 }
 
 impl Cli {
@@ -76,6 +81,7 @@ impl Cli {
         let mut export = None;
         let mut out = None;
         let mut follow = false;
+        let mut follow_timeout = None;
         let mut args = args.peekable();
         fn value(args: &mut impl Iterator<Item = String>, flag: &str) -> String {
             match args.next() {
@@ -99,6 +105,17 @@ impl Cli {
                 "--export" => export = Some(value(&mut args, "--export")),
                 "--out" => out = Some(PathBuf::from(value(&mut args, "--out"))),
                 "--follow" => follow = true,
+                "--follow-timeout" => {
+                    let v = value(&mut args, "--follow-timeout");
+                    let secs: f64 = v.parse().unwrap_or_else(|_| {
+                        panic!("--follow-timeout needs a duration in seconds, got `{v}`")
+                    });
+                    assert!(
+                        secs.is_finite() && secs > 0.0,
+                        "--follow-timeout must be positive, got {secs}"
+                    );
+                    follow_timeout = Some(Duration::from_secs_f64(secs));
+                }
                 other if other.starts_with("--") => panic!("unknown flag `{other}`"),
                 other => {
                     assert!(file.is_none(), "more than one trace file given");
@@ -109,6 +126,10 @@ impl Cli {
         assert!(
             !(follow && export.is_some()),
             "--follow streams windowed stats and cannot be combined with --export"
+        );
+        assert!(
+            follow || follow_timeout.is_none(),
+            "--follow-timeout only makes sense with --follow"
         );
         Cli {
             file: file.unwrap_or_else(|| {
@@ -121,6 +142,7 @@ impl Cli {
             export,
             out,
             follow,
+            follow_timeout,
         }
     }
 }
@@ -128,7 +150,7 @@ impl Cli {
 /// Tails a live trace: prints each windowed-stats row as soon as its window
 /// completes, then — once the writer lands the end chunk — verifies the
 /// accumulated samples against a fresh post-hoc read of the finished file.
-fn follow(path: &Path, window: f64) {
+fn follow(path: &Path, window: f64, stall_timeout: Option<Duration>) {
     const POLL: Duration = Duration::from_millis(150);
     const OPEN_TIMEOUT: Duration = Duration::from_secs(30);
     // The producing run may not have created the file yet: retry the open
@@ -144,15 +166,22 @@ fn follow(path: &Path, window: f64) {
             Err(e) => panic!("cannot open trace {} for tailing: {e}", path.display()),
         }
     };
+    if let Some(timeout) = stall_timeout {
+        tailer = tailer.with_stall_timeout(timeout);
+    }
     println!(
         "{:>9} {:>9} {:>12} {:>14}",
         "from_s", "to_s", "sigma_c", "migrations_per_s"
     );
     let mut printed = 0usize;
     loop {
-        let progress = tailer
-            .poll()
-            .unwrap_or_else(|e| panic!("cannot tail {}: {e}", path.display()));
+        let progress = match tailer.poll() {
+            Ok(progress) => progress,
+            Err(e @ TraceError::WriterStalled { .. }) => {
+                tbp_bench::fail(format!("{}: {e}", path.display()))
+            }
+            Err(e) => panic!("cannot tail {}: {e}", path.display()),
+        };
         let windows = windowed_stats(tailer.data(), window);
         // While the writer is running, the final window is still filling (it
         // would stretch as samples land), so only completed windows print;

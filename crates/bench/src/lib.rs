@@ -674,6 +674,141 @@ pub fn override_duration(
     spec.with_schedule(warmup, duration.as_secs())
 }
 
+/// Loads scenario TOML files the way every batch binary does, applying the
+/// `TBP_DURATION` override to each non-analysis spec *when the variable is
+/// set* (an unset variable leaves the files' own schedules untouched).
+///
+/// A file that cannot be read or parsed is a runtime failure: the process
+/// exits via [`fail`] with a one-line diagnostic naming the file.
+pub fn load_scenarios(paths: &[PathBuf]) -> Vec<ScenarioSpec> {
+    let duration = std::env::var("TBP_DURATION")
+        .ok()
+        .map(|_| measured_duration());
+    paths
+        .iter()
+        .map(|path| {
+            let spec = tbp_core::scenario::load_toml_file(path)
+                .unwrap_or_else(|e| fail(format!("cannot load scenario {}: {e}", path.display())));
+            match duration {
+                Some(duration) if spec.analysis.is_none() => override_duration(spec, duration),
+                _ => spec,
+            }
+        })
+        .collect()
+}
+
+/// Exit code for runtime failures (missing file, failed run, unreachable
+/// coordinator). See [`fail`].
+pub const EXIT_FAILURE: i32 = 1;
+
+/// Exit code for usage errors (unknown flag, missing argument, malformed
+/// value). See [`fail_usage`].
+pub const EXIT_USAGE: i32 = 2;
+
+/// Prints a one-line `error:` diagnostic to stderr and exits with
+/// [`EXIT_FAILURE`] — the binaries' runtime-failure path (a file that does
+/// not exist, a coordinator that never answers).
+pub fn fail(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(EXIT_FAILURE);
+}
+
+/// Prints a one-line `error:` diagnostic to stderr and exits with
+/// [`EXIT_USAGE`] — the binaries' bad-invocation path (unknown flag, missing
+/// value, malformed spec).
+pub fn fail_usage(msg: impl std::fmt::Display) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(EXIT_USAGE);
+}
+
+/// Converts any panic reaching the top of a binary into a one-line `error:`
+/// diagnostic and a [`EXIT_USAGE`] exit.
+///
+/// The shared flag parsers (behind [`batch_cli`] and friends) report bad
+/// invocations by panicking — convenient in tests (`#[should_panic]`), but a
+/// binary must not greet a typo with a backtrace. Binaries call this first
+/// thing in `main`; explicit runtime failures still use [`fail`] and keep
+/// exit code [`EXIT_FAILURE`].
+pub fn exit_cleanly_on_panic() {
+    std::panic::set_hook(Box::new(|info| {
+        let msg = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "unexpected internal failure".to_string());
+        eprintln!("error: {msg}");
+        std::process::exit(EXIT_USAGE);
+    }));
+}
+
+/// The metrics half of the batch runner's live observability, public for
+/// binaries (the `sweep_coord` /
+/// `sweep_worker` pair) whose instrumented subject is not a [`Runner`] batch:
+/// a shared registry plus the `--metrics` JSONL heartbeat emitter and the
+/// `--metrics-prom` completion dump. Attaching it never changes what the
+/// binary computes.
+pub struct MetricsOutputs {
+    registry: MetricsRegistry,
+    started: Instant,
+    emitter: Option<SnapshotEmitter>,
+    prom_path: Option<PathBuf>,
+}
+
+impl MetricsOutputs {
+    /// Creates the registry and starts the requested background outputs:
+    /// `metrics` appends a JSONL snapshot every ~500 ms, `prom` receives a
+    /// one-shot Prometheus exposition in [`finish`](Self::finish).
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error when the JSONL file cannot be created.
+    pub fn start(
+        metrics: Option<&std::path::Path>,
+        prom: Option<&std::path::Path>,
+    ) -> std::io::Result<MetricsOutputs> {
+        let registry = MetricsRegistry::new();
+        let emitter = match metrics {
+            Some(path) => Some(SnapshotEmitter::spawn(
+                registry.clone(),
+                path,
+                Duration::from_millis(500),
+            )?),
+            None => None,
+        };
+        Ok(MetricsOutputs {
+            registry,
+            started: Instant::now(),
+            emitter,
+            prom_path: prom.map(|p| p.to_path_buf()),
+        })
+    }
+
+    /// The registry to hang instruments off (e.g.
+    /// [`CoordMetrics::register`](tbp_sweepd::CoordMetrics::register)).
+    pub fn registry(&self) -> &MetricsRegistry {
+        &self.registry
+    }
+
+    /// Stops the heartbeat emitter (which writes a final line) and dumps the
+    /// Prometheus exposition when requested. Failures are reported to stderr
+    /// but not fatal — observability never sinks a finished run.
+    pub fn finish(self) {
+        if let Some(emitter) = self.emitter {
+            if let Err(e) = emitter.finish() {
+                eprintln!("[metrics] heartbeat write failed: {e}");
+            }
+        }
+        if let Some(path) = &self.prom_path {
+            let elapsed = self.started.elapsed().as_secs_f64();
+            let text = self.registry.snapshot(elapsed).to_prometheus();
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("[metrics] cannot write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -55,6 +55,8 @@ pub struct CacheMetrics {
     pub load_hits: Counter,
     /// Entries written (`cache.stores`).
     pub stores: Counter,
+    /// Corrupt or truncated entries quarantined on load (`cache.load_corrupt`).
+    pub load_corrupt: Counter,
 }
 
 impl CacheMetrics {
@@ -64,6 +66,7 @@ impl CacheMetrics {
             loads: registry.counter("cache.loads"),
             load_hits: registry.counter("cache.load_hits"),
             stores: registry.counter("cache.stores"),
+            load_corrupt: registry.counter("cache.load_corrupt"),
         }
     }
 }
@@ -72,8 +75,10 @@ impl CacheMetrics {
 ///
 /// Entries are written atomically (temp file + rename on the same
 /// filesystem), so a directory may be shared by concurrent shard workers.
-/// Corrupt or truncated entries are treated as misses and overwritten on the
-/// next store.
+/// Corrupt or truncated entries are treated as misses: the offending file is
+/// quarantined to `<hash>.corrupt` (and counted as `cache.load_corrupt`), the
+/// scenario re-simulates, and the next store writes a fresh entry — a crash
+/// mid-store on a shared cache directory never poisons later runs.
 #[derive(Debug)]
 pub struct FsCache {
     dir: PathBuf,
@@ -130,6 +135,10 @@ impl FsCache {
     fn entry_path(&self, key: &ScenarioHash) -> PathBuf {
         self.dir.join(format!("{}.json", key.to_hex()))
     }
+
+    fn quarantine_path(&self, key: &ScenarioHash) -> PathBuf {
+        self.dir.join(format!("{}.corrupt", key.to_hex()))
+    }
 }
 
 impl RunCache for FsCache {
@@ -137,8 +146,20 @@ impl RunCache for FsCache {
         if let Some(metrics) = &self.metrics {
             metrics.loads.inc();
         }
-        let text = std::fs::read_to_string(self.entry_path(key)).ok()?;
-        let report = serde_json::from_str(&text).ok()?;
+        let path = self.entry_path(key);
+        let text = std::fs::read_to_string(&path).ok()?;
+        let Ok(report) = serde_json::from_str(&text) else {
+            // A crash mid-`store` on a pre-atomic-rename filesystem, a torn
+            // copy, or plain disk corruption: quarantine the entry so it (a)
+            // stops being re-parsed on every later lookup and (b) stays on
+            // disk for a post-mortem, then treat the lookup as a miss — the
+            // scenario re-simulates and the next store writes a fresh entry.
+            let _ = std::fs::rename(&path, self.quarantine_path(key));
+            if let Some(metrics) = &self.metrics {
+                metrics.load_corrupt.inc();
+            }
+            return None;
+        };
         if let Some(metrics) = &self.metrics {
             metrics.load_hits.inc();
         }
@@ -246,13 +267,25 @@ mod tests {
     }
 
     #[test]
-    fn fs_cache_treats_corrupt_entries_as_misses() {
+    fn fs_cache_quarantines_corrupt_entries_as_misses() {
         let dir = temp_dir("corrupt");
         let _ = std::fs::remove_dir_all(&dir);
         let cache = FsCache::open(&dir).expect("cache opens");
         let key = ScenarioHash::of(&ScenarioSpec::new("x")).unwrap();
         std::fs::write(dir.join(format!("{}.json", key.to_hex())), "{not json").unwrap();
         assert!(cache.load(&key).is_none());
+        // The torn entry moved aside (no longer counted, preserved on disk)
+        // and a store + load cycle works again afterwards.
+        assert!(cache.is_empty());
+        let quarantined = dir.join(format!("{}.corrupt", key.to_hex()));
+        assert_eq!(
+            std::fs::read_to_string(&quarantined).unwrap(),
+            "{not json",
+            "quarantined bytes are preserved for post-mortems"
+        );
+        let report = table_report("x");
+        cache.store(&key, &report);
+        assert_eq!(cache.load(&key), Some(report));
         std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 

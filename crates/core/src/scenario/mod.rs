@@ -30,6 +30,11 @@
 //!    shards executed by independent workers ([`Runner::run_shard`]);
 //!    [`PartialReport::merge`] reassembles the partials into a
 //!    [`BatchReport`] byte-identical to a single-process run.
+//! 6. [`expand_work`] + [`BatchAssembler`] (the [`queue`] module) — the
+//!    lease-friendly view of the same expansion: an indexed work list plus an
+//!    out-of-order, duplicate-tolerant collector. These are the building
+//!    blocks of the `tbp-sweepd` coordinator/worker service
+//!    (`docs/DISTRIBUTED.md`).
 //!
 //! The spec → expand → run → report pipeline, and where the cache and shard
 //! layers sit in it, is drawn out in `docs/ARCHITECTURE.md`; the TOML schema
@@ -61,6 +66,7 @@
 
 pub mod cache;
 pub mod hash;
+pub mod queue;
 pub mod registry;
 pub mod runner;
 pub mod shard;
@@ -68,6 +74,7 @@ pub mod spec;
 
 pub use cache::{CacheMetrics, FsCache, MemCache, RunCache};
 pub use hash::{canonical_json, ScenarioHash, HASH_DOMAIN, HASH_DOMAIN_PHASED};
+pub use queue::{expand_work, BatchAssembler, WorkItem};
 pub use registry::{PolicyFactory, PolicyRegistry};
 pub use runner::{
     batch_digest, BatchReport, RunOutcome, RunReport, Runner, RunnerMetrics, RunnerStats,

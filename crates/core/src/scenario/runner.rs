@@ -362,6 +362,19 @@ impl Runner {
         Ok(reports)
     }
 
+    /// Executes one concrete (already expanded) scenario of the named group —
+    /// the single-case entry point used by lease-granting distributed
+    /// coordinators (see [`queue`](super::queue)), identical in every way
+    /// (cache lookups, metrics, label re-stamping) to how [`run`](Self::run)
+    /// executes that same case.
+    ///
+    /// # Errors
+    ///
+    /// See [`run`](Self::run).
+    pub fn run_one(&self, group: &str, case: &ScenarioSpec) -> Result<RunReport, SimError> {
+        self.run_case(group.to_string(), case)
+    }
+
     /// Executes one concrete (already expanded) scenario of the named group,
     /// consulting the cache first when one is configured.
     fn run_case(&self, group: String, case: &ScenarioSpec) -> Result<RunReport, SimError> {
@@ -800,7 +813,7 @@ pub fn batch_digest(specs: &[ScenarioSpec]) -> Result<ScenarioHash, SimError> {
 /// Expands a spec list into `(group, concrete case)` pairs in the global,
 /// deterministic batch order shared by [`Runner::run`] and
 /// [`Runner::run_shard`].
-fn expand_batch(specs: &[ScenarioSpec]) -> Vec<(String, ScenarioSpec)> {
+pub(crate) fn expand_batch(specs: &[ScenarioSpec]) -> Vec<(String, ScenarioSpec)> {
     specs
         .iter()
         .flat_map(|spec| {

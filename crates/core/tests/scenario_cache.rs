@@ -7,8 +7,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 use tbp_core::scenario::{
-    load_dir, FsCache, MemCache, PartialReport, PlatformSpec, Runner, ScenarioHash, ScenarioSpec,
-    ShardPlan, SweepSpec, WorkloadDecl, WorkloadKind,
+    load_dir, CacheMetrics, FsCache, MemCache, PartialReport, PlatformSpec, Runner, ScenarioHash,
+    ScenarioSpec, ShardPlan, SweepSpec, WorkloadDecl, WorkloadKind,
 };
 use tbp_core::SimError;
 
@@ -204,6 +204,63 @@ fn cold_then_warm_runs_are_byte_identical_and_simulate_nothing() {
     assert_eq!(warm_stats.cache_hits, 8);
     assert_eq!(warm.to_json(), cold.to_json(), "reports are byte-identical");
     assert_eq!(warm.to_csv(), cold.to_csv());
+}
+
+#[test]
+fn torn_cache_entry_is_quarantined_and_resimulates_byte_identically() {
+    let tmp = TempDir::new("torn-entry");
+    let spec = grid_spec("torn");
+    let registry = tbp_obs::MetricsRegistry::new();
+    let open = |registry: &tbp_obs::MetricsRegistry| {
+        Arc::new(
+            FsCache::open(&tmp.0)
+                .expect("cache opens")
+                .with_metrics(CacheMetrics::register(registry)),
+        )
+    };
+
+    let cold_runner = Runner::new().with_cache_arc(open(&registry));
+    let cold = cold_runner.run_spec(&spec).expect("cold batch runs");
+    assert_eq!(cold_runner.stats().simulated, 8);
+
+    // Tear one entry in half — what a crash mid-`store` on a filesystem
+    // without atomic rename (or a torn copy between hosts) leaves behind.
+    let mut entries: Vec<_> = std::fs::read_dir(&tmp.0)
+        .expect("cache dir lists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "json"))
+        .collect();
+    entries.sort();
+    let victim = entries.first().expect("cache has entries").clone();
+    let intact = std::fs::read_to_string(&victim).expect("entry reads");
+    std::fs::write(&victim, &intact[..intact.len() / 2]).expect("entry tears");
+
+    let warm_runner = Runner::new().with_cache_arc(open(&registry));
+    let warm = warm_runner
+        .run_spec(&spec)
+        .expect("warm batch survives the torn entry");
+    let stats = warm_runner.stats();
+    assert_eq!(stats.simulated, 1, "only the torn scenario re-simulates");
+    assert_eq!(stats.cache_hits, 7);
+    assert_eq!(warm.to_json(), cold.to_json(), "output is byte-identical");
+    assert_eq!(warm.to_csv(), cold.to_csv());
+
+    let snapshot = registry.snapshot(0.0);
+    assert_eq!(snapshot.counter("cache.load_corrupt"), Some(1));
+    let quarantined: Vec<_> = std::fs::read_dir(&tmp.0)
+        .expect("cache dir lists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "corrupt"))
+        .collect();
+    assert_eq!(quarantined.len(), 1, "torn entry moved to <hash>.corrupt");
+
+    // The re-simulation restored the entry: a third run is fully warm.
+    let third_runner = Runner::new().with_cache_arc(open(&registry));
+    let third = third_runner.run_spec(&spec).expect("third batch runs");
+    assert_eq!(third_runner.stats().simulated, 0);
+    assert_eq!(third.to_json(), cold.to_json());
 }
 
 #[test]

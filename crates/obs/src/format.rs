@@ -106,6 +106,16 @@ pub enum TraceError {
         /// Count decoded from the samples chunks.
         decoded: u64,
     },
+    /// A follow-mode reader with a stall timeout saw no new bytes, records,
+    /// or end chunk for longer than the configured window — the writer is
+    /// presumed dead (crashed or wedged) and the trace will never complete.
+    WriterStalled {
+        /// The configured stall window, in milliseconds.
+        timeout_ms: u64,
+        /// Bytes of torn in-progress chunk pending when the follower gave
+        /// up (zero when the writer died cleanly between chunks).
+        pending_bytes: usize,
+    },
 }
 
 impl fmt::Display for TraceError {
@@ -142,6 +152,14 @@ impl fmt::Display for TraceError {
             TraceError::CountMismatch { declared, decoded } => write!(
                 f,
                 "end chunk declares {declared} records but {decoded} were decoded"
+            ),
+            TraceError::WriterStalled {
+                timeout_ms,
+                pending_bytes,
+            } => write!(
+                f,
+                "trace writer stalled: no progress for {timeout_ms} ms and no end chunk \
+                 ({pending_bytes} bytes of torn chunk pending); writer presumed dead"
             ),
         }
     }

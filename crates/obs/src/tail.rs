@@ -18,6 +18,7 @@
 use std::fs::File;
 use std::io::Read;
 use std::path::Path;
+use std::time::{Duration, Instant};
 
 use crate::format::{frame_chunk, ChunkDecoder, TraceError, MAGIC};
 use crate::track::TraceData;
@@ -48,6 +49,12 @@ pub struct TraceTailer {
     buf_offset: usize,
     magic_ok: bool,
     decoder: ChunkDecoder,
+    /// Give up ([`TraceError::WriterStalled`]) once this much wall time
+    /// passes without the file growing or a record decoding. `None` (the
+    /// default) polls forever.
+    stall_timeout: Option<Duration>,
+    /// When the file last grew or a record last decoded.
+    last_progress: Instant,
 }
 
 impl TraceTailer {
@@ -67,7 +74,21 @@ impl TraceTailer {
             buf_offset: 0,
             magic_ok: false,
             decoder: ChunkDecoder::new(),
+            stall_timeout: None,
+            last_progress: Instant::now(),
         })
+    }
+
+    /// Configures a stall timeout (builder-style): when no new bytes arrive
+    /// and no record decodes for `timeout` of wall time — and the trace has
+    /// not ended — [`poll`](Self::poll) returns
+    /// [`TraceError::WriterStalled`] instead of letting the caller poll a
+    /// dead writer forever. The clock starts now and rearms on every byte
+    /// of progress, so a merely *slow* writer is never misreported.
+    pub fn with_stall_timeout(mut self, timeout: Duration) -> Self {
+        self.stall_timeout = Some(timeout);
+        self.last_progress = Instant::now();
+        self
     }
 
     /// Reads newly appended bytes and decodes every complete chunk among
@@ -80,21 +101,26 @@ impl TraceTailer {
     /// eight bytes exist and are not the trace magic, and any decode error
     /// a complete-but-invalid chunk produces ([`TraceError::CrcMismatch`],
     /// [`TraceError::Malformed`], …). Decode errors are fatal: the tailer
-    /// stays in the failed state and further polls re-fail.
+    /// stays in the failed state and further polls re-fail. With a
+    /// [`with_stall_timeout`](Self::with_stall_timeout) configured,
+    /// [`TraceError::WriterStalled`] once the window elapses without
+    /// progress.
     pub fn poll(&mut self) -> Result<TailProgress, TraceError> {
         let mut scratch = [0u8; 64 * 1024];
+        let mut grew = false;
         loop {
             let n = self.file.read(&mut scratch)?;
             if n == 0 {
                 break;
             }
+            grew = true;
             self.buf.extend_from_slice(&scratch[..n]);
         }
         let before = self.decoder.decoded;
         let mut pos = 0usize;
         if !self.magic_ok {
             if self.buf.len() < MAGIC.len() {
-                return Ok(self.progress(before));
+                return self.finish_poll(before, grew);
             }
             if &self.buf[..MAGIC.len()] != MAGIC {
                 return Err(TraceError::BadMagic);
@@ -129,7 +155,25 @@ impl TraceTailer {
             self.buf.drain(..pos);
             self.buf_offset += pos;
         }
-        Ok(self.progress(before))
+        self.finish_poll(before, grew)
+    }
+
+    /// Rearms or checks the stall clock and packages the poll's progress.
+    /// Progress is any of: the file grew, a record decoded, the end chunk
+    /// landed. Anything else with an armed, elapsed timeout is a stall.
+    fn finish_poll(&mut self, decoded_before: u64, grew: bool) -> Result<TailProgress, TraceError> {
+        let progress = self.progress(decoded_before);
+        if grew || progress.new_records > 0 || progress.ended {
+            self.last_progress = Instant::now();
+        } else if let Some(timeout) = self.stall_timeout {
+            if self.last_progress.elapsed() >= timeout {
+                return Err(TraceError::WriterStalled {
+                    timeout_ms: timeout.as_millis() as u64,
+                    pending_bytes: progress.pending_bytes,
+                });
+            }
+        }
+        Ok(progress)
     }
 
     fn progress(&self, decoded_before: u64) -> TailProgress {
@@ -256,6 +300,73 @@ mod tests {
             tailer.into_data(),
             Err(TraceError::MissingEnd | TraceError::MissingHeader)
         ));
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn dead_writer_mid_chunk_trips_the_stall_timeout() {
+        let bytes = demo_bytes(200);
+        let path = temp_path("stall");
+        let mut file = std::fs::File::create(&path).unwrap();
+        // The writer lands some complete chunks plus a torn one, then dies.
+        file.write_all(&bytes[..bytes.len() - 7]).unwrap();
+        file.flush().unwrap();
+
+        let mut tailer = TraceTailer::open(&path)
+            .unwrap()
+            .with_stall_timeout(std::time::Duration::from_millis(60));
+        let p = tailer.poll().unwrap();
+        assert!(!p.ended);
+        assert!(p.pending_bytes > 0, "torn final chunk stays pending");
+
+        // Idle polls inside the window are fine; once the window elapses
+        // with no growth the follower reports the writer dead.
+        let err = loop {
+            match tailer.poll() {
+                Ok(p) => {
+                    assert_eq!(p.new_records, 0);
+                    std::thread::sleep(std::time::Duration::from_millis(10));
+                }
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(
+                err,
+                TraceError::WriterStalled {
+                    timeout_ms: 60,
+                    pending_bytes
+                } if pending_bytes > 0
+            ),
+            "expected WriterStalled, got {err:?}"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn resumed_writer_rearms_the_stall_clock() {
+        let bytes = demo_bytes(200);
+        let path = temp_path("stall-rearm");
+        let mut file = std::fs::File::create(&path).unwrap();
+        let half = bytes.len() / 2;
+        file.write_all(&bytes[..half]).unwrap();
+        file.flush().unwrap();
+
+        let mut tailer = TraceTailer::open(&path)
+            .unwrap()
+            .with_stall_timeout(std::time::Duration::from_millis(80));
+        tailer.poll().unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        tailer.poll().unwrap(); // inside the window: no error
+
+        // The writer comes back: progress rearms the clock and the trace
+        // finishes without ever reporting a stall.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        file.write_all(&bytes[half..]).unwrap();
+        file.flush().unwrap();
+        let p = tailer.poll().unwrap();
+        assert!(p.ended);
+        assert_eq!(tailer.records(), 200);
         let _ = std::fs::remove_file(&path);
     }
 

@@ -1,0 +1,260 @@
+//! Deterministic fault injection for the sweep transport.
+//!
+//! Chaos testing a distributed service is only useful when a failing run can
+//! be replayed exactly. A [`FaultPlan`] is a *pure data* description of the
+//! faults one peer will inject — drop/delay/corrupt its Nth outgoing frame,
+//! kill or stall itself at its Mth lease — built either from an explicit CLI
+//! spec ([`FaultPlan::parse`]) or derived deterministically from a seed
+//! ([`FaultPlan::from_seed`], used by the chaos proptest). The
+//! [`FrameSender`](crate::proto::FrameSender) consults the plan on every
+//! outgoing frame; the worker consults it on every granted lease. No clock,
+//! no randomness at injection time: the same plan against the same traffic
+//! produces the same faults.
+
+use std::time::Duration;
+
+/// What to do with one outgoing frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultAction {
+    /// Send the frame unmodified.
+    Deliver,
+    /// Silently discard the frame (the peer sees a gap, not an error).
+    Drop,
+    /// Flip a payload byte *after* the CRC is computed — the peer's CRC
+    /// check must reject the frame.
+    Corrupt,
+    /// Sleep this long, then deliver the frame unmodified.
+    Delay(Duration),
+}
+
+/// A deterministic, replayable set of faults for one peer.
+///
+/// Frame numbers are 1-based and count that peer's outgoing frames across
+/// its whole lifetime (surviving reconnects — otherwise a fault on an early
+/// frame would re-fire on every reconnect and never heal). Lease numbers are
+/// 1-based and count leases *granted to* the worker.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    drop_frames: Vec<u64>,
+    corrupt_frames: Vec<u64>,
+    delay_frames: Vec<(u64, u64)>,
+    kill_at_lease: Option<u64>,
+    stall_at_lease: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Whether this plan injects nothing at all.
+    pub fn is_none(&self) -> bool {
+        *self == FaultPlan::default()
+    }
+
+    /// Parses the CLI fault spec: comma-separated `key=value` clauses.
+    ///
+    /// | clause | effect |
+    /// |---|---|
+    /// | `drop=N` | drop outgoing frame N |
+    /// | `corrupt=N` | corrupt outgoing frame N |
+    /// | `delay=N:MS` | delay outgoing frame N by MS milliseconds |
+    /// | `kill-at-lease=M` | die abruptly on receiving lease M |
+    /// | `stall-at-lease=M` | go silent (connection open, no heartbeats) on lease M |
+    ///
+    /// Clauses may repeat (`drop=2,drop=5`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the offending clause.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = FaultPlan::none();
+        for clause in spec.split(',').filter(|c| !c.trim().is_empty()) {
+            let (key, value) = clause
+                .split_once('=')
+                .ok_or_else(|| format!("fault clause `{clause}` is not key=value"))?;
+            let parse_u64 = |v: &str, what: &str| {
+                v.trim()
+                    .parse::<u64>()
+                    .map_err(|_| format!("fault clause `{clause}`: {what} `{v}` is not a number"))
+            };
+            match key.trim() {
+                "drop" => plan.drop_frames.push(parse_u64(value, "frame")?),
+                "corrupt" => plan.corrupt_frames.push(parse_u64(value, "frame")?),
+                "delay" => {
+                    let (frame, ms) = value.split_once(':').ok_or_else(|| {
+                        format!("fault clause `{clause}` needs delay=FRAME:MILLIS")
+                    })?;
+                    plan.delay_frames
+                        .push((parse_u64(frame, "frame")?, parse_u64(ms, "delay")?));
+                }
+                "kill-at-lease" => plan.kill_at_lease = Some(parse_u64(value, "lease")?),
+                "stall-at-lease" => plan.stall_at_lease = Some(parse_u64(value, "lease")?),
+                other => return Err(format!("unknown fault kind `{other}`")),
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Derives a random-but-replayable chaos plan from a seed: a handful of
+    /// dropped/corrupted/delayed frames early in the stream, sometimes a
+    /// kill or stall at an early lease. Every fault kind this module knows
+    /// is reachable from some seed; the same seed always yields the same
+    /// plan.
+    pub fn from_seed(seed: u64) -> Self {
+        let mut rng = SplitMix64::new(seed);
+        let mut plan = FaultPlan::none();
+        // Frame-level faults: up to three, within the first 12 frames so
+        // they actually land on handshake/lease/heartbeat/result traffic of
+        // a small test batch.
+        for _ in 0..(rng.next_u64() % 4) {
+            let frame = 2 + rng.next_u64() % 11;
+            match rng.next_u64() % 3 {
+                0 => plan.drop_frames.push(frame),
+                1 => plan.corrupt_frames.push(frame),
+                _ => plan.delay_frames.push((frame, 5 + rng.next_u64() % 40)),
+            }
+        }
+        // Process-level faults: kill or stall at one of the first leases.
+        match rng.next_u64() % 4 {
+            0 => plan.kill_at_lease = Some(1 + rng.next_u64() % 3),
+            1 => plan.stall_at_lease = Some(1 + rng.next_u64() % 3),
+            _ => {}
+        }
+        plan
+    }
+
+    /// The action for outgoing frame `seq` (1-based). Precedence when one
+    /// frame is named by several clauses: drop, then corrupt, then delay.
+    pub fn action(&self, seq: u64) -> FaultAction {
+        if self.drop_frames.contains(&seq) {
+            return FaultAction::Drop;
+        }
+        if self.corrupt_frames.contains(&seq) {
+            return FaultAction::Corrupt;
+        }
+        if let Some((_, ms)) = self.delay_frames.iter().find(|(frame, _)| *frame == seq) {
+            return FaultAction::Delay(Duration::from_millis(*ms));
+        }
+        FaultAction::Deliver
+    }
+
+    /// The 1-based lease number at which the worker dies abruptly, if any.
+    pub fn kill_at_lease(&self) -> Option<u64> {
+        self.kill_at_lease
+    }
+
+    /// The 1-based lease number at which the worker goes silent, if any.
+    pub fn stall_at_lease(&self) -> Option<u64> {
+        self.stall_at_lease
+    }
+}
+
+/// SplitMix64 — the tiny deterministic generator used for fault-plan
+/// derivation and backoff jitter (the same construction the workload
+/// subsystem uses for arrival processes).
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Seeds the generator.
+    pub fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// Next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Capped exponential backoff with deterministic "equal jitter".
+///
+/// Attempt `n` (1-based) waits `min(cap, base · 2ⁿ⁻¹)` scaled into
+/// `[50 %, 100 %]` by a jitter factor derived from `(seed, attempt)` — so a
+/// fleet of workers with distinct seeds spreads its reconnects, while any
+/// single worker's schedule replays exactly.
+pub fn backoff_delay(attempt: u32, base: Duration, cap: Duration, seed: u64) -> Duration {
+    let exp = attempt.saturating_sub(1).min(20);
+    let raw = base
+        .saturating_mul(1u32 << exp.min(16))
+        .min(cap)
+        .max(Duration::from_millis(1));
+    let jitter_bits =
+        SplitMix64::new(seed ^ u64::from(attempt).wrapping_mul(0xA076_1D64_78BD_642F)).next_u64()
+            >> 11; // 53 bits, like a float mantissa
+    let fraction = jitter_bits as f64 / (1u64 << 53) as f64;
+    raw.mul_f64(0.5 + 0.5 * fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_accepts_every_clause_and_rejects_garbage() {
+        let plan = FaultPlan::parse("drop=3,corrupt=7,delay=2:150,kill-at-lease=2,drop=5").unwrap();
+        assert_eq!(plan.action(3), FaultAction::Drop);
+        assert_eq!(plan.action(5), FaultAction::Drop);
+        assert_eq!(plan.action(7), FaultAction::Corrupt);
+        assert_eq!(
+            plan.action(2),
+            FaultAction::Delay(Duration::from_millis(150))
+        );
+        assert_eq!(plan.action(4), FaultAction::Deliver);
+        assert_eq!(plan.kill_at_lease(), Some(2));
+        assert_eq!(plan.stall_at_lease(), None);
+        assert_eq!(
+            FaultPlan::parse("stall-at-lease=1")
+                .unwrap()
+                .stall_at_lease(),
+            Some(1)
+        );
+        assert_eq!(FaultPlan::parse("").unwrap(), FaultPlan::none());
+        assert!(FaultPlan::parse("explode=1").is_err());
+        assert!(FaultPlan::parse("drop").is_err());
+        assert!(FaultPlan::parse("drop=x").is_err());
+        assert!(FaultPlan::parse("delay=3").is_err());
+    }
+
+    #[test]
+    fn seeded_plans_are_deterministic_and_varied() {
+        for seed in 0..64 {
+            assert_eq!(FaultPlan::from_seed(seed), FaultPlan::from_seed(seed));
+        }
+        let distinct: std::collections::BTreeSet<String> = (0..64)
+            .map(|s| format!("{:?}", FaultPlan::from_seed(s)))
+            .collect();
+        assert!(distinct.len() > 16, "seeds should produce varied plans");
+        assert!((0..64).any(|s| FaultPlan::from_seed(s).kill_at_lease().is_some()));
+        assert!((0..64).any(|s| FaultPlan::from_seed(s).stall_at_lease().is_some()));
+        assert!((0..64).any(|s| FaultPlan::from_seed(s).is_none()));
+    }
+
+    #[test]
+    fn backoff_is_deterministic_capped_and_grows() {
+        let base = Duration::from_millis(100);
+        let cap = Duration::from_secs(5);
+        for attempt in 1..12 {
+            let a = backoff_delay(attempt, base, cap, 42);
+            let b = backoff_delay(attempt, base, cap, 42);
+            assert_eq!(a, b, "same (seed, attempt) must replay the same delay");
+            assert!(a <= cap, "delay never exceeds the cap");
+            assert!(a >= base / 2, "equal jitter keeps at least half the step");
+        }
+        // Distinct seeds de-synchronize a reconnect stampede.
+        let spread: std::collections::BTreeSet<Duration> = (0..16)
+            .map(|seed| backoff_delay(3, base, cap, seed))
+            .collect();
+        assert!(spread.len() > 8);
+        // The envelope grows until the cap.
+        assert!(backoff_delay(6, base, cap, 7) > backoff_delay(1, base, cap, 7));
+    }
+}
