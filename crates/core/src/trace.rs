@@ -255,7 +255,10 @@ impl TraceRecorder {
         }
         self.samples.push(TraceSample {
             time,
-            core_temperatures: core_temperatures.to_vec(),
+            // The directive below covers both copies: they run only when
+            // make_room admitted a sample — at most max_samples times per
+            // run, never per step (the alloc_free_step test pins this).
+            core_temperatures: core_temperatures.to_vec(), // tbp-lint: allow(no-alloc): bounded by max_samples, not per-step
             core_frequencies_mhz: core_frequencies_mhz.to_vec(),
             migrations,
             deadline_misses,

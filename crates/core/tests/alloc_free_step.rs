@@ -53,22 +53,30 @@ fn counting_here() -> bool {
     COUNTING.try_with(|c| c.get()).unwrap_or(false)
 }
 
+// SAFETY: pure pass-through to `System`; the only extra work is a lock-free
+// counter bump, so `System`'s layout/ptr contracts are forwarded unchanged.
 unsafe impl GlobalAlloc for CountingAllocator {
+    // SAFETY: caller upholds `GlobalAlloc`'s contract; forwarded verbatim.
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         if counting_here() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: same layout the caller passed in.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc`'s contract; forwarded verbatim.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        // SAFETY: `ptr` came from `System.alloc` with this same layout.
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: caller upholds `GlobalAlloc`'s contract; forwarded verbatim.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         if counting_here() {
             ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         }
+        // SAFETY: `ptr`, `layout` and `new_size` forwarded unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }

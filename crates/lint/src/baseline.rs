@@ -1,0 +1,181 @@
+//! The committed findings baseline.
+//!
+//! Grandfathered findings live in a plain-text file committed next to
+//! `lint.toml`: one line per finding group, `<count>\t<key>`, sorted by key.
+//! A fresh scan is compared group-by-group:
+//!
+//! * a group that is absent from the baseline, or larger than its recorded
+//!   count, is **new** — CI fails;
+//! * a baseline entry whose group shrank or vanished is **stale** — CI fails
+//!   too, so the baseline can only ever be updated deliberately
+//!   (`tbp_lint --update-baseline`), never drift silently in either
+//!   direction.
+//!
+//! Keys contain no line numbers (see [`Diagnostic::key`]), so moving code
+//! within a file does not churn the baseline.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::diag::Diagnostic;
+
+/// Header written at the top of every generated baseline file.
+const HEADER: &str = "# tbp-lint baseline: grandfathered findings, one `<count>\\t<key>` per line.\n\
+                      # Regenerate deliberately with `tbp_lint --update-baseline`; CI fails when a\n\
+                      # fresh scan grows beyond OR shrinks below this file.\n";
+
+/// Parsed baseline: finding-group key to allowed count.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Baseline {
+    /// Allowed occurrences per finding key.
+    pub allowed: BTreeMap<String, u32>,
+}
+
+/// Outcome of comparing a fresh scan against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineDelta {
+    /// Findings in groups that exceed their baseline allowance (all
+    /// occurrences of the offending group, for actionable output).
+    pub fresh: Vec<Diagnostic>,
+    /// Baseline entries larger than the fresh scan: `(key, allowed, seen)`.
+    pub stale: Vec<(String, u32, u32)>,
+}
+
+impl BaselineDelta {
+    /// Whether scan and baseline agree exactly.
+    pub fn is_clean(&self) -> bool {
+        self.fresh.is_empty() && self.stale.is_empty()
+    }
+}
+
+impl Baseline {
+    /// Loads a baseline file; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> Result<Self, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Self::parse(&text).map_err(|e| format!("{}: {e}", path.display())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+        }
+    }
+
+    /// Parses baseline text.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut allowed = BTreeMap::new();
+        for (idx, line) in text.lines().enumerate() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (count, key) = line
+                .split_once('\t')
+                .ok_or_else(|| format!("line {}: expected `<count>\\t<key>`", idx + 1))?;
+            let count: u32 = count
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: bad count `{count}`", idx + 1))?;
+            if count == 0 {
+                return Err(format!("line {}: zero-count baseline entry", idx + 1));
+            }
+            if allowed.insert(key.to_string(), count).is_some() {
+                return Err(format!("line {}: duplicate key `{key}`", idx + 1));
+            }
+        }
+        Ok(Baseline { allowed })
+    }
+
+    /// Builds the baseline capturing every finding of `diags`.
+    pub fn capture(diags: &[Diagnostic]) -> Self {
+        let mut allowed = BTreeMap::new();
+        for d in diags {
+            *allowed.entry(d.key.clone()).or_insert(0) += 1;
+        }
+        Baseline { allowed }
+    }
+
+    /// Renders the baseline file content (sorted, with header).
+    pub fn render(&self) -> String {
+        let mut out = String::from(HEADER);
+        for (key, count) in &self.allowed {
+            out.push_str(&format!("{count}\t{key}\n"));
+        }
+        out
+    }
+
+    /// Compares a fresh scan against this baseline.
+    pub fn compare(&self, diags: &[Diagnostic]) -> BaselineDelta {
+        let seen = Baseline::capture(diags);
+        let mut delta = BaselineDelta::default();
+        for (key, &count) in &seen.allowed {
+            if count > self.allowed.get(key).copied().unwrap_or(0) {
+                delta
+                    .fresh
+                    .extend(diags.iter().filter(|d| &d.key == key).cloned());
+            }
+        }
+        for (key, &allowed) in &self.allowed {
+            let seen = seen.allowed.get(key).copied().unwrap_or(0);
+            if seen < allowed {
+                delta.stale.push((key.clone(), allowed, seen));
+            }
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diag(rule: &'static str, file: &str, detail: &str) -> Diagnostic {
+        Diagnostic::new(rule, file, 1, 1, detail.to_string(), detail)
+    }
+
+    #[test]
+    fn capture_render_parse_round_trip() {
+        let diags = vec![
+            diag("exit-code", "a.rs", "exit outside bin"),
+            diag("exit-code", "a.rs", "exit outside bin"),
+            diag("no-alloc", "b.rs", "vec!"),
+        ];
+        let base = Baseline::capture(&diags);
+        let parsed = Baseline::parse(&base.render()).unwrap();
+        assert_eq!(parsed, base);
+        assert_eq!(parsed.allowed["exit-code a.rs exit outside bin"], 2);
+    }
+
+    #[test]
+    fn exact_match_is_clean() {
+        let diags = vec![diag("no-alloc", "b.rs", "vec!")];
+        assert!(Baseline::capture(&diags).compare(&diags).is_clean());
+    }
+
+    #[test]
+    fn growth_is_fresh_and_shrink_is_stale() {
+        let one = vec![diag("no-alloc", "b.rs", "vec!")];
+        let two = vec![
+            diag("no-alloc", "b.rs", "vec!"),
+            diag("no-alloc", "b.rs", "vec!"),
+        ];
+        let base = Baseline::capture(&one);
+        let grown = base.compare(&two);
+        assert_eq!(grown.fresh.len(), 2, "whole group reported on growth");
+        assert!(grown.stale.is_empty());
+        let shrunk = Baseline::capture(&two).compare(&one);
+        assert!(shrunk.fresh.is_empty());
+        assert_eq!(shrunk.stale, vec![("no-alloc b.rs vec!".to_string(), 2, 1)]);
+    }
+
+    #[test]
+    fn unknown_group_is_fresh() {
+        let base = Baseline::default();
+        let delta = base.compare(&[diag("determinism", "c.rs", "HashMap")]);
+        assert_eq!(delta.fresh.len(), 1);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Baseline::parse("not a baseline\n").is_err());
+        assert!(Baseline::parse("0\tkey\n").is_err());
+        assert!(Baseline::parse("1\tk\n1\tk\n").is_err());
+    }
+}

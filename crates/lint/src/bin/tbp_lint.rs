@@ -1,0 +1,210 @@
+//! `tbp_lint` — command-line front end for the workspace linter.
+//!
+//! Exit codes follow the repo contract (and this binary is itself checked
+//! by the `exit-code` rule): `2` for usage errors, `1` for runtime failures
+//! or — under `--deny` — a scan that disagrees with the baseline, `0`
+//! otherwise.
+
+use std::path::PathBuf;
+use std::process;
+
+use tbp_lint::config::LintConfig;
+use tbp_lint::diag::json_str;
+use tbp_lint::engine;
+use tbp_lint::rules;
+use tbp_lint::source::SUPPRESSION_RULE;
+
+const USAGE: &str = "\
+tbp_lint — static-analysis pass for the tbp workspace
+
+USAGE:
+    tbp_lint [OPTIONS]
+
+OPTIONS:
+    --root <DIR>         Workspace root to scan (default: .)
+    --config <PATH>      Config file (default: <root>/lint.toml)
+    --format <FMT>       Output format: human (default) or json
+    --deny               Exit 1 when the scan disagrees with the baseline
+    --update-baseline    Rewrite the baseline to capture this scan exactly
+    --update-manifest    Re-fingerprint all domains and rewrite the manifest
+    --list-rules         Print the rule catalog and exit
+    -h, --help           Show this help
+";
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Format {
+    Human,
+    Json,
+}
+
+struct Opts {
+    root: PathBuf,
+    config: Option<PathBuf>,
+    format: Format,
+    deny: bool,
+    update_baseline: bool,
+    update_manifest: bool,
+    list_rules: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Option<Opts>, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        config: None,
+        format: Format::Human,
+        deny: false,
+        update_baseline: false,
+        update_manifest: false,
+        list_rules: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                opts.root = PathBuf::from(it.next().ok_or("--root requires a directory argument")?);
+            }
+            "--config" => {
+                opts.config = Some(PathBuf::from(it.next().ok_or("--config requires a path")?));
+            }
+            "--format" => match it.next().map(String::as_str) {
+                Some("human") => opts.format = Format::Human,
+                Some("json") => opts.format = Format::Json,
+                Some(other) => return Err(format!("unknown format `{other}`")),
+                None => return Err("--format requires `human` or `json`".to_string()),
+            },
+            "--deny" => opts.deny = true,
+            "--update-baseline" => opts.update_baseline = true,
+            "--update-manifest" => opts.update_manifest = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => return Ok(None),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Some(opts))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(Some(opts)) => opts,
+        Ok(None) => {
+            print!("{USAGE}");
+            return;
+        }
+        Err(why) => {
+            eprintln!("tbp_lint: {why}");
+            eprintln!();
+            eprint!("{USAGE}");
+            process::exit(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::RULES {
+            println!("{rule}");
+        }
+        println!("{SUPPRESSION_RULE} (meta; not suppressible)");
+        return;
+    }
+
+    let config_path = opts
+        .config
+        .clone()
+        .unwrap_or_else(|| opts.root.join("lint.toml"));
+    let config = match LintConfig::load(&config_path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("tbp_lint: {e}");
+            process::exit(1);
+        }
+    };
+
+    if opts.update_manifest {
+        if let Err(why) = engine::update_manifest(&opts.root, &config) {
+            eprintln!("tbp_lint: {why}");
+            process::exit(1);
+        }
+        println!("wrote {}", config.manifest);
+        return;
+    }
+
+    let scan = match engine::scan(&opts.root, &config) {
+        Ok(s) => s,
+        Err(why) => {
+            eprintln!("tbp_lint: {why}");
+            process::exit(1);
+        }
+    };
+
+    if opts.update_baseline {
+        if let Err(why) = engine::update_baseline(&opts.root, &config, &scan) {
+            eprintln!("tbp_lint: {why}");
+            process::exit(1);
+        }
+        println!(
+            "wrote {} ({} finding(s) grandfathered)",
+            config.baseline,
+            scan.diagnostics.len()
+        );
+        return;
+    }
+
+    let (_baseline, delta) = match engine::compare_baseline(&opts.root, &config, &scan) {
+        Ok(pair) => pair,
+        Err(why) => {
+            eprintln!("tbp_lint: {why}");
+            process::exit(1);
+        }
+    };
+
+    match opts.format {
+        Format::Human => {
+            for d in &delta.fresh {
+                println!("{d}");
+            }
+            for (key, allowed, seen) in &delta.stale {
+                println!(
+                    "stale baseline entry `{key}`: baseline allows {allowed}, scan found \
+                     {seen}; run `tbp_lint --update-baseline`"
+                );
+            }
+            let grandfathered = scan.diagnostics.len() - delta.fresh.len();
+            println!(
+                "scanned {} file(s): {} new finding(s), {} grandfathered, {} suppressed, \
+                 {} stale baseline entr(ies)",
+                scan.files.len(),
+                delta.fresh.len(),
+                grandfathered,
+                scan.suppressed,
+                delta.stale.len()
+            );
+        }
+        Format::Json => {
+            let findings: Vec<String> = delta.fresh.iter().map(|d| d.to_json()).collect();
+            let stale: Vec<String> = delta
+                .stale
+                .iter()
+                .map(|(key, allowed, seen)| {
+                    format!(
+                        "{{\"key\":{},\"allowed\":{allowed},\"seen\":{seen}}}",
+                        json_str(key)
+                    )
+                })
+                .collect();
+            println!(
+                "{{\"files\":{},\"total_findings\":{},\"suppressed\":{},\"clean\":{},\
+                 \"findings\":[{}],\"stale\":[{}]}}",
+                scan.files.len(),
+                scan.diagnostics.len(),
+                scan.suppressed,
+                delta.is_clean(),
+                findings.join(","),
+                stale.join(",")
+            );
+        }
+    }
+
+    if opts.deny && !delta.is_clean() {
+        process::exit(1);
+    }
+}

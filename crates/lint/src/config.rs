@@ -1,0 +1,672 @@
+//! `lint.toml` — the linter's declarative configuration.
+//!
+//! The linter is deliberately dependency-free (see the crate manifest), so
+//! this module carries its own parser for the small TOML subset the config
+//! and the domain manifest use: `[tables]`, `[[arrays.of.tables]]`, string /
+//! integer / boolean scalars, flat arrays (multi-line allowed), and `#`
+//! comments. It is not a general TOML implementation and does not try to be
+//! one; anything outside the subset is a loud error, never a silent skip.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Error raised while reading configuration or manifest files.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfigError {
+    /// Human-readable description with file/line context.
+    pub message: String,
+}
+
+impl ConfigError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        ConfigError {
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+// ---------------------------------------------------------------------------
+// Minimal TOML value tree
+// ---------------------------------------------------------------------------
+
+/// A scalar or flat array in the supported TOML subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TomlValue {
+    /// Basic or literal string.
+    Str(String),
+    /// Integer.
+    Int(i64),
+    /// Boolean.
+    Bool(bool),
+    /// Flat array of scalars.
+    List(Vec<TomlValue>),
+}
+
+impl TomlValue {
+    fn type_name(&self) -> &'static str {
+        match self {
+            TomlValue::Str(_) => "string",
+            TomlValue::Int(_) => "integer",
+            TomlValue::Bool(_) => "boolean",
+            TomlValue::List(_) => "array",
+        }
+    }
+
+    /// The string content, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            TomlValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One `[section]` or `[[section]]` instance: its dotted path and its
+/// key/value assignments in file order.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TomlTable {
+    /// Dotted path of the header, e.g. `["no_alloc", "hot"]`. Empty for the
+    /// implicit root table.
+    pub path: Vec<String>,
+    /// Assignments in file order.
+    pub entries: Vec<(String, TomlValue)>,
+}
+
+impl TomlTable {
+    /// The value assigned to `key`, if present.
+    pub fn get(&self, key: &str) -> Option<&TomlValue> {
+        self.entries
+            .iter()
+            .find_map(|(k, v)| (k == key).then_some(v))
+    }
+
+    /// A required string entry.
+    pub fn str_entry(&self, key: &str, ctx: &str) -> Result<String, ConfigError> {
+        match self.get(key) {
+            Some(TomlValue::Str(s)) => Ok(s.clone()),
+            Some(other) => Err(ConfigError::new(format!(
+                "{ctx}: `{key}` must be a string, found {}",
+                other.type_name()
+            ))),
+            None => Err(ConfigError::new(format!("{ctx}: missing `{key}`"))),
+        }
+    }
+
+    /// An optional array-of-strings entry; absent means empty.
+    pub fn str_list(&self, key: &str, ctx: &str) -> Result<Vec<String>, ConfigError> {
+        match self.get(key) {
+            None => Ok(Vec::new()),
+            Some(TomlValue::List(items)) => items
+                .iter()
+                .map(|v| {
+                    v.as_str().map(str::to_string).ok_or_else(|| {
+                        ConfigError::new(format!(
+                            "{ctx}: `{key}` entries must be strings, found {}",
+                            v.type_name()
+                        ))
+                    })
+                })
+                .collect(),
+            Some(other) => Err(ConfigError::new(format!(
+                "{ctx}: `{key}` must be an array, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+/// A parsed document: tables in file order. `[[t]]` headers repeat the same
+/// path once per instance.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TomlDoc {
+    /// All tables in file order, the implicit root first.
+    pub tables: Vec<TomlTable>,
+}
+
+impl TomlDoc {
+    /// All tables whose dotted path is exactly `path`.
+    pub fn tables_at<'a>(&'a self, path: &'a [&'a str]) -> impl Iterator<Item = &'a TomlTable> {
+        self.tables
+            .iter()
+            .filter(move |t| t.path.len() == path.len() && t.path.iter().eq(path.iter()))
+    }
+
+    /// The first table at `path`, if any.
+    pub fn table(&self, path: &[&str]) -> Option<&TomlTable> {
+        self.tables
+            .iter()
+            .find(|t| t.path.len() == path.len() && t.path.iter().eq(path.iter()))
+    }
+}
+
+/// Parses the supported TOML subset.
+pub fn parse_toml(text: &str, origin: &str) -> Result<TomlDoc, ConfigError> {
+    let mut doc = TomlDoc {
+        tables: vec![TomlTable::default()],
+    };
+    let mut lines = text.lines().enumerate().peekable();
+    while let Some((idx, raw)) = lines.next() {
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        if let Some(header) = line.strip_prefix("[[").and_then(|l| l.strip_suffix("]]")) {
+            doc.tables.push(TomlTable {
+                path: split_dotted(header, origin, lineno)?,
+                entries: Vec::new(),
+            });
+        } else if let Some(header) = line.strip_prefix('[').and_then(|l| l.strip_suffix(']')) {
+            doc.tables.push(TomlTable {
+                path: split_dotted(header, origin, lineno)?,
+                entries: Vec::new(),
+            });
+        } else if let Some(eq) = find_unquoted(line, '=') {
+            let key = unquote_key(line[..eq].trim(), origin, lineno)?;
+            let mut value_text = line[eq + 1..].trim().to_string();
+            // Multi-line array: keep consuming lines until brackets balance.
+            while array_open(&value_text) {
+                match lines.next() {
+                    Some((_, next)) => {
+                        value_text.push(' ');
+                        value_text.push_str(strip_comment(next).trim());
+                    }
+                    None => {
+                        return Err(ConfigError::new(format!(
+                            "{origin}:{lineno}: unterminated array for key `{key}`"
+                        )))
+                    }
+                }
+            }
+            let value = parse_value(value_text.trim(), origin, lineno)?;
+            doc.tables
+                .last_mut()
+                .expect("root table always present")
+                .entries
+                .push((key, value));
+        } else {
+            return Err(ConfigError::new(format!(
+                "{origin}:{lineno}: expected `[table]`, `[[table]]` or `key = value`, found `{line}`"
+            )));
+        }
+    }
+    Ok(doc)
+}
+
+/// Strips a trailing `#` comment that is not inside a quoted string.
+fn strip_comment(line: &str) -> &str {
+    match find_unquoted(line, '#') {
+        Some(pos) => &line[..pos],
+        None => line,
+    }
+}
+
+/// Finds `needle` outside of basic/literal strings.
+fn find_unquoted(line: &str, needle: char) -> Option<usize> {
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for (i, c) in line.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escaped = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            c if c == needle && !in_basic && !in_literal => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Whether an array value still has unbalanced brackets (outside strings).
+fn array_open(text: &str) -> bool {
+    if !text.starts_with('[') {
+        return false;
+    }
+    let mut depth = 0i32;
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_basic => escaped = true,
+            '"' if !in_literal => in_basic = !in_basic,
+            '\'' if !in_basic => in_literal = !in_literal,
+            '[' if !in_basic && !in_literal => depth += 1,
+            ']' if !in_basic && !in_literal => depth -= 1,
+            _ => {}
+        }
+    }
+    depth > 0
+}
+
+fn split_dotted(header: &str, origin: &str, lineno: usize) -> Result<Vec<String>, ConfigError> {
+    header
+        .split('.')
+        .map(|part| unquote_key(part.trim(), origin, lineno))
+        .collect()
+}
+
+fn unquote_key(key: &str, origin: &str, lineno: usize) -> Result<String, ConfigError> {
+    if key.is_empty() {
+        return Err(ConfigError::new(format!("{origin}:{lineno}: empty key")));
+    }
+    if let Some(inner) = key
+        .strip_prefix('"')
+        .and_then(|k| k.strip_suffix('"'))
+        .or_else(|| key.strip_prefix('\'').and_then(|k| k.strip_suffix('\'')))
+    {
+        return Ok(inner.to_string());
+    }
+    if key
+        .chars()
+        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    {
+        Ok(key.to_string())
+    } else {
+        Err(ConfigError::new(format!(
+            "{origin}:{lineno}: unsupported key `{key}`"
+        )))
+    }
+}
+
+fn parse_value(text: &str, origin: &str, lineno: usize) -> Result<TomlValue, ConfigError> {
+    if text.starts_with('[') {
+        let inner = text
+            .strip_prefix('[')
+            .and_then(|t| t.strip_suffix(']'))
+            .ok_or_else(|| {
+                ConfigError::new(format!("{origin}:{lineno}: malformed array `{text}`"))
+            })?;
+        let mut items = Vec::new();
+        for piece in split_top_level(inner) {
+            let piece = piece.trim();
+            if !piece.is_empty() {
+                items.push(parse_value(piece, origin, lineno)?);
+            }
+        }
+        return Ok(TomlValue::List(items));
+    }
+    if let Some(inner) = text.strip_prefix('"').and_then(|t| t.strip_suffix('"')) {
+        return Ok(TomlValue::Str(unescape(inner)));
+    }
+    if let Some(inner) = text.strip_prefix('\'').and_then(|t| t.strip_suffix('\'')) {
+        return Ok(TomlValue::Str(inner.to_string()));
+    }
+    match text {
+        "true" => return Ok(TomlValue::Bool(true)),
+        "false" => return Ok(TomlValue::Bool(false)),
+        _ => {}
+    }
+    let cleaned: String = text.chars().filter(|&c| c != '_').collect();
+    cleaned.parse::<i64>().map(TomlValue::Int).map_err(|_| {
+        ConfigError::new(format!(
+            "{origin}:{lineno}: unsupported value `{text}` (expected string, \
+             integer, boolean or array)"
+        ))
+    })
+}
+
+/// Splits an array body on commas that sit outside strings and brackets.
+fn split_top_level(text: &str) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut current = String::new();
+    let mut in_basic = false;
+    let mut in_literal = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if escaped {
+            escaped = false;
+            current.push(c);
+            continue;
+        }
+        match c {
+            '\\' if in_basic => {
+                escaped = true;
+                current.push(c);
+            }
+            '"' if !in_literal => {
+                in_basic = !in_basic;
+                current.push(c);
+            }
+            '\'' if !in_basic => {
+                in_literal = !in_literal;
+                current.push(c);
+            }
+            ',' if !in_basic && !in_literal => {
+                parts.push(std::mem::take(&mut current));
+            }
+            _ => current.push(c),
+        }
+    }
+    if !current.trim().is_empty() {
+        parts.push(current);
+    }
+    parts
+}
+
+fn unescape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('\\') => out.push('\\'),
+            Some('"') => out.push('"'),
+            Some(other) => {
+                out.push('\\');
+                out.push(other);
+            }
+            None => out.push('\\'),
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Typed configuration
+// ---------------------------------------------------------------------------
+
+/// One region where allocation-shaped calls are forbidden.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotPath {
+    /// Workspace-relative file path (forward slashes).
+    pub path: String,
+    /// Functions within the file that are hot; empty means the whole file.
+    pub functions: Vec<String>,
+}
+
+/// Which kind of item a domain fingerprints.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SymbolKind {
+    /// Named fields of a struct.
+    Struct,
+    /// Variants of an enum.
+    Enum,
+}
+
+/// One versioned hash/wire domain watched by the `domain-drift` rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DomainSpec {
+    /// Manifest key, e.g. `scenario-hash`.
+    pub name: String,
+    /// Struct or enum.
+    pub kind: SymbolKind,
+    /// File declaring the symbol (workspace-relative).
+    pub file: String,
+    /// The struct/enum name.
+    pub symbol: String,
+    /// Version constants guarding the domain, each as `<file>::<CONST>`.
+    pub version: Vec<(String, String)>,
+}
+
+/// The linter's full configuration, loaded from `lint.toml`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintConfig {
+    /// Directory roots (workspace-relative) scanned for `.rs` files.
+    pub include: Vec<String>,
+    /// Workspace-relative path prefixes excluded from the scan.
+    pub exclude: Vec<String>,
+    /// Baseline file path (workspace-relative).
+    pub baseline: String,
+    /// `no-alloc` hot regions.
+    pub hot_paths: Vec<HotPath>,
+    /// `determinism` path prefixes (semantic code).
+    pub determinism_paths: Vec<String>,
+    /// Path fragments identifying binary targets for `exit-code`.
+    pub exit_bins: Vec<String>,
+    /// Allowed `process::exit` arguments in binaries (literals or consts).
+    pub exit_allowed: Vec<String>,
+    /// Domain manifest path (workspace-relative).
+    pub manifest: String,
+    /// Watched domains.
+    pub domains: Vec<DomainSpec>,
+}
+
+impl LintConfig {
+    /// Loads and validates `lint.toml` from `path`.
+    pub fn load(path: &Path) -> Result<Self, ConfigError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ConfigError::new(format!("cannot read {}: {e}", path.display())))?;
+        Self::from_str(&text, &path.display().to_string())
+    }
+
+    /// Parses a config from text; `origin` names the source in errors.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_str(text: &str, origin: &str) -> Result<Self, ConfigError> {
+        let doc = parse_toml(text, origin)?;
+        let files = doc.table(&["files"]);
+        let include = match files {
+            Some(t) => t.str_list("include", "[files]")?,
+            None => Vec::new(),
+        };
+        let include = if include.is_empty() {
+            vec!["crates".to_string()]
+        } else {
+            include
+        };
+        let exclude = files
+            .map(|t| t.str_list("exclude", "[files]"))
+            .transpose()?
+            .unwrap_or_default();
+        let baseline = match doc.table(&["baseline"]) {
+            Some(t) => t.str_entry("path", "[baseline]")?,
+            None => "lint.baseline".to_string(),
+        };
+        let mut hot_paths = Vec::new();
+        for table in doc.tables_at(&["no_alloc", "hot"]) {
+            hot_paths.push(HotPath {
+                path: table.str_entry("path", "[[no_alloc.hot]]")?,
+                functions: table.str_list("functions", "[[no_alloc.hot]]")?,
+            });
+        }
+        let determinism_paths = match doc.table(&["determinism"]) {
+            Some(t) => t.str_list("paths", "[determinism]")?,
+            None => Vec::new(),
+        };
+        let (exit_bins, exit_allowed) = match doc.table(&["exit_code"]) {
+            Some(t) => (
+                t.str_list("bins", "[exit_code]")?,
+                t.str_list("allowed", "[exit_code]")?,
+            ),
+            None => (Vec::new(), Vec::new()),
+        };
+        let exit_bins = if exit_bins.is_empty() {
+            vec!["src/bin/".to_string(), "src/main.rs".to_string()]
+        } else {
+            exit_bins
+        };
+        let exit_allowed = if exit_allowed.is_empty() {
+            vec!["1".to_string(), "2".to_string()]
+        } else {
+            exit_allowed
+        };
+        let manifest = match doc.table(&["domain_drift"]) {
+            Some(t) => t.str_entry("manifest", "[domain_drift]")?,
+            None => "crates/lint/domains.toml".to_string(),
+        };
+        let mut domains = Vec::new();
+        for table in doc.tables_at(&["domain_drift", "domain"]) {
+            let ctx = "[[domain_drift.domain]]";
+            let kind = match table.str_entry("kind", ctx)?.as_str() {
+                "struct" => SymbolKind::Struct,
+                "enum" => SymbolKind::Enum,
+                other => {
+                    return Err(ConfigError::new(format!(
+                        "{ctx}: kind must be `struct` or `enum`, found `{other}`"
+                    )))
+                }
+            };
+            let mut version = Vec::new();
+            for entry in table.str_list("version", ctx)? {
+                let (file, constant) = entry.rsplit_once("::").ok_or_else(|| {
+                    ConfigError::new(format!(
+                        "{ctx}: version entry `{entry}` must look like `path/to/file.rs::CONST`"
+                    ))
+                })?;
+                version.push((file.to_string(), constant.to_string()));
+            }
+            if version.is_empty() {
+                return Err(ConfigError::new(format!(
+                    "{ctx}: at least one `version` constant is required"
+                )));
+            }
+            domains.push(DomainSpec {
+                name: table.str_entry("name", ctx)?,
+                kind,
+                file: table.str_entry("file", ctx)?,
+                symbol: table.str_entry("symbol", ctx)?,
+                version,
+            });
+        }
+        let mut seen = BTreeMap::new();
+        for d in &domains {
+            if seen.insert(d.name.clone(), ()).is_some() {
+                return Err(ConfigError::new(format!(
+                    "[[domain_drift.domain]]: duplicate domain name `{}`",
+                    d.name
+                )));
+            }
+        }
+        Ok(LintConfig {
+            include,
+            exclude,
+            baseline,
+            hot_paths,
+            determinism_paths,
+            exit_bins,
+            exit_allowed,
+            manifest,
+            domains,
+        })
+    }
+
+    /// Resolves a workspace-relative config path against the scan root.
+    pub fn resolve(&self, root: &Path, relative: &str) -> PathBuf {
+        root.join(relative)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_tables_arrays_and_scalars() {
+        let doc = parse_toml(
+            "top = 1\n[files]\ninclude = [\"a\", \"b\"]\n# comment\n[[hot]]\npath = 'x.rs'\nflag = true\n[[hot]]\npath = \"y.rs\"\n",
+            "test",
+        )
+        .unwrap();
+        assert_eq!(doc.tables[0].get("top"), Some(&TomlValue::Int(1)));
+        let files = doc.table(&["files"]).unwrap();
+        assert_eq!(
+            files.str_list("include", "t").unwrap(),
+            vec!["a".to_string(), "b".to_string()]
+        );
+        let hots: Vec<_> = doc.tables_at(&["hot"]).collect();
+        assert_eq!(hots.len(), 2);
+        assert_eq!(hots[0].get("flag"), Some(&TomlValue::Bool(true)));
+    }
+
+    #[test]
+    fn multi_line_arrays() {
+        let doc = parse_toml(
+            "[t]\nitems = [\n  \"one\", # trailing comment\n  \"two\",\n]\n",
+            "test",
+        )
+        .unwrap();
+        assert_eq!(
+            doc.table(&["t"]).unwrap().str_list("items", "t").unwrap(),
+            vec!["one".to_string(), "two".to_string()]
+        );
+    }
+
+    #[test]
+    fn comments_inside_strings_survive() {
+        let doc = parse_toml("k = \"has # inside\"\n", "test").unwrap();
+        assert_eq!(
+            doc.tables[0].get("k"),
+            Some(&TomlValue::Str("has # inside".into()))
+        );
+    }
+
+    #[test]
+    fn malformed_lines_error_with_location() {
+        let err = parse_toml("what is this\n", "cfg.toml").unwrap_err();
+        assert!(err.message.contains("cfg.toml:1"), "{}", err.message);
+    }
+
+    #[test]
+    fn full_config_round_trip() {
+        let cfg = LintConfig::from_str(
+            r#"
+[files]
+include = ["crates"]
+exclude = ["crates/lint/tests/fixtures"]
+
+[baseline]
+path = "lint.baseline"
+
+[[no_alloc.hot]]
+path = "crates/x/src/hot.rs"
+functions = ["step"]
+
+[determinism]
+paths = ["crates/x/src/sem"]
+
+[exit_code]
+bins = ["bin/"]
+allowed = ["1", "2", "EXIT_USAGE"]
+
+[domain_drift]
+manifest = "domains.toml"
+
+[[domain_drift.domain]]
+name = "demo"
+kind = "struct"
+file = "crates/x/src/spec.rs"
+symbol = "Spec"
+version = ["crates/x/src/spec.rs::VERSION"]
+"#,
+            "test",
+        )
+        .unwrap();
+        assert_eq!(cfg.hot_paths.len(), 1);
+        assert_eq!(cfg.domains[0].version[0].1, "VERSION");
+        assert_eq!(cfg.exit_allowed.len(), 3);
+    }
+
+    #[test]
+    fn domain_requires_version() {
+        let err = LintConfig::from_str(
+            "[[domain_drift.domain]]\nname = \"d\"\nkind = \"enum\"\nfile = \"f.rs\"\nsymbol = \"E\"\n",
+            "test",
+        )
+        .unwrap_err();
+        assert!(err.message.contains("version"), "{}", err.message);
+    }
+}

@@ -1,0 +1,106 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use std::fmt;
+
+/// One finding, pointing at a `file:line:col` with a rule id.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Diagnostic {
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Rule id, e.g. `no-alloc`.
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Line-number-free identity used by the baseline: findings with the
+    /// same key are interchangeable occurrences of the same problem, so
+    /// pure motion within a file never churns the baseline.
+    pub key: String,
+}
+
+impl Diagnostic {
+    /// Builds a finding; `key_detail` is the stable, line-free description
+    /// folded into the baseline key.
+    pub fn new(
+        rule: &'static str,
+        file: &str,
+        line: u32,
+        col: u32,
+        message: impl Into<String>,
+        key_detail: impl AsRef<str>,
+    ) -> Self {
+        Diagnostic {
+            file: file.to_string(),
+            line,
+            col,
+            rule,
+            message: message.into(),
+            key: format!("{rule} {file} {}", key_detail.as_ref()),
+        }
+    }
+
+    /// Renders the finding as JSON (hand-rolled; the crate is std-only).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"rule\":{},\"file\":{},\"line\":{},\"col\":{},\"message\":{},\"key\":{}}}",
+            json_str(self.rule),
+            json_str(&self.file),
+            self.line,
+            self.col,
+            json_str(&self.message),
+            json_str(&self.key),
+        )
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}:{}: {}: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+/// Escapes a string for JSON output.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_json_forms() {
+        let d = Diagnostic::new("no-alloc", "src/a.rs", 3, 7, "call `vec!`", "vec! in `hot`");
+        assert_eq!(d.to_string(), "src/a.rs:3:7: no-alloc: call `vec!`");
+        assert_eq!(d.key, "no-alloc src/a.rs vec! in `hot`");
+        let json = d.to_json();
+        assert!(json.contains("\"rule\":\"no-alloc\""), "{json}");
+        assert!(json.contains("\"line\":3"), "{json}");
+    }
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

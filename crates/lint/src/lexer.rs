@@ -1,0 +1,400 @@
+//! A lightweight Rust tokenizer, just precise enough for lint rules.
+//!
+//! The lexer does not build an AST; it classifies the byte stream into
+//! idents, punctuation, literals and trivia so that rules matching on token
+//! *shapes* (`Vec :: new`, `. clone (`, `unsafe`) can never be fooled by the
+//! same text appearing inside a string literal, a raw string, a char
+//! literal, or a comment — the classic failure mode of grep-based linting.
+//!
+//! Everything the grammar needs for that guarantee is implemented: nested
+//! block comments, escapes in strings and chars, raw strings with arbitrary
+//! `#` fences (including byte/C-string prefixes), raw identifiers
+//! (`r#match`), and the lifetime-versus-char-literal ambiguity. Numeric
+//! literals are tokenized coarsely (the rules only ever inspect small
+//! integer arguments), and multi-character punctuation is collapsed only for
+//! `::`, the one compound the rules distinguish.
+
+/// Classification of one token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unsafe`, `Vec`, `r#match`).
+    Ident,
+    /// Punctuation; every token is one char except the compound `::`.
+    Punct,
+    /// Numeric literal (coarse: `0x1F`, `1_000`, `2.5`; exponent signs lex
+    /// as separate punctuation, which no rule cares about).
+    Number,
+    /// String-ish literal: `"…"`, `r#"…"#`, `b"…"`, `c"…"`, `'x'`, `b'x'`.
+    Literal,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// `// …` comment, including doc comments (`///`, `//!`).
+    LineComment,
+    /// `/* … */` comment, nesting-aware, including doc forms.
+    BlockComment,
+}
+
+/// One token: classification plus location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based line of the first byte.
+    pub line: u32,
+    /// 1-based byte column of the first byte within its line.
+    pub col: u32,
+}
+
+impl Token {
+    /// The token's text within the source it was lexed from.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+
+    /// Whether the token is a comment of either form.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+}
+
+/// Tokenizes `src`. Never panics: malformed input (unterminated strings or
+/// comments) produces a final token running to end-of-file.
+pub fn tokenize(src: &str) -> Vec<Token> {
+    Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+        tokens: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> u8 {
+        self.src.get(self.pos + ahead).copied().unwrap_or(0)
+    }
+
+    /// Advances one byte, maintaining the line/column counters.
+    fn bump(&mut self) {
+        if self.peek(0) == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32, col: u32) {
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+            col,
+        });
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.src.len() {
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let b = self.peek(0);
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == b'/' => {
+                    while self.pos < self.src.len() && self.peek(0) != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line, col);
+                }
+                b'/' if self.peek(1) == b'*' => {
+                    self.bump_n(2);
+                    let mut depth = 1usize;
+                    while self.pos < self.src.len() && depth > 0 {
+                        if self.peek(0) == b'/' && self.peek(1) == b'*' {
+                            depth += 1;
+                            self.bump_n(2);
+                        } else if self.peek(0) == b'*' && self.peek(1) == b'/' {
+                            depth -= 1;
+                            self.bump_n(2);
+                        } else {
+                            self.bump();
+                        }
+                    }
+                    self.push(TokenKind::BlockComment, start, line, col);
+                }
+                b'"' => {
+                    self.lex_string();
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                b'\'' => self.lex_quote(start, line, col),
+                b'r' | b'b' | b'c' if self.string_prefix().is_some() => {
+                    let (skip, hashes, raw) = self.string_prefix().expect("guard");
+                    self.bump_n(skip);
+                    if raw {
+                        self.lex_raw_string(hashes);
+                    } else if self.peek(0) == b'\'' {
+                        // b'x' byte char: lex_quote with a forced char form.
+                        self.bump(); // the quote
+                        self.lex_char_body();
+                    } else {
+                        self.lex_string();
+                    }
+                    self.push(TokenKind::Literal, start, line, col);
+                }
+                _ if is_ident_start(b) => {
+                    // Raw identifier r#ident (the r#" raw-string case was
+                    // handled by the arm above).
+                    if b == b'r' && self.peek(1) == b'#' && is_ident_start(self.peek(2)) {
+                        self.bump_n(2);
+                    }
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    self.push(TokenKind::Ident, start, line, col);
+                }
+                _ if b.is_ascii_digit() => {
+                    while is_ident_continue(self.peek(0)) {
+                        self.bump();
+                    }
+                    // One fractional part, but never a `..` range operator.
+                    if self.peek(0) == b'.' && self.peek(1).is_ascii_digit() {
+                        self.bump();
+                        while is_ident_continue(self.peek(0)) {
+                            self.bump();
+                        }
+                    }
+                    self.push(TokenKind::Number, start, line, col);
+                }
+                b':' if self.peek(1) == b':' => {
+                    self.bump_n(2);
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line, col);
+                }
+            }
+        }
+        self.tokens
+    }
+
+    /// Detects a string-ish prefix at the cursor: returns
+    /// `(bytes_to_skip_to_quote, raw_hashes, is_raw)`.
+    fn string_prefix(&self) -> Option<(usize, usize, bool)> {
+        let b0 = self.peek(0);
+        // br" / br#" (rb is not legal Rust; cr neither).
+        let (raw_at, quote_at) = match (b0, self.peek(1)) {
+            (b'r', _) => (0usize, 1usize),
+            (b'b' | b'c', b'r') => (1, 2),
+            (b'b', b'"') => return Some((1, 0, false)),
+            (b'b', b'\'') => return Some((1, 0, false)),
+            (b'c', b'"') => return Some((1, 0, false)),
+            _ => return None,
+        };
+        // After the `r`: count `#` fence, then require `"`.
+        let mut hashes = 0usize;
+        let mut at = raw_at + 1;
+        while self.peek(at) == b'#' {
+            hashes += 1;
+            at += 1;
+        }
+        if self.peek(at) == b'"' {
+            let _ = quote_at;
+            Some((at + 1, hashes, true))
+        } else {
+            None
+        }
+    }
+
+    /// Consumes a `"…"` body starting at the opening quote.
+    fn lex_string(&mut self) {
+        self.bump(); // opening quote
+        while self.pos < self.src.len() {
+            match self.peek(0) {
+                b'\\' => self.bump_n(2),
+                b'"' => {
+                    self.bump();
+                    return;
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// Consumes a raw-string body; the opening fence (`r##"`) has already
+    /// been consumed and `hashes` counts its `#`s.
+    fn lex_raw_string(&mut self, hashes: usize) {
+        while self.pos < self.src.len() {
+            if self.peek(0) == b'"' {
+                let mut matched = 0;
+                while matched < hashes && self.peek(1 + matched) == b'#' {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.bump_n(1 + hashes);
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// Consumes the remainder of a char literal after its opening `'`.
+    fn lex_char_body(&mut self) {
+        if self.peek(0) == b'\\' {
+            self.bump_n(2);
+        } else {
+            self.bump();
+        }
+        if self.peek(0) == b'\'' {
+            self.bump();
+        }
+    }
+
+    /// Disambiguates `'a'` (char) from `'a` (lifetime) at an opening `'`.
+    fn lex_quote(&mut self, start: usize, line: u32, col: u32) {
+        // 'x… where x continues as an identifier and is NOT closed by a
+        // quote is a lifetime; everything else is a char literal.
+        if is_ident_start(self.peek(1)) && self.peek(2) != b'\'' {
+            self.bump(); // '
+            while is_ident_continue(self.peek(0)) {
+                self.bump();
+            }
+            self.push(TokenKind::Lifetime, start, line, col);
+        } else {
+            self.bump(); // '
+            self.lex_char_body();
+            self.push(TokenKind::Literal, start, line, col);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        tokenize(src)
+            .iter()
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_paths() {
+        let toks = kinds("Vec::new()");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "Vec".into()),
+                (TokenKind::Punct, "::".into()),
+                (TokenKind::Ident, "new".into()),
+                (TokenKind::Punct, "(".into()),
+                (TokenKind::Punct, ")".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "Vec::new() // not a comment";"#);
+        assert!(toks
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || (t != "Vec" && t != "new")));
+        assert!(toks.iter().any(|(k, _)| *k == TokenKind::Literal));
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let src = r####"let s = r##"quote " and "# inside"## ; done"####;
+        let toks = kinds(src);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Literal && t.starts_with("r##")));
+        assert_eq!(toks.last().unwrap().1, "done");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        for src in ["b\"bytes\" x", "c\"cstr\" x", "br#\"raw\"# x", "b'q' x"] {
+            let toks = kinds(src);
+            assert_eq!(toks[0].0, TokenKind::Literal, "{src}");
+            assert_eq!(toks[1], (TokenKind::Ident, "x".into()), "{src}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let toks = kinds("r#match x");
+        assert_eq!(toks[0], (TokenKind::Ident, "r#match".into()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("&'a str; 'x'; '\\n'; 'static");
+        assert_eq!(toks[1], (TokenKind::Lifetime, "'a".into()));
+        assert!(toks.contains(&(TokenKind::Literal, "'x'".into())));
+        assert!(toks.contains(&(TokenKind::Literal, "'\\n'".into())));
+        assert_eq!(
+            toks.last().unwrap(),
+            &(TokenKind::Lifetime, "'static".into())
+        );
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("/* outer /* inner */ still */ after");
+        assert_eq!(toks[0].0, TokenKind::BlockComment);
+        assert_eq!(toks[1], (TokenKind::Ident, "after".into()));
+    }
+
+    #[test]
+    fn line_and_column_tracking() {
+        let src = "a\n  bb\n";
+        let toks = tokenize(src);
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges() {
+        let toks = kinds("0..10");
+        assert_eq!(toks[0], (TokenKind::Number, "0".into()));
+        assert_eq!(toks[3], (TokenKind::Number, "10".into()));
+    }
+
+    #[test]
+    fn unterminated_input_never_panics() {
+        for src in ["\"open", "/* open", "r#\"open", "'"] {
+            let _ = tokenize(src);
+        }
+    }
+}

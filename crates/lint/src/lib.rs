@@ -1,0 +1,26 @@
+//! `tbp-lint` — the workspace's own static-analysis pass.
+//!
+//! Nine PRs in, this repo's correctness story rests on a handful of
+//! invariants that ordinary tests check only *where a test happens to
+//! look*: the hot simulation loop allocates nothing per step, semantic code
+//! paths are byte-deterministic, every `unsafe` block argues its soundness,
+//! versioned domains (scenario hash, sweep wire protocol, trace format)
+//! never change shape without a version bump, and binaries speak the CLI
+//! exit-code contract. `tbp-lint` checks the *code shapes* behind those
+//! invariants across the whole workspace, before anything runs.
+//!
+//! The crate is deliberately std-only and dependency-free: the linter must
+//! never be the component that fails to build. It carries its own
+//! comment/string-aware Rust [`lexer`], a TOML-subset [`config`] parser, a
+//! committed findings [`baseline`] (which fails CI on growth *and* on stale
+//! entries), inline suppression directives with mandatory justifications
+//! ([`source`]), and five [`rules`]. The `tbp_lint` binary wires it all to
+//! the command line; see `docs/LINTING.md` for the user-facing catalog.
+
+pub mod baseline;
+pub mod config;
+pub mod diag;
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+pub mod source;

@@ -1,0 +1,132 @@
+//! `determinism`: no nondeterminism sources in semantic code paths.
+//!
+//! Byte-identical output across execution paths (lanes, shards, the
+//! distributed sweep) is the repo's headline invariant: every differential
+//! test (`lane_equivalence`, shard merge, sweep chaos) compares runs
+//! byte-for-byte. The classic ways to lose it silently are iteration over a
+//! randomized-order container (`HashMap`/`HashSet`), wall-clock reads
+//! (`Instant::now`, `SystemTime::now`) feeding values that end up in
+//! reports, and thread identity. This rule forbids those shapes outright in
+//! the configured *semantic* paths — code whose output is cached, hashed,
+//! or shipped over the wire. Use `BTreeMap`/`BTreeSet` (deterministic
+//! order) or keep time/thread identity in the observability layers, which
+//! are deliberately outside the semantic path list.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "determinism";
+
+/// Container types whose iteration order is randomized.
+const ORDERLESS: [&str; 2] = ["HashMap", "HashSet"];
+
+/// `Type::method` calls reading ambient nondeterministic state.
+const AMBIENT_CALLS: [(&str, &str); 3] = [
+    ("Instant", "now"),
+    ("SystemTime", "now"),
+    ("thread", "current"),
+];
+
+/// Whether a file is inside one of the configured semantic paths.
+fn is_semantic(rel_path: &str, config: &LintConfig) -> bool {
+    config.determinism_paths.iter().any(|p| {
+        let p = p.trim_end_matches('/');
+        rel_path == p || rel_path.starts_with(&format!("{p}/"))
+    })
+}
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if !is_semantic(&file.rel_path, config) {
+        return;
+    }
+    for i in 0..file.code.len() {
+        let Some(text) = file.code_text(i) else {
+            continue;
+        };
+        let hit: Option<String> = if ORDERLESS.contains(&text) {
+            Some(format!(
+                "`{text}` (iteration order is randomized; use BTreeMap/BTreeSet \
+                 in semantic paths)"
+            ))
+        } else if file.code_text(i + 1) == Some("::")
+            && AMBIENT_CALLS
+                .iter()
+                .any(|&(ty, m)| ty == text && file.code_text(i + 2) == Some(m))
+        {
+            Some(format!(
+                "`{text}::{}` (ambient nondeterminism in a semantic path)",
+                file.code_text(i + 2).unwrap_or_default()
+            ))
+        } else {
+            None
+        };
+        if let Some(what) = hit {
+            let tok = file.code_tok(i).expect("index in range");
+            out.push(Diagnostic::new(
+                RULE,
+                &file.rel_path,
+                tok.line,
+                tok.col,
+                format!(
+                    "{what}; semantic paths must be byte-deterministic \
+                     (see docs/LINTING.md#determinism)"
+                ),
+                what.split(' ').next().unwrap_or(&what),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let mut cfg = LintConfig::from_str("", "test").unwrap();
+        cfg.determinism_paths = vec!["src/semantic".to_string(), "src/one_file.rs".to_string()];
+        let file = SourceFile::new(rel.to_string(), src.to_string());
+        let mut out = Vec::new();
+        check(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn flags_orderless_containers_and_clock_reads() {
+        let src = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); let m: HashMap<u32, u32> = HashMap::new(); }\n";
+        let hits = run("src/semantic/order.rs", src);
+        assert_eq!(hits.len(), 4, "{hits:?}"); // use + Instant::now + type + ctor
+    }
+
+    #[test]
+    fn thread_identity_is_flagged() {
+        let hits = run(
+            "src/semantic/t.rs",
+            "fn f() { let id = thread::current().id(); }\n",
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn non_semantic_paths_are_free() {
+        let src = "fn f() { let t = Instant::now(); }\n";
+        assert!(run("src/other/obs.rs", src).is_empty());
+    }
+
+    #[test]
+    fn single_file_paths_match_exactly() {
+        assert_eq!(
+            run("src/one_file.rs", "fn f() { SystemTime::now(); }\n").len(),
+            1
+        );
+        assert!(run("src/one_file_extra.rs", "fn f() { SystemTime::now(); }\n").is_empty());
+    }
+
+    #[test]
+    fn comments_and_strings_never_fire() {
+        let src = "// HashMap and Instant::now\nfn f() { let s = \"HashMap\"; }\n";
+        assert!(run("src/semantic/c.rs", src).is_empty());
+    }
+}

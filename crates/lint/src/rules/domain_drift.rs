@@ -1,0 +1,677 @@
+//! `domain-drift`: versioned domains cannot change shape silently.
+//!
+//! Three artifacts in this repo are consumed outside the process that wrote
+//! them: scenario hashes (cached sweep results keyed by `HASH_DOMAIN`), the
+//! sweep wire protocol (`PROTOCOL_VERSION`), and the binary trace format
+//! (`MAGIC`). Each is guarded by a version constant that MUST be bumped when
+//! the underlying shape changes — otherwise old caches collide with new
+//! semantics, old workers parse new frames, old traces decode wrong.
+//!
+//! The rule fingerprints each domain's defining item (struct fields or enum
+//! variants, including payload shapes) plus its version constants, and
+//! compares against the committed manifest (`domains.toml`):
+//!
+//! * shape changed, version unchanged → **drift** — the real bug this rule
+//!   exists to catch; bump the version constant(s);
+//! * version changed (shape may or may not have) → **stale manifest** — the
+//!   bump was made; run `tbp_lint --update-manifest` to re-record;
+//! * domain missing from the manifest, or manifest entry with no config →
+//!   configuration errors, also fixed by `--update-manifest`.
+//!
+//! The fingerprint is deliberately over-strict: field order, types and
+//! variant payloads all participate. A reordering that would be hash- or
+//! wire-compatible still flags; re-recording the manifest is cheap, a silent
+//! incompatibility is not.
+
+use std::collections::BTreeMap;
+use std::path::Path;
+
+use crate::config::{ConfigError, DomainSpec, LintConfig, SymbolKind, TomlValue};
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "domain-drift";
+
+/// The current shape of one domain, as extracted from the workspace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fingerprint {
+    /// Domain name from the config.
+    pub name: String,
+    /// File declaring the symbol (workspace-relative).
+    pub file: String,
+    /// Line of the `struct`/`enum` keyword, for diagnostics.
+    pub line: u32,
+    /// One entry per version constant: `<file>::<CONST> = <value tokens>`.
+    pub version: Vec<String>,
+    /// Normalized field/variant shapes, in declaration order.
+    pub fields: Vec<String>,
+}
+
+/// One recorded domain from the committed manifest.
+#[derive(Debug, Clone, PartialEq)]
+struct ManifestEntry {
+    version: Vec<String>,
+    fields: Vec<String>,
+}
+
+/// Runs the rule once per scan: fingerprint every configured domain and
+/// compare against the manifest.
+pub fn check(root: &Path, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    if config.domains.is_empty() {
+        return;
+    }
+    let (fps, mut errs) = compute_fingerprints(root, config);
+    out.append(&mut errs);
+    let manifest_path = root.join(&config.manifest);
+    let text = match std::fs::read_to_string(&manifest_path) {
+        Ok(t) => t,
+        Err(_) => {
+            out.push(Diagnostic::new(
+                RULE,
+                &config.manifest,
+                1,
+                1,
+                format!(
+                    "domain manifest `{}` is missing; run `tbp_lint --update-manifest` \
+                     to record the current fingerprints",
+                    config.manifest
+                ),
+                "manifest missing",
+            ));
+            return;
+        }
+    };
+    let manifest = match parse_manifest(&text, &config.manifest) {
+        Ok(m) => m,
+        Err(e) => {
+            out.push(Diagnostic::new(
+                RULE,
+                &config.manifest,
+                1,
+                1,
+                format!("cannot parse domain manifest: {e}"),
+                "manifest unparsable",
+            ));
+            return;
+        }
+    };
+    for name in manifest.keys() {
+        if !config.domains.iter().any(|d| &d.name == name) {
+            out.push(Diagnostic::new(
+                RULE,
+                &config.manifest,
+                1,
+                1,
+                format!(
+                    "manifest records domain `{name}` that lint.toml does not \
+                     declare; run `tbp_lint --update-manifest`"
+                ),
+                format!("unknown domain `{name}` in manifest"),
+            ));
+        }
+    }
+    for fp in &fps {
+        match manifest.get(&fp.name) {
+            None => out.push(Diagnostic::new(
+                RULE,
+                &config.manifest,
+                1,
+                1,
+                format!(
+                    "domain `{}` is not recorded in the manifest; run \
+                     `tbp_lint --update-manifest`",
+                    fp.name
+                ),
+                format!("domain `{}` unrecorded", fp.name),
+            )),
+            Some(entry) => compare(fp, entry, out),
+        }
+    }
+}
+
+/// Compares one live fingerprint against its manifest record.
+fn compare(fp: &Fingerprint, entry: &ManifestEntry, out: &mut Vec<Diagnostic>) {
+    let version_same = fp.version == entry.version;
+    let fields_same = fp.fields == entry.fields;
+    if version_same && fields_same {
+        return;
+    }
+    if !version_same {
+        // The version constant moved; whether or not the shape also moved,
+        // the fix is the same — re-record the fingerprint.
+        out.push(Diagnostic::new(
+            RULE,
+            &fp.file,
+            fp.line,
+            1,
+            format!(
+                "version constant for domain `{}` changed ({}) but the manifest \
+                 still records the previous fingerprint; run `tbp_lint \
+                 --update-manifest` and commit the result",
+                fp.name,
+                fp.version.join("; "),
+            ),
+            format!("manifest stale for `{}`", fp.name),
+        ));
+        return;
+    }
+    // Shape drift with the version held still — the headline failure.
+    let added: Vec<&String> = fp
+        .fields
+        .iter()
+        .filter(|f| !entry.fields.contains(f))
+        .collect();
+    let removed: Vec<&String> = entry
+        .fields
+        .iter()
+        .filter(|f| !fp.fields.contains(f))
+        .collect();
+    let what = if added.is_empty() && removed.is_empty() {
+        "fields were reordered".to_string()
+    } else {
+        let mut parts = Vec::new();
+        if !added.is_empty() {
+            parts.push(format!(
+                "added: {}",
+                added
+                    .iter()
+                    .map(|f| format!("`{f}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        if !removed.is_empty() {
+            parts.push(format!(
+                "removed: {}",
+                removed
+                    .iter()
+                    .map(|f| format!("`{f}`"))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        parts.join("; ")
+    };
+    out.push(Diagnostic::new(
+        RULE,
+        &fp.file,
+        fp.line,
+        1,
+        format!(
+            "domain `{}` drifted without a version bump ({what}); bump {} and \
+             then run `tbp_lint --update-manifest`",
+            fp.name,
+            entry.version.join("; "),
+        ),
+        format!("drift in `{}`", fp.name),
+    ));
+}
+
+/// Fingerprints every configured domain, reading files from `root`.
+/// Extraction failures come back as diagnostics, not panics.
+pub fn compute_fingerprints(
+    root: &Path,
+    config: &LintConfig,
+) -> (Vec<Fingerprint>, Vec<Diagnostic>) {
+    let mut cache: BTreeMap<String, SourceFile> = BTreeMap::new();
+    let mut fps = Vec::new();
+    let mut errs = Vec::new();
+    for spec in &config.domains {
+        let mut needed: Vec<&str> = vec![spec.file.as_str()];
+        needed.extend(spec.version.iter().map(|(f, _)| f.as_str()));
+        let mut failed = false;
+        for rel in needed {
+            if cache.contains_key(rel) {
+                continue;
+            }
+            match std::fs::read_to_string(root.join(rel)) {
+                Ok(text) => {
+                    cache.insert(rel.to_string(), SourceFile::new(rel.to_string(), text));
+                }
+                Err(e) => {
+                    errs.push(Diagnostic::new(
+                        RULE,
+                        rel,
+                        1,
+                        1,
+                        format!("domain `{}`: cannot read `{rel}`: {e}", spec.name),
+                        format!("unreadable file for `{}`", spec.name),
+                    ));
+                    failed = true;
+                }
+            }
+        }
+        if failed {
+            continue;
+        }
+        match fingerprint_from_sources(spec, &cache) {
+            Ok(fp) => fps.push(fp),
+            Err(why) => errs.push(Diagnostic::new(
+                RULE,
+                &spec.file,
+                1,
+                1,
+                format!("domain `{}`: {why}", spec.name),
+                format!("unextractable domain `{}`", spec.name),
+            )),
+        }
+    }
+    (fps, errs)
+}
+
+/// Extracts one fingerprint from already-loaded sources.
+pub fn fingerprint_from_sources(
+    spec: &DomainSpec,
+    files: &BTreeMap<String, SourceFile>,
+) -> Result<Fingerprint, String> {
+    let file = files
+        .get(&spec.file)
+        .ok_or_else(|| format!("`{}` not loaded", spec.file))?;
+    let keyword = match spec.kind {
+        SymbolKind::Struct => "struct",
+        SymbolKind::Enum => "enum",
+    };
+    let at = find_item(file, keyword, &spec.symbol)
+        .ok_or_else(|| format!("`{keyword} {}` not found in `{}`", spec.symbol, spec.file))?;
+    let line = file.code_tok(at).expect("index in range").line;
+    let fields = extract_members(file, at, spec.kind)?;
+    let mut version = Vec::new();
+    for (rel, name) in &spec.version {
+        let vfile = files
+            .get(rel)
+            .ok_or_else(|| format!("`{rel}` not loaded"))?;
+        let value = extract_const(vfile, name)
+            .ok_or_else(|| format!("`const {name}` not found in `{rel}`"))?;
+        version.push(format!("{rel}::{name} = {value}"));
+    }
+    Ok(Fingerprint {
+        name: spec.name.clone(),
+        file: spec.file.clone(),
+        line,
+        version,
+        fields,
+    })
+}
+
+/// Finds the code index of `keyword` immediately followed by `symbol`.
+fn find_item(file: &SourceFile, keyword: &str, symbol: &str) -> Option<usize> {
+    (0..file.code.len())
+        .find(|&i| file.code_text(i) == Some(keyword) && file.code_text(i + 1) == Some(symbol))
+}
+
+/// Extracts normalized member shapes from the `{ … }` body after `at`.
+fn extract_members(file: &SourceFile, at: usize, kind: SymbolKind) -> Result<Vec<String>, String> {
+    let n = file.code.len();
+    let mut open = at + 2;
+    while open < n && file.code_text(open) != Some("{") {
+        open += 1;
+    }
+    if open >= n {
+        return Err("item has no `{ … }` body (tuple structs are not supported)".to_string());
+    }
+    // Collect code indices strictly inside the body, tracking brace depth for
+    // nested payloads (struct-variant enums).
+    let mut inner = Vec::new();
+    let mut depth = 1usize;
+    let mut j = open + 1;
+    while j < n {
+        match file.code_text(j) {
+            Some("{") => depth += 1,
+            Some("}") => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            _ => {}
+        }
+        inner.push(j);
+        j += 1;
+    }
+    if depth != 0 {
+        return Err("unbalanced braces in item body".to_string());
+    }
+    let mut members = Vec::new();
+    for segment in split_segments(file, &inner) {
+        if let Some(shape) = clean_segment(file, &segment, kind) {
+            members.push(shape);
+        }
+    }
+    if members.is_empty() {
+        return Err("item body declares no members".to_string());
+    }
+    Ok(members)
+}
+
+/// Splits body token indices on commas at nesting depth zero. Braces,
+/// parentheses, brackets and angle brackets all nest; `>` only closes an
+/// angle context that a `<` opened, so `->` in a field type is harmless.
+fn split_segments(file: &SourceFile, inner: &[usize]) -> Vec<Vec<usize>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let (mut brace, mut paren, mut bracket, mut angle) = (0i32, 0i32, 0i32, 0i32);
+    for &i in inner {
+        match file.code_text(i) {
+            Some("{") => brace += 1,
+            Some("}") => brace -= 1,
+            Some("(") => paren += 1,
+            Some(")") => paren -= 1,
+            Some("[") => bracket += 1,
+            Some("]") => bracket -= 1,
+            Some("<") => angle += 1,
+            Some(">") if angle > 0 => angle -= 1,
+            Some(",") if brace == 0 && paren == 0 && bracket == 0 && angle == 0 => {
+                segments.push(std::mem::take(&mut current));
+                continue;
+            }
+            _ => {}
+        }
+        current.push(i);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Normalizes one member segment: drop attributes and visibility, join the
+/// rest with single spaces. Returns `None` for empty segments (trailing
+/// commas).
+fn clean_segment(file: &SourceFile, toks: &[usize], kind: SymbolKind) -> Option<String> {
+    let mut i = 0;
+    while i < toks.len() {
+        match file.code_text(toks[i]) {
+            // `#[...]` attribute: skip to the matching `]`.
+            Some("#")
+                if file.code_text(toks.get(i + 1).copied().unwrap_or(usize::MAX)) == Some("[") =>
+            {
+                let mut depth = 0i32;
+                i += 1;
+                while i < toks.len() {
+                    match file.code_text(toks[i]) {
+                        Some("[") => depth += 1,
+                        Some("]") => {
+                            depth -= 1;
+                            if depth == 0 {
+                                i += 1;
+                                break;
+                            }
+                        }
+                        _ => {}
+                    }
+                    i += 1;
+                }
+            }
+            // Visibility is not part of the shape (structs only; an enum
+            // variant named `pub` cannot exist).
+            Some("pub") if kind == SymbolKind::Struct => {
+                i += 1;
+                if file.code_text(toks.get(i).copied().unwrap_or(usize::MAX)) == Some("(") {
+                    while i < toks.len() && file.code_text(toks[i]) != Some(")") {
+                        i += 1;
+                    }
+                    i += 1;
+                }
+            }
+            _ => break,
+        }
+    }
+    if i >= toks.len() {
+        return None;
+    }
+    let parts: Vec<&str> = toks[i..]
+        .iter()
+        .filter_map(|&t| file.code_text(t))
+        .collect();
+    Some(parts.join(" "))
+}
+
+/// Extracts the value tokens of `const NAME … = <value> ;`, joined with
+/// spaces (type annotation excluded — the value is what gets hashed/written).
+fn extract_const(file: &SourceFile, name: &str) -> Option<String> {
+    let n = file.code.len();
+    for i in 0..n {
+        if file.code_text(i) != Some("const") || file.code_text(i + 1) != Some(name) {
+            continue;
+        }
+        let mut j = i + 2;
+        while j < n && file.code_text(j) != Some("=") {
+            j += 1;
+        }
+        let mut value = Vec::new();
+        j += 1;
+        while j < n && file.code_text(j) != Some(";") {
+            value.push(file.code_text(j)?);
+            j += 1;
+        }
+        if value.is_empty() {
+            return None;
+        }
+        return Some(value.join(" "));
+    }
+    None
+}
+
+// ---------------------------------------------------------------------------
+// Manifest I/O
+// ---------------------------------------------------------------------------
+
+/// Renders the manifest for `--update-manifest`. Deterministic: domains are
+/// sorted by name, entries by declaration order.
+pub fn render_manifest(fps: &[Fingerprint]) -> String {
+    let mut sorted: Vec<&Fingerprint> = fps.iter().collect();
+    sorted.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut out = String::new();
+    out.push_str(
+        "# Domain fingerprint manifest — generated by `tbp_lint --update-manifest`.\n\
+         # Records the member shape and version constants of every versioned\n\
+         # domain; the `domain-drift` rule fails when a shape changes without a\n\
+         # version bump. Regenerate with `tbp_lint --update-manifest`; never edit\n\
+         # by hand.\n",
+    );
+    for fp in sorted {
+        out.push('\n');
+        out.push_str("[[domain]]\n");
+        out.push_str(&format!("name = \"{}\"\n", toml_escape(&fp.name)));
+        out.push_str("version = [\n");
+        for v in &fp.version {
+            out.push_str(&format!("  \"{}\",\n", toml_escape(v)));
+        }
+        out.push_str("]\n");
+        out.push_str("fields = [\n");
+        for f in &fp.fields {
+            out.push_str(&format!("  \"{}\",\n", toml_escape(f)));
+        }
+        out.push_str("]\n");
+    }
+    out
+}
+
+fn toml_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parses a manifest into name → entry.
+fn parse_manifest(
+    text: &str,
+    origin: &str,
+) -> Result<BTreeMap<String, ManifestEntry>, ConfigError> {
+    let doc = crate::config::parse_toml(text, origin)?;
+    let mut out = BTreeMap::new();
+    for table in doc.tables_at(&["domain"]) {
+        let ctx = "[[domain]]";
+        let name = table.str_entry("name", ctx)?;
+        let version = str_list_required(table.get("version"), "version", ctx)?;
+        let fields = str_list_required(table.get("fields"), "fields", ctx)?;
+        if out
+            .insert(name.clone(), ManifestEntry { version, fields })
+            .is_some()
+        {
+            return Err(ConfigError::new(format!(
+                "{origin}: duplicate manifest entry for `{name}`"
+            )));
+        }
+    }
+    Ok(out)
+}
+
+fn str_list_required(
+    value: Option<&TomlValue>,
+    key: &str,
+    ctx: &str,
+) -> Result<Vec<String>, ConfigError> {
+    match value {
+        Some(TomlValue::List(items)) => items
+            .iter()
+            .map(|v| {
+                v.as_str().map(str::to_string).ok_or_else(|| {
+                    ConfigError::new(format!("{ctx}: `{key}` entries must be strings"))
+                })
+            })
+            .collect(),
+        _ => Err(ConfigError::new(format!(
+            "{ctx}: missing or non-array `{key}`"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(kind: SymbolKind, symbol: &str) -> DomainSpec {
+        DomainSpec {
+            name: "demo".to_string(),
+            kind,
+            file: "item.rs".to_string(),
+            symbol: symbol.to_string(),
+            version: vec![("ver.rs".to_string(), "VERSION".to_string())],
+        }
+    }
+
+    fn sources(item: &str, ver: &str) -> BTreeMap<String, SourceFile> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "item.rs".to_string(),
+            SourceFile::new("item.rs".to_string(), item.to_string()),
+        );
+        m.insert(
+            "ver.rs".to_string(),
+            SourceFile::new("ver.rs".to_string(), ver.to_string()),
+        );
+        m
+    }
+
+    const VER: &str = "pub const VERSION: &str = \"v2\";\n";
+
+    #[test]
+    fn struct_fields_fingerprint() {
+        let files = sources(
+            "/// Doc.\npub struct Spec {\n    pub name: String,\n    #[allow(dead_code)]\n    pub map: BTreeMap<String, f64>,\n    pub(crate) hidden: u32,\n}\n",
+            VER,
+        );
+        let fp = fingerprint_from_sources(&spec(SymbolKind::Struct, "Spec"), &files).unwrap();
+        assert_eq!(
+            fp.fields,
+            vec![
+                "name : String",
+                "map : BTreeMap < String , f64 >",
+                "hidden : u32"
+            ]
+        );
+        assert_eq!(fp.version, vec!["ver.rs::VERSION = \"v2\""]);
+    }
+
+    #[test]
+    fn enum_variants_include_payload_shapes() {
+        let files = sources(
+            "pub enum Msg {\n    Hello { worker: String, proto: u32 },\n    Lease(u64),\n    Shutdown,\n}\n",
+            VER,
+        );
+        let fp = fingerprint_from_sources(&spec(SymbolKind::Enum, "Msg"), &files).unwrap();
+        assert_eq!(fp.fields.len(), 3);
+        assert!(fp.fields[0].contains("worker : String"));
+        assert_eq!(fp.fields[1], "Lease ( u64 )");
+        assert_eq!(fp.fields[2], "Shutdown");
+    }
+
+    #[test]
+    fn missing_symbol_is_an_error() {
+        let files = sources("pub struct Other { a: u32 }\n", VER);
+        let err = fingerprint_from_sources(&spec(SymbolKind::Struct, "Spec"), &files).unwrap_err();
+        assert!(err.contains("struct Spec"), "{err}");
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let fp = Fingerprint {
+            name: "demo".to_string(),
+            file: "item.rs".to_string(),
+            line: 2,
+            version: vec!["ver.rs::VERSION = \"v2\"".to_string()],
+            fields: vec!["name : String".to_string()],
+        };
+        let rendered = render_manifest(std::slice::from_ref(&fp));
+        let parsed = parse_manifest(&rendered, "test").unwrap();
+        let entry = parsed.get("demo").unwrap();
+        assert_eq!(entry.version, fp.version);
+        assert_eq!(entry.fields, fp.fields);
+    }
+
+    #[test]
+    fn drift_without_bump_is_flagged_and_bump_means_stale() {
+        let old = ManifestEntry {
+            version: vec!["ver.rs::VERSION = \"v2\"".to_string()],
+            fields: vec!["name : String".to_string()],
+        };
+        // Field added, version unchanged → drift.
+        let drifted = Fingerprint {
+            name: "demo".to_string(),
+            file: "item.rs".to_string(),
+            line: 2,
+            version: old.version.clone(),
+            fields: vec!["name : String".to_string(), "knob : u32".to_string()],
+        };
+        let mut out = Vec::new();
+        compare(&drifted, &old, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].message.contains("without a version bump"),
+            "{}",
+            out[0].message
+        );
+        assert!(out[0].message.contains("knob : u32"));
+        // Version bumped → stale manifest, a different message.
+        let bumped = Fingerprint {
+            version: vec!["ver.rs::VERSION = \"v3\"".to_string()],
+            ..drifted
+        };
+        let mut out = Vec::new();
+        compare(&bumped, &old, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(
+            out[0].message.contains("--update-manifest"),
+            "{}",
+            out[0].message
+        );
+    }
+
+    #[test]
+    fn in_sync_domain_is_quiet() {
+        let fp = Fingerprint {
+            name: "demo".to_string(),
+            file: "item.rs".to_string(),
+            line: 2,
+            version: vec!["v".to_string()],
+            fields: vec!["a : u32".to_string()],
+        };
+        let entry = ManifestEntry {
+            version: fp.version.clone(),
+            fields: fp.fields.clone(),
+        };
+        let mut out = Vec::new();
+        compare(&fp, &entry, &mut out);
+        assert!(out.is_empty());
+    }
+}

@@ -1,0 +1,128 @@
+//! `exit-code`: `process::exit` stays in binaries and speaks the contract.
+//!
+//! PR 9 fixed the CLI exit-code contract — usage errors exit 2, runtime
+//! failures exit 1, success returns from `main` — and pinned it with
+//! `cli_exit_codes.rs`. That test can only cover the paths it drives; this
+//! rule covers the rest statically: `process::exit` may appear only in
+//! files matching the configured binary patterns (`src/bin/`, `src/main.rs`
+//! by default), and only with an allowed argument (the literals `1`/`2` or
+//! a configured constant such as `EXIT_FAILURE`). Library code that wants
+//! to terminate must return an error up to the binary instead — or carry a
+//! baseline entry, which is exactly how the grandfathered `fail()` helpers
+//! in `tbp_bench` are handled.
+
+use crate::config::LintConfig;
+use crate::diag::Diagnostic;
+use crate::source::SourceFile;
+
+/// Rule id.
+pub const RULE: &str = "exit-code";
+
+/// Runs the rule over one file.
+pub fn check(file: &SourceFile, config: &LintConfig, out: &mut Vec<Diagnostic>) {
+    let is_bin = config
+        .exit_bins
+        .iter()
+        .any(|frag| file.rel_path.contains(frag.as_str()));
+    for n in 0..file.code.len() {
+        // Match `process :: exit` — `std::process::exit(..)` and
+        // `process::exit(..)` both end in this triple.
+        if file.code_text(n) != Some("process")
+            || file.code_text(n + 1) != Some("::")
+            || file.code_text(n + 2) != Some("exit")
+        {
+            continue;
+        }
+        let tok = *file.code_tok(n).expect("index in range");
+        if !is_bin {
+            out.push(Diagnostic::new(
+                RULE,
+                &file.rel_path,
+                tok.line,
+                tok.col,
+                "`process::exit` outside a binary: library code must return \
+                 errors to the caller, not terminate the process"
+                    .to_string(),
+                "process::exit outside a binary",
+            ));
+            continue;
+        }
+        // In a binary: the single argument must be an allowed literal or
+        // constant (`exit(1)`, `exit(EXIT_USAGE)`); anything else — `0`,
+        // arbitrary codes, computed values — breaks the CLI contract.
+        let arg_ok = file.code_text(n + 3) == Some("(")
+            && file
+                .code_text(n + 4)
+                .is_some_and(|arg| config.exit_allowed.iter().any(|a| a == arg))
+            && file.code_text(n + 5) == Some(")");
+        if !arg_ok {
+            let arg = file.code_text(n + 4).unwrap_or("<none>").to_string();
+            out.push(Diagnostic::new(
+                RULE,
+                &file.rel_path,
+                tok.line,
+                tok.col,
+                format!(
+                    "`process::exit({arg})` violates the CLI contract: allowed \
+                     arguments are {} (usage errors exit 2, runtime failures \
+                     exit 1, success returns from main)",
+                    config.exit_allowed.join(", ")
+                ),
+                format!("process::exit({arg}) in a binary"),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rel: &str, src: &str) -> Vec<Diagnostic> {
+        let mut cfg = LintConfig::from_str("", "test").unwrap();
+        cfg.exit_bins = vec!["src/bin/".to_string()];
+        cfg.exit_allowed = vec!["1".to_string(), "2".to_string(), "EXIT_FAILURE".to_string()];
+        let file = SourceFile::new(rel.to_string(), src.to_string());
+        let mut out = Vec::new();
+        check(&file, &cfg, &mut out);
+        out
+    }
+
+    #[test]
+    fn exit_in_library_is_flagged() {
+        let hits = run("src/lib.rs", "fn f() { std::process::exit(1); }\n");
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("outside a binary"));
+    }
+
+    #[test]
+    fn allowed_codes_in_bins_pass() {
+        let src = "fn main() { std::process::exit(1); process::exit(2); std::process::exit(EXIT_FAILURE); }\n";
+        assert!(run("src/bin/tool.rs", src).is_empty());
+    }
+
+    #[test]
+    fn zero_and_arbitrary_codes_in_bins_fail() {
+        let hits = run(
+            "src/bin/tool.rs",
+            "fn main() { std::process::exit(0); std::process::exit(42); std::process::exit(code); }\n",
+        );
+        assert_eq!(hits.len(), 3);
+        assert!(hits[0].message.contains("exit(0)"));
+    }
+
+    #[test]
+    fn computed_arguments_fail() {
+        let hits = run(
+            "src/bin/tool.rs",
+            "fn main() { std::process::exit(1 + 1); }\n",
+        );
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn mentions_in_strings_do_not_fire() {
+        let src = "fn f() { let s = \"process::exit(3)\"; }\n";
+        assert!(run("src/lib.rs", src).is_empty());
+    }
+}

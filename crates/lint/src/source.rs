@@ -1,0 +1,237 @@
+//! Per-file source model shared by all rules: tokens, per-line indexes, and
+//! inline suppression directives.
+
+use crate::diag::Diagnostic;
+use crate::lexer::{tokenize, Token};
+use crate::rules;
+
+/// Rule id used for findings about the suppression mechanism itself.
+pub const SUPPRESSION_RULE: &str = "suppression";
+
+/// One `// tbp-lint: allow(rule, …): justification` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Suppression {
+    /// Line the directive sits on; it covers this line and the next.
+    pub line: u32,
+    /// Rule ids it suppresses.
+    pub rules: Vec<String>,
+}
+
+/// Summary of what one line contains, for comment-proximity rules.
+#[derive(Debug, Clone, Default)]
+pub struct LineInfo {
+    /// Indices (into `tokens`) of comment tokens starting on this line.
+    pub comments: Vec<usize>,
+    /// Index of the first non-comment token starting on this line.
+    pub first_code: Option<usize>,
+}
+
+/// A lexed file plus the indexes rules need.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Workspace-relative path, forward slashes.
+    pub rel_path: String,
+    /// File content.
+    pub text: String,
+    /// All tokens.
+    pub tokens: Vec<Token>,
+    /// Indices of non-comment tokens, in order.
+    pub code: Vec<usize>,
+    /// Per-line info, indexed by 1-based line (entry 0 unused).
+    pub lines: Vec<LineInfo>,
+    /// Parsed suppression directives.
+    pub suppressions: Vec<Suppression>,
+    /// Findings produced while parsing directives (malformed syntax,
+    /// missing justification, unknown rule ids).
+    pub suppression_diags: Vec<Diagnostic>,
+}
+
+impl SourceFile {
+    /// Lexes `text` and builds all indexes.
+    pub fn new(rel_path: String, text: String) -> Self {
+        let tokens = tokenize(&text);
+        let last_line = tokens.last().map(|t| t.line).unwrap_or(1);
+        let mut lines = vec![LineInfo::default(); last_line as usize + 2];
+        let mut code = Vec::new();
+        for (i, tok) in tokens.iter().enumerate() {
+            let entry = &mut lines[tok.line as usize];
+            if tok.is_comment() {
+                entry.comments.push(i);
+            } else {
+                code.push(i);
+                if entry.first_code.is_none() {
+                    entry.first_code = Some(i);
+                }
+            }
+        }
+        let mut file = SourceFile {
+            rel_path,
+            text,
+            tokens,
+            code,
+            lines,
+            suppressions: Vec::new(),
+            suppression_diags: Vec::new(),
+        };
+        file.parse_suppressions();
+        file
+    }
+
+    /// The text of token `i`.
+    pub fn tok_text(&self, i: usize) -> &str {
+        self.tokens[i].text(&self.text)
+    }
+
+    /// The text of the `n`th code token, if it exists.
+    pub fn code_text(&self, n: usize) -> Option<&str> {
+        self.code.get(n).map(|&i| self.tok_text(i))
+    }
+
+    /// The token behind the `n`th code index.
+    pub fn code_tok(&self, n: usize) -> Option<&Token> {
+        self.code.get(n).map(|&i| &self.tokens[i])
+    }
+
+    /// Whether `diag` (already attributed to this file) is covered by a
+    /// suppression directive.
+    pub fn is_suppressed(&self, diag: &Diagnostic) -> bool {
+        diag.rule != SUPPRESSION_RULE
+            && self.suppressions.iter().any(|s| {
+                (diag.line == s.line || diag.line == s.line + 1)
+                    && s.rules.iter().any(|r| r == diag.rule)
+            })
+    }
+
+    /// Scans comments for `tbp-lint:` directives. Valid directives become
+    /// [`Suppression`]s; malformed ones become findings — an unjustified or
+    /// misspelled suppression must never silently turn the linter off.
+    fn parse_suppressions(&mut self) {
+        const MARKER: &str = "tbp-lint:";
+        let mut found = Vec::new();
+        let mut diags = Vec::new();
+        for tok in &self.tokens {
+            if !tok.is_comment() {
+                continue;
+            }
+            // A directive comment is `// tbp-lint: …` — the marker must open
+            // the comment content. Mid-sentence mentions (like the docs in
+            // this very file) are prose, not directives.
+            let text = tok.text(&self.text);
+            let content = text.trim_start_matches(['/', '*', '!']).trim_start();
+            let Some(directive) = content.strip_prefix(MARKER) else {
+                continue;
+            };
+            let directive = directive.trim();
+            let mut fail = |why: String| {
+                diags.push(Diagnostic::new(
+                    SUPPRESSION_RULE,
+                    &self.rel_path,
+                    tok.line,
+                    tok.col,
+                    why.clone(),
+                    why,
+                ));
+            };
+            let Some(rest) = directive.strip_prefix("allow(") else {
+                fail(format!(
+                    "malformed directive `{}` (expected `tbp-lint: allow(<rule>): <justification>`)",
+                    directive
+                ));
+                continue;
+            };
+            let Some((rule_list, tail)) = rest.split_once(')') else {
+                fail("unclosed rule list in suppression directive".to_string());
+                continue;
+            };
+            let rules_named: Vec<String> = rule_list
+                .split(',')
+                .map(|r| r.trim().to_string())
+                .filter(|r| !r.is_empty())
+                .collect();
+            if rules_named.is_empty() {
+                fail("suppression directive names no rules".to_string());
+                continue;
+            }
+            if let Some(unknown) = rules_named.iter().find(|r| !rules::is_known_rule(r)) {
+                fail(format!("suppression names unknown rule `{unknown}`"));
+                continue;
+            }
+            let justification = tail.trim().strip_prefix(':').map(str::trim).unwrap_or("");
+            if justification.is_empty() {
+                fail(format!(
+                    "suppression of `{}` lacks a justification (write \
+                     `tbp-lint: allow({}): <why this is safe>`)",
+                    rules_named.join(", "),
+                    rules_named.join(", "),
+                ));
+                continue;
+            }
+            found.push(Suppression {
+                line: tok.line,
+                rules: rules_named,
+            });
+        }
+        self.suppressions = found;
+        self.suppression_diags = diags;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("test.rs".to_string(), src.to_string())
+    }
+
+    #[test]
+    fn line_index_distinguishes_comments_from_code() {
+        let f = file("// c1\nlet x = 1; // trailing\n");
+        assert_eq!(f.lines[1].comments.len(), 1);
+        assert!(f.lines[1].first_code.is_none());
+        assert_eq!(f.lines[2].comments.len(), 1);
+        assert!(f.lines[2].first_code.is_some());
+    }
+
+    #[test]
+    fn valid_suppression_parses() {
+        let f = file("// tbp-lint: allow(no-alloc, determinism): cold path only\nlet x = 1;\n");
+        assert_eq!(f.suppressions.len(), 1);
+        assert_eq!(f.suppressions[0].rules, vec!["no-alloc", "determinism"]);
+        assert!(f.suppression_diags.is_empty());
+        let d = Diagnostic::new("no-alloc", "test.rs", 2, 1, "m", "k");
+        assert!(f.is_suppressed(&d));
+        let far = Diagnostic::new("no-alloc", "test.rs", 3, 1, "m", "k");
+        assert!(!f.is_suppressed(&far));
+    }
+
+    #[test]
+    fn unjustified_suppression_is_a_finding() {
+        let f = file("// tbp-lint: allow(no-alloc)\nlet x = 1;\n");
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.suppression_diags.len(), 1);
+        assert!(f.suppression_diags[0].message.contains("justification"));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_finding() {
+        let f = file("// tbp-lint: allow(no-such-rule): because\n");
+        assert!(f.suppressions.is_empty());
+        assert!(f.suppression_diags[0].message.contains("no-such-rule"));
+    }
+
+    #[test]
+    fn directives_inside_strings_are_ignored() {
+        let f = file("let s = \"tbp-lint: allow(no-alloc)\";\n");
+        assert!(f.suppressions.is_empty());
+        assert!(f.suppression_diags.is_empty());
+    }
+
+    #[test]
+    fn suppression_findings_cannot_be_suppressed() {
+        let f = file("// tbp-lint: allow(suppression): nice try\n");
+        // `suppression` is not a known rule id for allow-lists.
+        assert!(f.suppressions.is_empty());
+        assert_eq!(f.suppression_diags.len(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end drift demonstration against the REAL `ScenarioSpec`: copy the
+//! actual spec and hash sources into a scratch tree, record a manifest,
+//! then inject a new semantic field WITHOUT bumping the hash domain and
+//! prove the rule fails — and that bumping the domain flips the failure to
+//! the (distinct) stale-manifest message.
+
+use std::path::{Path, PathBuf};
+
+use tbp_lint::config::LintConfig;
+use tbp_lint::engine;
+use tbp_lint::rules::domain_drift;
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+/// A scratch root holding copies of the real scenario sources; removed on
+/// drop so reruns start clean.
+struct Scratch {
+    root: PathBuf,
+}
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        let root =
+            std::env::temp_dir().join(format!("tbp_lint_drift_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        std::fs::create_dir_all(root.join("scenario")).expect("scratch tree");
+        let ws = workspace_root();
+        for name in ["spec.rs", "hash.rs"] {
+            std::fs::copy(
+                ws.join("crates/core/src/scenario").join(name),
+                root.join("scenario").join(name),
+            )
+            .expect("copy real scenario source");
+        }
+        Scratch { root }
+    }
+
+    fn config(&self) -> LintConfig {
+        LintConfig::from_str(
+            r#"
+[domain_drift]
+manifest = "domains.toml"
+
+[[domain_drift.domain]]
+name = "scenario-hash"
+kind = "struct"
+file = "scenario/spec.rs"
+symbol = "ScenarioSpec"
+version = [
+  "scenario/hash.rs::HASH_DOMAIN",
+  "scenario/hash.rs::HASH_DOMAIN_PHASED",
+]
+"#,
+            "drift-test",
+        )
+        .expect("inline config parses")
+    }
+
+    fn edit(&self, rel: &str, from: &str, to: &str) {
+        let path = self.root.join(rel);
+        let text = std::fs::read_to_string(&path).expect("scratch file readable");
+        assert!(
+            text.contains(from),
+            "expected `{from}` in {rel} — did the real source change shape?"
+        );
+        std::fs::write(&path, text.replacen(from, to, 1)).expect("scratch file writable");
+    }
+
+    fn drift_findings(&self, config: &LintConfig) -> Vec<String> {
+        let mut out = Vec::new();
+        domain_drift::check(&self.root, config, &mut out);
+        out.iter().map(|d| d.to_string()).collect()
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.root);
+    }
+}
+
+fn record_manifest(root: &Path, config: &LintConfig) {
+    engine::update_manifest(root, config).expect("manifest regeneration succeeds");
+}
+
+#[test]
+fn adding_a_scenario_field_without_a_hash_bump_is_caught() {
+    let scratch = Scratch::new("no_bump");
+    let config = scratch.config();
+    record_manifest(&scratch.root, &config);
+    // In-sync first: the freshly recorded manifest must scan clean.
+    assert!(scratch.drift_findings(&config).is_empty());
+    // Inject a new semantic field at the top of the real struct, leaving
+    // HASH_DOMAIN / HASH_DOMAIN_PHASED untouched.
+    scratch.edit(
+        "scenario/spec.rs",
+        "pub struct ScenarioSpec {",
+        "pub struct ScenarioSpec {\n    pub injected_knob: Option<u32>,",
+    );
+    let findings = scratch.drift_findings(&config);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(
+        findings[0].contains("without a version bump"),
+        "{findings:#?}"
+    );
+    assert!(
+        findings[0].contains("injected_knob : Option < u32 >"),
+        "{findings:#?}"
+    );
+    assert!(findings[0].contains("HASH_DOMAIN"), "{findings:#?}");
+}
+
+#[test]
+fn bumping_the_hash_domain_flips_the_failure_to_stale_manifest() {
+    let scratch = Scratch::new("bump");
+    let config = scratch.config();
+    record_manifest(&scratch.root, &config);
+    scratch.edit(
+        "scenario/spec.rs",
+        "pub struct ScenarioSpec {",
+        "pub struct ScenarioSpec {\n    pub injected_knob: Option<u32>,",
+    );
+    scratch.edit(
+        "scenario/hash.rs",
+        "tbp-scenario-spec-v2",
+        "tbp-scenario-spec-v99",
+    );
+    let findings = scratch.drift_findings(&config);
+    assert_eq!(findings.len(), 1, "{findings:#?}");
+    assert!(findings[0].contains("--update-manifest"), "{findings:#?}");
+    assert!(
+        !findings[0].contains("without a version bump"),
+        "{findings:#?}"
+    );
+    // And regenerating the manifest makes the domain clean again.
+    record_manifest(&scratch.root, &config);
+    assert!(scratch.drift_findings(&config).is_empty());
+}

@@ -1,0 +1,120 @@
+//! Fixture-corpus tests: the dirty fixture trips every rule (positive
+//! cases), the clean fixture trips none (negative cases), and both go
+//! through the same engine the `tbp_lint` binary uses.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use tbp_lint::config::LintConfig;
+use tbp_lint::engine::{self, Scan};
+
+fn fixture_root(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/fixtures")
+        .join(name)
+}
+
+fn scan_fixture(name: &str) -> Scan {
+    let root = fixture_root(name);
+    let config = LintConfig::load(&root.join("lint.toml")).expect("fixture config parses");
+    engine::scan(&root, &config).expect("fixture scan succeeds")
+}
+
+fn count_by_rule(scan: &Scan) -> BTreeMap<&'static str, usize> {
+    let mut counts = BTreeMap::new();
+    for d in &scan.diagnostics {
+        *counts.entry(d.rule).or_insert(0) += 1;
+    }
+    counts
+}
+
+#[test]
+fn dirty_fixture_trips_every_rule() {
+    let scan = scan_fixture("dirty");
+    let counts = count_by_rule(&scan);
+    let all: Vec<String> = scan.diagnostics.iter().map(|d| d.to_string()).collect();
+    // Five allocation shapes in `hot_step` (collect, clone, format!,
+    // Vec::new, vec!); the identical shapes in `cold_setup` stay silent.
+    assert_eq!(counts.get("no-alloc"), Some(&5), "{all:#?}");
+    // `use HashMap` + type + constructor, plus `Instant::now`.
+    assert_eq!(counts.get("determinism"), Some(&4), "{all:#?}");
+    assert_eq!(counts.get("unsafe-audit"), Some(&1), "{all:#?}");
+    // `process::exit(3)` in lib.rs, `process::exit(0)` in the bin.
+    assert_eq!(counts.get("exit-code"), Some(&2), "{all:#?}");
+    // Unjustified, unknown-rule, and malformed directives.
+    assert_eq!(counts.get("suppression"), Some(&3), "{all:#?}");
+    // demo-spec drifted without a bump; demo-wire bumped without a
+    // manifest regen.
+    assert_eq!(counts.get("domain-drift"), Some(&2), "{all:#?}");
+    assert_eq!(scan.suppressed, 0);
+}
+
+#[test]
+fn dirty_fixture_drift_messages_distinguish_the_two_failures() {
+    let scan = scan_fixture("dirty");
+    let drift: Vec<&str> = scan
+        .diagnostics
+        .iter()
+        .filter(|d| d.rule == "domain-drift")
+        .map(|d| d.message.as_str())
+        .collect();
+    assert!(
+        drift
+            .iter()
+            .any(|m| m.contains("without a version bump") && m.contains("demo-spec")),
+        "{drift:#?}"
+    );
+    assert!(
+        drift
+            .iter()
+            .any(|m| m.contains("--update-manifest") && m.contains("demo-wire")),
+        "{drift:#?}"
+    );
+    // The drift finding names the field that appeared.
+    assert!(drift.iter().any(|m| m.contains("knob : u32")), "{drift:#?}");
+}
+
+#[test]
+fn dirty_fixture_findings_carry_positions() {
+    let scan = scan_fixture("dirty");
+    let unsafe_hit = scan
+        .diagnostics
+        .iter()
+        .find(|d| d.rule == "unsafe-audit")
+        .expect("unsafe finding present");
+    assert_eq!(unsafe_hit.file, "src/unsafe_code.rs");
+    assert_eq!(unsafe_hit.line, 4);
+    assert!(unsafe_hit.col > 0);
+}
+
+#[test]
+fn clean_fixture_is_quiet_and_counts_its_one_suppression() {
+    let scan = scan_fixture("clean");
+    let all: Vec<String> = scan.diagnostics.iter().map(|d| d.to_string()).collect();
+    assert!(scan.diagnostics.is_empty(), "{all:#?}");
+    // The justified warmup suppression in hot.rs absorbed exactly one
+    // finding — proving both that the shape WOULD have been caught and
+    // that a justified directive silences it.
+    assert_eq!(scan.suppressed, 1);
+}
+
+#[test]
+fn baseline_grandfathers_dirty_findings_and_flags_growth_both_ways() {
+    use tbp_lint::baseline::Baseline;
+    let scan = scan_fixture("dirty");
+    let base = Baseline::capture(&scan.diagnostics);
+    // Re-parse through the rendered file form, as CI would.
+    let reparsed = Baseline::parse(&base.render()).expect("rendered baseline parses");
+    assert!(reparsed.compare(&scan.diagnostics).is_clean());
+    // One finding fewer -> stale entry; one extra -> fresh finding.
+    let mut fewer = scan.diagnostics.clone();
+    fewer.pop();
+    let delta = reparsed.compare(&fewer);
+    assert!(delta.fresh.is_empty());
+    assert_eq!(delta.stale.len(), 1);
+    let mut more = scan.diagnostics.clone();
+    more.push(scan.diagnostics[0].clone());
+    let delta = reparsed.compare(&more);
+    assert!(!delta.fresh.is_empty());
+    assert!(delta.stale.is_empty());
+}

@@ -1,0 +1,14 @@
+//! Negative exit-code cases: a binary speaking the contract — usage errors
+//! exit 2, runtime failures exit 1, success returns from `main`.
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() > 2 {
+        eprintln!("usage: tool [input]");
+        std::process::exit(2);
+    }
+    if args.get(1).map(String::as_str) == Some("fail") {
+        eprintln!("runtime failure");
+        std::process::exit(1);
+    }
+}

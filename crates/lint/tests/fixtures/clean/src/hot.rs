@@ -1,0 +1,18 @@
+//! Negative no-alloc cases: a hot function that only writes through
+//! borrowed buffers, one justified suppression, and free allocation in a
+//! cold function.
+
+pub fn hot_step(acc: &mut [u32], xs: &[u32], scratch: &mut Vec<u32>) {
+    for (a, x) in acc.iter_mut().zip(xs) {
+        *a = a.wrapping_add(*x);
+    }
+    if scratch.is_empty() {
+        // tbp-lint: allow(no-alloc): one-time warmup copy, amortized to zero per step
+        *scratch = xs.to_vec();
+    }
+}
+
+/// Allocation outside the declared hot region is not the rule's business.
+pub fn cold_setup(n: usize) -> Vec<u32> {
+    vec![0; n]
+}

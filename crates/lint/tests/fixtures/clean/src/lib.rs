@@ -1,0 +1,13 @@
+//! Clean fixture library: no rule has anything to report here.
+
+pub mod hot;
+pub mod other;
+pub mod semantic {
+    pub mod state;
+}
+pub mod unsafe_code;
+
+/// Library code reports failure by returning it, not by exiting.
+pub fn try_bail() -> Result<(), String> {
+    Err("propagate me".to_string())
+}

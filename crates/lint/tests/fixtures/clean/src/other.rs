@@ -1,0 +1,11 @@
+//! Negative determinism case: wall-clock and hash containers OUTSIDE the
+//! configured semantic paths are allowed (observability code needs them).
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn observe() -> u128 {
+    let mut seen: HashMap<u32, u32> = HashMap::new();
+    seen.insert(1, 2);
+    Instant::now().elapsed().as_nanos()
+}

@@ -1,0 +1,11 @@
+//! Negative determinism case: ordered containers in a semantic path; the
+//! rule has nothing to say. Mentions in comments (`HashMap`, `Instant::now`)
+//! and strings are prose, not code.
+
+use std::collections::BTreeMap;
+
+pub fn stamp() -> usize {
+    let map: BTreeMap<u32, u32> = BTreeMap::new();
+    let label = "HashMap in a string is fine";
+    map.len() + label.len()
+}

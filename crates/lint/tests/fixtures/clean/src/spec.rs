@@ -1,0 +1,9 @@
+//! In-sync domain: the `knob` field was added WITH a version bump
+//! (v1 -> v2) and the manifest was regenerated to match.
+
+pub const SPEC_DOMAIN: &str = "demo-spec-v2";
+
+pub struct DemoSpec {
+    pub name: String,
+    pub knob: u32,
+}

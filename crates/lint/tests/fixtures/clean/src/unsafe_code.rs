@@ -1,0 +1,22 @@
+//! Negative unsafe-audit cases: every form of `unsafe`, each audited.
+
+/// Reads a byte through a raw pointer.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read_raw(p: *const u8) -> u8 {
+    // SAFETY: caller guarantees `p` is valid for reads.
+    unsafe { *p }
+}
+
+pub fn read_first(xs: &[u8]) -> u8 {
+    assert!(!xs.is_empty());
+    // SAFETY: emptiness asserted on the line above.
+    unsafe { *xs.as_ptr() }
+}
+
+pub struct Token(u8);
+
+// SAFETY: `Token` is a plain byte; it owns no thread-affine state.
+unsafe impl Send for Token {}

@@ -1,0 +1,8 @@
+//! In-sync domain: shape and version both match the manifest.
+
+pub const WIRE_VERSION: u32 = 1;
+
+pub enum DemoMsg {
+    Ping,
+    Pong(u64),
+}

@@ -1,0 +1,6 @@
+//! Positive exit-code case: a binary exiting with a code outside the
+//! contract (0 must return from `main`, not call `exit`).
+
+fn main() {
+    std::process::exit(0);
+}

@@ -1,0 +1,18 @@
+//! Positive no-alloc cases: five distinct allocation shapes inside the
+//! declared hot function, none suppressed.
+
+pub fn hot_step(xs: &[u32]) -> Vec<u32> {
+    let doubled: Vec<u32> = xs.iter().map(|x| x * 2).collect();
+    let copy = doubled.clone();
+    let label = format!("{} items", copy.len());
+    let mut out = Vec::new();
+    out.push(label.len() as u32);
+    let extra = vec![1u32, 2];
+    out.extend(extra);
+    out
+}
+
+/// Negative case: the same shapes outside the hot region are fine.
+pub fn cold_setup(n: usize) -> Vec<u32> {
+    vec![0; n]
+}

@@ -1,0 +1,12 @@
+//! Positive exit-code case: terminating the process from library code.
+
+pub mod hot;
+pub mod semantic {
+    pub mod state;
+}
+pub mod suppress;
+pub mod unsafe_code;
+
+pub fn bail() -> ! {
+    std::process::exit(3);
+}

@@ -1,0 +1,11 @@
+//! Positive determinism cases: randomized-order containers and wall-clock
+//! reads inside a configured semantic path.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn stamp() -> usize {
+    let map: HashMap<u32, u32> = HashMap::new();
+    let _started = Instant::now();
+    map.len()
+}

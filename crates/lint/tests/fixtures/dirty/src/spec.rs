@@ -1,0 +1,9 @@
+//! Drift-without-bump: `knob` was added but `SPEC_DOMAIN` still says v1,
+//! and the manifest records the old single-field shape.
+
+pub const SPEC_DOMAIN: &str = "demo-spec-v1";
+
+pub struct DemoSpec {
+    pub name: String,
+    pub knob: u32,
+}

@@ -1,0 +1,12 @@
+//! Positive suppression cases: three broken directives, each its own
+//! finding. None of these can be silenced — `suppression` findings are not
+//! suppressible.
+
+// tbp-lint: allow(no-alloc)
+pub fn unjustified() {}
+
+// tbp-lint: allow(bogus-rule): the rule id does not exist
+pub fn unknown_rule() {}
+
+// tbp-lint: this is not a directive shape at all
+pub fn malformed() {}

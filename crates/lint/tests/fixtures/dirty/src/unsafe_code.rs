@@ -1,0 +1,5 @@
+//! Positive unsafe-audit case: a raw-pointer read with no safety argument.
+
+pub fn read(p: *const u8) -> u8 {
+    unsafe { *p }
+}

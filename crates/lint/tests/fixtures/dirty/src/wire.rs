@@ -1,0 +1,9 @@
+//! Stale manifest: the version constant was bumped to 2 (correctly, say,
+//! for some wire change) but the manifest still records version 1.
+
+pub const WIRE_VERSION: u32 = 2;
+
+pub enum DemoMsg {
+    Ping,
+    Pong,
+}

@@ -1,0 +1,141 @@
+//! Property tests for the linter's tokenizer. The rules' soundness rests on
+//! the lexer's invariants (spans in bounds and non-overlapping, comments and
+//! strings correctly fenced), so those are pinned over randomized snippet
+//! soups rather than a handful of examples.
+
+use proptest::prelude::*;
+
+use tbp_lint::lexer::{tokenize, TokenKind};
+
+/// Snippet pool: every lexical shape the tokenizer special-cases, including
+/// the adversarial ones (raw strings with fences, nested block comments,
+/// lifetimes vs char literals, rule keywords inside strings).
+const SNIPPETS: [&str; 24] = [
+    "fn step(x: u32) -> u32 { x + 1 }",
+    "let v: Vec<u8> = Vec::new();",
+    "// line comment with vec![] inside",
+    "/// doc comment mentioning unsafe {}",
+    "/* block /* nested */ comment */",
+    "\"plain string with // not-a-comment\"",
+    "\"escaped \\\" quote and \\\\ backslash\"",
+    "r\"raw string\"",
+    "r#\"raw with \" fence\"#",
+    "r##\"double \"# fence\"##",
+    "b\"bytes\"",
+    "br#\"raw bytes \" too\"#",
+    "'x'",
+    "'\\n'",
+    "b'q'",
+    "'static",
+    "'a",
+    "let t = <T as Trait<'b>>::default();",
+    "1_000_000",
+    "0x1F / 2.5e-3",
+    "std::process::exit(1);",
+    "let m = std::collections::HashMap::<u32, u32>::new();",
+    "x.collect::<Vec<_>>()",
+    "r#match",
+];
+
+fn soup(indices: &[usize], seps: &[bool]) -> String {
+    let mut out = String::new();
+    for (n, &i) in indices.iter().enumerate() {
+        out.push_str(SNIPPETS[i % SNIPPETS.len()]);
+        out.push(if seps.get(n).copied().unwrap_or(true) {
+            '\n'
+        } else {
+            ' '
+        });
+    }
+    out
+}
+
+proptest! {
+    /// Spans are in bounds, strictly ordered, non-overlapping, and aligned
+    /// to character boundaries; lines and columns are 1-based and monotone.
+    #[test]
+    fn spans_are_sound(
+        indices in proptest::collection::vec(0usize..SNIPPETS.len(), 0..40),
+        seps in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let src = soup(&indices, &seps);
+        let tokens = tokenize(&src);
+        let mut prev_end = 0usize;
+        let mut prev_line = 1u32;
+        for tok in &tokens {
+            prop_assert!(tok.start < tok.end, "empty span in {src:?}");
+            prop_assert!(tok.end <= src.len());
+            prop_assert!(tok.start >= prev_end, "overlap in {src:?}");
+            prop_assert!(src.is_char_boundary(tok.start) && src.is_char_boundary(tok.end));
+            prop_assert!(tok.line >= prev_line, "line went backwards in {src:?}");
+            prop_assert!(tok.line >= 1 && tok.col >= 1);
+            prev_end = tok.end;
+            prev_line = tok.line;
+        }
+    }
+
+    /// Lexing is a pure function: same input, same tokens.
+    #[test]
+    fn lexing_is_deterministic(
+        indices in proptest::collection::vec(0usize..SNIPPETS.len(), 0..30),
+        seps in proptest::collection::vec(any::<bool>(), 0..30),
+    ) {
+        let src = soup(&indices, &seps);
+        prop_assert_eq!(tokenize(&src), tokenize(&src));
+    }
+
+    /// Everything the lexer skipped between tokens is whitespace — i.e. no
+    /// source text silently vanishes. (Rules depend on this: a lexer that
+    /// dropped code could hide a violation.)
+    #[test]
+    fn gaps_are_whitespace_only(
+        indices in proptest::collection::vec(0usize..SNIPPETS.len(), 0..40),
+        seps in proptest::collection::vec(any::<bool>(), 0..40),
+    ) {
+        let src = soup(&indices, &seps);
+        let tokens = tokenize(&src);
+        let mut cursor = 0usize;
+        for tok in &tokens {
+            prop_assert!(
+                src[cursor..tok.start].chars().all(char::is_whitespace),
+                "non-whitespace gap {:?} in {src:?}",
+                &src[cursor..tok.start],
+            );
+            cursor = tok.end;
+        }
+        prop_assert!(src[cursor..].chars().all(char::is_whitespace));
+    }
+
+    /// Code wrapped in a line comment or a plain string produces no
+    /// Ident/Punct tokens from its interior — the fencing property every
+    /// rule relies on to ignore prose.
+    #[test]
+    fn comments_and_strings_fence_their_interiors(
+        indices in proptest::collection::vec(0usize..SNIPPETS.len(), 1..20),
+    ) {
+        let inner: String = indices
+            .iter()
+            .map(|&i| SNIPPETS[i % SNIPPETS.len()])
+            .collect::<Vec<_>>()
+            .join(" ")
+            .replace(['"', '\\', '\n', '\r'], " ");
+        let commented = format!("// {inner}\nlet after = 1;\n");
+        let tokens = tokenize(&commented);
+        prop_assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::LineComment).count(),
+            1
+        );
+        // Exactly the 5 code tokens of the trailing line survive.
+        prop_assert_eq!(tokens.iter().filter(|t| !t.is_comment()).count(), 5);
+
+        let quoted = format!("let s = \"{inner}\";\n");
+        let tokens = tokenize(&quoted);
+        let literals = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Literal)
+            .count();
+        prop_assert_eq!(literals, 1, "{:?}", quoted);
+        // let, s, =, <literal>, ; — nothing from the string's interior.
+        prop_assert_eq!(tokens.len(), 5, "{:?}", quoted);
+    }
+}

@@ -1,0 +1,92 @@
+//! Regression tests over the REAL workspace: the committed baseline and
+//! domain manifest must match a fresh scan exactly — no silent growth, no
+//! stale entries, no drifted domains. These are the same checks CI's
+//! `tbp_lint --deny` performs, pinned as cargo tests so `cargo test`
+//! alone catches a desynced commit.
+
+use std::path::PathBuf;
+
+use tbp_lint::config::LintConfig;
+use tbp_lint::engine;
+use tbp_lint::rules::domain_drift;
+
+fn workspace_root() -> PathBuf {
+    // crates/lint -> crates -> workspace root
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crate lives two levels under the workspace root")
+        .to_path_buf()
+}
+
+#[test]
+fn committed_baseline_matches_a_fresh_scan_exactly() {
+    let root = workspace_root();
+    let config = LintConfig::load(&root.join("lint.toml")).expect("workspace lint.toml parses");
+    let scan = engine::scan(&root, &config).expect("workspace scan succeeds");
+    let (_baseline, delta) =
+        engine::compare_baseline(&root, &config, &scan).expect("baseline loads");
+    let fresh: Vec<String> = delta.fresh.iter().map(|d| d.to_string()).collect();
+    assert!(
+        fresh.is_empty(),
+        "new findings not in the committed baseline — fix them or (deliberately) \
+         run `tbp_lint --update-baseline`:\n{}",
+        fresh.join("\n")
+    );
+    let stale: Vec<String> = delta
+        .stale
+        .iter()
+        .map(|(key, allowed, seen)| format!("`{key}`: baseline {allowed}, scan {seen}"))
+        .collect();
+    assert!(
+        stale.is_empty(),
+        "stale baseline entries — the grandfathered findings were (partly) fixed; \
+         run `tbp_lint --update-baseline` to shrink the baseline:\n{}",
+        stale.join("\n")
+    );
+}
+
+#[test]
+fn committed_manifest_is_byte_identical_to_a_regeneration() {
+    let root = workspace_root();
+    let config = LintConfig::load(&root.join("lint.toml")).expect("workspace lint.toml parses");
+    let (fps, errs) = domain_drift::compute_fingerprints(&root, &config);
+    assert!(
+        errs.is_empty(),
+        "domain fingerprinting failed:\n{}",
+        errs.iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert_eq!(fps.len(), config.domains.len());
+    let committed = std::fs::read_to_string(root.join(&config.manifest))
+        .expect("committed domains.toml readable");
+    assert_eq!(
+        committed,
+        domain_drift::render_manifest(&fps),
+        "committed manifest differs from a fresh regeneration; run \
+         `tbp_lint --update-manifest` (after bumping the domain's version \
+         constant if the shape change was semantic)"
+    );
+}
+
+#[test]
+fn workspace_scan_covers_the_expected_surface() {
+    let root = workspace_root();
+    let config = LintConfig::load(&root.join("lint.toml")).expect("workspace lint.toml parses");
+    let scan = engine::scan(&root, &config).expect("workspace scan succeeds");
+    // The workspace has well over a hundred Rust files; a collapsed count
+    // means the walker or the include roots broke.
+    assert!(
+        scan.files.len() > 100,
+        "suspiciously few files scanned: {}",
+        scan.files.len()
+    );
+    // The linter's own fixture corpus must stay excluded, or its deliberate
+    // violations would pollute the workspace scan.
+    assert!(
+        scan.files.iter().all(|f| !f.contains("tests/fixtures/")),
+        "fixture sources leaked into the workspace scan"
+    );
+}

@@ -333,6 +333,7 @@ impl ThermalLaneKernel {
             // reports the corresponding feature.
             SimdLevel::Avx2 => unsafe { self.substeps_avx2(substeps, sub_dt) },
             #[cfg(target_arch = "x86_64")]
+            // SAFETY: as above — `detect_simd` reported AVX-512 support.
             SimdLevel::Avx512 => unsafe { self.substeps_avx512(substeps, sub_dt) },
         }
         Ok(())
@@ -342,12 +343,16 @@ impl ThermalLaneKernel {
         self.substeps_impl(substeps, sub_dt);
     }
 
+    // SAFETY: `unsafe` only because of `target_feature`; the sole caller
+    // (`advance`) dispatches here only when `detect_simd` reported AVX2.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx2")]
     unsafe fn substeps_avx2(&mut self, substeps: usize, sub_dt: f64) {
         self.substeps_impl(substeps, sub_dt);
     }
 
+    // SAFETY: `unsafe` only because of `target_feature`; the sole caller
+    // (`advance`) dispatches here only when `detect_simd` reported AVX-512.
     #[cfg(target_arch = "x86_64")]
     #[target_feature(enable = "avx512f")]
     unsafe fn substeps_avx512(&mut self, substeps: usize, sub_dt: f64) {
@@ -494,6 +499,8 @@ fn derivative_lanes(
     #[cfg(target_arch = "x86_64")]
     {
         if simd == SimdLevel::Avx512 && lanes.is_multiple_of(8) {
+            // SAFETY: shape argument above; AVX-512 is available at this
+            // `simd` level.
             return unsafe {
                 derivative_avx512(
                     lanes,
@@ -512,6 +519,8 @@ fn derivative_lanes(
         if simd != SimdLevel::Scalar && lanes.is_multiple_of(4) {
             // AVX-512 implies AVX2; 4-lane batches on an AVX-512 machine use
             // the 256-bit kernel rather than falling back to scalar code.
+            // SAFETY: shape argument above; AVX2 is available at either
+            // non-scalar `simd` level.
             return unsafe {
                 derivative_avx2(
                     lanes,
@@ -531,6 +540,7 @@ fn derivative_lanes(
     #[cfg(not(target_arch = "x86_64"))]
     let _ = simd;
     match lanes {
+        // SAFETY: shape argument above (scalar rows, no CPU feature).
         1 => unsafe {
             derivative_rows::<1>(
                 ambient,
@@ -544,6 +554,7 @@ fn derivative_lanes(
                 out,
             )
         },
+        // SAFETY: shape argument above (scalar rows, no CPU feature).
         2 => unsafe {
             derivative_rows::<2>(
                 ambient,
@@ -557,6 +568,7 @@ fn derivative_lanes(
                 out,
             )
         },
+        // SAFETY: shape argument above (scalar rows, no CPU feature).
         4 => unsafe {
             derivative_rows::<4>(
                 ambient,
@@ -570,6 +582,7 @@ fn derivative_lanes(
                 out,
             )
         },
+        // SAFETY: shape argument above (scalar rows, no CPU feature).
         8 => unsafe {
             derivative_rows::<8>(
                 ambient,
@@ -583,6 +596,7 @@ fn derivative_lanes(
                 out,
             )
         },
+        // SAFETY: shape argument above (scalar rows, no CPU feature).
         16 => unsafe {
             derivative_rows::<16>(
                 ambient,
